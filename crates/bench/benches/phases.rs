@@ -1,0 +1,55 @@
+//! Criterion benchmarks for the paper's three analysis phases, measured
+//! separately (Table 2's P1/P2/P3 columns): P1 the base abstract
+//! interpretation, P2 annotated-PDG construction, P3 signature inference.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use jsanalysis::AnalysisConfig;
+use jssig::FlowLattice;
+
+fn bench_phases(c: &mut Criterion) {
+    let config = AnalysisConfig::default();
+    let lattice = FlowLattice::paper();
+
+    let mut p1 = c.benchmark_group("p1_base_analysis");
+    p1.sample_size(10);
+    for addon in corpus::addons() {
+        let ast = jsparser::parse(addon.source).expect("parses");
+        let lowered = jsir::lower(&ast);
+        p1.bench_function(addon.name, |b| {
+            b.iter(|| std::hint::black_box(jsanalysis::analyze(&lowered, &config)))
+        });
+    }
+    p1.finish();
+
+    let mut p2 = c.benchmark_group("p2_pdg_construction");
+    p2.sample_size(10);
+    for addon in corpus::addons() {
+        let ast = jsparser::parse(addon.source).expect("parses");
+        let lowered = jsir::lower(&ast);
+        let analysis = jsanalysis::analyze(&lowered, &config);
+        p2.bench_function(addon.name, |b| {
+            b.iter(|| std::hint::black_box(jspdg::Pdg::build(&lowered, &analysis)))
+        });
+    }
+    p2.finish();
+
+    let mut p3 = c.benchmark_group("p3_signature_inference");
+    p3.sample_size(10);
+    for addon in corpus::addons() {
+        let ast = jsparser::parse(addon.source).expect("parses");
+        let lowered = jsir::lower(&ast);
+        let analysis = jsanalysis::analyze(&lowered, &config);
+        let pdg = jspdg::Pdg::build(&lowered, &analysis);
+        p3.bench_function(addon.name, |b| {
+            b.iter(|| {
+                std::hint::black_box(jssig::infer_signature(
+                    &lowered, &analysis, &pdg, &lattice,
+                ))
+            })
+        });
+    }
+    p3.finish();
+}
+
+criterion_group!(benches, bench_phases);
+criterion_main!(benches);

@@ -1,0 +1,21 @@
+//! Criterion benchmarks for the whole pipeline per benchmark addon --
+//! the end-to-end cost a vetting queue would pay per submission.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_pipeline(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pipeline");
+    group.sample_size(10);
+    for addon in corpus::addons() {
+        group.bench_function(addon.name, |b| {
+            b.iter(|| {
+                let report = addon_sig::analyze_addon(addon.source).expect("pipeline");
+                std::hint::black_box(report.signature.flows.len())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_pipeline);
+criterion_main!(benches);

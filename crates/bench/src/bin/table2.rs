@@ -1,0 +1,37 @@
+//! Regenerates Table 2 of the paper: per-addon signature-inference
+//! verdicts (pass / fail / leak) and the analysis time split into the
+//! paper's three phases (P1 base analysis, P2 PDG construction, P3
+//! signature inference). Timing methodology per Section 6.2: 11 runs,
+//! discard the first, report the median. Pass `--quick` for 3 runs.
+
+use bench::{measure_addon, secs};
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let runs = if quick { 3 } else { 10 };
+    println!(
+        "{:<20} {:^8} {:^8} | {:>8} {:>8} {:>8}",
+        "Addon Name", "Paper", "Ours", "P1(s)", "P2(s)", "P3(s)"
+    );
+    println!("{}", "-".repeat(70));
+    let mut ok = 0;
+    for addon in corpus::addons() {
+        let row = measure_addon(&addon, runs);
+        let matches = row.result == addon.paper_verdict.to_string();
+        if matches {
+            ok += 1;
+        }
+        println!(
+            "{:<20} {:^8} {:^8} | {:>8} {:>8} {:>8}{}",
+            row.name,
+            addon.paper_verdict.to_string(),
+            row.result,
+            secs(row.p1),
+            secs(row.p2),
+            secs(row.p3),
+            if matches { "" } else { "   <-- MISMATCH" }
+        );
+    }
+    println!("{}", "-".repeat(70));
+    println!("verdict agreement with the paper: {ok}/10");
+}

@@ -1,0 +1,167 @@
+// Chess.comNotifier -- "Notifies your turn on chess.com"
+//
+// Synthetic reproduction of the paper's category C benchmark: the addon
+// polls chess.com for game status and shows a badge when it is the user's
+// turn. It communicates with chess.com but sends no interesting
+// information -- the manual signature is the bare sink entry
+// send(chess.com).
+
+var ChessNotifier = {
+  statusEndpoint: "http://www.chess.com/api/echess/my-move-count?plain=1",
+  pollIntervalMs: 60000,
+  pendingGames: 0,
+  soundEnabled: true,
+  badge: {
+    none: "",
+    some: "!",
+    error: "x"
+  }
+};
+
+function chn_setBadge(text) {
+  var badge = document.getElementById("chn-turn-badge");
+  if (badge) {
+    badge.value = text;
+  }
+}
+
+function chn_notify(count) {
+  ChessNotifier.pendingGames = count;
+  if (count > 0) {
+    chn_setBadge(ChessNotifier.badge.some);
+    if (ChessNotifier.soundEnabled) {
+      chn_playSound();
+    }
+  } else {
+    chn_setBadge(ChessNotifier.badge.none);
+  }
+}
+
+function chn_playSound() {
+  var player = document.getElementById("chn-ding");
+  if (player) {
+    player.value = "play";
+  }
+}
+
+function chn_parseCount(body) {
+  var n = parseInt(body, 10);
+  if (isNaN(n)) {
+    return 0;
+  }
+  return n;
+}
+
+function chn_poll() {
+  var req = new XMLHttpRequest();
+  req.open("GET", ChessNotifier.statusEndpoint, true);
+  req.onload = function () {
+    if (req.status == 200) {
+      chn_notify(chn_parseCount(req.responseText));
+    } else {
+      chn_setBadge(ChessNotifier.badge.error);
+    }
+  };
+  req.send(null);
+}
+
+function chn_readPrefs() {
+  var sound = Services.prefs.getBoolPref("extensions.chessnotifier.sound");
+  if (sound === false) {
+    ChessNotifier.soundEnabled = false;
+  }
+}
+
+function chn_install() {
+  chn_readPrefs();
+  setInterval(chn_poll, ChessNotifier.pollIntervalMs);
+  chn_poll();
+  chn_setBadge(ChessNotifier.badge.none);
+}
+
+chn_install();
+
+// --- Game list rendering ------------------------------------------------------
+
+var chnGames = {
+  list: [],
+  lastUpdated: null
+};
+
+function chn_renderGameRow(game) {
+  return game.opponent + " - " + game.timeLeft + " left";
+}
+
+function chn_renderGameList() {
+  var box = document.getElementById("chn-game-list");
+  if (!box) {
+    return;
+  }
+  if (chnGames.list.length == 0) {
+    box.value = "No games waiting";
+    return;
+  }
+  var rows = [];
+  var i = 0;
+  while (i < chnGames.list.length) {
+    rows.push(chn_renderGameRow(chnGames.list[i]));
+    i = i + 1;
+  }
+  box.value = rows.join("\n");
+}
+
+// --- Time formatting ------------------------------------------------------------
+
+function chn_formatHours(totalMinutes) {
+  var hours = 0;
+  var minutes = totalMinutes;
+  while (minutes >= 60) {
+    minutes = minutes - 60;
+    hours = hours + 1;
+  }
+  if (hours > 0) {
+    return hours + "h " + minutes + "m";
+  }
+  return minutes + "m";
+}
+
+function chn_describeDeadline(minutesLeft) {
+  if (minutesLeft <= 0) {
+    return "time expired";
+  }
+  if (minutesLeft < 60) {
+    return "less than an hour";
+  }
+  return chn_formatHours(minutesLeft);
+}
+
+// --- Sound options ----------------------------------------------------------------
+
+var chnSounds = {
+  available: ["ding", "chime", "knock", "silent"],
+  selected: "ding"
+};
+
+function chn_selectSound(name) {
+  var i = 0;
+  var ok = false;
+  while (i < chnSounds.available.length) {
+    if (chnSounds.available[i] == name) {
+      ok = true;
+    }
+    i = i + 1;
+  }
+  if (ok) {
+    chnSounds.selected = name;
+  }
+  return ok;
+}
+
+function chn_readSoundPref() {
+  var pref = Services.prefs.getCharPref("extensions.chessnotifier.soundname");
+  if (pref) {
+    chn_selectSound(pref);
+  }
+}
+
+chn_readSoundPref();

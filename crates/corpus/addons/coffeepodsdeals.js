@@ -1,0 +1,165 @@
+// CoffeePodsDeals -- "Indicates coffee pods for sale"
+//
+// Synthetic reproduction of the paper's category C benchmark: the addon
+// periodically downloads the current deals list from its vendor site and
+// renders it into a toolbar menu. No interesting information leaves the
+// browser; the manual signature is send(coffeepodsdeals.com).
+
+var CoffeePodsDeals = {
+  feedUrl: "http://www.coffeepodsdeals.com/feed/deals.json?version=2",
+  refreshMinutes: 30,
+  deals: [],
+  maxShown: 8,
+  currency: "USD",
+  strings: {
+    loading: "Checking for fresh deals ...",
+    none: "No deals right now",
+    error: "Could not reach the deals service"
+  }
+};
+
+function cpd_menuLabel(text) {
+  var label = document.getElementById("cpd-menu-label");
+  if (label) {
+    label.value = text;
+  }
+}
+
+function cpd_clearDeals() {
+  CoffeePodsDeals.deals = [];
+}
+
+function cpd_addDeal(name, price) {
+  var deal = { name: name, price: price, currency: CoffeePodsDeals.currency };
+  CoffeePodsDeals.deals.push(deal);
+}
+
+function cpd_renderDeals() {
+  var count = CoffeePodsDeals.deals.length;
+  if (count == 0) {
+    cpd_menuLabel(CoffeePodsDeals.strings.none);
+  } else {
+    cpd_menuLabel("Deals: " + count);
+  }
+}
+
+function cpd_parseFeed(body) {
+  cpd_clearDeals();
+  var rows = body.split("\n");
+  var i = 0;
+  while (i < rows.length && i < CoffeePodsDeals.maxShown) {
+    var row = rows[i];
+    var sep = row.indexOf("|");
+    if (sep > 0) {
+      cpd_addDeal(row.substring(0, sep), row.substring(sep + 1));
+    }
+    i = i + 1;
+  }
+}
+
+function cpd_refresh() {
+  cpd_menuLabel(CoffeePodsDeals.strings.loading);
+  var req = new XMLHttpRequest();
+  req.open("GET", CoffeePodsDeals.feedUrl, true);
+  req.onload = function () {
+    if (req.status == 200) {
+      cpd_parseFeed(req.responseText);
+      cpd_renderDeals();
+    } else {
+      cpd_menuLabel(CoffeePodsDeals.strings.error);
+    }
+  };
+  req.send(null);
+}
+
+function cpd_onMenuOpen(event) {
+  cpd_renderDeals();
+}
+
+function cpd_install() {
+  var menu = document.getElementById("cpd-menu");
+  if (menu) {
+    menu.addEventListener("popupshowing", cpd_onMenuOpen, false);
+  }
+  setInterval(cpd_refresh, CoffeePodsDeals.refreshMinutes * 60 * 1000);
+  cpd_refresh();
+}
+
+cpd_install();
+
+// --- Currency formatting -----------------------------------------------------
+
+var cpdCurrencies = {
+  USD: { symbol: "$", decimals: 2, before: true },
+  EUR: { symbol: "EUR ", decimals: 2, before: true },
+  GBP: { symbol: "GBP ", decimals: 2, before: true },
+  JPY: { symbol: "JPY ", decimals: 0, before: true }
+};
+
+function cpd_formatPrice(amount, code) {
+  var spec = cpdCurrencies[code];
+  if (!spec) {
+    spec = cpdCurrencies.USD;
+  }
+  var text = "" + amount;
+  if (spec.before) {
+    return spec.symbol + text;
+  }
+  return text + spec.symbol;
+}
+
+// --- Filtering and sorting ------------------------------------------------------
+
+function cpd_filterByMaxPrice(deals, ceiling) {
+  var kept = [];
+  var i = 0;
+  while (i < deals.length) {
+    var d = deals[i];
+    var price = parseFloat(d.price);
+    if (!isNaN(price) && price <= ceiling) {
+      kept.push(d);
+    }
+    i = i + 1;
+  }
+  return kept;
+}
+
+function cpd_cheapest(deals) {
+  var best = null;
+  var bestPrice = 0;
+  var i = 0;
+  while (i < deals.length) {
+    var price = parseFloat(deals[i].price);
+    if (best === null || price < bestPrice) {
+      best = deals[i];
+      bestPrice = price;
+    }
+    i = i + 1;
+  }
+  return best;
+}
+
+// --- Pagination --------------------------------------------------------------------
+
+var cpdPager = { page: 0, perPage: 4 };
+
+function cpd_pageCount(total) {
+  var pages = 0;
+  var counted = 0;
+  while (counted < total) {
+    counted = counted + cpdPager.perPage;
+    pages = pages + 1;
+  }
+  if (pages == 0) {
+    pages = 1;
+  }
+  return pages;
+}
+
+function cpd_nextPage(total) {
+  cpdPager.page = cpdPager.page + 1;
+  if (cpdPager.page >= cpd_pageCount(total)) {
+    cpdPager.page = 0;
+  }
+  return cpdPager.page;
+}

@@ -1,0 +1,176 @@
+// GoogleTransliterate -- "Allows user to type in Indian languages"
+//
+// Synthetic reproduction of the paper's category C benchmark and its
+// `leak`: the addon transliterates text through the Google input-tools
+// API. It skips empty pages by checking that the current URL is not
+// about:blank before contacting the service -- a real (if harmless)
+// implicit flow of URL information the summary never mentions.
+
+var GoogleTransliterate = {
+  apiEndpoint: "http://www.google.com/inputtools/request?ime=transliteration_en_hi&num=5",
+  language: "hi",
+  buffer: "",
+  active: false,
+  suggestions: [],
+  strings: {
+    on: "Transliteration on (Hindi)",
+    off: "Transliteration off",
+    busy: "..."
+  }
+};
+
+function gtr_indicator(text) {
+  var box = document.getElementById("gtr-indicator");
+  if (box) {
+    box.value = text;
+  }
+}
+
+function gtr_applySuggestion(field, suggestion) {
+  if (field && suggestion) {
+    field.value = suggestion;
+  }
+}
+
+function gtr_parseSuggestions(body) {
+  var list = body.split(",");
+  GoogleTransliterate.suggestions = list;
+  if (list.length > 0) {
+    return list[0];
+  }
+  return null;
+}
+
+function gtr_transliterate(field) {
+  var text = field.value;
+  if (text && GoogleTransliterate.active) {
+    // The undocumented implicit flow: the service is contacted only when
+    // the user is on a real page (the current URL is inspected).
+    var here = content.location.href;
+    if (here != "about:blank") {
+      gtr_indicator(GoogleTransliterate.strings.busy);
+      var req = new XMLHttpRequest();
+      req.open("GET", GoogleTransliterate.apiEndpoint + "&text=" + encodeURIComponent(text), true);
+      req.onload = function () {
+        if (req.status == 200) {
+          gtr_applySuggestion(field, gtr_parseSuggestions(req.responseText));
+          gtr_indicator(GoogleTransliterate.strings.on);
+        }
+      };
+      req.send(null);
+    }
+  }
+}
+
+function gtr_onKeyUp(event) {
+  // Key handling stays local: the space key only toggles the indicator
+  // refresh; no key data reaches the network.
+  var code = event.keyCode;
+  if (code == 32) {
+    gtr_indicator(GoogleTransliterate.strings.on);
+  }
+  var field = event.target;
+  gtr_transliterate(field);
+}
+
+function gtr_onToggle(event) {
+  if (GoogleTransliterate.active) {
+    GoogleTransliterate.active = false;
+    gtr_indicator(GoogleTransliterate.strings.off);
+  } else {
+    GoogleTransliterate.active = true;
+    gtr_indicator(GoogleTransliterate.strings.on);
+  }
+}
+
+function gtr_install() {
+  document.addEventListener("keyup", gtr_onKeyUp, false);
+  var toggle = document.getElementById("gtr-toggle-button");
+  if (toggle) {
+    toggle.addEventListener("command", gtr_onToggle, false);
+  }
+  gtr_indicator(GoogleTransliterate.strings.off);
+}
+
+gtr_install();
+
+// --- Transliteration schemes ---------------------------------------------------
+
+var gtrSchemes = [
+  { code: "hi", name: "Hindi", ime: "transliteration_en_hi" },
+  { code: "ta", name: "Tamil", ime: "transliteration_en_ta" },
+  { code: "te", name: "Telugu", ime: "transliteration_en_te" },
+  { code: "kn", name: "Kannada", ime: "transliteration_en_kn" },
+  { code: "ml", name: "Malayalam", ime: "transliteration_en_ml" },
+  { code: "bn", name: "Bengali", ime: "transliteration_en_bn" },
+  { code: "gu", name: "Gujarati", ime: "transliteration_en_gu" },
+  { code: "mr", name: "Marathi", ime: "transliteration_en_mr" },
+  { code: "pa", name: "Punjabi", ime: "transliteration_en_pa" }
+];
+
+function gtr_schemeFor(code) {
+  var i = 0;
+  while (i < gtrSchemes.length) {
+    if (gtrSchemes[i].code == code) {
+      return gtrSchemes[i];
+    }
+    i = i + 1;
+  }
+  return gtrSchemes[0];
+}
+
+function gtr_switchLanguage(code) {
+  var scheme = gtr_schemeFor(code);
+  GoogleTransliterate.language = scheme.code;
+  gtr_indicator("Transliteration on (" + scheme.name + ")");
+  return scheme;
+}
+
+// --- Candidate window ------------------------------------------------------------
+
+var gtrCandidates = {
+  visible: false,
+  selected: 0,
+  entries: []
+};
+
+function gtr_candidatesShow(list) {
+  gtrCandidates.entries = list;
+  gtrCandidates.selected = 0;
+  gtrCandidates.visible = list.length > 0;
+}
+
+function gtr_candidatesMove(delta) {
+  if (!gtrCandidates.visible) {
+    return null;
+  }
+  var next = gtrCandidates.selected + delta;
+  if (next < 0) {
+    next = gtrCandidates.entries.length - 1;
+  }
+  if (next >= gtrCandidates.entries.length) {
+    next = 0;
+  }
+  gtrCandidates.selected = next;
+  return gtrCandidates.entries[next];
+}
+
+function gtr_candidatesPick() {
+  if (!gtrCandidates.visible) {
+    return null;
+  }
+  gtrCandidates.visible = false;
+  return gtrCandidates.entries[gtrCandidates.selected];
+}
+
+// --- Word buffer -------------------------------------------------------------------
+
+function gtr_bufferAppend(ch) {
+  GoogleTransliterate.buffer = GoogleTransliterate.buffer + ch;
+}
+
+function gtr_bufferFlush() {
+  var word = GoogleTransliterate.buffer;
+  GoogleTransliterate.buffer = "";
+  return word;
+}

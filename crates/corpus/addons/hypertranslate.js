@@ -1,0 +1,192 @@
+// HyperTranslate -- "Translates selected text when key shorts are pressed"
+//
+// Synthetic reproduction of the paper's category B benchmark: a keypress
+// listener fires on every key, and when the configured shortcut
+// (ctrl+T by default) matches, the current selection is translated via a
+// fixed web service. Because the *keys pressed* decide whether the
+// request happens, key-press information implicitly flows to the network;
+// and since the listener runs on every keystroke, the flow is amplified
+// (the paper's manual signature: key --type3--> send(translate.google.com)).
+
+var HyperTranslate = {
+  serviceUrl: "http://translate.google.com/translate_a/t?client=hx&sl=auto&tl=",
+  targetLanguage: "en",
+  shortcutCode: 84, // 'T'
+  requireCtrl: true,
+  lastTranslation: null,
+  panelVisible: false,
+  strings: {
+    empty: "Select some text to translate",
+    busy: "Translating ...",
+    shortcutHint: "Press Ctrl+T to translate the selection"
+  }
+};
+
+function hyt_readPrefs() {
+  var lang = Services.prefs.getCharPref("extensions.hypertranslate.target");
+  if (lang) {
+    HyperTranslate.targetLanguage = lang;
+  }
+  var code = Services.prefs.getCharPref("extensions.hypertranslate.keycode");
+  if (code) {
+    HyperTranslate.shortcutCode = parseInt(code, 10);
+  }
+}
+
+function hyt_panel(text) {
+  var panel = document.getElementById("hyt-translation-panel");
+  if (panel) {
+    panel.value = text;
+  }
+}
+
+function hyt_showTranslation(text) {
+  HyperTranslate.lastTranslation = text;
+  HyperTranslate.panelVisible = true;
+  hyt_panel(text);
+}
+
+function hyt_translateSelection() {
+  var selection = window.getSelection();
+  var text = selection.text;
+  if (!text) {
+    hyt_panel(HyperTranslate.strings.empty);
+    return;
+  }
+  hyt_panel(HyperTranslate.strings.busy);
+  var query = HyperTranslate.serviceUrl
+    + HyperTranslate.targetLanguage
+    + "&text="
+    + encodeURIComponent(text);
+  var req = new XMLHttpRequest();
+  req.open("GET", query, true);
+  req.onload = function () {
+    if (req.status == 200) {
+      hyt_showTranslation(req.responseText);
+    }
+  };
+  req.send(null);
+}
+
+function hyt_onKeyPress(event) {
+  // The key source: every keystroke is inspected, and the decision to
+  // translate reveals whether the shortcut was pressed. The structured
+  // (local) guard is what makes this the paper's type3 flow.
+  var code = event.keyCode;
+  var modifierOk = !HyperTranslate.requireCtrl || event.ctrlKey;
+  if (code == HyperTranslate.shortcutCode && modifierOk) {
+    event.preventDefault();
+    hyt_translateSelection();
+  }
+}
+
+function hyt_install() {
+  hyt_readPrefs();
+  window.addEventListener("keypress", hyt_onKeyPress, false);
+  hyt_panel(HyperTranslate.strings.shortcutHint);
+}
+
+hyt_install();
+
+// --- Language catalogue --------------------------------------------------
+
+var hytLanguages = [
+  { code: "en", name: "English", rtl: false },
+  { code: "hi", name: "Hindi", rtl: false },
+  { code: "ar", name: "Arabic", rtl: true },
+  { code: "de", name: "German", rtl: false },
+  { code: "fr", name: "French", rtl: false },
+  { code: "es", name: "Spanish", rtl: false },
+  { code: "pt", name: "Portuguese", rtl: false },
+  { code: "ru", name: "Russian", rtl: false },
+  { code: "ja", name: "Japanese", rtl: false },
+  { code: "zh", name: "Chinese", rtl: false },
+  { code: "he", name: "Hebrew", rtl: true },
+  { code: "ko", name: "Korean", rtl: false }
+];
+
+function hyt_languageName(code) {
+  var i = 0;
+  while (i < hytLanguages.length) {
+    var entry = hytLanguages[i];
+    if (entry.code == code) {
+      return entry.name;
+    }
+    i = i + 1;
+  }
+  return code;
+}
+
+function hyt_isRtl(code) {
+  var i = 0;
+  while (i < hytLanguages.length) {
+    if (hytLanguages[i].code == code) {
+      return hytLanguages[i].rtl;
+    }
+    i = i + 1;
+  }
+  return false;
+}
+
+// --- Shortcut parsing ------------------------------------------------------
+
+function hyt_parseShortcut(spec) {
+  // "ctrl+T" / "alt+shift+K" style preference strings.
+  var result = { ctrl: false, alt: false, shift: false, keyCode: 0 };
+  var parts = spec.split("+");
+  var i = 0;
+  while (i < parts.length) {
+    var part = parts[i];
+    if (part == "ctrl") {
+      result.ctrl = true;
+    } else if (part == "alt") {
+      result.alt = true;
+    } else if (part == "shift") {
+      result.shift = true;
+    } else {
+      result.keyCode = hyt_letterCode(part);
+    }
+    i = i + 1;
+  }
+  return result;
+}
+
+function hyt_letterCode(letter) {
+  var upper = letter.toUpperCase();
+  return upper.charCodeAt(0);
+}
+
+// --- Panel layout -----------------------------------------------------------
+
+var hytPanelLayout = {
+  margin: 12,
+  maxWidth: 480,
+  maxHeight: 220,
+  fontSizes: { small: 11, normal: 13, large: 16 }
+};
+
+function hyt_panelDimensions(textLength) {
+  var width = 120 + textLength * 6;
+  if (width > hytPanelLayout.maxWidth) {
+    width = hytPanelLayout.maxWidth;
+  }
+  var lines = 1 + (textLength * 6) / hytPanelLayout.maxWidth;
+  var height = 30 + lines * 18;
+  if (height > hytPanelLayout.maxHeight) {
+    height = hytPanelLayout.maxHeight;
+  }
+  return { width: width, height: height };
+}
+
+function hyt_applyPanelDirection() {
+  var panel = document.getElementById("hyt-translation-panel");
+  if (panel) {
+    if (hyt_isRtl(HyperTranslate.targetLanguage)) {
+      panel.direction = "rtl";
+    } else {
+      panel.direction = "ltr";
+    }
+  }
+}
+
+hyt_applyPanelDirection();

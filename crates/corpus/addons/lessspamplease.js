@@ -1,0 +1,162 @@
+// LessSpamPlease -- "Generates a reusable anonymous real mail address"
+//
+// Synthetic reproduction of the paper's category A benchmark. The addon
+// asks its web service for a disposable alias tied to the site the user
+// is currently visiting, so the current URL is explicitly sent to the
+// service. The endpoint URL is assembled with String.replace on a
+// template, which the prefix string domain cannot track -- reproducing
+// the paper's `fail` (correct source/sink/flow type, unknown domain).
+
+var LessSpamPlease = {
+  // Template-based endpoint construction: %m is the mode, %s the site.
+  endpointTemplate: "https://api.lesspamplease.org/v2/%m?site=%s",
+  mode: "alias",
+  aliasBox: null,
+  history: [],
+  maxHistory: 25,
+  strings: {
+    ready: "Click to generate an alias for this site",
+    working: "Requesting alias ...",
+    failed: "The alias service is unavailable"
+  }
+};
+
+function lsp_status(text) {
+  var box = document.getElementById("lsp-status");
+  if (box) {
+    box.value = text;
+  }
+}
+
+function lsp_rememberAlias(alias) {
+  LessSpamPlease.history.push(alias);
+  if (LessSpamPlease.history.length > LessSpamPlease.maxHistory) {
+    LessSpamPlease.history.shift;
+  }
+}
+
+function lsp_fillInput(alias) {
+  var field = document.getElementById("lsp-alias-output");
+  if (field) {
+    field.value = alias;
+  }
+  LessSpamPlease.aliasBox = alias;
+}
+
+function lsp_buildEndpoint(site) {
+  // String.replace destroys the statically-known prefix: the analysis
+  // can no longer determine the domain (the paper's failure mode).
+  var withMode = LessSpamPlease.endpointTemplate.replace("%m", LessSpamPlease.mode);
+  var full = withMode.replace("%s", encodeURIComponent(site));
+  return full;
+}
+
+function lsp_requestAlias() {
+  lsp_status(LessSpamPlease.strings.working);
+  // Category A behavior: the current URL is sent to the service so the
+  // alias can be tied to the visited site.
+  var site = content.location.href;
+  var endpoint = lsp_buildEndpoint(site);
+  var req = new XMLHttpRequest();
+  req.open("POST", endpoint, true);
+  req.setRequestHeader("Content-Type", "application/x-www-form-urlencoded");
+  req.onload = function () {
+    if (req.status == 200) {
+      var alias = req.responseText;
+      lsp_rememberAlias(alias);
+      lsp_fillInput(alias);
+      lsp_status(LessSpamPlease.strings.ready);
+    } else {
+      lsp_status(LessSpamPlease.strings.failed);
+    }
+  };
+  req.send("want=alias");
+}
+
+function lsp_onCommand(event) {
+  lsp_requestAlias();
+}
+
+function lsp_install() {
+  var button = document.getElementById("lsp-generate-button");
+  if (button) {
+    button.addEventListener("command", lsp_onCommand, false);
+  }
+  lsp_status(LessSpamPlease.strings.ready);
+}
+
+lsp_install();
+
+// --- Alias bookkeeping -------------------------------------------------------
+
+var lspBook = {
+  bySite: {},
+  revoked: [],
+  stats: { created: 0, revoked: 0, reused: 0 }
+};
+
+function lsp_bookRecord(site, alias) {
+  var existing = lspBook.bySite[site];
+  if (existing) {
+    lspBook.stats.reused = lspBook.stats.reused + 1;
+    return existing;
+  }
+  lspBook.bySite[site] = alias;
+  lspBook.stats.created = lspBook.stats.created + 1;
+  return alias;
+}
+
+function lsp_bookRevoke(site) {
+  var alias = lspBook.bySite[site];
+  if (alias) {
+    lspBook.revoked.push(alias);
+    delete lspBook.bySite[site];
+    lspBook.stats.revoked = lspBook.stats.revoked + 1;
+    return true;
+  }
+  return false;
+}
+
+function lsp_bookSummary() {
+  return lspBook.stats.created + " created / "
+    + lspBook.stats.reused + " reused / "
+    + lspBook.stats.revoked + " revoked";
+}
+
+// --- Provider blacklist ---------------------------------------------------------
+
+var lspBlacklist = [
+  "tempmail.example",
+  "burner.example",
+  "disposable.example",
+  "throwaway.example"
+];
+
+function lsp_isBlacklisted(domainName) {
+  var i = 0;
+  while (i < lspBlacklist.length) {
+    if (lspBlacklist[i] == domainName) {
+      return true;
+    }
+    i = i + 1;
+  }
+  return false;
+}
+
+// --- Localized labels -------------------------------------------------------------
+
+var lspLabels = {
+  en: { generate: "Generate alias", revoke: "Revoke alias", stats: "Alias statistics" },
+  es: { generate: "Generar alias", revoke: "Revocar alias", stats: "Estadisticas" },
+  nl: { generate: "Alias aanmaken", revoke: "Alias intrekken", stats: "Statistieken" }
+};
+
+function lsp_label(key) {
+  var locale = Services.prefs.getCharPref("general.useragent.locale");
+  var table = lspLabels.en;
+  if (locale == "es") { table = lspLabels.es; }
+  if (locale == "nl") { table = lspLabels.nl; }
+  var value = table[key];
+  if (!value) { value = lspLabels.en[key]; }
+  return value;
+}

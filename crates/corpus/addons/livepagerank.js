@@ -1,0 +1,278 @@
+// LivePageRank -- "Display PageRank for active URL"
+//
+// Synthetic reproduction of the paper's category A benchmark: the addon
+// explicitly sends the current URL to toolbarqueries.google.com to fetch
+// its PageRank and shows the result in a toolbar badge.
+
+var LivePageRank = {
+  serviceBase: "http://toolbarqueries.google.com/tbr?client=navclient&features=Rank&q=",
+  lastUrl: null,
+  lastRank: null,
+  pollDelayMs: 1500,
+  enabled: true,
+  badgeStates: {
+    unknown: "PR ?",
+    loading: "PR ...",
+    error: "PR !"
+  }
+};
+
+function lpr_readPrefs() {
+  var on = Services.prefs.getBoolPref("extensions.livepagerank.enabled");
+  if (on === false) {
+    LivePageRank.enabled = false;
+  }
+  var delay = Services.prefs.getCharPref("extensions.livepagerank.delay");
+  if (delay) {
+    LivePageRank.pollDelayMs = parseInt(delay, 10);
+  }
+}
+
+function lpr_setBadge(text) {
+  var badge = document.getElementById("lpr-toolbar-badge");
+  if (badge) {
+    badge.value = text;
+  }
+}
+
+function lpr_checksum(query) {
+  // The classic toolbar checksum, simplified: a rolling hash over the
+  // query string length and a magic seed.
+  var seed = 16909125;
+  var i = 0;
+  var hash = seed;
+  var len = query.length;
+  while (i < len) {
+    hash = (hash ^ (hash << 5)) + i;
+    hash = hash & 0x7fffffff;
+    i = i + 1;
+  }
+  return hash;
+}
+
+function lpr_parseRank(body) {
+  // Response format: "Rank_1:1:6"
+  var marker = body.indexOf("Rank_");
+  if (marker < 0) {
+    return null;
+  }
+  var tail = body.substring(marker + 9);
+  var rank = parseInt(tail, 10);
+  if (isNaN(rank)) {
+    return null;
+  }
+  return rank;
+}
+
+function lpr_displayRank(rank) {
+  if (rank === null) {
+    lpr_setBadge(LivePageRank.badgeStates.unknown);
+  } else {
+    lpr_setBadge("PR " + rank);
+  }
+  LivePageRank.lastRank = rank;
+}
+
+function lpr_fetchRank() {
+  if (!LivePageRank.enabled) {
+    return;
+  }
+  // The explicit flow the manual signature documents: the active URL is
+  // appended to the query and sent over the network.
+  var url = content.location.href;
+  if (!url) {
+    lpr_setBadge(LivePageRank.badgeStates.unknown);
+    return;
+  }
+  if (url == LivePageRank.lastUrl) {
+    return;
+  }
+  LivePageRank.lastUrl = url;
+  lpr_setBadge(LivePageRank.badgeStates.loading);
+
+  var check = lpr_checksum(url);
+  var query = LivePageRank.serviceBase + encodeURIComponent(url) + "&ch=" + check;
+  var req = new XMLHttpRequest();
+  req.open("GET", query, true);
+  req.onreadystatechange = function () {
+    if (req.readyState == 4) {
+      if (req.status == 200) {
+        lpr_displayRank(lpr_parseRank(req.responseText));
+      } else {
+        lpr_setBadge(LivePageRank.badgeStates.error);
+      }
+    }
+  };
+  req.send(null);
+}
+
+function lpr_onPageLoad(event) {
+  lpr_fetchRank();
+}
+
+function lpr_onTabSelect(event) {
+  lpr_fetchRank();
+}
+
+function lpr_install() {
+  lpr_readPrefs();
+  gBrowser.addEventListener("load", lpr_onPageLoad, true);
+  gBrowser.addEventListener("TabSelect", lpr_onTabSelect, false);
+  lpr_setBadge(LivePageRank.badgeStates.unknown);
+}
+
+lpr_install();
+
+// --- Localization -----------------------------------------------------
+
+var lprLocale = {
+  en: {
+    badgeTooltip: "PageRank of the current page",
+    menuRefresh: "Refresh rank now",
+    menuHistory: "Show rank history",
+    menuOptions: "LivePageRank options",
+    errNetwork: "Could not reach the ranking service",
+    errDisabled: "LivePageRank is disabled",
+    rankUnknown: "Rank unknown for this page"
+  },
+  de: {
+    badgeTooltip: "PageRank der aktuellen Seite",
+    menuRefresh: "Rang jetzt aktualisieren",
+    menuHistory: "Rangverlauf anzeigen",
+    menuOptions: "LivePageRank-Einstellungen",
+    errNetwork: "Ranking-Dienst nicht erreichbar",
+    errDisabled: "LivePageRank ist deaktiviert",
+    rankUnknown: "Rang dieser Seite unbekannt"
+  },
+  fr: {
+    badgeTooltip: "PageRank de la page actuelle",
+    menuRefresh: "Actualiser le classement",
+    menuHistory: "Afficher l'historique",
+    menuOptions: "Options de LivePageRank",
+    errNetwork: "Service de classement injoignable",
+    errDisabled: "LivePageRank est désactivé",
+    rankUnknown: "Classement inconnu"
+  }
+};
+
+function lpr_t(key) {
+  var lang = Services.prefs.getCharPref("general.useragent.locale");
+  var table = lprLocale.en;
+  if (lang == "de") {
+    table = lprLocale.de;
+  } else if (lang == "fr") {
+    table = lprLocale.fr;
+  }
+  var text = table[key];
+  if (!text) {
+    text = lprLocale.en[key];
+  }
+  if (!text) {
+    text = key;
+  }
+  return text;
+}
+
+// --- Rank history ------------------------------------------------------
+
+var lprHistory = {
+  entries: [],
+  capacity: 50,
+  position: 0
+};
+
+function lpr_historyPush(rank) {
+  if (lprHistory.entries.length < lprHistory.capacity) {
+    lprHistory.entries.push(rank);
+  } else {
+    lprHistory.entries[lprHistory.position] = rank;
+    lprHistory.position = lprHistory.position + 1;
+    if (lprHistory.position >= lprHistory.capacity) {
+      lprHistory.position = 0;
+    }
+  }
+}
+
+function lpr_historyAverage() {
+  var n = lprHistory.entries.length;
+  if (n == 0) {
+    return null;
+  }
+  var sum = 0;
+  var i = 0;
+  while (i < n) {
+    var v = lprHistory.entries[i];
+    if (typeof v == "number") {
+      sum = sum + v;
+    }
+    i = i + 1;
+  }
+  return sum / n;
+}
+
+function lpr_historySummary() {
+  var avg = lpr_historyAverage();
+  if (avg === null) {
+    return lpr_t("rankUnknown");
+  }
+  return "avg PR " + avg;
+}
+
+// --- Toolbar menu -------------------------------------------------------
+
+function lpr_buildMenu() {
+  var menu = document.getElementById("lpr-menu");
+  if (!menu) {
+    return;
+  }
+  var refresh = document.createElement("menuitem");
+  refresh.value = lpr_t("menuRefresh");
+  refresh.addEventListener("command", function (e) {
+    LivePageRank.lastUrl = null;
+    lpr_fetchRank();
+  }, false);
+
+  var history = document.createElement("menuitem");
+  history.value = lpr_t("menuHistory");
+  history.addEventListener("command", function (e) {
+    lpr_setBadge(lpr_historySummary());
+  }, false);
+
+  var options = document.createElement("menuitem");
+  options.value = lpr_t("menuOptions");
+}
+
+// --- Badge coloring ------------------------------------------------------
+
+function lpr_badgeColor(rank) {
+  if (rank === null) {
+    return "gray";
+  }
+  if (rank >= 8) {
+    return "green";
+  }
+  if (rank >= 5) {
+    return "olive";
+  }
+  if (rank >= 2) {
+    return "orange";
+  }
+  return "red";
+}
+
+function lpr_applyBadgeStyle(rank) {
+  var badge = document.getElementById("lpr-toolbar-badge");
+  if (badge) {
+    badge.color = lpr_badgeColor(rank);
+  }
+}
+
+// Hook the extras into the existing pipeline.
+var lpr_originalDisplay = lpr_displayRank;
+function lpr_displayRankExtended(rank) {
+  lpr_originalDisplay(rank);
+  lpr_historyPush(rank);
+  lpr_applyBadgeStyle(rank);
+}
+
+lpr_buildMenu();

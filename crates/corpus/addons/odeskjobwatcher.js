@@ -1,0 +1,65 @@
+// oDeskJobWatcher -- "Indicates oDesk job opening"
+//
+// Synthetic reproduction of the paper's smallest category C benchmark: a
+// tiny poller that checks the oDesk job feed and updates a counter badge.
+
+var ODeskJobWatcher = {
+  feedUrl: "https://www.odesk.com/jobs/rss?q=firefox+addon",
+  pollMinutes: 15,
+  lastCount: 0
+};
+
+function ojw_badge(text) {
+  var badge = document.getElementById("ojw-count-badge");
+  if (badge) {
+    badge.value = text;
+  }
+}
+
+function ojw_countItems(body) {
+  var count = 0;
+  var at = body.indexOf("<item>");
+  while (at >= 0 && count < 99) {
+    count = count + 1;
+    at = body.indexOf("<item>");
+  }
+  return count;
+}
+
+function ojw_poll() {
+  var req = new XMLHttpRequest();
+  req.open("GET", ODeskJobWatcher.feedUrl, true);
+  req.onload = function () {
+    if (req.status == 200) {
+      var count = ojw_countItems(req.responseText);
+      ODeskJobWatcher.lastCount = count;
+      ojw_badge("" + count);
+    }
+  };
+  req.send(null);
+}
+
+setInterval(ojw_poll, ODeskJobWatcher.pollMinutes * 60 * 1000);
+ojw_poll();
+
+// --- Feed bookkeeping (the paper's smallest benchmark stays small) -------------
+
+function ojw_trend(previous, current) {
+  if (current > previous) {
+    return "up";
+  }
+  if (current < previous) {
+    return "down";
+  }
+  return "flat";
+}
+
+function ojw_describe(count) {
+  if (count == 0) {
+    return "no openings";
+  }
+  if (count == 1) {
+    return "1 opening";
+  }
+  return count + " openings";
+}

@@ -1,0 +1,176 @@
+// PinPoints -- "Save clips (addresses) from web text"
+//
+// Synthetic reproduction of the paper's category C benchmark and its
+// `leak`: the summary documents saving clips to yourpinpoints.com, but
+// the addon *also* geocodes clipped addresses through maps.google.com to
+// enrich what it saves -- real, intended behavior that was only
+// documented in the fine print, which the inferred signature surfaces as
+// an extra network sink.
+
+var PinPoints = {
+  saveEndpoint: "http://www.yourpinpoints.com/api/clips/save?v=3",
+  geocodeEndpoint: "http://maps.google.com/maps/api/geocode/json?sensor=false&address=",
+  clips: [],
+  maxClips: 200,
+  autoGeocode: true,
+  strings: {
+    saved: "Clip saved",
+    geocoding: "Looking up address ...",
+    failed: "Could not save the clip"
+  }
+};
+
+function ppt_status(text) {
+  var bar = document.getElementById("ppt-status-bar");
+  if (bar) {
+    bar.value = text;
+  }
+}
+
+function ppt_rememberClip(clip) {
+  PinPoints.clips.push(clip);
+}
+
+function ppt_saveClip(text, latLng) {
+  var req = new XMLHttpRequest();
+  req.open("POST", PinPoints.saveEndpoint, true);
+  req.setRequestHeader("Content-Type", "application/x-www-form-urlencoded");
+  req.onload = function () {
+    if (req.status == 200) {
+      ppt_status(PinPoints.strings.saved);
+    } else {
+      ppt_status(PinPoints.strings.failed);
+    }
+  };
+  var body = "clip=" + encodeURIComponent(text);
+  if (latLng) {
+    body = body + "&at=" + encodeURIComponent(latLng);
+  }
+  req.send(body);
+}
+
+function ppt_parseLatLng(response) {
+  var at = response.indexOf("\"location\"");
+  if (at < 0) {
+    return null;
+  }
+  return response.substring(at);
+}
+
+function ppt_geocodeAndSave(text) {
+  // The undocumented-in-summary communication: clipped text is sent to
+  // the Google Maps geocoder to attach coordinates.
+  ppt_status(PinPoints.strings.geocoding);
+  var req = new XMLHttpRequest();
+  req.open("GET", PinPoints.geocodeEndpoint + encodeURIComponent(text), true);
+  req.onload = function () {
+    if (req.status == 200) {
+      ppt_saveClip(text, ppt_parseLatLng(req.responseText));
+    } else {
+      ppt_saveClip(text, null);
+    }
+  };
+  req.send(null);
+}
+
+function ppt_onClipCommand(event) {
+  var selection = window.getSelection();
+  var text = selection.text;
+  if (text) {
+    var clip = { text: text, when: "now" };
+    ppt_rememberClip(clip);
+    if (PinPoints.autoGeocode) {
+      ppt_geocodeAndSave(text);
+    } else {
+      ppt_saveClip(text, null);
+    }
+  }
+}
+
+function ppt_install() {
+  var item = document.getElementById("ppt-context-menu-item");
+  if (item) {
+    item.addEventListener("command", ppt_onClipCommand, false);
+  }
+  var on = Services.prefs.getBoolPref("extensions.pinpoints.geocode");
+  if (on === false) {
+    PinPoints.autoGeocode = false;
+  }
+}
+
+ppt_install();
+
+// --- Tag parsing -------------------------------------------------------------
+
+function ppt_parseTags(text) {
+  // Tags appear as "#word" tokens inside the clipped text.
+  var tags = [];
+  var words = text.split(" ");
+  var i = 0;
+  while (i < words.length) {
+    var word = words[i];
+    if (word.charAt(0) == "#" && word.length > 1) {
+      tags.push(word.substring(1));
+    }
+    i = i + 1;
+  }
+  return tags;
+}
+
+function ppt_hasTag(clip, tag) {
+  var tags = ppt_parseTags(clip.text);
+  var i = 0;
+  while (i < tags.length) {
+    if (tags[i] == tag) {
+      return true;
+    }
+    i = i + 1;
+  }
+  return false;
+}
+
+// --- Clip list rendering -----------------------------------------------------------
+
+function ppt_renderClipLine(clip, index) {
+  var prefix = "" + (index + 1) + ". ";
+  var body = clip.text;
+  if (body.length > 60) {
+    body = body.substring(0, 57) + "...";
+  }
+  return prefix + body;
+}
+
+function ppt_renderClipList() {
+  var panel = document.getElementById("ppt-clip-list");
+  if (!panel) {
+    return;
+  }
+  if (PinPoints.clips.length == 0) {
+    panel.value = "No clips saved yet";
+    return;
+  }
+  var lines = [];
+  var i = 0;
+  while (i < PinPoints.clips.length) {
+    lines.push(ppt_renderClipLine(PinPoints.clips[i], i));
+    i = i + 1;
+  }
+  panel.value = lines.join("\n");
+}
+
+// --- Plain-text export ---------------------------------------------------------------
+
+function ppt_exportText() {
+  var out = "PinPoints export\n================\n";
+  var i = 0;
+  while (i < PinPoints.clips.length) {
+    var clip = PinPoints.clips[i];
+    out = out + "\n- " + clip.text;
+    var tags = ppt_parseTags(clip.text);
+    if (tags.length > 0) {
+      out = out + " [" + tags.join(", ") + "]";
+    }
+    i = i + 1;
+  }
+  return out;
+}

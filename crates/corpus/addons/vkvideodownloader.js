@@ -1,0 +1,171 @@
+// VKVideoDownloader -- "Downloads videos from sites"
+//
+// Synthetic reproduction of the paper's category B benchmark: the addon
+// checks whether the current URL belongs to one of three video-player
+// sites and then talks to the *corresponding* player endpoint. The
+// decision reveals information about the current URL (implicit flow);
+// because the three endpoints share almost no common prefix, the prefix
+// string domain joins them to (effectively) unknown -- the paper's second
+// `fail`.
+
+var VKVideoDownloader = {
+  endpoints: {
+    vk: "http://vkontakte.ru/video_ext.php?act=info",
+    rutube: "http://rutube.ru/api/video/meta?format=json",
+    mailru: "https://video.mail.ru/cgi-bin/video_api"
+  },
+  buttonVisible: false,
+  retryCount: 0,
+  maxRetries: 3,
+  strings: {
+    idle: "No supported video on this page",
+    found: "Video found -- click to download",
+    busy: "Contacting video service ..."
+  }
+};
+
+function vkd_label(text) {
+  var label = document.getElementById("vkd-status-label");
+  if (label) {
+    label.value = text;
+  }
+}
+
+function vkd_showButton(show) {
+  VKVideoDownloader.buttonVisible = show;
+  if (show) {
+    vkd_label(VKVideoDownloader.strings.found);
+  } else {
+    vkd_label(VKVideoDownloader.strings.idle);
+  }
+}
+
+function vkd_queryService(endpoint) {
+  vkd_label(VKVideoDownloader.strings.busy);
+  var req = new XMLHttpRequest();
+  req.open("GET", endpoint, true);
+  req.onload = function () {
+    if (req.status == 200) {
+      vkd_showButton(true);
+    } else {
+      vkd_showButton(false);
+    }
+  };
+  req.send(null);
+}
+
+function vkd_pickEndpoint(host) {
+  // One implicit bit per comparison: which player site the user is on.
+  var endpoint = null;
+  if (host == "vkontakte.ru") {
+    endpoint = VKVideoDownloader.endpoints.vk;
+  } else if (host == "rutube.ru") {
+    endpoint = VKVideoDownloader.endpoints.rutube;
+  } else if (host == "video.mail.ru") {
+    endpoint = VKVideoDownloader.endpoints.mailru;
+  }
+  return endpoint;
+}
+
+function vkd_onPageLoad(event) {
+  var host = gBrowser.currentURI.host;
+  var endpoint = vkd_pickEndpoint(host);
+  if (endpoint) {
+    vkd_queryService(endpoint);
+  } else {
+    vkd_showButton(false);
+  }
+}
+
+function vkd_install() {
+  gBrowser.addEventListener("load", vkd_onPageLoad, true);
+  vkd_label(VKVideoDownloader.strings.idle);
+}
+
+vkd_install();
+
+// --- Site metadata ---------------------------------------------------------
+
+var vkdSites = [
+  {
+    host: "vkontakte.ru",
+    name: "VKontakte",
+    markers: ["video_ext", "al_video"],
+    needsReferer: true
+  },
+  {
+    host: "rutube.ru",
+    name: "RuTube",
+    markers: ["video/meta", "player.swf"],
+    needsReferer: false
+  },
+  {
+    host: "video.mail.ru",
+    name: "Mail.ru Video",
+    markers: ["video_api", "corp/mail"],
+    needsReferer: true
+  }
+];
+
+function vkd_siteName(host) {
+  var i = 0;
+  while (i < vkdSites.length) {
+    if (vkdSites[i].host == host) {
+      return vkdSites[i].name;
+    }
+    i = i + 1;
+  }
+  return "unsupported site";
+}
+
+// --- Retry with backoff --------------------------------------------------------
+
+var vkdRetry = {
+  attempts: 0,
+  baseDelayMs: 500,
+  maxAttempts: 3
+};
+
+function vkd_backoffDelay() {
+  var delay = vkdRetry.baseDelayMs;
+  var i = 0;
+  while (i < vkdRetry.attempts) {
+    delay = delay * 2;
+    i = i + 1;
+  }
+  return delay;
+}
+
+function vkd_scheduleRetry(endpoint) {
+  if (vkdRetry.attempts >= vkdRetry.maxAttempts) {
+    vkd_label("giving up after " + vkdRetry.attempts + " attempts");
+    return;
+  }
+  vkdRetry.attempts = vkdRetry.attempts + 1;
+  setTimeout(function () {
+    vkd_queryService(endpoint);
+  }, vkd_backoffDelay());
+}
+
+// --- Format picker ----------------------------------------------------------
+
+var vkdQualities = ["240p", "360p", "480p", "720p"];
+
+function vkd_qualityIndex(label) {
+  var i = 0;
+  while (i < vkdQualities.length) {
+    if (vkdQualities[i] == label) {
+      return i;
+    }
+    i = i + 1;
+  }
+  return -1;
+}
+
+function vkd_bestQualityUpTo(cap) {
+  var capIndex = vkd_qualityIndex(cap);
+  if (capIndex < 0) {
+    capIndex = vkdQualities.length - 1;
+  }
+  return vkdQualities[capIndex];
+}

@@ -1,0 +1,200 @@
+// YoutubeDownloader -- "Youtube video downloader"
+//
+// Synthetic reproduction of the paper's category B benchmark. The
+// developer summary implies only an *implicit* URL flow (the addon checks
+// whether the current page is youtube.com before showing its download
+// button). The implementation additionally extracts the video id straight
+// out of the current URL and sends it to youtube.com -- the real explicit
+// flow the paper reports as `leak`.
+
+var YoutubeDownloader = {
+  statsEndpoint: "http://www.youtube.com/api/stats/watchtime?ns=yt",
+  infoEndpoint: "http://www.youtube.com/get_video_info?video_id=",
+  qualities: ["hd720", "medium", "small"],
+  preferredQuality: "medium",
+  active: false,
+  strings: {
+    download: "Download this video",
+    notVideo: "Not a video page",
+    fetching: "Fetching video info ..."
+  }
+};
+
+function ytd_label(text) {
+  var label = document.getElementById("ytd-button-label");
+  if (label) {
+    label.value = text;
+  }
+}
+
+function ytd_isYoutube(url) {
+  // The implicit flow: whether any request happens at all reveals
+  // information about the current URL.
+  var where = url.indexOf("youtube.com/watch");
+  if (where < 0) {
+    return false;
+  }
+  return true;
+}
+
+function ytd_extractVideoId(url) {
+  // The explicit flow: a piece of the current URL is computed and later
+  // sent over the network.
+  var marker = url.indexOf("v=");
+  if (marker < 0) {
+    return null;
+  }
+  var tail = url.substring(marker + 2);
+  var amp = tail.indexOf("&");
+  if (amp >= 0) {
+    tail = tail.substring(0, amp);
+  }
+  return tail;
+}
+
+function ytd_reportWatch() {
+  // Anonymous usage ping -- category-appropriate: no URL data flows in,
+  // only the fact that a youtube page is open (implicit).
+  var ping = new XMLHttpRequest();
+  ping.open("GET", YoutubeDownloader.statsEndpoint, true);
+  ping.send(null);
+}
+
+function ytd_fetchVideoInfo(videoId) {
+  ytd_label(YoutubeDownloader.strings.fetching);
+  var req = new XMLHttpRequest();
+  req.open("GET", YoutubeDownloader.infoEndpoint + videoId, true);
+  req.onload = function () {
+    if (req.status == 200) {
+      ytd_label(YoutubeDownloader.strings.download);
+      YoutubeDownloader.active = true;
+    }
+  };
+  req.send(null);
+}
+
+function ytd_onPageLoad(event) {
+  var url = content.location.href;
+  if (ytd_isYoutube(url)) {
+    ytd_reportWatch();
+    var id = ytd_extractVideoId(url);
+    if (id) {
+      ytd_fetchVideoInfo(id);
+    }
+  } else {
+    ytd_label(YoutubeDownloader.strings.notVideo);
+    YoutubeDownloader.active = false;
+  }
+}
+
+function ytd_install() {
+  gBrowser.addEventListener("load", ytd_onPageLoad, true);
+  ytd_label(YoutubeDownloader.strings.notVideo);
+}
+
+ytd_install();
+
+// --- Quality / format catalogue -------------------------------------------
+
+var ytdFormats = [
+  { itag: 22, quality: "hd720", container: "mp4", audio: true },
+  { itag: 18, quality: "medium", container: "mp4", audio: true },
+  { itag: 43, quality: "medium", container: "webm", audio: true },
+  { itag: 5,  quality: "small", container: "flv", audio: true },
+  { itag: 17, quality: "tiny", container: "3gp", audio: true }
+];
+
+function ytd_formatForQuality(quality) {
+  var i = 0;
+  while (i < ytdFormats.length) {
+    if (ytdFormats[i].quality == quality) {
+      return ytdFormats[i];
+    }
+    i = i + 1;
+  }
+  return ytdFormats[1];
+}
+
+function ytd_describeFormat(fmt) {
+  return fmt.quality + " (" + fmt.container + ", itag " + fmt.itag + ")";
+}
+
+// --- Filename handling -------------------------------------------------------
+
+function ytd_sanitizeFilename(title) {
+  var cleaned = title.replace("/", "_");
+  cleaned = cleaned.replace("\\", "_");
+  cleaned = cleaned.replace(":", "-");
+  cleaned = cleaned.trim();
+  if (cleaned.length == 0) {
+    cleaned = "video";
+  }
+  return cleaned;
+}
+
+function ytd_defaultFilename(title, fmt) {
+  return ytd_sanitizeFilename(title) + "." + fmt.container;
+}
+
+// --- Download queue ------------------------------------------------------------
+
+var ytdQueue = {
+  items: [],
+  active: 0,
+  maxParallel: 2,
+  totalCompleted: 0
+};
+
+function ytd_queueAdd(name) {
+  var item = { name: name, state: "queued", progress: 0 };
+  ytdQueue.items.push(item);
+  ytd_queuePump();
+  return item;
+}
+
+function ytd_queuePump() {
+  if (ytdQueue.active >= ytdQueue.maxParallel) {
+    return;
+  }
+  var i = 0;
+  while (i < ytdQueue.items.length) {
+    var item = ytdQueue.items[i];
+    if (item.state == "queued" && ytdQueue.active < ytdQueue.maxParallel) {
+      item.state = "running";
+      ytdQueue.active = ytdQueue.active + 1;
+    }
+    i = i + 1;
+  }
+}
+
+function ytd_queueFinish(item) {
+  item.state = "done";
+  item.progress = 100;
+  ytdQueue.active = ytdQueue.active - 1;
+  ytdQueue.totalCompleted = ytdQueue.totalCompleted + 1;
+  ytd_queuePump();
+}
+
+function ytd_queueSummary() {
+  var queued = 0, running = 0, done = 0;
+  var i = 0;
+  while (i < ytdQueue.items.length) {
+    var st = ytdQueue.items[i].state;
+    if (st == "queued") { queued = queued + 1; }
+    else if (st == "running") { running = running + 1; }
+    else { done = done + 1; }
+    i = i + 1;
+  }
+  return queued + " queued, " + running + " running, " + done + " done";
+}
+
+// --- Options ----------------------------------------------------------------
+
+function ytd_readPrefs() {
+  var q = Services.prefs.getCharPref("extensions.ytd.quality");
+  if (q) {
+    YoutubeDownloader.preferredQuality = q;
+  }
+}
+
+ytd_readPrefs();

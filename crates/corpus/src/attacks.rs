@@ -1,0 +1,130 @@
+//! The attack gallery: proof-of-concept malicious addons modeled on the
+//! published exploits the paper's motivation cites ("proof-of-concept
+//! malicious addons have been developed that demonstrate how easily such
+//! privileges can be misused ... the Mozilla vetting team has seen a
+//! number of submitted addons that contain malicious code copied from
+//! these published exploits", Section 2).
+//!
+//! Each sample documents the signature evidence a vetter would see; the
+//! integration test `tests/attack_gallery.rs` asserts the analysis
+//! surfaces exactly that evidence.
+
+use jsanalysis::{SinkKind, SourceKind};
+
+/// What the inferred signature must expose for an attack to be caught.
+#[derive(Debug, Clone)]
+pub enum Evidence {
+    /// A flow from the source into a network send whose domain mentions
+    /// the given host, at a flow type at least as strong as `at_least`
+    /// (1 = strongest / explicit).
+    Flow {
+        /// The stolen source.
+        source: SourceKind,
+        /// Substring of the exfiltration domain.
+        domain: &'static str,
+        /// Weakest acceptable flow type number (1-8).
+        at_least: u8,
+    },
+    /// Use of a restricted dynamic-code API.
+    Api(&'static str),
+    /// A sink of the given kind reaching the given domain.
+    Sink {
+        /// The sink kind.
+        kind: SinkKind,
+        /// Substring of the domain.
+        domain: &'static str,
+    },
+}
+
+/// One malicious sample.
+pub struct Attack {
+    /// Short name.
+    pub name: &'static str,
+    /// What the attack does and how it hides.
+    pub description: &'static str,
+    /// Addon source.
+    pub source: &'static str,
+    /// Signature evidence the analysis must surface.
+    pub evidence: Vec<Evidence>,
+}
+
+/// The gallery.
+pub fn attacks() -> Vec<Attack> {
+    vec![
+        Attack {
+            name: "password-sniffer",
+            description: "FFsniFF-style: uploads saved logins on page load",
+            source: include_str!("../attacks/password_sniffer.js"),
+            evidence: vec![Evidence::Flow {
+                source: SourceKind::Password,
+                domain: "collect.attacker.example",
+                at_least: 2,
+            }],
+        },
+        Attack {
+            name: "keylogger",
+            description: "buffers keyCodes, flushes to a stats endpoint",
+            source: include_str!("../attacks/keylogger.js"),
+            evidence: vec![Evidence::Flow {
+                source: SourceKind::Key,
+                domain: "stats.attacker.example",
+                at_least: 2,
+            }],
+        },
+        Attack {
+            name: "history-scraper",
+            description: "uploads browsing history for ad profiling",
+            source: include_str!("../attacks/history_scraper.js"),
+            evidence: vec![Evidence::Flow {
+                source: SourceKind::History,
+                domain: "ads.attacker.example",
+                at_least: 2,
+            }],
+        },
+        Attack {
+            name: "covert-url-beacon",
+            description: "reveals visited sites by beacon choice (implicit only)",
+            source: include_str!("../attacks/covert_url_beacon.js"),
+            evidence: vec![Evidence::Flow {
+                source: SourceKind::Url,
+                domain: "attacker.example",
+                at_least: 3, // amplified implicit: never explicit
+            }],
+        },
+        Attack {
+            name: "dynamic-loader",
+            description: "remote script injection + eval fallback",
+            source: include_str!("../attacks/dynamic_loader.js"),
+            evidence: vec![
+                Evidence::Api("Services.scriptloader.loadSubScript"),
+                Evidence::Api("eval"),
+                Evidence::Api("setTimeout$string"),
+                Evidence::Sink {
+                    kind: SinkKind::ScriptLoader,
+                    domain: "cdn.attacker.example",
+                },
+            ],
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gallery_parses() {
+        for a in attacks() {
+            assert!(
+                jsparser::parse(a.source).is_ok(),
+                "{} fails to parse",
+                a.name
+            );
+        }
+    }
+
+    #[test]
+    fn five_attacks() {
+        assert_eq!(attacks().len(), 5);
+    }
+}

@@ -1,0 +1,192 @@
+//! Analysis and security configuration.
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// Kinds of interesting information sources, per Section 4 of the paper
+/// ("the set of interesting sources, sinks, and APIs is given to the
+/// analysis ... easily configurable if desired").
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize, serde::Deserialize)]
+pub enum SourceKind {
+    /// The current browser URL (`content.location.href` and friends).
+    Url,
+    /// User key presses (event `keyCode` / `charCode`).
+    Key,
+    /// Geolocation coordinates.
+    Geoloc,
+    /// Browser cookies.
+    Cookie,
+    /// Browsing history.
+    History,
+    /// The system clipboard.
+    Clipboard,
+    /// Stored passwords / login manager data.
+    Password,
+    /// Bookmarks.
+    Bookmark,
+    /// Form input / selected text.
+    Selection,
+    /// A custom, user-configured source.
+    Custom(String),
+}
+
+impl fmt::Display for SourceKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SourceKind::Url => write!(f, "url"),
+            SourceKind::Key => write!(f, "key"),
+            SourceKind::Geoloc => write!(f, "geoloc"),
+            SourceKind::Cookie => write!(f, "cookie"),
+            SourceKind::History => write!(f, "history"),
+            SourceKind::Clipboard => write!(f, "clipboard"),
+            SourceKind::Password => write!(f, "password"),
+            SourceKind::Bookmark => write!(f, "bookmark"),
+            SourceKind::Selection => write!(f, "selection"),
+            SourceKind::Custom(s) => write!(f, "{s}"),
+        }
+    }
+}
+
+/// Kinds of interesting sinks.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize, serde::Deserialize)]
+pub enum SinkKind {
+    /// A network send (`XMLHttpRequest`); carries the inferred network
+    /// domain as a prefix-domain element in the signature.
+    Send,
+    /// Dynamic script injection (`Services.scriptloader.loadSubScript`).
+    ScriptLoader,
+    /// `eval` and other dynamic-code APIs (restricted for addons).
+    Eval,
+    /// Writing browser preferences.
+    PrefWrite,
+    /// Writing to the filesystem.
+    FileWrite,
+    /// A custom sink.
+    Custom(String),
+}
+
+impl fmt::Display for SinkKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SinkKind::Send => write!(f, "send"),
+            SinkKind::ScriptLoader => write!(f, "scriptloader"),
+            SinkKind::Eval => write!(f, "eval"),
+            SinkKind::PrefWrite => write!(f, "prefwrite"),
+            SinkKind::FileWrite => write!(f, "filewrite"),
+            SinkKind::Custom(s) => write!(f, "{s}"),
+        }
+    }
+}
+
+/// Which abstract string domain the base analysis uses. The paper's
+/// contribution is [`StringDomain::Prefix`]; [`StringDomain::ConstantOnly`]
+/// reproduces the "string constant analysis" baseline Section 5 argues is
+/// insufficient, and exists for ablation experiments.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StringDomain {
+    /// The Section 5 prefix string domain (exact strings + prefixes).
+    Prefix,
+    /// Flat constants: any non-exact string degrades to unknown.
+    ConstantOnly,
+}
+
+/// Configuration of the base analysis.
+#[derive(Debug, Clone)]
+pub struct AnalysisConfig {
+    /// Call-string depth for context sensitivity (JSAI-style); default 1.
+    pub context_depth: usize,
+    /// The abstract string domain (ablation knob; default the paper's
+    /// prefix domain).
+    pub string_domain: StringDomain,
+    /// Safety valve: maximum worklist steps before the analysis gives up
+    /// and reports partial results (never hit on the benchmark corpus).
+    pub max_steps: usize,
+    /// The security configuration (sources / APIs considered interesting).
+    pub security: SecurityConfig,
+}
+
+impl Default for AnalysisConfig {
+    fn default() -> Self {
+        AnalysisConfig {
+            context_depth: 1,
+            string_domain: StringDomain::Prefix,
+            max_steps: 2_000_000,
+            security: SecurityConfig::default(),
+        }
+    }
+}
+
+/// Which sources and APIs the vetter cares about. Mirrors "the sources,
+/// sinks, and APIs considered interesting by the Mozilla vetting team".
+#[derive(Debug, Clone)]
+pub struct SecurityConfig {
+    /// Source kinds to report flows from.
+    pub sources: BTreeSet<SourceKind>,
+    /// Names of natives whose *usage* is interesting (script injection,
+    /// deprecated APIs); reported as API-usage signature entries.
+    pub interesting_apis: BTreeSet<String>,
+}
+
+impl Default for SecurityConfig {
+    fn default() -> Self {
+        let sources = [
+            SourceKind::Url,
+            SourceKind::Key,
+            SourceKind::Geoloc,
+            SourceKind::Cookie,
+            SourceKind::History,
+            SourceKind::Clipboard,
+            SourceKind::Password,
+            SourceKind::Bookmark,
+        ]
+        .into_iter()
+        .collect();
+        let interesting_apis = [
+            "eval",
+            "Function",
+            "Services.scriptloader.loadSubScript",
+            "setTimeout$string", // string-argument setTimeout = dynamic code
+            "window.openDialog", // deprecated
+            "escape",            // deprecated
+            "unescape",          // deprecated
+        ]
+        .into_iter()
+        .map(str::to_owned)
+        .collect();
+        SecurityConfig {
+            sources,
+            interesting_apis,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_config_is_paper_like() {
+        let c = AnalysisConfig::default();
+        assert_eq!(c.context_depth, 1);
+        assert!(c.security.sources.contains(&SourceKind::Url));
+        assert!(c.security.sources.contains(&SourceKind::Key));
+        assert!(
+            !c.security.sources.contains(&SourceKind::Selection),
+            "selected text is not in the paper's interesting set"
+        );
+        assert!(c
+            .security
+            .interesting_apis
+            .contains("Services.scriptloader.loadSubScript"));
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(SourceKind::Url.to_string(), "url");
+        assert_eq!(SinkKind::Send.to_string(), "send");
+        assert_eq!(
+            SourceKind::Custom("battery".into()).to_string(),
+            "battery"
+        );
+    }
+}

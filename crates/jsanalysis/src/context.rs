@@ -1,0 +1,86 @@
+//! Call-string contexts for context sensitivity.
+
+use jsir::StmtId;
+use std::fmt;
+
+/// A k-limited call-string context: the most recent `k` call sites on the
+/// abstract call stack. `k` is configurable
+/// ([`AnalysisConfig::context_depth`](crate::AnalysisConfig)); the paper's
+/// base analysis (JSAI) is context-sensitive in the same style.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct Context(Vec<StmtId>);
+
+impl Context {
+    /// The empty (top-level) context.
+    pub fn root() -> Context {
+        Context(Vec::new())
+    }
+
+    /// Pushes a call site, truncating to the most recent `k` sites.
+    pub fn push(&self, site: StmtId, k: usize) -> Context {
+        if k == 0 {
+            return Context::root();
+        }
+        let mut v = self.0.clone();
+        v.push(site);
+        let start = v.len().saturating_sub(k);
+        Context(v.split_off(start))
+    }
+
+    /// The call sites, most recent last.
+    pub fn sites(&self) -> &[StmtId] {
+        &self.0
+    }
+
+    /// Depth of the retained call string.
+    pub fn depth(&self) -> usize {
+        self.0.len()
+    }
+}
+
+impl fmt::Display for Context {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[")?;
+        for (i, s) in self.0.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{s}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_truncates_to_k() {
+        let c = Context::root();
+        let c1 = c.push(StmtId(1), 2);
+        let c2 = c1.push(StmtId(2), 2);
+        let c3 = c2.push(StmtId(3), 2);
+        assert_eq!(c3.sites(), &[StmtId(2), StmtId(3)]);
+        assert_eq!(c3.depth(), 2);
+    }
+
+    #[test]
+    fn k_zero_is_context_insensitive() {
+        let c = Context::root().push(StmtId(7), 0);
+        assert_eq!(c, Context::root());
+    }
+
+    #[test]
+    fn distinct_call_sites_distinct_contexts() {
+        let a = Context::root().push(StmtId(1), 1);
+        let b = Context::root().push(StmtId(2), 1);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn display() {
+        let c = Context::root().push(StmtId(1), 3).push(StmtId(2), 3);
+        assert_eq!(c.to_string(), "[s1,s2]");
+    }
+}

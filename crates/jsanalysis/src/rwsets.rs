@@ -1,0 +1,240 @@
+//! Read/write sets, the interface between the base analysis and PDG
+//! construction (Section 3 of the paper).
+//!
+//! Variables and object properties are represented uniformly as abstract
+//! *locations* `(allocation site, abstract property name)` -- activation
+//! frames make variables properties of frame objects, and globals are
+//! properties of the global object. Property names are elements of the
+//! prefix string domain, "abstract strings representing potentially
+//! multiple possible concrete property names" exactly as in the paper.
+//!
+//! Each element carries a strength qualifier: **strong** means the
+//! abstract location is guaranteed to be a single concrete memory location
+//! with an exactly-known name (the paper's "definite read/write"), which
+//! requires the site to be a singleton and the name exact.
+
+use jsdomains::{AllocSite, MeetLattice, Pre};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// An abstract memory location.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Loc {
+    /// The object (or frame, or global object) holding the slot.
+    pub site: AllocSite,
+    /// The abstract property name.
+    pub prop: Pre,
+}
+
+impl Loc {
+    /// A location with an exactly-known name.
+    pub fn exact(site: AllocSite, prop: impl Into<String>) -> Loc {
+        Loc {
+            site,
+            prop: Pre::Exact(prop.into()),
+        }
+    }
+
+    /// The paper's overlap test between two locations, using the
+    /// `e`-intersection on abstract property names: locations overlap if
+    /// they are on the same site and the meet of their names is non-bottom.
+    pub fn overlaps(&self, other: &Loc) -> bool {
+        self.site == other.site && !matches!(self.prop.meet(&other.prop), Pre::Bot)
+    }
+}
+
+impl fmt::Display for Loc {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({}, {})", self.site, self.prop)
+    }
+}
+
+/// Strength qualifier for a read/write-set element.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Strength {
+    /// Possible read/write of the location.
+    Weak,
+    /// Definite read/write of a single concrete location.
+    Strong,
+}
+
+impl Strength {
+    /// Weakest of two strengths.
+    pub fn min(self, other: Strength) -> Strength {
+        if self == Strength::Strong && other == Strength::Strong {
+            Strength::Strong
+        } else {
+            Strength::Weak
+        }
+    }
+}
+
+/// A qualified set of locations: the ReadVar/ReadProp/WriteVar/WriteProp
+/// sets of the paper, merged into one uniform representation.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct AccessSet {
+    entries: BTreeMap<Loc, Strength>,
+}
+
+impl AccessSet {
+    /// The empty set.
+    pub fn new() -> AccessSet {
+        AccessSet::default()
+    }
+
+    /// Adds an access, keeping the weaker qualifier on duplicates.
+    pub fn add(&mut self, loc: Loc, strength: Strength) {
+        self.entries
+            .entry(loc)
+            .and_modify(|s| *s = (*s).min(strength))
+            .or_insert(strength);
+    }
+
+    /// Merges another set in (used to join across contexts). If the merged
+    /// set ends up with more than one entry no entry can be strong any
+    /// more: the statement no longer writes/reads a unique location.
+    pub fn merge(&mut self, other: &AccessSet) {
+        for (loc, s) in &other.entries {
+            self.add(loc.clone(), *s);
+        }
+    }
+
+    /// Demotes every entry to weak if the set is not a singleton. Called
+    /// once after all contexts are merged: the paper's strong qualifier
+    /// requires the statement to touch exactly one concrete location.
+    pub fn finalize(&mut self) {
+        if self.entries.len() > 1 {
+            for s in self.entries.values_mut() {
+                *s = Strength::Weak;
+            }
+        }
+    }
+
+    /// Iterates entries.
+    pub fn iter(&self) -> impl Iterator<Item = (&Loc, Strength)> {
+        self.entries.iter().map(|(l, s)| (l, *s))
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True if empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The strength of exactly this location, if present.
+    pub fn strength_of(&self, loc: &Loc) -> Option<Strength> {
+        self.entries.get(loc).copied()
+    }
+
+    /// True if some entry overlaps `loc` (e-intersection non-empty).
+    pub fn any_overlap(&self, loc: &Loc) -> bool {
+        self.entries.keys().any(|l| l.overlaps(loc))
+    }
+
+    /// All entries overlapping `loc`.
+    pub fn overlapping<'a>(
+        &'a self,
+        loc: &'a Loc,
+    ) -> impl Iterator<Item = (&'a Loc, Strength)> + 'a {
+        self.entries
+            .iter()
+            .filter(move |(l, _)| l.overlaps(loc))
+            .map(|(l, s)| (l, *s))
+    }
+}
+
+/// Read and write sets for one statement (merged over contexts).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct RwSets {
+    /// Locations the statement may/must read.
+    pub reads: AccessSet,
+    /// Locations the statement may/must write.
+    pub writes: AccessSet,
+}
+
+impl RwSets {
+    /// Empty sets.
+    pub fn new() -> RwSets {
+        RwSets::default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn site(n: u32) -> AllocSite {
+        AllocSite(n)
+    }
+
+    #[test]
+    fn overlap_uses_prefix_meet() {
+        let a = Loc::exact(site(0), "url");
+        let b = Loc {
+            site: site(0),
+            prop: Pre::prefix("u"),
+        };
+        let c = Loc::exact(site(0), "key");
+        let d = Loc::exact(site(1), "url");
+        assert!(a.overlaps(&b));
+        assert!(!a.overlaps(&c));
+        assert!(!a.overlaps(&d));
+        let any = Loc {
+            site: site(0),
+            prop: Pre::any(),
+        };
+        assert!(any.overlaps(&a) && any.overlaps(&c));
+    }
+
+    #[test]
+    fn add_keeps_weaker() {
+        let mut s = AccessSet::new();
+        let l = Loc::exact(site(0), "x");
+        s.add(l.clone(), Strength::Strong);
+        assert_eq!(s.strength_of(&l), Some(Strength::Strong));
+        s.add(l.clone(), Strength::Weak);
+        assert_eq!(s.strength_of(&l), Some(Strength::Weak));
+    }
+
+    #[test]
+    fn finalize_demotes_non_singletons() {
+        let mut s = AccessSet::new();
+        s.add(Loc::exact(site(0), "x"), Strength::Strong);
+        s.finalize();
+        assert_eq!(
+            s.strength_of(&Loc::exact(site(0), "x")),
+            Some(Strength::Strong)
+        );
+        s.add(Loc::exact(site(0), "y"), Strength::Strong);
+        s.finalize();
+        assert!(s.iter().all(|(_, st)| st == Strength::Weak));
+    }
+
+    #[test]
+    fn merge_unions() {
+        let mut a = AccessSet::new();
+        a.add(Loc::exact(site(0), "x"), Strength::Strong);
+        let mut b = AccessSet::new();
+        b.add(Loc::exact(site(1), "y"), Strength::Weak);
+        a.merge(&b);
+        assert_eq!(a.len(), 2);
+    }
+
+    #[test]
+    fn overlapping_iterator() {
+        let mut s = AccessSet::new();
+        s.add(Loc::exact(site(0), "aa"), Strength::Strong);
+        s.add(Loc::exact(site(0), "ab"), Strength::Weak);
+        s.add(Loc::exact(site(2), "aa"), Strength::Weak);
+        let probe = Loc {
+            site: site(0),
+            prop: Pre::prefix("a"),
+        };
+        assert_eq!(s.overlapping(&probe).count(), 2);
+        assert!(s.any_overlap(&probe));
+    }
+}

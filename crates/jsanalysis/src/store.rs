@@ -1,0 +1,211 @@
+//! Allocation-site interning and the abstract machine state.
+//!
+//! Everything addressable lives in the abstract heap: ordinary objects,
+//! activation frames (making closures sound by construction), the global
+//! object, and host objects for the browser environment. Each gets an
+//! [`AllocSite`] interned from a structural key, so re-analysis of the
+//! same statement in the same context reuses the same abstract address.
+
+use crate::context::Context;
+use jsdomains::{AObject, AValue, AllocSite, Heap, ObjKind};
+use jsir::{IrFuncId, StmtId};
+use std::collections::HashMap;
+
+/// Structural identity of an allocation site.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum SiteKey {
+    /// The global object.
+    Global,
+    /// An activation frame of `func` in a context.
+    Frame(IrFuncId, Context),
+    /// An object allocated by a statement in a context.
+    Stmt(StmtId, Context),
+    /// A host (browser-environment) object, by name.
+    Host(&'static str),
+    /// An object allocated internally by a native function at a call site.
+    NativeAlloc(StmtId, Context, &'static str),
+    /// The aged (summary) twin of a rotating allocation site: holds the
+    /// older instances under recency abstraction. The payload is the
+    /// most-recent site's index.
+    Aged(u32),
+}
+
+/// Interner mapping [`SiteKey`]s to dense [`AllocSite`]s.
+#[derive(Debug, Default)]
+pub struct SiteTable {
+    map: HashMap<SiteKey, AllocSite>,
+    origins: Vec<SiteKey>,
+}
+
+impl SiteTable {
+    /// An empty table.
+    pub fn new() -> SiteTable {
+        SiteTable::default()
+    }
+
+    /// Interns a key.
+    pub fn intern(&mut self, key: SiteKey) -> AllocSite {
+        if let Some(&s) = self.map.get(&key) {
+            return s;
+        }
+        let site = AllocSite(self.origins.len() as u32);
+        self.origins.push(key.clone());
+        self.map.insert(key, site);
+        site
+    }
+
+    /// The key a site was interned from.
+    pub fn origin(&self, site: AllocSite) -> &SiteKey {
+        &self.origins[site.0 as usize]
+    }
+
+    /// Looks up an existing site without interning.
+    pub fn get(&self, key: &SiteKey) -> Option<AllocSite> {
+        self.map.get(key).copied()
+    }
+
+    /// True if the site is an activation frame of `func` (any context),
+    /// following recency aging.
+    pub fn is_frame_of(&self, site: AllocSite, func: IrFuncId) -> bool {
+        let mut key = self.origin(site);
+        loop {
+            match key {
+                SiteKey::Frame(f, _) => return *f == func,
+                SiteKey::Aged(inner) => key = self.origin(AllocSite(*inner)),
+                _ => return false,
+            }
+        }
+    }
+
+    /// Number of interned sites.
+    pub fn len(&self) -> usize {
+        self.origins.len()
+    }
+
+    /// True if nothing has been interned.
+    pub fn is_empty(&self) -> bool {
+        self.origins.is_empty()
+    }
+}
+
+/// Internal slot names used by the analysis.
+pub mod slots {
+    /// Ancestor frames visible to an activation (its static scope chain).
+    pub const CHAIN: &str = "@chain";
+    /// Scope chain captured by a closure at its `Lambda` site.
+    pub const SCOPE: &str = "@scope";
+    /// The `this` binding of an activation.
+    pub const THIS: &str = "@this";
+    /// Accumulated return value of an activation.
+    pub const RET: &str = "@ret";
+    /// The in-flight exception value of an activation.
+    pub const EXC: &str = "@exc";
+    /// The URL a network-request object will communicate with.
+    pub const URL: &str = "@url";
+    /// Registered event handlers (on the event-registry host object).
+    pub const HANDLERS: &str = "@handlers";
+    /// Registered timer callbacks.
+    pub const TIMERS: &str = "@timers";
+}
+
+/// The abstract machine state at a program point: just the heap (frames,
+/// globals and objects all live there).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct State {
+    /// The abstract heap.
+    pub heap: Heap,
+}
+
+impl State {
+    /// An empty state.
+    pub fn new() -> State {
+        State::default()
+    }
+
+    /// Joins another state in, returning true on change.
+    pub fn join_in_place(&mut self, other: &State) -> bool {
+        self.heap.join_in_place(&other.heap)
+    }
+
+    /// Allocates (or re-visits) an object at `site`.
+    pub fn alloc(&mut self, site: AllocSite, kind: ObjKind) -> AllocSite {
+        self.heap.alloc(site, kind)
+    }
+
+    /// Reads an internal slot from every object in `sites`, joined.
+    pub fn read_slot(&self, sites: impl IntoIterator<Item = AllocSite>, slot: &'static str) -> AValue {
+        use jsdomains::Lattice;
+        let mut out = AValue::bottom();
+        for s in sites {
+            if let Some(o) = self.heap.get(s) {
+                out = out.join(&o.internal_slot(slot));
+            }
+        }
+        out
+    }
+
+    /// Writes an internal slot on one object.
+    pub fn write_slot(&mut self, site: AllocSite, slot: &'static str, value: AValue) {
+        if let Some(o) = self.heap.get_mut(site) {
+            o.set_internal_slot(slot, value);
+        }
+    }
+
+    /// The object at `site`, if allocated.
+    pub fn object(&self, site: AllocSite) -> Option<&AObject> {
+        self.heap.get(site)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_is_stable() {
+        let mut t = SiteTable::new();
+        let a = t.intern(SiteKey::Global);
+        let b = t.intern(SiteKey::Host("xhr"));
+        let a2 = t.intern(SiteKey::Global);
+        assert_eq!(a, a2);
+        assert_ne!(a, b);
+        assert_eq!(t.origin(b), &SiteKey::Host("xhr"));
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn frame_sites_distinguish_contexts() {
+        let mut t = SiteTable::new();
+        let f = IrFuncId(1);
+        let c1 = Context::root().push(StmtId(5), 1);
+        let c2 = Context::root().push(StmtId(9), 1);
+        let s1 = t.intern(SiteKey::Frame(f, c1));
+        let s2 = t.intern(SiteKey::Frame(f, c2));
+        assert_ne!(s1, s2);
+        assert!(t.is_frame_of(s1, f));
+        assert!(!t.is_frame_of(s1, IrFuncId(2)));
+    }
+
+    #[test]
+    fn state_slots() {
+        let mut t = SiteTable::new();
+        let s = t.intern(SiteKey::Host("frame"));
+        let mut st = State::new();
+        st.alloc(s, ObjKind::Host("frame"));
+        st.write_slot(s, slots::RET, AValue::num(1.0));
+        assert_eq!(st.read_slot([s], slots::RET), AValue::num(1.0));
+        assert_eq!(st.read_slot([s], slots::EXC), jsdomains::Lattice::bottom());
+    }
+
+    #[test]
+    fn state_join() {
+        let mut t = SiteTable::new();
+        let s = t.intern(SiteKey::Host("o"));
+        let mut a = State::new();
+        a.alloc(s, ObjKind::Plain);
+        let mut b = a.clone();
+        b.write_slot(s, slots::RET, AValue::num(2.0));
+        assert!(a.join_in_place(&b));
+        assert!(!a.join_in_place(&b));
+    }
+}

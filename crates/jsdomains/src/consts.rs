@@ -1,0 +1,306 @@
+//! Constant-propagation domains for numbers and booleans.
+//!
+//! The base analysis only needs constant precision for numbers and
+//! booleans (strings get the richer prefix domain); these are classic
+//! three-level flat lattices.
+
+use crate::lattice::{Lattice, MeetLattice};
+use std::fmt;
+
+/// Flat constant lattice over `f64`.
+///
+/// NaN handling: JavaScript `NaN` is a perfectly good constant, but
+/// `f64::partial_cmp` makes it awkward; we compare constants bitwise so
+/// that `Const(NaN) == Const(NaN)` holds and the lattice laws survive.
+#[derive(Debug, Clone, Copy)]
+pub enum NumDom {
+    /// Uninitialized.
+    Bot,
+    /// Exactly this number.
+    Const(f64),
+    /// Any number.
+    Top,
+}
+
+impl NumDom {
+    /// The constant value, if known.
+    pub fn as_const(&self) -> Option<f64> {
+        match self {
+            NumDom::Const(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// Applies a binary arithmetic operation, constant-folding when both
+    /// sides are constants.
+    pub fn binop(&self, other: &NumDom, f: impl Fn(f64, f64) -> f64) -> NumDom {
+        match (self, other) {
+            (NumDom::Bot, _) | (_, NumDom::Bot) => NumDom::Bot,
+            (NumDom::Const(a), NumDom::Const(b)) => NumDom::Const(f(*a, *b)),
+            _ => NumDom::Top,
+        }
+    }
+
+    /// Applies a unary arithmetic operation.
+    pub fn unop(&self, f: impl Fn(f64) -> f64) -> NumDom {
+        match self {
+            NumDom::Bot => NumDom::Bot,
+            NumDom::Const(a) => NumDom::Const(f(*a)),
+            NumDom::Top => NumDom::Top,
+        }
+    }
+}
+
+impl PartialEq for NumDom {
+    fn eq(&self, other: &Self) -> bool {
+        match (self, other) {
+            (NumDom::Bot, NumDom::Bot) | (NumDom::Top, NumDom::Top) => true,
+            (NumDom::Const(a), NumDom::Const(b)) => a.to_bits() == b.to_bits(),
+            _ => false,
+        }
+    }
+}
+
+impl Eq for NumDom {}
+
+impl Lattice for NumDom {
+    fn bottom() -> Self {
+        NumDom::Bot
+    }
+
+    fn join(&self, other: &Self) -> Self {
+        match (self, other) {
+            (NumDom::Bot, x) | (x, NumDom::Bot) => *x,
+            (a, b) if a == b => *a,
+            _ => NumDom::Top,
+        }
+    }
+
+    fn leq(&self, other: &Self) -> bool {
+        match (self, other) {
+            (NumDom::Bot, _) => true,
+            (_, NumDom::Top) => true,
+            (a, b) => a == b,
+        }
+    }
+}
+
+impl MeetLattice for NumDom {
+    fn top() -> Self {
+        NumDom::Top
+    }
+
+    fn meet(&self, other: &Self) -> Self {
+        match (self, other) {
+            (NumDom::Top, x) | (x, NumDom::Top) => *x,
+            (a, b) if a == b => *a,
+            _ => NumDom::Bot,
+        }
+    }
+}
+
+impl fmt::Display for NumDom {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NumDom::Bot => write!(f, "⊥"),
+            NumDom::Const(n) => write!(f, "{n}"),
+            NumDom::Top => write!(f, "num"),
+        }
+    }
+}
+
+/// Four-point boolean lattice.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BoolDom {
+    /// Uninitialized.
+    Bot,
+    /// Exactly `true`.
+    True,
+    /// Exactly `false`.
+    False,
+    /// Either.
+    Top,
+}
+
+impl BoolDom {
+    /// Builds from a concrete boolean.
+    pub fn of(b: bool) -> BoolDom {
+        if b {
+            BoolDom::True
+        } else {
+            BoolDom::False
+        }
+    }
+
+    /// Builds from an optional statically-decided comparison.
+    pub fn of_option(b: Option<bool>) -> BoolDom {
+        match b {
+            Some(true) => BoolDom::True,
+            Some(false) => BoolDom::False,
+            None => BoolDom::Top,
+        }
+    }
+
+    /// The concrete value, if known.
+    pub fn as_const(&self) -> Option<bool> {
+        match self {
+            BoolDom::True => Some(true),
+            BoolDom::False => Some(false),
+            _ => None,
+        }
+    }
+
+    /// True if `true` is a possible value.
+    pub fn may_be_true(&self) -> bool {
+        matches!(self, BoolDom::True | BoolDom::Top)
+    }
+
+    /// True if `false` is a possible value.
+    pub fn may_be_false(&self) -> bool {
+        matches!(self, BoolDom::False | BoolDom::Top)
+    }
+
+    /// Abstract negation.
+    pub fn not(&self) -> BoolDom {
+        match self {
+            BoolDom::Bot => BoolDom::Bot,
+            BoolDom::True => BoolDom::False,
+            BoolDom::False => BoolDom::True,
+            BoolDom::Top => BoolDom::Top,
+        }
+    }
+}
+
+impl Lattice for BoolDom {
+    fn bottom() -> Self {
+        BoolDom::Bot
+    }
+
+    fn join(&self, other: &Self) -> Self {
+        match (self, other) {
+            (BoolDom::Bot, x) | (x, BoolDom::Bot) => *x,
+            (a, b) if a == b => *a,
+            _ => BoolDom::Top,
+        }
+    }
+
+    fn leq(&self, other: &Self) -> bool {
+        match (self, other) {
+            (BoolDom::Bot, _) => true,
+            (_, BoolDom::Top) => true,
+            (a, b) => a == b,
+        }
+    }
+}
+
+impl MeetLattice for BoolDom {
+    fn top() -> Self {
+        BoolDom::Top
+    }
+
+    fn meet(&self, other: &Self) -> Self {
+        match (self, other) {
+            (BoolDom::Top, x) | (x, BoolDom::Top) => *x,
+            (a, b) if a == b => *a,
+            _ => BoolDom::Bot,
+        }
+    }
+}
+
+impl fmt::Display for BoolDom {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BoolDom::Bot => write!(f, "⊥"),
+            BoolDom::True => write!(f, "true"),
+            BoolDom::False => write!(f, "false"),
+            BoolDom::Top => write!(f, "bool"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn num_join() {
+        let a = NumDom::Const(1.0);
+        let b = NumDom::Const(2.0);
+        assert_eq!(a.join(&a), a);
+        assert_eq!(a.join(&b), NumDom::Top);
+        assert_eq!(NumDom::Bot.join(&a), a);
+    }
+
+    #[test]
+    fn num_nan_is_a_constant() {
+        let nan = NumDom::Const(f64::NAN);
+        assert_eq!(nan, nan);
+        assert_eq!(nan.join(&nan), nan);
+        assert!(nan.leq(&nan));
+    }
+
+    #[test]
+    fn num_fold() {
+        let a = NumDom::Const(2.0);
+        let b = NumDom::Const(3.0);
+        assert_eq!(a.binop(&b, |x, y| x + y).as_const(), Some(5.0));
+        assert_eq!(a.binop(&NumDom::Top, |x, y| x + y).as_const(), None);
+        assert_eq!(a.unop(|x| -x).as_const(), Some(-2.0));
+    }
+
+    #[test]
+    fn bool_ops() {
+        assert_eq!(BoolDom::of(true), BoolDom::True);
+        assert_eq!(BoolDom::True.not(), BoolDom::False);
+        assert_eq!(BoolDom::Top.not(), BoolDom::Top);
+        assert!(BoolDom::Top.may_be_true() && BoolDom::Top.may_be_false());
+        assert!(!BoolDom::True.may_be_false());
+        assert_eq!(BoolDom::of_option(None), BoolDom::Top);
+        assert_eq!(BoolDom::of_option(Some(false)), BoolDom::False);
+    }
+
+    #[test]
+    fn bool_join_meet() {
+        assert_eq!(BoolDom::True.join(&BoolDom::False), BoolDom::Top);
+        assert_eq!(BoolDom::True.meet(&BoolDom::Top), BoolDom::True);
+        assert_eq!(BoolDom::True.meet(&BoolDom::False), BoolDom::Bot);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use crate::lattice::laws;
+    use proptest::prelude::*;
+
+    fn arb_num() -> impl Strategy<Value = NumDom> {
+        prop_oneof![
+            Just(NumDom::Bot),
+            Just(NumDom::Top),
+            (-3i8..3).prop_map(|n| NumDom::Const(n as f64)),
+        ]
+    }
+
+    fn arb_bool() -> impl Strategy<Value = BoolDom> {
+        prop_oneof![
+            Just(BoolDom::Bot),
+            Just(BoolDom::True),
+            Just(BoolDom::False),
+            Just(BoolDom::Top),
+        ]
+    }
+
+    proptest! {
+        #[test]
+        fn num_lattice_laws(a in arb_num(), b in arb_num(), c in arb_num()) {
+            laws::check_join_laws(&a, &b, &c);
+            laws::check_meet_laws(&a, &b);
+        }
+
+        #[test]
+        fn bool_lattice_laws(a in arb_bool(), b in arb_bool(), c in arb_bool()) {
+            laws::check_join_laws(&a, &b, &c);
+            laws::check_meet_laws(&a, &b);
+        }
+    }
+}

@@ -1,0 +1,519 @@
+//! Abstract objects and the abstract heap.
+//!
+//! Objects are summarized per allocation site. Property maps keep exact
+//! property names separate from an "unknown-key" summary field, which is
+//! what lets the analysis produce *strong* (exact) property read/write
+//! sets when the property-name string is exact and the site is a
+//! singleton -- the precondition for the paper's `datastrong` edges.
+
+use crate::lattice::Lattice;
+use crate::prefix::Pre;
+use crate::value::{AValue, AllocSite};
+use std::fmt;
+
+/// Index of an analyzed (addon) function, assigned by the analysis layer.
+/// This is deliberately opaque to the domains crate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct FuncIndex(pub u32);
+
+impl fmt::Display for FuncIndex {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "fn#{}", self.0)
+    }
+}
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// Identifies a native (browser-provided) function in the analysis's
+/// native table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NativeId(pub u32);
+
+/// What kind of object an allocation site produces.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ObjKind {
+    /// A plain object literal / `new Object()`.
+    Plain,
+    /// An array literal.
+    Array,
+    /// A closure over the addon function with the given id.
+    Function(FuncIndex),
+    /// A browser-native function (e.g. `XMLHttpRequest`, `addEventListener`).
+    Native(NativeId),
+    /// An `arguments`-like or host container object.
+    Host(&'static str),
+    /// A regex literal.
+    Regex,
+}
+
+impl ObjKind {
+    /// True if calling this object can run code.
+    pub fn is_callable(&self) -> bool {
+        matches!(self, ObjKind::Function(_) | ObjKind::Native(_))
+    }
+}
+
+/// An abstract object: property map plus internal slots.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AObject {
+    /// What the object is.
+    pub kind: ObjKind,
+    /// Properties under exactly-known names.
+    pub props: BTreeMap<String, AValue>,
+    /// Join of all values written under non-exact names; `AValue::bottom()`
+    /// if no such write happened.
+    pub unknown_props: AValue,
+    /// Internal slots used by the analysis (scope chains, XHR URLs, ...).
+    /// Names are crate-conventions like `"@scope"`.
+    pub internal: BTreeMap<&'static str, AValue>,
+    /// True while the allocation site is known to have produced at most
+    /// one concrete object; required for strong property writes.
+    pub singleton: bool,
+}
+
+impl AObject {
+    /// A fresh object of the given kind. Fresh objects are singletons
+    /// until the analysis observes re-execution of their allocation site.
+    pub fn new(kind: ObjKind) -> AObject {
+        AObject {
+            kind,
+            props: BTreeMap::new(),
+            unknown_props: AValue::bottom(),
+            internal: BTreeMap::new(),
+            singleton: true,
+        }
+    }
+
+    /// Reads a property under an abstract name. Returns the value joined
+    /// over every property the name may denote; includes `undefined` when
+    /// the property may be absent.
+    pub fn read_prop(&self, name: &Pre) -> AValue {
+        match name {
+            Pre::Bot => AValue::bottom(),
+            Pre::Exact(k) => {
+                let mut v = self
+                    .props
+                    .get(k)
+                    .cloned()
+                    .unwrap_or_else(AValue::undef);
+                if self.props.contains_key(k) && !self.singleton {
+                    // A non-singleton site may also hold values from other
+                    // instances; reads stay may-reads.
+                    v = v.join(&AValue::undef());
+                }
+                v.join(&self.unknown_props)
+            }
+            Pre::Prefix(p) => {
+                let mut v = AValue::undef();
+                for (k, pv) in &self.props {
+                    if k.starts_with(p.as_str()) {
+                        v = v.join(pv);
+                    }
+                }
+                v.join(&self.unknown_props)
+            }
+        }
+    }
+
+    /// Writes a property under an abstract name. `strong` requests a
+    /// strong update (caller must have verified the site is a singleton
+    /// and the name exact); weak writes join.
+    pub fn write_prop(&mut self, name: &Pre, value: &AValue, strong: bool) {
+        match name {
+            Pre::Bot => {}
+            Pre::Exact(k) => {
+                if strong && self.singleton {
+                    self.props.insert(k.clone(), value.clone());
+                } else {
+                    let slot = self.props.entry(k.clone()).or_insert_with(AValue::undef);
+                    *slot = slot.join(value);
+                }
+            }
+            Pre::Prefix(_) => {
+                // Unknown name: weakly update the summary field and weaken
+                // every matching exact property.
+                self.unknown_props = self.unknown_props.join(value);
+            }
+        }
+    }
+
+    /// Deletes a property (abstractly: the property may now be absent).
+    pub fn delete_prop(&mut self, name: &Pre) {
+        if let Pre::Exact(k) = name {
+            if self.singleton {
+                self.props.remove(k);
+                return;
+            }
+        }
+        // Non-exact or non-singleton delete: values may or may not
+        // survive; join undefined into possibly-matching slots.
+        for (k, v) in self.props.iter_mut() {
+            if name.may_be(k) {
+                *v = v.join(&AValue::undef());
+            }
+        }
+    }
+
+    /// Marks the object as a summary of multiple concrete objects
+    /// (allocation site re-executed). Strong updates stop applying.
+    pub fn demote_to_summary(&mut self) {
+        self.singleton = false;
+    }
+
+    /// Reads an internal slot.
+    pub fn internal_slot(&self, name: &'static str) -> AValue {
+        self.internal
+            .get(name)
+            .cloned()
+            .unwrap_or_else(AValue::bottom)
+    }
+
+    /// Writes an internal slot (strong on singletons, weak otherwise).
+    pub fn set_internal_slot(&mut self, name: &'static str, value: AValue) {
+        if self.singleton {
+            self.internal.insert(name, value);
+        } else {
+            let slot = self.internal.entry(name).or_insert_with(AValue::bottom);
+            *slot = slot.join(&value);
+        }
+    }
+
+    /// Joins another abstract object into this one (same allocation site,
+    /// merging control-flow paths).
+    pub fn join_in_place(&mut self, other: &AObject) -> bool {
+        debug_assert_eq!(self.kind, other.kind, "same alloc site, same kind");
+        let mut changed = false;
+        for (k, v) in &other.props {
+            match self.props.get_mut(k) {
+                Some(slot) => changed |= slot.join_in_place(v),
+                None => {
+                    // Present on one path only: may be absent.
+                    self.props.insert(k.clone(), v.join(&AValue::undef()));
+                    changed = true;
+                }
+            }
+        }
+        // Props present here but not there may be absent there.
+        for (k, v) in self.props.iter_mut() {
+            if !other.props.contains_key(k) {
+                changed |= v.join_in_place(&AValue::undef());
+            }
+        }
+        changed |= self.unknown_props.join_in_place(&other.unknown_props);
+        for (k, v) in &other.internal {
+            match self.internal.get_mut(k) {
+                Some(slot) => changed |= slot.join_in_place(v),
+                None => {
+                    self.internal.insert(k, v.clone());
+                    changed = true;
+                }
+            }
+        }
+        if self.singleton && !other.singleton {
+            self.singleton = false;
+            changed = true;
+        }
+        changed
+    }
+}
+
+impl fmt::Display for AObject {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:?}{{", self.kind)?;
+        for (i, (k, v)) in self.props.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{k}: {v}")?;
+        }
+        write!(f, "}}")?;
+        if !self.singleton {
+            write!(f, "*")?;
+        }
+        Ok(())
+    }
+}
+
+/// The abstract heap: one [`AObject`] per allocation site.
+///
+/// Objects are stored behind [`Arc`]s so cloning a heap (which the
+/// flow-sensitive analysis does at every program point) is shallow;
+/// mutation goes through [`Arc::make_mut`], copying only the objects that
+/// actually change (copy-on-write).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Heap {
+    objects: BTreeMap<AllocSite, Arc<AObject>>,
+}
+
+impl Heap {
+    /// An empty heap.
+    pub fn new() -> Heap {
+        Heap::default()
+    }
+
+    /// Allocates or re-visits an allocation site. On re-visit the existing
+    /// object is demoted to a summary and joined with a fresh object.
+    pub fn alloc(&mut self, site: AllocSite, kind: ObjKind) -> AllocSite {
+        match self.objects.get_mut(&site) {
+            Some(existing) => {
+                let existing = Arc::make_mut(existing);
+                existing.demote_to_summary();
+                // Fresh instance has no props: all existing props may be
+                // absent in the new instance.
+                let fresh = AObject {
+                    singleton: false,
+                    ..AObject::new(existing.kind.clone())
+                };
+                existing.join_in_place(&fresh);
+            }
+            None => {
+                self.objects.insert(site, Arc::new(AObject::new(kind)));
+            }
+        }
+        site
+    }
+
+    /// Looks up an object.
+    pub fn get(&self, site: AllocSite) -> Option<&AObject> {
+        self.objects.get(&site).map(|a| &**a)
+    }
+
+    /// Looks up an object mutably (copy-on-write).
+    pub fn get_mut(&mut self, site: AllocSite) -> Option<&mut AObject> {
+        self.objects.get_mut(&site).map(Arc::make_mut)
+    }
+
+    /// Iterates over all objects.
+    pub fn iter(&self) -> impl Iterator<Item = (&AllocSite, &AObject)> {
+        self.objects.iter().map(|(s, a)| (s, &**a))
+    }
+
+    /// Number of live abstract objects.
+    pub fn len(&self) -> usize {
+        self.objects.len()
+    }
+
+    /// True if no object has been allocated.
+    pub fn is_empty(&self) -> bool {
+        self.objects.is_empty()
+    }
+
+    /// Joins another heap into this one. Returns true if anything changed.
+    pub fn join_in_place(&mut self, other: &Heap) -> bool {
+        let mut changed = false;
+        for (site, obj) in &other.objects {
+            match self.objects.get_mut(site) {
+                Some(mine) => {
+                    if Arc::ptr_eq(mine, obj) {
+                        continue; // identical shared object: no-op join
+                    }
+                    changed |= Arc::make_mut(mine).join_in_place(obj);
+                }
+                None => {
+                    self.objects.insert(*site, Arc::clone(obj));
+                    changed = true;
+                }
+            }
+        }
+        changed
+    }
+
+    /// Recency aging: moves the object at `from` to `to` (merging into any
+    /// existing summary there, demoted to non-singleton) and rewrites every
+    /// reference to `from` anywhere in the heap into `to`. Afterwards
+    /// `from` is unallocated and may be re-bound to a fresh instance.
+    pub fn rename_site(&mut self, from: AllocSite, to: AllocSite) {
+        if let Some(old) = self.objects.remove(&from) {
+            let mut old = Arc::unwrap_or_clone(old);
+            old.demote_to_summary();
+            match self.objects.get_mut(&to) {
+                Some(summary) => {
+                    Arc::make_mut(summary).join_in_place(&old);
+                }
+                None => {
+                    self.objects.insert(to, Arc::new(old));
+                }
+            }
+        }
+        for obj in self.objects.values_mut() {
+            // Only copy objects that actually hold a reference to `from`.
+            let holds = obj.props.values().any(|v| v.objs.contains(&from))
+                || obj.unknown_props.objs.contains(&from)
+                || obj.internal.values().any(|v| v.objs.contains(&from));
+            if !holds {
+                continue;
+            }
+            let obj = Arc::make_mut(obj);
+            for v in obj.props.values_mut() {
+                v.rename_site(from, to);
+            }
+            obj.unknown_props.rename_site(from, to);
+            for v in obj.internal.values_mut() {
+                v.rename_site(from, to);
+            }
+        }
+    }
+
+    /// Partial-order check against another heap.
+    pub fn leq(&self, other: &Heap) -> bool {
+        self.objects.iter().all(|(site, obj)| {
+            other.objects.get(site).is_some_and(|o| {
+                if Arc::ptr_eq(obj, o) {
+                    return true;
+                }
+                let mut merged = (**o).clone();
+                !merged.join_in_place(obj)
+            })
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn site(n: u32) -> AllocSite {
+        AllocSite(n)
+    }
+
+    #[test]
+    fn exact_prop_round_trip() {
+        let mut o = AObject::new(ObjKind::Plain);
+        o.write_prop(&Pre::exact("url"), &AValue::str("x"), true);
+        let v = o.read_prop(&Pre::exact("url"));
+        assert_eq!(v, AValue::str("x"));
+    }
+
+    #[test]
+    fn absent_prop_reads_undefined() {
+        let o = AObject::new(ObjKind::Plain);
+        assert_eq!(o.read_prop(&Pre::exact("nope")), AValue::undef());
+    }
+
+    #[test]
+    fn prefix_read_joins_matching_props() {
+        let mut o = AObject::new(ObjKind::Plain);
+        o.write_prop(&Pre::exact("aa"), &AValue::num(1.0), true);
+        o.write_prop(&Pre::exact("ab"), &AValue::num(2.0), true);
+        o.write_prop(&Pre::exact("zz"), &AValue::num(9.0), true);
+        let v = o.read_prop(&Pre::prefix("a"));
+        // May be absent (some string starting with 'a' that isn't a key).
+        assert!(v.undef);
+        assert_eq!(v.nums, crate::consts::NumDom::Top); // 1.0 join 2.0
+        let all = o.read_prop(&Pre::any());
+        assert_eq!(all.nums, crate::consts::NumDom::Top);
+    }
+
+    #[test]
+    fn weak_write_joins() {
+        let mut o = AObject::new(ObjKind::Plain);
+        o.write_prop(&Pre::exact("p"), &AValue::num(1.0), true);
+        o.write_prop(&Pre::exact("p"), &AValue::num(2.0), false);
+        let v = o.read_prop(&Pre::exact("p"));
+        assert_eq!(v.nums, crate::consts::NumDom::Top);
+    }
+
+    #[test]
+    fn strong_write_on_summary_degrades_to_weak() {
+        let mut o = AObject::new(ObjKind::Plain);
+        o.write_prop(&Pre::exact("p"), &AValue::num(1.0), true);
+        o.demote_to_summary();
+        o.write_prop(&Pre::exact("p"), &AValue::num(2.0), true);
+        let v = o.read_prop(&Pre::exact("p"));
+        assert_eq!(v.nums, crate::consts::NumDom::Top, "no strong update on summaries");
+    }
+
+    #[test]
+    fn unknown_name_write_pollutes_reads() {
+        let mut o = AObject::new(ObjKind::Plain);
+        o.write_prop(&Pre::any(), &AValue::str("secret"), false);
+        let v = o.read_prop(&Pre::exact("whatever"));
+        assert!(v.may_be_string());
+    }
+
+    #[test]
+    fn delete_on_singleton_removes() {
+        let mut o = AObject::new(ObjKind::Plain);
+        o.write_prop(&Pre::exact("p"), &AValue::num(1.0), true);
+        o.delete_prop(&Pre::exact("p"));
+        assert_eq!(o.read_prop(&Pre::exact("p")), AValue::undef());
+    }
+
+    #[test]
+    fn delete_on_summary_weakens() {
+        let mut o = AObject::new(ObjKind::Plain);
+        o.write_prop(&Pre::exact("p"), &AValue::num(1.0), true);
+        o.demote_to_summary();
+        o.delete_prop(&Pre::exact("p"));
+        let v = o.read_prop(&Pre::exact("p"));
+        assert!(v.undef && v.nums != crate::consts::NumDom::Bot);
+    }
+
+    #[test]
+    fn heap_realloc_demotes() {
+        let mut h = Heap::new();
+        h.alloc(site(0), ObjKind::Plain);
+        h.get_mut(site(0))
+            .unwrap()
+            .write_prop(&Pre::exact("p"), &AValue::num(1.0), true);
+        assert!(h.get(site(0)).unwrap().singleton);
+        h.alloc(site(0), ObjKind::Plain);
+        let o = h.get(site(0)).unwrap();
+        assert!(!o.singleton);
+        // Old prop may be absent on the fresh instance.
+        assert!(o.read_prop(&Pre::exact("p")).undef);
+    }
+
+    #[test]
+    fn heap_join() {
+        let mut a = Heap::new();
+        a.alloc(site(0), ObjKind::Plain);
+        a.get_mut(site(0))
+            .unwrap()
+            .write_prop(&Pre::exact("p"), &AValue::num(1.0), true);
+        let mut b = Heap::new();
+        b.alloc(site(0), ObjKind::Plain);
+        b.get_mut(site(0))
+            .unwrap()
+            .write_prop(&Pre::exact("q"), &AValue::num(2.0), true);
+        let mut j = a.clone();
+        assert!(j.join_in_place(&b));
+        assert!(!j.join_in_place(&b), "idempotent");
+        let o = j.get(site(0)).unwrap();
+        // p present in a only: may be absent.
+        assert!(o.read_prop(&Pre::exact("p")).undef);
+        assert!(o.read_prop(&Pre::exact("q")).undef);
+        assert!(a.leq(&j) && b.leq(&j));
+        assert!(!j.leq(&a));
+    }
+
+    #[test]
+    fn object_join_prop_sets_differ() {
+        let mut a = AObject::new(ObjKind::Plain);
+        a.write_prop(&Pre::exact("x"), &AValue::num(1.0), true);
+        let b = AObject::new(ObjKind::Plain);
+        let mut j = a.clone();
+        assert!(j.join_in_place(&b));
+        assert!(j.read_prop(&Pre::exact("x")).undef);
+    }
+
+    #[test]
+    fn internal_slots() {
+        let mut o = AObject::new(ObjKind::Host("xhr"));
+        o.set_internal_slot("@url", AValue::str("http://a.com"));
+        assert_eq!(o.internal_slot("@url"), AValue::str("http://a.com"));
+        assert_eq!(o.internal_slot("@missing"), AValue::bottom());
+        o.demote_to_summary();
+        o.set_internal_slot("@url", AValue::str("http://b.com"));
+        let v = o.internal_slot("@url");
+        assert_eq!(v.strs, Pre::prefix("http://"));
+    }
+
+    #[test]
+    fn callable_kinds() {
+        assert!(ObjKind::Function(FuncIndex(0)).is_callable());
+        assert!(ObjKind::Native(NativeId(0)).is_callable());
+        assert!(!ObjKind::Plain.is_callable());
+        assert!(!ObjKind::Array.is_callable());
+    }
+}

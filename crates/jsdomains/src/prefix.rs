@@ -1,0 +1,481 @@
+//! The prefix string abstract domain of Section 5 of the paper.
+//!
+//! The domain is `Pre = (String x Boolean) + bottom`: an element `(str, b)`
+//! with `b = true` means *exactly* the string `str`; `b = false` means
+//! *some string with prefix* `str`. Bottom represents an uninitialized
+//! string value and top is `("", false)` (every string has the empty
+//! prefix). Tracking exact strings, not just prefixes, matters because the
+//! same domain doubles as the property-name domain of the base analysis
+//! (the paper's key precision observation over Costantini et al.).
+
+use crate::lattice::{Lattice, MeetLattice};
+use std::fmt;
+
+/// An element of the prefix string domain.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize, serde::Deserialize)]
+pub enum Pre {
+    /// No string at all (uninitialized).
+    Bot,
+    /// Exactly the contained string: `(str, true)` in the paper.
+    Exact(String),
+    /// Any string starting with the contained prefix: `(str, false)`.
+    Prefix(String),
+}
+
+impl Pre {
+    /// The top element: all possible strings.
+    pub fn any() -> Pre {
+        Pre::Prefix(String::new())
+    }
+
+    /// An exact string.
+    pub fn exact(s: impl Into<String>) -> Pre {
+        Pre::Exact(s.into())
+    }
+
+    /// A known prefix of an otherwise unknown string.
+    pub fn prefix(s: impl Into<String>) -> Pre {
+        Pre::Prefix(s.into())
+    }
+
+    /// True if this element denotes exactly one string.
+    pub fn is_exact(&self) -> bool {
+        matches!(self, Pre::Exact(_))
+    }
+
+    /// The exact string, if this element is exact.
+    pub fn as_exact(&self) -> Option<&str> {
+        match self {
+            Pre::Exact(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The known text (exact string or prefix); `None` for bottom.
+    pub fn known_text(&self) -> Option<&str> {
+        match self {
+            Pre::Bot => None,
+            Pre::Exact(s) | Pre::Prefix(s) => Some(s),
+        }
+    }
+
+    /// Membership in the concretization: could this abstract element
+    /// describe the concrete string `s`?
+    pub fn may_be(&self, s: &str) -> bool {
+        match self {
+            Pre::Bot => false,
+            Pre::Exact(e) => e == s,
+            Pre::Prefix(p) => s.starts_with(p.as_str()),
+        }
+    }
+
+    /// Abstract string concatenation, the `+` of Section 5:
+    ///
+    /// - `bot + X = X + bot = bot`
+    /// - `(s1, true) + (s2, b2) = (s1 . s2, b2)`
+    /// - `(s1, false) + (s2, b2) = (s1, false)`
+    pub fn concat(&self, other: &Pre) -> Pre {
+        match (self, other) {
+            (Pre::Bot, _) | (_, Pre::Bot) => Pre::Bot,
+            (Pre::Exact(a), Pre::Exact(b)) => Pre::Exact(format!("{a}{b}")),
+            (Pre::Exact(a), Pre::Prefix(b)) => Pre::Prefix(format!("{a}{b}")),
+            (Pre::Prefix(a), _) => Pre::Prefix(a.clone()),
+        }
+    }
+
+    /// Greatest common prefix of two strings (the paper's `(+)` operator).
+    pub fn common_prefix(a: &str, b: &str) -> String {
+        let end = a
+            .char_indices()
+            .zip(b.chars())
+            .take_while(|((_, ca), cb)| ca == cb)
+            .last()
+            .map(|((i, ca), _)| i + ca.len_utf8())
+            .unwrap_or(0);
+        a[..end].to_owned()
+    }
+
+    /// Abstract equality comparison against another abstract string:
+    /// `Some(true)`/`Some(false)` when the comparison is statically
+    /// decided, `None` when both outcomes are possible.
+    pub fn compare_eq(&self, other: &Pre) -> Option<bool> {
+        match (self, other) {
+            (Pre::Bot, _) | (_, Pre::Bot) => None,
+            (Pre::Exact(a), Pre::Exact(b)) => Some(a == b),
+            (Pre::Exact(e), Pre::Prefix(p)) | (Pre::Prefix(p), Pre::Exact(e)) => {
+                if e.starts_with(p.as_str()) {
+                    None // the unknown string could be exactly `e` or not
+                } else {
+                    Some(false)
+                }
+            }
+            (Pre::Prefix(a), Pre::Prefix(b)) => {
+                // Two unknown strings can only be definitely unequal if the
+                // prefixes are incompatible.
+                if a.starts_with(b.as_str()) || b.starts_with(a.as_str()) {
+                    None
+                } else {
+                    Some(false)
+                }
+            }
+        }
+    }
+
+    /// Abstract lowercasing (preserves exactness; lowercasing is
+    /// prefix-monotone for ASCII, which is all URLs need).
+    pub fn to_lowercase(&self) -> Pre {
+        match self {
+            Pre::Bot => Pre::Bot,
+            Pre::Exact(s) => Pre::Exact(s.to_lowercase()),
+            Pre::Prefix(s) => {
+                if s.is_ascii() {
+                    Pre::Prefix(s.to_lowercase())
+                } else {
+                    Pre::any()
+                }
+            }
+        }
+    }
+
+    /// Abstract `substring(0, n)` / `slice(0, n)`: taking a leading slice
+    /// of a known prefix keeps the shorter prefix.
+    pub fn leading_slice(&self, n: usize) -> Pre {
+        match self {
+            Pre::Bot => Pre::Bot,
+            Pre::Exact(s) => {
+                let end = s
+                    .char_indices()
+                    .nth(n)
+                    .map(|(i, _)| i)
+                    .unwrap_or(s.len());
+                Pre::Exact(s[..end].to_owned())
+            }
+            Pre::Prefix(p) => {
+                let end = p
+                    .char_indices()
+                    .nth(n)
+                    .map(|(i, _)| i)
+                    .unwrap_or(p.len());
+                if end < p.len() {
+                    // The slice is fully inside the known prefix: exact.
+                    Pre::Exact(p[..end].to_owned())
+                } else {
+                    Pre::Prefix(p.clone())
+                }
+            }
+        }
+    }
+
+    /// The result of any string operation we model conservatively.
+    pub fn unknown_derived(&self) -> Pre {
+        match self {
+            Pre::Bot => Pre::Bot,
+            _ => Pre::any(),
+        }
+    }
+}
+
+impl Lattice for Pre {
+    fn bottom() -> Self {
+        Pre::Bot
+    }
+
+    /// Join per Section 5: exact strings join to themselves when equal,
+    /// everything else joins to the greatest common prefix (as a prefix).
+    fn join(&self, other: &Self) -> Self {
+        match (self, other) {
+            (Pre::Bot, x) | (x, Pre::Bot) => x.clone(),
+            (Pre::Exact(a), Pre::Exact(b)) if a == b => Pre::Exact(a.clone()),
+            (a, b) => {
+                let (sa, sb) = (
+                    a.known_text().expect("non-bot"),
+                    b.known_text().expect("non-bot"),
+                );
+                Pre::Prefix(Pre::common_prefix(sa, sb))
+            }
+        }
+    }
+
+    /// Order per Section 5: `(s1,b1) <= (s2,b2)` iff either `b2 = false`
+    /// and `s2` is a prefix of `s1`, or both exact and equal.
+    fn leq(&self, other: &Self) -> bool {
+        match (self, other) {
+            (Pre::Bot, _) => true,
+            (_, Pre::Bot) => false,
+            (Pre::Exact(a), Pre::Exact(b)) => a == b,
+            (Pre::Exact(a), Pre::Prefix(b)) => a.starts_with(b.as_str()),
+            (Pre::Prefix(_), Pre::Exact(_)) => false,
+            (Pre::Prefix(a), Pre::Prefix(b)) => a.starts_with(b.as_str()),
+        }
+    }
+}
+
+impl MeetLattice for Pre {
+    fn top() -> Self {
+        Pre::any()
+    }
+
+    /// Meet per Section 5, extended with the reflexive exact/exact case
+    /// the paper's equations leave implicit (`x ⊓ x = x`).
+    fn meet(&self, other: &Self) -> Self {
+        if self.leq(other) {
+            self.clone()
+        } else if other.leq(self) {
+            other.clone()
+        } else {
+            Pre::Bot
+        }
+    }
+}
+
+impl fmt::Display for Pre {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Pre::Bot => write!(f, "⊥"),
+            Pre::Exact(s) => write!(f, "{s:?}"),
+            Pre::Prefix(s) if s.is_empty() => write!(f, "<unknown>"),
+            Pre::Prefix(s) => write!(f, "{s:?}..."),
+        }
+    }
+}
+
+impl From<&str> for Pre {
+    fn from(s: &str) -> Pre {
+        Pre::Exact(s.to_owned())
+    }
+}
+
+impl From<String> for Pre {
+    fn from(s: String) -> Pre {
+        Pre::Exact(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn join_equal_exacts_stays_exact() {
+        let a = Pre::exact("www.example.com");
+        assert_eq!(a.join(&a), a);
+    }
+
+    #[test]
+    fn join_computes_common_prefix() {
+        // The motivating example of Section 5: baseURL += "name" vs "age".
+        let base = Pre::exact("www.example.com/req?");
+        let name = base.concat(&Pre::exact("name"));
+        let age = base.concat(&Pre::exact("age"));
+        assert_eq!(name.join(&age), Pre::prefix("www.example.com/req?"));
+    }
+
+    #[test]
+    fn join_of_unrelated_domains_loses_everything() {
+        // The VKVideoDownloader failure mode: three unrelated player
+        // domains join to the empty prefix (unknown).
+        let a = Pre::exact("http://vkontakte.ru/player");
+        let b = Pre::exact("http://rutube.ru/player");
+        assert_eq!(a.join(&b), Pre::prefix("http://"));
+        let c = Pre::exact("https://video.mail.ru");
+        assert_eq!(a.join(&b).join(&c), Pre::prefix("http"));
+    }
+
+    #[test]
+    fn concat_follows_paper_equations() {
+        let bot = Pre::Bot;
+        let e = Pre::exact("ab");
+        let p = Pre::prefix("cd");
+        assert_eq!(bot.concat(&e), Pre::Bot);
+        assert_eq!(e.concat(&bot), Pre::Bot);
+        assert_eq!(e.concat(&e), Pre::exact("abab"));
+        assert_eq!(e.concat(&p), Pre::prefix("abcd"));
+        assert_eq!(p.concat(&e), Pre::prefix("cd"));
+        assert_eq!(p.concat(&p), Pre::prefix("cd"));
+    }
+
+    #[test]
+    fn order_per_paper() {
+        assert!(Pre::exact("abc").leq(&Pre::prefix("ab")));
+        assert!(Pre::prefix("abc").leq(&Pre::prefix("ab")));
+        assert!(!Pre::prefix("ab").leq(&Pre::exact("abc")));
+        assert!(!Pre::prefix("ab").leq(&Pre::prefix("abc")));
+        assert!(Pre::exact("x").leq(&Pre::any()));
+        assert!(Pre::Bot.leq(&Pre::exact("x")));
+    }
+
+    #[test]
+    fn meet_per_paper() {
+        assert_eq!(
+            Pre::exact("abc").meet(&Pre::prefix("ab")),
+            Pre::exact("abc")
+        );
+        assert_eq!(
+            Pre::prefix("ab").meet(&Pre::prefix("abc")),
+            Pre::prefix("abc")
+        );
+        assert_eq!(Pre::exact("abc").meet(&Pre::exact("abd")), Pre::Bot);
+        assert_eq!(Pre::exact("abc").meet(&Pre::prefix("xy")), Pre::Bot);
+        assert_eq!(Pre::exact("a").meet(&Pre::Bot), Pre::Bot);
+    }
+
+    #[test]
+    fn compare_eq_decides_when_possible() {
+        assert_eq!(
+            Pre::exact("a").compare_eq(&Pre::exact("a")),
+            Some(true)
+        );
+        assert_eq!(
+            Pre::exact("a").compare_eq(&Pre::exact("b")),
+            Some(false)
+        );
+        assert_eq!(Pre::exact("abc").compare_eq(&Pre::prefix("ab")), None);
+        assert_eq!(
+            Pre::exact("xyz").compare_eq(&Pre::prefix("ab")),
+            Some(false)
+        );
+        assert_eq!(Pre::prefix("ab").compare_eq(&Pre::prefix("abc")), None);
+        assert_eq!(
+            Pre::prefix("ab").compare_eq(&Pre::prefix("cd")),
+            Some(false)
+        );
+    }
+
+    #[test]
+    fn may_be_membership() {
+        assert!(Pre::any().may_be("anything"));
+        assert!(Pre::exact("a").may_be("a"));
+        assert!(!Pre::exact("a").may_be("ab"));
+        assert!(Pre::prefix("http://").may_be("http://x.com"));
+        assert!(!Pre::prefix("http://").may_be("ftp://x.com"));
+        assert!(!Pre::Bot.may_be(""));
+    }
+
+    #[test]
+    fn common_prefix_unicode_safe() {
+        assert_eq!(Pre::common_prefix("naïve", "naïf"), "naï");
+        assert_eq!(Pre::common_prefix("", "abc"), "");
+        assert_eq!(Pre::common_prefix("abc", "abc"), "abc");
+    }
+
+    #[test]
+    fn leading_slice_behaviour() {
+        assert_eq!(Pre::exact("abcdef").leading_slice(3), Pre::exact("abc"));
+        assert_eq!(Pre::exact("ab").leading_slice(5), Pre::exact("ab"));
+        assert_eq!(
+            Pre::prefix("abcdef").leading_slice(3),
+            Pre::exact("abc")
+        );
+        assert_eq!(Pre::prefix("ab").leading_slice(5), Pre::prefix("ab"));
+    }
+
+    #[test]
+    fn lowercase() {
+        assert_eq!(
+            Pre::exact("HTTP://X.COM").to_lowercase(),
+            Pre::exact("http://x.com")
+        );
+        assert_eq!(Pre::prefix("HTTP").to_lowercase(), Pre::prefix("http"));
+        assert_eq!(Pre::Bot.to_lowercase(), Pre::Bot);
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Pre::Bot.to_string(), "⊥");
+        assert_eq!(Pre::exact("a").to_string(), "\"a\"");
+        assert_eq!(Pre::prefix("a").to_string(), "\"a\"...");
+        assert_eq!(Pre::any().to_string(), "<unknown>");
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use crate::lattice::laws;
+    use proptest::prelude::*;
+
+    fn arb_pre() -> impl Strategy<Value = Pre> {
+        prop_oneof![
+            Just(Pre::Bot),
+            "[a-c]{0,4}".prop_map(Pre::Exact),
+            "[a-c]{0,4}".prop_map(Pre::Prefix),
+        ]
+    }
+
+    proptest! {
+        #[test]
+        fn lattice_laws(a in arb_pre(), b in arb_pre(), c in arb_pre()) {
+            laws::check_join_laws(&a, &b, &c);
+            laws::check_meet_laws(&a, &b);
+        }
+
+        #[test]
+        fn join_soundness(a in arb_pre(), b in arb_pre(), s in "[a-c]{0,6}") {
+            // Anything described by a or b is described by the join.
+            if a.may_be(&s) || b.may_be(&s) {
+                prop_assert!(a.join(&b).may_be(&s));
+            }
+        }
+
+        #[test]
+        fn concat_soundness(
+            sa in "[a-c]{0,3}",
+            sb in "[a-c]{0,3}",
+            ta in "[a-c]{0,2}",
+            tb in "[a-c]{0,2}",
+        ) {
+            // For concrete strings in the concretizations, the abstract
+            // concat describes the concrete concatenation.
+            for a in [Pre::exact(sa.clone()), Pre::prefix(sa.clone())] {
+                for b in [Pre::exact(sb.clone()), Pre::prefix(sb.clone())] {
+                    let ca = format!("{sa}{ta}");
+                    let cb = format!("{sb}{tb}");
+                    let (ca, cb) = match (&a, &b) {
+                        (Pre::Exact(_), Pre::Exact(_)) => (sa.clone(), sb.clone()),
+                        (Pre::Exact(_), _) => (sa.clone(), cb),
+                        (_, Pre::Exact(_)) => (ca, sb.clone()),
+                        _ => (ca, cb),
+                    };
+                    prop_assert!(a.may_be(&ca));
+                    prop_assert!(b.may_be(&cb));
+                    prop_assert!(
+                        a.concat(&b).may_be(&format!("{ca}{cb}")),
+                        "concat unsound: {a:?} + {b:?} vs {ca} {cb}"
+                    );
+                }
+            }
+        }
+
+        #[test]
+        fn compare_eq_soundness(a in arb_pre(), b in arb_pre(), s in "[a-c]{0,4}") {
+            // If compare_eq says definitely-false, no common string exists.
+            if a.compare_eq(&b) == Some(false) {
+                prop_assert!(!(a.may_be(&s) && b.may_be(&s)));
+            }
+        }
+
+        #[test]
+        fn meet_is_intersection_upper(a in arb_pre(), b in arb_pre(), s in "[a-c]{0,4}") {
+            if a.may_be(&s) && b.may_be(&s) {
+                prop_assert!(a.meet(&b).may_be(&s), "meet lost {s} from {a:?} ^ {b:?}");
+            }
+        }
+
+        #[test]
+        fn noetherian_ascending_chains(ss in prop::collection::vec("[a-c]{0,4}", 1..8)) {
+            // Joining any sequence terminates at a fixed element quickly:
+            // chains stabilize (finite ascending chain condition).
+            let mut acc = Pre::Bot;
+            let mut changes = 0;
+            for s in &ss {
+                let next = acc.join(&Pre::exact(s.clone()));
+                if next != acc { changes += 1; }
+                acc = next;
+            }
+            // At most: bot -> exact -> a strictly shortening chain of
+            // prefixes. Prefix length only decreases, so changes are
+            // bounded by 2 + max prefix length.
+            prop_assert!(changes <= 2 + 4);
+        }
+    }
+}

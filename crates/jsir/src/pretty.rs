@@ -1,0 +1,111 @@
+//! Human-readable dumps of the IR and CFG, for debugging and examples.
+
+use crate::cfg::Cfg;
+use crate::ir::{IrProgram, IrStmtKind, Place, StmtId};
+use std::fmt::Write as _;
+
+/// Renders one statement as a line of pseudo-code.
+pub fn stmt_to_string(prog: &IrProgram, id: StmtId) -> String {
+    let s = prog.stmt(id);
+    let p = |pl: &Place| match pl {
+        Place::Var(v) => prog.var_name(*v),
+        Place::Global(g) => format!("global.{g}"),
+    };
+    use IrStmtKind::*;
+    match &s.kind {
+        Copy { dst, src } => format!("{} = {}", p(dst), src),
+        UnOp { dst, op, src } => format!("{} = {:?} {}", p(dst), op, src),
+        BinOp {
+            dst,
+            op,
+            left,
+            right,
+        } => format!("{} = {} {:?} {}", p(dst), left, op, right),
+        Typeof { dst, src } => format!("{} = typeof {}", p(dst), src),
+        NewObject { dst } => format!("{} = {{}}", p(dst)),
+        NewArray { dst } => format!("{} = []", p(dst)),
+        NewRegex { dst, pattern } => format!("{} = {}", p(dst), pattern),
+        Lambda { dst, func } => format!("{} = lambda {}", p(dst), func),
+        LoadProp { dst, obj, prop } => format!("{} = {}[{}]", p(dst), obj, prop),
+        StoreProp { obj, prop, value } => format!("{obj}[{prop}] = {value}"),
+        DeleteProp { obj, prop } => format!("delete {obj}[{prop}]"),
+        Call {
+            dst,
+            callee,
+            this,
+            args,
+            is_new,
+        } => {
+            let mut out = format!("{} = ", p(dst));
+            if *is_new {
+                out.push_str("new ");
+            }
+            let _ = write!(out, "{callee}(");
+            if let Some(t) = this {
+                let _ = write!(out, "this={t}; ");
+            }
+            for (i, a) in args.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                let _ = write!(out, "{a}");
+            }
+            out.push(')');
+            out
+        }
+        CallResult { dst } => format!("{} = <call result>", p(dst)),
+        Branch { cond } => format!("branch {cond}"),
+        Havoc { dst } => format!("{} = havoc", p(dst)),
+        Return { value } => format!("return {value}"),
+        Throw { value } => format!("throw {value}"),
+        CatchBind { dst } => format!("catch {}", p(dst)),
+        ForInNext { dst, obj } => format!("{} = next-key {}", p(dst), obj),
+        Enter => "enter".to_owned(),
+        Exit => "exit".to_owned(),
+        Nop(label) => format!("nop <{label}>"),
+        EventDispatch => "dispatch-events".to_owned(),
+    }
+}
+
+/// Renders the whole program with CFG successor annotations.
+pub fn program_to_string(prog: &IrProgram, cfg: &Cfg) -> String {
+    let mut out = String::new();
+    for f in &prog.funcs {
+        let _ = writeln!(out, "function {} ({}):", f.id, f.name);
+        for &sid in &f.stmts {
+            let succs: Vec<String> = cfg
+                .succs(sid)
+                .iter()
+                .map(|(t, k)| format!("{t}:{k:?}"))
+                .collect();
+            let _ = writeln!(
+                out,
+                "  {:>5}  {:<50} -> {}",
+                sid.to_string(),
+                stmt_to_string(prog, sid),
+                succs.join(", ")
+            );
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lower::{lower_with_options, LowerOptions};
+
+    #[test]
+    fn renders_without_panicking() {
+        let ast = jsparser::parse(
+            "var x = 1; function f(a) { return a + x; } try { f(2); } catch (e) { throw e; }",
+        )
+        .unwrap();
+        let lowered = lower_with_options(&ast, &LowerOptions { event_loop: false });
+        let text = program_to_string(&lowered.program, &lowered.cfg);
+        assert!(text.contains("enter"));
+        assert!(text.contains("exit"));
+        assert!(text.contains("lambda"));
+        assert!(text.contains("return"));
+    }
+}

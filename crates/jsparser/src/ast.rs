@@ -1,0 +1,408 @@
+//! Abstract syntax tree for the analyzed JavaScript subset.
+//!
+//! Every node carries a [`Span`] for diagnostics. Function nodes carry a
+//! [`FunId`] assigned by the parser in declaration order; the IR lowering
+//! keyed on these ids.
+
+use crate::span::Span;
+use std::fmt;
+
+/// Identifies a function literal (declaration or expression) within a
+/// parsed program. The whole program's top level is *not* a `FunId`; ids
+/// start at 0 for the first function literal encountered.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct FunId(pub u32);
+
+impl fmt::Display for FunId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "fun{}", self.0)
+    }
+}
+
+/// A complete parsed program (the addon's top-level code).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Program {
+    /// Top-level statements.
+    pub body: Vec<Stmt>,
+    /// Number of function literals in the program; `FunId`s are dense in
+    /// `0..fun_count`.
+    pub fun_count: u32,
+}
+
+/// An identifier occurrence.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Ident {
+    /// The identifier text.
+    pub name: String,
+    /// Source location.
+    pub span: Span,
+}
+
+/// A function literal: declaration, expression, or getter-style property.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Function {
+    /// Dense id assigned by the parser.
+    pub id: FunId,
+    /// Function name, if any (`function foo() {}` or a named expression).
+    pub name: Option<Ident>,
+    /// Formal parameter names.
+    pub params: Vec<Ident>,
+    /// Function body statements.
+    pub body: Vec<Stmt>,
+    /// Source location of the whole literal.
+    pub span: Span,
+}
+
+/// A statement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Stmt {
+    /// The statement's payload.
+    pub kind: StmtKind,
+    /// Source location.
+    pub span: Span,
+}
+
+/// The different kinds of statement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum StmtKind {
+    /// An expression evaluated for effect.
+    Expr(Expr),
+    /// `var a = 1, b;`
+    VarDecl(Vec<VarDeclarator>),
+    /// A function declaration.
+    FunDecl(Function),
+    /// `if (cond) cons else alt`
+    If {
+        /// Condition.
+        cond: Expr,
+        /// Then-branch.
+        cons: Box<Stmt>,
+        /// Optional else-branch.
+        alt: Option<Box<Stmt>>,
+    },
+    /// `while (cond) body`
+    While {
+        /// Loop condition.
+        cond: Expr,
+        /// Loop body.
+        body: Box<Stmt>,
+    },
+    /// `do body while (cond);`
+    DoWhile {
+        /// Loop body.
+        body: Box<Stmt>,
+        /// Loop condition.
+        cond: Expr,
+    },
+    /// `for (init; test; update) body`
+    For {
+        /// Initializer (a statement: expression or var declaration).
+        init: Option<Box<Stmt>>,
+        /// Loop test.
+        test: Option<Expr>,
+        /// Update expression.
+        update: Option<Expr>,
+        /// Loop body.
+        body: Box<Stmt>,
+    },
+    /// `for (target in obj) body`
+    ForIn {
+        /// True when written `for (var x in ...)`.
+        decl: bool,
+        /// The loop variable / assignment target.
+        target: Box<Expr>,
+        /// The object being enumerated.
+        obj: Expr,
+        /// Loop body.
+        body: Box<Stmt>,
+    },
+    /// `return e;`
+    Return(Option<Expr>),
+    /// `break label;`
+    Break(Option<Ident>),
+    /// `continue label;`
+    Continue(Option<Ident>),
+    /// `throw e;`
+    Throw(Expr),
+    /// `try { .. } catch (e) { .. } finally { .. }`
+    Try {
+        /// The protected block.
+        block: Vec<Stmt>,
+        /// Catch clause: bound identifier and handler body.
+        catch: Option<(Ident, Vec<Stmt>)>,
+        /// Finally block.
+        finally: Option<Vec<Stmt>>,
+    },
+    /// `switch (disc) { case ..: .. default: .. }`
+    Switch {
+        /// The discriminant expression.
+        disc: Expr,
+        /// The cases, in source order.
+        cases: Vec<SwitchCase>,
+    },
+    /// `{ .. }`
+    Block(Vec<Stmt>),
+    /// `;`
+    Empty,
+    /// `label: stmt`
+    Labeled(Ident, Box<Stmt>),
+}
+
+/// One declarator in a `var` statement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct VarDeclarator {
+    /// The declared name.
+    pub name: Ident,
+    /// The initializer, if present.
+    pub init: Option<Expr>,
+}
+
+/// One arm of a `switch`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SwitchCase {
+    /// `None` for `default:`.
+    pub test: Option<Expr>,
+    /// Statements of the arm.
+    pub body: Vec<Stmt>,
+}
+
+/// An expression.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Expr {
+    /// The expression's payload.
+    pub kind: ExprKind,
+    /// Source location.
+    pub span: Span,
+}
+
+/// The different kinds of expression.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ExprKind {
+    /// Variable reference.
+    Ident(String),
+    /// Numeric literal.
+    Num(f64),
+    /// String literal.
+    Str(String),
+    /// `true` / `false`.
+    Bool(bool),
+    /// `null`.
+    Null,
+    /// `this`.
+    This,
+    /// Regex literal (kept opaque; evaluates to a fresh object).
+    Regex(String),
+    /// `[a, b, ...]`; `None` entries are elisions.
+    Array(Vec<Option<Expr>>),
+    /// `{k: v, ...}`
+    Object(Vec<(PropKey, Expr)>),
+    /// A function expression.
+    Function(Box<Function>),
+    /// A unary operator application.
+    Unary {
+        /// The operator.
+        op: UnaryOp,
+        /// The operand.
+        arg: Box<Expr>,
+    },
+    /// A binary operator application (no short-circuit).
+    Binary {
+        /// The operator.
+        op: BinaryOp,
+        /// Left operand.
+        left: Box<Expr>,
+        /// Right operand.
+        right: Box<Expr>,
+    },
+    /// `&&` / `||` (short-circuiting).
+    Logical {
+        /// True for `&&`, false for `||`.
+        is_and: bool,
+        /// Left operand.
+        left: Box<Expr>,
+        /// Right operand.
+        right: Box<Expr>,
+    },
+    /// Assignment, possibly compound (`x += e`).
+    Assign {
+        /// Compound operator, `None` for plain `=`.
+        op: Option<BinaryOp>,
+        /// The assignment target (identifier or member).
+        target: Box<Expr>,
+        /// The assigned value.
+        value: Box<Expr>,
+    },
+    /// `++x`, `x--`, etc.
+    Update {
+        /// True for `++`, false for `--`.
+        inc: bool,
+        /// True for prefix form.
+        prefix: bool,
+        /// The target (identifier or member).
+        arg: Box<Expr>,
+    },
+    /// `test ? cons : alt`
+    Cond {
+        /// The condition.
+        test: Box<Expr>,
+        /// Value if truthy.
+        cons: Box<Expr>,
+        /// Value if falsy.
+        alt: Box<Expr>,
+    },
+    /// A function call.
+    Call {
+        /// The callee expression.
+        callee: Box<Expr>,
+        /// Arguments.
+        args: Vec<Expr>,
+    },
+    /// `new Callee(args)`
+    New {
+        /// The constructor expression.
+        callee: Box<Expr>,
+        /// Arguments.
+        args: Vec<Expr>,
+    },
+    /// Property access, `obj.prop` or `obj[expr]`.
+    Member {
+        /// The object expression.
+        obj: Box<Expr>,
+        /// The property being accessed.
+        prop: MemberProp,
+    },
+    /// Comma expression `a, b, c`.
+    Seq(Vec<Expr>),
+}
+
+/// Property position of a member expression.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MemberProp {
+    /// `obj.name`
+    Static(String),
+    /// `obj[expr]`
+    Computed(Box<Expr>),
+}
+
+/// Key of an object-literal property.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PropKey {
+    /// `{name: ..}` or `{"name": ..}`
+    Ident(String),
+    /// `{42: ..}`
+    Num(f64),
+}
+
+impl PropKey {
+    /// The property name as a string, the way JavaScript coerces keys.
+    pub fn as_string(&self) -> String {
+        match self {
+            PropKey::Ident(s) => s.clone(),
+            PropKey::Num(n) => crate::number_to_string(*n),
+        }
+    }
+}
+
+/// Unary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum UnaryOp {
+    /// `-x`
+    Neg,
+    /// `+x`
+    Pos,
+    /// `!x`
+    Not,
+    /// `~x`
+    BitNot,
+    /// `typeof x`
+    Typeof,
+    /// `void x`
+    Void,
+    /// `delete x.p`
+    Delete,
+}
+
+/// Binary operators (all non-short-circuit binary forms).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BinaryOp {
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/`
+    Div,
+    /// `%`
+    Mod,
+    /// `==`
+    Eq,
+    /// `!=`
+    NotEq,
+    /// `===`
+    StrictEq,
+    /// `!==`
+    StrictNotEq,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `&`
+    BitAnd,
+    /// `|`
+    BitOr,
+    /// `^`
+    BitXor,
+    /// `<<`
+    Shl,
+    /// `>>`
+    Shr,
+    /// `>>>`
+    UShr,
+    /// `in`
+    In,
+    /// `instanceof`
+    Instanceof,
+}
+
+impl Expr {
+    /// True if this expression is a valid assignment target.
+    pub fn is_assign_target(&self) -> bool {
+        matches!(self.kind, ExprKind::Ident(_) | ExprKind::Member { .. })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prop_key_strings() {
+        assert_eq!(PropKey::Ident("url".into()).as_string(), "url");
+        assert_eq!(PropKey::Num(42.0).as_string(), "42");
+        assert_eq!(PropKey::Num(1.5).as_string(), "1.5");
+    }
+
+    #[test]
+    fn assign_targets() {
+        let id = Expr {
+            kind: ExprKind::Ident("x".into()),
+            span: Span::default(),
+        };
+        assert!(id.is_assign_target());
+        let lit = Expr {
+            kind: ExprKind::Num(1.0),
+            span: Span::default(),
+        };
+        assert!(!lit.is_assign_target());
+    }
+
+    #[test]
+    fn fun_id_display() {
+        assert_eq!(FunId(3).to_string(), "fun3");
+    }
+}

@@ -1,0 +1,81 @@
+//! Source positions and spans.
+
+use std::fmt;
+
+/// A half-open byte range `[start, end)` into the source text, plus the
+/// 1-based line on which the range starts.
+///
+/// Spans are attached to every token and AST node so that diagnostics and
+/// signature entries can point back at addon source code.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct Span {
+    /// Byte offset of the first character.
+    pub start: u32,
+    /// Byte offset one past the last character.
+    pub end: u32,
+    /// 1-based source line of `start`.
+    pub line: u32,
+}
+
+impl Span {
+    /// Creates a new span.
+    pub fn new(start: u32, end: u32, line: u32) -> Self {
+        Span { start, end, line }
+    }
+
+    /// A span covering both `self` and `other`.
+    ///
+    /// The resulting line is the line of the earlier span.
+    pub fn to(self, other: Span) -> Span {
+        Span {
+            start: self.start.min(other.start),
+            end: self.end.max(other.end),
+            line: if self.start <= other.start {
+                self.line
+            } else {
+                other.line
+            },
+        }
+    }
+
+    /// Length of the span in bytes.
+    pub fn len(self) -> u32 {
+        self.end.saturating_sub(self.start)
+    }
+
+    /// True if the span covers no characters.
+    pub fn is_empty(self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl fmt::Display for Span {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}", self.line)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_spans() {
+        let a = Span::new(0, 5, 1);
+        let b = Span::new(10, 12, 3);
+        assert_eq!(a.to(b), Span::new(0, 12, 1));
+        assert_eq!(b.to(a), Span::new(0, 12, 1));
+    }
+
+    #[test]
+    fn empty_span() {
+        assert!(Span::default().is_empty());
+        assert!(!Span::new(1, 3, 1).is_empty());
+        assert_eq!(Span::new(1, 3, 1).len(), 2);
+    }
+
+    #[test]
+    fn display_shows_line() {
+        assert_eq!(Span::new(4, 9, 7).to_string(), "line 7");
+    }
+}

@@ -1,0 +1,140 @@
+//! PDG edge annotations (the annotation grammar of Section 3.1).
+
+use std::fmt;
+
+/// Control-dependence provenance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum CtrlKind {
+    /// Structured local control flow (conditionals, loops).
+    Local,
+    /// Explicit non-local control flow (`break`/`continue`/`return`/
+    /// explicit `throw`).
+    NonLocExp,
+    /// Implicit exceptions.
+    NonLocImp,
+}
+
+impl fmt::Display for CtrlKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CtrlKind::Local => write!(f, "local"),
+            CtrlKind::NonLocExp => write!(f, "nonlocexp"),
+            CtrlKind::NonLocImp => write!(f, "nonlocimp"),
+        }
+    }
+}
+
+/// An edge annotation:
+///
+/// ```text
+/// ann     ::= data | control
+/// data    ::= datastrong | dataweak
+/// control ::= ctrl | ctrl^amp
+/// ctrl    ::= local | nonlocexp | nonlocimp
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Annotation {
+    /// Definite data dependence on a single concrete location.
+    DataStrong,
+    /// Possible data dependence.
+    DataWeak,
+    /// Control dependence of the given kind; `amp` marks edges whose
+    /// source lies on a CFG cycle (amplifiable beyond one bit).
+    Ctrl {
+        /// Which control-flow construct induced the edge.
+        kind: CtrlKind,
+        /// Amplified (source inside a cycle)?
+        amp: bool,
+    },
+}
+
+impl Annotation {
+    /// All eight possible annotations, in lattice-friendly order.
+    pub const ALL: [Annotation; 8] = [
+        Annotation::DataStrong,
+        Annotation::DataWeak,
+        Annotation::Ctrl {
+            kind: CtrlKind::Local,
+            amp: true,
+        },
+        Annotation::Ctrl {
+            kind: CtrlKind::Local,
+            amp: false,
+        },
+        Annotation::Ctrl {
+            kind: CtrlKind::NonLocExp,
+            amp: true,
+        },
+        Annotation::Ctrl {
+            kind: CtrlKind::NonLocExp,
+            amp: false,
+        },
+        Annotation::Ctrl {
+            kind: CtrlKind::NonLocImp,
+            amp: true,
+        },
+        Annotation::Ctrl {
+            kind: CtrlKind::NonLocImp,
+            amp: false,
+        },
+    ];
+
+    /// True for data-dependence annotations.
+    pub fn is_data(self) -> bool {
+        matches!(self, Annotation::DataStrong | Annotation::DataWeak)
+    }
+}
+
+impl fmt::Display for Annotation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Annotation::DataStrong => write!(f, "data_strong"),
+            Annotation::DataWeak => write!(f, "data_weak"),
+            Annotation::Ctrl { kind, amp: false } => write!(f, "{kind}"),
+            Annotation::Ctrl { kind, amp: true } => write!(f, "{kind}^amp"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eight_annotations() {
+        assert_eq!(Annotation::ALL.len(), 8);
+        let set: std::collections::BTreeSet<_> = Annotation::ALL.into_iter().collect();
+        assert_eq!(set.len(), 8);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Annotation::DataStrong.to_string(), "data_strong");
+        assert_eq!(
+            Annotation::Ctrl {
+                kind: CtrlKind::NonLocExp,
+                amp: true
+            }
+            .to_string(),
+            "nonlocexp^amp"
+        );
+        assert_eq!(
+            Annotation::Ctrl {
+                kind: CtrlKind::Local,
+                amp: false
+            }
+            .to_string(),
+            "local"
+        );
+    }
+
+    #[test]
+    fn classification() {
+        assert!(Annotation::DataWeak.is_data());
+        assert!(!Annotation::Ctrl {
+            kind: CtrlKind::Local,
+            amp: false
+        }
+        .is_data());
+    }
+}

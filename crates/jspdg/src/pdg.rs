@@ -1,0 +1,183 @@
+//! The annotated Program Dependence Graph (Section 3): the union of the
+//! annotated DDG and the staged, annotated CDG.
+
+use crate::annotation::Annotation;
+use crate::cdg::{build_cdg, CtrlDep};
+use crate::ddg::{build_ddg, DataDep};
+use crate::supergraph::SuperGraph;
+use jsanalysis::AnalysisResult;
+use jsir::{Lowered, StmtId};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// One annotated PDG edge.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub struct PdgEdge {
+    /// Source statement.
+    pub from: StmtId,
+    /// Target statement.
+    pub to: StmtId,
+    /// The edge's annotation.
+    pub ann: Annotation,
+}
+
+/// The annotated program dependence graph.
+#[derive(Debug, Clone, Default)]
+pub struct Pdg {
+    edges: BTreeSet<PdgEdge>,
+    succs: BTreeMap<StmtId, Vec<(StmtId, Annotation)>>,
+    preds: BTreeMap<StmtId, Vec<(StmtId, Annotation)>>,
+}
+
+impl Pdg {
+    /// Builds the annotated PDG for an analyzed program.
+    pub fn build(lowered: &Lowered, analysis: &AnalysisResult) -> Pdg {
+        let sg = SuperGraph::build(lowered, analysis);
+        Pdg::build_with_supergraph(lowered, analysis, &sg)
+    }
+
+    /// Builds the PDG when the supergraph is already available.
+    pub fn build_with_supergraph(
+        lowered: &Lowered,
+        analysis: &AnalysisResult,
+        sg: &SuperGraph,
+    ) -> Pdg {
+        let mut pdg = Pdg::default();
+        for DataDep { from, to, strong } in build_ddg(sg, analysis) {
+            pdg.add(
+                from,
+                to,
+                if strong {
+                    Annotation::DataStrong
+                } else {
+                    Annotation::DataWeak
+                },
+            );
+        }
+        for dep in build_cdg(lowered, analysis, sg) {
+            let CtrlDep { from, to, .. } = dep;
+            pdg.add(from, to, dep.annotation());
+        }
+        pdg
+    }
+
+    /// Adds an edge (idempotent).
+    pub fn add(&mut self, from: StmtId, to: StmtId, ann: Annotation) {
+        if self.edges.insert(PdgEdge { from, to, ann }) {
+            self.succs.entry(from).or_default().push((to, ann));
+            self.preds.entry(to).or_default().push((from, ann));
+        }
+    }
+
+    /// All edges in deterministic order.
+    pub fn edges(&self) -> impl Iterator<Item = &PdgEdge> {
+        self.edges.iter()
+    }
+
+    /// Outgoing edges of a statement.
+    pub fn succs(&self, s: StmtId) -> &[(StmtId, Annotation)] {
+        self.succs.get(&s).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Incoming edges of a statement.
+    pub fn preds(&self, s: StmtId) -> &[(StmtId, Annotation)] {
+        self.preds.get(&s).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Number of edges.
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// All statements participating in at least one edge.
+    pub fn nodes(&self) -> BTreeSet<StmtId> {
+        self.edges
+            .iter()
+            .flat_map(|e| [e.from, e.to])
+            .collect()
+    }
+
+    /// True if `to` is reachable from `from` along any PDG path.
+    pub fn reaches(&self, from: StmtId, to: StmtId) -> bool {
+        let mut seen = BTreeSet::new();
+        let mut stack = vec![from];
+        while let Some(s) = stack.pop() {
+            if s == to {
+                return true;
+            }
+            if seen.insert(s) {
+                stack.extend(self.succs(s).iter().map(|(t, _)| *t));
+            }
+        }
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::annotation::CtrlKind;
+    use jsanalysis::{analyze, AnalysisConfig};
+
+    fn build(src: &str) -> (Lowered, Pdg) {
+        let ast = jsparser::parse(src).unwrap();
+        let lowered =
+            jsir::lower_with_options(&ast, &jsir::LowerOptions { event_loop: false });
+        let analysis = analyze(&lowered, &AnalysisConfig::default());
+        let pdg = Pdg::build(&lowered, &analysis);
+        (lowered, pdg)
+    }
+
+    #[test]
+    fn union_of_ddg_and_cdg() {
+        let (_, pdg) = build(
+            "var a = input_global; if (Math.random() < 0.5) { out_global = a; }",
+        );
+        assert!(pdg.edges().any(|e| e.ann.is_data()));
+        assert!(pdg.edges().any(|e| !e.ann.is_data()));
+        assert!(pdg.edge_count() > 2);
+    }
+
+    #[test]
+    fn adjacency_is_consistent() {
+        let (_, pdg) = build("var a = 1; var b = a; var c = b;");
+        for e in pdg.edges() {
+            assert!(pdg.succs(e.from).iter().any(|(t, a)| *t == e.to && *a == e.ann));
+            assert!(pdg.preds(e.to).iter().any(|(f, a)| *f == e.from && *a == e.ann));
+        }
+    }
+
+    #[test]
+    fn reachability_via_mixed_edges() {
+        // Implicit flow: source -> branch (data), branch -> sink (control).
+        let (lowered, pdg) = build(
+            r#"
+var secret = input_global;
+if (secret == "x") { leak_global = 1; }
+"#,
+        );
+        let first_copy = lowered
+            .program
+            .stmts
+            .iter()
+            .find(|s| matches!(&s.kind, jsir::IrStmtKind::Copy { dst: jsir::Place::Var(_), .. }))
+            .unwrap()
+            .id;
+        let leak = lowered
+            .program
+            .stmts
+            .iter()
+            .find(|s| {
+                matches!(&s.kind, jsir::IrStmtKind::Copy { dst: jsir::Place::Global(g), .. } if g == "leak_global")
+            })
+            .unwrap()
+            .id;
+        assert!(
+            pdg.reaches(first_copy, leak),
+            "implicit flow must be a PDG path"
+        );
+        // And at least one control edge participates.
+        assert!(pdg
+            .edges()
+            .any(|e| matches!(e.ann, Annotation::Ctrl { kind: CtrlKind::Local, .. })));
+    }
+}

@@ -1,0 +1,502 @@
+//! Postdominator trees and Ferrante-Ottenstein-Warren control dependence.
+//!
+//! Used by the staged CDG construction of Section 3.3. Operates on a
+//! per-function subgraph of the global CFG.
+
+use jsir::{Cfg, StmtId};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// A per-function view: the function's statements and its exit node.
+#[derive(Debug, Clone)]
+pub struct FuncGraph {
+    /// Statements belonging to the function.
+    pub nodes: Vec<StmtId>,
+    /// The function's entry.
+    pub entry: StmtId,
+    /// The function's unique exit.
+    pub exit: StmtId,
+}
+
+/// The immediate-postdominator tree of one function's CFG.
+#[derive(Debug, Clone)]
+pub struct PostDominators {
+    ipdom: BTreeMap<StmtId, StmtId>,
+    exit: StmtId,
+}
+
+impl PostDominators {
+    /// Immediate postdominator of `n` (`None` for the exit itself or for
+    /// nodes with no path to the exit).
+    pub fn ipdom(&self, n: StmtId) -> Option<StmtId> {
+        if n == self.exit {
+            None
+        } else {
+            self.ipdom.get(&n).copied()
+        }
+    }
+
+    /// True if `a` postdominates `b` (reflexive).
+    pub fn postdominates(&self, a: StmtId, b: StmtId) -> bool {
+        let mut cur = Some(b);
+        while let Some(n) = cur {
+            if n == a {
+                return true;
+            }
+            cur = self.ipdom(n);
+        }
+        false
+    }
+}
+
+/// Computes postdominators of the function subgraph of `cfg` restricted to
+/// edges `keep`, using the iterative Cooper-Harvey-Kennedy algorithm on
+/// the reverse graph.
+///
+/// Nodes that cannot reach the exit under `keep` (dead ends created by
+/// pruning -- e.g. a `throw` whose outgoing edge was pruned -- or
+/// genuinely infinite loops) have no postdominators; paths through them
+/// never reach the exit and therefore do not constrain postdominance.
+/// This is what makes the staged construction work: in the local-only
+/// CFG a pruned `throw` terminates its path, so statements after the
+/// `try` are *not* control dependent on a guard whose only escaping path
+/// is the throw.
+pub fn postdominators(
+    cfg: &Cfg,
+    func: &FuncGraph,
+    keep: impl Fn(jsir::EdgeKind) -> bool,
+) -> PostDominators {
+    let in_func: BTreeSet<StmtId> = func.nodes.iter().copied().collect();
+    // Successor lists under the filter, restricted to exit-reaching nodes.
+    let mut succs: BTreeMap<StmtId, Vec<StmtId>> = BTreeMap::new();
+    for &n in &func.nodes {
+        let list: Vec<StmtId> = cfg
+            .succs(n)
+            .iter()
+            .filter(|(t, k)| keep(*k) && in_func.contains(t))
+            .map(|(t, _)| *t)
+            .collect();
+        succs.insert(n, list);
+    }
+    // Backward reachability from the exit; drop everything else.
+    let reaches = exit_reaching(&succs, func.exit);
+    for (_, list) in succs.iter_mut() {
+        list.retain(|t| reaches.contains(t));
+    }
+    succs.retain(|n, _| reaches.contains(n));
+
+    // Reverse post-order on the REVERSE graph starting at exit.
+    let mut preds: BTreeMap<StmtId, Vec<StmtId>> = BTreeMap::new();
+    for (&n, list) in &succs {
+        for &t in list {
+            preds.entry(t).or_default().push(n);
+        }
+    }
+    let mut order: Vec<StmtId> = Vec::new();
+    let mut seen: BTreeSet<StmtId> = BTreeSet::new();
+    // Iterative DFS post-order from exit over reverse edges.
+    let mut stack: Vec<(StmtId, usize)> = vec![(func.exit, 0)];
+    seen.insert(func.exit);
+    while let Some((n, i)) = stack.pop() {
+        let ps = preds.get(&n).cloned().unwrap_or_default();
+        if i < ps.len() {
+            stack.push((n, i + 1));
+            let p = ps[i];
+            if seen.insert(p) {
+                stack.push((p, 0));
+            }
+        } else {
+            order.push(n);
+        }
+    }
+    order.reverse(); // reverse post-order: exit first
+
+    let index: BTreeMap<StmtId, usize> = order
+        .iter()
+        .enumerate()
+        .map(|(i, &n)| (n, i))
+        .collect();
+
+    let mut ipdom: BTreeMap<StmtId, StmtId> = BTreeMap::new();
+    ipdom.insert(func.exit, func.exit);
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for &n in order.iter().skip(1) {
+            // Intersect over processed successors (reverse-graph preds).
+            let mut new_idom: Option<StmtId> = None;
+            for &s in succs.get(&n).into_iter().flatten() {
+                if ipdom.contains_key(&s) {
+                    new_idom = Some(match new_idom {
+                        None => s,
+                        Some(cur) => intersect(&ipdom, &index, cur, s),
+                    });
+                }
+            }
+            if let Some(nd) = new_idom {
+                if ipdom.get(&n) != Some(&nd) {
+                    ipdom.insert(n, nd);
+                    changed = true;
+                }
+            }
+        }
+    }
+    ipdom.remove(&func.exit);
+    PostDominators {
+        ipdom,
+        exit: func.exit,
+    }
+}
+
+/// Nodes with a path to `exit` in the given adjacency.
+pub(crate) fn exit_reaching(
+    succs: &BTreeMap<StmtId, Vec<StmtId>>,
+    exit: StmtId,
+) -> BTreeSet<StmtId> {
+    let mut preds: BTreeMap<StmtId, Vec<StmtId>> = BTreeMap::new();
+    for (&n, list) in succs {
+        for &t in list {
+            preds.entry(t).or_default().push(n);
+        }
+    }
+    let mut reaches = BTreeSet::new();
+    let mut stack = vec![exit];
+    while let Some(n) = stack.pop() {
+        if reaches.insert(n) {
+            if let Some(ps) = preds.get(&n) {
+                stack.extend(ps.iter().copied());
+            }
+        }
+    }
+    reaches
+}
+
+fn intersect(
+    ipdom: &BTreeMap<StmtId, StmtId>,
+    index: &BTreeMap<StmtId, usize>,
+    mut a: StmtId,
+    mut b: StmtId,
+) -> StmtId {
+    // Walk up toward the exit (smaller index = closer to exit in RPO of
+    // the reverse graph).
+    while a != b {
+        let (ia, ib) = (index[&a], index[&b]);
+        if ia > ib {
+            a = ipdom[&a];
+        } else {
+            b = ipdom[&b];
+        }
+    }
+    a
+}
+
+/// Control-dependence edges of one function under the edge filter `keep`:
+/// `u -> w` iff `w`'s execution is controlled by `u` (FOW construction:
+/// for each CFG edge `(u, v)` where `v` does not postdominate `u`, every
+/// node from `v` up the postdominator tree to -- but excluding -- `u`'s
+/// immediate postdominator is control dependent on `u`).
+pub fn control_dependence(
+    cfg: &Cfg,
+    func: &FuncGraph,
+    keep: impl Fn(jsir::EdgeKind) -> bool + Copy,
+) -> BTreeSet<(StmtId, StmtId)> {
+    let pd = postdominators(cfg, func, keep);
+    let in_func: BTreeSet<StmtId> = func.nodes.iter().copied().collect();
+    // Recompute the filtered adjacency + exit-reaching set for trapped
+    // regions (nodes with no path to the exit under this filter).
+    let mut succs: BTreeMap<StmtId, Vec<StmtId>> = BTreeMap::new();
+    for &n in &func.nodes {
+        let list: Vec<StmtId> = cfg
+            .succs(n)
+            .iter()
+            .filter(|(t, k)| keep(*k) && in_func.contains(t))
+            .map(|(t, _)| *t)
+            .collect();
+        succs.insert(n, list);
+    }
+    let reaches = exit_reaching(&succs, func.exit);
+
+    let mut out = BTreeSet::new();
+    for &u in &func.nodes {
+        for (v, k) in cfg.succs(u) {
+            if !keep(*k) || !in_func.contains(v) {
+                continue;
+            }
+            if !reaches.contains(v) {
+                // Trapped region: everything reachable from v without
+                // escaping to the exit is control dependent on u.
+                let mut stack = vec![*v];
+                let mut seen = BTreeSet::new();
+                while let Some(n) = stack.pop() {
+                    if !seen.insert(n) || reaches.contains(&n) {
+                        continue;
+                    }
+                    if n != u {
+                        out.insert((u, n));
+                    }
+                    stack.extend(succs.get(&n).into_iter().flatten().copied());
+                }
+                continue;
+            }
+            if pd.postdominates(*v, u) && *v != u {
+                continue;
+            }
+            // Walk from v up to ipdom(u), exclusive.
+            let stop = pd.ipdom(u);
+            let mut cur = Some(*v);
+            while let Some(n) = cur {
+                if Some(n) == stop {
+                    break;
+                }
+                out.insert((u, n));
+                cur = pd.ipdom(n);
+                if cur == Some(n) {
+                    break;
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jsir::EdgeKind;
+
+    fn s(n: u32) -> StmtId {
+        StmtId(n)
+    }
+
+    /// Diamond: 0 -> 1 -> {2,3} -> 4 -> 5(exit)
+    fn diamond() -> (Cfg, FuncGraph) {
+        let mut g = Cfg::with_capacity(6);
+        g.add_edge(s(0), s(1), EdgeKind::Seq);
+        g.add_edge(s(1), s(2), EdgeKind::BranchTrue);
+        g.add_edge(s(1), s(3), EdgeKind::BranchFalse);
+        g.add_edge(s(2), s(4), EdgeKind::Seq);
+        g.add_edge(s(3), s(4), EdgeKind::Seq);
+        g.add_edge(s(4), s(5), EdgeKind::Seq);
+        let f = FuncGraph {
+            nodes: (0..6).map(s).collect(),
+            entry: s(0),
+            exit: s(5),
+        };
+        (g, f)
+    }
+
+    #[test]
+    fn diamond_postdominators() {
+        let (g, f) = diamond();
+        let pd = postdominators(&g, &f, |_| true);
+        assert_eq!(pd.ipdom(s(2)), Some(s(4)));
+        assert_eq!(pd.ipdom(s(3)), Some(s(4)));
+        assert_eq!(pd.ipdom(s(1)), Some(s(4)));
+        assert_eq!(pd.ipdom(s(4)), Some(s(5)));
+        assert!(pd.postdominates(s(4), s(1)));
+        assert!(!pd.postdominates(s(2), s(1)));
+        assert!(pd.postdominates(s(5), s(0)));
+    }
+
+    #[test]
+    fn diamond_control_dependence() {
+        let (g, f) = diamond();
+        let cd = control_dependence(&g, &f, |_| true);
+        assert!(cd.contains(&(s(1), s(2))));
+        assert!(cd.contains(&(s(1), s(3))));
+        assert!(!cd.contains(&(s(1), s(4))), "join point not dependent");
+        assert!(!cd.contains(&(s(0), s(1))), "straight line not dependent");
+    }
+
+    #[test]
+    fn loop_control_dependence() {
+        // 0 -> 1(branch) -T-> 2 -> 1 ; 1 -F-> 3(exit)
+        let mut g = Cfg::with_capacity(4);
+        g.add_edge(s(0), s(1), EdgeKind::Seq);
+        g.add_edge(s(1), s(2), EdgeKind::BranchTrue);
+        g.add_edge(s(2), s(1), EdgeKind::Seq);
+        g.add_edge(s(1), s(3), EdgeKind::BranchFalse);
+        let f = FuncGraph {
+            nodes: (0..4).map(s).collect(),
+            entry: s(0),
+            exit: s(3),
+        };
+        let cd = control_dependence(&g, &f, |_| true);
+        assert!(cd.contains(&(s(1), s(2))), "body depends on loop test");
+        assert!(cd.contains(&(s(1), s(1))), "loop test depends on itself");
+    }
+
+    #[test]
+    fn infinite_loop_has_no_postdominators_but_terminates() {
+        // 0 -> 1 -> 2 -> 1, exit 3 disconnected: the whole region is
+        // trapped; postdominance is undefined there but computation must
+        // terminate and control dependence must still cover the region.
+        let mut g = Cfg::with_capacity(4);
+        g.add_edge(s(0), s(1), EdgeKind::Seq);
+        g.add_edge(s(1), s(2), EdgeKind::Seq);
+        g.add_edge(s(2), s(1), EdgeKind::Seq);
+        let f = FuncGraph {
+            nodes: (0..4).map(s).collect(),
+            entry: s(0),
+            exit: s(3),
+        };
+        let pd = postdominators(&g, &f, |_| true);
+        assert!(!pd.postdominates(s(3), s(0)), "exit is unreachable");
+        // Trapped nodes become control dependent on their entry edge.
+        let cd = control_dependence(&g, &f, |_| true);
+        assert!(cd.contains(&(s(0), s(1))));
+        assert!(cd.contains(&(s(0), s(2))));
+    }
+
+    #[test]
+    fn pruned_graph_control_dependence_changes() {
+        // try { if (c) throw; x; } pruned vs full:
+        // 0 -> 1(branch) -T-> 2(throw) ; 1 -F-> 3(x) -> 4(exit)
+        // full: 2 -> 5(catch) -> 4 ; pruned(local only): 2 dead-ends.
+        let mut g = Cfg::with_capacity(6);
+        g.add_edge(s(0), s(1), EdgeKind::Seq);
+        g.add_edge(s(1), s(2), EdgeKind::BranchTrue);
+        g.add_edge(s(1), s(3), EdgeKind::BranchFalse);
+        g.add_edge(s(2), s(5), EdgeKind::ThrowExplicit);
+        g.add_edge(s(5), s(4), EdgeKind::Seq);
+        g.add_edge(s(3), s(4), EdgeKind::Seq);
+        let f = FuncGraph {
+            nodes: (0..6).map(s).collect(),
+            entry: s(0),
+            exit: s(4),
+        };
+        let local_only = control_dependence(&g, &f, |k| k.is_local());
+        let with_explicit =
+            control_dependence(&g, &f, |k| k.is_local() || k.is_nonlocal_explicit());
+        // With the throw edge, x (node 3) is control dependent on the
+        // branch; statements after the throw landing differ between the
+        // two stages.
+        assert!(with_explicit.contains(&(s(1), s(3))));
+        // The difference set is what stage 2 annotates nonlocexp.
+        let diff: Vec<_> = with_explicit.difference(&local_only).collect();
+        assert!(!diff.is_empty());
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use jsir::EdgeKind;
+    use proptest::prelude::*;
+
+    /// Random small graphs over nodes 0..n with designated entry 0 and
+    /// exit n-1.
+    fn arb_graph() -> impl Strategy<Value = (Cfg, FuncGraph)> {
+        (3usize..9).prop_flat_map(|n| {
+            let edges = prop::collection::vec((0..n, 0..n), 0..(n * 2));
+            edges.prop_map(move |es| {
+                let mut g = Cfg::with_capacity(n);
+                // A spine so the exit is usually reachable.
+                for i in 0..n - 1 {
+                    g.add_edge(StmtId(i as u32), StmtId(i as u32 + 1), EdgeKind::Seq);
+                }
+                for (a, b) in es {
+                    if a != b {
+                        g.add_edge(StmtId(a as u32), StmtId(b as u32), EdgeKind::Seq);
+                    }
+                }
+                let f = FuncGraph {
+                    nodes: (0..n as u32).map(StmtId).collect(),
+                    entry: StmtId(0),
+                    exit: StmtId(n as u32 - 1),
+                };
+                (g, f)
+            })
+        })
+    }
+
+    /// Brute force: does every path from `from` to the exit pass through
+    /// `through`? (Checked by deleting `through` and testing
+    /// reachability.)
+    fn postdominates_brute(
+        cfg: &Cfg,
+        f: &FuncGraph,
+        through: StmtId,
+        from: StmtId,
+    ) -> bool {
+        if through == from {
+            return true;
+        }
+        // Can `from` reach exit at all? If not, postdominance is vacuous
+        // and our implementation leaves such nodes out; skip via caller.
+        let mut seen = std::collections::BTreeSet::new();
+        let mut stack = vec![from];
+        let mut reached_exit_avoiding = false;
+        while let Some(x) = stack.pop() {
+            if x == through {
+                continue; // deleted node
+            }
+            if !seen.insert(x) {
+                continue;
+            }
+            if x == f.exit {
+                reached_exit_avoiding = true;
+                break;
+            }
+            for (t, _) in cfg.succs(x) {
+                stack.push(*t);
+            }
+        }
+        !reached_exit_avoiding
+    }
+
+    /// Exit-reachability for the brute-force comparison.
+    fn reaches_exit(cfg: &Cfg, f: &FuncGraph, from: StmtId) -> bool {
+        let mut seen = std::collections::BTreeSet::new();
+        let mut stack = vec![from];
+        while let Some(x) = stack.pop() {
+            if !seen.insert(x) {
+                continue;
+            }
+            if x == f.exit {
+                return true;
+            }
+            for (t, _) in cfg.succs(x) {
+                stack.push(*t);
+            }
+        }
+        false
+    }
+
+    proptest! {
+        #[test]
+        fn ipdom_agrees_with_brute_force((g, f) in arb_graph()) {
+            let pd = postdominators(&g, &f, |_| true);
+            for &n in &f.nodes {
+                if !reaches_exit(&g, &f, n) {
+                    continue;
+                }
+                for &m in &f.nodes {
+                    if !reaches_exit(&g, &f, m) {
+                        continue;
+                    }
+                    let ours = pd.postdominates(m, n);
+                    let truth = postdominates_brute(&g, &f, m, n);
+                    prop_assert_eq!(
+                        ours, truth,
+                        "postdominates({:?}, {:?}) mismatch", m, n
+                    );
+                }
+            }
+        }
+
+        #[test]
+        fn control_dependence_terminates_and_is_within_nodes(
+            (g, f) in arb_graph()
+        ) {
+            for filter in [true, false] {
+                let cd = control_dependence(&g, &f, move |k: EdgeKind| {
+                    filter || k.is_local()
+                });
+                for (u, w) in cd {
+                    prop_assert!(f.nodes.contains(&u));
+                    prop_assert!(f.nodes.contains(&w));
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,265 @@
+//! The interprocedural supergraph: the CFG augmented with implicit-throw
+//! edges, call edges (call site to callee entry), and return edges (callee
+//! exit back to the call's continuations). The DDG's reaching-definitions
+//! pass and the amplification (cycle) analysis both run over it.
+
+use jsanalysis::AnalysisResult;
+use jsir::{Cfg, EdgeKind, IrFuncId, Lowered, StmtId};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// The interprocedural supergraph.
+#[derive(Debug)]
+pub struct SuperGraph {
+    /// The intraprocedural CFG including implicit-throw edges.
+    pub cfg: Cfg,
+    /// Flattened forward adjacency (data can flow along these edges);
+    /// excludes `Uncaught` edges (termination). Includes an extra
+    /// callee-exit -> call-site edge so that return-value reads recorded
+    /// on the call statement see definitions made inside the callee.
+    succs: BTreeMap<StmtId, Vec<StmtId>>,
+    /// Call edges: call statement -> callee entry.
+    pub call_edges: BTreeSet<(StmtId, StmtId)>,
+    /// Statements lying on a (interprocedural) cycle.
+    cycles: BTreeSet<StmtId>,
+}
+
+impl SuperGraph {
+    /// Builds the supergraph from lowering output and the base analysis.
+    pub fn build(lowered: &Lowered, analysis: &AnalysisResult) -> SuperGraph {
+        let mut cfg = lowered.cfg.clone();
+        jsir::add_implicit_throw_edges(&lowered.program, &mut cfg, &analysis.may_throw);
+
+        fn add(map: &mut BTreeMap<StmtId, Vec<StmtId>>, from: StmtId, to: StmtId) {
+            let list = map.entry(from).or_default();
+            if !list.contains(&to) {
+                list.push(to);
+            }
+        }
+        let mut succs: BTreeMap<StmtId, Vec<StmtId>> = BTreeMap::new();
+        for e in cfg.edges() {
+            if e.kind != EdgeKind::Uncaught {
+                add(&mut succs, e.from, e.to);
+            }
+        }
+        // Call and return edges. For cycle detection the return edge goes
+        // to the call's continuations (execution order); the flow graph
+        // additionally routes the exit back to the call statement itself,
+        // because the call is where the return-value read is recorded.
+        let mut call_edges = BTreeSet::new();
+        let mut cycle_succs = succs.clone();
+        for (&call, targets) in &analysis.call_targets {
+            let continuations: Vec<StmtId> = cfg
+                .succs(call)
+                .iter()
+                .filter(|(_, k)| *k != EdgeKind::Uncaught)
+                .map(|(t, _)| *t)
+                .collect();
+            for fid in targets {
+                let f: &jsir::IrFunc = lowered.program.func(*fid);
+                add(&mut succs, call, f.entry);
+                call_edges.insert((call, f.entry));
+                for &c in &continuations {
+                    add(&mut succs, f.exit, c);
+                }
+                add(&mut succs, f.exit, call);
+                // Cycle graph: no exit -> call back edge.
+                add(&mut cycle_succs, call, f.entry);
+                for &c in &continuations {
+                    add(&mut cycle_succs, f.exit, c);
+                }
+            }
+        }
+
+        // Amplification cycles come from the base analysis's
+        // context-qualified transition graph (avoiding the spurious cycles
+        // a context-insensitive return edge would create when one function
+        // is called from two sites). The context-insensitive cycle graph
+        // is kept as a fallback for callers without analysis transitions.
+        let cycles = if analysis.cyclic_stmts.is_empty() && analysis.reachable.is_empty() {
+            cycle_nodes(&cycle_succs)
+        } else {
+            let _ = &cycle_succs;
+            analysis.cyclic_stmts.clone()
+        };
+
+        SuperGraph {
+            cfg,
+            succs,
+            call_edges,
+            cycles,
+        }
+    }
+
+    /// Successors along which data can flow.
+    pub fn succs(&self, s: StmtId) -> &[StmtId] {
+        self.succs.get(&s).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// True if the statement lies on an interprocedural cycle (loops,
+    /// recursion, or the event loop). These are the paper's *amplified*
+    /// control-edge sources.
+    pub fn in_cycle(&self, s: StmtId) -> bool {
+        self.cycles.contains(&s)
+    }
+
+    /// All nodes that appear in the graph.
+    pub fn nodes(&self) -> impl Iterator<Item = StmtId> + '_ {
+        self.succs.keys().copied()
+    }
+
+    /// The per-function node/entry/exit view used by CDG construction.
+    pub fn func_graph(lowered: &Lowered, func: IrFuncId) -> crate::postdom::FuncGraph {
+        let f = lowered.program.func(func);
+        crate::postdom::FuncGraph {
+            nodes: f.stmts.clone(),
+            entry: f.entry,
+            exit: f.exit,
+        }
+    }
+}
+
+/// Tarjan SCC over an adjacency map; returns nodes in non-trivial SCCs or
+/// with self loops.
+fn cycle_nodes(succs: &BTreeMap<StmtId, Vec<StmtId>>) -> BTreeSet<StmtId> {
+    // Collect all nodes.
+    let mut nodes: BTreeSet<StmtId> = succs.keys().copied().collect();
+    for list in succs.values() {
+        nodes.extend(list.iter().copied());
+    }
+    let idx_of: BTreeMap<StmtId, usize> = nodes.iter().copied().zip(0..).collect();
+    let node_vec: Vec<StmtId> = nodes.iter().copied().collect();
+    let n = node_vec.len();
+    let adj: Vec<Vec<usize>> = node_vec
+        .iter()
+        .map(|s| {
+            succs
+                .get(s)
+                .map(|l| l.iter().map(|t| idx_of[t]).collect())
+                .unwrap_or_default()
+        })
+        .collect();
+
+    let mut index = vec![usize::MAX; n];
+    let mut low = vec![0usize; n];
+    let mut on_stack = vec![false; n];
+    let mut stack = Vec::new();
+    let mut next = 0usize;
+    let mut out = BTreeSet::new();
+
+    #[derive(Clone, Copy)]
+    struct Frame {
+        v: usize,
+        pos: usize,
+    }
+    for root in 0..n {
+        if index[root] != usize::MAX {
+            continue;
+        }
+        let mut call = vec![Frame { v: root, pos: 0 }];
+        while let Some(fr) = call.last_mut() {
+            let v = fr.v;
+            if fr.pos == 0 {
+                index[v] = next;
+                low[v] = next;
+                next += 1;
+                stack.push(v);
+                on_stack[v] = true;
+            }
+            if fr.pos < adj[v].len() {
+                let w = adj[v][fr.pos];
+                fr.pos += 1;
+                if index[w] == usize::MAX {
+                    call.push(Frame { v: w, pos: 0 });
+                } else if on_stack[w] {
+                    low[v] = low[v].min(index[w]);
+                }
+            } else {
+                call.pop();
+                if let Some(p) = call.last() {
+                    low[p.v] = low[p.v].min(low[v]);
+                }
+                if low[v] == index[v] {
+                    let mut comp = Vec::new();
+                    loop {
+                        let w = stack.pop().expect("scc stack");
+                        on_stack[w] = false;
+                        comp.push(w);
+                        if w == v {
+                            break;
+                        }
+                    }
+                    let self_loop = adj[v].contains(&v);
+                    if comp.len() > 1 || self_loop {
+                        out.extend(comp.into_iter().map(|i| node_vec[i]));
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jsanalysis::{analyze, AnalysisConfig};
+
+    fn build(src: &str) -> (Lowered, AnalysisResult, SuperGraph) {
+        let ast = jsparser::parse(src).unwrap();
+        let lowered = jsir::lower(&ast);
+        let analysis = analyze(&lowered, &AnalysisConfig::default());
+        let sg = SuperGraph::build(&lowered, &analysis);
+        (lowered, analysis, sg)
+    }
+
+    #[test]
+    fn call_edges_connect_functions() {
+        let (lowered, _, sg) = build("function f() { return 1; } f();");
+        let f = lowered.program.funcs.iter().find(|f| f.name == "f").unwrap();
+        assert!(sg.call_edges.iter().any(|(_, e)| *e == f.entry));
+        // And the exit flows back to the caller's continuation.
+        assert!(!sg.succs(f.exit).is_empty());
+    }
+
+    #[test]
+    fn event_loop_makes_handlers_cyclic() {
+        let (lowered, _, sg) = build(
+            "function h() { tick = 1; } window.addEventListener('load', h, false);",
+        );
+        let h = lowered.program.funcs.iter().find(|f| f.name == "h").unwrap();
+        assert!(
+            sg.in_cycle(h.entry),
+            "event handlers run inside the dispatch loop"
+        );
+    }
+
+    #[test]
+    fn recursion_is_cyclic() {
+        let (lowered, _, sg) = build("function r(n) { if (n) r(n - 1); } r(3);");
+        let r = lowered.program.funcs.iter().find(|f| f.name == "r").unwrap();
+        assert!(sg.in_cycle(r.entry));
+    }
+
+    #[test]
+    fn straight_line_not_cyclic() {
+        let ast = jsparser::parse("var a = 1; var b = a;").unwrap();
+        let lowered = jsir::lower_with_options(
+            &ast,
+            &jsir::LowerOptions { event_loop: false },
+        );
+        let analysis = analyze(&lowered, &AnalysisConfig::default());
+        let sg = SuperGraph::build(&lowered, &analysis);
+        for s in &lowered.program.top_level().stmts {
+            assert!(!sg.in_cycle(*s));
+        }
+    }
+
+    #[test]
+    fn implicit_throw_edges_included() {
+        let (_, _, sg) = build("try { maybe.prop = 1; } catch (e) { h(); }");
+        assert!(sg
+            .cfg
+            .edges()
+            .any(|e| e.kind == EdgeKind::ThrowImplicit));
+    }
+}

@@ -1,0 +1,368 @@
+//! Comparing inferred signatures against manually-written ones
+//! (Section 6.2-6.3 of the paper).
+//!
+//! The paper writes a manual signature per addon from its developer
+//! summary, then classifies each addon as **pass** (inferred matches
+//! manual), **fail** (inferred has extra flows that are false positives /
+//! imprecision -- in the paper's two failures, an imprecisely-inferred
+//! network domain), or **leak** (inferred has extra flows that are real).
+//! Deciding whether an extra flow is real required manual inspection in
+//! the paper; here ground truth is supplied by the caller (the corpus
+//! records it for every benchmark addon).
+
+use crate::flowtype::FlowType;
+use crate::signature::{FlowEntry, Signature};
+use jsanalysis::{SinkKind, SourceKind};
+use jsdomains::Pre;
+use std::fmt;
+
+/// One entry of a manually-written signature.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ManualEntry {
+    /// Expected source.
+    pub source: SourceKind,
+    /// Expected sink kind.
+    pub sink_kind: SinkKind,
+    /// Expected network domain (a substring the inferred domain's known
+    /// text must contain), or `None` for domain-less sinks.
+    pub domain: Option<String>,
+    /// Expected flow type.
+    pub flow: FlowType,
+}
+
+impl fmt::Display for ManualEntry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} --{}--> {}", self.source, self.flow, self.sink_kind)?;
+        if let Some(d) = &self.domain {
+            write!(f, "({d})")?;
+        }
+        Ok(())
+    }
+}
+
+/// A manually-written signature (from the addon's developer summary).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ManualSignature {
+    /// Expected flow entries.
+    pub entries: Vec<ManualEntry>,
+    /// Sinks the addon is expected to communicate with even without an
+    /// interesting source (category C addons): (sink kind, domain).
+    pub plain_sinks: Vec<(SinkKind, String)>,
+}
+
+impl ManualSignature {
+    /// A signature with no expected flows.
+    pub fn empty() -> ManualSignature {
+        ManualSignature::default()
+    }
+}
+
+/// How an inferred entry relates to the manual signature.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MatchQuality {
+    /// Source, sink, flow type and domain all match.
+    Precise,
+    /// Source, sink and flow type match but the inferred domain is too
+    /// coarse to pin down the expected one (the paper's two `fail`s).
+    ImpreciseDomain,
+}
+
+/// The per-addon verdict of Table 2.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Verdict {
+    /// Inferred signature has no more flows than the manual one.
+    Pass,
+    /// Extra/imprecise flows that are false positives or imprecision.
+    Fail,
+    /// Extra flows that are real (unexpected, undocumented behavior).
+    Leak,
+}
+
+impl fmt::Display for Verdict {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Verdict::Pass => write!(f, "pass"),
+            Verdict::Fail => write!(f, "fail"),
+            Verdict::Leak => write!(f, "leak"),
+        }
+    }
+}
+
+/// Detailed result of a comparison.
+#[derive(Debug, Clone)]
+pub struct Comparison {
+    /// The overall verdict.
+    pub verdict: Verdict,
+    /// (manual entry index, inferred entry, quality) for matched entries.
+    pub matched: Vec<(usize, FlowEntry, MatchQuality)>,
+    /// Inferred entries with no manual counterpart, with the ground-truth
+    /// classification supplied by the caller (`true` = real flow).
+    pub extra: Vec<(FlowEntry, bool)>,
+    /// Inferred sink-only entries not covered by the manual signature,
+    /// with ground truth (`true` = the addon really communicates there).
+    pub extra_sinks: Vec<(crate::signature::SigSink, bool)>,
+    /// Manual entries the analysis failed to find (would indicate
+    /// unsoundness; empty on the whole corpus).
+    pub missing: Vec<ManualEntry>,
+}
+
+/// True if the inferred prefix-domain element pins down the expected
+/// domain: its known text must mention the expected host.
+fn domain_precise(inferred: &Pre, expected: &str) -> bool {
+    inferred
+        .known_text()
+        .is_some_and(|t| t.contains(expected))
+}
+
+/// True if the inferred domain is at least *compatible* with the expected
+/// one (could still denote it).
+fn domain_compatible(inferred: &Pre, expected: &str) -> bool {
+    match inferred {
+        Pre::Bot => false,
+        Pre::Exact(s) => s.contains(expected),
+        Pre::Prefix(p) => {
+            // A prefix is compatible if the expected domain extends it or
+            // it already contains the expected host.
+            p.contains(expected)
+                || expected.contains(p.as_str())
+                || p.is_empty()
+                || expected.starts_with(p.as_str())
+                // Conservative: short prefixes (scheme only) are compatible
+                // with anything.
+                || p.len() <= "https://".len()
+        }
+    }
+}
+
+/// Compares an inferred signature against the manual one. `is_real_flow`
+/// supplies ground truth for inferred flow entries absent from the manual
+/// signature, and `is_real_sink` for extra sink-only entries (the paper's
+/// "manual inspection").
+///
+/// One inferred entry may cover several manual entries: a single
+/// unknown-domain entry covers all three player domains of the paper's
+/// VKVideoDownloader example (imprecisely, producing `fail`).
+pub fn compare(
+    inferred: &Signature,
+    manual: &ManualSignature,
+    is_real_flow: impl Fn(&FlowEntry) -> bool,
+    is_real_sink: impl Fn(&crate::signature::SigSink) -> bool,
+) -> Comparison {
+    let mut matched: Vec<(usize, FlowEntry, MatchQuality)> = Vec::new();
+    let mut extra: Vec<(FlowEntry, bool)> = Vec::new();
+    let mut used_manual: Vec<bool> = vec![false; manual.entries.len()];
+
+    for entry in &inferred.flows {
+        let mut any_match = false;
+        for (i, m) in manual.entries.iter().enumerate() {
+            if m.source != entry.source || m.sink_kind != entry.sink.kind {
+                continue;
+            }
+            if m.flow != entry.flow {
+                continue;
+            }
+            let quality = match &m.domain {
+                None => MatchQuality::Precise,
+                Some(d) if domain_precise(&entry.sink.domain, d) => MatchQuality::Precise,
+                Some(d) if domain_compatible(&entry.sink.domain, d) => {
+                    MatchQuality::ImpreciseDomain
+                }
+                Some(_) => continue,
+            };
+            used_manual[i] = true;
+            matched.push((i, entry.clone(), quality));
+            any_match = true;
+        }
+        if !any_match {
+            let real = is_real_flow(entry);
+            extra.push((entry.clone(), real));
+        }
+    }
+
+    let missing: Vec<ManualEntry> = manual
+        .entries
+        .iter()
+        .zip(&used_manual)
+        .filter(|(_, used)| !**used)
+        .map(|(m, _)| m.clone())
+        .collect();
+
+    // Sink-only entries: an inferred sink is expected if compatible with a
+    // manual plain sink or with the domain of any manual flow entry.
+    let mut extra_sinks: Vec<(crate::signature::SigSink, bool)> = Vec::new();
+    for sink in &inferred.sinks {
+        let expected = manual
+            .plain_sinks
+            .iter()
+            .any(|(k, d)| *k == sink.kind && domain_compatible(&sink.domain, d))
+            || manual.entries.iter().any(|m| {
+                m.sink_kind == sink.kind
+                    && m.domain
+                        .as_deref()
+                        .is_none_or(|d| domain_compatible(&sink.domain, d))
+            });
+        if !expected {
+            extra_sinks.push((sink.clone(), is_real_sink(sink)));
+        }
+    }
+
+    let any_real_extra = extra.iter().any(|(_, real)| *real)
+        || extra_sinks.iter().any(|(_, real)| *real);
+    let any_false_extra = extra.iter().any(|(_, real)| !*real)
+        || extra_sinks.iter().any(|(_, real)| !*real);
+    let any_imprecise = matched
+        .iter()
+        .any(|(_, _, q)| *q == MatchQuality::ImpreciseDomain);
+
+    let verdict = if any_real_extra {
+        Verdict::Leak
+    } else if any_false_extra || any_imprecise || !missing.is_empty() {
+        Verdict::Fail
+    } else {
+        Verdict::Pass
+    };
+
+    Comparison {
+        verdict,
+        matched,
+        extra,
+        extra_sinks,
+        missing,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::signature::SigSink;
+
+    fn t(n: u8) -> FlowType {
+        FlowType(n - 1)
+    }
+
+    fn inferred_entry(domain: Pre, flow: FlowType) -> FlowEntry {
+        FlowEntry {
+            source: SourceKind::Url,
+            sink: SigSink {
+                kind: SinkKind::Send,
+                domain,
+            },
+            flow,
+        }
+    }
+
+    fn manual_url_send(domain: &str, flow: FlowType) -> ManualSignature {
+        ManualSignature {
+            entries: vec![ManualEntry {
+                source: SourceKind::Url,
+                sink_kind: SinkKind::Send,
+                domain: Some(domain.to_owned()),
+                flow,
+            }],
+            plain_sinks: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn exact_match_passes() {
+        let mut sig = Signature::new();
+        sig.add_flow(
+            inferred_entry(Pre::exact("http://rank.google.com/q"), t(1)),
+            None,
+        );
+        let c = compare(&sig, &manual_url_send("rank.google.com", t(1)), |_| false, |_| false);
+        assert_eq!(c.verdict, Verdict::Pass);
+        assert_eq!(c.matched.len(), 1);
+        assert!(c.extra.is_empty() && c.missing.is_empty());
+    }
+
+    #[test]
+    fn unknown_domain_fails() {
+        // The LessSpamPlease / VKVideoDownloader outcome.
+        let mut sig = Signature::new();
+        sig.add_flow(inferred_entry(Pre::any(), t(1)), None);
+        let c = compare(&sig, &manual_url_send("lesspam.example", t(1)), |_| false, |_| false);
+        assert_eq!(c.verdict, Verdict::Fail);
+        assert_eq!(c.matched[0].2, MatchQuality::ImpreciseDomain);
+    }
+
+    #[test]
+    fn real_extra_flow_leaks() {
+        // The YoutubeDownloader outcome: an undocumented real flow.
+        let mut sig = Signature::new();
+        sig.add_flow(
+            inferred_entry(Pre::exact("http://youtube.com/get_video"), t(1)),
+            None,
+        );
+        let manual = ManualSignature::empty();
+        let c = compare(&sig, &manual, |_| true, |_| false);
+        assert_eq!(c.verdict, Verdict::Leak);
+        assert_eq!(c.extra.len(), 1);
+        assert!(c.extra[0].1);
+    }
+
+    #[test]
+    fn spurious_extra_flow_fails() {
+        let mut sig = Signature::new();
+        sig.add_flow(
+            inferred_entry(Pre::exact("http://a.example/x"), t(8)),
+            None,
+        );
+        let c = compare(&sig, &ManualSignature::empty(), |_| false, |_| false);
+        assert_eq!(c.verdict, Verdict::Fail);
+    }
+
+    #[test]
+    fn leak_outranks_fail() {
+        let mut sig = Signature::new();
+        sig.add_flow(inferred_entry(Pre::exact("http://real.leak/x"), t(1)), None);
+        sig.add_flow(inferred_entry(Pre::exact("http://noise.example/y"), t(8)), None);
+        let c = compare(
+            &sig,
+            &ManualSignature::empty(),
+            |e| e.sink.domain.known_text().unwrap().contains("real.leak"),
+            |_| false,
+        );
+        assert_eq!(c.verdict, Verdict::Leak);
+    }
+
+    #[test]
+    fn missing_entry_reported() {
+        let sig = Signature::new();
+        let c = compare(&sig, &manual_url_send("x.example", t(1)), |_| false, |_| false);
+        assert_eq!(c.missing.len(), 1);
+        assert_eq!(c.verdict, Verdict::Fail);
+    }
+
+    #[test]
+    fn flow_type_mismatch_is_extra() {
+        let mut sig = Signature::new();
+        sig.add_flow(
+            inferred_entry(Pre::exact("http://host.example/q"), t(4)),
+            None,
+        );
+        let c = compare(&sig, &manual_url_send("host.example", t(1)), |_| false, |_| false);
+        assert_eq!(c.verdict, Verdict::Fail);
+        assert_eq!(c.extra.len(), 1);
+        assert_eq!(c.missing.len(), 1);
+    }
+
+    #[test]
+    fn domain_compatibility_rules() {
+        assert!(domain_precise(
+            &Pre::exact("http://a.chess.com/turn"),
+            "chess.com"
+        ));
+        assert!(!domain_precise(&Pre::any(), "chess.com"));
+        assert!(domain_compatible(&Pre::any(), "chess.com"));
+        assert!(domain_compatible(
+            &Pre::prefix("http://chess.com/"),
+            "chess.com"
+        ));
+        assert!(!domain_compatible(
+            &Pre::exact("http://other.example/"),
+            "chess.com"
+        ));
+        assert!(!domain_compatible(&Pre::Bot, "chess.com"));
+    }
+}

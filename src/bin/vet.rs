@@ -1,0 +1,175 @@
+//! `vet` -- the command-line vetting tool.
+//!
+//! ```text
+//! vet <addon.js> [--json] [--dot] [--explain] [--k <depth>] [--constant-strings]
+//! vet --corpus [--json]
+//! ```
+//!
+//! Analyzes a JavaScript addon and prints its inferred security
+//! signature (or a JSON report with `--json`). `--corpus` runs the
+//! built-in benchmark suite instead of a file. Exits nonzero when the
+//! addon fails to parse or uses restricted dynamic-code APIs.
+
+use jsanalysis::{AnalysisConfig, StringDomain};
+use jssig::FlowLattice;
+use std::process::ExitCode;
+
+struct Options {
+    json: bool,
+    dot: bool,
+    explain: bool,
+    corpus: bool,
+    context_depth: usize,
+    string_domain: StringDomain,
+    file: Option<String>,
+}
+
+fn parse_args() -> Result<Options, String> {
+    let mut opts = Options {
+        json: false,
+        dot: false,
+        explain: false,
+        corpus: false,
+        context_depth: 1,
+        string_domain: StringDomain::Prefix,
+        file: None,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--json" => opts.json = true,
+            "--dot" => opts.dot = true,
+            "--explain" => opts.explain = true,
+            "--corpus" => opts.corpus = true,
+            "--constant-strings" => opts.string_domain = StringDomain::ConstantOnly,
+            "--k" => {
+                let v = args.next().ok_or("--k needs a value")?;
+                opts.context_depth = v.parse().map_err(|_| format!("bad depth: {v}"))?;
+            }
+            "--help" | "-h" => {
+                return Err("usage: vet <addon.js> [--json] [--dot] [--explain] \
+                            [--k <depth>] [--constant-strings] | vet --corpus"
+                    .to_owned())
+            }
+            other if !other.starts_with('-') => opts.file = Some(other.to_owned()),
+            other => return Err(format!("unknown flag: {other}")),
+        }
+    }
+    if !opts.corpus && opts.file.is_none() {
+        return Err("no input file (try --help)".to_owned());
+    }
+    Ok(opts)
+}
+
+fn vet_source(name: &str, source: &str, opts: &Options) -> Result<bool, String> {
+    let config = AnalysisConfig {
+        context_depth: opts.context_depth,
+        string_domain: opts.string_domain,
+        ..AnalysisConfig::default()
+    };
+    let report = addon_sig::analyze_addon_with_config(source, &config, &FlowLattice::paper())
+        .map_err(|e| format!("{name}: {e}"))?;
+    if opts.json {
+        println!("{}", report.signature.to_json());
+    } else if opts.dot {
+        println!("{}", jspdg::pdg_to_dot(&report.lowered.program, &report.pdg));
+    } else {
+        println!("=== {name} ===");
+        if report.signature.is_empty() {
+            println!("  (no interesting flows, sinks, or API uses)");
+        } else {
+            print!("{}", report.signature);
+        }
+        println!(
+            "  [P1 {:?}, P2 {:?}, P3 {:?}; {} PDG edges]",
+            report.p1,
+            report.p2,
+            report.p3,
+            report.pdg.edge_count()
+        );
+        if opts.explain {
+            explain_flows(&report);
+        }
+    }
+    // Restricted dynamic-code APIs are grounds for rejection (Section 2).
+    let dynamic_code = report
+        .signature
+        .apis
+        .iter()
+        .any(|a| a == "eval" || a == "Function" || a == "setTimeout$string");
+    if dynamic_code {
+        eprintln!("{name}: uses restricted dynamic-code APIs");
+    }
+    Ok(!dynamic_code)
+}
+
+/// Prints one witness dependence path per (source kind, sink) pair.
+fn explain_flows(report: &addon_sig::Report) {
+    use jspdg::{witness_path, SliceFilter};
+    let sources = report.analysis.source_stmts();
+    for sink in &report.analysis.sinks {
+        for (src_stmt, kinds) in &sources {
+            let Some(path) =
+                witness_path(&report.pdg, *src_stmt, sink.stmt, SliceFilter::All)
+            else {
+                continue;
+            };
+            let kind_names: Vec<String> =
+                kinds.iter().map(|k| k.to_string()).collect();
+            println!("  explain {} -> {}:", kind_names.join("/"), sink.kind);
+            for (stmt, ann) in path {
+                let line = report.lowered.program.stmt(stmt).span.line;
+                let text =
+                    jsir::pretty::stmt_to_string(&report.lowered.program, stmt);
+                match ann {
+                    Some(a) => println!("    L{line:<4} {text}  --[{a}]-->"),
+                    None => println!("    L{line:<4} {text}"),
+                }
+            }
+            break; // one witness per sink is enough for the report
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let opts = match parse_args() {
+        Ok(o) => o,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut ok = true;
+    if opts.corpus {
+        for addon in corpus::addons() {
+            match vet_source(addon.name, addon.source, &opts) {
+                Ok(clean) => ok &= clean,
+                Err(e) => {
+                    eprintln!("{e}");
+                    ok = false;
+                }
+            }
+        }
+    } else {
+        let path = opts.file.clone().expect("checked in parse_args");
+        let source = match std::fs::read_to_string(&path) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("{path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        match vet_source(&path, &source, &opts) {
+            Ok(clean) => ok = clean,
+            Err(e) => {
+                eprintln!("{e}");
+                ok = false;
+            }
+        }
+    }
+    if ok {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

