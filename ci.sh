@@ -1,0 +1,27 @@
+#!/bin/sh
+# CI gate. Everything runs offline (the workspace has no external
+# dependencies); any failure fails the script.
+#
+#   1. tier-1: release build + tests of the root package,
+#   2. the full workspace test suite (includes tests/worklist_golden.rs,
+#      whose step-budget table fails the build on base-analysis
+#      step-count regressions),
+#   3. a perf snapshot over the corpus, so the committed
+#      BENCH_pipeline.json can be refreshed from the CI artifact.
+set -eu
+cd "$(dirname "$0")"
+
+echo "==> tier-1: release build (offline)"
+cargo build --release --offline
+
+echo "==> tier-1: root package tests (offline)"
+cargo test --offline -q
+
+echo "==> workspace tests (incl. worklist golden + step budgets)"
+cargo test --offline --workspace -q
+
+echo "==> perf snapshot (sequential, 3 runs)"
+cargo build --release --offline --workspace
+./target/release/perf_snapshot --runs 3 --sequential --out target/BENCH_pipeline.ci.json
+
+echo "==> ci.sh: all gates passed"

@@ -1,0 +1,172 @@
+//! Performance snapshot for the 10-addon corpus, std-only (no criterion).
+//!
+//! Runs the whole corpus `runs + 1` times (the paper's methodology from
+//! Section 6.2: discard the first pass as warm-up, report medians),
+//! printing per-addon P1/P2/P3 medians plus the worklist `steps` counter,
+//! and writes `BENCH_pipeline.json` at the repo root — the
+//! perf-trajectory file future changes regress against.
+//!
+//! Flags:
+//! - `--runs N`       measured passes after warm-up (default 10)
+//! - `--sequential`   analyze addons one at a time instead of on
+//!                    `std::thread::scope` workers
+//! - `--out PATH`     where to write the JSON (default
+//!                    `<repo root>/BENCH_pipeline.json`)
+
+use minijson::Json;
+use std::time::{Duration, Instant};
+
+struct AddonPass {
+    p1: Duration,
+    p2: Duration,
+    p3: Duration,
+    total: Duration,
+    steps: usize,
+}
+
+fn analyze_one(addon: &corpus::Addon) -> AddonPass {
+    let start = Instant::now();
+    let report = addon_sig::analyze_addon(addon.source).expect("pipeline");
+    let total = start.elapsed();
+    AddonPass {
+        p1: report.p1,
+        p2: report.p2,
+        p3: report.p3,
+        total,
+        steps: report.analysis.steps,
+    }
+}
+
+/// One full-corpus pass; returns (per-addon results in corpus order,
+/// wall-clock for the whole pass).
+fn corpus_pass(addons: &[corpus::Addon], sequential: bool) -> (Vec<AddonPass>, Duration) {
+    let start = Instant::now();
+    let results: Vec<AddonPass> = if sequential {
+        addons.iter().map(analyze_one).collect()
+    } else {
+        // Each addon's pipeline is independent: fan out one scoped worker
+        // per addon and join in corpus order.
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = addons
+                .iter()
+                .map(|a| scope.spawn(move || analyze_one(a)))
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("worker")).collect()
+        })
+    };
+    (results, start.elapsed())
+}
+
+fn median(mut xs: Vec<Duration>) -> Duration {
+    xs.sort();
+    xs[xs.len() / 2]
+}
+
+fn secs(d: Duration) -> f64 {
+    // Round to microseconds so the JSON diffs stay readable.
+    (d.as_secs_f64() * 1e6).round() / 1e6
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut runs = 10usize;
+    let mut sequential = false;
+    let mut out: Option<String> = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--runs" => {
+                i += 1;
+                runs = args[i].parse().expect("--runs N");
+            }
+            "--sequential" => sequential = true,
+            "--out" => {
+                i += 1;
+                out = Some(args[i].clone());
+            }
+            other => {
+                eprintln!("unknown flag {other}");
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+    let out = out.unwrap_or_else(|| {
+        format!("{}/../../BENCH_pipeline.json", env!("CARGO_MANIFEST_DIR"))
+    });
+
+    let addons = corpus::addons();
+    let n = addons.len();
+
+    // Warm-up pass (discarded) + measured passes.
+    let _ = corpus_pass(&addons, sequential);
+    let mut walls: Vec<Duration> = Vec::with_capacity(runs);
+    let mut per_addon: Vec<Vec<AddonPass>> = (0..n).map(|_| Vec::with_capacity(runs)).collect();
+    for _ in 0..runs {
+        let (results, wall) = corpus_pass(&addons, sequential);
+        walls.push(wall);
+        for (slot, r) in per_addon.iter_mut().zip(results) {
+            slot.push(r);
+        }
+    }
+
+    let wall_median = median(walls);
+    println!(
+        "perf_snapshot: {n} addons, {runs} measured passes ({} mode)",
+        if sequential { "sequential" } else { "parallel" }
+    );
+    println!(
+        "{:<22} {:>9} {:>9} {:>9} {:>9} {:>10}",
+        "addon", "p1 (s)", "p2 (s)", "p3 (s)", "total (s)", "steps"
+    );
+
+    let mut doc = Json::obj();
+    doc.set("schema", Json::from(1u32));
+    doc.set("runs", Json::from(runs as u32));
+    doc.set(
+        "mode",
+        Json::from(if sequential { "sequential" } else { "parallel" }),
+    );
+    doc.set("end_to_end_s", Json::from(secs(wall_median)));
+    let mut addons_json = Json::obj();
+    let mut sum_total = Duration::ZERO;
+    for (addon, passes) in addons.iter().zip(&per_addon) {
+        let p1 = median(passes.iter().map(|p| p.p1).collect());
+        let p2 = median(passes.iter().map(|p| p.p2).collect());
+        let p3 = median(passes.iter().map(|p| p.p3).collect());
+        let total = median(passes.iter().map(|p| p.total).collect());
+        let steps = passes[0].steps;
+        assert!(
+            passes.iter().all(|p| p.steps == steps),
+            "steps must be deterministic across passes for {}",
+            addon.name
+        );
+        sum_total += total;
+        println!(
+            "{:<22} {:>9.4} {:>9.4} {:>9.4} {:>9.4} {:>10}",
+            addon.name,
+            p1.as_secs_f64(),
+            p2.as_secs_f64(),
+            p3.as_secs_f64(),
+            total.as_secs_f64(),
+            steps
+        );
+        let mut row = Json::obj();
+        row.set("p1_s", Json::from(secs(p1)));
+        row.set("p2_s", Json::from(secs(p2)));
+        row.set("p3_s", Json::from(secs(p3)));
+        row.set("total_s", Json::from(secs(total)));
+        row.set("steps", Json::from(steps as u32));
+        addons_json.set(addon.name, row);
+    }
+    doc.set("sum_addon_total_s", Json::from(secs(sum_total)));
+    doc.set("addons", addons_json);
+    println!(
+        "end-to-end corpus wall (median): {:.4} s   sum of addon totals: {:.4} s",
+        wall_median.as_secs_f64(),
+        sum_total.as_secs_f64()
+    );
+
+    std::fs::write(&out, doc.to_string_pretty() + "\n").expect("write snapshot");
+    println!("wrote {out}");
+}

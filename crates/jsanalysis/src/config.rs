@@ -6,7 +6,7 @@ use std::fmt;
 /// Kinds of interesting information sources, per Section 4 of the paper
 /// ("the set of interesting sources, sinks, and APIs is given to the
 /// analysis ... easily configurable if desired").
-#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum SourceKind {
     /// The current browser URL (`content.location.href` and friends).
     Url,
@@ -48,7 +48,7 @@ impl fmt::Display for SourceKind {
 }
 
 /// Kinds of interesting sinks.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum SinkKind {
     /// A network send (`XMLHttpRequest`); carries the inferred network
     /// domain as a prefix-domain element in the signature.
@@ -90,6 +90,21 @@ pub enum StringDomain {
     ConstantOnly,
 }
 
+/// The order in which the interpreter's worklist revisits pending
+/// `(statement, context)` nodes. Any order reaches the same fixpoint (the
+/// transfer functions are monotone); the order only changes how many
+/// steps it takes to get there.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WorklistOrder {
+    /// Reverse postorder over the CFG: predecessors are processed before
+    /// successors whenever possible, so each node sees a more complete
+    /// input state per visit. The default.
+    Rpo,
+    /// First-in first-out (the naive baseline); kept for the golden
+    /// order-independence test and for A/B measurements.
+    Fifo,
+}
+
 /// Configuration of the base analysis.
 #[derive(Debug, Clone)]
 pub struct AnalysisConfig {
@@ -101,6 +116,8 @@ pub struct AnalysisConfig {
     /// Safety valve: maximum worklist steps before the analysis gives up
     /// and reports partial results (never hit on the benchmark corpus).
     pub max_steps: usize,
+    /// Worklist scheduling order (perf knob; results are identical).
+    pub worklist: WorklistOrder,
     /// The security configuration (sources / APIs considered interesting).
     pub security: SecurityConfig,
 }
@@ -111,6 +128,7 @@ impl Default for AnalysisConfig {
             context_depth: 1,
             string_domain: StringDomain::Prefix,
             max_steps: 2_000_000,
+            worklist: WorklistOrder::Rpo,
             security: SecurityConfig::default(),
         }
     }

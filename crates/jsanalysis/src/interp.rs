@@ -17,22 +17,24 @@
 //! construction; the addon event loop is the non-deterministic dispatch
 //! statement appended by `jsir` (Section 6.1).
 
-use crate::config::{AnalysisConfig, SinkKind, SourceKind, StringDomain};
-use crate::context::Context;
+use crate::config::{AnalysisConfig, SinkKind, SourceKind, StringDomain, WorklistOrder};
+use crate::context::{CtxId, CtxTable};
 use crate::natives::{self, Environment, NativeBehavior, StrOp};
 use crate::rwsets::{Loc, RwSets, Strength};
 use crate::store::{slots, SiteKey, SiteTable, State};
 use jsdomains::{
-    AValue, AllocSite, BoolDom, FuncIndex, Lattice, NativeId, NumDom, ObjKind, Pre,
+    AValue, AllocSite, BoolDom, FuncIndex, Lattice, NativeId, NumDom, ObjKind, Pre, Sym,
 };
 use jsir::{
     EdgeKind, IrFuncId, IrStmtKind, Lowered, Operand, Place, StmtId,
 };
 use jsparser::ast::{BinaryOp, UnaryOp};
-use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet, VecDeque};
+use std::cmp::Reverse;
+use std::collections::{BTreeMap, BTreeSet, BinaryHeap, HashMap, HashSet, VecDeque};
 
-/// A context-qualified program point in the transition graph.
-type CtxNode = (StmtId, Context);
+/// A context-qualified program point in the transition graph. Both halves
+/// are dense interned ids, so nodes are `Copy` and hash in O(1).
+type CtxNode = (StmtId, CtxId);
 
 /// A recorded reach of an interesting sink.
 #[derive(Debug, Clone, PartialEq)]
@@ -63,7 +65,7 @@ pub struct AnalysisResult {
     /// Uses of interesting APIs: (statement, API name).
     pub api_uses: BTreeSet<(StmtId, String)>,
     /// Interesting source locations (site, property) -> kind.
-    pub source_locs: BTreeMap<(AllocSite, String), SourceKind>,
+    pub source_locs: BTreeMap<(AllocSite, Sym), SourceKind>,
     /// The source kinds the configuration marked interesting.
     pub interesting_sources: BTreeSet<SourceKind>,
     /// Recency aliasing: most-recent allocation site -> its aged summary
@@ -90,14 +92,23 @@ pub struct AnalysisResult {
 
 impl AnalysisResult {
     /// Statements that read an interesting source location, with the
-    /// source kinds they read.
+    /// source kinds they read. Pre-indexes `source_locs` by site so each
+    /// read only probes the handful of interesting properties on its own
+    /// site instead of scanning the whole table.
     pub fn source_stmts(&self) -> BTreeMap<StmtId, BTreeSet<SourceKind>> {
+        let mut by_site: HashMap<AllocSite, Vec<(Sym, &SourceKind)>> = HashMap::new();
+        for ((site, prop), kind) in &self.source_locs {
+            by_site.entry(*site).or_default().push((*prop, kind));
+        }
         let mut out: BTreeMap<StmtId, BTreeSet<SourceKind>> = BTreeMap::new();
         for (stmt, rw) in &self.rw {
             for (loc, _) in rw.reads.iter() {
-                for ((site, prop), kind) in &self.source_locs {
-                    if loc.site == *site && loc.prop.may_be(prop) {
-                        out.entry(*stmt).or_default().insert(kind.clone());
+                let Some(props) = by_site.get(&loc.site) else {
+                    continue;
+                };
+                for (prop, kind) in props {
+                    if loc.prop.may_be(prop) {
+                        out.entry(*stmt).or_default().insert((*kind).clone());
                     }
                 }
             }
@@ -115,13 +126,20 @@ impl AnalysisResult {
 pub fn analyze(lowered: &Lowered, config: &AnalysisConfig) -> AnalysisResult {
     let mut sites = SiteTable::new();
     let env = natives::setup(&mut sites);
+    let worklist = match config.worklist {
+        WorklistOrder::Rpo => Worklist::Rpo(BinaryHeap::new()),
+        WorklistOrder::Fifo => Worklist::Fifo(VecDeque::new()),
+    };
     let mut m = Machine {
         lowered,
         config,
         env,
         sites,
+        ctxs: CtxTable::new(),
+        prio: rpo_priorities(lowered),
+        var_keys: Vec::new(),
         states: HashMap::new(),
-        worklist: VecDeque::new(),
+        worklist,
         queued: HashSet::new(),
         rw: BTreeMap::new(),
         may_throw: BTreeSet::new(),
@@ -167,7 +185,7 @@ pub fn analyze(lowered: &Lowered, config: &AnalysisConfig) -> AnalysisResult {
 #[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
 struct RetLink {
     call: StmtId,
-    caller_ctx: Context,
+    caller_ctx: CtxId,
     caller_func: IrFuncId,
     callee_frame: AllocSite,
     dst: Option<Place>,
@@ -176,21 +194,114 @@ struct RetLink {
     result_node: Option<StmtId>,
 }
 
+/// The pending-node queue. FIFO is the naive baseline; RPO pops the
+/// pending node with the smallest reverse-postorder number, so loop
+/// bodies stabilize before their exits are visited and far fewer
+/// re-propagations are needed to reach the fixpoint.
+enum Worklist {
+    Fifo(VecDeque<CtxNode>),
+    Rpo(BinaryHeap<Reverse<(u32, StmtId, CtxId)>>),
+}
+
+impl Worklist {
+    fn push(&mut self, key: CtxNode, prio: &[u32]) {
+        match self {
+            Worklist::Fifo(q) => q.push_back(key),
+            Worklist::Rpo(h) => {
+                let p = prio.get(key.0 .0 as usize).copied().unwrap_or(u32::MAX);
+                h.push(Reverse((p, key.0, key.1)));
+            }
+        }
+    }
+
+    fn pop(&mut self) -> Option<CtxNode> {
+        match self {
+            Worklist::Fifo(q) => q.pop_front(),
+            Worklist::Rpo(h) => h.pop().map(|Reverse((_, s, c))| (s, c)),
+        }
+    }
+}
+
+/// Reverse-postorder numbering of every statement, per function (each
+/// function's body is a contiguous priority band). Nested functions get
+/// the earlier bands and top-level the last one: pending callee and
+/// event-handler work then always outranks the top-level driver, so a
+/// call (or an event-loop dispatch) drains to its fixpoint before the
+/// caller's continuation -- or the dispatch statement itself -- re-runs
+/// on a partially-propagated state. The numbering is a scheduling
+/// heuristic only -- any order reaches the same fixpoint -- so it's fine
+/// that inter-function edges and catch pads reachable only through
+/// implicit throws sit outside the DFS; the latter get trailing
+/// priorities in statement order.
+fn rpo_priorities(lowered: &Lowered) -> Vec<u32> {
+    let n = lowered.program.stmt_count();
+    let mut prio = vec![u32::MAX; n];
+    let mut visited = vec![false; n];
+    let mut next: u32 = 0;
+    let (top, nested) = lowered
+        .program
+        .funcs
+        .split_first()
+        .expect("top-level function always exists");
+    for func in nested.iter().chain(std::iter::once(top)) {
+        let entry = func.entry;
+        if visited[entry.0 as usize] {
+            continue;
+        }
+        // Iterative DFS collecting postorder, then number it in reverse.
+        let mut post: Vec<StmtId> = Vec::new();
+        let mut stack: Vec<(StmtId, usize)> = vec![(entry, 0)];
+        visited[entry.0 as usize] = true;
+        while let Some((s, cursor)) = stack.last_mut() {
+            let succs = lowered.cfg.succs(*s);
+            if *cursor < succs.len() {
+                let (t, _) = succs[*cursor];
+                *cursor += 1;
+                if !visited[t.0 as usize] {
+                    visited[t.0 as usize] = true;
+                    stack.push((t, 0));
+                }
+            } else {
+                post.push(*s);
+                stack.pop();
+            }
+        }
+        for s in post.iter().rev() {
+            prio[s.0 as usize] = next;
+            next += 1;
+        }
+    }
+    for (p, seen) in prio.iter_mut().zip(&visited) {
+        if !seen {
+            *p = next;
+            next += 1;
+        }
+    }
+    prio
+}
+
 struct Machine<'a> {
     lowered: &'a Lowered,
     config: &'a AnalysisConfig,
     env: Environment,
     sites: SiteTable,
-    states: HashMap<(StmtId, Context), State>,
-    worklist: VecDeque<(StmtId, Context)>,
-    queued: HashSet<(StmtId, Context)>,
+    /// Context interner: every context-qualified key below holds a
+    /// [`CtxId`] instead of a call-string vector.
+    ctxs: CtxTable,
+    /// Reverse-postorder priority per statement (see [`rpo_priorities`]).
+    prio: Vec<u32>,
+    /// Cache of `v{i}` frame-variable keys, indexed by slot number.
+    var_keys: Vec<Pre>,
+    states: HashMap<CtxNode, State>,
+    worklist: Worklist,
+    queued: HashSet<CtxNode>,
     rw: BTreeMap<StmtId, RwSets>,
     may_throw: BTreeSet<StmtId>,
     call_targets: BTreeMap<StmtId, BTreeSet<IrFuncId>>,
     native_targets: BTreeMap<StmtId, BTreeSet<NativeId>>,
     sink_domains: BTreeMap<(StmtId, SinkKind), Pre>,
     api_uses: BTreeSet<(StmtId, String)>,
-    ret_links: HashMap<(IrFuncId, Context), BTreeSet<RetLink>>,
+    ret_links: HashMap<(IrFuncId, CtxId), BTreeSet<RetLink>>,
     reachable: BTreeSet<StmtId>,
     steps: usize,
     site_aliases: BTreeMap<AllocSite, AllocSite>,
@@ -202,64 +313,71 @@ struct Machine<'a> {
     transitions: BTreeSet<(CtxNode, CtxNode)>,
 }
 
-/// Key under which variable slot `i` is stored in its frame object.
-fn var_key(index: u32) -> String {
-    format!("v{index}")
-}
-
 impl<'a> Machine<'a> {
     fn seed(&mut self) {
         let top = self.lowered.program.top_level();
         let mut st = self.env.initial_state.clone();
         let frame = self
             .sites
-            .intern(SiteKey::Frame(top.id, Context::root()));
+            .intern(SiteKey::Frame(top.id, CtxId::ROOT));
         st.alloc(frame, ObjKind::Host("frame"));
         st.write_slot(frame, slots::THIS, AValue::obj(self.env.global));
         st.write_slot(frame, slots::RET, AValue::undef());
-        self.push_state(top.entry, Context::root(), st);
+        self.push_state(top.entry, CtxId::ROOT, st);
     }
 
     fn run(&mut self) -> bool {
-        while let Some((stmt, ctx)) = self.worklist.pop_front() {
-            self.queued.remove(&(stmt, ctx.clone()));
+        while let Some((stmt, ctx)) = self.worklist.pop() {
+            self.queued.remove(&(stmt, ctx));
             self.steps += 1;
             if self.steps > self.config.max_steps {
                 return true;
             }
-            self.current = Some((stmt, ctx.clone()));
+            self.current = Some((stmt, ctx));
             self.step(stmt, ctx);
             self.current = None;
         }
         false
     }
 
-    fn push_state(&mut self, stmt: StmtId, ctx: Context, state: State) {
-        let key = (stmt, ctx.clone());
-        if let Some(cur) = &self.current {
-            self.transitions.insert((cur.clone(), key.clone()));
+    fn push_state(&mut self, stmt: StmtId, ctx: CtxId, state: State) {
+        let key = (stmt, ctx);
+        if let Some(cur) = self.current {
+            self.transitions.insert((cur, key));
         }
         let changed = match self.states.get_mut(&key) {
             Some(existing) => existing.join_in_place(&state),
             None => {
-                self.states.insert(key.clone(), state);
+                self.states.insert(key, state);
                 true
             }
         };
-        if changed && self.queued.insert(key.clone()) {
-            self.worklist.push_back(key);
+        if changed && self.queued.insert(key) {
+            self.worklist.push(key, &self.prio);
         }
     }
 
-    fn enqueue(&mut self, stmt: StmtId, ctx: Context) {
+    fn enqueue(&mut self, stmt: StmtId, ctx: CtxId) {
         let key = (stmt, ctx);
-        if self.states.contains_key(&key) && self.queued.insert(key.clone()) {
-            self.worklist.push_back(key);
+        if self.states.contains_key(&key) && self.queued.insert(key) {
+            self.worklist.push(key, &self.prio);
         }
     }
 
-    fn frame_site(&mut self, func: IrFuncId, ctx: &Context) -> AllocSite {
-        self.sites.intern(SiteKey::Frame(func, ctx.clone()))
+    fn frame_site(&mut self, func: IrFuncId, ctx: CtxId) -> AllocSite {
+        self.sites.intern(SiteKey::Frame(func, ctx))
+    }
+
+    /// Key under which variable slot `i` is stored in its frame object.
+    /// Cached: the same few dozen keys are rebuilt millions of times on
+    /// the hot path otherwise.
+    fn var_key(&mut self, index: u32) -> Pre {
+        let i = index as usize;
+        while self.var_keys.len() <= i {
+            let j = self.var_keys.len();
+            self.var_keys.push(Pre::exact(format!("v{j}")));
+        }
+        self.var_keys[i]
     }
 
     /// Recency allocation: if the site already holds an object (the
@@ -283,10 +401,10 @@ impl<'a> Machine<'a> {
     /// when it has an enclosing handler, propagates the current state to
     /// the catch landing pad so code reachable only through implicit
     /// exceptions is still analyzed.
-    fn implicit_throw(&mut self, stmt_id: StmtId, ctx: &Context, st: &State) {
+    fn implicit_throw(&mut self, stmt_id: StmtId, ctx: CtxId, st: &State) {
         self.may_throw.insert(stmt_id);
         if let Some(handler) = self.lowered.program.stmt(stmt_id).handler {
-            self.push_state(handler, ctx.clone(), st.clone());
+            self.push_state(handler, ctx, st.clone());
         }
     }
 
@@ -323,7 +441,7 @@ impl<'a> Machine<'a> {
     ) -> AValue {
         match op {
             Operand::Num(n) => AValue::num(*n),
-            Operand::Str(s) => AValue::str(Pre::exact(s.clone())),
+            Operand::Str(s) => AValue::str(Pre::exact(s)),
             Operand::Bool(b) => AValue::bool(*b),
             Operand::Null => AValue::null(),
             Operand::Undefined => AValue::undef(),
@@ -337,13 +455,14 @@ impl<'a> Machine<'a> {
             }
             Operand::Place(Place::Global(name)) => {
                 let g = self.env.global;
+                let key = Pre::exact(name);
                 self.record_read(
                     stmt,
-                    Loc::exact(g, name.clone()),
-                    self.access_strength(st, &[g], &Pre::exact(name.clone())),
+                    Loc { site: g, prop: key },
+                    self.access_strength(st, &[g], &key),
                 );
                 match st.object(g) {
-                    Some(o) => o.read_prop(&Pre::exact(name.clone())),
+                    Some(o) => o.read_prop(&key),
                     None => AValue::undef(),
                 }
             }
@@ -361,7 +480,7 @@ impl<'a> Machine<'a> {
                 if frames.is_empty() {
                     return AValue::any();
                 }
-                let key = Pre::exact(var_key(v.index));
+                let key = self.var_key(v.index);
                 let mut out = AValue::bottom();
                 let strength = self.access_strength(st, &frames, &key);
                 for f in frames {
@@ -369,7 +488,7 @@ impl<'a> Machine<'a> {
                         stmt,
                         Loc {
                             site: f,
-                            prop: key.clone(),
+                            prop: key,
                         },
                         strength,
                     );
@@ -395,9 +514,10 @@ impl<'a> Machine<'a> {
         match dst {
             Place::Global(name) => {
                 let g = self.env.global;
-                self.record_write(stmt, Loc::exact(g, name.clone()), Strength::Strong);
+                let key = Pre::exact(name);
+                self.record_write(stmt, Loc { site: g, prop: key }, Strength::Strong);
                 if let Some(o) = st.heap.get_mut(g) {
-                    o.write_prop(&Pre::exact(name.clone()), value, true);
+                    o.write_prop(&key, value, true);
                 }
             }
             Place::Var(v) => {
@@ -411,7 +531,7 @@ impl<'a> Machine<'a> {
                         .filter(|s| self.sites.is_frame_of(*s, v.func))
                         .collect()
                 };
-                let key = Pre::exact(var_key(v.index));
+                let key = self.var_key(v.index);
                 let strength = self.access_strength(st, &frames, &key);
                 let strong = strength == Strength::Strong;
                 for f in frames {
@@ -419,7 +539,7 @@ impl<'a> Machine<'a> {
                         stmt,
                         Loc {
                             site: f,
-                            prop: key.clone(),
+                            prop: key,
                         },
                         strength,
                     );
@@ -446,9 +566,10 @@ impl<'a> Machine<'a> {
         match dst {
             Place::Global(name) => {
                 let g = self.env.global;
-                self.record_write(stmt, Loc::exact(g, name.clone()), Strength::Weak);
+                let key = Pre::exact(name);
+                self.record_write(stmt, Loc { site: g, prop: key }, Strength::Weak);
                 if let Some(o) = st.heap.get_mut(g) {
-                    o.write_prop(&Pre::exact(name.clone()), value, false);
+                    o.write_prop(&key, value, false);
                 }
             }
             Place::Var(v) => {
@@ -462,13 +583,13 @@ impl<'a> Machine<'a> {
                         .filter(|s| self.sites.is_frame_of(*s, v.func))
                         .collect()
                 };
-                let key = Pre::exact(var_key(v.index));
+                let key = self.var_key(v.index);
                 for f in frames {
                     self.record_write(
                         stmt,
                         Loc {
                             site: f,
-                            prop: key.clone(),
+                            prop: key,
                         },
                         Strength::Weak,
                     );
@@ -481,61 +602,71 @@ impl<'a> Machine<'a> {
     }
 
     /// Flows `state` to the successors of `stmt` whose edges satisfy
-    /// `keep`.
+    /// `keep`. Takes the state by value: it is cloned for all successors
+    /// but the last, which receives it by move (the common single-successor
+    /// case costs zero clones).
     fn flow(
         &mut self,
         stmt: StmtId,
-        ctx: &Context,
-        state: &State,
+        ctx: CtxId,
+        state: State,
         keep: impl Fn(EdgeKind) -> bool,
     ) {
-        let succs: Vec<(StmtId, EdgeKind)> = self
-            .lowered
+        let lowered = self.lowered;
+        let mut iter = lowered
             .cfg
             .succs(stmt)
             .iter()
-            .copied()
             .filter(|(_, k)| keep(*k))
-            .collect();
-        for (succ, _) in succs {
-            self.push_state(succ, ctx.clone(), state.clone());
+            .map(|(s, _)| *s)
+            .peekable();
+        while let Some(succ) = iter.next() {
+            if iter.peek().is_some() {
+                self.push_state(succ, ctx, state.clone());
+            } else {
+                self.push_state(succ, ctx, state);
+                return;
+            }
         }
     }
 
     #[allow(clippy::too_many_lines)]
-    fn step(&mut self, stmt_id: StmtId, ctx: Context) {
+    fn step(&mut self, stmt_id: StmtId, ctx: CtxId) {
         self.reachable.insert(stmt_id);
-        let st_in = self.states[&(stmt_id, ctx.clone())].clone();
-        let stmt = self.lowered.program.stmt(stmt_id).clone();
+        let st_in = self.states[&(stmt_id, ctx)].clone();
+        // Copy out the `&'a Lowered` so borrowing the statement does not
+        // freeze `self` (the old code cloned the whole statement instead).
+        let lowered = self.lowered;
+        let stmt = lowered.program.stmt(stmt_id);
         let func = stmt.func;
-        let frame = self.frame_site(func, &ctx);
+        let frame = self.frame_site(func, ctx);
         let mut st = st_in;
 
         match &stmt.kind {
             IrStmtKind::Enter | IrStmtKind::Nop(_) | IrStmtKind::CallResult { .. } => {
                 // CallResult's reads/writes are recorded by handle_exit on
                 // the caller's behalf; here it just passes state through.
-                self.flow(stmt_id, &ctx, &st, |k| k != EdgeKind::Uncaught);
+                self.flow(stmt_id, ctx, st, |k| k != EdgeKind::Uncaught);
             }
             IrStmtKind::Exit => {
-                self.handle_exit(stmt_id, &ctx, &st, func, frame);
+                self.handle_exit(stmt_id, ctx, &st, func, frame);
             }
             IrStmtKind::Copy { dst, src } => {
                 let v = self.eval(stmt_id, func, frame, &st, src);
                 self.write_place(stmt_id, func, frame, &mut st, dst, &v);
-                self.flow(stmt_id, &ctx, &st, |k| k != EdgeKind::Uncaught);
+                self.flow(stmt_id, ctx, st, |k| k != EdgeKind::Uncaught);
             }
             IrStmtKind::UnOp { dst, op, src } => {
                 let v = self.eval(stmt_id, func, frame, &st, src);
                 let out = abstract_unop(*op, &v);
                 self.write_place(stmt_id, func, frame, &mut st, dst, &out);
-                self.flow(stmt_id, &ctx, &st, |k| k != EdgeKind::Uncaught);
+                self.flow(stmt_id, ctx, st, |k| k != EdgeKind::Uncaught);
             }
             IrStmtKind::Typeof { dst, src } => {
                 let v = self.eval(stmt_id, func, frame, &st, src);
                 let out = abstract_typeof(&v, &st);
                 self.write_place(stmt_id, func, frame, &mut st, dst, &out);
-                self.flow(stmt_id, &ctx, &st, |k| k != EdgeKind::Uncaught);
+                self.flow(stmt_id, ctx, st, |k| k != EdgeKind::Uncaught);
             }
             IrStmtKind::BinOp {
                 dst,
@@ -548,7 +679,7 @@ impl<'a> Machine<'a> {
                 let mut out = abstract_binop(*op, &l, &r);
                 out.strs = self.degrade(out.strs);
                 self.write_place(stmt_id, func, frame, &mut st, dst, &out);
-                self.flow(stmt_id, &ctx, &st, |k| k != EdgeKind::Uncaught);
+                self.flow(stmt_id, ctx, st, |k| k != EdgeKind::Uncaught);
             }
             IrStmtKind::NewObject { dst } | IrStmtKind::NewArray { dst } => {
                 let kind = if matches!(stmt.kind, IrStmtKind::NewArray { .. }) {
@@ -556,24 +687,20 @@ impl<'a> Machine<'a> {
                 } else {
                     ObjKind::Plain
                 };
-                let site =
-                    self.alloc_fresh(&mut st, SiteKey::Stmt(stmt_id, ctx.clone()), kind);
+                let site = self.alloc_fresh(&mut st, SiteKey::Stmt(stmt_id, ctx), kind);
                 self.write_place(stmt_id, func, frame, &mut st, dst, &AValue::obj(site));
-                self.flow(stmt_id, &ctx, &st, |k| k != EdgeKind::Uncaught);
+                self.flow(stmt_id, ctx, st, |k| k != EdgeKind::Uncaught);
             }
             IrStmtKind::NewRegex { dst, .. } => {
-                let site = self.alloc_fresh(
-                    &mut st,
-                    SiteKey::Stmt(stmt_id, ctx.clone()),
-                    ObjKind::Regex,
-                );
+                let site =
+                    self.alloc_fresh(&mut st, SiteKey::Stmt(stmt_id, ctx), ObjKind::Regex);
                 self.write_place(stmt_id, func, frame, &mut st, dst, &AValue::obj(site));
-                self.flow(stmt_id, &ctx, &st, |k| k != EdgeKind::Uncaught);
+                self.flow(stmt_id, ctx, st, |k| k != EdgeKind::Uncaught);
             }
             IrStmtKind::Lambda { dst, func: lam } => {
                 let site = self.alloc_fresh(
                     &mut st,
-                    SiteKey::Stmt(stmt_id, ctx.clone()),
+                    SiteKey::Stmt(stmt_id, ctx),
                     ObjKind::Function(FuncIndex(lam.0)),
                 );
                 let chain = st
@@ -581,7 +708,7 @@ impl<'a> Machine<'a> {
                     .join(&AValue::obj(frame));
                 st.write_slot(site, slots::SCOPE, chain);
                 self.write_place(stmt_id, func, frame, &mut st, dst, &AValue::obj(site));
-                self.flow(stmt_id, &ctx, &st, |k| k != EdgeKind::Uncaught);
+                self.flow(stmt_id, ctx, st, |k| k != EdgeKind::Uncaught);
             }
             IrStmtKind::LoadProp { dst, obj, prop } => {
                 let ov = self.eval(stmt_id, func, frame, &st, obj);
@@ -589,11 +716,11 @@ impl<'a> Machine<'a> {
                     .eval(stmt_id, func, frame, &st, prop)
                     .to_abstract_string();
                 if ov.may_throw_on_access() {
-                    self.implicit_throw(stmt_id, &ctx, &st);
+                    self.implicit_throw(stmt_id, ctx, &st);
                 }
                 let out = self.load_prop(stmt_id, &st, &ov, &pv);
                 self.write_place(stmt_id, func, frame, &mut st, dst, &out);
-                self.flow(stmt_id, &ctx, &st, |k| k != EdgeKind::Uncaught);
+                self.flow(stmt_id, ctx, st, |k| k != EdgeKind::Uncaught);
             }
             IrStmtKind::StoreProp { obj, prop, value } => {
                 let ov = self.eval(stmt_id, func, frame, &st, obj);
@@ -602,7 +729,7 @@ impl<'a> Machine<'a> {
                     .to_abstract_string();
                 let vv = self.eval(stmt_id, func, frame, &st, value);
                 if ov.may_throw_on_access() {
-                    self.implicit_throw(stmt_id, &ctx, &st);
+                    self.implicit_throw(stmt_id, ctx, &st);
                 }
                 let hit: Vec<AllocSite> = ov.objs.iter().copied().collect();
                 let strength = self.access_strength(&st, &hit, &pv);
@@ -611,7 +738,7 @@ impl<'a> Machine<'a> {
                         stmt_id,
                         Loc {
                             site,
-                            prop: pv.clone(),
+                            prop: pv,
                         },
                         strength,
                     );
@@ -619,7 +746,7 @@ impl<'a> Machine<'a> {
                         o.write_prop(&pv, &vv, strength == Strength::Strong);
                     }
                 }
-                self.flow(stmt_id, &ctx, &st, |k| k != EdgeKind::Uncaught);
+                self.flow(stmt_id, ctx, st, |k| k != EdgeKind::Uncaught);
             }
             IrStmtKind::DeleteProp { obj, prop } => {
                 let ov = self.eval(stmt_id, func, frame, &st, obj);
@@ -627,7 +754,7 @@ impl<'a> Machine<'a> {
                     .eval(stmt_id, func, frame, &st, prop)
                     .to_abstract_string();
                 if ov.may_throw_on_access() {
-                    self.implicit_throw(stmt_id, &ctx, &st);
+                    self.implicit_throw(stmt_id, ctx, &st);
                 }
                 let hit: Vec<AllocSite> = ov.objs.iter().copied().collect();
                 let strength = self.access_strength(&st, &hit, &pv);
@@ -636,7 +763,7 @@ impl<'a> Machine<'a> {
                         stmt_id,
                         Loc {
                             site,
-                            prop: pv.clone(),
+                            prop: pv,
                         },
                         strength,
                     );
@@ -644,14 +771,14 @@ impl<'a> Machine<'a> {
                         o.delete_prop(&pv);
                     }
                 }
-                self.flow(stmt_id, &ctx, &st, |k| k != EdgeKind::Uncaught);
+                self.flow(stmt_id, ctx, st, |k| k != EdgeKind::Uncaught);
             }
             IrStmtKind::Branch { cond } => {
                 let v = self.eval(stmt_id, func, frame, &st, cond);
                 let t = v.truthiness();
                 let may_true = t.may_be_true() || t == BoolDom::Bot;
                 let may_false = t.may_be_false() || t == BoolDom::Bot;
-                self.flow(stmt_id, &ctx, &st, |k| match k {
+                self.flow(stmt_id, ctx, st, |k| match k {
                     EdgeKind::BranchTrue => may_true,
                     EdgeKind::BranchFalse => may_false,
                     EdgeKind::Uncaught => false,
@@ -660,7 +787,7 @@ impl<'a> Machine<'a> {
             }
             IrStmtKind::Havoc { dst } => {
                 self.write_place(stmt_id, func, frame, &mut st, dst, &AValue::any_bool());
-                self.flow(stmt_id, &ctx, &st, |k| k != EdgeKind::Uncaught);
+                self.flow(stmt_id, ctx, st, |k| k != EdgeKind::Uncaught);
             }
             IrStmtKind::Return { value } => {
                 let v = self.eval(stmt_id, func, frame, &st, value);
@@ -669,14 +796,14 @@ impl<'a> Machine<'a> {
                 let strength = self.access_strength(&st, &[frame], &Pre::exact(slots::RET));
                 st.write_slot(frame, slots::RET, v);
                 self.record_write(stmt_id, Loc::exact(frame, slots::RET), strength);
-                self.flow(stmt_id, &ctx, &st, |k| k == EdgeKind::Return);
+                self.flow(stmt_id, ctx, st, |k| k == EdgeKind::Return);
             }
             IrStmtKind::Throw { value } => {
                 let v = self.eval(stmt_id, func, frame, &st, value);
                 let strength = self.access_strength(&st, &[frame], &Pre::exact(slots::EXC));
                 st.write_slot(frame, slots::EXC, v);
                 self.record_write(stmt_id, Loc::exact(frame, slots::EXC), strength);
-                self.flow(stmt_id, &ctx, &st, |k| k == EdgeKind::ThrowExplicit);
+                self.flow(stmt_id, ctx, st, |k| k == EdgeKind::ThrowExplicit);
             }
             IrStmtKind::CatchBind { dst } => {
                 let mut v = st.read_slot([frame], slots::EXC);
@@ -687,7 +814,7 @@ impl<'a> Machine<'a> {
                     v = AValue::any();
                 }
                 self.write_place(stmt_id, func, frame, &mut st, dst, &v);
-                self.flow(stmt_id, &ctx, &st, |k| k != EdgeKind::Uncaught);
+                self.flow(stmt_id, ctx, st, |k| k != EdgeKind::Uncaught);
             }
             IrStmtKind::ForInNext { dst, obj } => {
                 let ov = self.eval(stmt_id, func, frame, &st, obj);
@@ -704,7 +831,7 @@ impl<'a> Machine<'a> {
                     );
                     if let Some(o) = st.object(*site) {
                         for k in o.props.keys() {
-                            keys = keys.join(&Pre::exact(k.clone()));
+                            keys = keys.join(&Pre::Exact(*k));
                         }
                         if !o.unknown_props.is_bottom() {
                             keys = Pre::any();
@@ -717,7 +844,7 @@ impl<'a> Machine<'a> {
                     AValue::str(keys)
                 };
                 self.write_place(stmt_id, func, frame, &mut st, dst, &v);
-                self.flow(stmt_id, &ctx, &st, |k| k != EdgeKind::Uncaught);
+                self.flow(stmt_id, ctx, st, |k| k != EdgeKind::Uncaught);
             }
             IrStmtKind::Call {
                 dst,
@@ -727,7 +854,7 @@ impl<'a> Machine<'a> {
                 is_new,
             } => {
                 self.handle_call(
-                    stmt_id, &ctx, func, frame, &mut st, dst, callee, this, args, *is_new,
+                    stmt_id, ctx, func, frame, &mut st, dst, callee, this, args, *is_new,
                 );
             }
             IrStmtKind::EventDispatch => {
@@ -740,7 +867,7 @@ impl<'a> Machine<'a> {
                 let ev = AValue::obj(self.env.event_object);
                 self.dispatch_closures(
                     stmt_id,
-                    &ctx,
+                    ctx,
                     func,
                     frame,
                     &mut st,
@@ -750,7 +877,7 @@ impl<'a> Machine<'a> {
                     &[ev],
                     false,
                 );
-                self.flow(stmt_id, &ctx, &st, |k| k != EdgeKind::Uncaught);
+                self.flow(stmt_id, ctx, st, |k| k != EdgeKind::Uncaught);
             }
         }
     }
@@ -766,7 +893,7 @@ impl<'a> Machine<'a> {
                 stmt,
                 Loc {
                     site: *site,
-                    prop: pv.clone(),
+                    prop: *pv,
                 },
                 strength,
             );
@@ -816,7 +943,7 @@ impl<'a> Machine<'a> {
     fn handle_call(
         &mut self,
         stmt_id: StmtId,
-        ctx: &Context,
+        ctx: CtxId,
         func: IrFuncId,
         frame: AllocSite,
         st: &mut State,
@@ -858,7 +985,7 @@ impl<'a> Machine<'a> {
     fn dispatch_closures(
         &mut self,
         stmt_id: StmtId,
-        ctx: &Context,
+        ctx: CtxId,
         func: IrFuncId,
         frame: AllocSite,
         st: &mut State,
@@ -892,9 +1019,9 @@ impl<'a> Machine<'a> {
                 .entry(stmt_id)
                 .or_default()
                 .insert(id);
-            let name = self.env.spec(id).name.to_owned();
-            if self.config.security.interesting_apis.contains(&name) {
-                self.api_uses.insert((stmt_id, name.clone()));
+            let name = self.env.spec(id).name;
+            if self.config.security.interesting_apis.contains(name) {
+                self.api_uses.insert((stmt_id, name.to_owned()));
             }
             let r = self.apply_native(
                 id,
@@ -947,7 +1074,7 @@ impl<'a> Machine<'a> {
         }
 
         if immediate.is_some() {
-            self.flow(stmt_id, ctx, st, |k| k != EdgeKind::Uncaught);
+            self.flow(stmt_id, ctx, st.clone(), |k| k != EdgeKind::Uncaught);
         }
         // Addon-only calls: successors receive state when the callee exits.
     }
@@ -956,7 +1083,7 @@ impl<'a> Machine<'a> {
     fn do_addon_call(
         &mut self,
         call_stmt: StmtId,
-        ctx: &Context,
+        ctx: CtxId,
         caller_func: IrFuncId,
         st: &State,
         fid: IrFuncId,
@@ -967,11 +1094,11 @@ impl<'a> Machine<'a> {
         is_new: bool,
     ) {
         let callee = self.lowered.program.func(fid);
-        let new_ctx = ctx.push(call_stmt, self.config.context_depth);
+        let new_ctx = self.ctxs.push(ctx, call_stmt, self.config.context_depth);
         let mut callee_st = st.clone();
         let fsite = self.alloc_fresh(
             &mut callee_st,
-            SiteKey::Frame(fid, new_ctx.clone()),
+            SiteKey::Frame(fid, new_ctx),
             ObjKind::Host("frame"),
         );
         let singleton = callee_st
@@ -989,12 +1116,12 @@ impl<'a> Machine<'a> {
                 .get(i as usize)
                 .cloned()
                 .unwrap_or_else(AValue::undef);
-            let key = Pre::exact(var_key(i));
+            let key = self.var_key(i);
             self.record_write(
                 call_stmt,
                 Loc {
                     site: fsite,
-                    prop: key.clone(),
+                    prop: key,
                 },
                 strength,
             );
@@ -1010,7 +1137,7 @@ impl<'a> Machine<'a> {
             if let Some(idx) = callee.lookup_var(&callee.name) {
                 let is_param = callee.vars[idx as usize].is_param;
                 if !is_param {
-                    let key = Pre::exact(var_key(idx));
+                    let key = self.var_key(idx);
                     if let Some(o) = callee_st.heap.get_mut(fsite) {
                         o.write_prop(&key, &AValue::obj(closure), singleton);
                     }
@@ -1021,7 +1148,7 @@ impl<'a> Machine<'a> {
         let new_site = if is_new {
             Some(self.alloc_fresh(
                 &mut callee_st,
-                SiteKey::NativeAlloc(call_stmt, new_ctx.clone(), "new"),
+                SiteKey::NativeAlloc(call_stmt, new_ctx, "new"),
                 ObjKind::Plain,
             ))
         } else {
@@ -1038,7 +1165,7 @@ impl<'a> Machine<'a> {
             Loc::exact(fsite, slots::THIS),
             strength,
         );
-        self.push_state(callee.entry, new_ctx.clone(), callee_st);
+        self.push_state(callee.entry, new_ctx, callee_st);
 
         // Locate the CallResult node right after the call (absent for
         // EventDispatch).
@@ -1056,14 +1183,14 @@ impl<'a> Machine<'a> {
             });
         let link = RetLink {
             call: call_stmt,
-            caller_ctx: ctx.clone(),
+            caller_ctx: ctx,
             caller_func,
             callee_frame: fsite,
             dst,
             new_site,
             result_node,
         };
-        let links = self.ret_links.entry((fid, new_ctx.clone())).or_default();
+        let links = self.ret_links.entry((fid, new_ctx)).or_default();
         if links.insert(link) {
             // A new caller: if the callee exit already has state, replay it.
             self.enqueue(callee.exit, new_ctx);
@@ -1073,13 +1200,13 @@ impl<'a> Machine<'a> {
     fn handle_exit(
         &mut self,
         stmt_id: StmtId,
-        ctx: &Context,
+        ctx: CtxId,
         st: &State,
         func: IrFuncId,
         frame: AllocSite,
     ) {
         let _ = stmt_id;
-        let links = match self.ret_links.get(&(func, ctx.clone())) {
+        let links = match self.ret_links.get(&(func, ctx)) {
             Some(l) => l.clone(),
             None => return, // top level: analysis ends here
         };
@@ -1114,7 +1241,7 @@ impl<'a> Machine<'a> {
                 ));
             }
             if let Some(d) = &link.dst {
-                let caller_frame = self.frame_site(link.caller_func, &link.caller_ctx);
+                let caller_frame = self.frame_site(link.caller_func, link.caller_ctx);
                 // Mixed native+addon callee sets: the native result was
                 // already written at the Call node; the CallResult write
                 // must be weak (a join) so the Call's definition stays
@@ -1143,17 +1270,9 @@ impl<'a> Machine<'a> {
                     );
                 }
             }
-            let succs: Vec<StmtId> = self
-                .lowered
-                .cfg
-                .succs(link.call)
-                .iter()
-                .filter(|(_, k)| *k != EdgeKind::Uncaught)
-                .map(|(s, _)| *s)
-                .collect();
-            for succ in succs {
-                self.push_state(succ, link.caller_ctx.clone(), out.clone());
-            }
+            self.flow(link.call, link.caller_ctx, out, |k| {
+                k != EdgeKind::Uncaught
+            });
         }
         let _ = frame;
     }
@@ -1164,7 +1283,7 @@ impl<'a> Machine<'a> {
         &mut self,
         id: NativeId,
         stmt: StmtId,
-        ctx: &Context,
+        ctx: CtxId,
         st: &mut State,
         this_v: &Option<AValue>,
         args: &[AValue],
@@ -1374,7 +1493,7 @@ impl<'a> Machine<'a> {
         &mut self,
         op: StrOp,
         stmt: StmtId,
-        ctx: &Context,
+        ctx: CtxId,
         st: &mut State,
         this_v: &Option<AValue>,
         args: &[AValue],
@@ -1404,7 +1523,7 @@ impl<'a> Machine<'a> {
             StrOp::Split => {
                 let site = self.alloc_fresh(
                     st,
-                    SiteKey::NativeAlloc(stmt, ctx.clone(), "split"),
+                    SiteKey::NativeAlloc(stmt, ctx, "split"),
                     ObjKind::Array,
                 );
                 if let Some(o) = st.heap.get_mut(site) {
@@ -1421,17 +1540,17 @@ impl<'a> Machine<'a> {
                 AValue::str(out)
             }
             StrOp::Trim => match recv {
-                Pre::Exact(s) => AValue::str(Pre::exact(s.trim().to_owned())),
+                Pre::Exact(s) => AValue::str(Pre::exact(s.trim())),
                 other => AValue::str(other.unknown_derived()),
             },
             StrOp::ToString => AValue::str(recv),
         }
     }
 
-    fn alloc_xhr(&mut self, stmt: StmtId, ctx: &Context, st: &mut State) -> AllocSite {
+    fn alloc_xhr(&mut self, stmt: StmtId, ctx: CtxId, st: &mut State) -> AllocSite {
         let site = self.alloc_fresh(
             st,
-            SiteKey::NativeAlloc(stmt, ctx.clone(), "xhr"),
+            SiteKey::NativeAlloc(stmt, ctx, "xhr"),
             ObjKind::Host("xhr"),
         );
         let methods = [
@@ -1479,12 +1598,12 @@ impl<'a> Machine<'a> {
 /// statements: a statement is cyclic if any of its context-qualified
 /// nodes lies in a non-trivial SCC (or has a self loop).
 fn cyclic_statements(transitions: &BTreeSet<(CtxNode, CtxNode)>) -> BTreeSet<StmtId> {
-    // Dense node numbering.
-    let mut index_of: HashMap<&CtxNode, usize> = HashMap::new();
-    let mut nodes: Vec<&CtxNode> = Vec::new();
-    for (a, b) in transitions {
+    // Dense node numbering (nodes are Copy ids, so keys are by value).
+    let mut index_of: HashMap<CtxNode, usize> = HashMap::new();
+    let mut nodes: Vec<CtxNode> = Vec::new();
+    for &(a, b) in transitions {
         for n in [a, b] {
-            if !index_of.contains_key(n) {
+            if !index_of.contains_key(&n) {
                 index_of.insert(n, nodes.len());
                 nodes.push(n);
             }

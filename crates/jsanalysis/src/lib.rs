@@ -38,8 +38,8 @@ pub mod natives;
 pub mod rwsets;
 pub mod store;
 
-pub use config::{AnalysisConfig, SecurityConfig, SinkKind, SourceKind, StringDomain};
-pub use context::Context;
+pub use config::{AnalysisConfig, SecurityConfig, SinkKind, SourceKind, StringDomain, WorklistOrder};
+pub use context::{Context, CtxId, CtxTable};
 pub use interp::{analyze, AnalysisResult, SinkRecord};
 pub use natives::{Environment, NativeBehavior, NativeSpec};
 pub use rwsets::{AccessSet, Loc, RwSets, Strength};

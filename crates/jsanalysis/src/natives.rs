@@ -10,7 +10,7 @@
 
 use crate::config::{SinkKind, SourceKind};
 use crate::store::{SiteKey, SiteTable, State};
-use jsdomains::{AValue, AllocSite, NativeId, ObjKind, Pre};
+use jsdomains::{AValue, AllocSite, NativeId, ObjKind, Pre, Sym};
 use std::collections::BTreeMap;
 
 /// Declarative abstract semantics of a native function.
@@ -123,7 +123,7 @@ pub struct Environment {
     /// Native function table, indexed by [`NativeId`].
     pub natives: Vec<NativeSpec>,
     /// Interesting source locations: (site, exact property name) -> kind.
-    pub source_locs: BTreeMap<(AllocSite, String), SourceKind>,
+    pub source_locs: BTreeMap<(AllocSite, Sym), SourceKind>,
     /// The global object's allocation site.
     pub global: AllocSite,
     /// The event-registry host object's site.
@@ -163,7 +163,7 @@ struct EnvBuilder<'t> {
     sites: &'t mut SiteTable,
     state: State,
     natives: Vec<NativeSpec>,
-    source_locs: BTreeMap<(AllocSite, String), SourceKind>,
+    source_locs: BTreeMap<(AllocSite, Sym), SourceKind>,
 }
 
 impl EnvBuilder<'_> {
@@ -190,7 +190,7 @@ impl EnvBuilder<'_> {
     fn source(&mut self, obj: AllocSite, prop: &str, kind: SourceKind, value: AValue) {
         self.set_prop(obj, prop, value);
         self.source_locs
-            .insert((obj, prop.to_owned()), kind);
+            .insert((obj, Sym::intern(prop)), kind);
     }
 }
 
@@ -571,7 +571,7 @@ mod tests {
         let env = setup(&mut sites);
         let loc = sites.get(&SiteKey::Host("location")).unwrap();
         assert_eq!(
-            env.source_locs.get(&(loc, "href".to_owned())),
+            env.source_locs.get(&(loc, Sym::intern("href"))),
             Some(&SourceKind::Url)
         );
     }

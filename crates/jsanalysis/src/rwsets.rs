@@ -28,10 +28,10 @@ pub struct Loc {
 
 impl Loc {
     /// A location with an exactly-known name.
-    pub fn exact(site: AllocSite, prop: impl Into<String>) -> Loc {
+    pub fn exact(site: AllocSite, prop: impl AsRef<str>) -> Loc {
         Loc {
             site,
-            prop: Pre::Exact(prop.into()),
+            prop: Pre::exact(prop),
         }
     }
 

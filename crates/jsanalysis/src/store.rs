@@ -6,24 +6,25 @@
 //! [`AllocSite`] interned from a structural key, so re-analysis of the
 //! same statement in the same context reuses the same abstract address.
 
-use crate::context::Context;
+use crate::context::CtxId;
 use jsdomains::{AObject, AValue, AllocSite, Heap, ObjKind};
 use jsir::{IrFuncId, StmtId};
 use std::collections::HashMap;
 
-/// Structural identity of an allocation site.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+/// Structural identity of an allocation site. Contexts appear as interned
+/// [`CtxId`]s, making the whole key `Copy` and its hash/compare O(1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum SiteKey {
     /// The global object.
     Global,
     /// An activation frame of `func` in a context.
-    Frame(IrFuncId, Context),
+    Frame(IrFuncId, CtxId),
     /// An object allocated by a statement in a context.
-    Stmt(StmtId, Context),
+    Stmt(StmtId, CtxId),
     /// A host (browser-environment) object, by name.
     Host(&'static str),
     /// An object allocated internally by a native function at a call site.
-    NativeAlloc(StmtId, Context, &'static str),
+    NativeAlloc(StmtId, CtxId, &'static str),
     /// The aged (summary) twin of a rotating allocation site: holds the
     /// older instances under recency abstraction. The payload is the
     /// most-recent site's index.
@@ -49,7 +50,7 @@ impl SiteTable {
             return s;
         }
         let site = AllocSite(self.origins.len() as u32);
-        self.origins.push(key.clone());
+        self.origins.push(key);
         self.map.insert(key, site);
         site
     }
@@ -175,10 +176,12 @@ mod tests {
 
     #[test]
     fn frame_sites_distinguish_contexts() {
+        use crate::context::{Context, CtxTable};
+        let mut ctxs = CtxTable::new();
         let mut t = SiteTable::new();
         let f = IrFuncId(1);
-        let c1 = Context::root().push(StmtId(5), 1);
-        let c2 = Context::root().push(StmtId(9), 1);
+        let c1 = ctxs.intern(Context::root().push(StmtId(5), 1));
+        let c2 = ctxs.intern(Context::root().push(StmtId(9), 1));
         let s1 = t.intern(SiteKey::Frame(f, c1));
         let s2 = t.intern(SiteKey::Frame(f, c2));
         assert_ne!(s1, s2);

@@ -267,40 +267,39 @@ mod tests {
     }
 }
 
-#[cfg(test)]
+#[cfg(all(test, feature = "fuzz"))]
 mod proptests {
     use super::*;
     use crate::lattice::laws;
-    use proptest::prelude::*;
+    use minicheck::Gen;
 
-    fn arb_num() -> impl Strategy<Value = NumDom> {
-        prop_oneof![
-            Just(NumDom::Bot),
-            Just(NumDom::Top),
-            (-3i8..3).prop_map(|n| NumDom::Const(n as f64)),
-        ]
+    pub(crate) fn arb_num(g: &mut Gen) -> NumDom {
+        match g.below(3) {
+            0 => NumDom::Bot,
+            1 => NumDom::Top,
+            _ => NumDom::Const(g.range(-3, 3) as f64),
+        }
     }
 
-    fn arb_bool() -> impl Strategy<Value = BoolDom> {
-        prop_oneof![
-            Just(BoolDom::Bot),
-            Just(BoolDom::True),
-            Just(BoolDom::False),
-            Just(BoolDom::Top),
-        ]
+    pub(crate) fn arb_bool(g: &mut Gen) -> BoolDom {
+        *g.pick(&[BoolDom::Bot, BoolDom::True, BoolDom::False, BoolDom::Top])
     }
 
-    proptest! {
-        #[test]
-        fn num_lattice_laws(a in arb_num(), b in arb_num(), c in arb_num()) {
+    #[test]
+    fn num_lattice_laws() {
+        minicheck::check("num_lattice_laws", 256, |g| {
+            let (a, b, c) = (arb_num(g), arb_num(g), arb_num(g));
             laws::check_join_laws(&a, &b, &c);
             laws::check_meet_laws(&a, &b);
-        }
+        });
+    }
 
-        #[test]
-        fn bool_lattice_laws(a in arb_bool(), b in arb_bool(), c in arb_bool()) {
+    #[test]
+    fn bool_lattice_laws() {
+        minicheck::check("bool_lattice_laws", 256, |g| {
+            let (a, b, c) = (arb_bool(g), arb_bool(g), arb_bool(g));
             laws::check_join_laws(&a, &b, &c);
             laws::check_meet_laws(&a, &b);
-        }
+        });
     }
 }

@@ -52,7 +52,7 @@ pub trait MeetLattice: Lattice {
     }
 }
 
-#[cfg(test)]
+#[cfg(all(test, feature = "fuzz"))]
 pub(crate) mod laws {
     //! Reusable law checks invoked from each domain's proptest suite.
     use super::*;

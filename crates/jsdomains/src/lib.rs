@@ -35,10 +35,12 @@ mod consts;
 mod lattice;
 mod object;
 mod prefix;
+mod sym;
 mod value;
 
 pub use consts::{BoolDom, NumDom};
 pub use lattice::{Lattice, MeetLattice};
 pub use object::{AObject, FuncIndex, Heap, NativeId, ObjKind};
 pub use prefix::Pre;
+pub use sym::Sym;
 pub use value::{AValue, AllocSite};

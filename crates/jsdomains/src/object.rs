@@ -8,6 +8,7 @@
 
 use crate::lattice::Lattice;
 use crate::prefix::Pre;
+use crate::sym::Sym;
 use crate::value::{AValue, AllocSite};
 use std::fmt;
 
@@ -58,8 +59,8 @@ impl ObjKind {
 pub struct AObject {
     /// What the object is.
     pub kind: ObjKind,
-    /// Properties under exactly-known names.
-    pub props: BTreeMap<String, AValue>,
+    /// Properties under exactly-known (interned) names.
+    pub props: BTreeMap<Sym, AValue>,
     /// Join of all values written under non-exact names; `AValue::bottom()`
     /// if no such write happened.
     pub unknown_props: AValue,
@@ -123,9 +124,9 @@ impl AObject {
             Pre::Bot => {}
             Pre::Exact(k) => {
                 if strong && self.singleton {
-                    self.props.insert(k.clone(), value.clone());
+                    self.props.insert(*k, value.clone());
                 } else {
-                    let slot = self.props.entry(k.clone()).or_insert_with(AValue::undef);
+                    let slot = self.props.entry(*k).or_insert_with(AValue::undef);
                     *slot = slot.join(value);
                 }
             }
@@ -188,7 +189,7 @@ impl AObject {
                 Some(slot) => changed |= slot.join_in_place(v),
                 None => {
                     // Present on one path only: may be absent.
-                    self.props.insert(k.clone(), v.join(&AValue::undef()));
+                    self.props.insert(*k, v.join(&AValue::undef()));
                     changed = true;
                 }
             }

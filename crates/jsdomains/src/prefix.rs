@@ -7,35 +7,40 @@
 //! prefix). Tracking exact strings, not just prefixes, matters because the
 //! same domain doubles as the property-name domain of the base analysis
 //! (the paper's key precision observation over Costantini et al.).
+//!
+//! Elements carry interned [`Sym`]s, which makes the whole domain `Copy`:
+//! joins, equality tests, and property-name comparisons in the
+//! interpreter's hot path never allocate.
 
 use crate::lattice::{Lattice, MeetLattice};
+use crate::sym::Sym;
 use std::fmt;
 
 /// An element of the prefix string domain.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum Pre {
     /// No string at all (uninitialized).
     Bot,
     /// Exactly the contained string: `(str, true)` in the paper.
-    Exact(String),
+    Exact(Sym),
     /// Any string starting with the contained prefix: `(str, false)`.
-    Prefix(String),
+    Prefix(Sym),
 }
 
 impl Pre {
     /// The top element: all possible strings.
     pub fn any() -> Pre {
-        Pre::Prefix(String::new())
+        Pre::Prefix(Sym::empty())
     }
 
     /// An exact string.
-    pub fn exact(s: impl Into<String>) -> Pre {
-        Pre::Exact(s.into())
+    pub fn exact(s: impl AsRef<str>) -> Pre {
+        Pre::Exact(Sym::intern(s.as_ref()))
     }
 
     /// A known prefix of an otherwise unknown string.
-    pub fn prefix(s: impl Into<String>) -> Pre {
-        Pre::Prefix(s.into())
+    pub fn prefix(s: impl AsRef<str>) -> Pre {
+        Pre::Prefix(Sym::intern(s.as_ref()))
     }
 
     /// True if this element denotes exactly one string.
@@ -44,18 +49,18 @@ impl Pre {
     }
 
     /// The exact string, if this element is exact.
-    pub fn as_exact(&self) -> Option<&str> {
+    pub fn as_exact(&self) -> Option<&'static str> {
         match self {
-            Pre::Exact(s) => Some(s),
+            Pre::Exact(s) => Some(s.as_str()),
             _ => None,
         }
     }
 
     /// The known text (exact string or prefix); `None` for bottom.
-    pub fn known_text(&self) -> Option<&str> {
+    pub fn known_text(&self) -> Option<&'static str> {
         match self {
             Pre::Bot => None,
-            Pre::Exact(s) | Pre::Prefix(s) => Some(s),
+            Pre::Exact(s) | Pre::Prefix(s) => Some(s.as_str()),
         }
     }
 
@@ -64,7 +69,7 @@ impl Pre {
     pub fn may_be(&self, s: &str) -> bool {
         match self {
             Pre::Bot => false,
-            Pre::Exact(e) => e == s,
+            Pre::Exact(e) => *e == s,
             Pre::Prefix(p) => s.starts_with(p.as_str()),
         }
     }
@@ -77,9 +82,10 @@ impl Pre {
     pub fn concat(&self, other: &Pre) -> Pre {
         match (self, other) {
             (Pre::Bot, _) | (_, Pre::Bot) => Pre::Bot,
-            (Pre::Exact(a), Pre::Exact(b)) => Pre::Exact(format!("{a}{b}")),
-            (Pre::Exact(a), Pre::Prefix(b)) => Pre::Prefix(format!("{a}{b}")),
-            (Pre::Prefix(a), _) => Pre::Prefix(a.clone()),
+            (Pre::Exact(a), _) if a.is_empty() => *other,
+            (Pre::Exact(a), Pre::Exact(b)) => Pre::exact(format!("{a}{b}")),
+            (Pre::Exact(a), Pre::Prefix(b)) => Pre::prefix(format!("{a}{b}")),
+            (Pre::Prefix(a), _) => Pre::Prefix(*a),
         }
     }
 
@@ -126,10 +132,10 @@ impl Pre {
     pub fn to_lowercase(&self) -> Pre {
         match self {
             Pre::Bot => Pre::Bot,
-            Pre::Exact(s) => Pre::Exact(s.to_lowercase()),
+            Pre::Exact(s) => Pre::exact(s.to_lowercase()),
             Pre::Prefix(s) => {
                 if s.is_ascii() {
-                    Pre::Prefix(s.to_lowercase())
+                    Pre::prefix(s.to_lowercase())
                 } else {
                     Pre::any()
                 }
@@ -148,7 +154,7 @@ impl Pre {
                     .nth(n)
                     .map(|(i, _)| i)
                     .unwrap_or(s.len());
-                Pre::Exact(s[..end].to_owned())
+                Pre::exact(&s[..end])
             }
             Pre::Prefix(p) => {
                 let end = p
@@ -158,9 +164,9 @@ impl Pre {
                     .unwrap_or(p.len());
                 if end < p.len() {
                     // The slice is fully inside the known prefix: exact.
-                    Pre::Exact(p[..end].to_owned())
+                    Pre::exact(&p[..end])
                 } else {
-                    Pre::Prefix(p.clone())
+                    Pre::Prefix(*p)
                 }
             }
         }
@@ -182,18 +188,23 @@ impl Lattice for Pre {
 
     /// Join per Section 5: exact strings join to themselves when equal,
     /// everything else joins to the greatest common prefix (as a prefix).
+    ///
+    /// The comparable cases (including the overwhelmingly common `x ⊔ x`)
+    /// are answered without touching the interner; only a genuinely new
+    /// common prefix interns a string.
     fn join(&self, other: &Self) -> Self {
-        match (self, other) {
-            (Pre::Bot, x) | (x, Pre::Bot) => x.clone(),
-            (Pre::Exact(a), Pre::Exact(b)) if a == b => Pre::Exact(a.clone()),
-            (a, b) => {
-                let (sa, sb) = (
-                    a.known_text().expect("non-bot"),
-                    b.known_text().expect("non-bot"),
-                );
-                Pre::Prefix(Pre::common_prefix(sa, sb))
-            }
+        if self.leq(other) {
+            return *other;
         }
+        if other.leq(self) {
+            return *self;
+        }
+        // Incomparable: both are non-bottom, result is the common prefix.
+        let (sa, sb) = (
+            self.known_text().expect("non-bot"),
+            other.known_text().expect("non-bot"),
+        );
+        Pre::prefix(Pre::common_prefix(sa, sb))
     }
 
     /// Order per Section 5: `(s1,b1) <= (s2,b2)` iff either `b2 = false`
@@ -219,9 +230,9 @@ impl MeetLattice for Pre {
     /// the paper's equations leave implicit (`x ⊓ x = x`).
     fn meet(&self, other: &Self) -> Self {
         if self.leq(other) {
-            self.clone()
+            *self
         } else if other.leq(self) {
-            other.clone()
+            *other
         } else {
             Pre::Bot
         }
@@ -241,12 +252,18 @@ impl fmt::Display for Pre {
 
 impl From<&str> for Pre {
     fn from(s: &str) -> Pre {
-        Pre::Exact(s.to_owned())
+        Pre::exact(s)
     }
 }
 
 impl From<String> for Pre {
     fn from(s: String) -> Pre {
+        Pre::exact(s)
+    }
+}
+
+impl From<Sym> for Pre {
+    fn from(s: Sym) -> Pre {
         Pre::Exact(s)
     }
 }
@@ -292,6 +309,7 @@ mod tests {
         assert_eq!(e.concat(&p), Pre::prefix("abcd"));
         assert_eq!(p.concat(&e), Pre::prefix("cd"));
         assert_eq!(p.concat(&p), Pre::prefix("cd"));
+        assert_eq!(Pre::exact("").concat(&e), e, "empty exact is identity");
     }
 
     #[test]
@@ -388,42 +406,50 @@ mod tests {
     }
 }
 
-#[cfg(test)]
+#[cfg(all(test, feature = "fuzz"))]
 mod proptests {
     use super::*;
     use crate::lattice::laws;
-    use proptest::prelude::*;
+    use minicheck::Gen;
 
-    fn arb_pre() -> impl Strategy<Value = Pre> {
-        prop_oneof![
-            Just(Pre::Bot),
-            "[a-c]{0,4}".prop_map(Pre::Exact),
-            "[a-c]{0,4}".prop_map(Pre::Prefix),
-        ]
+    const ABC: &[char] = &['a', 'b', 'c'];
+
+    fn arb_pre(g: &mut Gen) -> Pre {
+        match g.below(3) {
+            0 => Pre::Bot,
+            1 => Pre::exact(g.string_of(ABC, 4)),
+            _ => Pre::prefix(g.string_of(ABC, 4)),
+        }
     }
 
-    proptest! {
-        #[test]
-        fn lattice_laws(a in arb_pre(), b in arb_pre(), c in arb_pre()) {
+    #[test]
+    fn lattice_laws() {
+        minicheck::check("pre_lattice_laws", 512, |g| {
+            let (a, b, c) = (arb_pre(g), arb_pre(g), arb_pre(g));
             laws::check_join_laws(&a, &b, &c);
             laws::check_meet_laws(&a, &b);
-        }
+        });
+    }
 
-        #[test]
-        fn join_soundness(a in arb_pre(), b in arb_pre(), s in "[a-c]{0,6}") {
+    #[test]
+    fn join_soundness() {
+        minicheck::check("pre_join_soundness", 512, |g| {
+            let (a, b) = (arb_pre(g), arb_pre(g));
+            let s = g.string_of(ABC, 6);
             // Anything described by a or b is described by the join.
             if a.may_be(&s) || b.may_be(&s) {
-                prop_assert!(a.join(&b).may_be(&s));
+                assert!(a.join(&b).may_be(&s));
             }
-        }
+        });
+    }
 
-        #[test]
-        fn concat_soundness(
-            sa in "[a-c]{0,3}",
-            sb in "[a-c]{0,3}",
-            ta in "[a-c]{0,2}",
-            tb in "[a-c]{0,2}",
-        ) {
+    #[test]
+    fn concat_soundness() {
+        minicheck::check("pre_concat_soundness", 512, |g| {
+            let sa = g.string_of(ABC, 3);
+            let sb = g.string_of(ABC, 3);
+            let ta = g.string_of(ABC, 2);
+            let tb = g.string_of(ABC, 2);
             // For concrete strings in the concretizations, the abstract
             // concat describes the concrete concatenation.
             for a in [Pre::exact(sa.clone()), Pre::prefix(sa.clone())] {
@@ -436,46 +462,59 @@ mod proptests {
                         (_, Pre::Exact(_)) => (ca, sb.clone()),
                         _ => (ca, cb),
                     };
-                    prop_assert!(a.may_be(&ca));
-                    prop_assert!(b.may_be(&cb));
-                    prop_assert!(
+                    assert!(a.may_be(&ca));
+                    assert!(b.may_be(&cb));
+                    assert!(
                         a.concat(&b).may_be(&format!("{ca}{cb}")),
                         "concat unsound: {a:?} + {b:?} vs {ca} {cb}"
                     );
                 }
             }
-        }
+        });
+    }
 
-        #[test]
-        fn compare_eq_soundness(a in arb_pre(), b in arb_pre(), s in "[a-c]{0,4}") {
+    #[test]
+    fn compare_eq_soundness() {
+        minicheck::check("pre_compare_eq_soundness", 512, |g| {
+            let (a, b) = (arb_pre(g), arb_pre(g));
+            let s = g.string_of(ABC, 4);
             // If compare_eq says definitely-false, no common string exists.
             if a.compare_eq(&b) == Some(false) {
-                prop_assert!(!(a.may_be(&s) && b.may_be(&s)));
+                assert!(!(a.may_be(&s) && b.may_be(&s)));
             }
-        }
+        });
+    }
 
-        #[test]
-        fn meet_is_intersection_upper(a in arb_pre(), b in arb_pre(), s in "[a-c]{0,4}") {
+    #[test]
+    fn meet_is_intersection_upper() {
+        minicheck::check("pre_meet_is_intersection_upper", 512, |g| {
+            let (a, b) = (arb_pre(g), arb_pre(g));
+            let s = g.string_of(ABC, 4);
             if a.may_be(&s) && b.may_be(&s) {
-                prop_assert!(a.meet(&b).may_be(&s), "meet lost {s} from {a:?} ^ {b:?}");
+                assert!(a.meet(&b).may_be(&s), "meet lost {s} from {a:?} ^ {b:?}");
             }
-        }
+        });
+    }
 
-        #[test]
-        fn noetherian_ascending_chains(ss in prop::collection::vec("[a-c]{0,4}", 1..8)) {
+    #[test]
+    fn noetherian_ascending_chains() {
+        minicheck::check("pre_noetherian_ascending_chains", 512, |g| {
+            let ss = g.vec_of(1, 7, |g| g.string_of(ABC, 4));
             // Joining any sequence terminates at a fixed element quickly:
             // chains stabilize (finite ascending chain condition).
             let mut acc = Pre::Bot;
             let mut changes = 0;
             for s in &ss {
                 let next = acc.join(&Pre::exact(s.clone()));
-                if next != acc { changes += 1; }
+                if next != acc {
+                    changes += 1;
+                }
                 acc = next;
             }
             // At most: bot -> exact -> a strictly shortening chain of
             // prefixes. Prefix length only decreases, so changes are
             // bounded by 2 + max prefix length.
-            prop_assert!(changes <= 2 + 4);
-        }
+            assert!(changes <= 2 + 4);
+        });
     }
 }

@@ -437,62 +437,62 @@ mod tests {
     }
 }
 
-#[cfg(test)]
+#[cfg(all(test, feature = "fuzz"))]
 mod proptests {
     use super::*;
     use crate::lattice::laws;
-    use proptest::prelude::*;
+    use minicheck::Gen;
 
-    fn arb_value() -> impl Strategy<Value = AValue> {
-        (
-            any::<bool>(),
-            any::<bool>(),
-            prop_oneof![
-                Just(BoolDom::Bot),
-                Just(BoolDom::True),
-                Just(BoolDom::False),
-                Just(BoolDom::Top)
-            ],
-            prop_oneof![
-                Just(NumDom::Bot),
-                Just(NumDom::Top),
-                (-2i8..2).prop_map(|n| NumDom::Const(n as f64))
-            ],
-            prop_oneof![
-                Just(Pre::Bot),
-                "[ab]{0,2}".prop_map(Pre::Exact),
-                "[ab]{0,2}".prop_map(Pre::Prefix)
-            ],
-            prop::collection::btree_set((0u32..4).prop_map(AllocSite), 0..3),
-        )
-            .prop_map(|(undef, null, bools, nums, strs, objs)| AValue {
-                undef,
-                null,
-                bools,
-                nums,
-                strs,
-                objs,
-            })
+    fn arb_value(g: &mut Gen) -> AValue {
+        let bools = *g.pick(&[BoolDom::Bot, BoolDom::True, BoolDom::False, BoolDom::Top]);
+        let nums = match g.below(3) {
+            0 => NumDom::Bot,
+            1 => NumDom::Top,
+            _ => NumDom::Const(g.range(-2, 2) as f64),
+        };
+        let strs = match g.below(3) {
+            0 => Pre::Bot,
+            1 => Pre::exact(g.string_of(&['a', 'b'], 2)),
+            _ => Pre::prefix(g.string_of(&['a', 'b'], 2)),
+        };
+        let objs: BTreeSet<AllocSite> = (0..g.below(3))
+            .map(|_| AllocSite(g.below(4) as u32))
+            .collect();
+        AValue {
+            undef: g.bool(),
+            null: g.bool(),
+            bools,
+            nums,
+            strs,
+            objs,
+        }
     }
 
-    proptest! {
-        #[test]
-        fn value_lattice_laws(a in arb_value(), b in arb_value(), c in arb_value()) {
+    #[test]
+    fn value_lattice_laws() {
+        minicheck::check("value_lattice_laws", 256, |g| {
+            let (a, b, c) = (arb_value(g), arb_value(g), arb_value(g));
             laws::check_join_laws(&a, &b, &c);
-        }
+        });
+    }
 
-        #[test]
-        fn truthy_refinement_sound(a in arb_value()) {
+    #[test]
+    fn truthy_refinement_sound() {
+        minicheck::check("value_truthy_refinement_sound", 256, |g| {
             // assume_truthy never introduces new possibilities.
-            prop_assert!(a.assume_truthy().leq(&a));
-        }
+            let a = arb_value(g);
+            assert!(a.assume_truthy().leq(&a));
+        });
+    }
 
-        #[test]
-        fn to_string_monotone(a in arb_value(), b in arb_value()) {
+    #[test]
+    fn to_string_monotone() {
+        minicheck::check("value_to_string_monotone", 256, |g| {
             use crate::lattice::Lattice as _;
+            let (a, b) = (arb_value(g), arb_value(g));
             if a.leq(&b) {
-                prop_assert!(a.to_abstract_string().leq(&b.to_abstract_string()));
+                assert!(a.to_abstract_string().leq(&b.to_abstract_string()));
             }
-        }
+        });
     }
 }

@@ -377,36 +377,33 @@ mod tests {
     }
 }
 
-#[cfg(test)]
+#[cfg(all(test, feature = "fuzz"))]
 mod proptests {
     use super::*;
     use jsir::EdgeKind;
-    use proptest::prelude::*;
+    use minicheck::Gen;
 
     /// Random small graphs over nodes 0..n with designated entry 0 and
     /// exit n-1.
-    fn arb_graph() -> impl Strategy<Value = (Cfg, FuncGraph)> {
-        (3usize..9).prop_flat_map(|n| {
-            let edges = prop::collection::vec((0..n, 0..n), 0..(n * 2));
-            edges.prop_map(move |es| {
-                let mut g = Cfg::with_capacity(n);
-                // A spine so the exit is usually reachable.
-                for i in 0..n - 1 {
-                    g.add_edge(StmtId(i as u32), StmtId(i as u32 + 1), EdgeKind::Seq);
-                }
-                for (a, b) in es {
-                    if a != b {
-                        g.add_edge(StmtId(a as u32), StmtId(b as u32), EdgeKind::Seq);
-                    }
-                }
-                let f = FuncGraph {
-                    nodes: (0..n as u32).map(StmtId).collect(),
-                    entry: StmtId(0),
-                    exit: StmtId(n as u32 - 1),
-                };
-                (g, f)
-            })
-        })
+    fn arb_graph(g: &mut Gen) -> (Cfg, FuncGraph) {
+        let n = 3 + g.below(6);
+        let mut cfg = Cfg::with_capacity(n);
+        // A spine so the exit is usually reachable.
+        for i in 0..n - 1 {
+            cfg.add_edge(StmtId(i as u32), StmtId(i as u32 + 1), EdgeKind::Seq);
+        }
+        for _ in 0..g.below(n * 2) {
+            let (a, b) = (g.below(n), g.below(n));
+            if a != b {
+                cfg.add_edge(StmtId(a as u32), StmtId(b as u32), EdgeKind::Seq);
+            }
+        }
+        let f = FuncGraph {
+            nodes: (0..n as u32).map(StmtId).collect(),
+            entry: StmtId(0),
+            exit: StmtId(n as u32 - 1),
+        };
+        (cfg, f)
     }
 
     /// Brute force: does every path from `from` to the exit pass through
@@ -462,9 +459,10 @@ mod proptests {
         false
     }
 
-    proptest! {
-        #[test]
-        fn ipdom_agrees_with_brute_force((g, f) in arb_graph()) {
+    #[test]
+    fn ipdom_agrees_with_brute_force() {
+        minicheck::check("ipdom_agrees_with_brute_force", 256, |gen| {
+            let (g, f) = arb_graph(gen);
             let pd = postdominators(&g, &f, |_| true);
             for &n in &f.nodes {
                 if !reaches_exit(&g, &f, n) {
@@ -476,27 +474,29 @@ mod proptests {
                     }
                     let ours = pd.postdominates(m, n);
                     let truth = postdominates_brute(&g, &f, m, n);
-                    prop_assert_eq!(
-                        ours, truth,
-                        "postdominates({:?}, {:?}) mismatch", m, n
-                    );
+                    assert_eq!(ours, truth, "postdominates({m:?}, {n:?}) mismatch");
                 }
             }
-        }
+        });
+    }
 
-        #[test]
-        fn control_dependence_terminates_and_is_within_nodes(
-            (g, f) in arb_graph()
-        ) {
-            for filter in [true, false] {
-                let cd = control_dependence(&g, &f, move |k: EdgeKind| {
-                    filter || k.is_local()
-                });
-                for (u, w) in cd {
-                    prop_assert!(f.nodes.contains(&u));
-                    prop_assert!(f.nodes.contains(&w));
+    #[test]
+    fn control_dependence_terminates_and_is_within_nodes() {
+        minicheck::check(
+            "control_dependence_terminates_and_is_within_nodes",
+            256,
+            |gen| {
+                let (g, f) = arb_graph(gen);
+                for filter in [true, false] {
+                    let cd = control_dependence(&g, &f, move |k: EdgeKind| {
+                        filter || k.is_local()
+                    });
+                    for (u, w) in cd {
+                        assert!(f.nodes.contains(&u));
+                        assert!(f.nodes.contains(&w));
+                    }
                 }
-            }
-        }
+            },
+        );
     }
 }

@@ -17,9 +17,7 @@ use std::fmt;
 
 /// A flow type: an index into a [`FlowLattice`]. In the paper's lattice,
 /// index 0 is `type1` (strongest) through index 7 = `type8` (weakest).
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize, serde::Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct FlowType(pub u8);
 
 impl FlowType {

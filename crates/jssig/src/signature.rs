@@ -16,7 +16,7 @@ use std::fmt;
 
 /// A sink as it appears in a signature: its kind plus, for network sends
 /// and script loads, the inferred domain from the prefix string domain.
-#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
 pub struct SigSink {
     /// What kind of sink.
     pub kind: SinkKind,
@@ -35,7 +35,7 @@ impl fmt::Display for SigSink {
 }
 
 /// One information-flow entry: `src --type--> sink`.
-#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
 pub struct FlowEntry {
     /// The information source.
     pub source: SourceKind,
@@ -95,42 +95,58 @@ impl Signature {
 
     /// Serializes the signature to JSON for downstream tooling (review
     /// dashboards, diffing against a previous version of the addon).
-    /// Witness spans are included as `(line, line)` pairs.
+    /// Witness spans are included as `(line, line)` pairs. All enum-like
+    /// fields use their `Display` forms, so the export reads exactly like
+    /// the textual signature (`"url"`, `"send"`, `"type1"`, ...).
     pub fn to_json(&self) -> String {
-        #[derive(serde::Serialize)]
-        struct Entry<'a> {
-            source: &'a SourceKind,
-            flow: String,
-            sink_kind: &'a SinkKind,
-            domain: &'a Pre,
-            witness_lines: Vec<(u32, u32)>,
+        use minijson::Json;
+
+        fn domain_json(d: &Pre) -> Json {
+            match d {
+                Pre::Bot => Json::Null,
+                d => Json::from(d.to_string()),
+            }
         }
-        #[derive(serde::Serialize)]
-        struct Doc<'a> {
-            flows: Vec<Entry<'a>>,
-            sinks: Vec<&'a SigSink>,
-            apis: Vec<&'a String>,
+        fn sink_json(s: &SigSink) -> Json {
+            let mut o = Json::obj();
+            o.set("kind", Json::from(s.kind.to_string()));
+            o.set("domain", domain_json(&s.domain));
+            o
         }
-        let doc = Doc {
-            flows: self
-                .flows
-                .iter()
-                .map(|e| Entry {
-                    source: &e.source,
-                    flow: e.flow.to_string(),
-                    sink_kind: &e.sink.kind,
-                    domain: &e.sink.domain,
-                    witness_lines: self
-                        .witnesses
-                        .get(e)
-                        .map(|ws| ws.iter().map(|(a, b)| (a.line, b.line)).collect())
-                        .unwrap_or_default(),
-                })
-                .collect(),
-            sinks: self.sinks.iter().collect(),
-            apis: self.apis.iter().collect(),
-        };
-        serde_json::to_string_pretty(&doc).expect("signature serializes")
+
+        let mut doc = Json::obj();
+        let flows: Vec<Json> = self
+            .flows
+            .iter()
+            .map(|e| {
+                let mut o = Json::obj();
+                o.set("source", Json::from(e.source.to_string()));
+                o.set("flow", Json::from(e.flow.to_string()));
+                o.set("sink_kind", Json::from(e.sink.kind.to_string()));
+                o.set("domain", domain_json(&e.sink.domain));
+                let lines: Vec<Json> = self
+                    .witnesses
+                    .get(e)
+                    .map(|ws| {
+                        ws.iter()
+                            .map(|(a, b)| Json::Arr(vec![Json::from(a.line), Json::from(b.line)]))
+                            .collect()
+                    })
+                    .unwrap_or_default();
+                o.set("witness_lines", Json::Arr(lines));
+                o
+            })
+            .collect();
+        doc.set("flows", Json::Arr(flows));
+        doc.set(
+            "sinks",
+            Json::Arr(self.sinks.iter().map(sink_json).collect()),
+        );
+        doc.set(
+            "apis",
+            Json::Arr(self.apis.iter().map(|a| Json::from(a.as_str())).collect()),
+        );
+        doc.to_string_pretty()
     }
 }
 

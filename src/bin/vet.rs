@@ -2,16 +2,21 @@
 //!
 //! ```text
 //! vet <addon.js> [--json] [--dot] [--explain] [--k <depth>] [--constant-strings]
-//! vet --corpus [--json]
+//! vet --corpus [--json] [--sequential]
 //! ```
 //!
 //! Analyzes a JavaScript addon and prints its inferred security
 //! signature (or a JSON report with `--json`). `--corpus` runs the
-//! built-in benchmark suite instead of a file. Exits nonzero when the
-//! addon fails to parse or uses restricted dynamic-code APIs.
+//! built-in benchmark suite instead of a file, vetting the addons on
+//! parallel threads (each addon's analysis is independent); output is
+//! buffered per addon and printed in corpus order, so the report is
+//! byte-identical to a sequential run. `--sequential` disables the
+//! thread pool. Exits nonzero when the addon fails to parse or uses
+//! restricted dynamic-code APIs.
 
 use jsanalysis::{AnalysisConfig, StringDomain};
 use jssig::FlowLattice;
+use std::fmt::Write as _;
 use std::process::ExitCode;
 
 struct Options {
@@ -19,6 +24,7 @@ struct Options {
     dot: bool,
     explain: bool,
     corpus: bool,
+    sequential: bool,
     context_depth: usize,
     string_domain: StringDomain,
     file: Option<String>,
@@ -30,6 +36,7 @@ fn parse_args() -> Result<Options, String> {
         dot: false,
         explain: false,
         corpus: false,
+        sequential: false,
         context_depth: 1,
         string_domain: StringDomain::Prefix,
         file: None,
@@ -41,6 +48,7 @@ fn parse_args() -> Result<Options, String> {
             "--dot" => opts.dot = true,
             "--explain" => opts.explain = true,
             "--corpus" => opts.corpus = true,
+            "--sequential" => opts.sequential = true,
             "--constant-strings" => opts.string_domain = StringDomain::ConstantOnly,
             "--k" => {
                 let v = args.next().ok_or("--k needs a value")?;
@@ -48,7 +56,8 @@ fn parse_args() -> Result<Options, String> {
             }
             "--help" | "-h" => {
                 return Err("usage: vet <addon.js> [--json] [--dot] [--explain] \
-                            [--k <depth>] [--constant-strings] | vet --corpus"
+                            [--k <depth>] [--constant-strings] | \
+                            vet --corpus [--sequential]"
                     .to_owned())
             }
             other if !other.starts_with('-') => opts.file = Some(other.to_owned()),
@@ -61,7 +70,15 @@ fn parse_args() -> Result<Options, String> {
     Ok(opts)
 }
 
-fn vet_source(name: &str, source: &str, opts: &Options) -> Result<bool, String> {
+/// Everything one addon's vetting produced, buffered so corpus mode can
+/// run addons concurrently and still print deterministically.
+struct VetOutcome {
+    clean: bool,
+    report: String,
+    warnings: String,
+}
+
+fn vet_source(name: &str, source: &str, opts: &Options) -> Result<VetOutcome, String> {
     let config = AnalysisConfig {
         context_depth: opts.context_depth,
         string_domain: opts.string_domain,
@@ -69,26 +86,29 @@ fn vet_source(name: &str, source: &str, opts: &Options) -> Result<bool, String> 
     };
     let report = addon_sig::analyze_addon_with_config(source, &config, &FlowLattice::paper())
         .map_err(|e| format!("{name}: {e}"))?;
+    let mut out = String::new();
     if opts.json {
-        println!("{}", report.signature.to_json());
+        writeln!(out, "{}", report.signature.to_json()).unwrap();
     } else if opts.dot {
-        println!("{}", jspdg::pdg_to_dot(&report.lowered.program, &report.pdg));
+        writeln!(out, "{}", jspdg::pdg_to_dot(&report.lowered.program, &report.pdg)).unwrap();
     } else {
-        println!("=== {name} ===");
+        writeln!(out, "=== {name} ===").unwrap();
         if report.signature.is_empty() {
-            println!("  (no interesting flows, sinks, or API uses)");
+            writeln!(out, "  (no interesting flows, sinks, or API uses)").unwrap();
         } else {
-            print!("{}", report.signature);
+            write!(out, "{}", report.signature).unwrap();
         }
-        println!(
+        writeln!(
+            out,
             "  [P1 {:?}, P2 {:?}, P3 {:?}; {} PDG edges]",
             report.p1,
             report.p2,
             report.p3,
             report.pdg.edge_count()
-        );
+        )
+        .unwrap();
         if opts.explain {
-            explain_flows(&report);
+            explain_flows(&report, &mut out);
         }
     }
     // Restricted dynamic-code APIs are grounds for rejection (Section 2).
@@ -97,14 +117,19 @@ fn vet_source(name: &str, source: &str, opts: &Options) -> Result<bool, String> 
         .apis
         .iter()
         .any(|a| a == "eval" || a == "Function" || a == "setTimeout$string");
+    let mut warnings = String::new();
     if dynamic_code {
-        eprintln!("{name}: uses restricted dynamic-code APIs");
+        writeln!(warnings, "{name}: uses restricted dynamic-code APIs").unwrap();
     }
-    Ok(!dynamic_code)
+    Ok(VetOutcome {
+        clean: !dynamic_code,
+        report: out,
+        warnings,
+    })
 }
 
-/// Prints one witness dependence path per (source kind, sink) pair.
-fn explain_flows(report: &addon_sig::Report) {
+/// Appends one witness dependence path per (source kind, sink) pair.
+fn explain_flows(report: &addon_sig::Report, out: &mut String) {
     use jspdg::{witness_path, SliceFilter};
     let sources = report.analysis.source_stmts();
     for sink in &report.analysis.sinks {
@@ -116,19 +141,57 @@ fn explain_flows(report: &addon_sig::Report) {
             };
             let kind_names: Vec<String> =
                 kinds.iter().map(|k| k.to_string()).collect();
-            println!("  explain {} -> {}:", kind_names.join("/"), sink.kind);
+            writeln!(out, "  explain {} -> {}:", kind_names.join("/"), sink.kind).unwrap();
             for (stmt, ann) in path {
                 let line = report.lowered.program.stmt(stmt).span.line;
                 let text =
                     jsir::pretty::stmt_to_string(&report.lowered.program, stmt);
                 match ann {
-                    Some(a) => println!("    L{line:<4} {text}  --[{a}]-->"),
-                    None => println!("    L{line:<4} {text}"),
+                    Some(a) => writeln!(out, "    L{line:<4} {text}  --[{a}]-->").unwrap(),
+                    None => writeln!(out, "    L{line:<4} {text}").unwrap(),
                 }
             }
             break; // one witness per sink is enough for the report
         }
     }
+}
+
+/// Vets every corpus addon, concurrently unless `--sequential`, and
+/// prints the buffered outcomes in corpus order.
+fn vet_corpus(opts: &Options) -> bool {
+    let addons = corpus::addons();
+    let outcomes: Vec<Result<VetOutcome, String>> = if opts.sequential {
+        addons
+            .iter()
+            .map(|a| vet_source(a.name, a.source, opts))
+            .collect()
+    } else {
+        std::thread::scope(|s| {
+            let handles: Vec<_> = addons
+                .iter()
+                .map(|a| s.spawn(move || vet_source(a.name, a.source, opts)))
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("vet worker panicked"))
+                .collect()
+        })
+    };
+    let mut ok = true;
+    for outcome in outcomes {
+        match outcome {
+            Ok(o) => {
+                print!("{}", o.report);
+                eprint!("{}", o.warnings);
+                ok &= o.clean;
+            }
+            Err(e) => {
+                eprintln!("{e}");
+                ok = false;
+            }
+        }
+    }
+    ok
 }
 
 fn main() -> ExitCode {
@@ -139,17 +202,8 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    let mut ok = true;
-    if opts.corpus {
-        for addon in corpus::addons() {
-            match vet_source(addon.name, addon.source, &opts) {
-                Ok(clean) => ok &= clean,
-                Err(e) => {
-                    eprintln!("{e}");
-                    ok = false;
-                }
-            }
-        }
+    let ok = if opts.corpus {
+        vet_corpus(&opts)
     } else {
         let path = opts.file.clone().expect("checked in parse_args");
         let source = match std::fs::read_to_string(&path) {
@@ -160,13 +214,17 @@ fn main() -> ExitCode {
             }
         };
         match vet_source(&path, &source, &opts) {
-            Ok(clean) => ok = clean,
+            Ok(o) => {
+                print!("{}", o.report);
+                eprint!("{}", o.warnings);
+                o.clean
+            }
             Err(e) => {
                 eprintln!("{e}");
-                ok = false;
+                false
             }
         }
-    }
+    };
     if ok {
         ExitCode::SUCCESS
     } else {

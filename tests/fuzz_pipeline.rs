@@ -2,91 +2,85 @@
 //! generator produces syntactically valid addon code, and the pipeline
 //! must analyze every generated program without panicking, within the
 //! step budget, and with internally consistent results.
+//!
+//! Gated behind the `fuzz` feature (run with
+//! `cargo test --features fuzz`): the suite is deterministic (seeded
+//! minicheck streams) but heavier than the rest of tier-1.
 
-use proptest::prelude::*;
+#![cfg(feature = "fuzz")]
+
+use minicheck::Gen;
 
 /// A tiny generator of valid JavaScript programs in the analyzed subset.
-/// Grows statements recursively from templates over a fixed identifier
-/// pool so that programs are closed and interesting (conditionals, loops,
-/// closures, property traffic, event handlers, XHR use).
-fn arb_program() -> impl Strategy<Value = String> {
-    let expr = prop_oneof![
-        Just("1".to_owned()),
-        Just("\"lit\"".to_owned()),
-        Just("a".to_owned()),
-        Just("b + 1".to_owned()),
-        Just("o.p".to_owned()),
-        Just("o[k]".to_owned()),
-        Just("content.location.href".to_owned()),
-        Just("helper(a)".to_owned()),
-        Just("Math.random()".to_owned()),
-        Just("a + \"suffix\"".to_owned()),
-        Just("typeof a".to_owned()),
-        Just("{ p: a, q: 2 }".to_owned()),
-        Just("[a, b, 3]".to_owned()),
-    ];
-    let stmt = expr.prop_flat_map(|e| {
-        prop_oneof![
-            Just(format!("var x{} = {e};", e.len() % 7)),
-            Just(format!("a = {e};")),
-            Just(format!("o.p = {e};")),
-            Just(format!("o[k] = {e};")),
-            Just(format!("use({e});")),
-            Just(format!("if ({e}) {{ a = 1; }} else {{ b = 2; }}")),
-            Just(format!("while (Math.random() < 0.5) {{ a = {e}; }}")),
-            Just(format!(
-                "for (var i = 0; i < 3; i++) {{ if (i == 1) continue; b = {e}; }}"
-            )),
-            Just(format!("try {{ o.p = {e}; }} catch (err) {{ b = err; }}")),
-            Just(format!(
-                "switch ({e}) {{ case 1: a = 1; break; default: b = 2; }}"
-            )),
-            Just("for (var key in o) { use(o[key]); }".to_owned()),
-            Just(format!(
-                "setTimeout(function () {{ a = {e}; }}, 100);"
-            )),
-        ]
-    });
-    (
-        prop::collection::vec(stmt, 1..10),
-        any::<bool>(),
-        any::<bool>(),
-    )
-        .prop_map(|(stmts, with_helper, with_xhr)| {
-            let mut src = String::from(
-                "var a = 0; var b = 0; var k = \"p\"; var o = { p: 1, q: 2 };\n\
-                 function use(v) { return v; }\n",
-            );
-            if with_helper {
-                src.push_str(
-                    "function helper(v) { if (v) { return v; } return \"none\"; }\n",
-                );
-            } else {
-                src.push_str("var helper = function (v) { return use(v); };\n");
-            }
-            if with_xhr {
-                src.push_str(
-                    "var req = new XMLHttpRequest();\n\
-                     req.open(\"GET\", \"http://fuzz.example.com/api?x=\" + a);\n\
-                     req.send(null);\n",
-                );
-            }
-            for s in stmts {
-                src.push_str(&s);
-                src.push('\n');
-            }
-            src
-        })
+/// Grows statements from templates over a fixed identifier pool so that
+/// programs are closed and interesting (conditionals, loops, closures,
+/// property traffic, event handlers, XHR use).
+fn arb_expr(g: &mut Gen) -> String {
+    g.pick(&[
+        "1",
+        "\"lit\"",
+        "a",
+        "b + 1",
+        "o.p",
+        "o[k]",
+        "content.location.href",
+        "helper(a)",
+        "Math.random()",
+        "a + \"suffix\"",
+        "typeof a",
+        "{ p: a, q: 2 }",
+        "[a, b, 3]",
+    ])
+    .to_string()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig {
-        cases: 48,
-        .. ProptestConfig::default()
-    })]
+fn arb_stmt(g: &mut Gen) -> String {
+    let e = arb_expr(g);
+    match g.below(12) {
+        0 => format!("var x{} = {e};", e.len() % 7),
+        1 => format!("a = {e};"),
+        2 => format!("o.p = {e};"),
+        3 => format!("o[k] = {e};"),
+        4 => format!("use({e});"),
+        5 => format!("if ({e}) {{ a = 1; }} else {{ b = 2; }}"),
+        6 => format!("while (Math.random() < 0.5) {{ a = {e}; }}"),
+        7 => format!("for (var i = 0; i < 3; i++) {{ if (i == 1) continue; b = {e}; }}"),
+        8 => format!("try {{ o.p = {e}; }} catch (err) {{ b = err; }}"),
+        9 => format!("switch ({e}) {{ case 1: a = 1; break; default: b = 2; }}"),
+        10 => "for (var key in o) { use(o[key]); }".to_owned(),
+        _ => format!("setTimeout(function () {{ a = {e}; }}, 100);"),
+    }
+}
 
-    #[test]
-    fn pipeline_total_on_generated_programs(src in arb_program()) {
+fn arb_program(g: &mut Gen) -> String {
+    let mut src = String::from(
+        "var a = 0; var b = 0; var k = \"p\"; var o = { p: 1, q: 2 };\n\
+         function use(v) { return v; }\n",
+    );
+    if g.bool() {
+        src.push_str("function helper(v) { if (v) { return v; } return \"none\"; }\n");
+    } else {
+        src.push_str("var helper = function (v) { return use(v); };\n");
+    }
+    let with_xhr = g.bool();
+    if with_xhr {
+        src.push_str(
+            "var req = new XMLHttpRequest();\n\
+             req.open(\"GET\", \"http://fuzz.example.com/api?x=\" + a);\n\
+             req.send(null);\n",
+        );
+    }
+    for _ in 0..1 + g.below(9) {
+        src.push_str(&arb_stmt(g));
+        src.push('\n');
+    }
+    src
+}
+
+#[test]
+fn pipeline_total_on_generated_programs() {
+    minicheck::check("pipeline_total_on_generated_programs", 48, |g| {
+        let src = arb_program(g);
         let report = addon_sig::analyze_addon(&src)
             .unwrap_or_else(|e| panic!("pipeline failed: {e}\nprogram:\n{src}"));
 
@@ -94,8 +88,8 @@ proptest! {
         // statement, annotations render, the signature prints.
         let nstmts = report.lowered.program.stmt_count() as u32;
         for e in report.pdg.edges() {
-            prop_assert!(e.from.0 < nstmts);
-            prop_assert!(e.to.0 < nstmts);
+            assert!(e.from.0 < nstmts);
+            assert!(e.to.0 < nstmts);
             let _ = e.ann.to_string();
         }
         let _ = report.signature.to_string();
@@ -104,7 +98,7 @@ proptest! {
         // Read/write sets only mention reachable statements... (they may
         // also mention call-result attribution nodes; all must be valid.)
         for stmt in report.analysis.rw.keys() {
-            prop_assert!(stmt.0 < nstmts);
+            assert!(stmt.0 < nstmts);
         }
 
         // The XHR block, when present, must yield a send sink with the
@@ -115,35 +109,55 @@ proptest! {
                     .known_text()
                     .is_some_and(|t| t.starts_with("http://fuzz.example.com"))
             });
-            prop_assert!(found, "expected fuzz sink in:\n{src}");
+            assert!(found, "expected fuzz sink in:\n{src}");
         }
-    }
+    });
+}
 
-    #[test]
-    fn lexer_never_panics(src in "\\PC*") {
-        let _ = jsparser::lex(&src);
-    }
+/// Arbitrary (often non-UTF8-boundary-hostile, control-char-laden) text
+/// for the lexer/parser totality checks.
+fn arb_soup(g: &mut Gen) -> String {
+    let len = g.below(60);
+    (0..len)
+        .map(|_| {
+            // Mix printable ASCII, whitespace, and arbitrary unicode.
+            match g.below(4) {
+                0 => char::from_u32(0x20 + g.below(0x5f) as u32).unwrap(),
+                1 => *g.pick(&['\n', '\t', '\r', ' ']),
+                2 => char::from_u32(g.below(0xd7ff) as u32).unwrap_or('\u{fffd}'),
+                _ => *g.pick(&['"', '\\', '{', '}', '(', ')', ';', '/', '*']),
+            }
+        })
+        .collect()
+}
 
-    #[test]
-    fn parser_never_panics(src in "\\PC*") {
+#[test]
+fn lexer_never_panics() {
+    minicheck::check("lexer_never_panics", 256, |g| {
+        let _ = jsparser::lex(&arb_soup(g));
+    });
+}
+
+#[test]
+fn parser_never_panics() {
+    minicheck::check("parser_never_panics", 256, |g| {
+        let _ = jsparser::parse(&arb_soup(g));
+    });
+}
+
+#[test]
+fn parser_total_on_token_soup() {
+    const TOKENS: &[&str] = &[
+        "var", "x", "=", "1", ";", "{", "}", "(", ")", "if", "else", "function", "+", "return",
+        "while", "for", "try", "catch", "\"s\"", ",", ".", "o", "[", "]", "throw", "new", "!",
+        "==",
+    ];
+    minicheck::check("parser_total_on_token_soup", 256, |g| {
+        let n = g.below(40);
+        let src = (0..n)
+            .map(|_| *g.pick(TOKENS))
+            .collect::<Vec<_>>()
+            .join(" ");
         let _ = jsparser::parse(&src);
-    }
-
-    #[test]
-    fn parser_total_on_token_soup(
-        tokens in prop::collection::vec(
-            prop_oneof![
-                Just("var"), Just("x"), Just("="), Just("1"), Just(";"),
-                Just("{"), Just("}"), Just("("), Just(")"), Just("if"),
-                Just("else"), Just("function"), Just("+"), Just("return"),
-                Just("while"), Just("for"), Just("try"), Just("catch"),
-                Just("\"s\""), Just(","), Just("."), Just("o"), Just("["),
-                Just("]"), Just("throw"), Just("new"), Just("!"), Just("=="),
-            ],
-            0..40,
-        )
-    ) {
-        let src = tokens.join(" ");
-        let _ = jsparser::parse(&src);
-    }
+    });
 }

