@@ -7,7 +7,10 @@
 #      whose step-budget table fails the build on base-analysis
 #      step-count regressions),
 #   3. a perf snapshot over the corpus, so the committed
-#      BENCH_pipeline.json can be refreshed from the CI artifact.
+#      BENCH_pipeline.json can be refreshed from the CI artifact,
+#   4. a vetting-daemon smoke test over --stdio (no network needed) plus
+#      the serve_load --check invariants (cache actually hits, cached
+#      vets are >=10x faster than cold).
 set -eu
 cd "$(dirname "$0")"
 
@@ -23,5 +26,18 @@ cargo test --offline --workspace -q
 echo "==> perf snapshot (sequential, 3 runs)"
 cargo build --release --offline --workspace
 ./target/release/perf_snapshot --runs 3 --sequential --out target/BENCH_pipeline.ci.json
+
+echo "==> sigserve smoke test (stdio daemon: vet, stats, shutdown)"
+serve_out=$(printf '%s\n' \
+    '{"kind":"vet","path":"crates/corpus/addons/pinpoints.js"}' \
+    '{"kind":"stats"}' \
+    '{"kind":"shutdown"}' \
+    | ./target/release/vet serve --stdio --workers 2)
+echo "$serve_out" | grep -q '"verdict":"ok"'
+echo "$serve_out" | grep -q '"kind":"stats"'
+echo "$serve_out" | grep -q '"kind":"shutdown_ack"'
+
+echo "==> sigserve load sanity (serve_load --check)"
+./target/release/serve_load --check
 
 echo "==> ci.sh: all gates passed"

@@ -1,0 +1,253 @@
+//! Load benchmark for the `sigserve` vetting daemon, std-only.
+//!
+//! Boots an in-process daemon on an ephemeral loopback port with the
+//! real pipeline (`addon_sig::service_analyze`), then measures three
+//! things an addon-market deployment cares about:
+//!
+//! 1. **cold** — per-request latency with an empty cache (every corpus
+//!    addon analyzed from scratch),
+//! 2. **cached** — per-request latency for identical re-submissions
+//!    (content-addressed cache hits), and
+//! 3. **load** — sustained throughput with several concurrent clients
+//!    replaying the corpus with duplicates, plus the resulting
+//!    cache-hit rate from the daemon's own counters.
+//!
+//! Writes `BENCH_serve.json` at the repo root — the service-perf
+//! trajectory file future changes regress against.
+//!
+//! Flags:
+//! - `--clients N`   concurrent load clients (default 4)
+//! - `--rounds N`    corpus replays per client in the load phase (default 3)
+//! - `--workers N`   daemon worker threads (default 4)
+//! - `--check`       tiny fast run that only asserts the invariants
+//!                   (all verdicts ok, cache actually hits, cached much
+//!                   faster than cold) and writes nothing
+//! - `--out PATH`    where to write the JSON (default
+//!                   `<repo root>/BENCH_serve.json`)
+
+use minijson::Json;
+use sigserve::{Client, ServeConfig, Server};
+use std::time::Instant;
+
+fn percentile_us(sorted: &[u128], q: f64) -> f64 {
+    assert!(!sorted.is_empty());
+    let idx = ((sorted.len() - 1) as f64 * q).round() as usize;
+    sorted[idx] as f64
+}
+
+struct LatencyStats {
+    p50: f64,
+    p95: f64,
+    p99: f64,
+    mean: f64,
+}
+
+fn latency_stats(mut micros: Vec<u128>) -> LatencyStats {
+    micros.sort_unstable();
+    let mean = micros.iter().sum::<u128>() as f64 / micros.len() as f64;
+    LatencyStats {
+        p50: percentile_us(&micros, 0.50),
+        p95: percentile_us(&micros, 0.95),
+        p99: percentile_us(&micros, 0.99),
+        mean,
+    }
+}
+
+fn stats_json(s: &LatencyStats) -> Json {
+    let mut o = Json::obj();
+    o.set("p50_us", Json::from(s.p50));
+    o.set("p95_us", Json::from(s.p95));
+    o.set("p99_us", Json::from(s.p99));
+    o.set("mean_us", Json::from(s.mean));
+    o
+}
+
+/// Vets every corpus addon once on `client`, asserting `verdict:"ok"`,
+/// and returns the client-observed per-request latencies.
+fn corpus_round(client: &mut Client, addons: &[corpus::Addon]) -> Vec<u128> {
+    addons
+        .iter()
+        .map(|a| {
+            let t0 = Instant::now();
+            let resp = client.vet_source(Some(a.name), a.source).expect("vet");
+            let micros = t0.elapsed().as_micros();
+            assert_eq!(resp["verdict"], "ok", "{} must vet cleanly", a.name);
+            micros
+        })
+        .collect()
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut clients = 4usize;
+    let mut rounds = 3usize;
+    let mut workers = 4usize;
+    let mut check = false;
+    let mut out: Option<String> = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--clients" => {
+                i += 1;
+                clients = args[i].parse().expect("--clients N");
+            }
+            "--rounds" => {
+                i += 1;
+                rounds = args[i].parse().expect("--rounds N");
+            }
+            "--workers" => {
+                i += 1;
+                workers = args[i].parse().expect("--workers N");
+            }
+            "--check" => check = true,
+            "--out" => {
+                i += 1;
+                out = Some(args[i].clone());
+            }
+            other => {
+                eprintln!("unknown flag {other}");
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+    if check {
+        // The ci.sh sanity target: smallest run that still exercises
+        // concurrency and the cache.
+        clients = 2;
+        rounds = 1;
+    }
+    let out =
+        out.unwrap_or_else(|| format!("{}/../../BENCH_serve.json", env!("CARGO_MANIFEST_DIR")));
+
+    let addons = corpus::addons();
+    let cfg = ServeConfig {
+        workers,
+        ..ServeConfig::default()
+    };
+    let server =
+        Server::bind("127.0.0.1:0", cfg, addon_sig::service_analyze).expect("bind daemon");
+    let addr = server.local_addr();
+    println!(
+        "serve_load: daemon on {addr}, {workers} workers, {} corpus addons",
+        addons.len()
+    );
+
+    // Phase 1: cold latencies — empty cache, one request per addon.
+    let mut probe = Client::connect(addr).expect("connect");
+    let cold = latency_stats(corpus_round(&mut probe, &addons));
+
+    // Phase 2: cached latencies — identical resubmissions, all hits.
+    let mut cached_micros = Vec::new();
+    for _ in 0..2 {
+        cached_micros.extend(corpus_round(&mut probe, &addons));
+    }
+    let cached = latency_stats(cached_micros);
+    let speedup = cold.p50 / cached.p50.max(1.0);
+    println!(
+        "cold p50 {:.0}µs  cached p50 {:.0}µs  ({speedup:.0}x)",
+        cold.p50, cached.p50
+    );
+
+    // Phase 3: sustained load — `clients` concurrent connections each
+    // replaying the whole corpus `rounds` times. Each client starts at a
+    // different corpus offset so the daemon sees interleaved duplicates,
+    // like an addon market replaying overlapping submissions.
+    let before = server.stats();
+    let load_t0 = Instant::now();
+    let all_micros: Vec<u128> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..clients)
+            .map(|c| {
+                let addons = &addons;
+                scope.spawn(move || {
+                    let mut client = Client::connect(addr).expect("connect");
+                    let mut micros = Vec::new();
+                    for r in 0..rounds {
+                        let mut order: Vec<&corpus::Addon> = addons.iter().collect();
+                        order.rotate_left((c + r) % addons.len());
+                        for a in order {
+                            let t0 = Instant::now();
+                            let resp =
+                                client.vet_source(Some(a.name), a.source).expect("vet");
+                            micros.push(t0.elapsed().as_micros());
+                            assert_eq!(resp["verdict"], "ok");
+                        }
+                    }
+                    micros
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("load client"))
+            .collect()
+    });
+    let load_wall = load_t0.elapsed();
+    let load_requests = all_micros.len();
+    let load = latency_stats(all_micros);
+    let throughput = load_requests as f64 / load_wall.as_secs_f64().max(1e-9);
+
+    // Cache-hit rate over the load phase only (delta of the daemon's
+    // counters, so the cold/cached warm-up phases don't pollute it).
+    let after = server.stats();
+    let hits = after["cache"]["hits"].as_f64().unwrap() - before["cache"]["hits"].as_f64().unwrap();
+    let misses =
+        after["cache"]["misses"].as_f64().unwrap() - before["cache"]["misses"].as_f64().unwrap();
+    let hit_rate = hits / (hits + misses).max(1.0);
+    println!(
+        "load: {load_requests} requests, {clients} clients x {rounds} rounds in {:.2}s \
+         ({throughput:.0} req/s, hit rate {:.0}%)",
+        load_wall.as_secs_f64(),
+        hit_rate * 100.0
+    );
+
+    let mut shut = Client::connect(addr).expect("connect");
+    let ack = shut.shutdown().expect("shutdown");
+    assert_eq!(ack["kind"], "shutdown_ack");
+    server.join();
+
+    if check {
+        // Everything analyzed (all corpus keys were warmed before the
+        // load phase, so the load phase must be pure hits), and the
+        // cache must be doing real work.
+        assert!(hits > 0.0, "load phase produced no cache hits");
+        assert!(
+            speedup >= 10.0,
+            "cached vets must be >=10x faster than cold (got {speedup:.1}x)"
+        );
+        println!("serve_load --check: ok");
+        return;
+    }
+
+    let mut doc = Json::obj();
+    doc.set("schema", Json::from(1u32));
+    doc.set("workers", Json::from(workers as f64));
+    doc.set("clients", Json::from(clients as f64));
+    doc.set("rounds", Json::from(rounds as f64));
+    doc.set("corpus_addons", Json::from(addons.len() as f64));
+    doc.set("cold", stats_json(&cold));
+    doc.set("cached", stats_json(&cached));
+    doc.set("speedup_cold_over_cached_p50", Json::from((speedup * 10.0).round() / 10.0));
+    let mut load_json = Json::obj();
+    load_json.set("requests", Json::from(load_requests as f64));
+    load_json.set(
+        "wall_s",
+        Json::from((load_wall.as_secs_f64() * 1e6).round() / 1e6),
+    );
+    load_json.set("throughput_rps", Json::from(throughput.round()));
+    let Json::Obj(percentiles) = stats_json(&load) else {
+        unreachable!()
+    };
+    for (k, v) in percentiles {
+        load_json.set(&k, v);
+    }
+    doc.set("load", load_json);
+    let mut cache_json = Json::obj();
+    cache_json.set("hits", Json::from(hits));
+    cache_json.set("misses", Json::from(misses));
+    cache_json.set("hit_rate", Json::from((hit_rate * 1000.0).round() / 1000.0));
+    doc.set("cache", cache_json);
+
+    std::fs::write(&out, doc.to_string_pretty() + "\n").expect("write snapshot");
+    println!("wrote {out}");
+}

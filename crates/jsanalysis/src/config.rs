@@ -116,11 +116,26 @@ pub struct AnalysisConfig {
     /// Safety valve: maximum worklist steps before the analysis gives up
     /// and reports partial results (never hit on the benchmark corpus).
     pub max_steps: usize,
+    /// Analysis budget in worklist steps. Unlike [`AnalysisConfig::max_steps`]
+    /// (a last-resort safety valve), this is a *caller-imposed* resource
+    /// budget: exceeding it records [`crate::AnalysisResult::budget_exhausted`]
+    /// so the service layer can turn a runaway analysis into a degraded
+    /// `timeout` verdict instead of hanging a worker. `None` = unlimited.
+    pub step_budget: Option<usize>,
+    /// Wall-clock budget for the fixpoint loop, checked every
+    /// [`DEADLINE_CHECK_INTERVAL`] steps. `None` = unlimited.
+    pub deadline: Option<std::time::Duration>,
     /// Worklist scheduling order (perf knob; results are identical).
     pub worklist: WorklistOrder,
     /// The security configuration (sources / APIs considered interesting).
     pub security: SecurityConfig,
 }
+
+/// How many worklist steps pass between wall-clock deadline probes.
+/// `Instant::now()` is too expensive to call on every step; probing every
+/// 256 steps bounds the overshoot to well under a millisecond of analysis
+/// work while keeping the common (no-deadline) path branch-only.
+pub const DEADLINE_CHECK_INTERVAL: usize = 256;
 
 impl Default for AnalysisConfig {
     fn default() -> Self {
@@ -128,9 +143,53 @@ impl Default for AnalysisConfig {
             context_depth: 1,
             string_domain: StringDomain::Prefix,
             max_steps: 2_000_000,
+            step_budget: None,
+            deadline: None,
             worklist: WorklistOrder::Rpo,
             security: SecurityConfig::default(),
         }
+    }
+}
+
+/// Why (and when) the fixpoint loop was aborted by its resource budget.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BudgetExhausted {
+    /// Worklist steps executed when the budget tripped.
+    pub steps: usize,
+    /// Wall time elapsed inside the fixpoint loop at that point.
+    pub elapsed: std::time::Duration,
+}
+
+impl AnalysisConfig {
+    /// A canonical, deterministic rendering of every knob that can change
+    /// what the analysis produces. The service layer hashes this together
+    /// with the source bytes to form content-addressed cache keys, so two
+    /// submissions agree on a cache slot exactly when they would produce
+    /// the same report. `BTreeSet` fields iterate in sorted order, making
+    /// the rendering independent of how the config was assembled.
+    pub fn canonical_string(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        write!(
+            out,
+            "k={};strings={:?};max_steps={};step_budget={:?};deadline_us={:?};worklist={:?}",
+            self.context_depth,
+            self.string_domain,
+            self.max_steps,
+            self.step_budget,
+            self.deadline.map(|d| d.as_micros()),
+            self.worklist,
+        )
+        .expect("writing to a String cannot fail");
+        out.push_str(";sources=");
+        for s in &self.security.sources {
+            write!(out, "{s},").expect("writing to a String cannot fail");
+        }
+        out.push_str(";apis=");
+        for a in &self.security.interesting_apis {
+            write!(out, "{a},").expect("writing to a String cannot fail");
+        }
+        out
     }
 }
 
@@ -196,6 +255,31 @@ mod tests {
             .security
             .interesting_apis
             .contains("Services.scriptloader.loadSubScript"));
+    }
+
+    #[test]
+    fn canonical_string_is_stable_and_discriminating() {
+        let a = AnalysisConfig::default();
+        let b = AnalysisConfig::default();
+        assert_eq!(a.canonical_string(), b.canonical_string());
+        let deeper = AnalysisConfig {
+            context_depth: 2,
+            ..AnalysisConfig::default()
+        };
+        assert_ne!(a.canonical_string(), deeper.canonical_string());
+        let budgeted = AnalysisConfig {
+            step_budget: Some(100),
+            ..AnalysisConfig::default()
+        };
+        assert_ne!(a.canonical_string(), budgeted.canonical_string());
+        let fewer_sources = AnalysisConfig {
+            security: SecurityConfig {
+                sources: std::iter::once(SourceKind::Url).collect(),
+                ..SecurityConfig::default()
+            },
+            ..AnalysisConfig::default()
+        };
+        assert_ne!(a.canonical_string(), fewer_sources.canonical_string());
     }
 
     #[test]

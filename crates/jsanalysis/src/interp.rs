@@ -17,7 +17,10 @@
 //! construction; the addon event loop is the non-deterministic dispatch
 //! statement appended by `jsir` (Section 6.1).
 
-use crate::config::{AnalysisConfig, SinkKind, SourceKind, StringDomain, WorklistOrder};
+use crate::config::{
+    AnalysisConfig, BudgetExhausted, SinkKind, SourceKind, StringDomain, WorklistOrder,
+    DEADLINE_CHECK_INTERVAL,
+};
 use crate::context::{CtxId, CtxTable};
 use crate::natives::{self, Environment, NativeBehavior, StrOp};
 use crate::rwsets::{Loc, RwSets, Strength};
@@ -86,6 +89,10 @@ pub struct AnalysisResult {
     pub steps: usize,
     /// True if `max_steps` was hit and results are partial.
     pub hit_step_limit: bool,
+    /// Set when the caller-imposed step budget or wall-clock deadline
+    /// tripped before the fixpoint was reached; results are partial. The
+    /// service layer reports this as a degraded `timeout` verdict.
+    pub budget_exhausted: Option<BudgetExhausted>,
     /// Native name table, indexed by `NativeId`.
     pub native_names: Vec<&'static str>,
 }
@@ -155,7 +162,7 @@ pub fn analyze(lowered: &Lowered, config: &AnalysisConfig) -> AnalysisResult {
         transitions: BTreeSet::new(),
     };
     m.seed();
-    let hit_limit = m.run();
+    let status = m.run();
     let native_names = m.env.natives.iter().map(|n| n.name).collect();
     let cyclic_stmts = cyclic_statements(&m.transitions);
     AnalysisResult {
@@ -176,9 +183,23 @@ pub fn analyze(lowered: &Lowered, config: &AnalysisConfig) -> AnalysisResult {
         reachable: m.reachable,
         sites: m.sites,
         steps: m.steps,
-        hit_step_limit: hit_limit,
+        hit_step_limit: matches!(status, RunStatus::StepLimit),
+        budget_exhausted: match status {
+            RunStatus::Budget(b) => Some(b),
+            _ => None,
+        },
         native_names,
     }
+}
+
+/// How the fixpoint loop ended.
+enum RunStatus {
+    /// The worklist drained: the fixpoint was reached.
+    Completed,
+    /// The `max_steps` safety valve tripped.
+    StepLimit,
+    /// The caller-imposed step budget or wall-clock deadline tripped.
+    Budget(BudgetExhausted),
 }
 
 /// Where a finished callee returns to.
@@ -326,18 +347,41 @@ impl<'a> Machine<'a> {
         self.push_state(top.entry, CtxId::ROOT, st);
     }
 
-    fn run(&mut self) -> bool {
+    fn run(&mut self) -> RunStatus {
+        // The clock only starts when a budget can trip on it, keeping the
+        // unbudgeted hot path free of timing syscalls.
+        let needs_clock = self.config.deadline.is_some() || self.config.step_budget.is_some();
+        let start = needs_clock.then(std::time::Instant::now);
         while let Some((stmt, ctx)) = self.worklist.pop() {
             self.queued.remove(&(stmt, ctx));
             self.steps += 1;
             if self.steps > self.config.max_steps {
-                return true;
+                return RunStatus::StepLimit;
+            }
+            if let Some(budget) = self.config.step_budget {
+                if self.steps > budget {
+                    return RunStatus::Budget(BudgetExhausted {
+                        steps: self.steps,
+                        elapsed: start.expect("clock started with a budget").elapsed(),
+                    });
+                }
+            }
+            if let Some(deadline) = self.config.deadline {
+                if self.steps % DEADLINE_CHECK_INTERVAL == 0 {
+                    let elapsed = start.expect("clock started with a deadline").elapsed();
+                    if elapsed > deadline {
+                        return RunStatus::Budget(BudgetExhausted {
+                            steps: self.steps,
+                            elapsed,
+                        });
+                    }
+                }
             }
             self.current = Some((stmt, ctx));
             self.step(stmt, ctx);
             self.current = None;
         }
-        false
+        RunStatus::Completed
     }
 
     fn push_state(&mut self, stmt: StmtId, ctx: CtxId, state: State) {

@@ -38,7 +38,10 @@ pub mod natives;
 pub mod rwsets;
 pub mod store;
 
-pub use config::{AnalysisConfig, SecurityConfig, SinkKind, SourceKind, StringDomain, WorklistOrder};
+pub use config::{
+    AnalysisConfig, BudgetExhausted, SecurityConfig, SinkKind, SourceKind, StringDomain,
+    WorklistOrder, DEADLINE_CHECK_INTERVAL,
+};
 pub use context::{Context, CtxId, CtxTable};
 pub use interp::{analyze, AnalysisResult, SinkRecord};
 pub use natives::{Environment, NativeBehavior, NativeSpec};

@@ -86,6 +86,15 @@ impl Json {
         out
     }
 
+    /// Serializes on a single line with no whitespace. Strings escape the
+    /// control set, so the output never contains a raw newline — exactly
+    /// what the newline-delimited service protocol needs.
+    pub fn to_string_compact(&self) -> String {
+        let mut out = String::new();
+        write_compact(self, &mut out);
+        out
+    }
+
     /// Parses a JSON document.
     pub fn parse(text: &str) -> Result<Json, ParseError> {
         let mut p = Parser {
@@ -226,6 +235,37 @@ fn write_pretty(v: &Json, depth: usize, out: &mut String) {
                 out.push('\n');
             }
             out.push_str(&pad);
+            out.push('}');
+        }
+    }
+}
+
+fn write_compact(v: &Json, out: &mut String) {
+    match v {
+        Json::Null => out.push_str("null"),
+        Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Json::Num(n) => write_num(*n, out),
+        Json::Str(s) => write_escaped(s, out),
+        Json::Arr(items) => {
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_compact(item, out);
+            }
+            out.push(']');
+        }
+        Json::Obj(entries) => {
+            out.push('{');
+            for (i, (k, item)) in entries.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_escaped(k, out);
+                out.push(':');
+                write_compact(item, out);
+            }
             out.push('}');
         }
     }
@@ -479,6 +519,43 @@ mod tests {
         assert!(Json::parse("[1,]").is_err());
         assert!(Json::parse("nulL").is_err());
         assert!(Json::parse("1 2").is_err());
+    }
+
+    #[test]
+    fn compact_is_single_line_and_roundtrips() {
+        let v = Json::parse(
+            "{\"name\": \"two\\nlines\", \"items\": [1, {\"k\": null}], \"ok\": true}",
+        )
+        .unwrap();
+        let line = v.to_string_compact();
+        assert!(!line.contains('\n'), "compact output must be one line: {line}");
+        assert_eq!(
+            line,
+            r#"{"name":"two\nlines","items":[1,{"k":null}],"ok":true}"#
+        );
+        assert_eq!(Json::parse(&line).unwrap(), v);
+    }
+
+    #[test]
+    fn pretty_reprint_of_parsed_output_is_byte_identical() {
+        // The service protocol relies on this: a signature JSON document
+        // that goes through parse -> to_string_pretty comes back with the
+        // exact bytes the CLI printed (key order preserved, integer
+        // formatting stable).
+        let mut doc = Json::obj();
+        doc.set("flows", Json::Arr(vec![Json::from("url"), Json::from(12u32)]));
+        doc.set("apis", Json::Arr(vec![]));
+        doc.set("nested", {
+            let mut o = Json::obj();
+            o.set("b_first", Json::from(2.5));
+            o.set("a_second", Json::Null);
+            o
+        });
+        let pretty = doc.to_string_pretty();
+        let reparsed = Json::parse(&pretty).unwrap();
+        assert_eq!(reparsed.to_string_pretty(), pretty);
+        let compact = doc.to_string_compact();
+        assert_eq!(Json::parse(&compact).unwrap().to_string_pretty(), pretty);
     }
 
     #[test]

@@ -1,0 +1,228 @@
+//! The content-addressed signature cache.
+//!
+//! Key = FNV-1a over (source bytes, canonicalized [`AnalysisConfig`]):
+//! two submissions share a slot exactly when the pipeline would produce
+//! the same report for both, so addon-market traffic full of re-submitted
+//! and duplicated addons is answered in microseconds instead of
+//! re-analyzed. Bounded by LRU eviction; hit/miss/eviction counters feed
+//! the daemon's `stats` endpoint.
+
+use jsanalysis::AnalysisConfig;
+use minijson::Json;
+use std::collections::{BTreeMap, HashMap};
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// 64-bit FNV-1a over a byte stream.
+fn fnv1a(seed: u64, bytes: &[u8]) -> u64 {
+    let mut h = seed;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+/// The content address of one vetting job: FNV-1a of the source bytes, a
+/// separator that cannot occur in UTF-8, and the canonical config
+/// rendering (pass `AnalysisConfig::canonical_string()` as `config_canon`;
+/// the server precomputes it once).
+pub fn cache_key(source: &str, config_canon: &str) -> u64 {
+    let h = fnv1a(FNV_OFFSET, source.as_bytes());
+    let h = fnv1a(h, &[0xff]);
+    fnv1a(h, config_canon.as_bytes())
+}
+
+/// Convenience wrapper computing the canonical rendering on the fly.
+pub fn cache_key_for(source: &str, config: &AnalysisConfig) -> u64 {
+    cache_key(source, &config.canonical_string())
+}
+
+/// Monotone counters exposed through the `stats` protocol request.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheCounters {
+    /// Lookups answered from the cache.
+    pub hits: u64,
+    /// Lookups that missed (and went to the worker pool).
+    pub misses: u64,
+    /// Entries evicted to stay within capacity.
+    pub evictions: u64,
+    /// Entries currently resident.
+    pub entries: u64,
+    /// The configured capacity.
+    pub capacity: u64,
+}
+
+struct Entry {
+    value: Json,
+    stamp: u64,
+}
+
+/// An LRU map from content address to the cached core vet result (the
+/// response body minus per-request provenance fields).
+pub struct SigCache {
+    cap: usize,
+    map: HashMap<u64, Entry>,
+    /// Recency index: stamp -> key. The smallest stamp is the LRU entry;
+    /// `BTreeMap` gives O(log n) bump/evict without unsafe list surgery.
+    order: BTreeMap<u64, u64>,
+    next_stamp: u64,
+    hits: u64,
+    misses: u64,
+    evictions: u64,
+}
+
+impl SigCache {
+    /// A cache holding at most `cap` results; `cap == 0` disables caching
+    /// (every lookup misses, inserts are dropped).
+    pub fn new(cap: usize) -> SigCache {
+        SigCache {
+            cap,
+            map: HashMap::new(),
+            order: BTreeMap::new(),
+            next_stamp: 0,
+            hits: 0,
+            misses: 0,
+            evictions: 0,
+        }
+    }
+
+    fn bump(order: &mut BTreeMap<u64, u64>, next_stamp: &mut u64, entry: &mut Entry, key: u64) {
+        order.remove(&entry.stamp);
+        entry.stamp = *next_stamp;
+        *next_stamp += 1;
+        order.insert(entry.stamp, key);
+    }
+
+    /// Counted lookup: bumps recency and the hit/miss counters.
+    pub fn get(&mut self, key: u64) -> Option<Json> {
+        match self.map.get_mut(&key) {
+            Some(entry) => {
+                self.hits += 1;
+                Self::bump(&mut self.order, &mut self.next_stamp, entry, key);
+                Some(entry.value.clone())
+            }
+            None => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Uncounted lookup, used by workers to dedupe racing submissions of
+    /// the same addon without double-counting the handler's miss.
+    pub fn peek(&self, key: u64) -> Option<Json> {
+        self.map.get(&key).map(|e| e.value.clone())
+    }
+
+    /// Inserts (or refreshes) an entry, evicting the least recently used
+    /// entry if the cache is full.
+    pub fn insert(&mut self, key: u64, value: Json) {
+        if self.cap == 0 {
+            return;
+        }
+        if let Some(entry) = self.map.get_mut(&key) {
+            entry.value = value;
+            Self::bump(&mut self.order, &mut self.next_stamp, entry, key);
+            return;
+        }
+        if self.map.len() >= self.cap {
+            let (&oldest_stamp, &oldest_key) =
+                self.order.iter().next().expect("full cache has an LRU entry");
+            self.order.remove(&oldest_stamp);
+            self.map.remove(&oldest_key);
+            self.evictions += 1;
+        }
+        let stamp = self.next_stamp;
+        self.next_stamp += 1;
+        self.order.insert(stamp, key);
+        self.map.insert(key, Entry { value, stamp });
+    }
+
+    /// Counter snapshot for the `stats` endpoint.
+    pub fn counters(&self) -> CacheCounters {
+        CacheCounters {
+            hits: self.hits,
+            misses: self.misses,
+            evictions: self.evictions,
+            entries: self.map.len() as u64,
+            capacity: self.cap as u64,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jsanalysis::AnalysisConfig;
+
+    fn val(n: u32) -> Json {
+        let mut o = Json::obj();
+        o.set("n", Json::from(n));
+        o
+    }
+
+    #[test]
+    fn key_depends_on_source_and_config() {
+        let base = AnalysisConfig::default();
+        let deeper = AnalysisConfig {
+            context_depth: 2,
+            ..AnalysisConfig::default()
+        };
+        let k1 = cache_key_for("var x = 1;", &base);
+        assert_eq!(k1, cache_key_for("var x = 1;", &base), "deterministic");
+        assert_ne!(k1, cache_key_for("var x = 2;", &base), "source-sensitive");
+        assert_ne!(k1, cache_key_for("var x = 1;", &deeper), "config-sensitive");
+    }
+
+    #[test]
+    fn separator_prevents_boundary_collisions() {
+        // (source="ab", config="c") must not collide with ("a", "bc").
+        assert_ne!(cache_key("ab", "c"), cache_key("a", "bc"));
+    }
+
+    #[test]
+    fn lru_evicts_least_recently_used() {
+        let mut c = SigCache::new(2);
+        c.insert(1, val(1));
+        c.insert(2, val(2));
+        assert!(c.get(1).is_some()); // 2 is now LRU
+        c.insert(3, val(3)); // evicts 2
+        assert!(c.peek(2).is_none());
+        assert!(c.peek(1).is_some());
+        assert!(c.peek(3).is_some());
+        let counters = c.counters();
+        assert_eq!(counters.evictions, 1);
+        assert_eq!(counters.entries, 2);
+    }
+
+    #[test]
+    fn counters_track_hits_and_misses() {
+        let mut c = SigCache::new(8);
+        assert!(c.get(7).is_none());
+        c.insert(7, val(7));
+        assert_eq!(c.get(7).unwrap(), val(7));
+        assert!(c.peek(7).is_some(), "peek does not count");
+        let counters = c.counters();
+        assert_eq!((counters.hits, counters.misses), (1, 1));
+    }
+
+    #[test]
+    fn zero_capacity_disables_caching() {
+        let mut c = SigCache::new(0);
+        c.insert(1, val(1));
+        assert!(c.get(1).is_none());
+        assert_eq!(c.counters().entries, 0);
+    }
+
+    #[test]
+    fn refresh_keeps_single_entry() {
+        let mut c = SigCache::new(2);
+        c.insert(1, val(1));
+        c.insert(1, val(9));
+        assert_eq!(c.get(1).unwrap(), val(9));
+        assert_eq!(c.counters().entries, 1);
+        assert_eq!(c.counters().evictions, 0);
+    }
+}

@@ -1,0 +1,85 @@
+//! A minimal blocking client for the NDJSON protocol.
+//!
+//! One request line out, one response line back, strictly in order; used
+//! by `vet --client`, the integration tests, and the `serve_load` bench.
+
+use crate::protocol::vet_request;
+use minijson::Json;
+use std::io::{self, BufRead, BufReader, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+
+/// A connected protocol client.
+pub struct Client {
+    writer: TcpStream,
+    reader: BufReader<TcpStream>,
+}
+
+fn bad_data(msg: String) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg)
+}
+
+impl Client {
+    /// Connects to a running daemon.
+    pub fn connect(addr: impl ToSocketAddrs) -> io::Result<Client> {
+        let writer = TcpStream::connect(addr)?;
+        // Request/response lines are tiny; leaving Nagle on costs a
+        // delayed-ACK round trip (~40ms) per message.
+        writer.set_nodelay(true)?;
+        let reader = BufReader::new(writer.try_clone()?);
+        Ok(Client { writer, reader })
+    }
+
+    /// Sends one raw line and parses the one-line response. The protocol
+    /// answers every line — even malformed ones — so this never needs a
+    /// timeout to distinguish "no answer" from "slow answer".
+    pub fn raw_line(&mut self, line: &str) -> io::Result<Json> {
+        // One write per line: a separate write of the trailing newline
+        // would sit in the kernel behind Nagle waiting for an ACK.
+        let mut framed = String::with_capacity(line.len() + 1);
+        framed.push_str(line);
+        framed.push('\n');
+        self.writer.write_all(framed.as_bytes())?;
+        self.writer.flush()?;
+        let mut resp = String::new();
+        if self.reader.read_line(&mut resp)? == 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "daemon closed the connection",
+            ));
+        }
+        Json::parse(resp.trim_end()).map_err(|e| bad_data(format!("bad response line: {e}")))
+    }
+
+    /// Sends one request document and returns the parsed response.
+    pub fn request(&mut self, req: &Json) -> io::Result<Json> {
+        self.raw_line(&req.to_string_compact())
+    }
+
+    /// Vets inline source text.
+    pub fn vet_source(&mut self, name: Option<&str>, source: &str) -> io::Result<Json> {
+        self.request(&vet_request(name, source))
+    }
+
+    /// Asks the daemon to vet a file it can read itself.
+    pub fn vet_path(&mut self, path: &str) -> io::Result<Json> {
+        let mut req = Json::obj();
+        req.set("kind", Json::from("vet"));
+        req.set("path", Json::from(path));
+        self.request(&req)
+    }
+
+    /// Fetches the daemon's counters.
+    pub fn stats(&mut self) -> io::Result<Json> {
+        let mut req = Json::obj();
+        req.set("kind", Json::from("stats"));
+        self.request(&req)
+    }
+
+    /// Asks the daemon to finish pending jobs and stop; returns the
+    /// `shutdown_ack` carrying the final counter dump.
+    pub fn shutdown(&mut self) -> io::Result<Json> {
+        let mut req = Json::obj();
+        req.set("kind", Json::from("shutdown"));
+        self.request(&req)
+    }
+}

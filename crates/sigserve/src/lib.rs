@@ -1,0 +1,106 @@
+//! `sigserve` — the vetting service daemon.
+//!
+//! The paper frames signature inference as a tool for addon-market
+//! curators vetting a continuous stream of submissions. This crate is the
+//! missing service layer around the analysis pipeline: a long-running,
+//! multi-threaded daemon that
+//!
+//! - accepts vetting jobs over a newline-delimited JSON protocol
+//!   ([`protocol`]) on TCP or stdio,
+//! - feeds them through a **bounded job queue with backpressure**
+//!   ([`queue`]): when the queue is full the submitter gets a typed
+//!   `overloaded` response instead of unbounded latency,
+//! - answers re-submitted or duplicated addons from a
+//!   **content-addressed LRU cache** ([`cache`]) keyed by FNV-1a of
+//!   (source bytes, canonicalized analysis config),
+//! - survives pathological inputs by running every analysis under a
+//!   configurable **step budget / wall-clock deadline** (the hooks live
+//!   in `jsanalysis`); an exhausted budget produces a degraded
+//!   `verdict:"timeout"` response while the worker stays alive, and
+//! - reports what it is doing through monotone counters ([`stats`]).
+//!
+//! The analysis pipeline itself is injected as an [`AnalyzeFn`] so this
+//! crate depends only on `jsanalysis` (for configuration types) and the
+//! in-tree `minijson`; the root `addon-sig` crate supplies the real
+//! pipeline (`addon_sig::service_analyze`) and the `vet serve` / `vet
+//! --client` CLI entry points.
+//!
+//! # In-process example
+//!
+//! ```
+//! use jsanalysis::AnalysisConfig;
+//! use sigserve::{Client, ServeConfig, Server, VetOutcome};
+//! use std::time::Duration;
+//!
+//! // A stub engine; real deployments pass `addon_sig::service_analyze`.
+//! fn analyze(_source: &str, _config: &AnalysisConfig) -> VetOutcome {
+//!     VetOutcome::Report {
+//!         signature_json: "{\n  \"flows\": []\n}".to_owned(),
+//!         p1: Duration::from_micros(10),
+//!         p2: Duration::from_micros(5),
+//!         p3: Duration::from_micros(1),
+//!     }
+//! }
+//!
+//! let server = Server::bind("127.0.0.1:0", ServeConfig::default(), analyze)?;
+//! let mut client = Client::connect(server.local_addr())?;
+//! let resp = client.vet_source(Some("tiny"), "var x = 1;")?;
+//! assert_eq!(resp["verdict"], "ok");
+//! let ack = client.shutdown()?;
+//! assert_eq!(ack["kind"], "shutdown_ack");
+//! server.join();
+//! # Ok::<(), std::io::Error>(())
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod client;
+pub mod protocol;
+pub mod queue;
+pub mod server;
+pub mod stats;
+
+pub use cache::{cache_key, cache_key_for, CacheCounters, SigCache};
+pub use client::Client;
+pub use protocol::{parse_request, Request, Source, VetItem};
+pub use queue::{Bounded, PushError};
+pub use server::{serve_stdio, ServeConfig, Server};
+pub use stats::Stats;
+
+use std::time::Duration;
+
+/// What one run of the injected analysis pipeline produced.
+#[derive(Debug, Clone)]
+pub enum VetOutcome {
+    /// The pipeline finished; `signature_json` is the exact document the
+    /// CLI's `--json` mode prints (`Signature::to_json()`), so cached and
+    /// fresh service responses reproduce the CLI's bytes.
+    Report {
+        /// The signature JSON document.
+        signature_json: String,
+        /// Phase 1 (base analysis) wall time.
+        p1: Duration,
+        /// Phase 2 (PDG construction) wall time.
+        p2: Duration,
+        /// Phase 3 (signature inference) wall time.
+        p3: Duration,
+    },
+    /// The analysis budget (step or wall-clock) was exhausted; the
+    /// daemon reports `verdict:"timeout"` and keeps the worker.
+    Timeout {
+        /// Worklist steps executed when the budget tripped.
+        steps: usize,
+        /// Wall time spent in the fixpoint loop.
+        elapsed: Duration,
+    },
+    /// The pipeline failed (parse error, step-limit safety valve, ...).
+    Error {
+        /// Human-readable failure description.
+        message: String,
+    },
+}
+
+/// The injected analysis pipeline: full vetting of one source under one
+/// configuration. Must be callable from many worker threads at once.
+pub type AnalyzeFn = dyn Fn(&str, &jsanalysis::AnalysisConfig) -> VetOutcome + Send + Sync;

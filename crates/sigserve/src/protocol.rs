@@ -1,0 +1,231 @@
+//! The newline-delimited JSON wire protocol.
+//!
+//! Requests, one compact JSON object per line:
+//!
+//! ```text
+//! {"kind":"vet","name":"addon.js","source":"var x = 1;"}
+//! {"kind":"vet","path":"crates/corpus/addons/pinpoints.js"}
+//! {"kind":"vet_batch","items":[{"name":"a","source":"..."}, ...]}
+//! {"kind":"stats"}
+//! {"kind":"shutdown"}
+//! ```
+//!
+//! Responses, one compact JSON object per line, in request order:
+//!
+//! ```text
+//! {"kind":"vet_result","name":"addon.js","cached":false,"micros":5120,
+//!  "verdict":"ok","p1_us":...,"p2_us":...,"p3_us":...,"signature":{...}}
+//! {"kind":"vet_result",...,"verdict":"timeout","steps":501,"elapsed_us":...}
+//! {"kind":"vet_result",...,"verdict":"error","message":"parse error: ..."}
+//! {"kind":"overloaded","queued":32,"capacity":32}
+//! {"kind":"stats", ...counters...}
+//! {"kind":"shutdown_ack","stats":{...}}
+//! {"kind":"error","message":"unknown request kind"}
+//! ```
+//!
+//! The `signature` value of an `ok` result is exactly the document
+//! `vet --json` prints (parsed into the response object), so clients can
+//! reconstruct the CLI's bytes with a pretty re-print.
+
+use minijson::Json;
+
+/// Where a vet request's program text comes from.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Source {
+    /// Inline in the request (`"source"`), the normal remote-client path.
+    Inline(String),
+    /// A path the daemon reads itself (`"path"`), for local tooling and
+    /// smoke tests that would otherwise have to JSON-escape whole files.
+    Path(String),
+}
+
+/// One submission inside a `vet` or `vet_batch` request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VetItem {
+    /// Optional display name echoed back in the response.
+    pub name: Option<String>,
+    /// The program text (inline or by path).
+    pub source: Source,
+}
+
+/// A parsed protocol request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Request {
+    /// Vet one addon.
+    Vet(VetItem),
+    /// Vet several addons; one `vet_batch_result` line answers them all.
+    VetBatch(Vec<VetItem>),
+    /// Report the daemon's counters.
+    Stats,
+    /// Finish pending jobs, dump counters, and stop.
+    Shutdown,
+}
+
+fn parse_item(v: &Json) -> Result<VetItem, String> {
+    let name = v.get("name").and_then(Json::as_str).map(str::to_owned);
+    let source = match (v.get("source"), v.get("path")) {
+        (Some(Json::Str(s)), None) => Source::Inline(s.clone()),
+        (None, Some(Json::Str(p))) => Source::Path(p.clone()),
+        (Some(_), Some(_)) => return Err("vet item has both source and path".to_owned()),
+        _ => return Err("vet item needs a string source or path".to_owned()),
+    };
+    Ok(VetItem { name, source })
+}
+
+/// Parses one request line.
+pub fn parse_request(line: &str) -> Result<Request, String> {
+    let v = Json::parse(line.trim()).map_err(|e| e.to_string())?;
+    match v.get("kind").and_then(Json::as_str) {
+        Some("vet") => Ok(Request::Vet(parse_item(&v)?)),
+        Some("vet_batch") => {
+            let items = v
+                .get("items")
+                .and_then(Json::as_array)
+                .ok_or_else(|| "vet_batch needs an items array".to_owned())?;
+            if items.is_empty() {
+                return Err("vet_batch items is empty".to_owned());
+            }
+            items
+                .iter()
+                .map(parse_item)
+                .collect::<Result<Vec<_>, _>>()
+                .map(Request::VetBatch)
+        }
+        Some("stats") => Ok(Request::Stats),
+        Some("shutdown") => Ok(Request::Shutdown),
+        Some(other) => Err(format!("unknown request kind: {other}")),
+        None => Err("request needs a string kind".to_owned()),
+    }
+}
+
+/// Builds a `vet` request document (used by the client and tests).
+pub fn vet_request(name: Option<&str>, source: &str) -> Json {
+    let mut o = Json::obj();
+    o.set("kind", Json::from("vet"));
+    if let Some(n) = name {
+        o.set("name", Json::from(n));
+    }
+    o.set("source", Json::from(source));
+    o
+}
+
+/// The `kind:error` response for malformed requests.
+pub fn error_response(message: &str) -> Json {
+    let mut o = Json::obj();
+    o.set("kind", Json::from("error"));
+    o.set("message", Json::from(message));
+    o
+}
+
+/// The typed backpressure response: the job queue is full.
+pub fn overloaded_response(name: Option<&str>, queued: usize, capacity: usize) -> Json {
+    let mut o = Json::obj();
+    o.set("kind", Json::from("overloaded"));
+    if let Some(n) = name {
+        o.set("name", Json::from(n));
+    }
+    o.set("queued", Json::from(queued as f64));
+    o.set("capacity", Json::from(capacity as f64));
+    o
+}
+
+/// Wraps a cached-or-computed core result (its fields start at
+/// `"verdict"`) with per-request provenance: the display name, whether
+/// the cache answered, and the request's wall time in microseconds.
+pub fn vet_response(core: &Json, name: Option<&str>, cached: bool, micros: u128) -> Json {
+    let mut o = Json::obj();
+    o.set("kind", Json::from("vet_result"));
+    if let Some(n) = name {
+        o.set("name", Json::from(n));
+    }
+    o.set("cached", Json::Bool(cached));
+    o.set("micros", Json::from(micros as f64));
+    if let Json::Obj(entries) = core {
+        for (k, v) in entries {
+            o.set(k, v.clone());
+        }
+    }
+    o
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_vet_inline_and_path() {
+        let r = parse_request(r#"{"kind":"vet","name":"a.js","source":"var x;"}"#).unwrap();
+        assert_eq!(
+            r,
+            Request::Vet(VetItem {
+                name: Some("a.js".to_owned()),
+                source: Source::Inline("var x;".to_owned()),
+            })
+        );
+        let r = parse_request(r#"{"kind":"vet","path":"/tmp/a.js"}"#).unwrap();
+        assert_eq!(
+            r,
+            Request::Vet(VetItem {
+                name: None,
+                source: Source::Path("/tmp/a.js".to_owned()),
+            })
+        );
+    }
+
+    #[test]
+    fn rejects_malformed_requests() {
+        assert!(parse_request("not json").is_err());
+        assert!(parse_request(r#"{"kind":"vet"}"#).is_err(), "no source");
+        assert!(
+            parse_request(r#"{"kind":"vet","source":"x","path":"y"}"#).is_err(),
+            "both source and path"
+        );
+        assert!(parse_request(r#"{"kind":"launch_missiles"}"#).is_err());
+        assert!(parse_request(r#"{"kind":"vet_batch","items":[]}"#).is_err());
+    }
+
+    #[test]
+    fn parses_batch_stats_shutdown() {
+        let r = parse_request(
+            r#"{"kind":"vet_batch","items":[{"source":"a"},{"name":"b","source":"b"}]}"#,
+        )
+        .unwrap();
+        match r {
+            Request::VetBatch(items) => assert_eq!(items.len(), 2),
+            other => panic!("expected batch, got {other:?}"),
+        }
+        assert_eq!(parse_request(r#"{"kind":"stats"}"#).unwrap(), Request::Stats);
+        assert_eq!(
+            parse_request(r#"{"kind":"shutdown"}"#).unwrap(),
+            Request::Shutdown
+        );
+    }
+
+    #[test]
+    fn vet_response_prepends_provenance() {
+        let mut core = Json::obj();
+        core.set("verdict", Json::from("ok"));
+        core.set("signature", Json::obj());
+        let resp = vet_response(&core, Some("x.js"), true, 42);
+        assert_eq!(resp["kind"], "vet_result");
+        assert_eq!(resp["name"], "x.js");
+        assert_eq!(resp["cached"], Json::Bool(true));
+        assert_eq!(resp["micros"].as_f64(), Some(42.0));
+        assert_eq!(resp["verdict"], "ok");
+        let line = resp.to_string_compact();
+        assert!(!line.contains('\n'));
+    }
+
+    #[test]
+    fn request_builder_roundtrips_through_parser() {
+        let req = vet_request(Some("n"), "var x = \"two\\nlines\";");
+        let parsed = parse_request(&req.to_string_compact()).unwrap();
+        assert_eq!(
+            parsed,
+            Request::Vet(VetItem {
+                name: Some("n".to_owned()),
+                source: Source::Inline("var x = \"two\\nlines\";".to_owned()),
+            })
+        );
+    }
+}

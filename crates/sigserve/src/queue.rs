@@ -1,0 +1,188 @@
+//! A bounded multi-producer multi-consumer job queue built on
+//! `Mutex` + `Condvar` (std-only).
+//!
+//! The bound is the backpressure mechanism of the vetting daemon: when
+//! submissions outpace the worker pool, [`Bounded::try_push`] fails
+//! immediately and the protocol layer answers with a typed `overloaded`
+//! response instead of queueing unboundedly and letting latency (and
+//! memory) grow without limit.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+
+/// Why a push was refused. The rejected item is handed back so the
+/// caller can report on it.
+#[derive(Debug)]
+pub enum PushError<T> {
+    /// The queue is at capacity; shed load.
+    Full(T),
+    /// The queue is shutting down; no new work is accepted.
+    ShutDown(T),
+}
+
+struct Inner<T> {
+    items: VecDeque<T>,
+    shutting_down: bool,
+}
+
+/// A bounded MPMC queue. Producers never block (they get a
+/// [`PushError::Full`] instead); consumers block in [`Bounded::pop`]
+/// until an item arrives or shutdown drains the queue.
+pub struct Bounded<T> {
+    inner: Mutex<Inner<T>>,
+    not_empty: Condvar,
+    cap: usize,
+}
+
+impl<T> Bounded<T> {
+    /// A queue holding at most `cap` pending items (`cap` >= 1).
+    pub fn new(cap: usize) -> Bounded<T> {
+        Bounded {
+            inner: Mutex::new(Inner {
+                items: VecDeque::new(),
+                shutting_down: false,
+            }),
+            not_empty: Condvar::new(),
+            cap: cap.max(1),
+        }
+    }
+
+    /// Enqueues without blocking. Returns the queue depth after the push.
+    pub fn try_push(&self, item: T) -> Result<usize, PushError<T>> {
+        let mut inner = self.inner.lock().expect("queue lock poisoned");
+        if inner.shutting_down {
+            return Err(PushError::ShutDown(item));
+        }
+        if inner.items.len() >= self.cap {
+            return Err(PushError::Full(item));
+        }
+        inner.items.push_back(item);
+        let depth = inner.items.len();
+        drop(inner);
+        self.not_empty.notify_one();
+        Ok(depth)
+    }
+
+    /// Dequeues, blocking while the queue is empty. Returns `None` once
+    /// the queue is shutting down *and* drained — pending jobs accepted
+    /// before shutdown are still completed.
+    pub fn pop(&self) -> Option<T> {
+        let mut inner = self.inner.lock().expect("queue lock poisoned");
+        loop {
+            if let Some(item) = inner.items.pop_front() {
+                return Some(item);
+            }
+            if inner.shutting_down {
+                return None;
+            }
+            inner = self
+                .not_empty
+                .wait(inner)
+                .expect("queue lock poisoned");
+        }
+    }
+
+    /// Stops accepting new work and wakes every blocked consumer.
+    pub fn shutdown(&self) {
+        self.inner
+            .lock()
+            .expect("queue lock poisoned")
+            .shutting_down = true;
+        self.not_empty.notify_all();
+    }
+
+    /// Current number of pending items.
+    pub fn len(&self) -> usize {
+        self.inner.lock().expect("queue lock poisoned").items.len()
+    }
+
+    /// True when nothing is pending.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The configured bound.
+    pub fn capacity(&self) -> usize {
+        self.cap
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn bounded_rejects_when_full() {
+        let q = Bounded::new(2);
+        assert_eq!(q.try_push(1).unwrap(), 1);
+        assert_eq!(q.try_push(2).unwrap(), 2);
+        match q.try_push(3) {
+            Err(PushError::Full(3)) => {}
+            other => panic!("expected Full(3), got {other:?}"),
+        }
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.try_push(3).unwrap(), 2);
+    }
+
+    #[test]
+    fn shutdown_drains_then_stops() {
+        let q = Bounded::new(4);
+        q.try_push("job").unwrap();
+        q.shutdown();
+        match q.try_push("late") {
+            Err(PushError::ShutDown("late")) => {}
+            other => panic!("expected ShutDown, got {other:?}"),
+        }
+        assert_eq!(q.pop(), Some("job"));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn concurrent_producers_and_consumers_see_every_item() {
+        let q = Arc::new(Bounded::new(64));
+        let total = 4 * 100;
+        let consumers: Vec<_> = (0..4)
+            .map(|_| {
+                let q = Arc::clone(&q);
+                std::thread::spawn(move || {
+                    let mut got = Vec::new();
+                    while let Some(v) = q.pop() {
+                        got.push(v);
+                    }
+                    got
+                })
+            })
+            .collect();
+        let producers: Vec<_> = (0..4)
+            .map(|p| {
+                let q = Arc::clone(&q);
+                std::thread::spawn(move || {
+                    for i in 0..100 {
+                        let mut item = p * 100 + i;
+                        loop {
+                            match q.try_push(item) {
+                                Ok(_) => break,
+                                Err(PushError::Full(back)) => {
+                                    item = back;
+                                    std::thread::yield_now();
+                                }
+                                Err(PushError::ShutDown(_)) => panic!("early shutdown"),
+                            }
+                        }
+                    }
+                })
+            })
+            .collect();
+        for p in producers {
+            p.join().unwrap();
+        }
+        q.shutdown();
+        let mut all: Vec<usize> = consumers
+            .into_iter()
+            .flat_map(|c| c.join().unwrap())
+            .collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..total).collect::<Vec<_>>());
+    }
+}

@@ -1,0 +1,665 @@
+//! The daemon itself: shared state, the worker pool, the per-connection
+//! protocol loop, and the TCP / stdio front ends.
+//!
+//! Data flow for one `vet` request:
+//!
+//! ```text
+//! connection handler ──cache get──> hit ──> respond (cached:true, µs)
+//!        │ miss
+//!        ├─ queue full ──> respond overloaded (typed backpressure)
+//!        └─ try_push(Job{key, source, resp}) ──> worker pool
+//!                                                  │ peek cache (dedupe)
+//!                                                  │ analyze under budget
+//!                                                  │ insert cache
+//!        respond (cached:false) <──mpsc── core result
+//! ```
+//!
+//! Workers never die on behalf of a job: a runaway analysis is cut off by
+//! the step budget / deadline inside `jsanalysis` and comes back as a
+//! `timeout` core result like any other.
+
+use crate::cache::{cache_key, SigCache};
+use crate::protocol::{
+    error_response, overloaded_response, parse_request, vet_response, Request, Source, VetItem,
+};
+use crate::queue::{Bounded, PushError};
+use crate::stats::Stats;
+use crate::{AnalyzeFn, VetOutcome};
+use jsanalysis::AnalysisConfig;
+use minijson::Json;
+use std::io::{self, BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+/// Daemon configuration (the `vet serve` flags).
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Worker threads running analyses (default 4).
+    pub workers: usize,
+    /// Result-cache capacity in entries (default 1024; 0 disables).
+    pub cache_cap: usize,
+    /// Job-queue bound; pushes beyond it are shed with `overloaded`
+    /// (default `workers * 8`).
+    pub queue_cap: usize,
+    /// The analysis configuration every job runs under, including the
+    /// `step_budget` / `deadline` robustness knobs.
+    pub analysis: AnalysisConfig,
+}
+
+impl Default for ServeConfig {
+    fn default() -> ServeConfig {
+        let workers = 4;
+        ServeConfig {
+            workers,
+            cache_cap: 1024,
+            queue_cap: workers * 8,
+            analysis: AnalysisConfig::default(),
+        }
+    }
+}
+
+/// One queued vetting job.
+struct Job {
+    key: u64,
+    source: String,
+    resp: mpsc::Sender<Json>,
+}
+
+/// State shared by the acceptor, connection handlers, and workers.
+struct Shared {
+    analysis: AnalysisConfig,
+    /// `analysis.canonical_string()`, computed once: the config half of
+    /// every cache key.
+    config_canon: String,
+    workers: usize,
+    queue: Bounded<Job>,
+    cache: Mutex<SigCache>,
+    stats: Stats,
+    analyze: Box<AnalyzeFn>,
+    shutting_down: AtomicBool,
+    /// Bound address in TCP mode; used to poke the blocked acceptor on
+    /// shutdown. `None` in stdio mode.
+    addr: Option<SocketAddr>,
+}
+
+impl Shared {
+    fn new(cfg: ServeConfig, analyze: Box<AnalyzeFn>, addr: Option<SocketAddr>) -> Shared {
+        Shared {
+            config_canon: cfg.analysis.canonical_string(),
+            workers: cfg.workers.max(1),
+            queue: Bounded::new(cfg.queue_cap.max(1)),
+            cache: Mutex::new(SigCache::new(cfg.cache_cap)),
+            stats: Stats::default(),
+            analysis: cfg.analysis,
+            analyze,
+            shutting_down: AtomicBool::new(false),
+            addr,
+        }
+    }
+
+    fn lock_cache(&self) -> std::sync::MutexGuard<'_, SigCache> {
+        self.cache.lock().expect("cache lock poisoned")
+    }
+
+    fn stats_body(&self) -> Json {
+        self.stats.snapshot(
+            self.lock_cache().counters(),
+            self.workers,
+            self.queue.len(),
+            self.queue.capacity(),
+        )
+    }
+}
+
+/// Runs one job's analysis, updates the counters, and caches the core
+/// result. Deadline-based timeouts are *not* cached: they depend on
+/// machine load, so a later resubmission deserves a fresh attempt, while
+/// step-budget timeouts are deterministic and cache fine.
+fn compute(shared: &Shared, key: u64, source: &str) -> Json {
+    let t0 = Instant::now();
+    let outcome = (shared.analyze)(source, &shared.analysis);
+    shared.stats.record_vet(t0.elapsed());
+    let mut core = Json::obj();
+    let cacheable = match outcome {
+        VetOutcome::Report {
+            signature_json,
+            p1,
+            p2,
+            p3,
+        } => {
+            shared.stats.record_phases(p1, p2, p3);
+            core.set("verdict", Json::from("ok"));
+            core.set("p1_us", Json::from(p1.as_micros() as f64));
+            core.set("p2_us", Json::from(p2.as_micros() as f64));
+            core.set("p3_us", Json::from(p3.as_micros() as f64));
+            let sig = Json::parse(&signature_json)
+                .unwrap_or_else(|_| Json::Str(signature_json.clone()));
+            core.set("signature", sig);
+            true
+        }
+        VetOutcome::Timeout { steps, elapsed } => {
+            Stats::incr(&shared.stats.budget_aborts);
+            core.set("verdict", Json::from("timeout"));
+            core.set("steps", Json::from(steps as f64));
+            core.set("elapsed_us", Json::from(elapsed.as_micros() as f64));
+            // Deterministic iff the step budget (not the wall clock) tripped.
+            shared
+                .analysis
+                .step_budget
+                .is_some_and(|budget| steps > budget)
+        }
+        VetOutcome::Error { message } => {
+            Stats::incr(&shared.stats.analysis_errors);
+            core.set("verdict", Json::from("error"));
+            core.set("message", Json::from(message));
+            true
+        }
+    };
+    if cacheable {
+        shared.lock_cache().insert(key, core.clone());
+    }
+    core
+}
+
+fn worker_loop(shared: &Shared) {
+    while let Some(job) = shared.queue.pop() {
+        // Dedupe racing submissions of the same content: another worker
+        // may have finished this key while the job sat in the queue.
+        // (Bound before the match: a guard temporary in the scrutinee
+        // would still be held when compute() re-locks the cache.)
+        let cached = shared.lock_cache().peek(job.key);
+        let core = match cached {
+            Some(hit) => hit,
+            None => compute(shared, job.key, &job.source),
+        };
+        Stats::incr(&shared.stats.jobs_completed);
+        // A disconnected submitter is fine; the result is cached anyway.
+        let _ = job.resp.send(core);
+    }
+}
+
+/// A submitted-but-not-yet-answered vet item, so batches can pipeline
+/// all submissions across the worker pool before collecting any result.
+enum PendingVet {
+    /// Answered without a worker (cache hit, overload, bad path, ...).
+    Ready(Json),
+    /// In the worker pool; await the core result on the channel.
+    Waiting {
+        name: Option<String>,
+        rx: mpsc::Receiver<Json>,
+        t0: Instant,
+    },
+}
+
+fn submit_vet(shared: &Shared, item: VetItem) -> PendingVet {
+    let t0 = Instant::now();
+    let (name, source) = match item.source {
+        Source::Inline(s) => (item.name, s),
+        Source::Path(p) => match std::fs::read_to_string(&p) {
+            // A path submission defaults its display name to the path.
+            Ok(s) => (item.name.or(Some(p)), s),
+            Err(e) => {
+                let mut core = Json::obj();
+                core.set("verdict", Json::from("error"));
+                core.set("message", Json::from(format!("{p}: {e}")));
+                return PendingVet::Ready(vet_response(
+                    &core,
+                    item.name.as_deref().or(Some(&p)),
+                    false,
+                    t0.elapsed().as_micros(),
+                ));
+            }
+        },
+    };
+    let key = cache_key(&source, &shared.config_canon);
+    if let Some(core) = shared.lock_cache().get(key) {
+        return PendingVet::Ready(vet_response(
+            &core,
+            name.as_deref(),
+            true,
+            t0.elapsed().as_micros(),
+        ));
+    }
+    let (tx, rx) = mpsc::channel();
+    match shared.queue.try_push(Job {
+        key,
+        source,
+        resp: tx,
+    }) {
+        Ok(_) => {
+            Stats::incr(&shared.stats.jobs_accepted);
+            PendingVet::Waiting { name, rx, t0 }
+        }
+        Err(PushError::Full(_)) => {
+            Stats::incr(&shared.stats.jobs_rejected);
+            PendingVet::Ready(overloaded_response(
+                name.as_deref(),
+                shared.queue.len(),
+                shared.queue.capacity(),
+            ))
+        }
+        Err(PushError::ShutDown(_)) => {
+            Stats::incr(&shared.stats.jobs_rejected);
+            PendingVet::Ready(error_response("daemon is shutting down"))
+        }
+    }
+}
+
+fn await_vet(pending: PendingVet) -> Json {
+    match pending {
+        PendingVet::Ready(resp) => resp,
+        PendingVet::Waiting { name, rx, t0 } => match rx.recv() {
+            Ok(core) => vet_response(&core, name.as_deref(), false, t0.elapsed().as_micros()),
+            Err(_) => error_response("worker pool shut down before the job finished"),
+        },
+    }
+}
+
+fn with_kind(kind: &str, body: Json) -> Json {
+    let mut o = Json::obj();
+    o.set("kind", Json::from(kind));
+    if let Json::Obj(entries) = body {
+        for (k, v) in entries {
+            o.set(&k, v);
+        }
+    }
+    o
+}
+
+/// Handles one parsed request. The bool says "this was a shutdown":
+/// the caller writes the response first, then tears the daemon down.
+fn respond(shared: &Shared, req: Result<Request, String>) -> (Json, bool) {
+    match req {
+        Err(msg) => {
+            Stats::incr(&shared.stats.protocol_errors);
+            (error_response(&msg), false)
+        }
+        Ok(Request::Vet(item)) => (await_vet(submit_vet(shared, item)), false),
+        Ok(Request::VetBatch(items)) => {
+            // Submit everything first so the batch saturates the worker
+            // pool; items beyond the queue bound come back `overloaded`.
+            let pending: Vec<PendingVet> =
+                items.into_iter().map(|i| submit_vet(shared, i)).collect();
+            let results: Vec<Json> = pending.into_iter().map(await_vet).collect();
+            let mut o = Json::obj();
+            o.set("kind", Json::from("vet_batch_result"));
+            o.set("results", Json::Arr(results));
+            (o, false)
+        }
+        Ok(Request::Stats) => (with_kind("stats", shared.stats_body()), false),
+        Ok(Request::Shutdown) => {
+            let mut o = Json::obj();
+            o.set("kind", Json::from("shutdown_ack"));
+            o.set("stats", shared.stats_body());
+            (o, true)
+        }
+    }
+}
+
+/// Flips the daemon into shutdown: no new jobs, workers drain and exit,
+/// and the TCP acceptor (if any) is poked awake so it can stop.
+fn initiate_shutdown(shared: &Shared) {
+    if shared.shutting_down.swap(true, Ordering::SeqCst) {
+        return; // someone else already did
+    }
+    shared.queue.shutdown();
+    if let Some(addr) = shared.addr {
+        // Unblock the acceptor's blocking accept() with a throwaway
+        // connection; it re-checks the flag after every accept.
+        let _ = TcpStream::connect(addr);
+    }
+}
+
+/// The protocol loop: read request lines, write response lines. Returns
+/// `true` if the peer requested shutdown (vs. just disconnecting).
+fn serve_lines(
+    shared: &Shared,
+    reader: impl BufRead,
+    mut writer: impl Write,
+) -> io::Result<bool> {
+    for line in reader.lines() {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let (resp, is_shutdown) = respond(shared, parse_request(&line));
+        // Single write per response line (see Client::raw_line: split
+        // writes interact badly with Nagle + delayed ACK).
+        let mut framed = resp.to_string_compact();
+        framed.push('\n');
+        writer.write_all(framed.as_bytes())?;
+        writer.flush()?;
+        if is_shutdown {
+            initiate_shutdown(shared);
+            return Ok(true);
+        }
+    }
+    Ok(false)
+}
+
+fn spawn_workers(shared: &Arc<Shared>) -> Vec<JoinHandle<()>> {
+    (0..shared.workers)
+        .map(|i| {
+            let shared = Arc::clone(shared);
+            std::thread::Builder::new()
+                .name(format!("sigserve-worker-{i}"))
+                .spawn(move || worker_loop(&shared))
+                .expect("spawn worker thread")
+        })
+        .collect()
+}
+
+/// A running TCP daemon. Dropping the handle does *not* stop it; send a
+/// `shutdown` request (or call [`Server::stop`]) and then [`Server::join`].
+pub struct Server {
+    shared: Arc<Shared>,
+    addr: SocketAddr,
+    acceptor: JoinHandle<()>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Binds `addr` (e.g. `127.0.0.1:0` for an ephemeral port), spawns
+    /// the worker pool and the acceptor, and returns immediately.
+    pub fn bind<F>(addr: &str, cfg: ServeConfig, analyze: F) -> io::Result<Server>
+    where
+        F: Fn(&str, &AnalysisConfig) -> VetOutcome + Send + Sync + 'static,
+    {
+        let listener = TcpListener::bind(addr)?;
+        let local = listener.local_addr()?;
+        let shared = Arc::new(Shared::new(cfg, Box::new(analyze), Some(local)));
+        let workers = spawn_workers(&shared);
+        let acceptor = {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name("sigserve-acceptor".to_owned())
+                .spawn(move || loop {
+                    match listener.accept() {
+                        Ok((stream, _)) => {
+                            if shared.shutting_down.load(Ordering::SeqCst) {
+                                break;
+                            }
+                            let shared = Arc::clone(&shared);
+                            // Handlers are detached: they die with their
+                            // connection, and join() only waits for the
+                            // acceptor + workers.
+                            std::thread::spawn(move || handle_conn(&shared, stream));
+                        }
+                        Err(_) => {
+                            if shared.shutting_down.load(Ordering::SeqCst) {
+                                break;
+                            }
+                        }
+                    }
+                })
+                .expect("spawn acceptor thread")
+        };
+        Ok(Server {
+            shared,
+            addr: local,
+            acceptor,
+            workers,
+        })
+    }
+
+    /// The bound address (resolves `:0` to the real ephemeral port).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// A `stats`-shaped snapshot for in-process harnesses (the bench
+    /// tool), without a round-trip through the protocol.
+    pub fn stats(&self) -> Json {
+        with_kind("stats", self.shared.stats_body())
+    }
+
+    /// Initiates shutdown from the owning process (equivalent to a
+    /// `shutdown` protocol request, minus the ack).
+    pub fn stop(&self) {
+        initiate_shutdown(&self.shared);
+    }
+
+    /// Waits for the acceptor and workers to finish. Call after a
+    /// `shutdown` request or [`Server::stop`]; joining a running server
+    /// blocks until one of those happens.
+    pub fn join(self) {
+        let _ = self.acceptor.join();
+        for w in self.workers {
+            let _ = w.join();
+        }
+    }
+}
+
+fn handle_conn(shared: &Shared, stream: TcpStream) {
+    let _ = stream.set_nodelay(true);
+    let Ok(reader) = stream.try_clone() else {
+        return;
+    };
+    // Any I/O error (peer vanished mid-request) just ends the connection.
+    let _ = serve_lines(shared, BufReader::new(reader), stream);
+}
+
+/// Runs the daemon over stdin/stdout: the protocol loop on the calling
+/// thread, analyses on the worker pool. Returns after a `shutdown`
+/// request or stdin EOF, with all accepted jobs completed.
+pub fn serve_stdio<F>(cfg: ServeConfig, analyze: F) -> io::Result<()>
+where
+    F: Fn(&str, &AnalysisConfig) -> VetOutcome + Send + Sync + 'static,
+{
+    let shared = Arc::new(Shared::new(cfg, Box::new(analyze), None));
+    let workers = spawn_workers(&shared);
+    let result = serve_lines(&shared, io::stdin().lock(), io::stdout().lock());
+    initiate_shutdown(&shared);
+    for w in workers {
+        let _ = w.join();
+    }
+    result.map(|_| ())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    /// A fast stub engine: "ok" for anything, "timeout" for sources
+    /// containing the marker, error for sources containing "!".
+    fn stub(source: &str, _config: &AnalysisConfig) -> VetOutcome {
+        if source.contains("@timeout") {
+            VetOutcome::Timeout {
+                steps: 999,
+                elapsed: Duration::from_micros(77),
+            }
+        } else if source.contains('!') {
+            VetOutcome::Error {
+                message: "stub parse error".to_owned(),
+            }
+        } else {
+            VetOutcome::Report {
+                signature_json: format!("{{\n  \"len\": {}\n}}", source.len()),
+                p1: Duration::from_micros(30),
+                p2: Duration::from_micros(20),
+                p3: Duration::from_micros(10),
+            }
+        }
+    }
+
+    fn shared_with(cfg: ServeConfig) -> Shared {
+        Shared::new(cfg, Box::new(stub), None)
+    }
+
+    #[test]
+    fn respond_vet_computes_then_caches() {
+        let shared = shared_with(ServeConfig::default());
+        let workers = {
+            // No worker pool in this unit test: drive the queue inline.
+            let item = VetItem {
+                name: Some("a".to_owned()),
+                source: Source::Inline("var x = 1;".to_owned()),
+            };
+            let pending = submit_vet(&shared, item);
+            let job = shared.queue.pop().expect("job queued");
+            let core = compute(&shared, job.key, &job.source);
+            job.resp.send(core).unwrap();
+            let resp = await_vet(pending);
+            assert_eq!(resp["verdict"], "ok");
+            assert_eq!(resp["cached"], Json::Bool(false));
+            assert_eq!(resp["signature"]["len"].as_f64(), Some(10.0));
+            resp
+        };
+        let _ = workers;
+        // Second submission of identical content: answered from cache
+        // without touching the queue.
+        let item = VetItem {
+            name: None,
+            source: Source::Inline("var x = 1;".to_owned()),
+        };
+        match submit_vet(&shared, item) {
+            PendingVet::Ready(resp) => {
+                assert_eq!(resp["cached"], Json::Bool(true));
+                assert_eq!(resp["verdict"], "ok");
+            }
+            PendingVet::Waiting { .. } => panic!("expected a cache hit"),
+        }
+        assert!(shared.queue.is_empty());
+    }
+
+    #[test]
+    fn overload_sheds_with_typed_response() {
+        let cfg = ServeConfig {
+            queue_cap: 1,
+            ..ServeConfig::default()
+        };
+        let shared = shared_with(cfg);
+        let first = submit_vet(
+            &shared,
+            VetItem {
+                name: None,
+                source: Source::Inline("one".to_owned()),
+            },
+        );
+        assert!(matches!(first, PendingVet::Waiting { .. }));
+        let second = submit_vet(
+            &shared,
+            VetItem {
+                name: Some("b".to_owned()),
+                source: Source::Inline("two".to_owned()),
+            },
+        );
+        match second {
+            PendingVet::Ready(resp) => {
+                assert_eq!(resp["kind"], "overloaded");
+                assert_eq!(resp["capacity"].as_f64(), Some(1.0));
+            }
+            PendingVet::Waiting { .. } => panic!("expected overload"),
+        }
+        assert_eq!(
+            shared.stats.jobs_rejected.load(Ordering::Relaxed),
+            1,
+            "rejection must be counted"
+        );
+    }
+
+    #[test]
+    fn timeout_and_error_cores() {
+        let shared = shared_with(ServeConfig::default());
+        let t = compute(&shared, 1, "@timeout");
+        assert_eq!(t["verdict"], "timeout");
+        assert_eq!(t["steps"].as_f64(), Some(999.0));
+        let e = compute(&shared, 2, "oops!");
+        assert_eq!(e["verdict"], "error");
+        assert_eq!(shared.stats.budget_aborts.load(Ordering::Relaxed), 1);
+        assert_eq!(shared.stats.analysis_errors.load(Ordering::Relaxed), 1);
+        // Deadline-ish timeouts (no step budget configured) are not
+        // cached; errors are.
+        assert!(shared.lock_cache().peek(1).is_none());
+        assert!(shared.lock_cache().peek(2).is_some());
+    }
+
+    #[test]
+    fn step_budget_timeouts_are_cached() {
+        let mut cfg = ServeConfig::default();
+        cfg.analysis.step_budget = Some(10);
+        let shared = Shared::new(
+            cfg,
+            Box::new(|_: &str, _: &AnalysisConfig| VetOutcome::Timeout {
+                steps: 11,
+                elapsed: Duration::from_micros(5),
+            }),
+            None,
+        );
+        let t = compute(&shared, 9, "whatever");
+        assert_eq!(t["verdict"], "timeout");
+        assert!(shared.lock_cache().peek(9).is_some());
+    }
+
+    #[test]
+    fn end_to_end_over_tcp_with_stub_engine() {
+        let server =
+            Server::bind("127.0.0.1:0", ServeConfig::default(), stub).expect("bind");
+        let mut client = crate::Client::connect(server.local_addr()).expect("connect");
+        let r1 = client.vet_source(Some("a"), "var a;").unwrap();
+        assert_eq!(r1["verdict"], "ok");
+        assert_eq!(r1["cached"], Json::Bool(false));
+        let r2 = client.vet_source(Some("a"), "var a;").unwrap();
+        assert_eq!(r2["cached"], Json::Bool(true));
+        let stats = client.stats().unwrap();
+        assert_eq!(stats["cache"]["hits"].as_f64(), Some(1.0));
+        assert_eq!(stats["jobs"]["completed"].as_f64(), Some(1.0));
+        let ack = client.shutdown().unwrap();
+        assert_eq!(ack["kind"], "shutdown_ack");
+        assert_eq!(ack["stats"]["jobs"]["accepted"].as_f64(), Some(1.0));
+        server.join();
+    }
+
+    #[test]
+    fn batch_pipelines_and_preserves_order() {
+        let server =
+            Server::bind("127.0.0.1:0", ServeConfig::default(), stub).expect("bind");
+        let mut client = crate::Client::connect(server.local_addr()).expect("connect");
+        let mut req = Json::obj();
+        req.set("kind", Json::from("vet_batch"));
+        req.set(
+            "items",
+            Json::Arr(
+                (0..6)
+                    .map(|i| {
+                        let mut o = Json::obj();
+                        o.set("name", Json::from(format!("n{i}")));
+                        o.set("source", Json::from(format!("var v{i};")));
+                        o
+                    })
+                    .collect(),
+            ),
+        );
+        let resp = client.request(&req).unwrap();
+        assert_eq!(resp["kind"], "vet_batch_result");
+        let results = resp["results"].as_array().unwrap();
+        assert_eq!(results.len(), 6);
+        for (i, r) in results.iter().enumerate() {
+            assert_eq!(r["name"].as_str(), Some(format!("n{i}").as_str()));
+            assert_eq!(r["verdict"], "ok");
+        }
+        client.shutdown().unwrap();
+        server.join();
+    }
+
+    #[test]
+    fn malformed_lines_get_error_responses_and_daemon_survives() {
+        let server =
+            Server::bind("127.0.0.1:0", ServeConfig::default(), stub).expect("bind");
+        let mut client = crate::Client::connect(server.local_addr()).expect("connect");
+        let resp = client.raw_line("this is not json").unwrap();
+        assert_eq!(resp["kind"], "error");
+        let resp = client.raw_line(r#"{"kind":"frobnicate"}"#).unwrap();
+        assert_eq!(resp["kind"], "error");
+        let ok = client.vet_source(None, "still alive").unwrap();
+        assert_eq!(ok["verdict"], "ok");
+        let stats = client.stats().unwrap();
+        assert_eq!(stats["jobs"]["protocol_errors"].as_f64(), Some(2.0));
+        client.shutdown().unwrap();
+        server.join();
+    }
+}

@@ -1,0 +1,147 @@
+//! Daemon-wide observability counters.
+//!
+//! Everything is a monotone `AtomicU64` so workers and connection
+//! handlers update without contending on a lock; the `stats` protocol
+//! request (and the `shutdown` ack) serializes a consistent-enough
+//! snapshot. These counters are the observability seed the service grows
+//! around: every later subsystem (sharding, replication, admission
+//! control) reports through the same endpoint.
+
+use crate::cache::CacheCounters;
+use minijson::Json;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Job, abort, and per-phase timing counters.
+#[derive(Debug, Default)]
+pub struct Stats {
+    /// Jobs admitted to the queue.
+    pub jobs_accepted: AtomicU64,
+    /// Jobs shed with an `overloaded` response (queue full).
+    pub jobs_rejected: AtomicU64,
+    /// Jobs a worker finished (any verdict).
+    pub jobs_completed: AtomicU64,
+    /// Analyses aborted by the step budget or wall-clock deadline.
+    pub budget_aborts: AtomicU64,
+    /// Analyses that failed outright (parse errors, step-limit valve).
+    pub analysis_errors: AtomicU64,
+    /// Requests that were not valid protocol JSON.
+    pub protocol_errors: AtomicU64,
+    /// Total µs spent in phase 1 (base analysis) across all jobs.
+    pub p1_us: AtomicU64,
+    /// Total µs spent in phase 2 (PDG construction).
+    pub p2_us: AtomicU64,
+    /// Total µs spent in phase 3 (signature inference).
+    pub p3_us: AtomicU64,
+    /// Total µs of end-to-end worker compute (includes parse + lowering).
+    pub vet_us: AtomicU64,
+}
+
+fn as_u64_us(d: Duration) -> u64 {
+    u64::try_from(d.as_micros()).unwrap_or(u64::MAX)
+}
+
+impl Stats {
+    /// Bumps a counter by one.
+    pub fn incr(counter: &AtomicU64) {
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Folds one successful report's phase timings into the totals.
+    pub fn record_phases(&self, p1: Duration, p2: Duration, p3: Duration) {
+        self.p1_us.fetch_add(as_u64_us(p1), Ordering::Relaxed);
+        self.p2_us.fetch_add(as_u64_us(p2), Ordering::Relaxed);
+        self.p3_us.fetch_add(as_u64_us(p3), Ordering::Relaxed);
+    }
+
+    /// Folds one job's end-to-end compute time into the totals.
+    pub fn record_vet(&self, total: Duration) {
+        self.vet_us.fetch_add(as_u64_us(total), Ordering::Relaxed);
+    }
+
+    /// Serializes the counters (plus the cache's and queue's) as the body
+    /// of a `stats` response.
+    pub fn snapshot(
+        &self,
+        cache: CacheCounters,
+        workers: usize,
+        queue_depth: usize,
+        queue_capacity: usize,
+    ) -> Json {
+        let read = |c: &AtomicU64| Json::from(c.load(Ordering::Relaxed) as f64);
+        let mut jobs = Json::obj();
+        jobs.set("accepted", read(&self.jobs_accepted));
+        jobs.set("rejected", read(&self.jobs_rejected));
+        jobs.set("completed", read(&self.jobs_completed));
+        jobs.set("budget_aborts", read(&self.budget_aborts));
+        jobs.set("analysis_errors", read(&self.analysis_errors));
+        jobs.set("protocol_errors", read(&self.protocol_errors));
+
+        let mut cache_json = Json::obj();
+        cache_json.set("hits", Json::from(cache.hits as f64));
+        cache_json.set("misses", Json::from(cache.misses as f64));
+        cache_json.set("evictions", Json::from(cache.evictions as f64));
+        cache_json.set("entries", Json::from(cache.entries as f64));
+        cache_json.set("capacity", Json::from(cache.capacity as f64));
+
+        let mut queue = Json::obj();
+        queue.set("depth", Json::from(queue_depth as f64));
+        queue.set("capacity", Json::from(queue_capacity as f64));
+
+        let mut phases = Json::obj();
+        phases.set("p1", read(&self.p1_us));
+        phases.set("p2", read(&self.p2_us));
+        phases.set("p3", read(&self.p3_us));
+        phases.set("vet_total", read(&self.vet_us));
+
+        let mut body = Json::obj();
+        body.set("workers", Json::from(workers as f64));
+        body.set("queue", queue);
+        body.set("jobs", jobs);
+        body.set("cache", cache_json);
+        body.set("phase_totals_us", phases);
+        body
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_reflects_counters() {
+        let s = Stats::default();
+        Stats::incr(&s.jobs_accepted);
+        Stats::incr(&s.jobs_accepted);
+        Stats::incr(&s.jobs_rejected);
+        s.record_phases(
+            Duration::from_micros(100),
+            Duration::from_micros(20),
+            Duration::from_micros(3),
+        );
+        s.record_phases(
+            Duration::from_micros(100),
+            Duration::from_micros(20),
+            Duration::from_micros(3),
+        );
+        let snap = s.snapshot(
+            CacheCounters {
+                hits: 5,
+                misses: 2,
+                evictions: 1,
+                entries: 1,
+                capacity: 64,
+            },
+            4,
+            3,
+            32,
+        );
+        assert_eq!(snap["jobs"]["accepted"].as_f64(), Some(2.0));
+        assert_eq!(snap["jobs"]["rejected"].as_f64(), Some(1.0));
+        assert_eq!(snap["cache"]["hits"].as_f64(), Some(5.0));
+        assert_eq!(snap["queue"]["depth"].as_f64(), Some(3.0));
+        assert_eq!(snap["phase_totals_us"]["p1"].as_f64(), Some(200.0));
+        assert_eq!(snap["phase_totals_us"]["p3"].as_f64(), Some(6.0));
+        assert_eq!(snap["workers"].as_f64(), Some(4.0));
+    }
+}

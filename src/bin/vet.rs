@@ -3,6 +3,10 @@
 //! ```text
 //! vet <addon.js> [--json] [--dot] [--explain] [--k <depth>] [--constant-strings]
 //! vet --corpus [--json] [--sequential]
+//! vet serve [--addr HOST:PORT | --stdio] [--workers N] [--cache-cap N]
+//!           [--queue-cap N] [--step-budget N] [--deadline-ms N]
+//!           [--k <depth>] [--constant-strings]
+//! vet --client HOST:PORT [<addon.js>... | --stats | --shutdown]
 //! ```
 //!
 //! Analyzes a JavaScript addon and prints its inferred security
@@ -13,11 +17,29 @@
 //! byte-identical to a sequential run. `--sequential` disables the
 //! thread pool. Exits nonzero when the addon fails to parse or uses
 //! restricted dynamic-code APIs.
+//!
+//! `serve` runs the long-lived vetting daemon (`sigserve`): a worker
+//! pool behind a bounded job queue, a content-addressed signature
+//! cache, and per-analysis step/deadline budgets so one pathological
+//! addon cannot wedge the service. `--client` speaks the daemon's
+//! NDJSON protocol: each named file is vetted (source is read locally
+//! and sent inline) and the response printed one JSON object per line.
 
 use jsanalysis::{AnalysisConfig, StringDomain};
 use jssig::FlowLattice;
+use sigserve::{Client, ServeConfig};
 use std::fmt::Write as _;
 use std::process::ExitCode;
+use std::time::Duration;
+
+const USAGE: &str = "\
+usage:
+  vet <addon.js> [--json] [--dot] [--explain] [--k <depth>] [--constant-strings]
+  vet --corpus [--json] [--sequential]
+  vet serve [--addr HOST:PORT | --stdio] [--workers N] [--cache-cap N]
+            [--queue-cap N] [--step-budget N] [--deadline-ms N]
+            [--k <depth>] [--constant-strings]
+  vet --client HOST:PORT [<addon.js>... | --stats | --shutdown]";
 
 struct Options {
     json: bool,
@@ -30,7 +52,101 @@ struct Options {
     file: Option<String>,
 }
 
-fn parse_args() -> Result<Options, String> {
+/// `vet serve` flags.
+struct ServeOptions {
+    /// `Some(addr)` for TCP, `None` for `--stdio`.
+    addr: Option<String>,
+    config: ServeConfig,
+}
+
+/// What `vet --client` should ask the daemon.
+enum ClientAction {
+    Vet(Vec<String>),
+    Stats,
+    Shutdown,
+}
+
+struct ClientOptions {
+    addr: String,
+    action: ClientAction,
+}
+
+enum Mode {
+    /// `--help`: usage on stdout, exit 0.
+    Help,
+    Run(Options),
+    Serve(ServeOptions),
+    Client(ClientOptions),
+}
+
+fn parse_usize(args: &mut impl Iterator<Item = String>, flag: &str) -> Result<usize, String> {
+    let v = args.next().ok_or_else(|| format!("{flag} needs a value"))?;
+    v.parse().map_err(|_| format!("bad {flag} value: {v}"))
+}
+
+fn parse_serve_args(mut args: impl Iterator<Item = String>) -> Result<Mode, String> {
+    let mut addr: Option<String> = None;
+    let mut stdio = false;
+    let mut config = ServeConfig::default();
+    let mut queue_cap: Option<usize> = None;
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--addr" => addr = Some(args.next().ok_or("--addr needs HOST:PORT")?),
+            "--stdio" => stdio = true,
+            "--workers" => config.workers = parse_usize(&mut args, "--workers")?.max(1),
+            "--cache-cap" => config.cache_cap = parse_usize(&mut args, "--cache-cap")?,
+            "--queue-cap" => queue_cap = Some(parse_usize(&mut args, "--queue-cap")?.max(1)),
+            "--step-budget" => {
+                config.analysis.step_budget = Some(parse_usize(&mut args, "--step-budget")?)
+            }
+            "--deadline-ms" => {
+                config.analysis.deadline =
+                    Some(Duration::from_millis(parse_usize(&mut args, "--deadline-ms")? as u64))
+            }
+            "--k" => config.analysis.context_depth = parse_usize(&mut args, "--k")?,
+            "--constant-strings" => config.analysis.string_domain = StringDomain::ConstantOnly,
+            "--help" | "-h" => return Ok(Mode::Help),
+            other => return Err(format!("unknown serve flag: {other}")),
+        }
+    }
+    if stdio && addr.is_some() {
+        return Err("--addr and --stdio are mutually exclusive".to_owned());
+    }
+    // Default queue bound scales with the pool, like ServeConfig::default.
+    config.queue_cap = queue_cap.unwrap_or(config.workers * 8);
+    let addr = if stdio {
+        None
+    } else {
+        Some(addr.unwrap_or_else(|| "127.0.0.1:7161".to_owned()))
+    };
+    Ok(Mode::Serve(ServeOptions { addr, config }))
+}
+
+fn parse_client_args(mut args: impl Iterator<Item = String>) -> Result<Mode, String> {
+    let addr = args.next().ok_or("--client needs HOST:PORT")?;
+    let mut files = Vec::new();
+    let mut action = None;
+    for arg in args {
+        match arg.as_str() {
+            "--stats" => action = Some(ClientAction::Stats),
+            "--shutdown" => action = Some(ClientAction::Shutdown),
+            "--help" | "-h" => return Ok(Mode::Help),
+            other if !other.starts_with('-') => files.push(other.to_owned()),
+            other => return Err(format!("unknown client flag: {other}")),
+        }
+    }
+    let action = match action {
+        Some(a) if files.is_empty() => a,
+        Some(_) => return Err("--stats/--shutdown take no files".to_owned()),
+        None if files.is_empty() => {
+            return Err("--client needs files to vet, --stats, or --shutdown".to_owned())
+        }
+        None => ClientAction::Vet(files),
+    };
+    Ok(Mode::Client(ClientOptions { addr, action }))
+}
+
+fn parse_args() -> Result<Mode, String> {
     let mut opts = Options {
         json: false,
         dot: false,
@@ -41,7 +157,19 @@ fn parse_args() -> Result<Options, String> {
         string_domain: StringDomain::Prefix,
         file: None,
     };
-    let mut args = std::env::args().skip(1);
+    let mut args = std::env::args().skip(1).peekable();
+    // Subcommand-style modes are decided by the first argument.
+    match args.peek().map(String::as_str) {
+        Some("serve") => {
+            args.next();
+            return parse_serve_args(args);
+        }
+        Some("--client") => {
+            args.next();
+            return parse_client_args(args);
+        }
+        _ => {}
+    }
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--json" => opts.json = true,
@@ -54,12 +182,7 @@ fn parse_args() -> Result<Options, String> {
                 let v = args.next().ok_or("--k needs a value")?;
                 opts.context_depth = v.parse().map_err(|_| format!("bad depth: {v}"))?;
             }
-            "--help" | "-h" => {
-                return Err("usage: vet <addon.js> [--json] [--dot] [--explain] \
-                            [--k <depth>] [--constant-strings] | \
-                            vet --corpus [--sequential]"
-                    .to_owned())
-            }
+            "--help" | "-h" => return Ok(Mode::Help),
             other if !other.starts_with('-') => opts.file = Some(other.to_owned()),
             other => return Err(format!("unknown flag: {other}")),
         }
@@ -67,7 +190,7 @@ fn parse_args() -> Result<Options, String> {
     if !opts.corpus && opts.file.is_none() {
         return Err("no input file (try --help)".to_owned());
     }
-    Ok(opts)
+    Ok(Mode::Run(opts))
 }
 
 /// Everything one addon's vetting produced, buffered so corpus mode can
@@ -194,13 +317,88 @@ fn vet_corpus(opts: &Options) -> bool {
     ok
 }
 
+/// Runs the vetting daemon until a `shutdown` request (TCP) or stdin EOF
+/// (`--stdio`).
+fn run_serve(opts: ServeOptions) -> Result<(), String> {
+    match opts.addr {
+        Some(addr) => {
+            let server = sigserve::Server::bind(&addr, opts.config, addon_sig::service_analyze)
+                .map_err(|e| format!("bind {addr}: {e}"))?;
+            eprintln!("sigserve listening on {}", server.local_addr());
+            server.join(); // returns after a shutdown request
+            Ok(())
+        }
+        None => sigserve::serve_stdio(opts.config, addon_sig::service_analyze)
+            .map_err(|e| format!("stdio serve: {e}")),
+    }
+}
+
+/// Speaks the NDJSON protocol to a running daemon; prints one compact
+/// JSON response per line. Files are read locally and sent inline, so
+/// the daemon need not share a filesystem with the client.
+fn run_client(opts: ClientOptions) -> Result<bool, String> {
+    let mut client =
+        Client::connect(&opts.addr).map_err(|e| format!("connect {}: {e}", opts.addr))?;
+    let mut ok = true;
+    match opts.action {
+        ClientAction::Vet(files) => {
+            for path in files {
+                let source =
+                    std::fs::read_to_string(&path).map_err(|e| format!("{path}: {e}"))?;
+                let resp = client
+                    .vet_source(Some(&path), &source)
+                    .map_err(|e| format!("{path}: {e}"))?;
+                println!("{}", resp.to_string_compact());
+                ok &= resp["verdict"] == "ok";
+            }
+        }
+        ClientAction::Stats => {
+            let resp = client.stats().map_err(|e| e.to_string())?;
+            println!("{}", resp.to_string_compact());
+        }
+        ClientAction::Shutdown => {
+            let resp = client.shutdown().map_err(|e| e.to_string())?;
+            println!("{}", resp.to_string_compact());
+        }
+    }
+    Ok(ok)
+}
+
 fn main() -> ExitCode {
-    let opts = match parse_args() {
-        Ok(o) => o,
+    let mode = match parse_args() {
+        Ok(m) => m,
         Err(msg) => {
             eprintln!("{msg}");
             return ExitCode::FAILURE;
         }
+    };
+    let opts = match mode {
+        // Asked-for usage goes to stdout and exits 0; only actual
+        // argument errors (above) are failures.
+        Mode::Help => {
+            println!("{USAGE}");
+            return ExitCode::SUCCESS;
+        }
+        Mode::Serve(serve_opts) => {
+            return match run_serve(serve_opts) {
+                Ok(()) => ExitCode::SUCCESS,
+                Err(msg) => {
+                    eprintln!("{msg}");
+                    ExitCode::FAILURE
+                }
+            }
+        }
+        Mode::Client(client_opts) => {
+            return match run_client(client_opts) {
+                Ok(true) => ExitCode::SUCCESS,
+                Ok(false) => ExitCode::FAILURE,
+                Err(msg) => {
+                    eprintln!("{msg}");
+                    ExitCode::FAILURE
+                }
+            }
+        }
+        Mode::Run(opts) => opts,
     };
     let ok = if opts.corpus {
         vet_corpus(&opts)

@@ -45,6 +45,7 @@
 
 pub use corpus;
 pub use jsanalysis;
+pub use sigserve;
 pub use jsdomains;
 pub use jsir;
 pub use jsparser;
@@ -65,6 +66,16 @@ pub enum Error {
     Parse(jsparser::ParseError),
     /// The base analysis hit its step limit (results would be partial).
     StepLimit,
+    /// The caller-imposed analysis budget (`AnalysisConfig::step_budget`
+    /// or `deadline`) was exhausted. Unlike [`Error::StepLimit`] — the
+    /// interpreter's own safety valve — this is a vetting-service policy
+    /// decision, and carries how far the analysis got.
+    BudgetExhausted {
+        /// Worklist steps executed when the budget tripped.
+        steps: usize,
+        /// Wall time spent in the fixpoint loop.
+        elapsed: Duration,
+    },
 }
 
 impl fmt::Display for Error {
@@ -72,6 +83,11 @@ impl fmt::Display for Error {
         match self {
             Error::Parse(e) => write!(f, "parse error: {e}"),
             Error::StepLimit => write!(f, "analysis exceeded its step budget"),
+            Error::BudgetExhausted { steps, elapsed } => write!(
+                f,
+                "analysis budget exhausted after {steps} steps ({}µs)",
+                elapsed.as_micros()
+            ),
         }
     }
 }
@@ -80,7 +96,7 @@ impl std::error::Error for Error {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             Error::Parse(e) => Some(e),
-            Error::StepLimit => None,
+            Error::StepLimit | Error::BudgetExhausted { .. } => None,
         }
     }
 }
@@ -136,6 +152,12 @@ pub fn analyze_addon_with_config(
     let start = Instant::now();
     let analysis = jsanalysis::analyze(&lowered, config);
     let p1 = start.elapsed();
+    if let Some(b) = analysis.budget_exhausted {
+        return Err(Error::BudgetExhausted {
+            steps: b.steps,
+            elapsed: b.elapsed,
+        });
+    }
     if analysis.hit_step_limit {
         return Err(Error::StepLimit);
     }
@@ -157,6 +179,29 @@ pub fn analyze_addon_with_config(
         p2,
         p3,
     })
+}
+
+/// The full pipeline packaged for the [`sigserve`] daemon: one source,
+/// one configuration, a [`sigserve::VetOutcome`]. Budget exhaustion maps
+/// to the degraded `Timeout` outcome (the daemon answers
+/// `verdict:"timeout"` and keeps its worker); everything else that fails
+/// maps to `Error`. The signature JSON is exactly what `vet --json`
+/// prints, so service responses reproduce the CLI's bytes.
+pub fn service_analyze(source: &str, config: &AnalysisConfig) -> sigserve::VetOutcome {
+    match analyze_addon_with_config(source, config, &FlowLattice::paper()) {
+        Ok(report) => sigserve::VetOutcome::Report {
+            signature_json: report.signature.to_json(),
+            p1: report.p1,
+            p2: report.p2,
+            p3: report.p3,
+        },
+        Err(Error::BudgetExhausted { steps, elapsed }) => {
+            sigserve::VetOutcome::Timeout { steps, elapsed }
+        }
+        Err(e) => sigserve::VetOutcome::Error {
+            message: e.to_string(),
+        },
+    }
 }
 
 #[cfg(test)]
@@ -182,5 +227,47 @@ mod tests {
     fn error_display() {
         let e = Error::StepLimit;
         assert!(e.to_string().contains("step budget"));
+        let e = Error::BudgetExhausted {
+            steps: 42,
+            elapsed: Duration::from_micros(7),
+        };
+        assert!(e.to_string().contains("42 steps"));
+    }
+
+    #[test]
+    fn budget_exhaustion_surfaces_as_error() {
+        let config = AnalysisConfig {
+            step_budget: Some(1),
+            ..AnalysisConfig::default()
+        };
+        match analyze_addon_with_config("var x = 1; var y = x;", &config, &FlowLattice::paper()) {
+            Err(Error::BudgetExhausted { steps, .. }) => assert!(steps > 1),
+            other => panic!("expected BudgetExhausted, got {:?}", other.map(|_| ())),
+        }
+    }
+
+    #[test]
+    fn service_analyze_maps_outcomes() {
+        let default = AnalysisConfig::default();
+        match service_analyze("var x = 1;", &default) {
+            sigserve::VetOutcome::Report { signature_json, .. } => {
+                assert!(signature_json.starts_with('{'));
+            }
+            other => panic!("expected Report, got {other:?}"),
+        }
+        match service_analyze("var = ;", &default) {
+            sigserve::VetOutcome::Error { message } => {
+                assert!(message.contains("parse error"));
+            }
+            other => panic!("expected Error, got {other:?}"),
+        }
+        let tight = AnalysisConfig {
+            step_budget: Some(1),
+            ..AnalysisConfig::default()
+        };
+        match service_analyze("var x = 1; var y = x;", &tight) {
+            sigserve::VetOutcome::Timeout { steps, .. } => assert!(steps > 1),
+            other => panic!("expected Timeout, got {other:?}"),
+        }
     }
 }

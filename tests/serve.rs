@@ -1,0 +1,189 @@
+//! Integration tests for the vetting daemon: concurrent clients against
+//! the real pipeline, CLI/service response equivalence, cache behavior
+//! across resubmission rounds, and budget-degraded verdicts.
+
+use addon_sig::sigserve::{Client, ServeConfig, Server};
+use addon_sig::{analyze_addon_with_config, service_analyze};
+use jsanalysis::AnalysisConfig;
+use jssig::FlowLattice;
+use minijson::Json;
+
+/// Fetches the (hits, misses) cache counters.
+fn cache_counts(client: &mut Client) -> (f64, f64) {
+    let stats = client.stats().expect("stats");
+    (
+        stats["cache"]["hits"].as_f64().unwrap(),
+        stats["cache"]["misses"].as_f64().unwrap(),
+    )
+}
+
+/// One round: `clients` concurrent connections each vet every corpus
+/// addon once, asserting each response matches its expected signature
+/// document byte for byte.
+fn run_round(addr: std::net::SocketAddr, clients: usize, expected: &[(String, String)]) {
+    std::thread::scope(|scope| {
+        for c in 0..clients {
+            scope.spawn(move || {
+                let mut client = Client::connect(addr).expect("connect");
+                // Stagger the order per client so duplicate submissions
+                // of the same addon race through the daemon.
+                let mut order: Vec<&(String, String)> = expected.iter().collect();
+                order.rotate_left(c % expected.len());
+                for (name, sig_json) in order {
+                    let resp = client.vet_source(Some(name), source_of(name)).expect("vet");
+                    assert_eq!(resp["verdict"], "ok", "{name}");
+                    assert_eq!(resp["name"].as_str(), Some(name.as_str()));
+                    // The service's signature value must reproduce the
+                    // bytes `vet --json` prints for the same addon.
+                    assert_eq!(
+                        &resp["signature"].to_string_pretty(),
+                        sig_json,
+                        "{name}: service signature diverged from the CLI document"
+                    );
+                }
+            });
+        }
+    });
+}
+
+fn source_of(name: &str) -> &'static str {
+    corpus::addon_by_name(name).expect("corpus addon").source
+}
+
+#[test]
+fn concurrent_clients_match_cli_and_resubmissions_hit_the_cache() {
+    // The documents `vet --json` prints (Signature::to_json), computed
+    // through the plain library pipeline.
+    let expected: Vec<(String, String)> = corpus::addons()
+        .iter()
+        .map(|a| {
+            let report = analyze_addon_with_config(
+                a.source,
+                &AnalysisConfig::default(),
+                &FlowLattice::paper(),
+            )
+            .expect("pipeline");
+            (a.name.to_owned(), report.signature.to_json())
+        })
+        .collect();
+
+    let server =
+        Server::bind("127.0.0.1:0", ServeConfig::default(), service_analyze).expect("bind");
+    let addr = server.local_addr();
+    let mut probe = Client::connect(addr).expect("connect");
+
+    // Round 1: 4 concurrent clients, cold cache. Every addon is analyzed
+    // at most a handful of times (racing duplicates may share a result).
+    run_round(addr, 4, &expected);
+    let (hits_r1, misses_r1) = cache_counts(&mut probe);
+    assert_eq!(
+        hits_r1 + misses_r1,
+        4.0 * expected.len() as f64,
+        "every round-1 submission passes through the cache"
+    );
+    assert!(
+        misses_r1 >= expected.len() as f64,
+        "each addon must miss at least once on a cold cache"
+    );
+
+    // Round 2: identical resubmissions must be answered from the cache.
+    run_round(addr, 4, &expected);
+    let (hits_r2, misses_r2) = cache_counts(&mut probe);
+    let round2_lookups = (hits_r2 + misses_r2) - (hits_r1 + misses_r1);
+    let round2_hit_rate = (hits_r2 - hits_r1) / round2_lookups;
+    assert!(
+        round2_hit_rate >= 0.9,
+        "round 2 must be >=90% cache hits, got {:.0}%",
+        round2_hit_rate * 100.0
+    );
+
+    let ack = probe.shutdown().expect("shutdown");
+    assert_eq!(ack["kind"], "shutdown_ack");
+    assert_eq!(
+        ack["stats"]["jobs"]["rejected"].as_f64(),
+        Some(0.0),
+        "this load fits the queue; nothing should be shed"
+    );
+    server.join();
+}
+
+#[test]
+fn step_budget_yields_timeout_verdict_and_daemon_survives() {
+    // A budget far below any corpus addon's real step count (PinPoints
+    // needs ~1000 steps) but comfortably above trivial programs.
+    let mut cfg = ServeConfig::default();
+    cfg.analysis.step_budget = Some(25);
+    let server = Server::bind("127.0.0.1:0", cfg, service_analyze).expect("bind");
+    let mut client = Client::connect(server.local_addr()).expect("connect");
+
+    let resp = client
+        .vet_source(Some("PinPoints"), source_of("PinPoints"))
+        .expect("vet");
+    assert_eq!(
+        resp["verdict"], "timeout",
+        "a 25-step budget cannot finish a real addon"
+    );
+    assert!(
+        resp["steps"].as_f64().unwrap() > 25.0,
+        "the timeout reports how far the analysis got"
+    );
+
+    // The worker survived the abort: the same daemon still vets small
+    // inputs and reports the abort in its counters.
+    let ok = client.vet_source(Some("tiny"), "var x = 1;").expect("vet");
+    assert_eq!(ok["verdict"], "ok", "daemon must keep serving after a timeout");
+    let stats = client.stats().expect("stats");
+    assert_eq!(stats["jobs"]["budget_aborts"].as_f64(), Some(1.0));
+
+    // Step-budget timeouts are deterministic, so resubmitting the same
+    // addon is answered from the cache — still as a timeout.
+    let again = client
+        .vet_source(Some("PinPoints"), source_of("PinPoints"))
+        .expect("vet");
+    assert_eq!(again["verdict"], "timeout");
+    assert_eq!(again["cached"], Json::Bool(true));
+
+    client.shutdown().expect("shutdown");
+    server.join();
+}
+
+#[test]
+fn overload_response_when_queue_is_saturated() {
+    // One worker stuck on a slow (budget-less) analysis plus a one-slot
+    // queue: the third concurrent submission must be shed as
+    // `overloaded`, not queued without bound.
+    let cfg = ServeConfig {
+        workers: 1,
+        queue_cap: 1,
+        ..ServeConfig::default()
+    };
+    let server = Server::bind("127.0.0.1:0", cfg, service_analyze).expect("bind");
+    let addr = server.local_addr();
+    let slow = source_of("LivePagerank");
+    let overloads: usize = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..6)
+            .map(|i| {
+                scope.spawn(move || {
+                    let mut client = Client::connect(addr).expect("connect");
+                    // Distinct sources: no cache sharing between clients.
+                    let unique = format!("var fill{i} = 1;\n{slow}");
+                    let resp = client.vet_source(None, &unique).expect("vet");
+                    (resp["kind"] == "overloaded") as usize
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).sum()
+    });
+    // 1 in flight + 1 queued leaves up to 4 submissions to shed; timing
+    // decides the exact count, but with 6 concurrent slow jobs at least
+    // one must see a full queue.
+    assert!(
+        overloads >= 1,
+        "expected at least one overloaded response from a saturated queue"
+    );
+    let mut probe = Client::connect(addr).expect("connect");
+    let stats = probe.stats().expect("stats");
+    assert_eq!(stats["jobs"]["rejected"].as_f64(), Some(overloads as f64));
+    probe.shutdown().expect("shutdown");
+    server.join();
+}

@@ -119,6 +119,40 @@ fn step_budgets_hold() {
     }
 }
 
+/// A generous analysis budget must be invisible: running every corpus
+/// addon with a step budget far above its real step count (and an hour
+/// of deadline) must reproduce the unbudgeted signatures, verdicts, and
+/// step counts bit for bit. The budget checks may only abort the
+/// fixpoint, never perturb it.
+#[test]
+fn generous_budget_is_bit_identical() {
+    for addon in corpus::addons() {
+        let (sig, verdict, steps) = outcome(&addon, WorklistOrder::Rpo);
+        let budgeted_config = AnalysisConfig {
+            step_budget: Some(steps * 10),
+            deadline: Some(std::time::Duration::from_secs(3600)),
+            ..AnalysisConfig::default()
+        };
+        let report =
+            analyze_addon_with_config(addon.source, &budgeted_config, &FlowLattice::paper())
+                .unwrap_or_else(|e| panic!("{}: budgeted pipeline failed: {e}", addon.name));
+        let cmp = compare(
+            &report.signature,
+            &addon.manual,
+            addon.real_extra_flow,
+            addon.real_extra_sink,
+        );
+        assert_eq!(
+            report.signature.to_string(),
+            sig,
+            "{}: signature changed under a generous budget",
+            addon.name
+        );
+        assert_eq!(cmp.verdict, verdict, "{}: verdict changed", addon.name);
+        assert_eq!(report.analysis.steps, steps, "{}: step count changed", addon.name);
+    }
+}
+
 /// The headline step reductions from the RPO switch, locked for the two
 /// addons called out in the performance work: the worst case of the
 /// corpus (LivePagerank) and a typical small addon (Chess.comNotifier).
