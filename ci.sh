@@ -7,10 +7,14 @@
 #      whose step-budget table fails the build on base-analysis
 #      step-count regressions),
 #   3. a perf snapshot over the corpus, so the committed
-#      BENCH_pipeline.json can be refreshed from the CI artifact,
-#   4. a vetting-daemon smoke test over --stdio (no network needed) plus
+#      BENCH_pipeline.json can be refreshed from the CI artifact — the
+#      snapshot itself enforces the <5% no-op tracer overhead gate,
+#   4. a `vet --trace` smoke test: the emitted chrome://tracing JSON
+#      must parse and keep strict span nesting (trace_check),
+#   5. a vetting-daemon smoke test over --stdio (no network needed) plus
 #      the serve_load --check invariants (cache actually hits, cached
-#      vets are >=10x faster than cold).
+#      vets are >=10x faster than cold); the stats response must carry
+#      the metrics registry.
 set -eu
 cd "$(dirname "$0")"
 
@@ -23,9 +27,14 @@ cargo test --offline -q
 echo "==> workspace tests (incl. worklist golden + step budgets)"
 cargo test --offline --workspace -q
 
-echo "==> perf snapshot (sequential, 3 runs)"
+echo "==> perf snapshot (sequential, 3 runs; incl. tracer-overhead gate)"
 cargo build --release --offline --workspace
 ./target/release/perf_snapshot --runs 3 --sequential --out target/BENCH_pipeline.ci.json
+grep -q '"trace_overhead_pct"' target/BENCH_pipeline.ci.json
+
+echo "==> vet --trace smoke test (Perfetto JSON parses, spans nest)"
+./target/release/vet --trace target/ci_trace.json crates/corpus/addons/pinpoints.js > /dev/null
+./target/release/trace_check target/ci_trace.json
 
 echo "==> sigserve smoke test (stdio daemon: vet, stats, shutdown)"
 serve_out=$(printf '%s\n' \
@@ -35,6 +44,8 @@ serve_out=$(printf '%s\n' \
     | ./target/release/vet serve --stdio --workers 2)
 echo "$serve_out" | grep -q '"verdict":"ok"'
 echo "$serve_out" | grep -q '"kind":"stats"'
+echo "$serve_out" | grep -q '"metrics"'
+echo "$serve_out" | grep -q '"pipeline_worklist_steps"'
 echo "$serve_out" | grep -q '"kind":"shutdown_ack"'
 
 echo "==> sigserve load sanity (serve_load --check)"

@@ -29,13 +29,14 @@ fn classify(domains: &mut DomainCounts, d: &Pre) {
 }
 
 fn run_config(config: &AnalysisConfig) -> (DomainCounts, usize) {
-    let lattice = FlowLattice::paper();
     let mut counts = DomainCounts::default();
     let mut agreement = 0;
     for addon in corpus::addons() {
-        let report =
-            addon_sig::analyze_addon_with_config(addon.source, config, &lattice)
-                .expect("pipeline");
+        let report = addon_sig::Pipeline::new()
+            .config(config.clone())
+            .lattice(FlowLattice::paper())
+            .run(addon.source)
+            .expect("pipeline");
         // One domain classification per addon: its best send sink.
         let mut best: Option<Pre> = None;
         for s in &report.signature.sinks {

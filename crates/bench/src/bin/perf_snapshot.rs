@@ -6,6 +6,12 @@
 //! and writes `BENCH_pipeline.json` at the repo root — the
 //! perf-trajectory file future changes regress against.
 //!
+//! The snapshot also measures the cost of the sigtrace hooks: a corpus
+//! sweep with a no-op `Tracer` attached versus the plain pipeline, as
+//! `trace_overhead_pct`. The observability layer's contract is that an
+//! attached-but-idle tracer costs under 5%; blowing that gate fails the
+//! run (and CI).
+//!
 //! Flags:
 //! - `--runs N`       measured passes after warm-up (default 10)
 //! - `--sequential`   analyze addons one at a time instead of on
@@ -29,9 +35,9 @@ fn analyze_one(addon: &corpus::Addon) -> AddonPass {
     let report = addon_sig::analyze_addon(addon.source).expect("pipeline");
     let total = start.elapsed();
     AddonPass {
-        p1: report.p1,
-        p2: report.p2,
-        p3: report.p3,
+        p1: report.timings.p1,
+        p2: report.timings.p2,
+        p3: report.timings.p3,
         total,
         steps: report.analysis.steps,
     }
@@ -60,6 +66,41 @@ fn corpus_pass(addons: &[corpus::Addon], sequential: bool) -> (Vec<AddonPass>, D
 fn median(mut xs: Vec<Duration>) -> Duration {
     xs.sort();
     xs[xs.len() / 2]
+}
+
+/// One sequential corpus sweep, optionally with a no-op tracer attached,
+/// returning total wall-clock. Sequential keeps the comparison free of
+/// scheduler noise.
+fn sweep(addons: &[corpus::Addon], traced: bool) -> Duration {
+    let start = Instant::now();
+    for addon in addons {
+        let pipeline = addon_sig::Pipeline::new();
+        let report = if traced {
+            let mut noop = sigtrace::NoopTracer;
+            pipeline.tracer(&mut noop).run(addon.source)
+        } else {
+            pipeline.run(addon.source)
+        };
+        std::hint::black_box(report.expect("pipeline"));
+    }
+    start.elapsed()
+}
+
+/// Measures the relative cost of running the corpus with a no-op tracer
+/// attached: interleaved plain/traced sweeps (so thermal or frequency
+/// drift hits both arms equally), medians compared.
+fn trace_overhead_pct(addons: &[corpus::Addon], runs: usize) -> f64 {
+    let _ = sweep(addons, false); // warm-up, discarded
+    let _ = sweep(addons, true);
+    let mut plain: Vec<Duration> = Vec::with_capacity(runs);
+    let mut traced: Vec<Duration> = Vec::with_capacity(runs);
+    for _ in 0..runs {
+        plain.push(sweep(addons, false));
+        traced.push(sweep(addons, true));
+    }
+    let plain = median(plain);
+    let traced = median(traced);
+    (traced.as_secs_f64() - plain.as_secs_f64()) / plain.as_secs_f64() * 100.0
 }
 
 fn secs(d: Duration) -> f64 {
@@ -167,6 +208,24 @@ fn main() {
         sum_total.as_secs_f64()
     );
 
+    // Observability overhead gate: a no-op tracer attached to the
+    // pipeline must cost < 5% on a corpus sweep.
+    let overhead = trace_overhead_pct(&addons, runs.max(5));
+    doc.set(
+        "trace_overhead_pct",
+        Json::from((overhead * 100.0).round() / 100.0),
+    );
+    println!("no-op tracer overhead: {overhead:+.2}%");
+
     std::fs::write(&out, doc.to_string_pretty() + "\n").expect("write snapshot");
     println!("wrote {out}");
+
+    if overhead >= 5.0 {
+        eprintln!(
+            "FAIL: no-op tracer overhead {overhead:.2}% breaches the 5% gate; \
+             a hot loop is calling the tracer per step instead of \
+             accumulating and flushing per phase"
+        );
+        std::process::exit(1);
+    }
 }

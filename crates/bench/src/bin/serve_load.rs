@@ -1,7 +1,7 @@
 //! Load benchmark for the `sigserve` vetting daemon, std-only.
 //!
 //! Boots an in-process daemon on an ephemeral loopback port with the
-//! real pipeline (`addon_sig::service_analyze`), then measures three
+//! real pipeline (`addon_sig::service_engine`), then measures three
 //! things an addon-market deployment cares about:
 //!
 //! 1. **cold** — per-request latency with an empty cache (every corpus
@@ -126,7 +126,7 @@ fn main() {
         ..ServeConfig::default()
     };
     let server =
-        Server::bind("127.0.0.1:0", cfg, addon_sig::service_analyze).expect("bind daemon");
+        Server::bind("127.0.0.1:0", cfg, addon_sig::service_engine).expect("bind daemon");
     let addr = server.local_addr();
     println!(
         "serve_load: daemon on {addr}, {workers} workers, {} corpus addons",

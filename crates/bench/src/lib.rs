@@ -52,9 +52,9 @@ pub fn measure_addon(addon: &corpus::Addon, runs: usize) -> Table2Row {
     Table2Row {
         name: addon.name.to_owned(),
         result: cmp.verdict.to_string(),
-        p1: report.p1,
-        p2: report.p2,
-        p3: report.p3,
+        p1: report.timings.p1,
+        p2: report.timings.p2,
+        p3: report.timings.p3,
     }
 }
 

@@ -151,9 +151,33 @@ impl Default for AnalysisConfig {
     }
 }
 
+/// Which resource limit stopped the fixpoint loop.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BudgetKind {
+    /// [`AnalysisConfig::max_steps`], the analysis's own last-resort
+    /// safety valve against divergence.
+    SafetyValve,
+    /// [`AnalysisConfig::step_budget`], a caller-imposed step budget.
+    Steps,
+    /// [`AnalysisConfig::deadline`], a caller-imposed wall-clock budget.
+    Deadline,
+}
+
+impl fmt::Display for BudgetKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BudgetKind::SafetyValve => write!(f, "safety valve (max_steps)"),
+            BudgetKind::Steps => write!(f, "step budget"),
+            BudgetKind::Deadline => write!(f, "deadline"),
+        }
+    }
+}
+
 /// Why (and when) the fixpoint loop was aborted by its resource budget.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct BudgetExhausted {
+    /// Which limit tripped.
+    pub kind: BudgetKind,
     /// Worklist steps executed when the budget tripped.
     pub steps: usize,
     /// Wall time elapsed inside the fixpoint loop at that point.
@@ -161,6 +185,61 @@ pub struct BudgetExhausted {
 }
 
 impl AnalysisConfig {
+    /// Replaces the call-string depth for context sensitivity.
+    #[must_use]
+    pub fn with_context_depth(mut self, depth: usize) -> Self {
+        self.context_depth = depth;
+        self
+    }
+
+    /// Replaces the abstract string domain.
+    #[must_use]
+    pub fn with_string_domain(mut self, domain: StringDomain) -> Self {
+        self.string_domain = domain;
+        self
+    }
+
+    /// Replaces the divergence safety valve ([`AnalysisConfig::max_steps`]).
+    #[must_use]
+    pub fn with_max_steps(mut self, max_steps: usize) -> Self {
+        self.max_steps = max_steps;
+        self
+    }
+
+    /// Imposes a caller step budget ([`AnalysisConfig::step_budget`]).
+    #[must_use]
+    pub fn with_step_budget(mut self, budget: usize) -> Self {
+        self.step_budget = Some(budget);
+        self
+    }
+
+    /// Imposes a wall-clock deadline ([`AnalysisConfig::deadline`]).
+    #[must_use]
+    pub fn with_deadline(mut self, deadline: std::time::Duration) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// Replaces the worklist scheduling order.
+    #[must_use]
+    pub fn with_worklist(mut self, order: WorklistOrder) -> Self {
+        self.worklist = order;
+        self
+    }
+
+    /// Replaces the whole security configuration.
+    #[must_use]
+    pub fn with_security(mut self, security: SecurityConfig) -> Self {
+        self.security = security;
+        self
+    }
+
+    /// Replaces the set of source kinds the vetter reports flows from.
+    #[must_use]
+    pub fn with_sources(mut self, sources: impl IntoIterator<Item = SourceKind>) -> Self {
+        self.security.sources = sources.into_iter().collect();
+        self
+    }
     /// A canonical, deterministic rendering of every knob that can change
     /// what the analysis produces. The service layer hashes this together
     /// with the source bytes to form content-addressed cache keys, so two
@@ -262,24 +341,31 @@ mod tests {
         let a = AnalysisConfig::default();
         let b = AnalysisConfig::default();
         assert_eq!(a.canonical_string(), b.canonical_string());
-        let deeper = AnalysisConfig {
-            context_depth: 2,
-            ..AnalysisConfig::default()
-        };
+        let deeper = AnalysisConfig::default().with_context_depth(2);
         assert_ne!(a.canonical_string(), deeper.canonical_string());
-        let budgeted = AnalysisConfig {
-            step_budget: Some(100),
-            ..AnalysisConfig::default()
-        };
+        let budgeted = AnalysisConfig::default().with_step_budget(100);
         assert_ne!(a.canonical_string(), budgeted.canonical_string());
-        let fewer_sources = AnalysisConfig {
-            security: SecurityConfig {
-                sources: std::iter::once(SourceKind::Url).collect(),
-                ..SecurityConfig::default()
-            },
-            ..AnalysisConfig::default()
-        };
+        let fewer_sources = AnalysisConfig::default().with_sources([SourceKind::Url]);
         assert_ne!(a.canonical_string(), fewer_sources.canonical_string());
+    }
+
+    #[test]
+    fn builder_setters_replace_each_knob() {
+        let c = AnalysisConfig::default()
+            .with_context_depth(3)
+            .with_string_domain(StringDomain::ConstantOnly)
+            .with_max_steps(10)
+            .with_step_budget(5)
+            .with_deadline(std::time::Duration::from_secs(1))
+            .with_worklist(WorklistOrder::Fifo)
+            .with_sources([SourceKind::Key]);
+        assert_eq!(c.context_depth, 3);
+        assert_eq!(c.string_domain, StringDomain::ConstantOnly);
+        assert_eq!(c.max_steps, 10);
+        assert_eq!(c.step_budget, Some(5));
+        assert_eq!(c.deadline, Some(std::time::Duration::from_secs(1)));
+        assert_eq!(c.worklist, WorklistOrder::Fifo);
+        assert_eq!(c.security.sources, std::iter::once(SourceKind::Key).collect());
     }
 
     #[test]

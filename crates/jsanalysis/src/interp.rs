@@ -18,7 +18,7 @@
 //! statement appended by `jsir` (Section 6.1).
 
 use crate::config::{
-    AnalysisConfig, BudgetExhausted, SinkKind, SourceKind, StringDomain, WorklistOrder,
+    AnalysisConfig, BudgetExhausted, BudgetKind, SinkKind, SourceKind, StringDomain, WorklistOrder,
     DEADLINE_CHECK_INTERVAL,
 };
 use crate::context::{CtxId, CtxTable};
@@ -32,6 +32,7 @@ use jsir::{
     EdgeKind, IrFuncId, IrStmtKind, Lowered, Operand, Place, StmtId,
 };
 use jsparser::ast::{BinaryOp, UnaryOp};
+use sigtrace::{Counter, Counters, Trace};
 use std::cmp::Reverse;
 use std::collections::{BTreeMap, BTreeSet, BinaryHeap, HashMap, HashSet, VecDeque};
 
@@ -85,8 +86,15 @@ pub struct AnalysisResult {
     pub reachable: BTreeSet<StmtId>,
     /// The allocation-site interner (for diagnostics).
     pub sites: SiteTable,
-    /// Worklist steps executed (perf metric).
+    /// Worklist steps executed (perf metric). Deterministic for a fixed
+    /// config, but depends on the worklist order (RPO exists to shrink it).
     pub steps: usize,
+    /// Abstract-state joins performed when re-queuing an already-visited
+    /// node (perf metric; order-dependent like [`AnalysisResult::steps`]).
+    pub joins: usize,
+    /// Abstract heap objects copied by copy-on-write during this run
+    /// (perf metric; order-dependent like [`AnalysisResult::steps`]).
+    pub heap_cow_clones: u64,
     /// True if `max_steps` was hit and results are partial.
     pub hit_step_limit: bool,
     /// Set when the caller-imposed step budget or wall-clock deadline
@@ -131,6 +139,22 @@ impl AnalysisResult {
 
 /// Runs the base analysis on a lowered program.
 pub fn analyze(lowered: &Lowered, config: &AnalysisConfig) -> AnalysisResult {
+    analyze_traced(lowered, config, &mut Trace::Off)
+}
+
+/// Runs the base analysis with an observability hook: `trace` receives
+/// sub-spans (`seed` / `fixpoint` / `cycles`) and the phase counters
+/// (worklist steps, state joins, heap CoW clones).
+///
+/// The counters are accumulated in plain machine fields and flushed once
+/// at the end, so tracing adds nothing to the fixpoint loop itself; with
+/// [`Trace::Off`] the whole function is [`analyze`].
+pub fn analyze_traced(
+    lowered: &Lowered,
+    config: &AnalysisConfig,
+    trace: &mut Trace<'_>,
+) -> AnalysisResult {
+    let cow_before = jsdomains::cow_clone_count();
     let mut sites = SiteTable::new();
     let env = natives::setup(&mut sites);
     let worklist = match config.worklist {
@@ -157,14 +181,29 @@ pub fn analyze(lowered: &Lowered, config: &AnalysisConfig) -> AnalysisResult {
         ret_links: HashMap::new(),
         reachable: BTreeSet::new(),
         steps: 0,
+        joins: 0,
         site_aliases: BTreeMap::new(),
         current: None,
         transitions: BTreeSet::new(),
     };
+    trace.span_start("seed");
     m.seed();
+    trace.span_end("seed");
+    trace.span_start("fixpoint");
     let status = m.run();
+    trace.span_end("fixpoint");
     let native_names = m.env.natives.iter().map(|n| n.name).collect();
+    trace.span_start("cycles");
     let cyclic_stmts = cyclic_statements(&m.transitions);
+    trace.span_end("cycles");
+    let heap_cow_clones = jsdomains::cow_clone_count() - cow_before;
+    if trace.is_enabled() {
+        let mut counters = Counters::new();
+        counters.add(Counter::WorklistSteps, m.steps as u64);
+        counters.add(Counter::StateJoins, m.joins as u64);
+        counters.add(Counter::HeapCowClones, heap_cow_clones);
+        trace.add_counters(&counters);
+    }
     AnalysisResult {
         rw: m.rw,
         may_throw: m.may_throw,
@@ -183,6 +222,8 @@ pub fn analyze(lowered: &Lowered, config: &AnalysisConfig) -> AnalysisResult {
         reachable: m.reachable,
         sites: m.sites,
         steps: m.steps,
+        joins: m.joins,
+        heap_cow_clones,
         hit_step_limit: matches!(status, RunStatus::StepLimit),
         budget_exhausted: match status {
             RunStatus::Budget(b) => Some(b),
@@ -325,6 +366,8 @@ struct Machine<'a> {
     ret_links: HashMap<(IrFuncId, CtxId), BTreeSet<RetLink>>,
     reachable: BTreeSet<StmtId>,
     steps: usize,
+    /// Joins into an existing abstract state (see `push_state`).
+    joins: usize,
     site_aliases: BTreeMap<AllocSite, AllocSite>,
     /// The node currently being transferred (source of push_state edges).
     current: Option<CtxNode>,
@@ -361,6 +404,7 @@ impl<'a> Machine<'a> {
             if let Some(budget) = self.config.step_budget {
                 if self.steps > budget {
                     return RunStatus::Budget(BudgetExhausted {
+                        kind: BudgetKind::Steps,
                         steps: self.steps,
                         elapsed: start.expect("clock started with a budget").elapsed(),
                     });
@@ -371,6 +415,7 @@ impl<'a> Machine<'a> {
                     let elapsed = start.expect("clock started with a deadline").elapsed();
                     if elapsed > deadline {
                         return RunStatus::Budget(BudgetExhausted {
+                            kind: BudgetKind::Deadline,
                             steps: self.steps,
                             elapsed,
                         });
@@ -390,7 +435,10 @@ impl<'a> Machine<'a> {
             self.transitions.insert((cur, key));
         }
         let changed = match self.states.get_mut(&key) {
-            Some(existing) => existing.join_in_place(&state),
+            Some(existing) => {
+                self.joins += 1;
+                existing.join_in_place(&state)
+            }
             None => {
                 self.states.insert(key, state);
                 true

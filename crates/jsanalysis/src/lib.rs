@@ -39,11 +39,11 @@ pub mod rwsets;
 pub mod store;
 
 pub use config::{
-    AnalysisConfig, BudgetExhausted, SecurityConfig, SinkKind, SourceKind, StringDomain,
-    WorklistOrder, DEADLINE_CHECK_INTERVAL,
+    AnalysisConfig, BudgetExhausted, BudgetKind, SecurityConfig, SinkKind, SourceKind,
+    StringDomain, WorklistOrder, DEADLINE_CHECK_INTERVAL,
 };
 pub use context::{Context, CtxId, CtxTable};
-pub use interp::{analyze, AnalysisResult, SinkRecord};
+pub use interp::{analyze, analyze_traced, AnalysisResult, SinkRecord};
 pub use natives::{Environment, NativeBehavior, NativeSpec};
 pub use rwsets::{AccessSet, Loc, RwSets, Strength};
 pub use store::{SiteKey, SiteTable, State};

@@ -40,7 +40,7 @@ mod value;
 
 pub use consts::{BoolDom, NumDom};
 pub use lattice::{Lattice, MeetLattice};
-pub use object::{AObject, FuncIndex, Heap, NativeId, ObjKind};
+pub use object::{cow_clone_count, AObject, FuncIndex, Heap, NativeId, ObjKind};
 pub use prefix::Pre;
 pub use sym::Sym;
 pub use value::{AValue, AllocSite};

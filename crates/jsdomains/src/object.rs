@@ -246,6 +246,29 @@ pub struct Heap {
     objects: BTreeMap<AllocSite, Arc<AObject>>,
 }
 
+thread_local! {
+    /// Objects copied by copy-on-write before a mutation, on this thread.
+    /// A thread-local (not a `Heap` field) because the count is a
+    /// whole-analysis observability metric: one base-analysis run clones
+    /// heaps across thousands of program points, and each `analyze()`
+    /// call runs on a single thread. Read it with [`cow_clone_count`].
+    static COW_CLONES: std::cell::Cell<u64> = const { std::cell::Cell::new(0) };
+}
+
+/// Monotonic per-thread count of abstract objects copied by
+/// copy-on-write (an `Arc::make_mut` that found its object shared).
+/// Callers measure a region by differencing two reads.
+pub fn cow_clone_count() -> u64 {
+    COW_CLONES.with(|c| c.get())
+}
+
+/// Bumps the CoW counter if `make_mut` on this object is about to copy.
+fn note_cow(obj: &Arc<AObject>) {
+    if Arc::strong_count(obj) > 1 {
+        COW_CLONES.with(|c| c.set(c.get() + 1));
+    }
+}
+
 impl Heap {
     /// An empty heap.
     pub fn new() -> Heap {
@@ -257,6 +280,7 @@ impl Heap {
     pub fn alloc(&mut self, site: AllocSite, kind: ObjKind) -> AllocSite {
         match self.objects.get_mut(&site) {
             Some(existing) => {
+                note_cow(existing);
                 let existing = Arc::make_mut(existing);
                 existing.demote_to_summary();
                 // Fresh instance has no props: all existing props may be
@@ -281,7 +305,10 @@ impl Heap {
 
     /// Looks up an object mutably (copy-on-write).
     pub fn get_mut(&mut self, site: AllocSite) -> Option<&mut AObject> {
-        self.objects.get_mut(&site).map(Arc::make_mut)
+        self.objects.get_mut(&site).map(|obj| {
+            note_cow(obj);
+            Arc::make_mut(obj)
+        })
     }
 
     /// Iterates over all objects.
@@ -308,6 +335,7 @@ impl Heap {
                     if Arc::ptr_eq(mine, obj) {
                         continue; // identical shared object: no-op join
                     }
+                    note_cow(mine);
                     changed |= Arc::make_mut(mine).join_in_place(obj);
                 }
                 None => {
@@ -325,10 +353,12 @@ impl Heap {
     /// `from` is unallocated and may be re-bound to a fresh instance.
     pub fn rename_site(&mut self, from: AllocSite, to: AllocSite) {
         if let Some(old) = self.objects.remove(&from) {
+            note_cow(&old);
             let mut old = Arc::unwrap_or_clone(old);
             old.demote_to_summary();
             match self.objects.get_mut(&to) {
                 Some(summary) => {
+                    note_cow(summary);
                     Arc::make_mut(summary).join_in_place(&old);
                 }
                 None => {
@@ -344,6 +374,7 @@ impl Heap {
             if !holds {
                 continue;
             }
+            note_cow(obj);
             let obj = Arc::make_mut(obj);
             for v in obj.props.values_mut() {
                 v.rename_site(from, to);

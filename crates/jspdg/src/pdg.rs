@@ -1,12 +1,13 @@
 //! The annotated Program Dependence Graph (Section 3): the union of the
 //! annotated DDG and the staged, annotated CDG.
 
-use crate::annotation::Annotation;
+use crate::annotation::{Annotation, CtrlKind};
 use crate::cdg::{build_cdg, CtrlDep};
 use crate::ddg::{build_ddg, DataDep};
 use crate::supergraph::SuperGraph;
 use jsanalysis::AnalysisResult;
 use jsir::{Lowered, StmtId};
+use sigtrace::{Counter, Counters, Trace};
 use std::collections::{BTreeMap, BTreeSet};
 
 /// One annotated PDG edge.
@@ -31,18 +32,24 @@ pub struct Pdg {
 impl Pdg {
     /// Builds the annotated PDG for an analyzed program.
     pub fn build(lowered: &Lowered, analysis: &AnalysisResult) -> Pdg {
-        let sg = SuperGraph::build(lowered, analysis);
-        Pdg::build_with_supergraph(lowered, analysis, &sg)
+        Pdg::build_traced(lowered, analysis, &mut Trace::Off)
     }
 
-    /// Builds the PDG when the supergraph is already available.
-    pub fn build_with_supergraph(
+    /// Builds the annotated PDG with an observability hook: `trace`
+    /// receives the stage sub-spans (`supergraph` / `ddg` / `cdg`) and
+    /// the per-kind edge counters. With [`Trace::Off`] this is
+    /// [`Pdg::build`].
+    pub fn build_traced(
         lowered: &Lowered,
         analysis: &AnalysisResult,
-        sg: &SuperGraph,
+        trace: &mut Trace<'_>,
     ) -> Pdg {
+        trace.span_start("supergraph");
+        let sg = SuperGraph::build(lowered, analysis);
+        trace.span_end("supergraph");
         let mut pdg = Pdg::default();
-        for DataDep { from, to, strong } in build_ddg(sg, analysis) {
+        trace.span_start("ddg");
+        for DataDep { from, to, strong } in build_ddg(&sg, analysis) {
             pdg.add(
                 from,
                 to,
@@ -53,11 +60,42 @@ impl Pdg {
                 },
             );
         }
-        for dep in build_cdg(lowered, analysis, sg) {
+        trace.span_end("ddg");
+        trace.span_start("cdg");
+        for dep in build_cdg(lowered, analysis, &sg) {
             let CtrlDep { from, to, .. } = dep;
             pdg.add(from, to, dep.annotation());
         }
+        trace.span_end("cdg");
+        if trace.is_enabled() {
+            trace.add_counters(&pdg.edge_kind_counters());
+        }
         pdg
+    }
+
+    /// Tallies the PDG's edges into the per-kind [`Counters`]. These
+    /// counts measure the fixpoint's *output*, so they are identical
+    /// across worklist orders (unlike the phase-1 step counters).
+    pub fn edge_kind_counters(&self) -> Counters {
+        let mut counters = Counters::new();
+        for e in &self.edges {
+            let c = match e.ann {
+                Annotation::DataStrong => Counter::PdgDataStrongEdges,
+                Annotation::DataWeak => Counter::PdgDataWeakEdges,
+                Annotation::Ctrl { kind: CtrlKind::Local, .. } => Counter::PdgCtrlLocalEdges,
+                Annotation::Ctrl { kind: CtrlKind::NonLocExp, .. } => {
+                    Counter::PdgCtrlNonLocExpEdges
+                }
+                Annotation::Ctrl { kind: CtrlKind::NonLocImp, .. } => {
+                    Counter::PdgCtrlNonLocImpEdges
+                }
+            };
+            counters.add(c, 1);
+            if matches!(e.ann, Annotation::Ctrl { amp: true, .. }) {
+                counters.add(Counter::PdgCtrlAmplifiedEdges, 1);
+            }
+        }
+        counters
     }
 
     /// Adds an edge (idempotent).

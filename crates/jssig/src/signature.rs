@@ -10,9 +10,24 @@
 use crate::flowtype::FlowType;
 use jsanalysis::{SinkKind, SourceKind};
 use jsdomains::Pre;
+use jsir::StmtId;
 use jsparser::Span;
+use jspdg::Annotation;
 use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
+
+/// One step of a flow entry's PDG provenance: the statement the flow
+/// passes through, its source line, and the annotation of the PDG edge
+/// the flow leaves it on (`None` on the sink itself).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub struct ProvenanceStep {
+    /// The statement on the path.
+    pub stmt: StmtId,
+    /// Its line in the addon source (1-based).
+    pub line: u32,
+    /// Annotation of the outgoing edge (`None` at the path's end).
+    pub edge: Option<Annotation>,
+}
 
 /// A sink as it appears in a signature: its kind plus, for network sends
 /// and script loads, the inferred domain from the prefix string domain.
@@ -66,6 +81,11 @@ pub struct Signature {
     /// Source-code witnesses for each flow entry: (source span, sink span)
     /// pairs, for the vetter's benefit.
     pub witnesses: BTreeMap<FlowEntry, Vec<(Span, Span)>>,
+    /// PDG provenance for each flow entry: the statement path (with edge
+    /// annotations) that first established the entry's flow type during
+    /// propagation. Rendered by `vet --explain`; deterministic for a
+    /// fixed source and configuration.
+    pub provenance: BTreeMap<FlowEntry, Vec<ProvenanceStep>>,
 }
 
 impl Signature {
@@ -134,6 +154,24 @@ impl Signature {
                     })
                     .unwrap_or_default();
                 o.set("witness_lines", Json::Arr(lines));
+                if let Some(path) = self.provenance.get(e) {
+                    let steps: Vec<Json> = path
+                        .iter()
+                        .map(|step| {
+                            let mut s = Json::obj();
+                            s.set("line", Json::from(step.line));
+                            s.set(
+                                "edge",
+                                match step.edge {
+                                    Some(a) => Json::from(a.to_string()),
+                                    None => Json::Null,
+                                },
+                            );
+                            s
+                        })
+                        .collect();
+                    o.set("path", Json::Arr(steps));
+                }
                 o
             })
             .collect();

@@ -20,26 +20,30 @@
 //! - reports what it is doing through monotone counters ([`stats`]).
 //!
 //! The analysis pipeline itself is injected as an [`AnalyzeFn`] so this
-//! crate depends only on `jsanalysis` (for configuration types) and the
-//! in-tree `minijson`; the root `addon-sig` crate supplies the real
-//! pipeline (`addon_sig::service_analyze`) and the `vet serve` / `vet
-//! --client` CLI entry points.
+//! crate depends only on `jsanalysis` (for configuration types),
+//! `sigtrace` (timings and the metrics registry) and the in-tree
+//! `minijson`; the root `addon-sig` crate supplies the real pipeline
+//! (`addon_sig::service_engine`) and the `vet serve` / `vet --client`
+//! CLI entry points.
 //!
 //! # In-process example
 //!
 //! ```
 //! use jsanalysis::AnalysisConfig;
-//! use sigserve::{Client, ServeConfig, Server, VetOutcome};
+//! use sigserve::{Client, MetricsRegistry, ServeConfig, Server, VetOutcome};
+//! use sigserve::PhaseTimings;
 //! use std::time::Duration;
 //!
-//! // A stub engine; real deployments pass `addon_sig::service_analyze`.
-//! fn analyze(_source: &str, _config: &AnalysisConfig) -> VetOutcome {
-//!     VetOutcome::Report {
-//!         signature_json: "{\n  \"flows\": []\n}".to_owned(),
-//!         p1: Duration::from_micros(10),
-//!         p2: Duration::from_micros(5),
-//!         p3: Duration::from_micros(1),
-//!     }
+//! // A stub engine; real deployments pass `addon_sig::service_engine`.
+//! fn analyze(_source: &str, _config: &AnalysisConfig, _metrics: &MetricsRegistry) -> VetOutcome {
+//!     VetOutcome::report(
+//!         "{\n  \"flows\": []\n}".to_owned(),
+//!         PhaseTimings::new(
+//!             Duration::from_micros(10),
+//!             Duration::from_micros(5),
+//!             Duration::from_micros(1),
+//!         ),
+//!     )
 //! }
 //!
 //! let server = Server::bind("127.0.0.1:0", ServeConfig::default(), analyze)?;
@@ -66,28 +70,36 @@ pub use client::Client;
 pub use protocol::{parse_request, Request, Source, VetItem};
 pub use queue::{Bounded, PushError};
 pub use server::{serve_stdio, ServeConfig, Server};
-pub use stats::Stats;
+pub use stats::{metrics_json, Stats};
+/// Re-exported from `sigtrace`: the metrics registry every worker feeds
+/// and the phase-timing triple `VetOutcome::Report` carries.
+pub use sigtrace::{MetricsRegistry, MetricsSnapshot, PhaseTimings};
 
+use minijson::Json;
 use std::time::Duration;
 
 /// What one run of the injected analysis pipeline produced.
+///
+/// The variants are `#[non_exhaustive]`: construct them through
+/// [`VetOutcome::report`] / [`VetOutcome::timeout`] /
+/// [`VetOutcome::error`], and let [`VetOutcome::core_json`] do the
+/// protocol encoding, so the wire format lives in exactly one place.
 #[derive(Debug, Clone)]
+#[non_exhaustive]
 pub enum VetOutcome {
     /// The pipeline finished; `signature_json` is the exact document the
     /// CLI's `--json` mode prints (`Signature::to_json()`), so cached and
     /// fresh service responses reproduce the CLI's bytes.
+    #[non_exhaustive]
     Report {
         /// The signature JSON document.
         signature_json: String,
-        /// Phase 1 (base analysis) wall time.
-        p1: Duration,
-        /// Phase 2 (PDG construction) wall time.
-        p2: Duration,
-        /// Phase 3 (signature inference) wall time.
-        p3: Duration,
+        /// Per-phase wall times (the paper's Table 2 columns).
+        timings: PhaseTimings,
     },
     /// The analysis budget (step or wall-clock) was exhausted; the
     /// daemon reports `verdict:"timeout"` and keeps the worker.
+    #[non_exhaustive]
     Timeout {
         /// Worklist steps executed when the budget tripped.
         steps: usize,
@@ -95,12 +107,85 @@ pub enum VetOutcome {
         elapsed: Duration,
     },
     /// The pipeline failed (parse error, step-limit safety valve, ...).
+    #[non_exhaustive]
     Error {
         /// Human-readable failure description.
         message: String,
     },
 }
 
+impl VetOutcome {
+    /// A successful vetting: the signature document plus phase timings.
+    pub fn report(signature_json: String, timings: PhaseTimings) -> VetOutcome {
+        VetOutcome::Report {
+            signature_json,
+            timings,
+        }
+    }
+
+    /// A budget-exhausted (degraded) vetting.
+    pub fn timeout(steps: usize, elapsed: Duration) -> VetOutcome {
+        VetOutcome::Timeout { steps, elapsed }
+    }
+
+    /// A failed vetting.
+    pub fn error(message: impl Into<String>) -> VetOutcome {
+        VetOutcome::Error {
+            message: message.into(),
+        }
+    }
+
+    /// The protocol "core" of this outcome: the verdict-bearing object
+    /// cached and embedded into `vet_result` responses. This is the one
+    /// place outcomes are encoded; the timing keys stay the flat
+    /// `p1_us`/`p2_us`/`p3_us` the protocol has always used.
+    pub fn core_json(&self) -> Json {
+        let mut core = Json::obj();
+        match self {
+            VetOutcome::Report {
+                signature_json,
+                timings,
+            } => {
+                core.set("verdict", Json::from("ok"));
+                core.set("p1_us", Json::from(timings.p1.as_micros() as f64));
+                core.set("p2_us", Json::from(timings.p2.as_micros() as f64));
+                core.set("p3_us", Json::from(timings.p3.as_micros() as f64));
+                let sig = Json::parse(signature_json)
+                    .unwrap_or_else(|_| Json::Str(signature_json.clone()));
+                core.set("signature", sig);
+            }
+            VetOutcome::Timeout { steps, elapsed } => {
+                core.set("verdict", Json::from("timeout"));
+                core.set("steps", Json::from(*steps as f64));
+                core.set("elapsed_us", Json::from(elapsed.as_micros() as f64));
+            }
+            VetOutcome::Error { message } => {
+                core.set("verdict", Json::from("error"));
+                core.set("message", Json::from(message.as_str()));
+            }
+        }
+        core
+    }
+
+    /// Whether this outcome may be served from cache on resubmission.
+    /// Deadline-based timeouts are not cacheable: they depend on machine
+    /// load, so a later identical submission deserves a fresh attempt,
+    /// while step-budget timeouts are deterministic and cache fine.
+    pub fn cacheable(&self, config: &jsanalysis::AnalysisConfig) -> bool {
+        match self {
+            VetOutcome::Report { .. } | VetOutcome::Error { .. } => true,
+            VetOutcome::Timeout { steps, .. } => {
+                // Deterministic iff the step budget (not the wall clock)
+                // tripped.
+                config.step_budget.is_some_and(|budget| *steps > budget)
+            }
+        }
+    }
+}
+
 /// The injected analysis pipeline: full vetting of one source under one
-/// configuration. Must be callable from many worker threads at once.
-pub type AnalyzeFn = dyn Fn(&str, &jsanalysis::AnalysisConfig) -> VetOutcome + Send + Sync;
+/// configuration, folding whatever it wants to expose (pipeline
+/// counters, per-phase latencies) into the daemon's metrics registry.
+/// Must be callable from many worker threads at once.
+pub type AnalyzeFn =
+    dyn Fn(&str, &jsanalysis::AnalysisConfig, &MetricsRegistry) -> VetOutcome + Send + Sync;

@@ -23,8 +23,8 @@ use crate::protocol::{
     error_response, overloaded_response, parse_request, vet_response, Request, Source, VetItem,
 };
 use crate::queue::{Bounded, PushError};
-use crate::stats::Stats;
-use crate::{AnalyzeFn, VetOutcome};
+use crate::stats::{metrics_json, Stats};
+use crate::{AnalyzeFn, MetricsRegistry, VetOutcome};
 use jsanalysis::AnalysisConfig;
 use minijson::Json;
 use std::io::{self, BufRead, BufReader, Write};
@@ -47,6 +47,10 @@ pub struct ServeConfig {
     /// The analysis configuration every job runs under, including the
     /// `step_budget` / `deadline` robustness knobs.
     pub analysis: AnalysisConfig,
+    /// Dump the metrics-registry snapshot to stderr when the daemon
+    /// shuts down (default `false`; `vet serve` turns it on). Off by
+    /// default so embedded servers — tests, benches — stay quiet.
+    pub dump_metrics_on_shutdown: bool,
 }
 
 impl Default for ServeConfig {
@@ -57,6 +61,7 @@ impl Default for ServeConfig {
             cache_cap: 1024,
             queue_cap: workers * 8,
             analysis: AnalysisConfig::default(),
+            dump_metrics_on_shutdown: false,
         }
     }
 }
@@ -78,8 +83,10 @@ struct Shared {
     queue: Bounded<Job>,
     cache: Mutex<SigCache>,
     stats: Stats,
+    metrics: MetricsRegistry,
     analyze: Box<AnalyzeFn>,
     shutting_down: AtomicBool,
+    dump_metrics_on_shutdown: bool,
     /// Bound address in TCP mode; used to poke the blocked acceptor on
     /// shutdown. `None` in stdio mode.
     addr: Option<SocketAddr>,
@@ -93,9 +100,11 @@ impl Shared {
             queue: Bounded::new(cfg.queue_cap.max(1)),
             cache: Mutex::new(SigCache::new(cfg.cache_cap)),
             stats: Stats::default(),
+            metrics: MetricsRegistry::new(),
             analysis: cfg.analysis,
             analyze,
             shutting_down: AtomicBool::new(false),
+            dump_metrics_on_shutdown: cfg.dump_metrics_on_shutdown,
             addr,
         }
     }
@@ -105,12 +114,24 @@ impl Shared {
     }
 
     fn stats_body(&self) -> Json {
-        self.stats.snapshot(
+        let mut body = self.stats.snapshot(
             self.lock_cache().counters(),
             self.workers,
             self.queue.len(),
             self.queue.capacity(),
-        )
+        );
+        body.set("metrics", metrics_json(&self.metrics.snapshot()));
+        body
+    }
+
+    /// The shutdown dump: one compact JSON line on stderr so a service
+    /// operator gets the full registry even without a final `stats`
+    /// round-trip. Gated by `ServeConfig::dump_metrics_on_shutdown`.
+    fn maybe_dump_metrics(&self) {
+        if self.dump_metrics_on_shutdown {
+            let snap = metrics_json(&self.metrics.snapshot());
+            eprintln!("sigserve metrics: {}", snap.to_string_compact());
+        }
     }
 }
 
@@ -120,45 +141,27 @@ impl Shared {
 /// step-budget timeouts are deterministic and cache fine.
 fn compute(shared: &Shared, key: u64, source: &str) -> Json {
     let t0 = Instant::now();
-    let outcome = (shared.analyze)(source, &shared.analysis);
-    shared.stats.record_vet(t0.elapsed());
-    let mut core = Json::obj();
-    let cacheable = match outcome {
-        VetOutcome::Report {
-            signature_json,
-            p1,
-            p2,
-            p3,
-        } => {
-            shared.stats.record_phases(p1, p2, p3);
-            core.set("verdict", Json::from("ok"));
-            core.set("p1_us", Json::from(p1.as_micros() as f64));
-            core.set("p2_us", Json::from(p2.as_micros() as f64));
-            core.set("p3_us", Json::from(p3.as_micros() as f64));
-            let sig = Json::parse(&signature_json)
-                .unwrap_or_else(|_| Json::Str(signature_json.clone()));
-            core.set("signature", sig);
-            true
+    let outcome = (shared.analyze)(source, &shared.analysis, &shared.metrics);
+    let vet = t0.elapsed();
+    shared.stats.record_vet(vet);
+    shared
+        .metrics
+        .record("serve_vet_us", vet.as_micros().min(u128::from(u64::MAX)) as u64);
+    match &outcome {
+        VetOutcome::Report { timings, .. } => {
+            shared.stats.record_phases(timings.p1, timings.p2, timings.p3);
         }
-        VetOutcome::Timeout { steps, elapsed } => {
+        VetOutcome::Timeout { .. } => {
             Stats::incr(&shared.stats.budget_aborts);
-            core.set("verdict", Json::from("timeout"));
-            core.set("steps", Json::from(steps as f64));
-            core.set("elapsed_us", Json::from(elapsed.as_micros() as f64));
-            // Deterministic iff the step budget (not the wall clock) tripped.
-            shared
-                .analysis
-                .step_budget
-                .is_some_and(|budget| steps > budget)
+            shared.metrics.add("serve_budget_aborts", 1);
         }
-        VetOutcome::Error { message } => {
+        VetOutcome::Error { .. } => {
             Stats::incr(&shared.stats.analysis_errors);
-            core.set("verdict", Json::from("error"));
-            core.set("message", Json::from(message));
-            true
+            shared.metrics.add("serve_analysis_errors", 1);
         }
-    };
-    if cacheable {
+    }
+    let core = outcome.core_json();
+    if outcome.cacheable(&shared.analysis) {
         shared.lock_cache().insert(key, core.clone());
     }
     core
@@ -216,6 +219,7 @@ fn submit_vet(shared: &Shared, item: VetItem) -> PendingVet {
     };
     let key = cache_key(&source, &shared.config_canon);
     if let Some(core) = shared.lock_cache().get(key) {
+        shared.metrics.add("serve_cache_hits", 1);
         return PendingVet::Ready(vet_response(
             &core,
             name.as_deref(),
@@ -223,6 +227,7 @@ fn submit_vet(shared: &Shared, item: VetItem) -> PendingVet {
             t0.elapsed().as_micros(),
         ));
     }
+    shared.metrics.add("serve_cache_misses", 1);
     let (tx, rx) = mpsc::channel();
     match shared.queue.try_push(Job {
         key,
@@ -231,6 +236,9 @@ fn submit_vet(shared: &Shared, item: VetItem) -> PendingVet {
     }) {
         Ok(_) => {
             Stats::incr(&shared.stats.jobs_accepted);
+            shared
+                .metrics
+                .record("serve_queue_depth", shared.queue.len() as u64);
             PendingVet::Waiting { name, rx, t0 }
         }
         Err(PushError::Full(_)) => {
@@ -366,7 +374,7 @@ impl Server {
     /// the worker pool and the acceptor, and returns immediately.
     pub fn bind<F>(addr: &str, cfg: ServeConfig, analyze: F) -> io::Result<Server>
     where
-        F: Fn(&str, &AnalysisConfig) -> VetOutcome + Send + Sync + 'static,
+        F: Fn(&str, &AnalysisConfig, &MetricsRegistry) -> VetOutcome + Send + Sync + 'static,
     {
         let listener = TcpListener::bind(addr)?;
         let local = listener.local_addr()?;
@@ -430,6 +438,13 @@ impl Server {
         for w in self.workers {
             let _ = w.join();
         }
+        self.shared.maybe_dump_metrics();
+    }
+
+    /// A snapshot of the daemon's metrics registry for in-process
+    /// harnesses (the bench tool), without a protocol round-trip.
+    pub fn metrics_snapshot(&self) -> crate::MetricsSnapshot {
+        self.shared.metrics.snapshot()
     }
 }
 
@@ -447,7 +462,7 @@ fn handle_conn(shared: &Shared, stream: TcpStream) {
 /// request or stdin EOF, with all accepted jobs completed.
 pub fn serve_stdio<F>(cfg: ServeConfig, analyze: F) -> io::Result<()>
 where
-    F: Fn(&str, &AnalysisConfig) -> VetOutcome + Send + Sync + 'static,
+    F: Fn(&str, &AnalysisConfig, &MetricsRegistry) -> VetOutcome + Send + Sync + 'static,
 {
     let shared = Arc::new(Shared::new(cfg, Box::new(analyze), None));
     let workers = spawn_workers(&shared);
@@ -456,6 +471,7 @@ where
     for w in workers {
         let _ = w.join();
     }
+    shared.maybe_dump_metrics();
     result.map(|_| ())
 }
 
@@ -466,23 +482,21 @@ mod tests {
 
     /// A fast stub engine: "ok" for anything, "timeout" for sources
     /// containing the marker, error for sources containing "!".
-    fn stub(source: &str, _config: &AnalysisConfig) -> VetOutcome {
+    fn stub(source: &str, _config: &AnalysisConfig, metrics: &MetricsRegistry) -> VetOutcome {
+        metrics.add("stub_calls", 1);
         if source.contains("@timeout") {
-            VetOutcome::Timeout {
-                steps: 999,
-                elapsed: Duration::from_micros(77),
-            }
+            VetOutcome::timeout(999, Duration::from_micros(77))
         } else if source.contains('!') {
-            VetOutcome::Error {
-                message: "stub parse error".to_owned(),
-            }
+            VetOutcome::error("stub parse error")
         } else {
-            VetOutcome::Report {
-                signature_json: format!("{{\n  \"len\": {}\n}}", source.len()),
-                p1: Duration::from_micros(30),
-                p2: Duration::from_micros(20),
-                p3: Duration::from_micros(10),
-            }
+            VetOutcome::report(
+                format!("{{\n  \"len\": {}\n}}", source.len()),
+                crate::PhaseTimings::new(
+                    Duration::from_micros(30),
+                    Duration::from_micros(20),
+                    Duration::from_micros(10),
+                ),
+            )
         }
     }
 
@@ -584,9 +598,8 @@ mod tests {
         cfg.analysis.step_budget = Some(10);
         let shared = Shared::new(
             cfg,
-            Box::new(|_: &str, _: &AnalysisConfig| VetOutcome::Timeout {
-                steps: 11,
-                elapsed: Duration::from_micros(5),
+            Box::new(|_: &str, _: &AnalysisConfig, _: &MetricsRegistry| {
+                VetOutcome::timeout(11, Duration::from_micros(5))
             }),
             None,
         );
@@ -608,6 +621,16 @@ mod tests {
         let stats = client.stats().unwrap();
         assert_eq!(stats["cache"]["hits"].as_f64(), Some(1.0));
         assert_eq!(stats["jobs"]["completed"].as_f64(), Some(1.0));
+        // The metrics registry rides along in every stats response: the
+        // daemon's own counters plus whatever the engine recorded.
+        let metrics = &stats["metrics"];
+        assert_eq!(metrics["counters"]["serve_cache_hits"].as_f64(), Some(1.0));
+        assert_eq!(metrics["counters"]["serve_cache_misses"].as_f64(), Some(1.0));
+        assert_eq!(metrics["counters"]["stub_calls"].as_f64(), Some(1.0));
+        assert_eq!(
+            metrics["histograms"]["serve_vet_us"]["count"].as_f64(),
+            Some(1.0)
+        );
         let ack = client.shutdown().unwrap();
         assert_eq!(ack["kind"], "shutdown_ack");
         assert_eq!(ack["stats"]["jobs"]["accepted"].as_f64(), Some(1.0));

@@ -9,8 +9,49 @@
 
 use crate::cache::CacheCounters;
 use minijson::Json;
+use sigtrace::{HistogramSnapshot, MetricsSnapshot};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
+
+/// Serializes a metrics-registry snapshot for the `stats` response (and
+/// the shutdown dump): counters as a flat name→value object, histograms
+/// as `{count, sum, buckets}` where `buckets` lists only the occupied
+/// log₂ buckets as `[exclusive_upper_bound_or_null, count]` pairs.
+pub fn metrics_json(snap: &MetricsSnapshot) -> Json {
+    let mut counters = Json::obj();
+    for (name, v) in &snap.counters {
+        counters.set(name, Json::from(*v as f64));
+    }
+    let mut histograms = Json::obj();
+    for h in &snap.histograms {
+        histograms.set(&h.name, histogram_json(h));
+    }
+    let mut body = Json::obj();
+    body.set("counters", counters);
+    body.set("histograms", histograms);
+    body
+}
+
+fn histogram_json(h: &HistogramSnapshot) -> Json {
+    let mut o = Json::obj();
+    o.set("count", Json::from(h.count as f64));
+    o.set("sum", Json::from(h.sum as f64));
+    let buckets: Vec<Json> = h
+        .buckets
+        .iter()
+        .enumerate()
+        .filter(|(_, &c)| c != 0)
+        .map(|(i, &c)| {
+            let limit = match HistogramSnapshot::bucket_limit(i) {
+                Some(l) => Json::from(l as f64),
+                None => Json::Null,
+            };
+            Json::Arr(vec![limit, Json::from(c as f64)])
+        })
+        .collect();
+    o.set("buckets", Json::Arr(buckets));
+    o
+}
 
 /// Job, abort, and per-phase timing counters.
 #[derive(Debug, Default)]
@@ -107,6 +148,23 @@ impl Stats {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use sigtrace::MetricsRegistry;
+
+    #[test]
+    fn metrics_json_renders_counters_and_sparse_buckets() {
+        let reg = MetricsRegistry::new();
+        reg.add("serve_cache_hits", 3);
+        reg.record("serve_vet_us", 0);
+        reg.record("serve_vet_us", 100);
+        let body = metrics_json(&reg.snapshot());
+        assert_eq!(body["counters"]["serve_cache_hits"].as_f64(), Some(3.0));
+        let h = &body["histograms"]["serve_vet_us"];
+        assert_eq!(h["count"].as_f64(), Some(2.0));
+        assert_eq!(h["sum"].as_f64(), Some(100.0));
+        let buckets = h["buckets"].as_array().unwrap();
+        assert_eq!(buckets.len(), 2, "only occupied buckets are listed");
+        assert_eq!(buckets[0].as_array().unwrap()[1].as_f64(), Some(1.0));
+    }
 
     #[test]
     fn snapshot_reflects_counters() {

@@ -1,0 +1,259 @@
+//! A process-wide metrics registry for the vetting daemon: named
+//! monotonic counters and fixed log₂-bucket histograms.
+//!
+//! The registry is shared across worker threads. Lookups take a brief
+//! `Mutex` on the name table, but the returned handles are `Arc`-shared
+//! atomics, so steady-state recording is lock-free — workers resolve
+//! their handles once (or use the convenience methods, whose lock is
+//! still far off any analysis hot path).
+
+use crate::counter::Counters;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Number of histogram buckets. Bucket `i > 0` counts values `v` with
+/// `2^(i-1) <= v < 2^i`; bucket 0 counts `v == 0`; the last bucket
+/// absorbs everything `>= 2^(HISTOGRAM_BUCKETS-2)` (with microsecond
+/// values, that is ≳ 18 minutes — effectively "too long").
+pub const HISTOGRAM_BUCKETS: usize = 32;
+
+/// A histogram with fixed log₂-scale buckets plus exact count and sum.
+///
+/// All fields are atomics: recording is a relaxed fetch-add, and two
+/// histograms recorded on different threads merge by addition (see
+/// [`HistogramSnapshot::merge`]).
+#[derive(Debug, Default)]
+pub struct Histogram {
+    count: AtomicU64,
+    sum: AtomicU64,
+    buckets: [AtomicU64; HISTOGRAM_BUCKETS],
+}
+
+/// The bucket a value falls into.
+fn bucket_index(v: u64) -> usize {
+    if v == 0 {
+        0
+    } else {
+        ((v.ilog2() as usize) + 1).min(HISTOGRAM_BUCKETS - 1)
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Histogram {
+        Histogram::default()
+    }
+
+    /// Records one observation.
+    pub fn record(&self, v: u64) {
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+        self.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A point-in-time copy of the histogram.
+    pub fn snapshot(&self, name: &str) -> HistogramSnapshot {
+        HistogramSnapshot {
+            name: name.to_owned(),
+            count: self.count.load(Ordering::Relaxed),
+            sum: self.sum.load(Ordering::Relaxed),
+            buckets: std::array::from_fn(|i| self.buckets[i].load(Ordering::Relaxed)),
+        }
+    }
+}
+
+/// A point-in-time copy of one [`Histogram`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Registry name of the histogram.
+    pub name: String,
+    /// Total number of observations.
+    pub count: u64,
+    /// Sum of all observed values (mean = `sum / count`).
+    pub sum: u64,
+    /// Per-bucket observation counts (see [`HISTOGRAM_BUCKETS`]).
+    pub buckets: [u64; HISTOGRAM_BUCKETS],
+}
+
+impl HistogramSnapshot {
+    /// Exclusive upper bound of bucket `i` (`None` for the overflow
+    /// bucket).
+    pub fn bucket_limit(i: usize) -> Option<u64> {
+        if i + 1 >= HISTOGRAM_BUCKETS {
+            None
+        } else {
+            Some(1u64 << i)
+        }
+    }
+
+    /// Merges another snapshot of the *same* metric into this one
+    /// (pointwise addition; snapshots from different threads or
+    /// processes combine losslessly because the buckets are fixed).
+    pub fn merge(&mut self, other: &HistogramSnapshot) {
+        self.count += other.count;
+        self.sum += other.sum;
+        for (b, o) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *b += o;
+        }
+    }
+}
+
+/// A point-in-time copy of a whole [`MetricsRegistry`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct MetricsSnapshot {
+    /// `(name, value)` for every registered counter, name-sorted.
+    pub counters: Vec<(String, u64)>,
+    /// Snapshot of every registered histogram, name-sorted.
+    pub histograms: Vec<HistogramSnapshot>,
+}
+
+/// Named monotonic counters and histograms, shared across threads.
+#[derive(Debug, Default)]
+pub struct MetricsRegistry {
+    counters: Mutex<BTreeMap<String, Arc<AtomicU64>>>,
+    histograms: Mutex<BTreeMap<String, Arc<Histogram>>>,
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub fn new() -> MetricsRegistry {
+        MetricsRegistry::default()
+    }
+
+    /// Handle to the counter named `name`, creating it at zero. Cache
+    /// the handle when recording from a hot loop.
+    pub fn counter(&self, name: &str) -> Arc<AtomicU64> {
+        let mut counters = self.counters.lock().unwrap_or_else(|e| e.into_inner());
+        match counters.get(name) {
+            Some(c) => Arc::clone(c),
+            None => {
+                let c = Arc::new(AtomicU64::new(0));
+                counters.insert(name.to_owned(), Arc::clone(&c));
+                c
+            }
+        }
+    }
+
+    /// Adds `delta` to the counter named `name`.
+    pub fn add(&self, name: &str, delta: u64) {
+        self.counter(name).fetch_add(delta, Ordering::Relaxed);
+    }
+
+    /// Handle to the histogram named `name`, creating it empty.
+    pub fn histogram(&self, name: &str) -> Arc<Histogram> {
+        let mut histograms = self.histograms.lock().unwrap_or_else(|e| e.into_inner());
+        match histograms.get(name) {
+            Some(h) => Arc::clone(h),
+            None => {
+                let h = Arc::new(Histogram::new());
+                histograms.insert(name.to_owned(), Arc::clone(&h));
+                h
+            }
+        }
+    }
+
+    /// Records one observation into the histogram named `name`.
+    pub fn record(&self, name: &str, v: u64) {
+        self.histogram(name).record(v);
+    }
+
+    /// Folds one pipeline run's [`Counters`] into the registry, keyed
+    /// by [`Counter::name`](crate::Counter::name) under a `pipeline_`
+    /// prefix.
+    pub fn merge_counters(&self, counters: &Counters) {
+        for (c, v) in counters.iter() {
+            if v != 0 {
+                self.add(&format!("pipeline_{}", c.name()), v);
+            }
+        }
+    }
+
+    /// A point-in-time copy of every metric.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let counters = {
+            let map = self.counters.lock().unwrap_or_else(|e| e.into_inner());
+            map.iter()
+                .map(|(name, c)| (name.clone(), c.load(Ordering::Relaxed)))
+                .collect()
+        };
+        let histograms = {
+            let map = self.histograms.lock().unwrap_or_else(|e| e.into_inner());
+            map.iter().map(|(name, h)| h.snapshot(name)).collect()
+        };
+        MetricsSnapshot { counters, histograms }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Counter;
+
+    #[test]
+    fn bucket_index_is_log2_with_zero_and_overflow_buckets() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 1);
+        assert_eq!(bucket_index(2), 2);
+        assert_eq!(bucket_index(3), 2);
+        assert_eq!(bucket_index(4), 3);
+        assert_eq!(bucket_index(1023), 10);
+        assert_eq!(bucket_index(1024), 11);
+        assert_eq!(bucket_index(u64::MAX), HISTOGRAM_BUCKETS - 1);
+        assert_eq!(HistogramSnapshot::bucket_limit(0), Some(1));
+        assert_eq!(HistogramSnapshot::bucket_limit(10), Some(1024));
+        assert_eq!(HistogramSnapshot::bucket_limit(HISTOGRAM_BUCKETS - 1), None);
+    }
+
+    #[test]
+    fn histogram_counts_sums_and_merges() {
+        let h = Histogram::new();
+        for v in [0, 1, 3, 1000, 1_000_000] {
+            h.record(v);
+        }
+        let snap = h.snapshot("lat_us");
+        assert_eq!(snap.count, 5);
+        assert_eq!(snap.sum, 1_001_004);
+        assert_eq!(snap.buckets.iter().sum::<u64>(), 5);
+        assert_eq!(snap.buckets[0], 1);
+
+        let mut merged = snap.clone();
+        merged.merge(&snap);
+        assert_eq!(merged.count, 10);
+        assert_eq!(merged.sum, 2_002_008);
+        assert_eq!(merged.buckets[0], 2);
+    }
+
+    #[test]
+    fn registry_is_shared_across_threads() {
+        let reg = MetricsRegistry::new();
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    for i in 0..100 {
+                        reg.add("vets", 1);
+                        reg.record("lat_us", i);
+                    }
+                });
+            }
+        });
+        let snap = reg.snapshot();
+        assert_eq!(snap.counters, vec![("vets".to_owned(), 400)]);
+        assert_eq!(snap.histograms.len(), 1);
+        assert_eq!(snap.histograms[0].count, 400);
+    }
+
+    #[test]
+    fn merge_counters_uses_stable_pipeline_names() {
+        let reg = MetricsRegistry::new();
+        let mut c = Counters::new();
+        c.add(Counter::WorklistSteps, 5);
+        reg.merge_counters(&c);
+        reg.merge_counters(&c);
+        let snap = reg.snapshot();
+        assert_eq!(
+            snap.counters,
+            vec![("pipeline_worklist_steps".to_owned(), 10)]
+        );
+    }
+}

@@ -1,0 +1,260 @@
+//! The `Tracer` sink trait, the `Trace` handle the pipeline threads
+//! through its phases, and the in-memory `SpanCollector`.
+
+use crate::counter::{Counter, Counters};
+use std::time::Instant;
+
+/// Sink for pipeline trace events: hierarchical spans and counter
+/// deltas.
+///
+/// Every method has a no-op default, so an implementation only
+/// overrides what it cares about. Implementations must tolerate
+/// `span_end` names they never saw started (a phase that aborts on a
+/// budget still closes its spans in reverse order, but defensive sinks
+/// should not panic on protocol slips).
+pub trait Tracer {
+    /// A named region begins. Spans nest strictly: the matching
+    /// [`span_end`](Tracer::span_end) arrives before the parent's.
+    fn span_start(&mut self, _name: &str) {}
+
+    /// The innermost open region named `name` ends.
+    fn span_end(&mut self, _name: &str) {}
+
+    /// Adds `delta` to a pipeline counter.
+    fn add(&mut self, _counter: Counter, _delta: u64) {}
+
+    /// Flushes a whole batch of locally-accumulated counters at once.
+    ///
+    /// The phases accumulate counters in plain integers and flush once
+    /// per phase, so even an enabled tracer never adds dispatch to the
+    /// fixpoint loop. The default forwards to [`add`](Tracer::add).
+    fn add_counters(&mut self, counters: &Counters) {
+        for (c, v) in counters.iter() {
+            if v != 0 {
+                self.add(c, v);
+            }
+        }
+    }
+}
+
+/// A `Tracer` that ignores everything (the trait defaults, reified).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoopTracer;
+
+impl Tracer for NoopTracer {}
+
+/// The handle the pipeline passes around.
+///
+/// An enum, not a `&mut dyn Tracer`, so that the disabled path is a
+/// branch on the discriminant rather than a virtual call: with
+/// [`Trace::Off`] every hook compiles to one predictable test. The
+/// pipeline additionally keeps its hot-loop counters in plain integer
+/// fields and flushes them per phase, so the handle is only touched at
+/// phase granularity anyway.
+#[derive(Default)]
+pub enum Trace<'a> {
+    /// Tracing disabled; every hook is a no-op branch.
+    #[default]
+    Off,
+    /// Tracing enabled; events forward to the sink.
+    On(&'a mut dyn Tracer),
+}
+
+impl<'a> Trace<'a> {
+    /// Wraps a sink in an enabled handle.
+    pub fn on(tracer: &'a mut dyn Tracer) -> Trace<'a> {
+        Trace::On(tracer)
+    }
+
+    /// Whether events will be observed (lets callers skip work that
+    /// only exists to be traced, e.g. tallying PDG edges by kind).
+    #[inline]
+    pub fn is_enabled(&self) -> bool {
+        matches!(self, Trace::On(_))
+    }
+
+    /// Opens a named span.
+    #[inline]
+    pub fn span_start(&mut self, name: &str) {
+        if let Trace::On(t) = self {
+            t.span_start(name);
+        }
+    }
+
+    /// Closes the innermost open span named `name`.
+    #[inline]
+    pub fn span_end(&mut self, name: &str) {
+        if let Trace::On(t) = self {
+            t.span_end(name);
+        }
+    }
+
+    /// Adds `delta` to one counter.
+    #[inline]
+    pub fn add(&mut self, counter: Counter, delta: u64) {
+        if let Trace::On(t) = self {
+            t.add(counter, delta);
+        }
+    }
+
+    /// Flushes a batch of locally-accumulated counters.
+    #[inline]
+    pub fn add_counters(&mut self, counters: &Counters) {
+        if let Trace::On(t) = self {
+            t.add_counters(counters);
+        }
+    }
+}
+
+/// One completed (or still open) span recorded by [`SpanCollector`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanRecord {
+    /// Span name as passed to `span_start`.
+    pub name: String,
+    /// Nesting depth (0 = top level).
+    pub depth: usize,
+    /// Start offset from the collector's epoch, in microseconds.
+    pub start_us: u64,
+    /// Duration in microseconds (0 until the span ends).
+    pub dur_us: u64,
+}
+
+/// Records hierarchical spans (with wall-clock timings) and pipeline
+/// [`Counters`] in memory.
+///
+/// Counters are deterministic (see the crate docs); span timings are
+/// not, which is why the golden tests compare counter totals only.
+#[derive(Debug)]
+pub struct SpanCollector {
+    epoch: Instant,
+    /// Indices into `spans` of the currently-open spans, outermost
+    /// first.
+    open: Vec<usize>,
+    spans: Vec<SpanRecord>,
+    counters: Counters,
+}
+
+impl Default for SpanCollector {
+    fn default() -> SpanCollector {
+        SpanCollector::new()
+    }
+}
+
+impl SpanCollector {
+    /// An empty collector; the epoch (t=0) is now.
+    pub fn new() -> SpanCollector {
+        SpanCollector {
+            epoch: Instant::now(),
+            open: Vec::new(),
+            spans: Vec::new(),
+            counters: Counters::new(),
+        }
+    }
+
+    /// Completed and open spans, in start order.
+    pub fn spans(&self) -> &[SpanRecord] {
+        &self.spans
+    }
+
+    /// Accumulated counters.
+    pub fn counters(&self) -> &Counters {
+        &self.counters
+    }
+
+    fn now_us(&self) -> u64 {
+        u64::try_from(self.epoch.elapsed().as_micros()).unwrap_or(u64::MAX)
+    }
+}
+
+impl Tracer for SpanCollector {
+    fn span_start(&mut self, name: &str) {
+        let start_us = self.now_us();
+        self.open.push(self.spans.len());
+        self.spans.push(SpanRecord {
+            name: name.to_owned(),
+            depth: self.open.len() - 1,
+            start_us,
+            dur_us: 0,
+        });
+    }
+
+    fn span_end(&mut self, name: &str) {
+        // Close the innermost open span with this name; tolerate (and
+        // drop) unmatched ends rather than panicking mid-analysis.
+        let Some(pos) = self
+            .open
+            .iter()
+            .rposition(|&i| self.spans[i].name == name)
+        else {
+            debug_assert!(false, "span_end({name}) without a matching span_start");
+            return;
+        };
+        let idx = self.open.remove(pos);
+        debug_assert_eq!(pos, self.open.len(), "spans must close innermost-first");
+        let end = self.now_us();
+        self.spans[idx].dur_us = end.saturating_sub(self.spans[idx].start_us);
+    }
+
+    fn add(&mut self, counter: Counter, delta: u64) {
+        self.counters.add(counter, delta);
+    }
+
+    fn add_counters(&mut self, counters: &Counters) {
+        self.counters.merge(counters);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn off_handle_ignores_everything() {
+        let mut t = Trace::Off;
+        assert!(!t.is_enabled());
+        t.span_start("x");
+        t.add(Counter::WorklistSteps, 1);
+        t.span_end("x");
+    }
+
+    #[test]
+    fn collector_records_nested_spans_and_counters() {
+        let mut c = SpanCollector::new();
+        {
+            let mut t = Trace::on(&mut c);
+            assert!(t.is_enabled());
+            t.span_start("pipeline");
+            t.span_start("phase1");
+            t.add(Counter::WorklistSteps, 41);
+            t.add(Counter::WorklistSteps, 1);
+            t.span_end("phase1");
+            let mut batch = Counters::new();
+            batch.add(Counter::StateJoins, 7);
+            t.add_counters(&batch);
+            t.span_end("pipeline");
+        }
+        let spans = c.spans();
+        assert_eq!(spans.len(), 2);
+        assert_eq!(spans[0].name, "pipeline");
+        assert_eq!(spans[0].depth, 0);
+        assert_eq!(spans[1].name, "phase1");
+        assert_eq!(spans[1].depth, 1);
+        // The child is contained in the parent.
+        assert!(spans[1].start_us >= spans[0].start_us);
+        assert!(spans[1].start_us + spans[1].dur_us <= spans[0].start_us + spans[0].dur_us);
+        assert_eq!(c.counters().get(Counter::WorklistSteps), 42);
+        assert_eq!(c.counters().get(Counter::StateJoins), 7);
+    }
+
+    #[test]
+    fn same_name_spans_close_innermost_first() {
+        let mut c = SpanCollector::new();
+        c.span_start("propagate");
+        c.span_start("propagate");
+        c.span_end("propagate");
+        c.span_end("propagate");
+        assert_eq!(c.spans().len(), 2);
+        assert_eq!(c.spans()[0].depth, 0);
+        assert_eq!(c.spans()[1].depth, 1);
+    }
+}

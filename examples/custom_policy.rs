@@ -10,7 +10,7 @@
 //!
 //! Run with: `cargo run --example custom_policy`
 
-use addon_sig::analyze_addon_with_config;
+use addon_sig::Pipeline;
 use jsanalysis::{AnalysisConfig, SourceKind};
 use jspdg::Annotation;
 use jssig::{FlowLattice, FlowTypeSpec};
@@ -28,18 +28,13 @@ window.addEventListener("load", function (e) {
 
 fn main() -> Result<(), addon_sig::Error> {
     // Policy 1: the paper's defaults.
-    let report = analyze_addon_with_config(
-        ADDON,
-        &AnalysisConfig::default(),
-        &FlowLattice::paper(),
-    )?;
+    let report = Pipeline::new().run(ADDON)?;
     println!("paper lattice:\n{}", report.signature);
 
     // Policy 2: a two-point triage lattice -- every flow is either
     // "explicit" (pure data dependence) or "covert" (anything else) --
     // and only the URL is interesting.
-    let mut config = AnalysisConfig::default();
-    config.security.sources = [SourceKind::Url].into_iter().collect();
+    let config = AnalysisConfig::default().with_sources([SourceKind::Url]);
     let triage = FlowLattice::from_specs(vec![
         FlowTypeSpec {
             name: "explicit".into(),
@@ -52,7 +47,7 @@ fn main() -> Result<(), addon_sig::Error> {
             allowed: Annotation::ALL.into_iter().collect(),
         },
     ]);
-    let report = analyze_addon_with_config(ADDON, &config, &triage)?;
+    let report = Pipeline::new().config(config).lattice(triage).run(ADDON)?;
     println!("triage lattice (type1=explicit, type2=covert):\n{}", report.signature);
     Ok(())
 }

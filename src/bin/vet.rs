@@ -1,7 +1,8 @@
 //! `vet` -- the command-line vetting tool.
 //!
 //! ```text
-//! vet <addon.js> [--json] [--dot] [--explain] [--k <depth>] [--constant-strings]
+//! vet <addon.js> [--json] [--dot] [--explain] [--trace FILE]
+//!     [--k <depth>] [--constant-strings]
 //! vet --corpus [--json] [--sequential]
 //! vet serve [--addr HOST:PORT | --stdio] [--workers N] [--cache-cap N]
 //!           [--queue-cap N] [--step-budget N] [--deadline-ms N]
@@ -10,13 +11,17 @@
 //! ```
 //!
 //! Analyzes a JavaScript addon and prints its inferred security
-//! signature (or a JSON report with `--json`). `--corpus` runs the
-//! built-in benchmark suite instead of a file, vetting the addons on
-//! parallel threads (each addon's analysis is independent); output is
-//! buffered per addon and printed in corpus order, so the report is
-//! byte-identical to a sequential run. `--sequential` disables the
-//! thread pool. Exits nonzero when the addon fails to parse or uses
-//! restricted dynamic-code APIs.
+//! signature (or a JSON report with `--json`). `--explain` appends, per
+//! reported flow, the PDG provenance path that justifies its flow type
+//! as an annotated-source excerpt. `--trace FILE` writes a
+//! `chrome://tracing` / Perfetto `trace_event` JSON profile of the run
+//! (single-file mode only). `--corpus` runs the built-in benchmark
+//! suite instead of a file, vetting the addons on parallel threads
+//! (each addon's analysis is independent); output is buffered per addon
+//! and printed in corpus order, so the report is byte-identical to a
+//! sequential run. `--sequential` disables the thread pool. Exits
+//! nonzero when the addon fails to parse or uses restricted
+//! dynamic-code APIs.
 //!
 //! `serve` runs the long-lived vetting daemon (`sigserve`): a worker
 //! pool behind a bounded job queue, a content-addressed signature
@@ -26,15 +31,16 @@
 //! and sent inline) and the response printed one JSON object per line.
 
 use jsanalysis::{AnalysisConfig, StringDomain};
-use jssig::FlowLattice;
 use sigserve::{Client, ServeConfig};
+use sigtrace::ChromeTraceWriter;
 use std::fmt::Write as _;
 use std::process::ExitCode;
 use std::time::Duration;
 
 const USAGE: &str = "\
 usage:
-  vet <addon.js> [--json] [--dot] [--explain] [--k <depth>] [--constant-strings]
+  vet <addon.js> [--json] [--dot] [--explain] [--trace FILE] [--k <depth>]
+      [--constant-strings]
   vet --corpus [--json] [--sequential]
   vet serve [--addr HOST:PORT | --stdio] [--workers N] [--cache-cap N]
             [--queue-cap N] [--step-budget N] [--deadline-ms N]
@@ -49,6 +55,8 @@ struct Options {
     sequential: bool,
     context_depth: usize,
     string_domain: StringDomain,
+    /// `--trace FILE`: write a Chrome `trace_event` profile of the run.
+    trace: Option<String>,
     file: Option<String>,
 }
 
@@ -155,6 +163,7 @@ fn parse_args() -> Result<Mode, String> {
         sequential: false,
         context_depth: 1,
         string_domain: StringDomain::Prefix,
+        trace: None,
         file: None,
     };
     let mut args = std::env::args().skip(1).peekable();
@@ -182,6 +191,7 @@ fn parse_args() -> Result<Mode, String> {
                 let v = args.next().ok_or("--k needs a value")?;
                 opts.context_depth = v.parse().map_err(|_| format!("bad depth: {v}"))?;
             }
+            "--trace" => opts.trace = Some(args.next().ok_or("--trace needs a FILE")?),
             "--help" | "-h" => return Ok(Mode::Help),
             other if !other.starts_with('-') => opts.file = Some(other.to_owned()),
             other => return Err(format!("unknown flag: {other}")),
@@ -189,6 +199,9 @@ fn parse_args() -> Result<Mode, String> {
     }
     if !opts.corpus && opts.file.is_none() {
         return Err("no input file (try --help)".to_owned());
+    }
+    if opts.corpus && opts.trace.is_some() {
+        return Err("--trace is single-file only (corpus runs are parallel)".to_owned());
     }
     Ok(Mode::Run(opts))
 }
@@ -202,13 +215,21 @@ struct VetOutcome {
 }
 
 fn vet_source(name: &str, source: &str, opts: &Options) -> Result<VetOutcome, String> {
-    let config = AnalysisConfig {
-        context_depth: opts.context_depth,
-        string_domain: opts.string_domain,
-        ..AnalysisConfig::default()
+    let config = AnalysisConfig::default()
+        .with_context_depth(opts.context_depth)
+        .with_string_domain(opts.string_domain);
+    let pipeline = addon_sig::Pipeline::new().config(config);
+    // `--trace` attaches a Chrome trace_event writer to the pipeline
+    // (single-file mode only, enforced at argument parsing).
+    let mut writer = opts.trace.as_ref().map(|_| ChromeTraceWriter::new());
+    let result = match &mut writer {
+        Some(w) => pipeline.tracer(w).run(source),
+        None => pipeline.run(source),
     };
-    let report = addon_sig::analyze_addon_with_config(source, &config, &FlowLattice::paper())
-        .map_err(|e| format!("{name}: {e}"))?;
+    let report = result.map_err(|e| format!("{name}: {e}"))?;
+    if let (Some(path), Some(w)) = (&opts.trace, &writer) {
+        std::fs::write(path, w.to_json_string()).map_err(|e| format!("{path}: {e}"))?;
+    }
     let mut out = String::new();
     if opts.json {
         writeln!(out, "{}", report.signature.to_json()).unwrap();
@@ -224,9 +245,9 @@ fn vet_source(name: &str, source: &str, opts: &Options) -> Result<VetOutcome, St
         writeln!(
             out,
             "  [P1 {:?}, P2 {:?}, P3 {:?}; {} PDG edges]",
-            report.p1,
-            report.p2,
-            report.p3,
+            report.timings.p1,
+            report.timings.p2,
+            report.timings.p3,
             report.pdg.edge_count()
         )
         .unwrap();
@@ -251,30 +272,20 @@ fn vet_source(name: &str, source: &str, opts: &Options) -> Result<VetOutcome, St
     })
 }
 
-/// Appends one witness dependence path per (source kind, sink) pair.
+/// Appends each reported flow's recorded PDG provenance — the path the
+/// propagation actually took when it first established the flow's type —
+/// as an annotated-source excerpt.
 fn explain_flows(report: &addon_sig::Report, out: &mut String) {
-    use jspdg::{witness_path, SliceFilter};
-    let sources = report.analysis.source_stmts();
-    for sink in &report.analysis.sinks {
-        for (src_stmt, kinds) in &sources {
-            let Some(path) =
-                witness_path(&report.pdg, *src_stmt, sink.stmt, SliceFilter::All)
-            else {
-                continue;
-            };
-            let kind_names: Vec<String> =
-                kinds.iter().map(|k| k.to_string()).collect();
-            writeln!(out, "  explain {} -> {}:", kind_names.join("/"), sink.kind).unwrap();
-            for (stmt, ann) in path {
-                let line = report.lowered.program.stmt(stmt).span.line;
-                let text =
-                    jsir::pretty::stmt_to_string(&report.lowered.program, stmt);
-                match ann {
-                    Some(a) => writeln!(out, "    L{line:<4} {text}  --[{a}]-->").unwrap(),
-                    None => writeln!(out, "    L{line:<4} {text}").unwrap(),
+    for (entry, path) in &report.signature.provenance {
+        writeln!(out, "  explain {entry}:").unwrap();
+        for step in path {
+            let text = jsir::pretty::stmt_to_string(&report.lowered.program, step.stmt);
+            match step.edge {
+                Some(a) => {
+                    writeln!(out, "    L{:<4} {text}  --[{a}]-->", step.line).unwrap()
                 }
+                None => writeln!(out, "    L{:<4} {text}", step.line).unwrap(),
             }
-            break; // one witness per sink is enough for the report
         }
     }
 }
@@ -319,16 +330,19 @@ fn vet_corpus(opts: &Options) -> bool {
 
 /// Runs the vetting daemon until a `shutdown` request (TCP) or stdin EOF
 /// (`--stdio`).
-fn run_serve(opts: ServeOptions) -> Result<(), String> {
+fn run_serve(mut opts: ServeOptions) -> Result<(), String> {
+    // An operator-facing daemon dumps its metrics registry on shutdown;
+    // embedded servers (tests, benches) keep the default quiet exit.
+    opts.config.dump_metrics_on_shutdown = true;
     match opts.addr {
         Some(addr) => {
-            let server = sigserve::Server::bind(&addr, opts.config, addon_sig::service_analyze)
+            let server = sigserve::Server::bind(&addr, opts.config, addon_sig::service_engine)
                 .map_err(|e| format!("bind {addr}: {e}"))?;
             eprintln!("sigserve listening on {}", server.local_addr());
             server.join(); // returns after a shutdown request
             Ok(())
         }
-        None => sigserve::serve_stdio(opts.config, addon_sig::service_analyze)
+        None => sigserve::serve_stdio(opts.config, addon_sig::service_engine)
             .map_err(|e| format!("stdio serve: {e}")),
     }
 }

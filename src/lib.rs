@@ -40,40 +40,68 @@
 //! assert!(report.signature.to_string().contains("url --type1--> send"));
 //! # Ok::<(), addon_sig::Error>(())
 //! ```
+//!
+//! # The `Pipeline` builder
+//!
+//! Non-default runs go through [`Pipeline`], which owns the knobs that
+//! used to be loose function parameters and threads an optional
+//! [`sigtrace::Tracer`] through every phase:
+//!
+//! ```
+//! use addon_sig::Pipeline;
+//! use jsanalysis::AnalysisConfig;
+//! use sigtrace::SpanCollector;
+//!
+//! let mut spans = SpanCollector::new();
+//! let report = Pipeline::new()
+//!     .config(AnalysisConfig::default().with_context_depth(2))
+//!     .tracer(&mut spans)
+//!     .run("var x = 1;")?;
+//! assert!(report.counters.get(sigtrace::Counter::WorklistSteps) > 0);
+//! assert!(spans.spans().iter().any(|s| s.name == "phase1"));
+//! # Ok::<(), addon_sig::Error>(())
+//! ```
 
 #![warn(missing_docs)]
 
 pub use corpus;
 pub use jsanalysis;
-pub use sigserve;
 pub use jsdomains;
 pub use jsir;
 pub use jsparser;
 pub use jspdg;
 pub use jssig;
+pub use sigserve;
+pub use sigtrace;
 
-use jsanalysis::{AnalysisConfig, AnalysisResult};
+use jsanalysis::{AnalysisConfig, AnalysisResult, BudgetKind};
 use jsir::Lowered;
 use jspdg::Pdg;
 use jssig::{FlowLattice, Signature};
+use sigtrace::{Counter, Counters, MetricsRegistry, PhaseTimings, Trace, Tracer};
 use std::fmt;
 use std::time::{Duration, Instant};
 
-/// Errors surfaced by the one-call pipeline.
+/// Errors surfaced by the pipeline.
+///
+/// `#[non_exhaustive]`: match with a trailing `_` arm; later versions
+/// may add variants (e.g. resource classes beyond steps and time).
 #[derive(Debug)]
+#[non_exhaustive]
 pub enum Error {
     /// The addon failed to parse.
     Parse(jsparser::ParseError),
-    /// The base analysis hit its step limit (results would be partial).
-    StepLimit,
-    /// The caller-imposed analysis budget (`AnalysisConfig::step_budget`
-    /// or `deadline`) was exhausted. Unlike [`Error::StepLimit`] — the
-    /// interpreter's own safety valve — this is a vetting-service policy
-    /// decision, and carries how far the analysis got.
-    BudgetExhausted {
-        /// Worklist steps executed when the budget tripped.
+    /// An analysis budget tripped before the fixpoint finished, so
+    /// results would be partial. `kind` says *which* limit: the
+    /// interpreter's own safety valve (`max_steps`), a caller-imposed
+    /// step budget, or a wall-clock deadline.
+    Budget {
+        /// Which limit tripped.
+        kind: BudgetKind,
+        /// Worklist steps executed when it tripped.
         steps: usize,
-        /// Wall time spent in the fixpoint loop.
+        /// Wall time spent in the fixpoint loop (zero for the safety
+        /// valve, which does not run a clock).
         elapsed: Duration,
     },
 }
@@ -82,10 +110,13 @@ impl fmt::Display for Error {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             Error::Parse(e) => write!(f, "parse error: {e}"),
-            Error::StepLimit => write!(f, "analysis exceeded its step budget"),
-            Error::BudgetExhausted { steps, elapsed } => write!(
+            Error::Budget {
+                kind,
+                steps,
+                elapsed,
+            } => write!(
                 f,
-                "analysis budget exhausted after {steps} steps ({}µs)",
+                "analysis {kind} exhausted after {steps} steps ({}µs)",
                 elapsed.as_micros()
             ),
         }
@@ -96,7 +127,7 @@ impl std::error::Error for Error {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             Error::Parse(e) => Some(e),
-            Error::StepLimit | Error::BudgetExhausted { .. } => None,
+            Error::Budget { .. } => None,
         }
     }
 }
@@ -107,8 +138,9 @@ impl From<jsparser::ParseError> for Error {
     }
 }
 
-/// Everything the pipeline produced, including intermediate artifacts and
-/// the per-phase timings reported in the paper's Table 2.
+/// Everything the pipeline produced, including intermediate artifacts,
+/// the per-phase timings reported in the paper's Table 2, and the
+/// pipeline counters (deterministic work measures; see [`sigtrace`]).
 pub struct Report {
     /// The lowered program and CFG.
     pub lowered: Lowered,
@@ -118,22 +150,196 @@ pub struct Report {
     pub pdg: Pdg,
     /// The inferred security signature.
     pub signature: Signature,
-    /// Phase 1 (base analysis) wall time.
-    pub p1: Duration,
-    /// Phase 2 (PDG construction) wall time.
-    pub p2: Duration,
-    /// Phase 3 (signature inference) wall time.
-    pub p3: Duration,
+    /// Per-phase wall times (phase 1 = base analysis, phase 2 = PDG
+    /// construction, phase 3 = signature inference).
+    pub timings: PhaseTimings,
+    /// Pipeline work counters, collected whether or not a tracer was
+    /// attached. Deterministic for a fixed source and configuration.
+    pub counters: Counters,
 }
 
-/// Runs the full pipeline with default configuration.
+/// The pipeline, assembled one knob at a time:
+///
+/// `Pipeline::new().config(cfg).lattice(l).tracer(&mut t).run(src)`
+///
+/// Each setter consumes and returns the builder. [`Pipeline::run`]
+/// executes parse → lower → phase 1 → phase 2 → phase 3, emitting one
+/// span per stage (plus the phases' own sub-spans) to the attached
+/// tracer and collecting the pipeline counters either way.
+#[must_use = "a Pipeline does nothing until .run(source)"]
+pub struct Pipeline<'t> {
+    config: AnalysisConfig,
+    lattice: FlowLattice,
+    trace: Trace<'t>,
+}
+
+impl Pipeline<'static> {
+    /// A pipeline with the default configuration, the paper's flow-type
+    /// lattice, and no tracer.
+    pub fn new() -> Pipeline<'static> {
+        Pipeline {
+            config: AnalysisConfig::default(),
+            lattice: FlowLattice::paper(),
+            trace: Trace::Off,
+        }
+    }
+}
+
+impl Default for Pipeline<'static> {
+    fn default() -> Pipeline<'static> {
+        Pipeline::new()
+    }
+}
+
+impl<'t> Pipeline<'t> {
+    /// Replaces the analysis configuration.
+    pub fn config(mut self, config: AnalysisConfig) -> Pipeline<'t> {
+        self.config = config;
+        self
+    }
+
+    /// Replaces the flow-type lattice.
+    pub fn lattice(mut self, lattice: FlowLattice) -> Pipeline<'t> {
+        self.lattice = lattice;
+        self
+    }
+
+    /// Attaches a tracer: every phase reports spans and counters to it.
+    /// The returned builder borrows the tracer until [`Pipeline::run`].
+    pub fn tracer<'u>(self, tracer: &'u mut dyn Tracer) -> Pipeline<'u> {
+        Pipeline {
+            config: self.config,
+            lattice: self.lattice,
+            trace: Trace::On(tracer),
+        }
+    }
+
+    /// Runs the full pipeline.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::Parse`] on malformed input; [`Error::Budget`] when the
+    /// safety valve, a step budget, or a deadline cut the base analysis
+    /// short.
+    pub fn run(self, source: &str) -> Result<Report, Error> {
+        let Pipeline {
+            config,
+            lattice,
+            trace,
+        } = self;
+        // The user's tracer (if any) sits behind a tap that also keeps
+        // the counters for the Report. The tap is only touched at phase
+        // granularity — the fixpoint loops accumulate their counts in
+        // plain integers — so running it unconditionally costs a handful
+        // of calls per addon, not per step.
+        let mut tap = CounterTap {
+            user: match trace {
+                Trace::Off => None,
+                Trace::On(t) => Some(t),
+            },
+            counters: Counters::new(),
+        };
+        let mut trace = Trace::On(&mut tap);
+
+        trace.span_start("parse");
+        let parsed = jsparser::parse(source);
+        trace.span_end("parse");
+        let ast = parsed?;
+
+        trace.span_start("lower");
+        let lowered = jsir::lower(&ast);
+        trace.span_end("lower");
+
+        trace.span_start("phase1");
+        let start = Instant::now();
+        let analysis = jsanalysis::analyze_traced(&lowered, &config, &mut trace);
+        let p1 = start.elapsed();
+        trace.span_end("phase1");
+        if let Some(b) = &analysis.budget_exhausted {
+            return Err(Error::Budget {
+                kind: b.kind,
+                steps: b.steps,
+                elapsed: b.elapsed,
+            });
+        }
+        if analysis.hit_step_limit {
+            return Err(Error::Budget {
+                kind: BudgetKind::SafetyValve,
+                steps: analysis.steps,
+                elapsed: Duration::ZERO,
+            });
+        }
+
+        trace.span_start("phase2");
+        let start = Instant::now();
+        let pdg = Pdg::build_traced(&lowered, &analysis, &mut trace);
+        let p2 = start.elapsed();
+        trace.span_end("phase2");
+
+        trace.span_start("phase3");
+        let start = Instant::now();
+        let signature =
+            jssig::infer_signature_traced(&lowered, &analysis, &pdg, &lattice, &mut trace);
+        let p3 = start.elapsed();
+        trace.span_end("phase3");
+
+        drop(trace);
+        Ok(Report {
+            lowered,
+            analysis,
+            pdg,
+            signature,
+            timings: PhaseTimings::new(p1, p2, p3),
+            counters: tap.counters,
+        })
+    }
+}
+
+/// Forwards trace events to an optional user tracer while keeping its
+/// own copy of the counters (so `Report::counters` is populated even
+/// without a tracer attached).
+struct CounterTap<'a> {
+    user: Option<&'a mut dyn Tracer>,
+    counters: Counters,
+}
+
+impl Tracer for CounterTap<'_> {
+    fn span_start(&mut self, name: &str) {
+        if let Some(user) = &mut self.user {
+            user.span_start(name);
+        }
+    }
+
+    fn span_end(&mut self, name: &str) {
+        if let Some(user) = &mut self.user {
+            user.span_end(name);
+        }
+    }
+
+    fn add(&mut self, counter: Counter, delta: u64) {
+        self.counters.add(counter, delta);
+        if let Some(user) = &mut self.user {
+            user.add(counter, delta);
+        }
+    }
+
+    fn add_counters(&mut self, counters: &Counters) {
+        self.counters.merge(counters);
+        if let Some(user) = &mut self.user {
+            user.add_counters(counters);
+        }
+    }
+}
+
+/// Runs the full pipeline with default configuration
+/// (`Pipeline::new().run(source)`).
 ///
 /// # Errors
 ///
-/// Returns [`Error::Parse`] on malformed input, [`Error::StepLimit`] if
-/// the abstract interpreter could not finish within its step budget.
+/// Returns [`Error::Parse`] on malformed input, [`Error::Budget`] if the
+/// abstract interpreter could not finish within its limits.
 pub fn analyze_addon(source: &str) -> Result<Report, Error> {
-    analyze_addon_with_config(source, &AnalysisConfig::default(), &FlowLattice::paper())
+    Pipeline::new().run(source)
 }
 
 /// Runs the full pipeline with explicit configuration.
@@ -141,78 +347,74 @@ pub fn analyze_addon(source: &str) -> Result<Report, Error> {
 /// # Errors
 ///
 /// Same as [`analyze_addon`].
+#[deprecated(
+    since = "0.1.0",
+    note = "use Pipeline::new().config(..).lattice(..).run(..)"
+)]
 pub fn analyze_addon_with_config(
     source: &str,
     config: &AnalysisConfig,
     lattice: &FlowLattice,
 ) -> Result<Report, Error> {
-    let ast = jsparser::parse(source)?;
-    let lowered = jsir::lower(&ast);
-
-    let start = Instant::now();
-    let analysis = jsanalysis::analyze(&lowered, config);
-    let p1 = start.elapsed();
-    if let Some(b) = analysis.budget_exhausted {
-        return Err(Error::BudgetExhausted {
-            steps: b.steps,
-            elapsed: b.elapsed,
-        });
-    }
-    if analysis.hit_step_limit {
-        return Err(Error::StepLimit);
-    }
-
-    let start = Instant::now();
-    let pdg = Pdg::build(&lowered, &analysis);
-    let p2 = start.elapsed();
-
-    let start = Instant::now();
-    let signature = jssig::infer_signature(&lowered, &analysis, &pdg, lattice);
-    let p3 = start.elapsed();
-
-    Ok(Report {
-        lowered,
-        analysis,
-        pdg,
-        signature,
-        p1,
-        p2,
-        p3,
-    })
+    Pipeline::new()
+        .config(config.clone())
+        .lattice(lattice.clone())
+        .run(source)
 }
 
 /// The full pipeline packaged for the [`sigserve`] daemon: one source,
-/// one configuration, a [`sigserve::VetOutcome`]. Budget exhaustion maps
-/// to the degraded `Timeout` outcome (the daemon answers
-/// `verdict:"timeout"` and keeps its worker); everything else that fails
-/// maps to `Error`. The signature JSON is exactly what `vet --json`
-/// prints, so service responses reproduce the CLI's bytes.
-pub fn service_analyze(source: &str, config: &AnalysisConfig) -> sigserve::VetOutcome {
-    match analyze_addon_with_config(source, config, &FlowLattice::paper()) {
-        Ok(report) => sigserve::VetOutcome::Report {
-            signature_json: report.signature.to_json(),
-            p1: report.p1,
-            p2: report.p2,
-            p3: report.p3,
-        },
-        Err(Error::BudgetExhausted { steps, elapsed }) => {
-            sigserve::VetOutcome::Timeout { steps, elapsed }
+/// one configuration, a [`sigserve::VetOutcome`], with the run's
+/// pipeline counters and phase latencies folded into the daemon's
+/// metrics registry. Caller-imposed budget exhaustion (step budget or
+/// deadline) maps to the degraded `Timeout` outcome (the daemon answers
+/// `verdict:"timeout"` and keeps its worker); the interpreter's own
+/// safety valve and parse failures map to `Error`. The signature JSON is
+/// exactly what `vet --json` prints, so service responses reproduce the
+/// CLI's bytes.
+pub fn service_engine(
+    source: &str,
+    config: &AnalysisConfig,
+    metrics: &MetricsRegistry,
+) -> sigserve::VetOutcome {
+    match Pipeline::new().config(config.clone()).run(source) {
+        Ok(report) => {
+            metrics.merge_counters(&report.counters);
+            let us = |d: Duration| d.as_micros().min(u128::from(u64::MAX)) as u64;
+            metrics.record("pipeline_p1_us", us(report.timings.p1));
+            metrics.record("pipeline_p2_us", us(report.timings.p2));
+            metrics.record("pipeline_p3_us", us(report.timings.p3));
+            sigserve::VetOutcome::report(report.signature.to_json(), report.timings)
         }
-        Err(e) => sigserve::VetOutcome::Error {
-            message: e.to_string(),
-        },
+        Err(Error::Budget {
+            kind: BudgetKind::Steps | BudgetKind::Deadline,
+            steps,
+            elapsed,
+        }) => sigserve::VetOutcome::timeout(steps, elapsed),
+        Err(e) => sigserve::VetOutcome::error(e.to_string()),
     }
+}
+
+/// Compatibility shim for the pre-metrics service entry point.
+#[deprecated(since = "0.1.0", note = "use service_engine (takes a MetricsRegistry)")]
+pub fn service_analyze(source: &str, config: &AnalysisConfig) -> sigserve::VetOutcome {
+    service_engine(source, config, &MetricsRegistry::new())
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use sigtrace::SpanCollector;
 
     #[test]
     fn pipeline_runs() {
         let r = analyze_addon("var x = 1;").unwrap();
         assert!(r.signature.is_empty());
         assert!(r.analysis.steps > 0);
+        assert_eq!(
+            r.counters.get(Counter::WorklistSteps),
+            r.analysis.steps as u64,
+            "report counters mirror the analysis even without a tracer"
+        );
     }
 
     #[test]
@@ -225,47 +427,83 @@ mod tests {
 
     #[test]
     fn error_display() {
-        let e = Error::StepLimit;
-        assert!(e.to_string().contains("step budget"));
-        let e = Error::BudgetExhausted {
+        let e = Error::Budget {
+            kind: BudgetKind::SafetyValve,
+            steps: 9,
+            elapsed: Duration::ZERO,
+        };
+        assert!(e.to_string().contains("safety valve"));
+        let e = Error::Budget {
+            kind: BudgetKind::Steps,
             steps: 42,
             elapsed: Duration::from_micros(7),
         };
+        assert!(e.to_string().contains("step budget"));
         assert!(e.to_string().contains("42 steps"));
     }
 
     #[test]
     fn budget_exhaustion_surfaces_as_error() {
-        let config = AnalysisConfig {
-            step_budget: Some(1),
-            ..AnalysisConfig::default()
-        };
-        match analyze_addon_with_config("var x = 1; var y = x;", &config, &FlowLattice::paper()) {
-            Err(Error::BudgetExhausted { steps, .. }) => assert!(steps > 1),
-            other => panic!("expected BudgetExhausted, got {:?}", other.map(|_| ())),
+        let config = AnalysisConfig::default().with_step_budget(1);
+        match Pipeline::new().config(config).run("var x = 1; var y = x;") {
+            Err(Error::Budget {
+                kind: BudgetKind::Steps,
+                steps,
+                ..
+            }) => assert!(steps > 1),
+            other => panic!("expected Budget, got {:?}", other.map(|_| ())),
         }
     }
 
     #[test]
-    fn service_analyze_maps_outcomes() {
+    fn tracer_sees_phase_spans_and_counters() {
+        let mut spans = SpanCollector::new();
+        let report = Pipeline::new()
+            .tracer(&mut spans)
+            .run("var u = content.location.href; var r = XHRWrapper(\"http://x.com\"); r.send(u);")
+            .unwrap();
+        for name in ["parse", "lower", "phase1", "phase2", "phase3"] {
+            assert!(
+                spans.spans().iter().any(|s| s.name == name && s.depth == 0),
+                "missing top-level span {name}"
+            );
+        }
+        // The phases' own sub-spans nest underneath.
+        assert!(spans.spans().iter().any(|s| s.name == "fixpoint"));
+        assert!(spans.spans().iter().any(|s| s.name == "ddg"));
+        assert!(spans.spans().iter().any(|s| s.name == "propagate"));
+        // Tracer counters and Report counters are the same totals.
+        assert_eq!(spans.counters(), &report.counters);
+        assert!(report.counters.get(Counter::SignatureFlows) > 0);
+    }
+
+    #[test]
+    fn service_engine_maps_outcomes_and_feeds_metrics() {
         let default = AnalysisConfig::default();
-        match service_analyze("var x = 1;", &default) {
+        let metrics = MetricsRegistry::new();
+        match service_engine("var x = 1;", &default, &metrics) {
             sigserve::VetOutcome::Report { signature_json, .. } => {
                 assert!(signature_json.starts_with('{'));
             }
             other => panic!("expected Report, got {other:?}"),
         }
-        match service_analyze("var = ;", &default) {
-            sigserve::VetOutcome::Error { message } => {
+        let snap = metrics.snapshot();
+        assert!(
+            snap.counters
+                .iter()
+                .any(|(name, v)| name == "pipeline_worklist_steps" && *v > 0),
+            "pipeline counters folded into the registry: {snap:?}"
+        );
+        assert!(snap.histograms.iter().any(|h| h.name == "pipeline_p1_us"));
+
+        match service_engine("var = ;", &default, &metrics) {
+            sigserve::VetOutcome::Error { message, .. } => {
                 assert!(message.contains("parse error"));
             }
             other => panic!("expected Error, got {other:?}"),
         }
-        let tight = AnalysisConfig {
-            step_budget: Some(1),
-            ..AnalysisConfig::default()
-        };
-        match service_analyze("var x = 1; var y = x;", &tight) {
+        let tight = AnalysisConfig::default().with_step_budget(1);
+        match service_engine("var x = 1; var y = x;", &tight, &metrics) {
             sigserve::VetOutcome::Timeout { steps, .. } => assert!(steps > 1),
             other => panic!("expected Timeout, got {other:?}"),
         }

@@ -2,9 +2,9 @@
 //! pipeline: event-loop recency, configurable policies, API reporting,
 //! and the report surface (JSON, witnesses, timings).
 
-use addon_sig::{analyze_addon, analyze_addon_with_config, Error};
-use jsanalysis::{AnalysisConfig, SourceKind, StringDomain};
-use jssig::{FlowLattice, FlowType};
+use addon_sig::{analyze_addon, Error, Pipeline};
+use jsanalysis::{AnalysisConfig, BudgetKind, SourceKind, StringDomain};
+use jssig::FlowType;
 
 fn t(n: u8) -> FlowType {
     FlowType(n - 1)
@@ -134,10 +134,8 @@ req.send(c);
         .iter()
         .any(|e| e.source == SourceKind::Cookie));
     // With cookies removed from the interesting set: silence.
-    let mut config = AnalysisConfig::default();
-    config.security.sources = [SourceKind::Url].into_iter().collect();
-    let filtered =
-        analyze_addon_with_config(src, &config, &FlowLattice::paper()).unwrap();
+    let config = AnalysisConfig::default().with_sources([SourceKind::Url]);
+    let filtered = Pipeline::new().config(config).run(src).unwrap();
     assert!(filtered.signature.flows.is_empty());
     // The sink-only entry remains either way (Figure 3's bare `sink`).
     assert!(!filtered.signature.sinks.is_empty());
@@ -155,12 +153,8 @@ req.send(null);
     let sink = prefix.signature.sinks.iter().next().unwrap();
     assert!(sink.domain.known_text().unwrap().contains("keeps-prefix"));
 
-    let config = AnalysisConfig {
-        string_domain: StringDomain::ConstantOnly,
-        ..AnalysisConfig::default()
-    };
-    let constant =
-        analyze_addon_with_config(src, &config, &FlowLattice::paper()).unwrap();
+    let config = AnalysisConfig::default().with_string_domain(StringDomain::ConstantOnly);
+    let constant = Pipeline::new().config(config).run(src).unwrap();
     let sink = constant.signature.sinks.iter().next().unwrap();
     assert!(
         sink.domain.known_text().unwrap_or("").is_empty(),
@@ -211,23 +205,26 @@ fn json_report_shape() {
 fn timings_are_populated() {
     let report = analyze_addon("var x = 1;").unwrap();
     // Phases are measured (they may be sub-microsecond but not absurd).
-    assert!(report.p1.as_nanos() > 0);
-    assert!(report.p2.as_nanos() > 0);
-    assert!(report.p3.as_nanos() > 0);
+    assert!(report.timings.p1.as_nanos() > 0);
+    assert!(report.timings.p2.as_nanos() > 0);
+    assert!(report.timings.p3.as_nanos() > 0);
+    assert_eq!(
+        report.timings.total(),
+        report.timings.p1 + report.timings.p2 + report.timings.p3
+    );
 }
 
 #[test]
 fn step_limit_surfaces_as_error() {
-    let config = AnalysisConfig {
-        max_steps: 1,
-        ..AnalysisConfig::default()
-    };
-    let r = analyze_addon_with_config(
-        "var a = 1; var b = a;",
-        &config,
-        &FlowLattice::paper(),
-    );
-    assert!(matches!(r, Err(Error::StepLimit)));
+    let config = AnalysisConfig::default().with_max_steps(1);
+    let r = Pipeline::new().config(config).run("var a = 1; var b = a;");
+    assert!(matches!(
+        r,
+        Err(Error::Budget {
+            kind: BudgetKind::SafetyValve,
+            ..
+        })
+    ));
 }
 
 #[test]

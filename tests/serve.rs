@@ -3,9 +3,7 @@
 //! across resubmission rounds, and budget-degraded verdicts.
 
 use addon_sig::sigserve::{Client, ServeConfig, Server};
-use addon_sig::{analyze_addon_with_config, service_analyze};
-use jsanalysis::AnalysisConfig;
-use jssig::FlowLattice;
+use addon_sig::{service_engine, Pipeline};
 use minijson::Json;
 
 /// Fetches the (hits, misses) cache counters.
@@ -57,18 +55,13 @@ fn concurrent_clients_match_cli_and_resubmissions_hit_the_cache() {
     let expected: Vec<(String, String)> = corpus::addons()
         .iter()
         .map(|a| {
-            let report = analyze_addon_with_config(
-                a.source,
-                &AnalysisConfig::default(),
-                &FlowLattice::paper(),
-            )
-            .expect("pipeline");
+            let report = Pipeline::new().run(a.source).expect("pipeline");
             (a.name.to_owned(), report.signature.to_json())
         })
         .collect();
 
     let server =
-        Server::bind("127.0.0.1:0", ServeConfig::default(), service_analyze).expect("bind");
+        Server::bind("127.0.0.1:0", ServeConfig::default(), service_engine).expect("bind");
     let addr = server.local_addr();
     let mut probe = Client::connect(addr).expect("connect");
 
@@ -97,6 +90,22 @@ fn concurrent_clients_match_cli_and_resubmissions_hit_the_cache() {
         round2_hit_rate * 100.0
     );
 
+    // The real engine feeds the metrics registry: pipeline counters and
+    // per-phase latency histograms ride along in every stats response.
+    let stats = probe.stats().expect("stats");
+    assert!(
+        stats["metrics"]["counters"]["pipeline_worklist_steps"]
+            .as_f64()
+            .is_some_and(|v| v > 0.0),
+        "pipeline counters missing from stats metrics: {stats}"
+    );
+    assert!(
+        stats["metrics"]["histograms"]["pipeline_p1_us"]["count"]
+            .as_f64()
+            .is_some_and(|v| v > 0.0),
+        "phase-latency histograms missing from stats metrics"
+    );
+
     let ack = probe.shutdown().expect("shutdown");
     assert_eq!(ack["kind"], "shutdown_ack");
     assert_eq!(
@@ -113,7 +122,7 @@ fn step_budget_yields_timeout_verdict_and_daemon_survives() {
     // needs ~1000 steps) but comfortably above trivial programs.
     let mut cfg = ServeConfig::default();
     cfg.analysis.step_budget = Some(25);
-    let server = Server::bind("127.0.0.1:0", cfg, service_analyze).expect("bind");
+    let server = Server::bind("127.0.0.1:0", cfg, service_engine).expect("bind");
     let mut client = Client::connect(server.local_addr()).expect("connect");
 
     let resp = client
@@ -157,7 +166,7 @@ fn overload_response_when_queue_is_saturated() {
         queue_cap: 1,
         ..ServeConfig::default()
     };
-    let server = Server::bind("127.0.0.1:0", cfg, service_analyze).expect("bind");
+    let server = Server::bind("127.0.0.1:0", cfg, service_engine).expect("bind");
     let addr = server.local_addr();
     let slow = source_of("LivePagerank");
     let overloads: usize = std::thread::scope(|scope| {

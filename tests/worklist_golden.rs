@@ -7,21 +7,20 @@
 //! addons on parallel threads must not change a single verdict. These
 //! tests pin that down against the naive sequential FIFO configuration.
 
-use addon_sig::analyze_addon_with_config;
+use addon_sig::Pipeline;
 use jsanalysis::{AnalysisConfig, WorklistOrder};
-use jssig::{compare, FlowLattice, Verdict};
+use jssig::{compare, Verdict};
 
 fn config(order: WorklistOrder) -> AnalysisConfig {
-    AnalysisConfig {
-        worklist: order,
-        ..AnalysisConfig::default()
-    }
+    AnalysisConfig::default().with_worklist(order)
 }
 
 /// Signature text, verdict, and base-analysis step count for one addon
 /// under one configuration.
 fn outcome(addon: &corpus::Addon, order: WorklistOrder) -> (String, Verdict, usize) {
-    let report = analyze_addon_with_config(addon.source, &config(order), &FlowLattice::paper())
+    let report = Pipeline::new()
+        .config(config(order))
+        .run(addon.source)
         .unwrap_or_else(|e| panic!("{}: pipeline failed: {e}", addon.name));
     let cmp = compare(
         &report.signature,
@@ -128,14 +127,13 @@ fn step_budgets_hold() {
 fn generous_budget_is_bit_identical() {
     for addon in corpus::addons() {
         let (sig, verdict, steps) = outcome(&addon, WorklistOrder::Rpo);
-        let budgeted_config = AnalysisConfig {
-            step_budget: Some(steps * 10),
-            deadline: Some(std::time::Duration::from_secs(3600)),
-            ..AnalysisConfig::default()
-        };
-        let report =
-            analyze_addon_with_config(addon.source, &budgeted_config, &FlowLattice::paper())
-                .unwrap_or_else(|e| panic!("{}: budgeted pipeline failed: {e}", addon.name));
+        let budgeted_config = AnalysisConfig::default()
+            .with_step_budget(steps * 10)
+            .with_deadline(std::time::Duration::from_secs(3600));
+        let report = Pipeline::new()
+            .config(budgeted_config)
+            .run(addon.source)
+            .unwrap_or_else(|e| panic!("{}: budgeted pipeline failed: {e}", addon.name));
         let cmp = compare(
             &report.signature,
             &addon.manual,
