@@ -13,8 +13,14 @@
 #      must parse and keep strict span nesting (trace_check),
 #   5. a vetting-daemon smoke test over --stdio (no network needed) plus
 #      the serve_load --check invariants (cache actually hits, cached
-#      vets are >=10x faster than cold); the stats response must carry
-#      the metrics registry.
+#      vets are >=10x faster than cold, and the structured event log
+#      replays into consistent per-job lifecycles); the stats response
+#      must carry the metrics registry,
+#   6. a metrics-exposition smoke test: a scripted --stdio session's
+#      `metrics` response must render valid Prometheus text (prom_check),
+#   7. the corpus drift gate: two same-analyzer `vet corpus-snapshot`
+#      runs must be byte-identical and `vet corpus-diff` must report
+#      zero drift (exit 0) — the cross-run observability contract.
 set -eu
 cd "$(dirname "$0")"
 
@@ -48,7 +54,21 @@ echo "$serve_out" | grep -q '"metrics"'
 echo "$serve_out" | grep -q '"pipeline_worklist_steps"'
 echo "$serve_out" | grep -q '"kind":"shutdown_ack"'
 
-echo "==> sigserve load sanity (serve_load --check)"
+echo "==> sigserve load sanity (serve_load --check, incl. log replay)"
 ./target/release/serve_load --check
+
+echo "==> metrics exposition smoke test (prom_check)"
+printf '%s\n' \
+    '{"kind":"vet","path":"crates/corpus/addons/pinpoints.js"}' \
+    '{"kind":"metrics"}' \
+    '{"kind":"shutdown"}' \
+    | ./target/release/vet serve --stdio --workers 2 \
+    | ./target/release/prom_check
+
+echo "==> corpus drift gate (same analyzer => zero drift)"
+./target/release/vet corpus-snapshot --out target/ci_snap_a.json
+./target/release/vet corpus-snapshot --out target/ci_snap_b.json
+cmp target/ci_snap_a.json target/ci_snap_b.json
+./target/release/vet corpus-diff target/ci_snap_a.json target/ci_snap_b.json > /dev/null
 
 echo "==> ci.sh: all gates passed"

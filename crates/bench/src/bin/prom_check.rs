@@ -1,0 +1,67 @@
+//! Prometheus-exposition smoke check for the vetting daemon, std-only.
+//!
+//! Reads the daemon's NDJSON responses from stdin (the output of a
+//! `vet serve --stdio` session), finds the `kind:"metrics"` line, and
+//! validates its embedded Prometheus text body: every sample line must
+//! parse, and the advertised sample count must match. Exits nonzero on
+//! any failure, so ci.sh can pipe a scripted session straight through:
+//!
+//! ```text
+//! printf '...\n{"kind":"metrics"}\n{"kind":"shutdown"}\n' \
+//!   | vet serve --stdio | prom_check
+//! ```
+
+use minijson::Json;
+use std::io::Read;
+
+fn main() {
+    let mut input = String::new();
+    std::io::stdin()
+        .read_to_string(&mut input)
+        .expect("read stdin");
+
+    let mut checked = 0usize;
+    for (i, line) in input.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let resp = match Json::parse(line) {
+            Ok(v) => v,
+            Err(e) => {
+                eprintln!("prom_check: line {} is not JSON: {e}", i + 1);
+                std::process::exit(1);
+            }
+        };
+        if resp["kind"] != "metrics" {
+            continue;
+        }
+        let Some(text) = resp["prometheus"].as_str() else {
+            eprintln!("prom_check: metrics response has no prometheus text");
+            std::process::exit(1);
+        };
+        let samples = match sigobs::validate_prometheus_text(text) {
+            Ok(n) => n,
+            Err(e) => {
+                eprintln!("prom_check: invalid exposition: {e}");
+                std::process::exit(1);
+            }
+        };
+        let advertised = resp["samples"].as_f64().map(|n| n as usize);
+        if advertised != Some(samples) {
+            eprintln!(
+                "prom_check: sample count mismatch: response says {advertised:?}, text has {samples}"
+            );
+            std::process::exit(1);
+        }
+        if samples == 0 {
+            eprintln!("prom_check: exposition is empty (daemon recorded nothing?)");
+            std::process::exit(1);
+        }
+        checked += 1;
+        println!("prom_check: metrics line ok ({samples} samples)");
+    }
+    if checked == 0 {
+        eprintln!("prom_check: no kind:\"metrics\" line in input");
+        std::process::exit(1);
+    }
+}

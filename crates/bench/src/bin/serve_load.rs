@@ -21,12 +21,15 @@
 //! - `--workers N`   daemon worker threads (default 4)
 //! - `--check`       tiny fast run that only asserts the invariants
 //!                   (all verdicts ok, cache actually hits, cached much
-//!                   faster than cold) and writes nothing
+//!                   faster than cold, and the daemon's structured event
+//!                   log replays into consistent per-job lifecycles) and
+//!                   writes nothing
 //! - `--out PATH`    where to write the JSON (default
 //!                   `<repo root>/BENCH_serve.json`)
 
 use minijson::Json;
 use sigserve::{Client, ServeConfig, Server};
+use std::sync::Arc;
 use std::time::Instant;
 
 fn percentile_us(sorted: &[u128], q: f64) -> f64 {
@@ -121,12 +124,19 @@ fn main() {
         out.unwrap_or_else(|| format!("{}/../../BENCH_serve.json", env!("CARGO_MANIFEST_DIR")));
 
     let addons = corpus::addons();
+    // In --check mode the daemon keeps an in-memory event log with a
+    // tail deep enough for the whole session, and we replay it at the
+    // end: every job lifecycle must reconstruct from the log alone.
+    let log = check.then(|| {
+        Arc::new(sigobs::EventLog::in_memory(sigobs::Level::Info).with_tail_cap(16_384))
+    });
     let cfg = ServeConfig {
         workers,
+        log: log.clone(),
         ..ServeConfig::default()
     };
-    let server =
-        Server::bind("127.0.0.1:0", cfg, addon_sig::service_engine).expect("bind daemon");
+    let server = Server::bind_traced("127.0.0.1:0", cfg, addon_sig::service_engine_traced)
+        .expect("bind daemon");
     let addr = server.local_addr();
     println!(
         "serve_load: daemon on {addr}, {workers} workers, {} corpus addons",
@@ -215,7 +225,29 @@ fn main() {
             speedup >= 10.0,
             "cached vets must be >=10x faster than cold (got {speedup:.1}x)"
         );
-        println!("serve_load --check: ok");
+        // Replay the structured event log: strict seq order, and every
+        // job resolves to a consistent Computed/CacheHit lifecycle.
+        let log = log.expect("check mode attaches a log");
+        let text = log.tail_lines().join("\n");
+        let timelines = sigobs::replay::validate_log(&text).expect("event log must replay");
+        let computed = timelines
+            .values()
+            .filter(|t| matches!(t.validate(), Ok(sigobs::replay::Outcome::Computed)))
+            .count();
+        let hits = timelines
+            .values()
+            .filter(|t| matches!(t.validate(), Ok(sigobs::replay::Outcome::CacheHit)))
+            .count();
+        assert_eq!(
+            computed,
+            addons.len(),
+            "each addon computed exactly once (the rest are hits)"
+        );
+        assert!(hits > 0, "replay must see cache-hit lifecycles");
+        println!(
+            "serve_load --check: ok ({} jobs replayed: {computed} computed, {hits} cache hits)",
+            timelines.len()
+        );
         return;
     }
 

@@ -231,6 +231,150 @@ pub fn compare(
     }
 }
 
+/// A flow identity at the granularity signatures export to JSON: the
+/// `Display` forms of source, flow type, and sink kind, plus the domain
+/// text (`None` for domain-less or bottom domains). Witness lines and
+/// provenance paths are deliberately excluded — they shift with any
+/// reformatting of the addon and are presentation, not meaning.
+///
+/// This is the unit of the corpus drift observatory: snapshots persist
+/// signatures as JSON, so drift classification works on the string level
+/// and never needs to re-parse enum values.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct DriftFlow {
+    /// `SourceKind` display form (`"url"`, `"keypress"`, ...).
+    pub source: String,
+    /// `FlowType` display form (`"type1"` ... `"type8"`).
+    pub flow: String,
+    /// `SinkKind` display form (`"send"`, `"inject"`, ...).
+    pub sink_kind: String,
+    /// Domain text as exported (`None` when the signature exported
+    /// `null`).
+    pub domain: Option<String>,
+}
+
+impl fmt::Display for DriftFlow {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} --{}--> {}", self.source, self.flow, self.sink_kind)?;
+        if let Some(d) = &self.domain {
+            write!(f, "({d})")?;
+        }
+        Ok(())
+    }
+}
+
+impl DriftFlow {
+    /// The (source, sink kind, domain) endpoint identity — what must
+    /// coincide for two flows to be "the same flow with a different
+    /// type".
+    fn endpoint(&self) -> (&str, &str, Option<&str>) {
+        (&self.source, &self.sink_kind, self.domain.as_deref())
+    }
+}
+
+/// A flow whose endpoints survived an analyzer change but whose flow
+/// type did not — the paper's Figure 4 lattice makes these transitions
+/// meaningful (e.g. a `type1` explicit flow weakening to a `type3`
+/// implicit one).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RetypedFlow {
+    /// Source display form.
+    pub source: String,
+    /// Sink-kind display form.
+    pub sink_kind: String,
+    /// Domain text, if any.
+    pub domain: Option<String>,
+    /// Flow type in the old snapshot.
+    pub old_flow: String,
+    /// Flow type in the new snapshot.
+    pub new_flow: String,
+}
+
+impl fmt::Display for RetypedFlow {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} --{}=>{}--> {}",
+            self.source, self.old_flow, self.new_flow, self.sink_kind
+        )?;
+        if let Some(d) = &self.domain {
+            write!(f, "({d})")?;
+        }
+        Ok(())
+    }
+}
+
+/// Classified flow-level drift between two signature snapshots of the
+/// same addon.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FlowDrift {
+    /// Flows present only in the new snapshot.
+    pub added: Vec<DriftFlow>,
+    /// Flows present only in the old snapshot.
+    pub removed: Vec<DriftFlow>,
+    /// Flows whose endpoints persist but whose flow type changed.
+    pub retyped: Vec<RetypedFlow>,
+}
+
+impl FlowDrift {
+    /// True when the two snapshots carry identical flow sets.
+    pub fn is_empty(&self) -> bool {
+        self.added.is_empty() && self.removed.is_empty() && self.retyped.is_empty()
+    }
+}
+
+/// Classifies the drift between two flow sets. Exact matches cancel
+/// first; among the leftovers, flows sharing a (source, sink kind,
+/// domain) endpoint pair up as *retyped* (a flow-type transition), and
+/// whatever remains is genuinely added or removed. All output vectors
+/// are sorted, so equal inputs in any order produce identical reports.
+pub fn classify_flow_drift(old: &[DriftFlow], new: &[DriftFlow]) -> FlowDrift {
+    let mut removed: Vec<DriftFlow> = old.to_vec();
+    let mut added: Vec<DriftFlow> = Vec::new();
+
+    // Pass 1: cancel exact matches.
+    for flow in new {
+        match removed.iter().position(|o| o == flow) {
+            Some(i) => {
+                removed.remove(i);
+            }
+            None => added.push(flow.clone()),
+        }
+    }
+
+    // Pass 2: pair leftovers by endpoint into flow-type transitions.
+    let mut retyped: Vec<RetypedFlow> = Vec::new();
+    let mut still_added: Vec<DriftFlow> = Vec::new();
+    for flow in added {
+        match removed.iter().position(|o| o.endpoint() == flow.endpoint()) {
+            Some(i) => {
+                let old_flow = removed.remove(i);
+                retyped.push(RetypedFlow {
+                    source: flow.source,
+                    sink_kind: flow.sink_kind,
+                    domain: flow.domain,
+                    old_flow: old_flow.flow,
+                    new_flow: flow.flow,
+                });
+            }
+            None => still_added.push(flow),
+        }
+    }
+
+    let mut added = still_added;
+    added.sort();
+    removed.sort();
+    retyped.sort_by(|a, b| {
+        (&a.source, &a.sink_kind, &a.domain, &a.old_flow, &a.new_flow)
+            .cmp(&(&b.source, &b.sink_kind, &b.domain, &b.old_flow, &b.new_flow))
+    });
+    FlowDrift {
+        added,
+        removed,
+        retyped,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -364,5 +508,95 @@ mod tests {
             "chess.com"
         ));
         assert!(!domain_compatible(&Pre::Bot, "chess.com"));
+    }
+
+    fn df(source: &str, flow: &str, sink: &str, domain: Option<&str>) -> DriftFlow {
+        DriftFlow {
+            source: source.to_owned(),
+            flow: flow.to_owned(),
+            sink_kind: sink.to_owned(),
+            domain: domain.map(str::to_owned),
+        }
+    }
+
+    #[test]
+    fn identical_flow_sets_report_no_drift() {
+        let flows = vec![
+            df("url", "type1", "send", Some("http://a.example/")),
+            df("keypress", "type4", "inject", None),
+        ];
+        let drift = classify_flow_drift(&flows, &flows);
+        assert!(drift.is_empty());
+    }
+
+    #[test]
+    fn same_endpoints_different_type_is_retyped_not_add_remove() {
+        let old = vec![df("url", "type1", "send", Some("http://a.example/"))];
+        let new = vec![df("url", "type3", "send", Some("http://a.example/"))];
+        let drift = classify_flow_drift(&old, &new);
+        assert!(drift.added.is_empty() && drift.removed.is_empty());
+        assert_eq!(drift.retyped.len(), 1);
+        let r = &drift.retyped[0];
+        assert_eq!((r.old_flow.as_str(), r.new_flow.as_str()), ("type1", "type3"));
+        assert_eq!(r.to_string(), "url --type1=>type3--> send(http://a.example/)");
+    }
+
+    #[test]
+    fn added_and_removed_flows_classify_separately() {
+        let old = vec![
+            df("url", "type1", "send", Some("http://kept.example/")),
+            df("url", "type1", "send", Some("http://gone.example/")),
+        ];
+        let new = vec![
+            df("url", "type1", "send", Some("http://kept.example/")),
+            df("cookie", "type2", "send", Some("http://new.example/")),
+        ];
+        let drift = classify_flow_drift(&old, &new);
+        assert_eq!(drift.removed, [df("url", "type1", "send", Some("http://gone.example/"))]);
+        assert_eq!(drift.added, [df("cookie", "type2", "send", Some("http://new.example/"))]);
+        assert!(drift.retyped.is_empty());
+    }
+
+    #[test]
+    fn drift_report_is_order_independent() {
+        let old = vec![
+            df("url", "type1", "send", Some("a")),
+            df("cookie", "type2", "send", Some("b")),
+            df("keypress", "type4", "inject", None),
+        ];
+        let mut old_rev = old.clone();
+        old_rev.reverse();
+        let new = vec![
+            df("url", "type3", "send", Some("a")), // retyped
+            df("keypress", "type4", "inject", None),
+        ];
+        let mut new_rev = new.clone();
+        new_rev.reverse();
+        assert_eq!(
+            classify_flow_drift(&old, &new),
+            classify_flow_drift(&old_rev, &new_rev)
+        );
+    }
+
+    #[test]
+    fn exact_match_cancels_before_retype_pairing() {
+        // One endpoint carries two flow types in both snapshots; the
+        // shared (endpoint, type) pair must cancel exactly, leaving only
+        // the genuine transition.
+        let old = vec![
+            df("url", "type1", "send", Some("a")),
+            df("url", "type3", "send", Some("a")),
+        ];
+        let new = vec![
+            df("url", "type3", "send", Some("a")),
+            df("url", "type5", "send", Some("a")),
+        ];
+        let drift = classify_flow_drift(&old, &new);
+        assert!(drift.added.is_empty() && drift.removed.is_empty());
+        assert_eq!(drift.retyped.len(), 1);
+        assert_eq!(
+            (drift.retyped[0].old_flow.as_str(), drift.retyped[0].new_flow.as_str()),
+            ("type1", "type5")
+        );
     }
 }

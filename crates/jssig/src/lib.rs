@@ -38,7 +38,10 @@ pub mod infer;
 pub mod propagate;
 pub mod signature;
 
-pub use compare::{compare, Comparison, ManualEntry, ManualSignature, MatchQuality, Verdict};
+pub use compare::{
+    classify_flow_drift, compare, Comparison, DriftFlow, FlowDrift, ManualEntry, ManualSignature,
+    MatchQuality, RetypedFlow, Verdict,
+};
 pub use flowtype::{FlowLattice, FlowType, FlowTypeSpec};
 pub use infer::{infer_signature, infer_signature_traced};
 pub use propagate::{propagate, FlowTypes, PathStep};

@@ -1,0 +1,36 @@
+//! Cross-run observability for the vetting service.
+//!
+//! `sigtrace` answers in-run questions (why was *this* analysis slow);
+//! this crate answers cross-run ones: what did the daemon do at 03:12,
+//! how did p95 latency trend over the last restart, did an analyzer
+//! change flip any corpus verdict. Std-only (plus the in-tree `minijson`
+//! and `sigtrace`), so every layer of the service can afford to depend
+//! on it:
+//!
+//! * [`EventLog`] — a leveled, ring-buffered JSONL logger. Every record
+//!   is one compact JSON object per line with a monotone `seq`, so a
+//!   job's full lifecycle (enqueue → dequeue → cache hit/miss → phase
+//!   spans → verdict) is reconstructable from the log alone — proven by
+//!   [`replay`], which folds a log back into per-job timelines.
+//! * [`LogTracer`] — a [`sigtrace::Tracer`] adapter that emits the
+//!   pipeline's phase spans as debug-level log events carrying the
+//!   owning job's request ID, threading IDs *into* the analysis.
+//! * [`prometheus_text`] — Prometheus text exposition of a
+//!   [`sigtrace::MetricsSnapshot`] (plus [`validate_prometheus_text`],
+//!   the parser the CI smoke test uses).
+//! * [`MetricsHistory`] — an interval snapshotter persisting the
+//!   registry into a bounded on-disk ring of schema-versioned JSON
+//!   files, so metrics survive daemon restarts and
+//!   `vet metrics-report` can render rate/percentile trends.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod expo;
+mod history;
+mod log;
+pub mod replay;
+
+pub use expo::{prometheus_text, validate_prometheus_text};
+pub use history::{HistoryRecord, MetricsHistory, HISTORY_SCHEMA};
+pub use log::{EventLog, Level, LogTracer};

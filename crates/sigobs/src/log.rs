@@ -1,0 +1,402 @@
+//! The structured event log: leveled JSONL with an in-memory ring tail.
+//!
+//! One record per line, compact JSON, schema:
+//!
+//! ```text
+//! {"seq":17,"ts_us":1754556000123456,"level":"info","event":"job_enqueued",
+//!  "job":"j-3","name":"addon.js","queue_depth":1}
+//! ```
+//!
+//! `seq` is a per-logger monotone counter assigned under the same lock
+//! that orders the writes, so file order equals `seq` order and replay
+//! needs no clock assumptions; `ts_us` is wall-clock microseconds since
+//! the Unix epoch, for humans and cross-process correlation.
+
+use minijson::Json;
+use std::collections::VecDeque;
+use std::fmt;
+use std::fs::File;
+use std::io::{self, BufWriter, Write};
+use std::path::Path;
+use std::sync::Mutex;
+use std::time::{Instant, SystemTime, UNIX_EPOCH};
+
+/// Log severity. Ordered `Error < Warn < Info < Debug`: a logger at
+/// level `L` records everything at or above `L`'s severity (i.e. with
+/// `level <= L` in this ordering).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Level {
+    /// The daemon cannot do what was asked (I/O failures, poisoned state).
+    Error,
+    /// Degraded but handled: shed jobs, budget aborts, protocol errors.
+    Warn,
+    /// The job lifecycle: enqueue, dequeue, cache hits, verdicts.
+    Info,
+    /// High-volume detail: pipeline phase spans, cache inserts.
+    Debug,
+}
+
+impl Level {
+    /// Stable lowercase name used in log records and `--log-level`.
+    pub fn name(self) -> &'static str {
+        match self {
+            Level::Error => "error",
+            Level::Warn => "warn",
+            Level::Info => "info",
+            Level::Debug => "debug",
+        }
+    }
+
+    /// Parses a `--log-level` flag value.
+    pub fn parse(s: &str) -> Option<Level> {
+        match s {
+            "error" => Some(Level::Error),
+            "warn" => Some(Level::Warn),
+            "info" => Some(Level::Info),
+            "debug" => Some(Level::Debug),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Level {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Number of records the in-memory tail retains by default.
+pub const DEFAULT_TAIL_CAP: usize = 128;
+
+struct Inner {
+    /// `None` for a ring-only (in-memory) logger.
+    file: Option<BufWriter<File>>,
+    /// The most recent records, oldest first, as compact JSON lines.
+    ring: VecDeque<String>,
+    seq: u64,
+}
+
+/// A leveled JSONL event logger shared across threads.
+///
+/// Records below the configured level cost one branch; everything else
+/// takes a short lock to serialize, append to the ring, and (if a file
+/// is attached) write one line. Lines are flushed eagerly so `tail -f`
+/// and post-mortem replay see every completed record.
+pub struct EventLog {
+    level: Level,
+    tail_cap: usize,
+    epoch: Instant,
+    epoch_unix_us: u64,
+    inner: Mutex<Inner>,
+}
+
+impl fmt::Debug for EventLog {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("EventLog")
+            .field("level", &self.level)
+            .field("tail_cap", &self.tail_cap)
+            .finish_non_exhaustive()
+    }
+}
+
+impl EventLog {
+    fn new(file: Option<File>, level: Level) -> EventLog {
+        let epoch_unix_us = SystemTime::now()
+            .duration_since(UNIX_EPOCH)
+            .map(|d| u64::try_from(d.as_micros()).unwrap_or(u64::MAX))
+            .unwrap_or(0);
+        EventLog {
+            level,
+            tail_cap: DEFAULT_TAIL_CAP,
+            epoch: Instant::now(),
+            epoch_unix_us,
+            inner: Mutex::new(Inner {
+                file: file.map(BufWriter::new),
+                ring: VecDeque::new(),
+                seq: 0,
+            }),
+        }
+    }
+
+    /// A logger appending to `path` (created or truncated), keeping the
+    /// ring tail as well.
+    pub fn to_file(path: impl AsRef<Path>, level: Level) -> io::Result<EventLog> {
+        Ok(EventLog::new(Some(File::create(path)?), level))
+    }
+
+    /// A ring-only logger (no file): the tail still feeds `stats`
+    /// responses and tests.
+    pub fn in_memory(level: Level) -> EventLog {
+        EventLog::new(None, level)
+    }
+
+    /// Replaces the ring capacity (builder-style; default
+    /// [`DEFAULT_TAIL_CAP`]).
+    #[must_use]
+    pub fn with_tail_cap(mut self, cap: usize) -> EventLog {
+        self.tail_cap = cap.max(1);
+        self
+    }
+
+    /// The logger's level.
+    pub fn level(&self) -> Level {
+        self.level
+    }
+
+    /// Whether records at `level` are kept. Check before assembling
+    /// expensive fields.
+    #[inline]
+    pub fn enabled(&self, level: Level) -> bool {
+        level <= self.level
+    }
+
+    /// Appends one record. `fields` are emitted after the standard
+    /// `seq`/`ts_us`/`level`/`event` header, in the given order.
+    pub fn log(&self, level: Level, event: &str, fields: &[(&str, Json)]) {
+        if !self.enabled(level) {
+            return;
+        }
+        let ts_us = self
+            .epoch_unix_us
+            .saturating_add(u64::try_from(self.epoch.elapsed().as_micros()).unwrap_or(u64::MAX));
+        let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        let mut record = Json::obj();
+        record.set("seq", Json::from(inner.seq as f64));
+        record.set("ts_us", Json::from(ts_us as f64));
+        record.set("level", Json::from(level.name()));
+        record.set("event", Json::from(event));
+        for (k, v) in fields {
+            record.set(k, v.clone());
+        }
+        inner.seq += 1;
+        let line = record.to_string_compact();
+        if inner.ring.len() >= self.tail_cap {
+            inner.ring.pop_front();
+        }
+        inner.ring.push_back(line.clone());
+        if let Some(file) = &mut inner.file {
+            // A full disk must not take the daemon down with it; the
+            // ring keeps the record either way.
+            let _ = writeln!(file, "{line}");
+            let _ = file.flush();
+        }
+    }
+
+    /// Convenience: an error-level record.
+    pub fn error(&self, event: &str, fields: &[(&str, Json)]) {
+        self.log(Level::Error, event, fields);
+    }
+
+    /// Convenience: a warn-level record.
+    pub fn warn(&self, event: &str, fields: &[(&str, Json)]) {
+        self.log(Level::Warn, event, fields);
+    }
+
+    /// Convenience: an info-level record.
+    pub fn info(&self, event: &str, fields: &[(&str, Json)]) {
+        self.log(Level::Info, event, fields);
+    }
+
+    /// Convenience: a debug-level record.
+    pub fn debug(&self, event: &str, fields: &[(&str, Json)]) {
+        self.log(Level::Debug, event, fields);
+    }
+
+    /// The ring tail as parsed records, oldest first (unparseable lines
+    /// — there should be none — surface as plain strings).
+    pub fn tail(&self) -> Vec<Json> {
+        let inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        inner
+            .ring
+            .iter()
+            .map(|line| Json::parse(line).unwrap_or_else(|_| Json::Str(line.clone())))
+            .collect()
+    }
+
+    /// The ring tail as raw compact JSON lines, oldest first.
+    pub fn tail_lines(&self) -> Vec<String> {
+        let inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        inner.ring.iter().cloned().collect()
+    }
+
+    /// Number of records emitted so far (at any level).
+    pub fn records_written(&self) -> u64 {
+        self.inner.lock().unwrap_or_else(|e| e.into_inner()).seq
+    }
+
+    /// Flushes the file sink, if any. Writes already flush per line;
+    /// this exists for defensive shutdown paths.
+    pub fn flush(&self) {
+        let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        if let Some(file) = &mut inner.file {
+            let _ = file.flush();
+        }
+    }
+}
+
+/// A [`sigtrace::Tracer`] that logs the pipeline's phase spans as
+/// debug-level events carrying the owning job's request ID — the bridge
+/// that threads sigserve's job IDs into the analysis pipeline.
+///
+/// Counter deltas are deliberately ignored here: they already flow into
+/// the daemon's `MetricsRegistry` via the engine, and duplicating them
+/// per job would bloat the log.
+pub struct LogTracer<'a> {
+    log: &'a EventLog,
+    job: &'a str,
+    /// Open spans, outermost first: (name, start).
+    open: Vec<(String, Instant)>,
+}
+
+impl<'a> LogTracer<'a> {
+    /// A tracer logging spans on behalf of job `job`.
+    pub fn new(log: &'a EventLog, job: &'a str) -> LogTracer<'a> {
+        LogTracer {
+            log,
+            job,
+            open: Vec::new(),
+        }
+    }
+}
+
+impl sigtrace::Tracer for LogTracer<'_> {
+    fn span_start(&mut self, name: &str) {
+        self.open.push((name.to_owned(), Instant::now()));
+    }
+
+    fn span_end(&mut self, name: &str) {
+        let Some(pos) = self.open.iter().rposition(|(n, _)| n == name) else {
+            return; // tolerate protocol slips, like SpanCollector
+        };
+        let (name, start) = self.open.remove(pos);
+        let dur_us = u64::try_from(start.elapsed().as_micros()).unwrap_or(u64::MAX);
+        let depth = pos as f64;
+        self.log.debug(
+            "span",
+            &[
+                ("job", Json::from(self.job)),
+                ("span", Json::from(name)),
+                ("depth", Json::from(depth)),
+                ("dur_us", Json::from(dur_us as f64)),
+            ],
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sigtrace::Tracer as _;
+
+    #[test]
+    fn level_ordering_and_parse() {
+        assert!(Level::Error < Level::Warn);
+        assert!(Level::Warn < Level::Info);
+        assert!(Level::Info < Level::Debug);
+        for l in [Level::Error, Level::Warn, Level::Info, Level::Debug] {
+            assert_eq!(Level::parse(l.name()), Some(l));
+        }
+        assert_eq!(Level::parse("verbose"), None);
+    }
+
+    #[test]
+    fn records_carry_header_and_fields_in_order() {
+        let log = EventLog::in_memory(Level::Info);
+        log.info("job_enqueued", &[("job", Json::from("j-1")), ("depth", Json::from(2.0))]);
+        let tail = log.tail();
+        assert_eq!(tail.len(), 1);
+        let r = &tail[0];
+        assert_eq!(r["seq"].as_f64(), Some(0.0));
+        assert_eq!(r["level"], "info");
+        assert_eq!(r["event"], "job_enqueued");
+        assert_eq!(r["job"], "j-1");
+        assert_eq!(r["depth"].as_f64(), Some(2.0));
+        assert!(r["ts_us"].as_f64().is_some());
+        // Compact single-line form.
+        assert!(!log.tail_lines()[0].contains('\n'));
+    }
+
+    #[test]
+    fn level_filter_drops_below_threshold() {
+        let log = EventLog::in_memory(Level::Warn);
+        assert!(log.enabled(Level::Error));
+        assert!(log.enabled(Level::Warn));
+        assert!(!log.enabled(Level::Info));
+        log.error("e", &[]);
+        log.warn("w", &[]);
+        log.info("i", &[]);
+        log.debug("d", &[]);
+        let events: Vec<String> = log
+            .tail()
+            .iter()
+            .map(|r| r["event"].as_str().unwrap().to_owned())
+            .collect();
+        assert_eq!(events, ["e", "w"]);
+        assert_eq!(log.records_written(), 2);
+    }
+
+    #[test]
+    fn ring_is_bounded_and_seq_is_monotone() {
+        let log = EventLog::in_memory(Level::Info).with_tail_cap(3);
+        for i in 0..10 {
+            log.info("tick", &[("i", Json::from(i as f64))]);
+        }
+        let tail = log.tail();
+        assert_eq!(tail.len(), 3, "ring keeps only the newest records");
+        let seqs: Vec<f64> = tail.iter().map(|r| r["seq"].as_f64().unwrap()).collect();
+        assert_eq!(seqs, [7.0, 8.0, 9.0]);
+        assert_eq!(log.records_written(), 10);
+    }
+
+    #[test]
+    fn file_sink_writes_parseable_jsonl() {
+        let path = std::env::temp_dir().join(format!(
+            "sigobs-test-{}-{}.jsonl",
+            std::process::id(),
+            std::time::SystemTime::now()
+                .duration_since(UNIX_EPOCH)
+                .unwrap()
+                .as_nanos()
+        ));
+        let log = EventLog::to_file(&path, Level::Debug).expect("create log");
+        log.info("a", &[("k", Json::from("v"))]);
+        log.debug("b", &[]);
+        log.flush();
+        let text = std::fs::read_to_string(&path).expect("read back");
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        for line in &lines {
+            let r = Json::parse(line).expect("every line parses");
+            assert!(r["event"].as_str().is_some());
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn log_tracer_emits_debug_spans_with_job_id() {
+        let log = EventLog::in_memory(Level::Debug);
+        let mut t = LogTracer::new(&log, "j-42");
+        t.span_start("phase1");
+        t.span_start("fixpoint");
+        t.span_end("fixpoint");
+        t.span_end("phase1");
+        t.span_end("never-opened"); // tolerated
+        let tail = log.tail();
+        assert_eq!(tail.len(), 2, "one record per closed span");
+        assert_eq!(tail[0]["event"], "span");
+        assert_eq!(tail[0]["span"], "fixpoint");
+        assert_eq!(tail[0]["depth"].as_f64(), Some(1.0));
+        assert_eq!(tail[0]["job"], "j-42");
+        assert_eq!(tail[1]["span"], "phase1");
+        assert_eq!(tail[1]["depth"].as_f64(), Some(0.0));
+    }
+
+    #[test]
+    fn log_tracer_is_silent_below_debug() {
+        let log = EventLog::in_memory(Level::Info);
+        let mut t = LogTracer::new(&log, "j-1");
+        t.span_start("phase1");
+        t.span_end("phase1");
+        assert!(log.tail().is_empty());
+    }
+}

@@ -1,0 +1,337 @@
+//! Folds a structured event log back into per-job timelines.
+//!
+//! This is the proof that the log is sufficient: given only the JSONL
+//! lines an [`EventLog`](crate::EventLog)-instrumented daemon wrote, every
+//! job's lifecycle must reconstruct to one of four well-formed shapes:
+//!
+//! * **Computed** — `job_enqueued` → `job_dequeued` → `job_computed` →
+//!   `job_done`, with strictly increasing `seq`.
+//! * **Cache hit** — `cache_hit` (at submit time, or after a dequeue when
+//!   a sibling filled the cache first) → `job_done`, with the producing
+//!   job's ID recorded as provenance.
+//! * **Coalesced** — `job_coalesced` naming the in-flight producer whose
+//!   result this job shared → `job_done`.
+//! * **Rejected** — `job_rejected` under overload; terminal.
+//!
+//! Anything else — a job that never terminated, computed without being
+//! dequeued, or hit the cache with no producer — is a validation error,
+//! and the replay test treats it as a logging bug.
+
+use minijson::Json;
+use std::collections::BTreeMap;
+
+/// The terminal shape of one job's lifecycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Outcome {
+    /// Ran the full pipeline on a worker.
+    Computed,
+    /// Served from the signature cache.
+    CacheHit,
+    /// Shared an in-flight sibling's computation.
+    Coalesced,
+    /// Shed by the overload policy before entering the queue.
+    Rejected,
+}
+
+/// One job's events, extracted from the log. `seq` positions come from
+/// the logger's monotone counter, so ordering checks need no clocks.
+#[derive(Debug, Clone, Default)]
+pub struct JobTimeline {
+    /// The job's request ID (`j-<n>`).
+    pub job: String,
+    /// Addon name from the request, if logged.
+    pub name: Option<String>,
+    /// `seq` of `job_enqueued`.
+    pub enqueued: Option<u64>,
+    /// `seq` of `job_dequeued`.
+    pub dequeued: Option<u64>,
+    /// `seq` of `job_computed`.
+    pub computed: Option<u64>,
+    /// Verdict string from `job_computed` (`pass`/`fail`/`leak`/
+    /// `timeout`/`error`).
+    pub verdict: Option<String>,
+    /// `seq` of `cache_hit`.
+    pub cache_hit: Option<u64>,
+    /// `seq` of `job_coalesced`.
+    pub coalesced: Option<u64>,
+    /// Producing job's ID, from `cache_hit` or `job_coalesced`.
+    pub producer: Option<String>,
+    /// `seq` of `job_rejected`.
+    pub rejected: Option<u64>,
+    /// `seq` of `job_done`.
+    pub done: Option<u64>,
+    /// Wall micros from `job_done`.
+    pub micros: Option<u64>,
+    /// Pipeline spans attributed to this job: `(span name, dur_us)`.
+    pub spans: Vec<(String, u64)>,
+    /// Every event seen for this job, in log order: `(seq, event)`.
+    pub events: Vec<(u64, String)>,
+}
+
+fn get_u64(record: &Json, key: &str) -> Option<u64> {
+    record[key].as_f64().map(|n| n as u64)
+}
+
+/// Groups parsed log records into per-job timelines. Records without a
+/// `job` field (daemon lifecycle, protocol errors) are ignored here —
+/// they narrate the daemon, not a job.
+pub fn job_timelines(records: &[Json]) -> BTreeMap<String, JobTimeline> {
+    let mut jobs: BTreeMap<String, JobTimeline> = BTreeMap::new();
+    for record in records {
+        let Some(job) = record["job"].as_str() else {
+            continue;
+        };
+        let Some(seq) = get_u64(record, "seq") else {
+            continue;
+        };
+        let Some(event) = record["event"].as_str() else {
+            continue;
+        };
+        let t = jobs.entry(job.to_owned()).or_insert_with(|| JobTimeline {
+            job: job.to_owned(),
+            ..JobTimeline::default()
+        });
+        t.events.push((seq, event.to_owned()));
+        if let Some(name) = record["name"].as_str() {
+            t.name = Some(name.to_owned());
+        }
+        match event {
+            "job_enqueued" => t.enqueued = Some(seq),
+            "job_dequeued" => t.dequeued = Some(seq),
+            "job_computed" => {
+                t.computed = Some(seq);
+                t.verdict = record["verdict"].as_str().map(str::to_owned);
+            }
+            "cache_hit" => {
+                t.cache_hit = Some(seq);
+                if let Some(p) = record["producer"].as_str() {
+                    t.producer = Some(p.to_owned());
+                }
+            }
+            "job_coalesced" => {
+                t.coalesced = Some(seq);
+                if let Some(p) = record["producer"].as_str() {
+                    t.producer = Some(p.to_owned());
+                }
+            }
+            "job_rejected" => t.rejected = Some(seq),
+            "job_done" => {
+                t.done = Some(seq);
+                t.micros = get_u64(record, "micros");
+            }
+            "span" => {
+                if let (Some(name), Some(dur)) =
+                    (record["span"].as_str(), get_u64(record, "dur_us"))
+                {
+                    t.spans.push((name.to_owned(), dur));
+                }
+            }
+            _ => {}
+        }
+    }
+    jobs
+}
+
+impl JobTimeline {
+    /// Classifies the lifecycle and checks its internal ordering.
+    pub fn validate(&self) -> Result<Outcome, String> {
+        let job = &self.job;
+        if let Some(r) = self.rejected {
+            if let Some(seq) = self.dequeued.or(self.computed).or(self.done) {
+                return Err(format!(
+                    "{job}: rejected at seq {r} but has later lifecycle event at seq {seq}"
+                ));
+            }
+            return Ok(Outcome::Rejected);
+        }
+        let done = self
+            .done
+            .ok_or_else(|| format!("{job}: never reached job_done"))?;
+        if let Some(hit) = self.cache_hit {
+            if self.computed.is_some() {
+                return Err(format!("{job}: both cache_hit and job_computed"));
+            }
+            if self.producer.is_none() {
+                return Err(format!("{job}: cache_hit without producer provenance"));
+            }
+            if hit >= done {
+                return Err(format!("{job}: cache_hit at {hit} not before done at {done}"));
+            }
+            return Ok(Outcome::CacheHit);
+        }
+        if let Some(co) = self.coalesced {
+            if self.computed.is_some() {
+                return Err(format!("{job}: both job_coalesced and job_computed"));
+            }
+            if self.producer.is_none() {
+                return Err(format!("{job}: job_coalesced without producer"));
+            }
+            if co >= done {
+                return Err(format!("{job}: coalesced at {co} not before done at {done}"));
+            }
+            return Ok(Outcome::Coalesced);
+        }
+        let enq = self
+            .enqueued
+            .ok_or_else(|| format!("{job}: computed path without job_enqueued"))?;
+        let deq = self
+            .dequeued
+            .ok_or_else(|| format!("{job}: computed path without job_dequeued"))?;
+        let comp = self
+            .computed
+            .ok_or_else(|| format!("{job}: terminated without compute, hit, or coalesce"))?;
+        if !(enq < deq && deq < comp && comp < done) {
+            return Err(format!(
+                "{job}: out-of-order lifecycle enq={enq} deq={deq} computed={comp} done={done}"
+            ));
+        }
+        if self.verdict.is_none() {
+            return Err(format!("{job}: job_computed without a verdict"));
+        }
+        Ok(Outcome::Computed)
+    }
+}
+
+/// Parses a JSONL log body, reconstructs every job timeline, and
+/// validates each one. Also checks that `seq` is strictly monotone
+/// across the whole log (one writer, no lost records). Returns the
+/// timelines on success.
+pub fn validate_log(text: &str) -> Result<BTreeMap<String, JobTimeline>, String> {
+    let mut records = Vec::new();
+    for (i, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let record = Json::parse(line)
+            .map_err(|e| format!("log line {}: {e}", i + 1))?;
+        records.push(record);
+    }
+    let mut last_seq: Option<u64> = None;
+    for record in &records {
+        let seq = get_u64(record, "seq")
+            .ok_or_else(|| format!("record without seq: {}", record.to_string_compact()))?;
+        if let Some(prev) = last_seq {
+            if seq <= prev {
+                return Err(format!("seq not strictly monotone: {prev} then {seq}"));
+            }
+        }
+        last_seq = Some(seq);
+    }
+    let timelines = job_timelines(&records);
+    for t in timelines.values() {
+        t.validate()?;
+    }
+    Ok(timelines)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn line(seq: u64, event: &str, fields: &[(&str, Json)]) -> String {
+        let mut r = Json::obj();
+        r.set("seq", Json::from(seq as f64));
+        r.set("ts_us", Json::from(1000.0 + seq as f64));
+        r.set("level", Json::from("info"));
+        r.set("event", Json::from(event));
+        for (k, v) in fields {
+            r.set(k, v.clone());
+        }
+        r.to_string_compact()
+    }
+
+    #[test]
+    fn reconstructs_a_computed_lifecycle() {
+        let log = [
+            line(0, "serve_started", &[("workers", Json::from(2.0))]),
+            line(1, "job_enqueued", &[("job", Json::from("j-0")), ("name", Json::from("a.js"))]),
+            line(2, "job_dequeued", &[("job", Json::from("j-0"))]),
+            line(3, "span", &[("job", Json::from("j-0")), ("span", Json::from("phase1")), ("dur_us", Json::from(12.0))]),
+            line(4, "job_computed", &[("job", Json::from("j-0")), ("verdict", Json::from("pass"))]),
+            line(5, "job_done", &[("job", Json::from("j-0")), ("micros", Json::from(99.0))]),
+        ]
+        .join("\n");
+        let timelines = validate_log(&log).expect("valid log");
+        let t = &timelines["j-0"];
+        assert_eq!(t.validate(), Ok(Outcome::Computed));
+        assert_eq!(t.name.as_deref(), Some("a.js"));
+        assert_eq!(t.verdict.as_deref(), Some("pass"));
+        assert_eq!(t.micros, Some(99));
+        assert_eq!(t.spans, [("phase1".to_owned(), 12)]);
+    }
+
+    #[test]
+    fn cache_hit_requires_producer_provenance() {
+        let with_producer = [
+            line(0, "cache_hit", &[("job", Json::from("j-1")), ("producer", Json::from("j-0"))]),
+            line(1, "job_done", &[("job", Json::from("j-1")), ("micros", Json::from(3.0))]),
+        ]
+        .join("\n");
+        let timelines = validate_log(&with_producer).unwrap();
+        assert_eq!(timelines["j-1"].validate(), Ok(Outcome::CacheHit));
+        assert_eq!(timelines["j-1"].producer.as_deref(), Some("j-0"));
+
+        let without = [
+            line(0, "cache_hit", &[("job", Json::from("j-1"))]),
+            line(1, "job_done", &[("job", Json::from("j-1"))]),
+        ]
+        .join("\n");
+        let err = validate_log(&without).unwrap_err();
+        assert!(err.contains("producer"), "{err}");
+    }
+
+    #[test]
+    fn unterminated_and_out_of_order_jobs_fail() {
+        let unterminated = line(0, "job_enqueued", &[("job", Json::from("j-9"))]);
+        assert!(validate_log(&unterminated).unwrap_err().contains("job_done"));
+
+        let skipped_dequeue = [
+            line(0, "job_enqueued", &[("job", Json::from("j-2"))]),
+            line(1, "job_computed", &[("job", Json::from("j-2")), ("verdict", Json::from("pass"))]),
+            line(2, "job_done", &[("job", Json::from("j-2"))]),
+        ]
+        .join("\n");
+        let err = validate_log(&skipped_dequeue).unwrap_err();
+        assert!(err.contains("job_dequeued"), "{err}");
+    }
+
+    #[test]
+    fn rejected_jobs_are_terminal() {
+        let ok = line(0, "job_rejected", &[("job", Json::from("j-3")), ("reason", Json::from("overloaded"))]);
+        assert_eq!(validate_log(&ok).unwrap()["j-3"].validate(), Ok(Outcome::Rejected));
+
+        let bad = [
+            line(0, "job_rejected", &[("job", Json::from("j-3"))]),
+            line(1, "job_dequeued", &[("job", Json::from("j-3"))]),
+        ]
+        .join("\n");
+        assert!(validate_log(&bad).is_err());
+    }
+
+    #[test]
+    fn seq_must_be_strictly_monotone() {
+        let log = [
+            line(5, "serve_started", &[]),
+            line(5, "serve_shutdown", &[]),
+        ]
+        .join("\n");
+        assert!(validate_log(&log).unwrap_err().contains("monotone"));
+    }
+
+    #[test]
+    fn coalesced_jobs_share_a_producer() {
+        let log = [
+            line(0, "job_enqueued", &[("job", Json::from("j-0"))]),
+            line(1, "job_coalesced", &[("job", Json::from("j-1")), ("producer", Json::from("j-0"))]),
+            line(2, "job_dequeued", &[("job", Json::from("j-0"))]),
+            line(3, "job_computed", &[("job", Json::from("j-0")), ("verdict", Json::from("pass"))]),
+            line(4, "job_done", &[("job", Json::from("j-0"))]),
+            line(5, "job_done", &[("job", Json::from("j-1"))]),
+        ]
+        .join("\n");
+        let timelines = validate_log(&log).unwrap();
+        assert_eq!(timelines["j-0"].validate(), Ok(Outcome::Computed));
+        assert_eq!(timelines["j-1"].validate(), Ok(Outcome::Coalesced));
+        assert_eq!(timelines["j-1"].producer.as_deref(), Some("j-0"));
+    }
+}

@@ -57,6 +57,9 @@ pub struct CacheCounters {
 struct Entry {
     value: Json,
     stamp: u64,
+    /// Request ID of the job whose analysis produced this entry; logged
+    /// as provenance on every later hit.
+    producer: String,
 }
 
 /// An LRU map from content address to the cached core vet result (the
@@ -95,13 +98,14 @@ impl SigCache {
         order.insert(entry.stamp, key);
     }
 
-    /// Counted lookup: bumps recency and the hit/miss counters.
-    pub fn get(&mut self, key: u64) -> Option<Json> {
+    /// Counted lookup: bumps recency and the hit/miss counters. Returns
+    /// the cached core plus the producing job's request ID (provenance).
+    pub fn get(&mut self, key: u64) -> Option<(Json, String)> {
         match self.map.get_mut(&key) {
             Some(entry) => {
                 self.hits += 1;
                 Self::bump(&mut self.order, &mut self.next_stamp, entry, key);
-                Some(entry.value.clone())
+                Some((entry.value.clone(), entry.producer.clone()))
             }
             None => {
                 self.misses += 1;
@@ -112,18 +116,22 @@ impl SigCache {
 
     /// Uncounted lookup, used by workers to dedupe racing submissions of
     /// the same addon without double-counting the handler's miss.
-    pub fn peek(&self, key: u64) -> Option<Json> {
-        self.map.get(&key).map(|e| e.value.clone())
+    pub fn peek(&self, key: u64) -> Option<(Json, String)> {
+        self.map
+            .get(&key)
+            .map(|e| (e.value.clone(), e.producer.clone()))
     }
 
     /// Inserts (or refreshes) an entry, evicting the least recently used
-    /// entry if the cache is full.
-    pub fn insert(&mut self, key: u64, value: Json) {
+    /// entry if the cache is full. `producer` is the request ID of the
+    /// job whose analysis produced the value.
+    pub fn insert(&mut self, key: u64, value: Json, producer: &str) {
         if self.cap == 0 {
             return;
         }
         if let Some(entry) = self.map.get_mut(&key) {
             entry.value = value;
+            entry.producer = producer.to_owned();
             Self::bump(&mut self.order, &mut self.next_stamp, entry, key);
             return;
         }
@@ -137,7 +145,14 @@ impl SigCache {
         let stamp = self.next_stamp;
         self.next_stamp += 1;
         self.order.insert(stamp, key);
-        self.map.insert(key, Entry { value, stamp });
+        self.map.insert(
+            key,
+            Entry {
+                value,
+                stamp,
+                producer: producer.to_owned(),
+            },
+        );
     }
 
     /// Counter snapshot for the `stats` endpoint.
@@ -185,10 +200,10 @@ mod tests {
     #[test]
     fn lru_evicts_least_recently_used() {
         let mut c = SigCache::new(2);
-        c.insert(1, val(1));
-        c.insert(2, val(2));
+        c.insert(1, val(1), "j-1");
+        c.insert(2, val(2), "j-2");
         assert!(c.get(1).is_some()); // 2 is now LRU
-        c.insert(3, val(3)); // evicts 2
+        c.insert(3, val(3), "j-3"); // evicts 2
         assert!(c.peek(2).is_none());
         assert!(c.peek(1).is_some());
         assert!(c.peek(3).is_some());
@@ -201,17 +216,27 @@ mod tests {
     fn counters_track_hits_and_misses() {
         let mut c = SigCache::new(8);
         assert!(c.get(7).is_none());
-        c.insert(7, val(7));
-        assert_eq!(c.get(7).unwrap(), val(7));
+        c.insert(7, val(7), "j-0");
+        assert_eq!(c.get(7).unwrap(), (val(7), "j-0".to_owned()));
         assert!(c.peek(7).is_some(), "peek does not count");
         let counters = c.counters();
         assert_eq!((counters.hits, counters.misses), (1, 1));
     }
 
     #[test]
+    fn hits_carry_the_producing_jobs_id() {
+        let mut c = SigCache::new(4);
+        c.insert(11, val(1), "j-41");
+        let (_, producer) = c.get(11).unwrap();
+        assert_eq!(producer, "j-41");
+        let (_, peeked) = c.peek(11).unwrap();
+        assert_eq!(peeked, "j-41", "peek reports provenance too");
+    }
+
+    #[test]
     fn zero_capacity_disables_caching() {
         let mut c = SigCache::new(0);
-        c.insert(1, val(1));
+        c.insert(1, val(1), "j-0");
         assert!(c.get(1).is_none());
         assert_eq!(c.counters().entries, 0);
     }
@@ -219,9 +244,11 @@ mod tests {
     #[test]
     fn refresh_keeps_single_entry() {
         let mut c = SigCache::new(2);
-        c.insert(1, val(1));
-        c.insert(1, val(9));
-        assert_eq!(c.get(1).unwrap(), val(9));
+        c.insert(1, val(1), "j-1");
+        c.insert(1, val(9), "j-2");
+        let (value, producer) = c.get(1).unwrap();
+        assert_eq!(value, val(9));
+        assert_eq!(producer, "j-2", "refresh updates provenance");
         assert_eq!(c.counters().entries, 1);
         assert_eq!(c.counters().evictions, 0);
     }

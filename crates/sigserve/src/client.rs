@@ -75,6 +75,14 @@ impl Client {
         self.request(&req)
     }
 
+    /// Fetches the metrics registry as a Prometheus text body (the
+    /// `kind:metrics` response also carries its sample count).
+    pub fn metrics(&mut self) -> io::Result<Json> {
+        let mut req = Json::obj();
+        req.set("kind", Json::from("metrics"));
+        self.request(&req)
+    }
+
     /// Asks the daemon to finish pending jobs and stop; returns the
     /// `shutdown_ack` carrying the final counter dump.
     pub fn shutdown(&mut self) -> io::Result<Json> {

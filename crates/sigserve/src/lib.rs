@@ -69,8 +69,11 @@ pub use cache::{cache_key, cache_key_for, CacheCounters, SigCache};
 pub use client::Client;
 pub use protocol::{parse_request, Request, Source, VetItem};
 pub use queue::{Bounded, PushError};
-pub use server::{serve_stdio, ServeConfig, Server};
+pub use server::{serve_stdio, serve_stdio_traced, ServeConfig, Server};
 pub use stats::{metrics_json, Stats};
+/// Re-exported from `sigobs`: the structured event log `ServeConfig`
+/// can attach so every job lifecycle lands in a JSONL stream.
+pub use sigobs::{EventLog, Level};
 /// Re-exported from `sigtrace`: the metrics registry every worker feeds
 /// and the phase-timing triple `VetOutcome::Report` carries.
 pub use sigtrace::{MetricsRegistry, MetricsSnapshot, PhaseTimings};
@@ -189,3 +192,15 @@ impl VetOutcome {
 /// Must be callable from many worker threads at once.
 pub type AnalyzeFn =
     dyn Fn(&str, &jsanalysis::AnalysisConfig, &MetricsRegistry) -> VetOutcome + Send + Sync;
+
+/// The trace-aware engine variant: like [`AnalyzeFn`] plus a
+/// [`sigtrace::Trace`] the engine should attach to the pipeline, so
+/// per-phase spans land in the daemon's structured event log tagged with
+/// the owning job's request ID. The daemon passes [`Trace::Off`] when no
+/// log is attached (or its level is below debug), which an engine can
+/// forward untouched at zero cost.
+///
+/// [`Trace::Off`]: sigtrace::Trace::Off
+pub type AnalyzeJobFn = dyn for<'a> Fn(&str, &jsanalysis::AnalysisConfig, &MetricsRegistry, sigtrace::Trace<'a>) -> VetOutcome
+    + Send
+    + Sync;

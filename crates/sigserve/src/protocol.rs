@@ -7,6 +7,7 @@
 //! {"kind":"vet","path":"crates/corpus/addons/pinpoints.js"}
 //! {"kind":"vet_batch","items":[{"name":"a","source":"..."}, ...]}
 //! {"kind":"stats"}
+//! {"kind":"metrics"}
 //! {"kind":"shutdown"}
 //! ```
 //!
@@ -19,9 +20,14 @@
 //! {"kind":"vet_result",...,"verdict":"error","message":"parse error: ..."}
 //! {"kind":"overloaded","queued":32,"capacity":32}
 //! {"kind":"stats", ...counters...}
+//! {"kind":"metrics","prometheus":"# TYPE serve_vet_us histogram\n..."}
 //! {"kind":"shutdown_ack","stats":{...}}
 //! {"kind":"error","message":"unknown request kind"}
 //! ```
+//!
+//! `vet_result` lines additionally carry a `job` field: the daemon's
+//! per-job request ID (`j-<n>`), the same ID every structured-log record
+//! about the job carries, so responses correlate with the event log.
 //!
 //! The `signature` value of an `ok` result is exactly the document
 //! `vet --json` prints (parsed into the response object), so clients can
@@ -57,6 +63,8 @@ pub enum Request {
     VetBatch(Vec<VetItem>),
     /// Report the daemon's counters.
     Stats,
+    /// Report the metrics registry as a Prometheus text body.
+    Metrics,
     /// Finish pending jobs, dump counters, and stop.
     Shutdown,
 }
@@ -92,6 +100,7 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
                 .map(Request::VetBatch)
         }
         Some("stats") => Ok(Request::Stats),
+        Some("metrics") => Ok(Request::Metrics),
         Some("shutdown") => Ok(Request::Shutdown),
         Some(other) => Err(format!("unknown request kind: {other}")),
         None => Err("request needs a string kind".to_owned()),
@@ -130,13 +139,23 @@ pub fn overloaded_response(name: Option<&str>, queued: usize, capacity: usize) -
 }
 
 /// Wraps a cached-or-computed core result (its fields start at
-/// `"verdict"`) with per-request provenance: the display name, whether
-/// the cache answered, and the request's wall time in microseconds.
-pub fn vet_response(core: &Json, name: Option<&str>, cached: bool, micros: u128) -> Json {
+/// `"verdict"`) with per-request provenance: the display name, the
+/// request ID (when the daemon assigned one), whether the cache
+/// answered, and the request's wall time in microseconds.
+pub fn vet_response(
+    core: &Json,
+    name: Option<&str>,
+    job: Option<&str>,
+    cached: bool,
+    micros: u128,
+) -> Json {
     let mut o = Json::obj();
     o.set("kind", Json::from("vet_result"));
     if let Some(n) = name {
         o.set("name", Json::from(n));
+    }
+    if let Some(j) = job {
+        o.set("job", Json::from(j));
     }
     o.set("cached", Json::Bool(cached));
     o.set("micros", Json::from(micros as f64));
@@ -145,6 +164,16 @@ pub fn vet_response(core: &Json, name: Option<&str>, cached: bool, micros: u128)
             o.set(k, v.clone());
         }
     }
+    o
+}
+
+/// The `kind:metrics` response: the Prometheus text body plus its sample
+/// count (so scripted clients can sanity-check without parsing).
+pub fn metrics_response(prometheus: &str, samples: usize) -> Json {
+    let mut o = Json::obj();
+    o.set("kind", Json::from("metrics"));
+    o.set("samples", Json::from(samples as f64));
+    o.set("prometheus", Json::from(prometheus));
     o
 }
 
@@ -196,9 +225,22 @@ mod tests {
         }
         assert_eq!(parse_request(r#"{"kind":"stats"}"#).unwrap(), Request::Stats);
         assert_eq!(
+            parse_request(r#"{"kind":"metrics"}"#).unwrap(),
+            Request::Metrics
+        );
+        assert_eq!(
             parse_request(r#"{"kind":"shutdown"}"#).unwrap(),
             Request::Shutdown
         );
+    }
+
+    #[test]
+    fn metrics_response_is_single_line_with_sample_count() {
+        let resp = metrics_response("# TYPE a counter\na 1\n", 1);
+        assert_eq!(resp["kind"], "metrics");
+        assert_eq!(resp["samples"].as_f64(), Some(1.0));
+        assert!(resp["prometheus"].as_str().unwrap().contains("a 1"));
+        assert!(!resp.to_string_compact().contains('\n'));
     }
 
     #[test]
@@ -206,9 +248,10 @@ mod tests {
         let mut core = Json::obj();
         core.set("verdict", Json::from("ok"));
         core.set("signature", Json::obj());
-        let resp = vet_response(&core, Some("x.js"), true, 42);
+        let resp = vet_response(&core, Some("x.js"), Some("j-7"), true, 42);
         assert_eq!(resp["kind"], "vet_result");
         assert_eq!(resp["name"], "x.js");
+        assert_eq!(resp["job"], "j-7");
         assert_eq!(resp["cached"], Json::Bool(true));
         assert_eq!(resp["micros"].as_f64(), Some(42.0));
         assert_eq!(resp["verdict"], "ok");

@@ -20,19 +20,23 @@
 
 use crate::cache::{cache_key, SigCache};
 use crate::protocol::{
-    error_response, overloaded_response, parse_request, vet_response, Request, Source, VetItem,
+    error_response, metrics_response, overloaded_response, parse_request, vet_response, Request,
+    Source, VetItem,
 };
 use crate::queue::{Bounded, PushError};
 use crate::stats::{metrics_json, Stats};
-use crate::{AnalyzeFn, MetricsRegistry, VetOutcome};
+use crate::{AnalyzeJobFn, MetricsRegistry, MetricsSnapshot, VetOutcome};
 use jsanalysis::AnalysisConfig;
 use minijson::Json;
+use sigobs::{EventLog, Level, LogTracer};
+use sigtrace::Trace;
 use std::io::{self, BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{mpsc, Arc, Mutex};
 use std::thread::JoinHandle;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// Daemon configuration (the `vet serve` flags).
 #[derive(Debug, Clone)]
@@ -51,6 +55,20 @@ pub struct ServeConfig {
     /// shuts down (default `false`; `vet serve` turns it on). Off by
     /// default so embedded servers — tests, benches — stay quiet.
     pub dump_metrics_on_shutdown: bool,
+    /// Structured event log (`vet serve --log FILE` / `--log-level`).
+    /// Every job lifecycle event, keyed by the job's request ID, goes
+    /// here; the ring tail also rides along in `stats` responses.
+    /// Default `None`: no logging overhead at all.
+    pub log: Option<Arc<EventLog>>,
+    /// Metrics-history directory (`vet serve --metrics-dir D`). When
+    /// set, a background thread snapshots the merged metrics into a
+    /// bounded on-disk ring every [`ServeConfig::metrics_interval`], so
+    /// metrics survive restarts. Default `None`.
+    pub metrics_dir: Option<PathBuf>,
+    /// Snapshot interval for the history thread (default 5 s).
+    pub metrics_interval: Duration,
+    /// On-disk history ring capacity in snapshots (default 256).
+    pub metrics_history_cap: u64,
 }
 
 impl Default for ServeConfig {
@@ -62,12 +80,19 @@ impl Default for ServeConfig {
             queue_cap: workers * 8,
             analysis: AnalysisConfig::default(),
             dump_metrics_on_shutdown: false,
+            log: None,
+            metrics_dir: None,
+            metrics_interval: Duration::from_secs(5),
+            metrics_history_cap: 256,
         }
     }
 }
 
 /// One queued vetting job.
 struct Job {
+    /// Request ID (`j-<n>`), carried through the queue so the worker's
+    /// log records correlate with the submitting handler's.
+    id: String,
     key: u64,
     source: String,
     resp: mpsc::Sender<Json>,
@@ -84,16 +109,23 @@ struct Shared {
     cache: Mutex<SigCache>,
     stats: Stats,
     metrics: MetricsRegistry,
-    analyze: Box<AnalyzeFn>,
+    analyze: Box<AnalyzeJobFn>,
     shutting_down: AtomicBool,
     dump_metrics_on_shutdown: bool,
+    /// Structured event log, shared with whoever configured it.
+    log: Option<Arc<EventLog>>,
+    /// Source of per-job request IDs (`j-<n>`).
+    job_seq: AtomicU64,
+    metrics_dir: Option<PathBuf>,
+    metrics_interval: Duration,
+    metrics_history_cap: u64,
     /// Bound address in TCP mode; used to poke the blocked acceptor on
     /// shutdown. `None` in stdio mode.
     addr: Option<SocketAddr>,
 }
 
 impl Shared {
-    fn new(cfg: ServeConfig, analyze: Box<AnalyzeFn>, addr: Option<SocketAddr>) -> Shared {
+    fn new(cfg: ServeConfig, analyze: Box<AnalyzeJobFn>, addr: Option<SocketAddr>) -> Shared {
         Shared {
             config_canon: cfg.analysis.canonical_string(),
             workers: cfg.workers.max(1),
@@ -105,12 +137,50 @@ impl Shared {
             analyze,
             shutting_down: AtomicBool::new(false),
             dump_metrics_on_shutdown: cfg.dump_metrics_on_shutdown,
+            log: cfg.log,
+            job_seq: AtomicU64::new(0),
+            metrics_dir: cfg.metrics_dir,
+            metrics_interval: cfg.metrics_interval,
+            metrics_history_cap: cfg.metrics_history_cap,
             addr,
         }
     }
 
     fn lock_cache(&self) -> std::sync::MutexGuard<'_, SigCache> {
         self.cache.lock().expect("cache lock poisoned")
+    }
+
+    fn next_job_id(&self) -> String {
+        format!("j-{}", self.job_seq.fetch_add(1, Ordering::Relaxed))
+    }
+
+    fn log_event(&self, level: Level, event: &str, fields: &[(&str, Json)]) {
+        if let Some(log) = &self.log {
+            log.log(level, event, fields);
+        }
+    }
+
+    /// The registry snapshot plus the daemon's own `Stats` counters and
+    /// cache occupancy, under `serve_`-prefixed names — what `metrics`
+    /// responses and the on-disk history both render, so the exposition
+    /// covers the whole daemon, not just what the engine recorded.
+    fn merged_snapshot(&self) -> MetricsSnapshot {
+        let mut snap = self.metrics.snapshot();
+        let read = |c: &std::sync::atomic::AtomicU64| c.load(Ordering::Relaxed);
+        let cache = self.lock_cache().counters();
+        let extra = [
+            ("serve_jobs_accepted", read(&self.stats.jobs_accepted)),
+            ("serve_jobs_rejected", read(&self.stats.jobs_rejected)),
+            ("serve_jobs_completed", read(&self.stats.jobs_completed)),
+            ("serve_protocol_errors", read(&self.stats.protocol_errors)),
+            ("serve_cache_entries", cache.entries),
+            ("serve_cache_evictions", cache.evictions),
+        ];
+        for (name, v) in extra {
+            snap.counters.push((name.to_owned(), v));
+        }
+        snap.counters.sort();
+        snap
     }
 
     fn stats_body(&self) -> Json {
@@ -121,6 +191,12 @@ impl Shared {
             self.queue.capacity(),
         );
         body.set("metrics", metrics_json(&self.metrics.snapshot()));
+        if let Some(log) = &self.log {
+            // The in-memory ring tail: the last ~128 structured events,
+            // so an operator gets recent history from a stats round-trip
+            // even with no log file configured.
+            body.set("log_tail", Json::Arr(log.tail()));
+        }
         body
     }
 
@@ -139,9 +215,23 @@ impl Shared {
 /// result. Deadline-based timeouts are *not* cached: they depend on
 /// machine load, so a later resubmission deserves a fresh attempt, while
 /// step-budget timeouts are deterministic and cache fine.
-fn compute(shared: &Shared, key: u64, source: &str) -> Json {
+fn compute(shared: &Shared, key: u64, source: &str, job: &str) -> Json {
     let t0 = Instant::now();
-    let outcome = (shared.analyze)(source, &shared.analysis, &shared.metrics);
+    let outcome = {
+        // Thread the job's request ID into the pipeline: at debug level
+        // a LogTracer turns phase spans into `span` log events tagged
+        // with this job's ID; otherwise the engine sees Trace::Off.
+        let mut tracer = shared
+            .log
+            .as_ref()
+            .filter(|l| l.enabled(Level::Debug))
+            .map(|l| LogTracer::new(l, job));
+        let trace = match tracer.as_mut() {
+            Some(t) => Trace::On(t),
+            None => Trace::Off,
+        };
+        (shared.analyze)(source, &shared.analysis, &shared.metrics, trace)
+    };
     let vet = t0.elapsed();
     shared.stats.record_vet(vet);
     shared
@@ -150,33 +240,79 @@ fn compute(shared: &Shared, key: u64, source: &str) -> Json {
     match &outcome {
         VetOutcome::Report { timings, .. } => {
             shared.stats.record_phases(timings.p1, timings.p2, timings.p3);
+            shared.log_event(
+                Level::Info,
+                "job_computed",
+                &[
+                    ("job", Json::from(job)),
+                    ("verdict", Json::from("ok")),
+                    ("p1_us", Json::from(timings.p1.as_micros() as f64)),
+                    ("p2_us", Json::from(timings.p2.as_micros() as f64)),
+                    ("p3_us", Json::from(timings.p3.as_micros() as f64)),
+                ],
+            );
         }
-        VetOutcome::Timeout { .. } => {
+        VetOutcome::Timeout { steps, elapsed } => {
             Stats::incr(&shared.stats.budget_aborts);
             shared.metrics.add("serve_budget_aborts", 1);
+            shared.log_event(
+                Level::Warn,
+                "job_computed",
+                &[
+                    ("job", Json::from(job)),
+                    ("verdict", Json::from("timeout")),
+                    ("steps", Json::from(*steps as f64)),
+                    ("elapsed_us", Json::from(elapsed.as_micros() as f64)),
+                ],
+            );
         }
-        VetOutcome::Error { .. } => {
+        VetOutcome::Error { message } => {
             Stats::incr(&shared.stats.analysis_errors);
             shared.metrics.add("serve_analysis_errors", 1);
+            shared.log_event(
+                Level::Warn,
+                "job_computed",
+                &[
+                    ("job", Json::from(job)),
+                    ("verdict", Json::from("error")),
+                    ("message", Json::from(message.as_str())),
+                ],
+            );
         }
     }
     let core = outcome.core_json();
     if outcome.cacheable(&shared.analysis) {
-        shared.lock_cache().insert(key, core.clone());
+        shared.lock_cache().insert(key, core.clone(), job);
+        shared.log_event(Level::Debug, "cache_insert", &[("job", Json::from(job))]);
     }
     core
 }
 
 fn worker_loop(shared: &Shared) {
     while let Some(job) = shared.queue.pop() {
+        shared.log_event(
+            Level::Info,
+            "job_dequeued",
+            &[("job", Json::from(job.id.as_str()))],
+        );
         // Dedupe racing submissions of the same content: another worker
         // may have finished this key while the job sat in the queue.
         // (Bound before the match: a guard temporary in the scrutinee
         // would still be held when compute() re-locks the cache.)
         let cached = shared.lock_cache().peek(job.key);
         let core = match cached {
-            Some(hit) => hit,
-            None => compute(shared, job.key, &job.source),
+            Some((hit, producer)) => {
+                shared.log_event(
+                    Level::Info,
+                    "cache_hit",
+                    &[
+                        ("job", Json::from(job.id.as_str())),
+                        ("producer", Json::from(producer)),
+                    ],
+                );
+                hit
+            }
+            None => compute(shared, job.key, &job.source, &job.id),
         };
         Stats::incr(&shared.stats.jobs_completed);
         // A disconnected submitter is fine; the result is cached anyway.
@@ -187,10 +323,12 @@ fn worker_loop(shared: &Shared) {
 /// A submitted-but-not-yet-answered vet item, so batches can pipeline
 /// all submissions across the worker pool before collecting any result.
 enum PendingVet {
-    /// Answered without a worker (cache hit, overload, bad path, ...).
+    /// Answered without a worker (cache hit, overload, bad path, ...);
+    /// any terminal log events were already written at submit time.
     Ready(Json),
     /// In the worker pool; await the core result on the channel.
     Waiting {
+        id: String,
         name: Option<String>,
         rx: mpsc::Receiver<Json>,
         t0: Instant,
@@ -205,31 +343,71 @@ fn submit_vet(shared: &Shared, item: VetItem) -> PendingVet {
             // A path submission defaults its display name to the path.
             Ok(s) => (item.name.or(Some(p)), s),
             Err(e) => {
+                // Failed before entering the system: no job ID assigned,
+                // logged as daemon narration rather than a lifecycle.
+                shared.log_event(
+                    Level::Warn,
+                    "vet_path_error",
+                    &[
+                        ("path", Json::from(p.as_str())),
+                        ("error", Json::from(format!("{e}"))),
+                    ],
+                );
                 let mut core = Json::obj();
                 core.set("verdict", Json::from("error"));
                 core.set("message", Json::from(format!("{p}: {e}")));
                 return PendingVet::Ready(vet_response(
                     &core,
                     item.name.as_deref().or(Some(&p)),
+                    None,
                     false,
                     t0.elapsed().as_micros(),
                 ));
             }
         },
     };
+    let id = shared.next_job_id();
     let key = cache_key(&source, &shared.config_canon);
-    if let Some(core) = shared.lock_cache().get(key) {
+    if let Some((core, producer)) = shared.lock_cache().get(key) {
         shared.metrics.add("serve_cache_hits", 1);
-        return PendingVet::Ready(vet_response(
-            &core,
-            name.as_deref(),
-            true,
-            t0.elapsed().as_micros(),
-        ));
+        shared.log_event(
+            Level::Info,
+            "cache_hit",
+            &[
+                ("job", Json::from(id.as_str())),
+                ("name", name.as_deref().map(Json::from).unwrap_or(Json::Null)),
+                ("producer", Json::from(producer)),
+            ],
+        );
+        let micros = t0.elapsed().as_micros();
+        let resp = vet_response(&core, name.as_deref(), Some(&id), true, micros);
+        shared.log_event(
+            Level::Info,
+            "job_done",
+            &[
+                ("job", Json::from(id.as_str())),
+                ("micros", Json::from(micros as f64)),
+                ("cached", Json::Bool(true)),
+            ],
+        );
+        return PendingVet::Ready(resp);
     }
     shared.metrics.add("serve_cache_misses", 1);
+    // Log admission *before* try_push: once the job is in the queue a
+    // worker can dequeue it immediately, and the log's seq order must
+    // match the lifecycle order (enqueued < dequeued).
+    shared.log_event(
+        Level::Info,
+        "job_enqueued",
+        &[
+            ("job", Json::from(id.as_str())),
+            ("name", name.as_deref().map(Json::from).unwrap_or(Json::Null)),
+            ("queue_depth", Json::from(shared.queue.len() as f64)),
+        ],
+    );
     let (tx, rx) = mpsc::channel();
     match shared.queue.try_push(Job {
+        id: id.clone(),
         key,
         source,
         resp: tx,
@@ -239,10 +417,18 @@ fn submit_vet(shared: &Shared, item: VetItem) -> PendingVet {
             shared
                 .metrics
                 .record("serve_queue_depth", shared.queue.len() as u64);
-            PendingVet::Waiting { name, rx, t0 }
+            PendingVet::Waiting { id, name, rx, t0 }
         }
         Err(PushError::Full(_)) => {
             Stats::incr(&shared.stats.jobs_rejected);
+            shared.log_event(
+                Level::Warn,
+                "job_rejected",
+                &[
+                    ("job", Json::from(id.as_str())),
+                    ("reason", Json::from("overloaded")),
+                ],
+            );
             PendingVet::Ready(overloaded_response(
                 name.as_deref(),
                 shared.queue.len(),
@@ -251,16 +437,37 @@ fn submit_vet(shared: &Shared, item: VetItem) -> PendingVet {
         }
         Err(PushError::ShutDown(_)) => {
             Stats::incr(&shared.stats.jobs_rejected);
+            shared.log_event(
+                Level::Warn,
+                "job_rejected",
+                &[
+                    ("job", Json::from(id.as_str())),
+                    ("reason", Json::from("shutting_down")),
+                ],
+            );
             PendingVet::Ready(error_response("daemon is shutting down"))
         }
     }
 }
 
-fn await_vet(pending: PendingVet) -> Json {
+fn await_vet(shared: &Shared, pending: PendingVet) -> Json {
     match pending {
         PendingVet::Ready(resp) => resp,
-        PendingVet::Waiting { name, rx, t0 } => match rx.recv() {
-            Ok(core) => vet_response(&core, name.as_deref(), false, t0.elapsed().as_micros()),
+        PendingVet::Waiting { id, name, rx, t0 } => match rx.recv() {
+            Ok(core) => {
+                let micros = t0.elapsed().as_micros();
+                let resp = vet_response(&core, name.as_deref(), Some(&id), false, micros);
+                shared.log_event(
+                    Level::Info,
+                    "job_done",
+                    &[
+                        ("job", Json::from(id.as_str())),
+                        ("micros", Json::from(micros as f64)),
+                        ("cached", Json::Bool(false)),
+                    ],
+                );
+                resp
+            }
             Err(_) => error_response("worker pool shut down before the job finished"),
         },
     }
@@ -283,22 +490,38 @@ fn respond(shared: &Shared, req: Result<Request, String>) -> (Json, bool) {
     match req {
         Err(msg) => {
             Stats::incr(&shared.stats.protocol_errors);
+            shared.log_event(
+                Level::Warn,
+                "protocol_error",
+                &[("error", Json::from(msg.as_str()))],
+            );
             (error_response(&msg), false)
         }
-        Ok(Request::Vet(item)) => (await_vet(submit_vet(shared, item)), false),
+        Ok(Request::Vet(item)) => (await_vet(shared, submit_vet(shared, item)), false),
         Ok(Request::VetBatch(items)) => {
             // Submit everything first so the batch saturates the worker
             // pool; items beyond the queue bound come back `overloaded`.
             let pending: Vec<PendingVet> =
                 items.into_iter().map(|i| submit_vet(shared, i)).collect();
-            let results: Vec<Json> = pending.into_iter().map(await_vet).collect();
+            let results: Vec<Json> = pending
+                .into_iter()
+                .map(|p| await_vet(shared, p))
+                .collect();
             let mut o = Json::obj();
             o.set("kind", Json::from("vet_batch_result"));
             o.set("results", Json::Arr(results));
             (o, false)
         }
         Ok(Request::Stats) => (with_kind("stats", shared.stats_body()), false),
+        Ok(Request::Metrics) => {
+            let text = sigobs::prometheus_text(&shared.merged_snapshot());
+            // Our own renderer must always validate; the sample count is
+            // a convenience for scripted smoke tests.
+            let samples = sigobs::validate_prometheus_text(&text).unwrap_or(0);
+            (metrics_response(&text, samples), false)
+        }
         Ok(Request::Shutdown) => {
+            shared.log_event(Level::Info, "serve_shutdown", &[]);
             let mut o = Json::obj();
             o.set("kind", Json::from("shutdown_ack"));
             o.set("stats", shared.stats_body());
@@ -360,6 +583,68 @@ fn spawn_workers(shared: &Arc<Shared>) -> Vec<JoinHandle<()>> {
         .collect()
 }
 
+/// The `serve_started` log record both front ends emit once the pool is
+/// up, so a log file identifies the daemon configuration it narrates.
+fn log_started(shared: &Shared) {
+    shared.log_event(
+        Level::Info,
+        "serve_started",
+        &[
+            ("workers", Json::from(shared.workers as f64)),
+            ("queue_cap", Json::from(shared.queue.capacity() as f64)),
+            (
+                "cache_cap",
+                Json::from(shared.lock_cache().counters().capacity as f64),
+            ),
+        ],
+    );
+}
+
+/// Spawns the metrics-history thread when `--metrics-dir` is configured:
+/// it appends a merged snapshot to the on-disk ring every
+/// `metrics_interval`, plus one final snapshot at shutdown, and polls
+/// the shutdown flag often enough that daemon teardown is prompt.
+fn spawn_history(shared: &Arc<Shared>) -> Option<JoinHandle<()>> {
+    let dir = shared.metrics_dir.clone()?;
+    let shared = Arc::clone(shared);
+    let handle = std::thread::Builder::new()
+        .name("sigserve-history".to_owned())
+        .spawn(move || {
+            let mut history = match sigobs::MetricsHistory::open(&dir, shared.metrics_history_cap)
+            {
+                Ok(h) => h,
+                Err(e) => {
+                    shared.log_event(
+                        Level::Error,
+                        "metrics_history_error",
+                        &[("error", Json::from(format!("{e}")))],
+                    );
+                    return;
+                }
+            };
+            let poll = Duration::from_millis(25);
+            loop {
+                let interval_start = Instant::now();
+                while interval_start.elapsed() < shared.metrics_interval {
+                    if shared.shutting_down.load(Ordering::SeqCst) {
+                        let _ = history.append(&shared.merged_snapshot());
+                        return;
+                    }
+                    std::thread::sleep(poll.min(shared.metrics_interval));
+                }
+                if let Err(e) = history.append(&shared.merged_snapshot()) {
+                    shared.log_event(
+                        Level::Warn,
+                        "metrics_history_error",
+                        &[("error", Json::from(format!("{e}")))],
+                    );
+                }
+            }
+        })
+        .expect("spawn history thread");
+    Some(handle)
+}
+
 /// A running TCP daemon. Dropping the handle does *not* stop it; send a
 /// `shutdown` request (or call [`Server::stop`]) and then [`Server::join`].
 pub struct Server {
@@ -367,19 +652,40 @@ pub struct Server {
     addr: SocketAddr,
     acceptor: JoinHandle<()>,
     workers: Vec<JoinHandle<()>>,
+    history: Option<JoinHandle<()>>,
 }
 
 impl Server {
     /// Binds `addr` (e.g. `127.0.0.1:0` for an ephemeral port), spawns
     /// the worker pool and the acceptor, and returns immediately.
+    ///
+    /// The engine here is the classic 3-argument form; phase spans never
+    /// reach the event log. Use [`Server::bind_traced`] when the engine
+    /// can attach a [`sigtrace::Trace`] to the pipeline.
     pub fn bind<F>(addr: &str, cfg: ServeConfig, analyze: F) -> io::Result<Server>
     where
         F: Fn(&str, &AnalysisConfig, &MetricsRegistry) -> VetOutcome + Send + Sync + 'static,
     {
+        Server::bind_traced(addr, cfg, move |s, c, m, _trace| analyze(s, c, m))
+    }
+
+    /// Like [`Server::bind`], but the engine also receives a
+    /// [`sigtrace::Trace`] carrying the owning job's request ID into the
+    /// pipeline (a [`LogTracer`] when the event log is at debug level,
+    /// [`Trace::Off`] otherwise).
+    pub fn bind_traced<F>(addr: &str, cfg: ServeConfig, analyze: F) -> io::Result<Server>
+    where
+        F: for<'a> Fn(&str, &AnalysisConfig, &MetricsRegistry, Trace<'a>) -> VetOutcome
+            + Send
+            + Sync
+            + 'static,
+    {
         let listener = TcpListener::bind(addr)?;
         let local = listener.local_addr()?;
         let shared = Arc::new(Shared::new(cfg, Box::new(analyze), Some(local)));
+        log_started(&shared);
         let workers = spawn_workers(&shared);
+        let history = spawn_history(&shared);
         let acceptor = {
             let shared = Arc::clone(&shared);
             std::thread::Builder::new()
@@ -410,6 +716,7 @@ impl Server {
             addr: local,
             acceptor,
             workers,
+            history,
         })
     }
 
@@ -438,6 +745,12 @@ impl Server {
         for w in self.workers {
             let _ = w.join();
         }
+        if let Some(h) = self.history {
+            let _ = h.join();
+        }
+        if let Some(log) = &self.shared.log {
+            log.flush();
+        }
         self.shared.maybe_dump_metrics();
     }
 
@@ -460,16 +773,42 @@ fn handle_conn(shared: &Shared, stream: TcpStream) {
 /// Runs the daemon over stdin/stdout: the protocol loop on the calling
 /// thread, analyses on the worker pool. Returns after a `shutdown`
 /// request or stdin EOF, with all accepted jobs completed.
+///
+/// The engine here is the classic 3-argument form; use
+/// [`serve_stdio_traced`] when the engine can attach a
+/// [`sigtrace::Trace`] to the pipeline.
 pub fn serve_stdio<F>(cfg: ServeConfig, analyze: F) -> io::Result<()>
 where
     F: Fn(&str, &AnalysisConfig, &MetricsRegistry) -> VetOutcome + Send + Sync + 'static,
 {
+    serve_stdio_traced(cfg, move |s, c, m, _trace| analyze(s, c, m))
+}
+
+/// Like [`serve_stdio`], but the engine also receives a
+/// [`sigtrace::Trace`] carrying the owning job's request ID into the
+/// pipeline (a [`LogTracer`] when the event log is at debug level,
+/// [`Trace::Off`] otherwise).
+pub fn serve_stdio_traced<F>(cfg: ServeConfig, analyze: F) -> io::Result<()>
+where
+    F: for<'a> Fn(&str, &AnalysisConfig, &MetricsRegistry, Trace<'a>) -> VetOutcome
+        + Send
+        + Sync
+        + 'static,
+{
     let shared = Arc::new(Shared::new(cfg, Box::new(analyze), None));
+    log_started(&shared);
     let workers = spawn_workers(&shared);
+    let history = spawn_history(&shared);
     let result = serve_lines(&shared, io::stdin().lock(), io::stdout().lock());
     initiate_shutdown(&shared);
     for w in workers {
         let _ = w.join();
+    }
+    if let Some(h) = history {
+        let _ = h.join();
+    }
+    if let Some(log) = &shared.log {
+        log.flush();
     }
     shared.maybe_dump_metrics();
     result.map(|_| ())
@@ -501,7 +840,13 @@ mod tests {
     }
 
     fn shared_with(cfg: ServeConfig) -> Shared {
-        Shared::new(cfg, Box::new(stub), None)
+        Shared::new(
+            cfg,
+            Box::new(
+                |s: &str, c: &AnalysisConfig, m: &MetricsRegistry, _t: Trace<'_>| stub(s, c, m),
+            ),
+            None,
+        )
     }
 
     #[test]
@@ -515,9 +860,9 @@ mod tests {
             };
             let pending = submit_vet(&shared, item);
             let job = shared.queue.pop().expect("job queued");
-            let core = compute(&shared, job.key, &job.source);
+            let core = compute(&shared, job.key, &job.source, &job.id);
             job.resp.send(core).unwrap();
-            let resp = await_vet(pending);
+            let resp = await_vet(&shared, pending);
             assert_eq!(resp["verdict"], "ok");
             assert_eq!(resp["cached"], Json::Bool(false));
             assert_eq!(resp["signature"]["len"].as_f64(), Some(10.0));
@@ -579,10 +924,10 @@ mod tests {
     #[test]
     fn timeout_and_error_cores() {
         let shared = shared_with(ServeConfig::default());
-        let t = compute(&shared, 1, "@timeout");
+        let t = compute(&shared, 1, "@timeout", "j-t");
         assert_eq!(t["verdict"], "timeout");
         assert_eq!(t["steps"].as_f64(), Some(999.0));
-        let e = compute(&shared, 2, "oops!");
+        let e = compute(&shared, 2, "oops!", "j-e");
         assert_eq!(e["verdict"], "error");
         assert_eq!(shared.stats.budget_aborts.load(Ordering::Relaxed), 1);
         assert_eq!(shared.stats.analysis_errors.load(Ordering::Relaxed), 1);
@@ -598,12 +943,14 @@ mod tests {
         cfg.analysis.step_budget = Some(10);
         let shared = Shared::new(
             cfg,
-            Box::new(|_: &str, _: &AnalysisConfig, _: &MetricsRegistry| {
-                VetOutcome::timeout(11, Duration::from_micros(5))
-            }),
+            Box::new(
+                |_: &str, _: &AnalysisConfig, _: &MetricsRegistry, _: Trace<'_>| {
+                    VetOutcome::timeout(11, Duration::from_micros(5))
+                },
+            ),
             None,
         );
-        let t = compute(&shared, 9, "whatever");
+        let t = compute(&shared, 9, "whatever", "j-b");
         assert_eq!(t["verdict"], "timeout");
         assert!(shared.lock_cache().peek(9).is_some());
     }

@@ -97,6 +97,34 @@ impl HistogramSnapshot {
             *b += o;
         }
     }
+
+    /// The `q`-quantile (`0.0 ..= 1.0`) as an **inclusive upper-bound
+    /// estimate**: the largest value the bucket holding the quantile rank
+    /// can contain (`0` for the zero bucket, `2^i - 1` for bucket `i`,
+    /// `u64::MAX` for the overflow bucket). Log₂ buckets bound the
+    /// estimate within 2x of the true quantile, which is what rate/trend
+    /// reporting needs. `None` on an empty histogram.
+    pub fn percentile(&self, q: f64) -> Option<u64> {
+        if self.count == 0 {
+            return None;
+        }
+        // Rank of the quantile observation, 1-based. `q = 0` still maps
+        // to rank 1 (the minimum observation's bucket).
+        let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        let mut cumulative = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            cumulative += c;
+            if cumulative >= rank {
+                return Some(match HistogramSnapshot::bucket_limit(i) {
+                    Some(limit) => limit - 1,
+                    None => u64::MAX,
+                });
+            }
+        }
+        // count > 0 guarantees some bucket reached the rank; tolerate a
+        // torn snapshot (count raced ahead of the bucket increments).
+        Some(u64::MAX)
+    }
 }
 
 /// A point-in-time copy of a whole [`MetricsRegistry`].
@@ -222,6 +250,86 @@ mod tests {
         assert_eq!(merged.count, 10);
         assert_eq!(merged.sum, 2_002_008);
         assert_eq!(merged.buckets[0], 2);
+    }
+
+    #[test]
+    fn bucket_boundaries_are_exact_powers_of_two() {
+        // Exhaustive boundary sweep: for every finite bucket i >= 1, the
+        // lower bound 2^(i-1) lands in bucket i and the value just below
+        // it in bucket i-1.
+        for i in 1..HISTOGRAM_BUCKETS - 1 {
+            let lo = 1u64 << (i - 1);
+            assert_eq!(bucket_index(lo), i, "2^{} must open bucket {i}", i - 1);
+            assert_eq!(bucket_index(lo - 1), i - 1, "2^{}-1 must close bucket {}", i - 1, i - 1);
+        }
+        // The overflow bucket starts exactly at 2^(HISTOGRAM_BUCKETS-2).
+        let overflow_lo = 1u64 << (HISTOGRAM_BUCKETS - 2);
+        assert_eq!(bucket_index(overflow_lo), HISTOGRAM_BUCKETS - 1);
+        assert_eq!(bucket_index(overflow_lo - 1), HISTOGRAM_BUCKETS - 2);
+    }
+
+    #[test]
+    fn extreme_values_zero_one_and_u64_max() {
+        let h = Histogram::new();
+        h.record(0);
+        h.record(1);
+        h.record(u64::MAX);
+        let snap = h.snapshot("extremes");
+        assert_eq!(snap.count, 3);
+        assert_eq!(snap.buckets[0], 1, "0 goes to the zero bucket");
+        assert_eq!(snap.buckets[1], 1, "1 goes to bucket [1,2)");
+        assert_eq!(snap.buckets[HISTOGRAM_BUCKETS - 1], 1, "u64::MAX overflows");
+        // sum wraps modulo 2^64 by design (relaxed fetch_add); the count
+        // and buckets stay exact, which is what the percentiles use.
+        assert_eq!(snap.sum, 0u64.wrapping_add(1).wrapping_add(u64::MAX));
+    }
+
+    #[test]
+    fn percentile_on_empty_histogram_is_none() {
+        let snap = Histogram::new().snapshot("empty");
+        assert_eq!(snap.percentile(0.0), None);
+        assert_eq!(snap.percentile(0.5), None);
+        assert_eq!(snap.percentile(1.0), None);
+    }
+
+    #[test]
+    fn percentile_on_single_bucket_histogram() {
+        let h = Histogram::new();
+        for _ in 0..100 {
+            h.record(5); // bucket [4, 8)
+        }
+        let snap = h.snapshot("single");
+        // Every quantile lives in the one occupied bucket; the estimate
+        // is its inclusive upper bound.
+        for q in [0.0, 0.5, 0.99, 1.0] {
+            assert_eq!(snap.percentile(q), Some(7), "q={q}");
+        }
+        // All-zero observations report exactly zero.
+        let z = Histogram::new();
+        z.record(0);
+        assert_eq!(z.snapshot("zeros").percentile(0.5), Some(0));
+        // A single u64::MAX reports the overflow bucket's cap.
+        let m = Histogram::new();
+        m.record(u64::MAX);
+        assert_eq!(m.snapshot("max").percentile(0.5), Some(u64::MAX));
+    }
+
+    #[test]
+    fn percentile_walks_cumulative_buckets() {
+        let h = Histogram::new();
+        for _ in 0..50 {
+            h.record(1); // bucket 1, upper bound estimate 1
+        }
+        for _ in 0..49 {
+            h.record(1000); // bucket 10 ([512, 1024)), estimate 1023
+        }
+        h.record(1 << 20); // bucket 21, estimate 2^21 - 1
+        let snap = h.snapshot("walk");
+        assert_eq!(snap.percentile(0.25), Some(1));
+        assert_eq!(snap.percentile(0.50), Some(1), "rank 50 is the last 1");
+        assert_eq!(snap.percentile(0.75), Some(1023));
+        assert_eq!(snap.percentile(0.99), Some(1023));
+        assert_eq!(snap.percentile(1.0), Some((1 << 21) - 1));
     }
 
     #[test]

@@ -7,7 +7,13 @@
 //! vet serve [--addr HOST:PORT | --stdio] [--workers N] [--cache-cap N]
 //!           [--queue-cap N] [--step-budget N] [--deadline-ms N]
 //!           [--k <depth>] [--constant-strings]
-//! vet --client HOST:PORT [<addon.js>... | --stats | --shutdown]
+//!           [--log FILE] [--log-level LEVEL]
+//!           [--metrics-dir DIR] [--metrics-interval-ms N]
+//! vet --client HOST:PORT [<addon.js>... | --stats | --metrics | --shutdown]
+//! vet metrics-report DIR
+//! vet corpus-snapshot [--out FILE] [--k <depth>] [--constant-strings]
+//!                     [--step-budget N]
+//! vet corpus-diff OLD NEW
 //! ```
 //!
 //! Analyzes a JavaScript addon and prints its inferred security
@@ -26,9 +32,25 @@
 //! `serve` runs the long-lived vetting daemon (`sigserve`): a worker
 //! pool behind a bounded job queue, a content-addressed signature
 //! cache, and per-analysis step/deadline budgets so one pathological
-//! addon cannot wedge the service. `--client` speaks the daemon's
-//! NDJSON protocol: each named file is vetted (source is read locally
-//! and sent inline) and the response printed one JSON object per line.
+//! addon cannot wedge the service. `--log FILE` writes the structured
+//! JSONL event log (every job lifecycle, keyed by request ID;
+//! `--log-level debug` adds per-phase pipeline spans); `--log-level`
+//! alone keeps an in-memory log whose tail rides along in `stats`
+//! responses. `--metrics-dir DIR` snapshots the metrics registry into a
+//! bounded on-disk ring every `--metrics-interval-ms` (default 5000),
+//! surviving restarts. `--client` speaks the daemon's NDJSON protocol:
+//! each named file is vetted (source is read locally and sent inline)
+//! and the response printed one JSON object per line; `--metrics`
+//! prints the daemon's Prometheus text exposition.
+//!
+//! `metrics-report DIR` renders a metrics-history directory as counter
+//! rates and latency percentiles over the recorded window.
+//! `corpus-snapshot` analyzes the built-in corpus and writes a
+//! drift-observatory snapshot (verdicts + signatures + order-independent
+//! counters, keyed by analyzer version and config hash);
+//! `corpus-diff OLD NEW` classifies what changed between two snapshots
+//! and exits nonzero on signature-level drift (verdict flips, flow
+//! additions/removals, flow-type transitions).
 
 use jsanalysis::{AnalysisConfig, StringDomain};
 use sigserve::{Client, ServeConfig};
@@ -44,8 +66,14 @@ usage:
   vet --corpus [--json] [--sequential]
   vet serve [--addr HOST:PORT | --stdio] [--workers N] [--cache-cap N]
             [--queue-cap N] [--step-budget N] [--deadline-ms N]
-            [--k <depth>] [--constant-strings]
-  vet --client HOST:PORT [<addon.js>... | --stats | --shutdown]";
+            [--k <depth>] [--constant-strings] [--log FILE]
+            [--log-level error|warn|info|debug]
+            [--metrics-dir DIR] [--metrics-interval-ms N]
+  vet --client HOST:PORT [<addon.js>... | --stats | --metrics | --shutdown]
+  vet metrics-report DIR
+  vet corpus-snapshot [--out FILE] [--k <depth>] [--constant-strings]
+                      [--step-budget N]
+  vet corpus-diff OLD NEW";
 
 struct Options {
     json: bool,
@@ -65,12 +93,18 @@ struct ServeOptions {
     /// `Some(addr)` for TCP, `None` for `--stdio`.
     addr: Option<String>,
     config: ServeConfig,
+    /// `--log FILE`: structured JSONL event-log destination. `None`
+    /// with a `log_level` set keeps an in-memory log (tail in `stats`).
+    log_file: Option<String>,
+    /// `--log-level`: `Some` turns logging on even without `--log`.
+    log_level: Option<sigobs::Level>,
 }
 
 /// What `vet --client` should ask the daemon.
 enum ClientAction {
     Vet(Vec<String>),
     Stats,
+    Metrics,
     Shutdown,
 }
 
@@ -85,6 +119,15 @@ enum Mode {
     Run(Options),
     Serve(ServeOptions),
     Client(ClientOptions),
+    /// `vet metrics-report DIR`: render a metrics-history ring.
+    MetricsReport(String),
+    /// `vet corpus-snapshot`: write a drift-observatory snapshot.
+    CorpusSnapshot {
+        out: Option<String>,
+        config: AnalysisConfig,
+    },
+    /// `vet corpus-diff OLD NEW`: classify drift between snapshots.
+    CorpusDiff { old: String, new: String },
 }
 
 fn parse_usize(args: &mut impl Iterator<Item = String>, flag: &str) -> Result<usize, String> {
@@ -97,6 +140,8 @@ fn parse_serve_args(mut args: impl Iterator<Item = String>) -> Result<Mode, Stri
     let mut stdio = false;
     let mut config = ServeConfig::default();
     let mut queue_cap: Option<usize> = None;
+    let mut log_file: Option<String> = None;
+    let mut log_level: Option<sigobs::Level> = None;
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--addr" => addr = Some(args.next().ok_or("--addr needs HOST:PORT")?),
@@ -113,6 +158,21 @@ fn parse_serve_args(mut args: impl Iterator<Item = String>) -> Result<Mode, Stri
             }
             "--k" => config.analysis.context_depth = parse_usize(&mut args, "--k")?,
             "--constant-strings" => config.analysis.string_domain = StringDomain::ConstantOnly,
+            "--log" => log_file = Some(args.next().ok_or("--log needs a FILE")?),
+            "--log-level" => {
+                let v = args.next().ok_or("--log-level needs a level")?;
+                log_level =
+                    Some(sigobs::Level::parse(&v).ok_or_else(|| format!("bad log level: {v}"))?)
+            }
+            "--metrics-dir" => {
+                config.metrics_dir =
+                    Some(args.next().ok_or("--metrics-dir needs a DIR")?.into())
+            }
+            "--metrics-interval-ms" => {
+                config.metrics_interval = Duration::from_millis(
+                    parse_usize(&mut args, "--metrics-interval-ms")?.max(1) as u64,
+                )
+            }
             "--help" | "-h" => return Ok(Mode::Help),
             other => return Err(format!("unknown serve flag: {other}")),
         }
@@ -127,7 +187,31 @@ fn parse_serve_args(mut args: impl Iterator<Item = String>) -> Result<Mode, Stri
     } else {
         Some(addr.unwrap_or_else(|| "127.0.0.1:7161".to_owned()))
     };
-    Ok(Mode::Serve(ServeOptions { addr, config }))
+    Ok(Mode::Serve(ServeOptions {
+        addr,
+        config,
+        log_file,
+        log_level,
+    }))
+}
+
+/// `vet corpus-snapshot` / `vet corpus-diff` arguments.
+fn parse_corpus_snapshot_args(mut args: impl Iterator<Item = String>) -> Result<Mode, String> {
+    let mut out: Option<String> = None;
+    let mut config = AnalysisConfig::default();
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--out" => out = Some(args.next().ok_or("--out needs a FILE")?),
+            "--k" => config.context_depth = parse_usize(&mut args, "--k")?,
+            "--constant-strings" => config.string_domain = StringDomain::ConstantOnly,
+            "--step-budget" => {
+                config.step_budget = Some(parse_usize(&mut args, "--step-budget")?)
+            }
+            "--help" | "-h" => return Ok(Mode::Help),
+            other => return Err(format!("unknown corpus-snapshot flag: {other}")),
+        }
+    }
+    Ok(Mode::CorpusSnapshot { out, config })
 }
 
 fn parse_client_args(mut args: impl Iterator<Item = String>) -> Result<Mode, String> {
@@ -137,6 +221,7 @@ fn parse_client_args(mut args: impl Iterator<Item = String>) -> Result<Mode, Str
     for arg in args {
         match arg.as_str() {
             "--stats" => action = Some(ClientAction::Stats),
+            "--metrics" => action = Some(ClientAction::Metrics),
             "--shutdown" => action = Some(ClientAction::Shutdown),
             "--help" | "-h" => return Ok(Mode::Help),
             other if !other.starts_with('-') => files.push(other.to_owned()),
@@ -145,9 +230,11 @@ fn parse_client_args(mut args: impl Iterator<Item = String>) -> Result<Mode, Str
     }
     let action = match action {
         Some(a) if files.is_empty() => a,
-        Some(_) => return Err("--stats/--shutdown take no files".to_owned()),
+        Some(_) => return Err("--stats/--metrics/--shutdown take no files".to_owned()),
         None if files.is_empty() => {
-            return Err("--client needs files to vet, --stats, or --shutdown".to_owned())
+            return Err(
+                "--client needs files to vet, --stats, --metrics, or --shutdown".to_owned()
+            )
         }
         None => ClientAction::Vet(files),
     };
@@ -176,6 +263,21 @@ fn parse_args() -> Result<Mode, String> {
         Some("--client") => {
             args.next();
             return parse_client_args(args);
+        }
+        Some("metrics-report") => {
+            args.next();
+            let dir = args.next().ok_or("metrics-report needs a DIR")?;
+            return Ok(Mode::MetricsReport(dir));
+        }
+        Some("corpus-snapshot") => {
+            args.next();
+            return parse_corpus_snapshot_args(args);
+        }
+        Some("corpus-diff") => {
+            args.next();
+            let old = args.next().ok_or("corpus-diff needs OLD and NEW files")?;
+            let new = args.next().ok_or("corpus-diff needs OLD and NEW files")?;
+            return Ok(Mode::CorpusDiff { old, new });
         }
         _ => {}
     }
@@ -334,15 +436,27 @@ fn run_serve(mut opts: ServeOptions) -> Result<(), String> {
     // An operator-facing daemon dumps its metrics registry on shutdown;
     // embedded servers (tests, benches) keep the default quiet exit.
     opts.config.dump_metrics_on_shutdown = true;
+    let level = opts.log_level.unwrap_or(sigobs::Level::Info);
+    opts.config.log = match &opts.log_file {
+        Some(path) => Some(std::sync::Arc::new(
+            sigobs::EventLog::to_file(path, level).map_err(|e| format!("{path}: {e}"))?,
+        )),
+        // `--log-level` without `--log`: in-memory log, tail in `stats`.
+        None if opts.log_level.is_some() => {
+            Some(std::sync::Arc::new(sigobs::EventLog::in_memory(level)))
+        }
+        None => None,
+    };
     match opts.addr {
         Some(addr) => {
-            let server = sigserve::Server::bind(&addr, opts.config, addon_sig::service_engine)
-                .map_err(|e| format!("bind {addr}: {e}"))?;
+            let server =
+                sigserve::Server::bind_traced(&addr, opts.config, addon_sig::service_engine_traced)
+                    .map_err(|e| format!("bind {addr}: {e}"))?;
             eprintln!("sigserve listening on {}", server.local_addr());
             server.join(); // returns after a shutdown request
             Ok(())
         }
-        None => sigserve::serve_stdio(opts.config, addon_sig::service_engine)
+        None => sigserve::serve_stdio_traced(opts.config, addon_sig::service_engine_traced)
             .map_err(|e| format!("stdio serve: {e}")),
     }
 }
@@ -370,12 +484,101 @@ fn run_client(opts: ClientOptions) -> Result<bool, String> {
             let resp = client.stats().map_err(|e| e.to_string())?;
             println!("{}", resp.to_string_compact());
         }
+        ClientAction::Metrics => {
+            // Print the Prometheus text body itself (not the JSON
+            // envelope): the output pastes straight into scrape tooling.
+            let resp = client.metrics().map_err(|e| e.to_string())?;
+            match resp["prometheus"].as_str() {
+                Some(text) => print!("{text}"),
+                None => return Err(format!("bad metrics response: {}", resp.to_string_compact())),
+            }
+        }
         ClientAction::Shutdown => {
             let resp = client.shutdown().map_err(|e| e.to_string())?;
             println!("{}", resp.to_string_compact());
         }
     }
     Ok(ok)
+}
+
+/// Renders a metrics-history directory (`vet serve --metrics-dir`) as
+/// counter rates over the recorded window plus latency percentiles from
+/// the newest snapshot.
+fn run_metrics_report(dir: &str) -> Result<(), String> {
+    let records = sigobs::MetricsHistory::load(dir).map_err(|e| format!("{dir}: {e}"))?;
+    let (Some(first), Some(last)) = (records.first(), records.last()) else {
+        return Err(format!("{dir}: no metrics snapshots"));
+    };
+    let span_ms = last.unix_ms.saturating_sub(first.unix_ms);
+    let span_s = span_ms as f64 / 1000.0;
+    println!(
+        "metrics history: {} snapshots over {:.1}s (seq {}..{})",
+        records.len(),
+        span_s,
+        first.seq,
+        last.seq
+    );
+    println!("\ncounters (window delta and rate):");
+    let first_counters: std::collections::BTreeMap<&str, u64> = first
+        .snapshot
+        .counters
+        .iter()
+        .map(|(n, v)| (n.as_str(), *v))
+        .collect();
+    for (name, end) in &last.snapshot.counters {
+        let start = first_counters.get(name.as_str()).copied().unwrap_or(0);
+        let delta = end.saturating_sub(start);
+        if span_s > 0.0 {
+            println!("  {name:<32} {end:>10}  (+{delta}, {:.2}/s)", delta as f64 / span_s);
+        } else {
+            println!("  {name:<32} {end:>10}  (+{delta})");
+        }
+    }
+    println!("\nhistograms (newest snapshot):");
+    for h in &last.snapshot.histograms {
+        let mean = if h.count > 0 { h.sum / h.count } else { 0 };
+        let pct = |q: f64| {
+            h.percentile(q)
+                .map(|v| v.to_string())
+                .unwrap_or_else(|| "-".to_owned())
+        };
+        println!(
+            "  {:<32} count={} mean={} p50<={} p90<={} p99<={}",
+            h.name,
+            h.count,
+            mean,
+            pct(0.50),
+            pct(0.90),
+            pct(0.99)
+        );
+    }
+    Ok(())
+}
+
+/// Analyzes the corpus and writes the drift-observatory snapshot to
+/// `--out FILE` (or stdout).
+fn run_corpus_snapshot(out: Option<&str>, config: &AnalysisConfig) -> Result<(), String> {
+    let snap = addon_sig::drift::snapshot_corpus(config);
+    let doc = snap.to_string_pretty();
+    match out {
+        Some(path) => std::fs::write(path, doc + "\n").map_err(|e| format!("{path}: {e}")),
+        None => {
+            println!("{doc}");
+            Ok(())
+        }
+    }
+}
+
+/// Diffs two snapshots; prints the machine-readable report and returns
+/// whether the corpus is drift-free (signature-level).
+fn run_corpus_diff(old: &str, new: &str) -> Result<bool, String> {
+    let read = |path: &str| -> Result<minijson::Json, String> {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+        minijson::Json::parse(&text).map_err(|e| format!("{path}: {e}"))
+    };
+    let report = addon_sig::drift::diff_snapshots(&read(old)?, &read(new)?)?;
+    println!("{}", report.to_json().to_string_pretty());
+    Ok(!report.has_signature_drift())
 }
 
 fn main() -> ExitCode {
@@ -405,6 +608,35 @@ fn main() -> ExitCode {
         Mode::Client(client_opts) => {
             return match run_client(client_opts) {
                 Ok(true) => ExitCode::SUCCESS,
+                Ok(false) => ExitCode::FAILURE,
+                Err(msg) => {
+                    eprintln!("{msg}");
+                    ExitCode::FAILURE
+                }
+            }
+        }
+        Mode::MetricsReport(dir) => {
+            return match run_metrics_report(&dir) {
+                Ok(()) => ExitCode::SUCCESS,
+                Err(msg) => {
+                    eprintln!("{msg}");
+                    ExitCode::FAILURE
+                }
+            }
+        }
+        Mode::CorpusSnapshot { out, config } => {
+            return match run_corpus_snapshot(out.as_deref(), &config) {
+                Ok(()) => ExitCode::SUCCESS,
+                Err(msg) => {
+                    eprintln!("{msg}");
+                    ExitCode::FAILURE
+                }
+            }
+        }
+        Mode::CorpusDiff { old, new } => {
+            return match run_corpus_diff(&old, &new) {
+                Ok(true) => ExitCode::SUCCESS,
+                // Drift found: report printed, exit nonzero for CI gates.
                 Ok(false) => ExitCode::FAILURE,
                 Err(msg) => {
                     eprintln!("{msg}");

@@ -64,6 +64,8 @@
 
 #![warn(missing_docs)]
 
+pub mod drift;
+
 pub use corpus;
 pub use jsanalysis;
 pub use jsdomains;
@@ -71,6 +73,7 @@ pub use jsir;
 pub use jsparser;
 pub use jspdg;
 pub use jssig;
+pub use sigobs;
 pub use sigserve;
 pub use sigtrace;
 
@@ -376,7 +379,27 @@ pub fn service_engine(
     config: &AnalysisConfig,
     metrics: &MetricsRegistry,
 ) -> sigserve::VetOutcome {
-    match Pipeline::new().config(config.clone()).run(source) {
+    service_engine_traced(source, config, metrics, Trace::Off)
+}
+
+/// [`service_engine`] plus a [`sigtrace::Trace`]: when the daemon's
+/// event log runs at debug level it passes a tracer here, and every
+/// pipeline phase span lands in the log tagged with the owning job's
+/// request ID. `Trace::Off` makes this exactly [`service_engine`].
+/// This is the engine `vet serve` installs via
+/// [`sigserve::Server::bind_traced`] / [`sigserve::serve_stdio_traced`].
+pub fn service_engine_traced(
+    source: &str,
+    config: &AnalysisConfig,
+    metrics: &MetricsRegistry,
+    trace: Trace<'_>,
+) -> sigserve::VetOutcome {
+    let pipeline = Pipeline::new().config(config.clone());
+    let result = match trace {
+        Trace::On(tracer) => pipeline.tracer(tracer).run(source),
+        Trace::Off => pipeline.run(source),
+    };
+    match result {
         Ok(report) => {
             metrics.merge_counters(&report.counters);
             let us = |d: Duration| d.as_micros().min(u128::from(u64::MAX)) as u64;

@@ -1,0 +1,149 @@
+//! Integration tests for the corpus drift observatory, exercising the
+//! same path `vet corpus-snapshot` / `vet corpus-diff` use: snapshot the
+//! corpus, round-trip through serialized JSON (the on-disk form), and
+//! diff. Two same-analyzer snapshots must report zero drift
+//! deterministically; signature-level edits must trip the gate while
+//! witness-line churn must not.
+
+use addon_sig::drift::{diff_snapshots, snapshot_corpus};
+use jsanalysis::AnalysisConfig;
+use minijson::Json;
+
+/// Rebuilds `doc` with `key` replaced by `value`. minijson's `set`
+/// appends without replacing, so edits must reconstruct the pair list.
+fn with_key(doc: &Json, key: &str, value: Json) -> Json {
+    let Json::Obj(pairs) = doc else {
+        panic!("expected object");
+    };
+    Json::Obj(
+        pairs
+            .iter()
+            .map(|(k, v)| {
+                if k == key {
+                    (k.clone(), value.clone())
+                } else {
+                    (k.clone(), v.clone())
+                }
+            })
+            .collect(),
+    )
+}
+
+/// Applies `edit` to the first flow object of `addon`'s signature inside
+/// a snapshot document, rebuilding every enclosing object on the way up.
+fn edit_first_flow(snapshot: &Json, addon: &str, edit: impl Fn(&Json) -> Json) -> Json {
+    let entry = &snapshot["addons"][addon];
+    let flows = entry["signature"]["flows"]
+        .as_array()
+        .expect("addon has flows");
+    assert!(!flows.is_empty(), "{addon} must have at least one flow");
+    let mut new_flows = flows.to_vec();
+    new_flows[0] = edit(&flows[0]);
+    let signature = with_key(&entry["signature"], "flows", Json::Arr(new_flows));
+    let new_entry = with_key(entry, "signature", signature);
+    let addons = with_key(&snapshot["addons"], addon, new_entry);
+    with_key(snapshot, "addons", addons)
+}
+
+/// A corpus addon whose snapshot entry carries at least one flow row.
+fn addon_with_flows(snapshot: &Json) -> String {
+    let Json::Obj(pairs) = &snapshot["addons"] else {
+        panic!("addons object");
+    };
+    pairs
+        .iter()
+        .find(|(_, entry)| {
+            entry["signature"]["flows"]
+                .as_array()
+                .is_some_and(|f| !f.is_empty())
+        })
+        .map(|(name, _)| name.clone())
+        .expect("some corpus addon produces flows")
+}
+
+#[test]
+fn same_analyzer_snapshots_diff_to_zero_drift_through_disk_format() {
+    let config = AnalysisConfig::default();
+    let a = snapshot_corpus(&config);
+    let b = snapshot_corpus(&config);
+
+    // Determinism at the byte level: the exact property the on-disk
+    // observatory depends on (no timestamps, no wall times, no ordering
+    // wobble from parallelism).
+    assert_eq!(a.to_string_compact(), b.to_string_compact());
+
+    // Round-trip both through the pretty text `vet corpus-snapshot`
+    // writes, then diff the re-parsed documents like `vet corpus-diff`.
+    let a = Json::parse(&a.to_string_pretty()).expect("round-trip");
+    let b = Json::parse(&b.to_string_pretty()).expect("round-trip");
+    let report = diff_snapshots(&a, &b).expect("diff");
+    assert!(!report.has_signature_drift(), "{}", report.to_json());
+    assert!(!report.config_mismatch);
+    assert!(report.only_in_old.is_empty() && report.only_in_new.is_empty());
+    assert!(report.changed.is_empty(), "no addon may change");
+    assert_eq!(report.to_json()["drift"], Json::Bool(false));
+}
+
+#[test]
+fn retyped_flow_is_signature_drift() {
+    let old = snapshot_corpus(&AnalysisConfig::default());
+    let addon = addon_with_flows(&old);
+    // Retype the first flow: same source/sink identity, different flow
+    // kind — the explicit→implicit laundering case the paper's vetting
+    // flags.
+    let new = edit_first_flow(&old, &addon, |f| {
+        let retyped = if f["flow"] == "explicit" {
+            "implicit"
+        } else {
+            "explicit"
+        };
+        with_key(f, "flow", Json::from(retyped))
+    });
+
+    let report = diff_snapshots(&old, &new).expect("diff");
+    assert!(report.has_signature_drift());
+    let drift = report
+        .changed
+        .iter()
+        .find(|d| d.name == addon)
+        .expect("edited addon reported");
+    assert!(drift.is_signature_drift());
+    assert!(!drift.verdict_flip(), "both sides still verdict ok");
+    assert_eq!(drift.flows.retyped.len(), 1);
+    assert!(drift.flows.added.is_empty() && drift.flows.removed.is_empty());
+}
+
+#[test]
+fn witness_line_churn_is_not_drift() {
+    let old = snapshot_corpus(&AnalysisConfig::default());
+    let addon = addon_with_flows(&old);
+    // Shift the witness lines (as a reformat would) without touching the
+    // flow identity: the observatory must stay quiet.
+    let new = edit_first_flow(&old, &addon, |f| {
+        with_key(
+            f,
+            "witness_lines",
+            Json::Arr(vec![Json::from(9001.0), Json::from(9002.0)]),
+        )
+    });
+
+    let report = diff_snapshots(&old, &new).expect("diff");
+    assert!(
+        !report.has_signature_drift(),
+        "witness lines are excluded from drift identity: {}",
+        report.to_json()
+    );
+}
+
+#[test]
+fn budget_starved_run_reads_as_verdict_flips() {
+    let healthy = snapshot_corpus(&AnalysisConfig::default());
+    let starved = snapshot_corpus(&AnalysisConfig::default().with_step_budget(1));
+    let report = diff_snapshots(&healthy, &starved).expect("diff");
+    assert!(report.config_mismatch, "different configs must be flagged");
+    assert!(report.has_signature_drift());
+    assert!(
+        report.changed.iter().all(|d| d.verdict_flip()),
+        "every addon flips ok -> timeout under a one-step budget"
+    );
+}
