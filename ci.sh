@@ -13,14 +13,20 @@
 #      must parse and keep strict span nesting (trace_check),
 #   5. a vetting-daemon smoke test over --stdio (no network needed) plus
 #      the serve_load --check invariants (cache actually hits, cached
-#      vets are >=10x faster than cold, and the structured event log
-#      replays into consistent per-job lifecycles); the stats response
-#      must carry the metrics registry,
+#      vets are >=10x faster than cold, the structured event log —
+#      running under overload sampling — replays into consistent
+#      per-job lifecycles, and kept + suppressed job_rejected records
+#      reconcile exactly with the daemon's shed count); the stats
+#      response must carry the metrics registry,
 #   6. a metrics-exposition smoke test: a scripted --stdio session's
 #      `metrics` response must render valid Prometheus text (prom_check),
 #   7. the corpus drift gate: two same-analyzer `vet corpus-snapshot`
 #      runs must be byte-identical and `vet corpus-diff` must report
-#      zero drift (exit 0) — the cross-run observability contract.
+#      zero drift (exit 0) — the cross-run observability contract,
+#   8. the health gate: a sampled --stdio session records a metrics
+#      history, then `vet metrics-report --gate` must pass the
+#      known-good rules (exit 0) and fail the known-violating rules
+#      (exit nonzero) — the alerting contract.
 set -eu
 cd "$(dirname "$0")"
 
@@ -70,5 +76,24 @@ echo "==> corpus drift gate (same analyzer => zero drift)"
 ./target/release/vet corpus-snapshot --out target/ci_snap_b.json
 cmp target/ci_snap_a.json target/ci_snap_b.json
 ./target/release/vet corpus-diff target/ci_snap_a.json target/ci_snap_b.json > /dev/null
+
+echo "==> health gate (metrics history + vet metrics-report --gate)"
+rm -rf target/ci_metrics
+# Two vets of the same addon: the second is a cache hit, so the
+# recorded history has completed jobs, a nonzero hit ratio, and a
+# serve_vet_us histogram — everything metrics-gate-good.json checks.
+# The session also runs under --log-sample to smoke the flag wiring.
+printf '%s\n' \
+    '{"kind":"vet","path":"crates/corpus/addons/pinpoints.js"}' \
+    '{"kind":"vet","path":"crates/corpus/addons/pinpoints.js"}' \
+    '{"kind":"shutdown"}' \
+    | ./target/release/vet serve --stdio --workers 2 \
+        --metrics-dir target/ci_metrics --metrics-interval-ms 60000 \
+        --log-level warn --log-sample 8 > /dev/null
+./target/release/vet metrics-report target/ci_metrics --gate ci/metrics-gate-good.json
+if ./target/release/vet metrics-report target/ci_metrics --gate ci/metrics-gate-bad.json > /dev/null; then
+    echo "ci.sh: violating rules file must exit nonzero" >&2
+    exit 1
+fi
 
 echo "==> ci.sh: all gates passed"

@@ -23,7 +23,12 @@
 //!                   (all verdicts ok, cache actually hits, cached much
 //!                   faster than cold, and the daemon's structured event
 //!                   log replays into consistent per-job lifecycles) and
-//!                   writes nothing
+//!                   writes nothing. Also forces a tiny job queue and
+//!                   runs an extra overload burst so shedding + sampled
+//!                   `job_rejected` logging are exercised: the sampled
+//!                   log must still replay, and kept records plus
+//!                   declared `suppressed` counts must reconcile exactly
+//!                   with the daemon's shed count.
 //! - `--out PATH`    where to write the JSON (default
 //!                   `<repo root>/BENCH_serve.json`)
 
@@ -127,13 +132,32 @@ fn main() {
     // In --check mode the daemon keeps an in-memory event log with a
     // tail deep enough for the whole session, and we replay it at the
     // end: every job lifecycle must reconstruct from the log alone.
+    // The log runs under overload sampling (threshold 8, then 1-in-4,
+    // one huge window so the whole session is a single sampling window)
+    // so the burst phase below exercises the degraded-logging path.
+    const SAMPLE_THRESHOLD: u64 = 8;
+    const SAMPLE_KEEP_ONE_IN: u64 = 4;
     let log = check.then(|| {
-        Arc::new(sigobs::EventLog::in_memory(sigobs::Level::Info).with_tail_cap(16_384))
+        Arc::new(
+            sigobs::EventLog::in_memory(sigobs::Level::Info)
+                .with_tail_cap(16_384)
+                .with_sampling(sigobs::SamplePolicy {
+                    events: vec!["job_rejected".to_owned()],
+                    threshold: SAMPLE_THRESHOLD,
+                    keep_one_in: SAMPLE_KEEP_ONE_IN,
+                    window: std::time::Duration::from_secs(3600),
+                }),
+        )
     });
+    let default_cfg = ServeConfig::default();
     let cfg = ServeConfig {
         workers,
         log: log.clone(),
-        ..ServeConfig::default()
+        // A tiny queue in check mode so the burst phase actually sheds;
+        // the cold/cached/load phases are one-request-per-connection
+        // round trips, so they never queue more than `clients` jobs.
+        queue_cap: if check { 4 } else { default_cfg.queue_cap },
+        ..default_cfg
     };
     let server = Server::bind_traced("127.0.0.1:0", cfg, addon_sig::service_engine_traced)
         .expect("bind daemon");
@@ -211,6 +235,55 @@ fn main() {
         hit_rate * 100.0
     );
 
+    // Phase 4 (check mode only): overload burst. Fire batches of
+    // distinct trivial sources at the tiny queue from one connection —
+    // `vet_batch` submits every item before awaiting any, so the queue
+    // fills and most of the batch is shed with `overloaded`. With a
+    // single submitter the shed pre-check can never lose a race (only
+    // workers touch the queue, and they only drain it), so the daemon's
+    // shed count must reconcile *exactly* with the sampled log.
+    let mut shed_total = 0usize;
+    let mut accepted_burst = 0usize;
+    if check {
+        let mut burst = Client::connect(addr).expect("connect");
+        let mut round = 0usize;
+        while shed_total < 24 && round < 5 {
+            let mut req = Json::obj();
+            req.set("kind", Json::from("vet_batch"));
+            req.set(
+                "items",
+                Json::Arr(
+                    (0..256)
+                        .map(|i| {
+                            let mut o = Json::obj();
+                            o.set("name", Json::from(format!("burst{round}_{i}")));
+                            o.set("source", Json::from(format!("var burst{round}_{i} = {i};")));
+                            o
+                        })
+                        .collect(),
+                ),
+            );
+            let resp = burst.request(&req).expect("burst batch");
+            assert_eq!(resp["kind"], "vet_batch_result");
+            for r in resp["results"].as_array().expect("results") {
+                if r["kind"] == "overloaded" {
+                    shed_total += 1;
+                } else {
+                    assert_eq!(r["verdict"], "ok", "accepted burst job must vet cleanly");
+                    accepted_burst += 1;
+                }
+            }
+            round += 1;
+        }
+        println!(
+            "burst: {shed_total} shed, {accepted_burst} accepted over {round} round(s)"
+        );
+        assert!(
+            shed_total as u64 > SAMPLE_THRESHOLD,
+            "burst must shed past the sampling threshold (shed {shed_total})"
+        );
+    }
+
     let mut shut = Client::connect(addr).expect("connect");
     let ack = shut.shutdown().expect("shutdown");
     assert_eq!(ack["kind"], "shutdown_ack");
@@ -225,28 +298,64 @@ fn main() {
             speedup >= 10.0,
             "cached vets must be >=10x faster than cold (got {speedup:.1}x)"
         );
-        // Replay the structured event log: strict seq order, and every
-        // job resolves to a consistent Computed/CacheHit lifecycle.
+        // Replay the structured event log: strict seq order, every job
+        // resolves to a consistent lifecycle, and the overload-sampled
+        // `job_rejected` stream reconciles exactly — kept records plus
+        // the declared `suppressed` counts must equal the daemon's shed
+        // count, with the kept count matching the sampling schedule.
         let log = log.expect("check mode attaches a log");
+        log.flush();
         let text = log.tail_lines().join("\n");
-        let timelines = sigobs::replay::validate_log(&text).expect("event log must replay");
-        let computed = timelines
+        let replay = sigobs::replay::replay_log(&text).expect("event log must replay");
+        let computed = replay
+            .timelines
             .values()
             .filter(|t| matches!(t.validate(), Ok(sigobs::replay::Outcome::Computed)))
             .count();
-        let hits = timelines
+        let hits = replay
+            .timelines
             .values()
             .filter(|t| matches!(t.validate(), Ok(sigobs::replay::Outcome::CacheHit)))
             .count();
+        let kept_rejected = replay
+            .timelines
+            .values()
+            .filter(|t| matches!(t.validate(), Ok(sigobs::replay::Outcome::Rejected)))
+            .count();
+        let suppressed = *replay.suppressed.get("job_rejected").unwrap_or(&0) as usize;
         assert_eq!(
             computed,
-            addons.len(),
-            "each addon computed exactly once (the rest are hits)"
+            addons.len() + accepted_burst,
+            "each addon computed exactly once, plus every accepted burst job"
         );
         assert!(hits > 0, "replay must see cache-hit lifecycles");
+        assert_eq!(
+            kept_rejected + suppressed,
+            shed_total,
+            "sampled log must account for every shed job exactly"
+        );
+        // One submitter, one sampling window: the kept count is exactly
+        // the threshold head plus one-in-N of the overflow.
+        let shed = shed_total as u64;
+        let expected_kept = shed.min(SAMPLE_THRESHOLD)
+            + shed.saturating_sub(SAMPLE_THRESHOLD).div_ceil(SAMPLE_KEEP_ONE_IN);
+        assert_eq!(
+            kept_rejected as u64, expected_kept,
+            "kept job_rejected records must follow the sampling schedule"
+        );
+        assert_eq!(
+            log.suppressed_total("job_rejected"),
+            suppressed as u64,
+            "log's own suppression tally must match the declared records"
+        );
+        assert_eq!(
+            replay.presumed_rejected, 0,
+            "single submitter: no enqueued-only orphans"
+        );
         println!(
-            "serve_load --check: ok ({} jobs replayed: {computed} computed, {hits} cache hits)",
-            timelines.len()
+            "serve_load --check: ok ({} jobs replayed: {computed} computed, {hits} cache hits, \
+             {kept_rejected} rejected kept + {suppressed} suppressed = {shed_total} shed)",
+            replay.timelines.len()
         );
         return;
     }

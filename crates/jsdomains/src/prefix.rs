@@ -89,16 +89,20 @@ impl Pre {
         }
     }
 
-    /// Greatest common prefix of two strings (the paper's `(+)` operator).
-    pub fn common_prefix(a: &str, b: &str) -> String {
-        let end = a
-            .char_indices()
+    /// Byte length of the greatest common prefix (always a char
+    /// boundary in both strings).
+    fn common_prefix_len(a: &str, b: &str) -> usize {
+        a.char_indices()
             .zip(b.chars())
             .take_while(|((_, ca), cb)| ca == cb)
             .last()
             .map(|((i, ca), _)| i + ca.len_utf8())
-            .unwrap_or(0);
-        a[..end].to_owned()
+            .unwrap_or(0)
+    }
+
+    /// Greatest common prefix of two strings (the paper's `(+)` operator).
+    pub fn common_prefix(a: &str, b: &str) -> String {
+        a[..Pre::common_prefix_len(a, b)].to_owned()
     }
 
     /// Abstract equality comparison against another abstract string:
@@ -200,11 +204,26 @@ impl Lattice for Pre {
             return *self;
         }
         // Incomparable: both are non-bottom, result is the common prefix.
-        let (sa, sb) = (
-            self.known_text().expect("non-bot"),
-            other.known_text().expect("non-bot"),
-        );
-        Pre::prefix(Pre::common_prefix(sa, sb))
+        let (sa, sb) = match (self, other) {
+            (Pre::Exact(a) | Pre::Prefix(a), Pre::Exact(b) | Pre::Prefix(b)) => (*a, *b),
+            _ => unreachable!("bot is comparable to everything"),
+        };
+        let end = Pre::common_prefix_len(sa.as_str(), sb.as_str());
+        // When the common prefix IS one of the operands' texts (e.g.
+        // Exact("a") ⊔ Exact("ab"), or Exact ⊔ an incompatible Prefix it
+        // extends), reuse that operand's Sym: no allocation, and — more
+        // importantly — no fresh intern. A corpus sweep joins the same
+        // incomparable pairs millions of times; only a genuinely new
+        // common-prefix *text* may grow the interner, and interning the
+        // same text repeatedly is already a no-op, so growth stays
+        // bounded by the set of distinct common prefixes.
+        if end == sa.len() {
+            return Pre::Prefix(sa);
+        }
+        if end == sb.len() {
+            return Pre::Prefix(sb);
+        }
+        Pre::prefix(&sa.as_str()[..end])
     }
 
     /// Order per Section 5: `(s1,b1) <= (s2,b2)` iff either `b2 = false`
@@ -296,6 +315,43 @@ mod tests {
         assert_eq!(a.join(&b), Pre::prefix("http://"));
         let c = Pre::exact("https://video.mail.ru");
         assert_eq!(a.join(&b).join(&c), Pre::prefix("http"));
+    }
+
+    #[test]
+    fn join_interns_only_genuinely_new_common_prefixes() {
+        // Unique texts so concurrent tests interning in parallel don't
+        // collide with ours (the interner is process-global).
+        let a = Pre::exact("sym-churn://host/path-alpha");
+        let b = Pre::exact("sym-churn://host/path-beta");
+        // First incomparable join interns the one new common prefix.
+        let joined = a.join(&b);
+        assert_eq!(joined, Pre::prefix("sym-churn://host/path-"));
+        let after_first = Sym::interner_len();
+        // A corpus sweep re-joins the same pairs constantly; repeating
+        // the join (both orders, plus the prefix-absorbing variants)
+        // must not keep growing the interner. The bound is loose only
+        // to tolerate unrelated tests interning concurrently — the
+        // churn bug this guards against added one symbol per join.
+        for _ in 0..2000 {
+            assert_eq!(a.join(&b), joined);
+            assert_eq!(b.join(&a), joined);
+            assert_eq!(joined.join(&a), joined);
+        }
+        let growth = Sym::interner_len() - after_first;
+        assert!(
+            growth <= 32,
+            "6000 repeated joins grew the interner by {growth} symbols"
+        );
+        // When the common prefix IS one operand's text, that operand's
+        // Sym is reused — Exact("…/a") ⊔ Exact("…/ab") must not intern
+        // "…/a" a second time (nor allocate to discover it's known).
+        let short = Pre::exact("sym-churn-reuse://x/a");
+        let long = Pre::exact("sym-churn-reuse://x/ab");
+        let before = Sym::interner_len();
+        assert_eq!(short.join(&long), Pre::Prefix(Sym::intern("sym-churn-reuse://x/a")));
+        // `Sym::intern` in the assertion finds the existing symbol; the
+        // join itself added nothing beyond what `exact()` created.
+        assert!(Sym::interner_len() <= before + 32);
     }
 
     #[test]

@@ -17,7 +17,7 @@ use std::collections::HashMap;
 use std::fmt;
 use std::hash::{Hash, Hasher};
 use std::ops::Deref;
-use std::sync::{OnceLock, RwLock};
+use std::sync::{OnceLock, PoisonError, RwLock};
 
 /// An interned, immutable string. `Copy`, pointer-sized payload, O(1)
 /// equality/hash by id, text-ordered so `BTreeMap<Sym, _>` iteration is
@@ -37,10 +37,17 @@ impl Sym {
     /// Interns `s`, returning the canonical symbol for that text. The same
     /// text always yields the same symbol, across threads.
     pub fn intern(s: &str) -> Sym {
-        if let Some(sym) = interner().read().expect("interner poisoned").get(s) {
+        // Poison recovery, not propagation: the map is append-only and
+        // structurally valid after any panic, and a poisoned-interner
+        // panic would cascade into every analysis thread.
+        if let Some(sym) = interner()
+            .read()
+            .unwrap_or_else(PoisonError::into_inner)
+            .get(s)
+        {
             return *sym;
         }
-        let mut map = interner().write().expect("interner poisoned");
+        let mut map = interner().write().unwrap_or_else(PoisonError::into_inner);
         if let Some(sym) = map.get(s) {
             // Raced with another writer between the read and write locks.
             return *sym;
@@ -63,6 +70,16 @@ impl Sym {
     /// The symbol's text.
     pub fn as_str(&self) -> &'static str {
         self.text
+    }
+
+    /// Number of symbols interned so far, process-wide. The interner is
+    /// append-only, so this only grows — tests use it to bound interner
+    /// churn (e.g. repeated `Pre::join`s must not keep interning).
+    pub fn interner_len() -> usize {
+        interner()
+            .read()
+            .unwrap_or_else(PoisonError::into_inner)
+            .len()
     }
 }
 

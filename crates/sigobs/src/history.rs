@@ -44,6 +44,22 @@ pub struct HistoryRecord {
     pub snapshot: MetricsSnapshot,
 }
 
+impl HistoryRecord {
+    /// Looks up a counter by name in this record's snapshot.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.snapshot
+            .counters
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| *v)
+    }
+
+    /// Looks up a histogram by name in this record's snapshot.
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSnapshot> {
+        self.snapshot.histograms.iter().find(|h| h.name == name)
+    }
+}
+
 /// Writer half of the ring: owns the directory and the next sequence
 /// number.
 #[derive(Debug)]

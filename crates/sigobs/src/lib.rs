@@ -22,10 +22,18 @@
 //!   registry into a bounded on-disk ring of schema-versioned JSON
 //!   files, so metrics survive daemon restarts and
 //!   `vet metrics-report` can render rate/percentile trends.
+//! * [`alerts`] — declarative health gates over the history ring:
+//!   counter-rate / gauge / cache-hit-ratio / histogram-percentile rules
+//!   evaluated into a pass/fail verdict (`vet metrics-report --gate`).
+//! * [`SamplePolicy`] — overload-safe log sampling: past a per-window
+//!   threshold, matching events degrade to 1-in-N with counted
+//!   `suppressed` records, and [`replay`] reconciles lifecycles against
+//!   the declared suppression budget.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod alerts;
 mod expo;
 mod history;
 mod log;
@@ -33,4 +41,4 @@ pub mod replay;
 
 pub use expo::{prometheus_text, validate_prometheus_text};
 pub use history::{HistoryRecord, MetricsHistory, HISTORY_SCHEMA};
-pub use log::{EventLog, Level, LogTracer};
+pub use log::{EventLog, Level, LogTracer, SamplePolicy};

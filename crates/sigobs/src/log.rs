@@ -12,6 +12,15 @@
 //! needs no clock assumptions; `ts_us` is wall-clock microseconds since
 //! the Unix epoch, for humans and cross-process correlation.
 
+//! Under overload the log can also *sample*: a [`SamplePolicy`] names
+//! high-cardinality events (e.g. `job_rejected`) that, past a per-window
+//! threshold, degrade to 1-in-N — dropped occurrences are counted and
+//! declared in periodic `suppressed` records, so the replay validator
+//! can reconcile lifecycles against an explicit budget instead of
+//! requiring every record. Suppressed events consume **no** sequence
+//! number: `seq` stays gap-free and strictly monotone, which is the
+//! invariant replay checks.
+
 use minijson::Json;
 use std::collections::VecDeque;
 use std::fmt;
@@ -19,7 +28,7 @@ use std::fs::File;
 use std::io::{self, BufWriter, Write};
 use std::path::Path;
 use std::sync::Mutex;
-use std::time::{Instant, SystemTime, UNIX_EPOCH};
+use std::time::{Duration, Instant, SystemTime, UNIX_EPOCH};
 
 /// Log severity. Ordered `Error < Warn < Info < Debug`: a logger at
 /// level `L` records everything at or above `L`'s severity (i.e. with
@@ -68,12 +77,72 @@ impl fmt::Display for Level {
 /// Number of records the in-memory tail retains by default.
 pub const DEFAULT_TAIL_CAP: usize = 128;
 
+/// Overload-safe sampling for high-cardinality events.
+///
+/// Within each `window`, the first `threshold` occurrences of a listed
+/// event are logged in full; after that only every `keep_one_in`-th is
+/// kept (tagged `"sampled":true`), and the drops accumulate into a
+/// `suppressed` record — `{"event":"suppressed","suppressed_event":E,
+/// "count":K,"sample_every":N}` — emitted before the next kept record
+/// (and on window roll / [`EventLog::flush`]), so the log always
+/// declares exactly how many records it dropped.
+#[derive(Debug, Clone)]
+pub struct SamplePolicy {
+    /// Event names the policy applies to. Everything else logs in full.
+    pub events: Vec<String>,
+    /// Occurrences per window logged in full before sampling kicks in.
+    pub threshold: u64,
+    /// Past the threshold, keep one record in this many (min 1).
+    pub keep_one_in: u64,
+    /// The rate window. Elapsing it resets the per-window count and
+    /// flushes any pending `suppressed` tally.
+    pub window: Duration,
+}
+
+impl Default for SamplePolicy {
+    /// `job_rejected`, 100 full records per 1s window, then 1-in-100.
+    fn default() -> SamplePolicy {
+        SamplePolicy {
+            events: vec!["job_rejected".to_owned()],
+            threshold: 100,
+            keep_one_in: 100,
+            window: Duration::from_secs(1),
+        }
+    }
+}
+
+/// Per-event sampler bookkeeping (one per `SamplePolicy::events` entry).
+#[derive(Debug, Clone, Copy, Default)]
+struct SamplerState {
+    /// `ts_us` at which the current window opened.
+    window_start_us: u64,
+    /// Occurrences seen in the current window (kept or not).
+    seen_in_window: u64,
+    /// Drops not yet declared in a `suppressed` record.
+    pending_suppressed: u64,
+    /// Lifetime drops (what [`EventLog::suppressed_total`] reports).
+    total_suppressed: u64,
+}
+
+/// Whether a matched event survives its sampler.
+enum Admit {
+    /// Within the threshold: log normally.
+    Full,
+    /// Past the threshold but on the 1-in-N grid: log with `"sampled":true`.
+    Sampled,
+    /// Dropped: count it, write nothing, consume no `seq`.
+    Suppressed,
+}
+
 struct Inner {
     /// `None` for a ring-only (in-memory) logger.
     file: Option<BufWriter<File>>,
     /// The most recent records, oldest first, as compact JSON lines.
     ring: VecDeque<String>,
     seq: u64,
+    /// Parallel to the sampling policy's `events` list; empty when
+    /// sampling is off.
+    samplers: Vec<SamplerState>,
 }
 
 /// A leveled JSONL event logger shared across threads.
@@ -85,6 +154,7 @@ struct Inner {
 pub struct EventLog {
     level: Level,
     tail_cap: usize,
+    sample: Option<SamplePolicy>,
     epoch: Instant,
     epoch_unix_us: u64,
     inner: Mutex<Inner>,
@@ -108,12 +178,14 @@ impl EventLog {
         EventLog {
             level,
             tail_cap: DEFAULT_TAIL_CAP,
+            sample: None,
             epoch: Instant::now(),
             epoch_unix_us,
             inner: Mutex::new(Inner {
                 file: file.map(BufWriter::new),
                 ring: VecDeque::new(),
                 seq: 0,
+                samplers: Vec::new(),
             }),
         }
     }
@@ -138,6 +210,36 @@ impl EventLog {
         self
     }
 
+    /// Enables overload sampling (builder-style). `keep_one_in` is
+    /// clamped to at least 1.
+    #[must_use]
+    pub fn with_sampling(mut self, mut policy: SamplePolicy) -> EventLog {
+        policy.keep_one_in = policy.keep_one_in.max(1);
+        self.inner.get_mut().unwrap_or_else(|e| e.into_inner()).samplers =
+            vec![SamplerState::default(); policy.events.len()];
+        self.sample = Some(policy);
+        self
+    }
+
+    /// The active sampling policy, if any.
+    pub fn sampling(&self) -> Option<&SamplePolicy> {
+        self.sample.as_ref()
+    }
+
+    /// Lifetime count of occurrences of `event` dropped by sampling
+    /// (declared plus not-yet-declared).
+    pub fn suppressed_total(&self, event: &str) -> u64 {
+        let Some(policy) = &self.sample else { return 0 };
+        let inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        policy
+            .events
+            .iter()
+            .zip(&inner.samplers)
+            .filter(|(e, _)| e.as_str() == event)
+            .map(|(_, s)| s.total_suppressed)
+            .sum()
+    }
+
     /// The logger's level.
     pub fn level(&self) -> Level {
         self.level
@@ -150,16 +252,22 @@ impl EventLog {
         level <= self.level
     }
 
-    /// Appends one record. `fields` are emitted after the standard
-    /// `seq`/`ts_us`/`level`/`event` header, in the given order.
-    pub fn log(&self, level: Level, event: &str, fields: &[(&str, Json)]) {
-        if !self.enabled(level) {
-            return;
-        }
-        let ts_us = self
-            .epoch_unix_us
-            .saturating_add(u64::try_from(self.epoch.elapsed().as_micros()).unwrap_or(u64::MAX));
-        let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+    fn now_ts_us(&self) -> u64 {
+        self.epoch_unix_us
+            .saturating_add(u64::try_from(self.epoch.elapsed().as_micros()).unwrap_or(u64::MAX))
+    }
+
+    /// Serializes and appends one record under the (held) lock,
+    /// consuming a `seq`. `sampled` adds the `"sampled":true` marker.
+    fn write_record(
+        &self,
+        inner: &mut Inner,
+        ts_us: u64,
+        level: Level,
+        event: &str,
+        fields: &[(&str, Json)],
+        sampled: bool,
+    ) {
         let mut record = Json::obj();
         record.set("seq", Json::from(inner.seq as f64));
         record.set("ts_us", Json::from(ts_us as f64));
@@ -167,6 +275,9 @@ impl EventLog {
         record.set("event", Json::from(event));
         for (k, v) in fields {
             record.set(k, v.clone());
+        }
+        if sampled {
+            record.set("sampled", Json::Bool(true));
         }
         inner.seq += 1;
         let line = record.to_string_compact();
@@ -180,6 +291,83 @@ impl EventLog {
             let _ = writeln!(file, "{line}");
             let _ = file.flush();
         }
+    }
+
+    /// Declares `count` drops of `event` with a `suppressed` record.
+    fn write_suppressed(&self, inner: &mut Inner, ts_us: u64, event: &str, count: u64) {
+        let keep = self.sample.as_ref().map_or(1, |p| p.keep_one_in);
+        self.write_record(
+            inner,
+            ts_us,
+            Level::Warn,
+            "suppressed",
+            &[
+                ("suppressed_event", Json::from(event)),
+                ("count", Json::from(count as f64)),
+                ("sample_every", Json::from(keep as f64)),
+            ],
+            false,
+        );
+    }
+
+    /// Runs the sampler for policy event `idx`, declaring any pending
+    /// drops that are due. The returned `Admit` says whether the caller
+    /// may write the record.
+    fn admit(&self, inner: &mut Inner, idx: usize, ts_us: u64) -> Admit {
+        let policy = self.sample.as_ref().expect("admit without a policy");
+        let window_us = u64::try_from(policy.window.as_micros()).unwrap_or(u64::MAX);
+        let rolled = ts_us.saturating_sub(inner.samplers[idx].window_start_us) >= window_us;
+        if rolled {
+            let pending = std::mem::take(&mut inner.samplers[idx].pending_suppressed);
+            inner.samplers[idx].window_start_us = ts_us;
+            inner.samplers[idx].seen_in_window = 0;
+            if pending > 0 {
+                self.write_suppressed(inner, ts_us, &policy.events[idx], pending);
+            }
+        }
+        inner.samplers[idx].seen_in_window += 1;
+        let seen = inner.samplers[idx].seen_in_window;
+        if seen <= policy.threshold {
+            return Admit::Full;
+        }
+        let past = seen - policy.threshold;
+        if (past - 1) % policy.keep_one_in != 0 {
+            inner.samplers[idx].pending_suppressed += 1;
+            inner.samplers[idx].total_suppressed += 1;
+            return Admit::Suppressed;
+        }
+        // Declare the drops *before* the kept record, so any log prefix
+        // ending at a kept record already carries its full budget.
+        let pending = std::mem::take(&mut inner.samplers[idx].pending_suppressed);
+        if pending > 0 {
+            self.write_suppressed(inner, ts_us, &policy.events[idx], pending);
+        }
+        Admit::Sampled
+    }
+
+    /// Appends one record. `fields` are emitted after the standard
+    /// `seq`/`ts_us`/`level`/`event` header, in the given order. Events
+    /// named by the sampling policy may instead be counted and dropped
+    /// (see [`SamplePolicy`]); suppressed events consume no `seq`.
+    pub fn log(&self, level: Level, event: &str, fields: &[(&str, Json)]) {
+        if !self.enabled(level) {
+            return;
+        }
+        let ts_us = self.now_ts_us();
+        let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        let sampler = self
+            .sample
+            .as_ref()
+            .and_then(|p| p.events.iter().position(|e| e == event));
+        let sampled = match sampler {
+            None => false,
+            Some(idx) => match self.admit(&mut inner, idx, ts_us) {
+                Admit::Full => false,
+                Admit::Sampled => true,
+                Admit::Suppressed => return,
+            },
+        };
+        self.write_record(&mut inner, ts_us, level, event, fields, sampled);
     }
 
     /// Convenience: an error-level record.
@@ -224,10 +412,21 @@ impl EventLog {
         self.inner.lock().unwrap_or_else(|e| e.into_inner()).seq
     }
 
-    /// Flushes the file sink, if any. Writes already flush per line;
-    /// this exists for defensive shutdown paths.
+    /// Flushes the file sink, if any, after declaring any sampling drops
+    /// not yet covered by a `suppressed` record — so a flushed log
+    /// always reconciles exactly. Writes already flush per line; this
+    /// exists for shutdown paths.
     pub fn flush(&self) {
+        let ts_us = self.now_ts_us();
         let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        if let Some(policy) = &self.sample {
+            for idx in 0..inner.samplers.len() {
+                let pending = std::mem::take(&mut inner.samplers[idx].pending_suppressed);
+                if pending > 0 {
+                    self.write_suppressed(&mut inner, ts_us, &policy.events[idx], pending);
+                }
+            }
+        }
         if let Some(file) = &mut inner.file {
             let _ = file.flush();
         }
@@ -389,6 +588,98 @@ mod tests {
         assert_eq!(tail[0]["job"], "j-42");
         assert_eq!(tail[1]["span"], "phase1");
         assert_eq!(tail[1]["depth"].as_f64(), Some(0.0));
+    }
+
+    fn events_of(log: &EventLog) -> Vec<(String, Option<f64>)> {
+        log.tail()
+            .iter()
+            .map(|r| {
+                (
+                    r["event"].as_str().unwrap().to_owned(),
+                    r["count"].as_f64(),
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn sampling_keeps_threshold_then_one_in_n_with_declared_drops() {
+        let log = EventLog::in_memory(Level::Warn).with_sampling(SamplePolicy {
+            events: vec!["job_rejected".to_owned()],
+            threshold: 2,
+            keep_one_in: 3,
+            window: Duration::from_secs(3600), // never rolls mid-test
+        });
+        for i in 0..12 {
+            log.warn("job_rejected", &[("i", Json::from(i as f64))]);
+        }
+        log.flush();
+        // 12 occurrences: 2 full, then positions 1,4,7,10 past the
+        // threshold are kept (1-in-3); 6 are suppressed, declared in
+        // `suppressed` records of 2 each *before* the following kept
+        // record (nothing left pending for flush()).
+        let events = events_of(&log);
+        let expected: Vec<(String, Option<f64>)> = [
+            ("job_rejected", None),
+            ("job_rejected", None),
+            ("job_rejected", None), // past-threshold position 1 (no drops yet)
+            ("suppressed", Some(2.0)),
+            ("job_rejected", None), // position 4
+            ("suppressed", Some(2.0)),
+            ("job_rejected", None), // position 7
+            ("suppressed", Some(2.0)),
+            ("job_rejected", None), // position 10
+        ]
+        .iter()
+        .map(|(e, c)| (e.to_string(), *c))
+        .collect();
+        assert_eq!(events, expected);
+        assert_eq!(log.suppressed_total("job_rejected"), 6);
+        // Kept sampled records carry the marker; full ones do not.
+        let tail = log.tail();
+        assert_eq!(tail[0]["sampled"], Json::Null);
+        assert_eq!(tail[2]["sampled"], Json::Bool(true));
+        // seq stays gap-free even though 6 events vanished.
+        let seqs: Vec<f64> = tail.iter().map(|r| r["seq"].as_f64().unwrap()).collect();
+        assert_eq!(seqs, (0..9).map(|i| i as f64).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn sampling_window_roll_resets_the_threshold() {
+        let log = EventLog::in_memory(Level::Warn).with_sampling(SamplePolicy {
+            events: vec!["job_rejected".to_owned()],
+            threshold: 1,
+            keep_one_in: 100,
+            window: Duration::from_millis(40),
+        });
+        log.warn("job_rejected", &[]); // full (1st in window)
+        log.warn("job_rejected", &[]); // kept, sampled (position 1)
+        log.warn("job_rejected", &[]); // suppressed
+        std::thread::sleep(Duration::from_millis(60));
+        log.warn("job_rejected", &[]); // new window: declares 1 drop, then full
+        let events = events_of(&log);
+        let names: Vec<&str> = events.iter().map(|(e, _)| e.as_str()).collect();
+        assert_eq!(
+            names,
+            ["job_rejected", "job_rejected", "suppressed", "job_rejected"]
+        );
+        assert_eq!(events[2].1, Some(1.0), "the roll declared the pending drop");
+        assert_eq!(log.suppressed_total("job_rejected"), 1);
+    }
+
+    #[test]
+    fn sampling_leaves_unlisted_events_alone() {
+        let log = EventLog::in_memory(Level::Info).with_sampling(SamplePolicy {
+            events: vec!["job_rejected".to_owned()],
+            threshold: 0,
+            keep_one_in: 1000,
+            window: Duration::from_secs(3600),
+        });
+        for _ in 0..50 {
+            log.info("job_enqueued", &[]);
+        }
+        assert_eq!(log.records_written(), 50, "unlisted events never sampled");
+        assert_eq!(log.suppressed_total("job_enqueued"), 0);
     }
 
     #[test]

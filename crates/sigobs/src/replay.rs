@@ -16,6 +16,15 @@
 //! Anything else — a job that never terminated, computed without being
 //! dequeued, or hit the cache with no producer — is a validation error,
 //! and the replay test treats it as a logging bug.
+//!
+//! **Sampled logs.** Under overload the logger may drop listed events
+//! (see [`SamplePolicy`](crate::SamplePolicy)), declaring every drop in
+//! `suppressed` records. [`replay_log`] accepts such logs: a job whose
+//! only record is `job_enqueued` is presumed shed — its `job_rejected`
+//! record fell to sampling — as long as the log's declared
+//! `job_rejected` suppression budget covers it. Orphans beyond the
+//! declared budget are still errors: sampling must be *declared*, never
+//! silent.
 
 use minijson::Json;
 use std::collections::BTreeMap;
@@ -133,6 +142,19 @@ pub fn job_timelines(records: &[Json]) -> BTreeMap<String, JobTimeline> {
 }
 
 impl JobTimeline {
+    /// True when the job's only lifecycle event is `job_enqueued` — the
+    /// shape a shed job leaves when its `job_rejected` record was
+    /// dropped by sampling.
+    pub fn enqueued_only(&self) -> bool {
+        self.enqueued.is_some()
+            && self.dequeued.is_none()
+            && self.computed.is_none()
+            && self.cache_hit.is_none()
+            && self.coalesced.is_none()
+            && self.rejected.is_none()
+            && self.done.is_none()
+    }
+
     /// Classifies the lifecycle and checks its internal ordering.
     pub fn validate(&self) -> Result<Outcome, String> {
         let job = &self.job;
@@ -192,11 +214,26 @@ impl JobTimeline {
     }
 }
 
+/// A validated replay of a (possibly sampled) log: the per-job
+/// timelines plus the log's declared suppression accounting.
+#[derive(Debug, Clone)]
+pub struct Replay {
+    /// Every job that left at least one record, validated.
+    pub timelines: BTreeMap<String, JobTimeline>,
+    /// Declared drops per suppressed event name, summed over the log's
+    /// `suppressed` records.
+    pub suppressed: BTreeMap<String, u64>,
+    /// Enqueued-only orphans accepted against the `job_rejected`
+    /// suppression budget (the enqueue-then-shed race under sampling).
+    pub presumed_rejected: u64,
+}
+
 /// Parses a JSONL log body, reconstructs every job timeline, and
-/// validates each one. Also checks that `seq` is strictly monotone
-/// across the whole log (one writer, no lost records). Returns the
-/// timelines on success.
-pub fn validate_log(text: &str) -> Result<BTreeMap<String, JobTimeline>, String> {
+/// validates each one — reconciling sampled logs against their declared
+/// `suppressed` budgets (see the module docs). Also checks that `seq`
+/// is strictly monotone across the whole log (one writer, no lost
+/// records).
+pub fn replay_log(text: &str) -> Result<Replay, String> {
     let mut records = Vec::new();
     for (i, line) in text.lines().enumerate() {
         if line.trim().is_empty() {
@@ -207,6 +244,7 @@ pub fn validate_log(text: &str) -> Result<BTreeMap<String, JobTimeline>, String>
         records.push(record);
     }
     let mut last_seq: Option<u64> = None;
+    let mut suppressed: BTreeMap<String, u64> = BTreeMap::new();
     for record in &records {
         let seq = get_u64(record, "seq")
             .ok_or_else(|| format!("record without seq: {}", record.to_string_compact()))?;
@@ -216,12 +254,43 @@ pub fn validate_log(text: &str) -> Result<BTreeMap<String, JobTimeline>, String>
             }
         }
         last_seq = Some(seq);
+        if record["event"].as_str() == Some("suppressed") {
+            if let (Some(event), Some(count)) =
+                (record["suppressed_event"].as_str(), get_u64(record, "count"))
+            {
+                *suppressed.entry(event.to_owned()).or_insert(0) += count;
+            }
+        }
     }
     let timelines = job_timelines(&records);
+    let rejected_budget = suppressed.get("job_rejected").copied().unwrap_or(0);
+    let mut presumed_rejected = 0u64;
     for t in timelines.values() {
-        t.validate()?;
+        if let Err(e) = t.validate() {
+            if t.enqueued_only() && presumed_rejected < rejected_budget {
+                presumed_rejected += 1;
+                continue;
+            }
+            if t.enqueued_only() {
+                return Err(format!(
+                    "{e} (enqueued-only orphan exceeds the declared job_rejected \
+                     suppression budget of {rejected_budget})"
+                ));
+            }
+            return Err(e);
+        }
     }
-    Ok(timelines)
+    Ok(Replay {
+        timelines,
+        suppressed,
+        presumed_rejected,
+    })
+}
+
+/// [`replay_log`], returning just the timelines — the original
+/// entry point most tests use.
+pub fn validate_log(text: &str) -> Result<BTreeMap<String, JobTimeline>, String> {
+    replay_log(text).map(|r| r.timelines)
 }
 
 #[cfg(test)]
@@ -316,6 +385,62 @@ mod tests {
         ]
         .join("\n");
         assert!(validate_log(&log).unwrap_err().contains("monotone"));
+    }
+
+    #[test]
+    fn sampled_log_reconciles_via_declared_suppression() {
+        // j-0's rejection was kept (sampled); j-1's was dropped — its
+        // enqueued-only orphan is covered by the suppressed budget of 2
+        // (one dropped rejection belonged to a job that never logged
+        // anything at all).
+        let log = [
+            line(0, "job_enqueued", &[("job", Json::from("j-2"))]),
+            line(1, "job_dequeued", &[("job", Json::from("j-2"))]),
+            line(2, "job_computed", &[("job", Json::from("j-2")), ("verdict", Json::from("pass"))]),
+            line(3, "job_done", &[("job", Json::from("j-2"))]),
+            line(4, "job_rejected", &[("job", Json::from("j-0")), ("reason", Json::from("overloaded"))]),
+            line(5, "job_enqueued", &[("job", Json::from("j-1"))]),
+            line(6, "suppressed", &[("suppressed_event", Json::from("job_rejected")), ("count", Json::from(2.0)), ("sample_every", Json::from(4.0))]),
+        ]
+        .join("\n");
+        let replay = replay_log(&log).expect("sampled log reconciles");
+        assert_eq!(replay.suppressed.get("job_rejected"), Some(&2));
+        assert_eq!(replay.presumed_rejected, 1, "one orphan presumed shed");
+        assert_eq!(replay.timelines["j-0"].validate(), Ok(Outcome::Rejected));
+        assert_eq!(replay.timelines["j-2"].validate(), Ok(Outcome::Computed));
+        // Kept + suppressed rejections account for every shed job.
+        let kept = replay
+            .timelines
+            .values()
+            .filter(|t| t.validate() == Ok(Outcome::Rejected))
+            .count() as u64;
+        assert_eq!(kept + replay.suppressed["job_rejected"], 3);
+    }
+
+    #[test]
+    fn orphans_beyond_the_declared_budget_still_fail() {
+        let log = [
+            line(0, "job_enqueued", &[("job", Json::from("j-0"))]),
+            line(1, "job_enqueued", &[("job", Json::from("j-1"))]),
+            line(2, "suppressed", &[("suppressed_event", Json::from("job_rejected")), ("count", Json::from(1.0)), ("sample_every", Json::from(4.0))]),
+        ]
+        .join("\n");
+        let err = replay_log(&log).unwrap_err();
+        assert!(err.contains("suppression budget"), "{err}");
+
+        // And with no declaration at all, orphans fail as before.
+        let silent = line(0, "job_enqueued", &[("job", Json::from("j-9"))]);
+        assert!(replay_log(&silent).unwrap_err().contains("job_done"));
+    }
+
+    #[test]
+    fn suppression_of_other_events_grants_no_rejection_budget() {
+        let log = [
+            line(0, "job_enqueued", &[("job", Json::from("j-0"))]),
+            line(1, "suppressed", &[("suppressed_event", Json::from("span")), ("count", Json::from(50.0)), ("sample_every", Json::from(8.0))]),
+        ]
+        .join("\n");
+        assert!(replay_log(&log).is_err(), "span budget must not excuse a lost rejection");
     }
 
     #[test]

@@ -72,8 +72,9 @@ pub use queue::{Bounded, PushError};
 pub use server::{serve_stdio, serve_stdio_traced, ServeConfig, Server};
 pub use stats::{metrics_json, Stats};
 /// Re-exported from `sigobs`: the structured event log `ServeConfig`
-/// can attach so every job lifecycle lands in a JSONL stream.
-pub use sigobs::{EventLog, Level};
+/// can attach so every job lifecycle lands in a JSONL stream, plus the
+/// overload sampling policy it can run under.
+pub use sigobs::{EventLog, Level, SamplePolicy};
 /// Re-exported from `sigtrace`: the metrics registry every worker feeds
 /// and the phase-timing triple `VetOutcome::Report` carries.
 pub use sigtrace::{MetricsRegistry, MetricsSnapshot, PhaseTimings};

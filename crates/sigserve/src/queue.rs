@@ -6,9 +6,15 @@
 //! immediately and the protocol layer answers with a typed `overloaded`
 //! response instead of queueing unboundedly and letting latency (and
 //! memory) grow without limit.
+//!
+//! Lock poisoning is *recovered*, not propagated: the state is a plain
+//! deque plus a flag, valid after any panic mid-critical-section, and
+//! propagating poison would let one panicking worker cascade into every
+//! producer and consumer touching the queue — exactly the crash
+//! amplification a shedding daemon exists to avoid.
 
 use std::collections::VecDeque;
-use std::sync::{Condvar, Mutex};
+use std::sync::{Condvar, Mutex, PoisonError};
 
 /// Why a push was refused. The rejected item is handed back so the
 /// caller can report on it.
@@ -49,7 +55,7 @@ impl<T> Bounded<T> {
 
     /// Enqueues without blocking. Returns the queue depth after the push.
     pub fn try_push(&self, item: T) -> Result<usize, PushError<T>> {
-        let mut inner = self.inner.lock().expect("queue lock poisoned");
+        let mut inner = self.inner.lock().unwrap_or_else(PoisonError::into_inner);
         if inner.shutting_down {
             return Err(PushError::ShutDown(item));
         }
@@ -67,7 +73,7 @@ impl<T> Bounded<T> {
     /// the queue is shutting down *and* drained — pending jobs accepted
     /// before shutdown are still completed.
     pub fn pop(&self) -> Option<T> {
-        let mut inner = self.inner.lock().expect("queue lock poisoned");
+        let mut inner = self.inner.lock().unwrap_or_else(PoisonError::into_inner);
         loop {
             if let Some(item) = inner.items.pop_front() {
                 return Some(item);
@@ -78,7 +84,7 @@ impl<T> Bounded<T> {
             inner = self
                 .not_empty
                 .wait(inner)
-                .expect("queue lock poisoned");
+                .unwrap_or_else(PoisonError::into_inner);
         }
     }
 
@@ -86,19 +92,30 @@ impl<T> Bounded<T> {
     pub fn shutdown(&self) {
         self.inner
             .lock()
-            .expect("queue lock poisoned")
+            .unwrap_or_else(PoisonError::into_inner)
             .shutting_down = true;
         self.not_empty.notify_all();
     }
 
     /// Current number of pending items.
     pub fn len(&self) -> usize {
-        self.inner.lock().expect("queue lock poisoned").items.len()
+        self.inner
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .items
+            .len()
     }
 
     /// True when nothing is pending.
     pub fn is_empty(&self) -> bool {
         self.len() == 0
+    }
+
+    /// True when the queue is at capacity — the overload pre-check the
+    /// submission path uses to shed *before* logging a lifecycle.
+    /// Advisory under concurrency: a push can still race to `Full`.
+    pub fn is_full(&self) -> bool {
+        self.len() >= self.cap
     }
 
     /// The configured bound.

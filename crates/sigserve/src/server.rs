@@ -16,7 +16,12 @@
 //!
 //! Workers never die on behalf of a job: a runaway analysis is cut off by
 //! the step budget / deadline inside `jsanalysis` and comes back as a
-//! `timeout` core result like any other.
+//! `timeout` core result like any other, and an analysis that panics
+//! outright is contained with `catch_unwind` — counted in
+//! `serve_worker_panics`, logged, answered as an error verdict — while
+//! the worker keeps serving. Shared-state mutexes recover from
+//! poisoning rather than propagate it, so a single panic can never
+//! cascade into every subsequent handler.
 
 use crate::cache::{cache_key, SigCache};
 use crate::protocol::{
@@ -33,8 +38,9 @@ use sigtrace::Trace;
 use std::io::{self, BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::path::PathBuf;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{mpsc, Arc, Mutex};
+use std::sync::{mpsc, Arc, Mutex, PoisonError};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -147,7 +153,10 @@ impl Shared {
     }
 
     fn lock_cache(&self) -> std::sync::MutexGuard<'_, SigCache> {
-        self.cache.lock().expect("cache lock poisoned")
+        // Recover, don't propagate: the LRU map stays structurally valid
+        // if a holder panics, and propagating poison would turn one
+        // panicking worker into a daemon-wide crash cascade.
+        self.cache.lock().unwrap_or_else(PoisonError::into_inner)
     }
 
     fn next_job_id(&self) -> String {
@@ -288,6 +297,17 @@ fn compute(shared: &Shared, key: u64, source: &str, job: &str) -> Json {
     core
 }
 
+/// Best-effort text of a panic payload (`&str` / `String` downcasts).
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_owned()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_owned()
+    }
+}
+
 fn worker_loop(shared: &Shared) {
     while let Some(job) = shared.queue.pop() {
         shared.log_event(
@@ -312,7 +332,41 @@ fn worker_loop(shared: &Shared) {
                 );
                 hit
             }
-            None => compute(shared, job.key, &job.source, &job.id),
+            None => {
+                // A panicking analysis must cost exactly one job, not
+                // the worker (and with it the daemon): contain it, count
+                // it, and answer the submitter with an error verdict.
+                match catch_unwind(AssertUnwindSafe(|| {
+                    compute(shared, job.key, &job.source, &job.id)
+                })) {
+                    Ok(core) => core,
+                    Err(payload) => {
+                        let msg = panic_message(payload.as_ref());
+                        shared.metrics.add("serve_worker_panics", 1);
+                        shared.log_event(
+                            Level::Error,
+                            "worker_panic",
+                            &[
+                                ("job", Json::from(job.id.as_str())),
+                                ("message", Json::from(msg.as_str())),
+                            ],
+                        );
+                        // Terminal lifecycle for replay: the job *was*
+                        // computed, with an error verdict. Not cached —
+                        // a resubmission deserves a fresh attempt.
+                        shared.log_event(
+                            Level::Warn,
+                            "job_computed",
+                            &[
+                                ("job", Json::from(job.id.as_str())),
+                                ("verdict", Json::from("error")),
+                                ("message", Json::from(msg.as_str())),
+                            ],
+                        );
+                        VetOutcome::error(format!("worker panicked: {msg}")).core_json()
+                    }
+                }
+            }
         };
         Stats::incr(&shared.stats.jobs_completed);
         // A disconnected submitter is fine; the result is cached anyway.
@@ -393,6 +447,28 @@ fn submit_vet(shared: &Shared, item: VetItem) -> PendingVet {
         return PendingVet::Ready(resp);
     }
     shared.metrics.add("serve_cache_misses", 1);
+    // Shed *before* logging the lifecycle: under sustained overload the
+    // rejected stream must cost at most one (sampled) `job_rejected`
+    // line per job, not an `enqueued` + `rejected` pair — otherwise the
+    // log amplifies the very overload it is narrating. The pre-check is
+    // advisory (a racing push can still hit Full below); that rare path
+    // keeps the enqueued-then-rejected pair, which replay accepts.
+    if shared.queue.is_full() {
+        Stats::incr(&shared.stats.jobs_rejected);
+        shared.log_event(
+            Level::Warn,
+            "job_rejected",
+            &[
+                ("job", Json::from(id.as_str())),
+                ("reason", Json::from("overloaded")),
+            ],
+        );
+        return PendingVet::Ready(overloaded_response(
+            name.as_deref(),
+            shared.queue.len(),
+            shared.queue.capacity(),
+        ));
+    }
     // Log admission *before* try_push: once the job is in the queue a
     // worker can dequeue it immediately, and the log's seq order must
     // match the lifecycle order (enqueued < dequeued).
@@ -1012,6 +1088,44 @@ mod tests {
             assert_eq!(r["name"].as_str(), Some(format!("n{i}").as_str()));
             assert_eq!(r["verdict"], "ok");
         }
+        client.shutdown().unwrap();
+        server.join();
+    }
+
+    #[test]
+    fn panicking_worker_does_not_kill_the_daemon() {
+        // Regression: a panicking AnalyzeJobFn used to poison the cache
+        // mutex (compute holds it around insert) and crash the worker;
+        // every later request then panicked on the poisoned lock —
+        // one bad addon took the whole daemon down.
+        fn panicky(source: &str, c: &AnalysisConfig, m: &MetricsRegistry) -> VetOutcome {
+            if source.contains("@panic") {
+                panic!("injected analysis panic");
+            }
+            stub(source, c, m)
+        }
+        let cfg = ServeConfig {
+            workers: 1, // one worker: if the panic killed it, nothing answers
+            ..ServeConfig::default()
+        };
+        let server = Server::bind("127.0.0.1:0", cfg, panicky).expect("bind");
+        let mut client = crate::Client::connect(server.local_addr()).expect("connect");
+        let boom = client.vet_source(Some("bad"), "@panic").unwrap();
+        assert_eq!(boom["verdict"], "error");
+        assert!(
+            boom["message"].as_str().unwrap_or("").contains("panicked"),
+            "{boom:?}"
+        );
+        // The same (sole) worker must still answer the next request.
+        let ok = client.vet_source(Some("good"), "var fine;").unwrap();
+        assert_eq!(ok["verdict"], "ok");
+        let snap = server.metrics_snapshot();
+        let panics = snap
+            .counters
+            .iter()
+            .find(|(n, _)| n == "serve_worker_panics")
+            .map(|(_, v)| *v);
+        assert_eq!(panics, Some(1));
         client.shutdown().unwrap();
         server.join();
     }

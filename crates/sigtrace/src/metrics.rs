@@ -99,13 +99,31 @@ impl HistogramSnapshot {
     }
 
     /// The `q`-quantile (`0.0 ..= 1.0`) as an **inclusive upper-bound
-    /// estimate**: the largest value the bucket holding the quantile rank
-    /// can contain (`0` for the zero bucket, `2^i - 1` for bucket `i`,
-    /// `u64::MAX` for the overflow bucket). Log₂ buckets bound the
-    /// estimate within 2x of the true quantile, which is what rate/trend
-    /// reporting needs. `None` on an empty histogram.
+    /// estimate**.
+    ///
+    /// Bucket-upper-bound convention: the returned value is the largest
+    /// value the bucket holding the quantile rank can contain — `0` for
+    /// the zero bucket, `2^i − 1` for bucket `i` (which holds
+    /// `[2^(i−1), 2^i)`), `u64::MAX` for the overflow bucket. The true
+    /// quantile is never *above* the returned value, and the log₂
+    /// layout keeps it within 2× below — what rate/trend reporting
+    /// needs. Every `p50<=`-style rendering of this value should say
+    /// so ("<=", not "=").
+    ///
+    /// One refinement: when **all** observations landed in a single
+    /// bucket, the recorded `sum` pins the estimate down further. The
+    /// other `count − 1` observations are each at least the bucket's
+    /// lower bound, so no observation can exceed
+    /// `sum − (count − 1) · lower`; a single-valued histogram (every
+    /// observation equal) therefore reports the exact value instead of
+    /// the inflated bucket cap (e.g. 100×`record(4)` → `Some(4)`,
+    /// not `Some(7)`).
+    ///
+    /// `None` on an empty histogram and for NaN `q` (a NaN must not
+    /// masquerade as `q = 0`); out-of-range finite `q` clamps to
+    /// `0.0 ..= 1.0`.
     pub fn percentile(&self, q: f64) -> Option<u64> {
-        if self.count == 0 {
+        if self.count == 0 || q.is_nan() {
             return None;
         }
         // Rank of the quantile observation, 1-based. `q = 0` still maps
@@ -115,15 +133,38 @@ impl HistogramSnapshot {
         for (i, &c) in self.buckets.iter().enumerate() {
             cumulative += c;
             if cumulative >= rank {
-                return Some(match HistogramSnapshot::bucket_limit(i) {
+                let cap = match HistogramSnapshot::bucket_limit(i) {
                     Some(limit) => limit - 1,
                     None => u64::MAX,
-                });
+                };
+                return Some(self.refine_single_bucket(i, c, cap));
             }
         }
         // count > 0 guarantees some bucket reached the rank; tolerate a
         // torn snapshot (count raced ahead of the bucket increments).
         Some(u64::MAX)
+    }
+
+    /// Sum-based tightening of the bucket cap when every observation sits
+    /// in bucket `i` (see [`HistogramSnapshot::percentile`]). Falls back
+    /// to `cap` whenever the snapshot looks torn or wrapped.
+    fn refine_single_bucket(&self, i: usize, in_bucket: u64, cap: u64) -> u64 {
+        if in_bucket != self.count {
+            return cap; // observations in other buckets: no single-bucket bound
+        }
+        let lower = if i == 0 { 0 } else { 1u64 << (i - 1) };
+        let spread = self
+            .count
+            .checked_sub(1)
+            .and_then(|n| n.checked_mul(lower))
+            .and_then(|floor| self.sum.checked_sub(floor));
+        match spread {
+            // A valid single-bucket snapshot has every value >= lower,
+            // so spread >= lower too; anything else is a torn/wrapped
+            // sum (sum wraps mod 2^64 by design) — keep the safe cap.
+            Some(s) if i == 0 || s >= lower => s.min(cap),
+            _ => cap,
+        }
     }
 }
 
@@ -312,6 +353,48 @@ mod tests {
         let m = Histogram::new();
         m.record(u64::MAX);
         assert_eq!(m.snapshot("max").percentile(0.5), Some(u64::MAX));
+    }
+
+    #[test]
+    fn percentile_refines_when_one_bucket_is_occupied() {
+        // Single-valued histogram: the sum pins the exact value, so no
+        // 4-reports-as-7 inflation.
+        let h = Histogram::new();
+        for _ in 0..100 {
+            h.record(4); // bucket [4, 8): cap 7, but sum says exactly 4
+        }
+        let snap = h.snapshot("exact");
+        for q in [0.0, 0.5, 1.0] {
+            assert_eq!(snap.percentile(q), Some(4), "q={q}");
+        }
+        let one = Histogram::new();
+        one.record(5);
+        assert_eq!(one.snapshot("one").percentile(0.5), Some(5));
+        // Mixed values inside the bucket: the sum bound tightens the cap
+        // without going below the true maximum (4 and 6: bound is
+        // 10 - 1*4 = 6, exactly the max).
+        let mixed = Histogram::new();
+        mixed.record(4);
+        mixed.record(6);
+        assert_eq!(mixed.snapshot("mixed").percentile(1.0), Some(6));
+        // Two occupied buckets: no single-bucket bound, cap stands.
+        let spread = Histogram::new();
+        spread.record(4);
+        spread.record(100);
+        assert_eq!(spread.snapshot("spread").percentile(1.0), Some(127));
+    }
+
+    #[test]
+    fn percentile_rejects_nan_and_clamps_out_of_range() {
+        let h = Histogram::new();
+        h.record(5);
+        let snap = h.snapshot("q");
+        // NaN used to clamp to NaN, cast to rank 0, and silently read as
+        // rank 1; it must be an explicit None instead.
+        assert_eq!(snap.percentile(f64::NAN), None);
+        // Finite out-of-range quantiles clamp.
+        assert_eq!(snap.percentile(-1.0), snap.percentile(0.0));
+        assert_eq!(snap.percentile(2.0), snap.percentile(1.0));
     }
 
     #[test]

@@ -8,9 +8,10 @@
 //!           [--queue-cap N] [--step-budget N] [--deadline-ms N]
 //!           [--k <depth>] [--constant-strings]
 //!           [--log FILE] [--log-level LEVEL]
+//!           [--log-sample N] [--log-sample-threshold R]
 //!           [--metrics-dir DIR] [--metrics-interval-ms N]
 //! vet --client HOST:PORT [<addon.js>... | --stats | --metrics | --shutdown]
-//! vet metrics-report DIR
+//! vet metrics-report DIR [--gate RULES]
 //! vet corpus-snapshot [--out FILE] [--k <depth>] [--constant-strings]
 //!                     [--step-budget N]
 //! vet corpus-diff OLD NEW
@@ -36,15 +37,23 @@
 //! JSONL event log (every job lifecycle, keyed by request ID;
 //! `--log-level debug` adds per-phase pipeline spans); `--log-level`
 //! alone keeps an in-memory log whose tail rides along in `stats`
-//! responses. `--metrics-dir DIR` snapshots the metrics registry into a
-//! bounded on-disk ring every `--metrics-interval-ms` (default 5000),
-//! surviving restarts. `--client` speaks the daemon's NDJSON protocol:
+//! responses; `--log-sample N` keeps the log overload-safe by degrading
+//! the `job_rejected` stream to 1-in-N past `--log-sample-threshold R`
+//! occurrences per second (drops are declared in counted `suppressed`
+//! records the replay validator reconciles against). `--metrics-dir DIR`
+//! snapshots the metrics registry into a bounded on-disk ring every
+//! `--metrics-interval-ms` (default 5000), surviving restarts. `--client` speaks the daemon's NDJSON protocol:
 //! each named file is vetted (source is read locally and sent inline)
 //! and the response printed one JSON object per line; `--metrics`
 //! prints the daemon's Prometheus text exposition.
 //!
 //! `metrics-report DIR` renders a metrics-history directory as counter
-//! rates and latency percentiles over the recorded window.
+//! rates and latency percentiles over the recorded window (percentiles
+//! are inclusive upper bounds of the log2 histogram buckets). With
+//! `--gate RULES` it also evaluates a declarative alert-rules file
+//! (counter-rate / gauge / cache-hit-ratio / histogram-percentile
+//! thresholds) and exits nonzero when any rule fires — a health gate
+//! with the same CI shape as `corpus-diff`.
 //! `corpus-snapshot` analyzes the built-in corpus and writes a
 //! drift-observatory snapshot (verdicts + signatures + order-independent
 //! counters, keyed by analyzer version and config hash);
@@ -68,9 +77,10 @@ usage:
             [--queue-cap N] [--step-budget N] [--deadline-ms N]
             [--k <depth>] [--constant-strings] [--log FILE]
             [--log-level error|warn|info|debug]
+            [--log-sample N] [--log-sample-threshold R]
             [--metrics-dir DIR] [--metrics-interval-ms N]
   vet --client HOST:PORT [<addon.js>... | --stats | --metrics | --shutdown]
-  vet metrics-report DIR
+  vet metrics-report DIR [--gate RULES]
   vet corpus-snapshot [--out FILE] [--k <depth>] [--constant-strings]
                       [--step-budget N]
   vet corpus-diff OLD NEW";
@@ -98,6 +108,12 @@ struct ServeOptions {
     log_file: Option<String>,
     /// `--log-level`: `Some` turns logging on even without `--log`.
     log_level: Option<sigobs::Level>,
+    /// `--log-sample N`: past the per-window threshold, keep 1-in-N
+    /// `job_rejected` records (suppressed drops are counted).
+    log_sample: Option<u64>,
+    /// `--log-sample-threshold R`: full records per window before
+    /// sampling kicks in (default 100).
+    log_sample_threshold: Option<u64>,
 }
 
 /// What `vet --client` should ask the daemon.
@@ -119,8 +135,13 @@ enum Mode {
     Run(Options),
     Serve(ServeOptions),
     Client(ClientOptions),
-    /// `vet metrics-report DIR`: render a metrics-history ring.
-    MetricsReport(String),
+    /// `vet metrics-report DIR [--gate RULES]`: render a metrics-history
+    /// ring; with `--gate`, also evaluate alert rules (nonzero exit on a
+    /// violated threshold).
+    MetricsReport {
+        dir: String,
+        gate: Option<String>,
+    },
     /// `vet corpus-snapshot`: write a drift-observatory snapshot.
     CorpusSnapshot {
         out: Option<String>,
@@ -142,6 +163,8 @@ fn parse_serve_args(mut args: impl Iterator<Item = String>) -> Result<Mode, Stri
     let mut queue_cap: Option<usize> = None;
     let mut log_file: Option<String> = None;
     let mut log_level: Option<sigobs::Level> = None;
+    let mut log_sample: Option<u64> = None;
+    let mut log_sample_threshold: Option<u64> = None;
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--addr" => addr = Some(args.next().ok_or("--addr needs HOST:PORT")?),
@@ -164,6 +187,13 @@ fn parse_serve_args(mut args: impl Iterator<Item = String>) -> Result<Mode, Stri
                 log_level =
                     Some(sigobs::Level::parse(&v).ok_or_else(|| format!("bad log level: {v}"))?)
             }
+            "--log-sample" => {
+                log_sample = Some(parse_usize(&mut args, "--log-sample")?.max(1) as u64)
+            }
+            "--log-sample-threshold" => {
+                log_sample_threshold =
+                    Some(parse_usize(&mut args, "--log-sample-threshold")? as u64)
+            }
             "--metrics-dir" => {
                 config.metrics_dir =
                     Some(args.next().ok_or("--metrics-dir needs a DIR")?.into())
@@ -180,6 +210,12 @@ fn parse_serve_args(mut args: impl Iterator<Item = String>) -> Result<Mode, Stri
     if stdio && addr.is_some() {
         return Err("--addr and --stdio are mutually exclusive".to_owned());
     }
+    if (log_sample.is_some() || log_sample_threshold.is_some())
+        && log_file.is_none()
+        && log_level.is_none()
+    {
+        return Err("--log-sample requires --log or --log-level".to_owned());
+    }
     // Default queue bound scales with the pool, like ServeConfig::default.
     config.queue_cap = queue_cap.unwrap_or(config.workers * 8);
     let addr = if stdio {
@@ -192,6 +228,8 @@ fn parse_serve_args(mut args: impl Iterator<Item = String>) -> Result<Mode, Stri
         config,
         log_file,
         log_level,
+        log_sample,
+        log_sample_threshold,
     }))
 }
 
@@ -267,7 +305,15 @@ fn parse_args() -> Result<Mode, String> {
         Some("metrics-report") => {
             args.next();
             let dir = args.next().ok_or("metrics-report needs a DIR")?;
-            return Ok(Mode::MetricsReport(dir));
+            let mut gate = None;
+            while let Some(arg) = args.next() {
+                match arg.as_str() {
+                    "--gate" => gate = Some(args.next().ok_or("--gate needs a RULES file")?),
+                    "--help" | "-h" => return Ok(Mode::Help),
+                    other => return Err(format!("unknown metrics-report flag: {other}")),
+                }
+            }
+            return Ok(Mode::MetricsReport { dir, gate });
         }
         Some("corpus-snapshot") => {
             args.next();
@@ -437,16 +483,26 @@ fn run_serve(mut opts: ServeOptions) -> Result<(), String> {
     // embedded servers (tests, benches) keep the default quiet exit.
     opts.config.dump_metrics_on_shutdown = true;
     let level = opts.log_level.unwrap_or(sigobs::Level::Info);
-    opts.config.log = match &opts.log_file {
-        Some(path) => Some(std::sync::Arc::new(
-            sigobs::EventLog::to_file(path, level).map_err(|e| format!("{path}: {e}"))?,
-        )),
-        // `--log-level` without `--log`: in-memory log, tail in `stats`.
-        None if opts.log_level.is_some() => {
-            Some(std::sync::Arc::new(sigobs::EventLog::in_memory(level)))
+    let log = match &opts.log_file {
+        Some(path) => {
+            Some(sigobs::EventLog::to_file(path, level).map_err(|e| format!("{path}: {e}"))?)
         }
+        // `--log-level` without `--log`: in-memory log, tail in `stats`.
+        None if opts.log_level.is_some() => Some(sigobs::EventLog::in_memory(level)),
         None => None,
     };
+    // `--log-sample N`: under overload, degrade the job_rejected stream
+    // to 1-in-N with counted `suppressed` records instead of amplifying
+    // the overload with one log write per shed job.
+    let log = log.map(|l| match (opts.log_sample, opts.log_sample_threshold) {
+        (None, None) => l,
+        (sample, threshold) => l.with_sampling(sigobs::SamplePolicy {
+            keep_one_in: sample.unwrap_or(100),
+            threshold: threshold.unwrap_or(100),
+            ..sigobs::SamplePolicy::default()
+        }),
+    });
+    opts.config.log = log.map(std::sync::Arc::new);
     match opts.addr {
         Some(addr) => {
             let server =
@@ -503,8 +559,9 @@ fn run_client(opts: ClientOptions) -> Result<bool, String> {
 
 /// Renders a metrics-history directory (`vet serve --metrics-dir`) as
 /// counter rates over the recorded window plus latency percentiles from
-/// the newest snapshot.
-fn run_metrics_report(dir: &str) -> Result<(), String> {
+/// the newest snapshot. With a `--gate RULES` file, also evaluates the
+/// alert rules and returns whether the gate passed.
+fn run_metrics_report(dir: &str, gate: Option<&str>) -> Result<bool, String> {
     let records = sigobs::MetricsHistory::load(dir).map_err(|e| format!("{dir}: {e}"))?;
     let (Some(first), Some(last)) = (records.first(), records.last()) else {
         return Err(format!("{dir}: no metrics snapshots"));
@@ -534,7 +591,10 @@ fn run_metrics_report(dir: &str) -> Result<(), String> {
             println!("  {name:<32} {end:>10}  (+{delta})");
         }
     }
-    println!("\nhistograms (newest snapshot):");
+    // Percentiles are inclusive upper bounds of log2 buckets (within 2x
+    // of the true quantile; exact when one value dominates) — hence the
+    // "<=" rendering below.
+    println!("\nhistograms (newest snapshot; percentiles are inclusive log2-bucket upper bounds):");
     for h in &last.snapshot.histograms {
         let mean = if h.count > 0 { h.sum / h.count } else { 0 };
         let pct = |q: f64| {
@@ -552,7 +612,17 @@ fn run_metrics_report(dir: &str) -> Result<(), String> {
             pct(0.99)
         );
     }
-    Ok(())
+    let Some(rules_path) = gate else {
+        return Ok(true);
+    };
+    let text =
+        std::fs::read_to_string(rules_path).map_err(|e| format!("{rules_path}: {e}"))?;
+    let rules =
+        sigobs::alerts::parse_rules(&text).map_err(|e| format!("{rules_path}: {e}"))?;
+    let report = sigobs::alerts::evaluate(&rules, &records);
+    println!();
+    print!("{report}");
+    Ok(report.passed())
 }
 
 /// Analyzes the corpus and writes the drift-observatory snapshot to
@@ -615,9 +685,12 @@ fn main() -> ExitCode {
                 }
             }
         }
-        Mode::MetricsReport(dir) => {
-            return match run_metrics_report(&dir) {
-                Ok(()) => ExitCode::SUCCESS,
+        Mode::MetricsReport { dir, gate } => {
+            return match run_metrics_report(&dir, gate.as_deref()) {
+                Ok(true) => ExitCode::SUCCESS,
+                // Health gate violated: verdict printed, exit nonzero
+                // for CI, like corpus-diff.
+                Ok(false) => ExitCode::FAILURE,
                 Err(msg) => {
                     eprintln!("{msg}");
                     ExitCode::FAILURE

@@ -3,8 +3,8 @@
 //! concurrent batch jobs must carry distinct stable request IDs, and
 //! cache hits must record the producing job's ID as provenance.
 
-use addon_sig::sigobs::replay::{validate_log, Outcome};
-use addon_sig::sigobs::{EventLog, Level};
+use addon_sig::sigobs::replay::{replay_log, validate_log, Outcome};
+use addon_sig::sigobs::{EventLog, Level, SamplePolicy};
 use addon_sig::sigserve::{Client, ServeConfig, Server};
 use minijson::Json;
 use std::path::PathBuf;
@@ -147,6 +147,109 @@ fn concurrent_batch_jobs_carry_distinct_stable_ids() {
         let t = timelines.get(id).unwrap_or_else(|| panic!("{id} not in log"));
         t.validate().expect("well-formed lifecycle");
     }
+}
+
+#[test]
+fn overloaded_daemon_keeps_a_sampled_but_exact_log() {
+    // A real daemon with a tiny queue under a batch flood: the event
+    // log runs under overload sampling, so most `job_rejected` records
+    // are dropped — but the kept records plus the declared `suppressed`
+    // counts must reconcile exactly with the number of shed jobs, and
+    // the sampled log must still replay cleanly.
+    const THRESHOLD: u64 = 4;
+    const KEEP_ONE_IN: u64 = 8;
+    let log = Arc::new(
+        EventLog::in_memory(Level::Info)
+            .with_tail_cap(8192)
+            .with_sampling(SamplePolicy {
+                events: vec!["job_rejected".to_owned()],
+                threshold: THRESHOLD,
+                keep_one_in: KEEP_ONE_IN,
+                window: std::time::Duration::from_secs(3600),
+            }),
+    );
+    let cfg = ServeConfig {
+        workers: 2,
+        queue_cap: 2,
+        log: Some(Arc::clone(&log)),
+        ..ServeConfig::default()
+    };
+    let server = bind_with_log(cfg);
+    let mut client = Client::connect(server.local_addr()).expect("connect");
+
+    // Batches submit every item before awaiting any, so a 128-item
+    // batch against a 2-slot queue sheds most of its jobs. One
+    // submitter means the shed pre-check never races, so the daemon's
+    // overloaded-response count is the exact ground truth. Retry a few
+    // rounds in case the workers drain unexpectedly fast.
+    let mut shed = 0usize;
+    let mut accepted = 0usize;
+    for round in 0..4 {
+        if shed as u64 > THRESHOLD {
+            break;
+        }
+        let mut req = Json::obj();
+        req.set("kind", Json::from("vet_batch"));
+        req.set(
+            "items",
+            Json::Arr(
+                (0..128)
+                    .map(|i| {
+                        let mut o = Json::obj();
+                        o.set("name", Json::from(format!("flood{round}_{i}")));
+                        o.set("source", Json::from(format!("var flood{round}_{i} = {i};")));
+                        o
+                    })
+                    .collect(),
+            ),
+        );
+        let resp = client.request(&req).expect("flood batch");
+        for r in resp["results"].as_array().expect("results") {
+            if r["kind"] == "overloaded" {
+                shed += 1;
+            } else {
+                assert_eq!(r["verdict"], "ok");
+                accepted += 1;
+            }
+        }
+    }
+    assert!(
+        shed as u64 > THRESHOLD,
+        "flood must shed past the sampling threshold (shed {shed})"
+    );
+    client.shutdown().expect("shutdown");
+    server.join();
+
+    // The log stays O(sample rate), not O(flood): kept rejected records
+    // follow the threshold-then-1-in-N schedule exactly, and every
+    // dropped record is covered by a declared `suppressed` count.
+    let replay = replay_log(&log.tail_lines().join("\n")).expect("sampled log must replay");
+    let kept_rejected = replay
+        .timelines
+        .values()
+        .filter(|t| matches!(t.validate(), Ok(Outcome::Rejected)))
+        .count() as u64;
+    let suppressed = *replay.suppressed.get("job_rejected").unwrap_or(&0);
+    assert_eq!(
+        kept_rejected + suppressed,
+        shed as u64,
+        "kept + suppressed must equal the daemon's shed count exactly"
+    );
+    let expected_kept = (shed as u64).min(THRESHOLD)
+        + (shed as u64).saturating_sub(THRESHOLD).div_ceil(KEEP_ONE_IN);
+    assert_eq!(kept_rejected, expected_kept, "sampling schedule violated");
+    assert_eq!(
+        log.suppressed_total("job_rejected"),
+        suppressed,
+        "log's own tally must match the declared suppressed records"
+    );
+    assert_eq!(replay.presumed_rejected, 0, "no enqueued-only orphans");
+    let computed = replay
+        .timelines
+        .values()
+        .filter(|t| matches!(t.validate(), Ok(Outcome::Computed)))
+        .count();
+    assert_eq!(computed, accepted, "every accepted flood job computed");
 }
 
 #[test]
