@@ -8,7 +8,10 @@
 #      step-count regressions),
 #   3. a perf snapshot over the corpus, so the committed
 #      BENCH_pipeline.json can be refreshed from the CI artifact — the
-#      snapshot itself enforces the <5% no-op tracer overhead gate,
+#      snapshot itself enforces the <5% no-op tracer overhead gate —
+#      plus the incremental bench, whose run fails unless every warm
+#      signature is bit-identical to cold and a single-function edit
+#      on the synthetic addon re-steps <20% of the cold fixpoint,
 #   4. a `vet --trace` smoke test: the emitted chrome://tracing JSON
 #      must parse and keep strict span nesting (trace_check),
 #   5. a vetting-daemon smoke test over --stdio (no network needed) plus
@@ -26,7 +29,13 @@
 #   8. the health gate: a sampled --stdio session records a metrics
 #      history, then `vet metrics-report --gate` must pass the
 #      known-good rules (exit 0) and fail the known-violating rules
-#      (exit nonzero) — the alerting contract.
+#      (exit nonzero) — the alerting contract,
+#   9. the incremental re-vetting gate: a cold `vet --summary-dir` on a
+#      many-function addon, a scripted one-line edit, then a warm
+#      re-vet — the store must splice every untouched function
+#      (re-analyzing strictly fewer than all of them) and the warm
+#      `--json` signature must be byte-identical to a cold run of the
+#      edited source.
 set -eu
 cd "$(dirname "$0")"
 
@@ -43,6 +52,10 @@ echo "==> perf snapshot (sequential, 3 runs; incl. tracer-overhead gate)"
 cargo build --release --offline --workspace
 ./target/release/perf_snapshot --runs 3 --sequential --out target/BENCH_pipeline.ci.json
 grep -q '"trace_overhead_pct"' target/BENCH_pipeline.ci.json
+
+echo "==> incremental bench (golden identity + <20% single-function-edit gate)"
+./target/release/incr_bench --out target/BENCH_incremental.ci.json
+grep -q '"step_ratio_pct"' target/BENCH_incremental.ci.json
 
 echo "==> vet --trace smoke test (Perfetto JSON parses, spans nest)"
 ./target/release/vet --trace target/ci_trace.json crates/corpus/addons/pinpoints.js > /dev/null
@@ -76,6 +89,17 @@ echo "==> corpus drift gate (same analyzer => zero drift)"
 ./target/release/vet corpus-snapshot --out target/ci_snap_b.json
 cmp target/ci_snap_a.json target/ci_snap_b.json
 ./target/release/vet corpus-diff target/ci_snap_a.json target/ci_snap_b.json > /dev/null
+# The incremental oracle: a snapshot taken *through* the per-function
+# summary store (populating on the first pass, splicing on the second)
+# must be byte-identical to the cold one and show zero drift.
+rm -rf target/ci_snap_store
+./target/release/vet corpus-snapshot --summary-dir target/ci_snap_store \
+    --out target/ci_snap_populate.json
+./target/release/vet corpus-snapshot --summary-dir target/ci_snap_store \
+    --out target/ci_snap_warm.json
+cmp target/ci_snap_a.json target/ci_snap_populate.json
+cmp target/ci_snap_a.json target/ci_snap_warm.json
+./target/release/vet corpus-diff target/ci_snap_a.json target/ci_snap_warm.json > /dev/null
 
 echo "==> health gate (metrics history + vet metrics-report --gate)"
 rm -rf target/ci_metrics
@@ -95,5 +119,37 @@ if ./target/release/vet metrics-report target/ci_metrics --gate ci/metrics-gate-
     echo "ci.sh: violating rules file must exit nonzero" >&2
     exit 1
 fi
+
+echo "==> incremental re-vetting gate (one-line patch splices)"
+rm -rf target/ci_summaries
+# A six-worker addon whose functions each carry a dead `probe` literal;
+# the scripted edit patches one literal without changing any value that
+# escapes its function — the model of a trivial resubmitted update.
+i=0
+: > target/ci_incr_base.js
+while [ $i -lt 6 ]; do
+    cat >> target/ci_incr_base.js <<EOF
+function worker$i(seed) {
+  var probe = 'probe-$i';
+  var tag = 'worker-$i';
+  var body = tag + ':' + seed;
+  return body + '#' + tag;
+}
+EOF
+    echo "worker$i($((i % 2)));" >> target/ci_incr_base.js
+    i=$((i + 1))
+done
+sed "s/'probe-2'/'probe-2-patched'/" target/ci_incr_base.js > target/ci_incr_edit.js
+# Cold vet populates the store; the warm re-vet of the edited source
+# must splice the five untouched workers (only worker2 plus the
+# top-level code re-analyzes: 2 of 7 functions).
+./target/release/vet --summary-dir target/ci_summaries target/ci_incr_base.js > /dev/null
+./target/release/vet --summary-dir target/ci_summaries target/ci_incr_edit.js \
+    | grep -q '\[summary store: 5 hits, 1 misses, 2/7 functions re-analyzed\]'
+# Golden identity: the spliced signature is byte-for-byte the cold one.
+./target/release/vet --json target/ci_incr_edit.js > target/ci_incr_cold.json
+./target/release/vet --json --summary-dir target/ci_summaries target/ci_incr_edit.js \
+    > target/ci_incr_warm.json
+cmp target/ci_incr_cold.json target/ci_incr_warm.json
 
 echo "==> ci.sh: all gates passed"

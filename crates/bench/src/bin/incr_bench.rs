@@ -1,0 +1,282 @@
+//! Incremental re-vetting benchmark, std-only (no criterion).
+//!
+//! Measures the per-function summary store end to end: every corpus
+//! addon is vetted cold, the store is populated, and then a sequence of
+//! synthetic edits is resubmitted through the store — the resubmission
+//! path an addon market sees when a developer pushes a one-line patch.
+//! For each warm run the harness checks the signature is *bit-identical*
+//! to a cold vetting of the same source (the store is an optimization,
+//! never an oracle) and records worklist steps, summary hits/misses and
+//! the number of functions actually re-analyzed.
+//!
+//! The hard gate runs on a synthetic many-function addon: editing one
+//! string literal in one leaf function must re-step less than 20% of the
+//! cold run's fixpoint steps. The corpus rows are recorded without a
+//! ratio gate (several corpus addons keep most statements at top level,
+//! which by design never splices), but every one must keep
+//! `functions_reanalyzed < total_functions` on a warm resubmission.
+//!
+//! Writes `BENCH_incremental.json` at the repo root.
+//!
+//! Flags:
+//! - `--out PATH`  where to write the JSON (default
+//!                 `<repo root>/BENCH_incremental.json`)
+
+use jsanalysis::MemorySummaryStore;
+use minijson::Json;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// What one pipeline run produced, cold or warm.
+struct Run {
+    signature: String,
+    steps: usize,
+    wall_us: u64,
+    incremental: Option<jsanalysis::IncrementalStats>,
+}
+
+fn run(source: &str, store: Option<&Arc<MemorySummaryStore>>) -> Run {
+    let mut pipeline = addon_sig::Pipeline::new();
+    if let Some(store) = store {
+        pipeline = pipeline.summary_store(Arc::clone(store) as Arc<dyn jsanalysis::SummaryStore>);
+    }
+    let start = Instant::now();
+    let report = pipeline.run(source).expect("pipeline");
+    let wall_us = start.elapsed().as_micros() as u64;
+    Run {
+        signature: report.signature.to_string(),
+        steps: report.analysis.steps,
+        wall_us,
+        incremental: report.incremental,
+    }
+}
+
+/// The synthetic edit sequence every addon is resubmitted through.
+/// Each edit appends to (or leaves alone) the original source, so the
+/// unedited functions' summaries stay valid and should splice.
+fn edits(source: &str) -> Vec<(&'static str, String)> {
+    vec![
+        // The no-op resubmission: same bytes, different day.
+        ("resubmit", source.to_owned()),
+        // A one-line top-level patch; function bodies are untouched.
+        ("toplevel_edit", format!("{source}\nvar __benchEdit = 1;\n")),
+        // A brand-new function: everything existing should splice.
+        (
+            "new_function",
+            format!("{source}\nfunction __benchProbe(x) {{ return x + 1; }}\n"),
+        ),
+    ]
+}
+
+/// A many-function synthetic addon: `n` leaf functions with string-heavy
+/// bodies plus a small top-level driver. The interesting case for
+/// incremental re-vetting — most of the program lives in functions whose
+/// summaries splice when a sibling is edited. Each body carries a dead
+/// `probe` literal so the benchmark can model a patch that changes a
+/// function's content hash without perturbing any value that escapes it.
+fn synthetic_addon(n: usize) -> String {
+    let mut src = String::new();
+    for i in 0..n {
+        src.push_str(&format!(
+            "function worker{i}(seed) {{\n\
+             \x20 var probe = 'probe-{i}';\n\
+             \x20 var tag = 'worker-{i}';\n\
+             \x20 var b1 = tag + ':' + seed;\n\
+             \x20 var b2 = b1 + '/a';\n\
+             \x20 var b3 = b2 + '/b';\n\
+             \x20 var b4 = b3 + '/c';\n\
+             \x20 var b5 = b4 + '/d';\n\
+             \x20 var b6 = b5 + '/e';\n\
+             \x20 var b7 = b6 + '/f';\n\
+             \x20 var b8 = b7 + '/g';\n\
+             \x20 var out = '';\n\
+             \x20 if (seed) {{ out = b8 + '/hot'; }} else {{ out = b8 + '/cold'; }}\n\
+             \x20 var trail = out + '#' + tag;\n\
+             \x20 return trail;\n\
+             }}\n"
+        ));
+    }
+    for i in 0..n {
+        src.push_str(&format!("worker{i}({});\n", i % 2));
+    }
+    src
+}
+
+fn stats_json(run: &Run) -> Json {
+    let mut row = Json::obj();
+    row.set("steps", Json::from(run.steps as f64));
+    row.set("wall_us", Json::from(run.wall_us as f64));
+    if let Some(s) = &run.incremental {
+        row.set("summary_hits", Json::from(s.summary_hits as f64));
+        row.set("summary_misses", Json::from(s.summary_misses as f64));
+        row.set("functions_reanalyzed", Json::from(s.functions_reanalyzed as f64));
+        row.set("total_functions", Json::from(s.total_functions as f64));
+        row.set("abandoned", Json::from(s.abandoned as f64));
+    }
+    row
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut out: Option<String> = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--out" => {
+                i += 1;
+                out = Some(args[i].clone());
+            }
+            other => {
+                eprintln!("unknown flag {other}");
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+    let out = out.unwrap_or_else(|| {
+        format!("{}/../../BENCH_incremental.json", env!("CARGO_MANIFEST_DIR"))
+    });
+
+    let mut doc = Json::obj();
+    doc.set("schema", Json::from(1u32));
+    let mut failures = 0usize;
+
+    println!(
+        "{:<22} {:<14} {:>9} {:>9} {:>7} {:>7} {:>12}",
+        "addon", "edit", "cold", "warm", "hits", "miss", "reanalyzed"
+    );
+
+    let mut addons_json = Json::obj();
+    for addon in corpus::addons() {
+        let store = Arc::new(MemorySummaryStore::new(4096));
+        // Populating pass: a cold run that also extracts summaries.
+        let populate = run(addon.source, Some(&store));
+        let mut row = Json::obj();
+        row.set("populate", stats_json(&populate));
+        let mut edits_json = Json::obj();
+        for (label, edited) in edits(addon.source) {
+            let cold = run(&edited, None);
+            let warm = run(&edited, Some(&store));
+            // The golden contract: spliced and cold signatures are
+            // bit-identical for every addon and every edit.
+            if warm.signature != cold.signature {
+                eprintln!("FAIL: {}/{label}: warm signature differs from cold", addon.name);
+                failures += 1;
+            }
+            let stats = warm.incremental.as_ref().expect("warm run has stats");
+            if stats.functions_reanalyzed >= stats.total_functions && stats.total_functions > 1 {
+                eprintln!(
+                    "FAIL: {}/{label}: warm run re-analyzed all {} functions",
+                    addon.name, stats.total_functions
+                );
+                failures += 1;
+            }
+            println!(
+                "{:<22} {:<14} {:>9} {:>9} {:>7} {:>7} {:>7}/{}",
+                addon.name,
+                label,
+                cold.steps,
+                warm.steps,
+                stats.summary_hits,
+                stats.summary_misses,
+                stats.functions_reanalyzed,
+                stats.total_functions
+            );
+            let mut edit_row = Json::obj();
+            edit_row.set("cold_steps", Json::from(cold.steps as f64));
+            edit_row.set("cold_wall_us", Json::from(cold.wall_us as f64));
+            edit_row.set("warm", stats_json(&warm));
+            edit_row.set(
+                "step_ratio_pct",
+                Json::from((warm.steps as f64 / cold.steps as f64 * 10000.0).round() / 100.0),
+            );
+            let speedup = cold.wall_us as f64 / warm.wall_us.max(1) as f64;
+            edit_row.set("wall_speedup", Json::from((speedup * 100.0).round() / 100.0));
+            edits_json.set(label, edit_row);
+        }
+        row.set("edits", edits_json);
+        addons_json.set(addon.name, row);
+    }
+    doc.set("addons", addons_json);
+
+    // The single-function-edit gate, on the function-heavy synthetic
+    // addon. Two flavors of one-line patch inside worker7:
+    //
+    // - `one_dead_literal` patches a literal that never escapes the
+    //   function. Its content hash changes, nothing downstream does —
+    //   only the edited function (plus the top level, which never
+    //   splices) re-analyzes. This is the gated case: < 20% of the cold
+    //   fixpoint steps.
+    // - `one_value_literal` patches a literal that flows into the
+    //   function's return value. Every later sibling's entry state
+    //   shifts, so invalidation conservatively cascades; recorded for
+    //   the trajectory file, not gated.
+    let base = synthetic_addon(24);
+    let store = Arc::new(MemorySummaryStore::new(4096));
+    let populate = run(&base, Some(&store));
+    let mut synth = Json::obj();
+    synth.set("functions", Json::from(24u32));
+    synth.set("populate", stats_json(&populate));
+    let mut synth_edits = Json::obj();
+    for (label, pattern, replacement, gated) in [
+        ("one_dead_literal", "'probe-7'", "'probe-7-patched'", true),
+        ("one_value_literal", "'worker-7'", "'worker-7-patched'", false),
+    ] {
+        let edited = base.replace(pattern, replacement);
+        assert_ne!(base, edited, "synthetic edit must change the source");
+        let cold = run(&edited, None);
+        let warm = run(&edited, Some(&store));
+        let stats = warm.incremental.as_ref().expect("warm run has stats");
+        let ratio_pct = warm.steps as f64 / cold.steps as f64 * 100.0;
+        println!(
+            "{:<22} {:<14} {:>9} {:>9} {:>7} {:>7} {:>7}/{}",
+            "synthetic(24 fns)",
+            label,
+            cold.steps,
+            warm.steps,
+            stats.summary_hits,
+            stats.summary_misses,
+            stats.functions_reanalyzed,
+            stats.total_functions
+        );
+        println!(
+            "  {label}: {:.2}% of cold steps ({} of {}), {:.1}x wall speedup",
+            ratio_pct,
+            warm.steps,
+            cold.steps,
+            cold.wall_us as f64 / warm.wall_us.max(1) as f64
+        );
+        if warm.signature != cold.signature {
+            eprintln!("FAIL: synthetic/{label}: warm signature differs from cold");
+            failures += 1;
+        }
+        if gated && ratio_pct >= 20.0 {
+            eprintln!(
+                "FAIL: single-function edit re-stepped {ratio_pct:.2}% of the cold \
+                 fixpoint (gate: < 20%)"
+            );
+            failures += 1;
+        }
+        let mut edit_row = Json::obj();
+        edit_row.set("cold_steps", Json::from(cold.steps as f64));
+        edit_row.set("cold_wall_us", Json::from(cold.wall_us as f64));
+        edit_row.set("warm", stats_json(&warm));
+        edit_row.set(
+            "step_ratio_pct",
+            Json::from((ratio_pct * 100.0).round() / 100.0),
+        );
+        let speedup = cold.wall_us as f64 / warm.wall_us.max(1) as f64;
+        edit_row.set("wall_speedup", Json::from((speedup * 100.0).round() / 100.0));
+        edit_row.set("gated", Json::Bool(gated));
+        synth_edits.set(label, edit_row);
+    }
+    synth.set("edits", synth_edits);
+    doc.set("synthetic_single_function_edit", synth);
+
+    std::fs::write(&out, doc.to_string_pretty() + "\n").expect("write snapshot");
+    println!("wrote {out}");
+    if failures > 0 {
+        eprintln!("FAIL: {failures} incremental gate violation(s)");
+        std::process::exit(1);
+    }
+}

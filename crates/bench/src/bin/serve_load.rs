@@ -28,7 +28,13 @@
 //!                   `job_rejected` logging are exercised: the sampled
 //!                   log must still replay, and kept records plus
 //!                   declared `suppressed` counts must reconcile exactly
-//!                   with the daemon's shed count.
+//!                   with the daemon's shed count. Check mode also boots
+//!                   the daemon with a per-function summary store and
+//!                   runs a resubmit-after-edit scenario: a synthetic
+//!                   addon, then a one-line patch of it, must come back
+//!                   with the exact cold signature while the daemon's
+//!                   `summary_lookup` record shows most functions
+//!                   spliced rather than re-analyzed.
 //! - `--out PATH`    where to write the JSON (default
 //!                   `<repo root>/BENCH_serve.json`)
 
@@ -145,6 +151,7 @@ fn main() {
                     events: vec!["job_rejected".to_owned()],
                     threshold: SAMPLE_THRESHOLD,
                     keep_one_in: SAMPLE_KEEP_ONE_IN,
+                    rates: vec![],
                     window: std::time::Duration::from_secs(3600),
                 }),
         )
@@ -159,8 +166,28 @@ fn main() {
         queue_cap: if check { 4 } else { default_cfg.queue_cap },
         ..default_cfg
     };
-    let server = Server::bind_traced("127.0.0.1:0", cfg, addon_sig::service_engine_traced)
-        .expect("bind daemon");
+    // Check mode runs the daemon on the incremental engine so the
+    // resubmit-after-edit phase below exercises the summary store
+    // end-to-end; the measured modes keep the plain engine so the
+    // trajectory numbers in BENCH_serve.json stay comparable.
+    let summary_store = check.then(|| Arc::new(jsanalysis::MemorySummaryStore::new(1024)));
+    let server = if let Some(store) = &summary_store {
+        let store: Arc<dyn jsanalysis::SummaryStore> = Arc::clone(store) as _;
+        let engine_log = log.clone();
+        Server::bind_traced("127.0.0.1:0", cfg, move |src, config, metrics, trace| {
+            addon_sig::service_engine_incremental(
+                src,
+                config,
+                metrics,
+                &store,
+                engine_log.as_deref(),
+                trace,
+            )
+        })
+    } else {
+        Server::bind_traced("127.0.0.1:0", cfg, addon_sig::service_engine_traced)
+    }
+    .expect("bind daemon");
     let addr = server.local_addr();
     println!(
         "serve_load: daemon on {addr}, {workers} workers, {} corpus addons",
@@ -284,6 +311,88 @@ fn main() {
         );
     }
 
+    // Phase 5 (check mode only): resubmit after an edit. Submit a
+    // synthetic many-function addon, then a one-line patch of it (a
+    // dead literal inside one function), as an addon market sees a
+    // trivial update to a previously vetted extension. The daemon must
+    // return the exact signature a cold analysis of the patched source
+    // produces, and its `summary_lookup` log record must show the store
+    // splicing every untouched function.
+    let mut resubmit_jobs = 0usize;
+    if check {
+        const WORKERS: usize = 8;
+        let mut base = String::new();
+        for i in 0..WORKERS {
+            base.push_str(&format!(
+                "function worker{i}(seed) {{\n  var probe = 'probe-{i}';\n  \
+                 var tag = 'worker-{i}';\n  var body = tag + ':' + seed;\n  \
+                 var out = '';\n  if (seed) {{ out = body + '/hot'; }} \
+                 else {{ out = body + '/cold'; }}\n  return out + '#' + tag;\n}}\n"
+            ));
+        }
+        for i in 0..WORKERS {
+            base.push_str(&format!("worker{i}({});\n", i % 2));
+        }
+        let edited = base.replace("'probe-3'", "'probe-3-patched'");
+        assert_ne!(base, edited);
+
+        let mut client = Client::connect(addr).expect("connect");
+        let before = server.stats();
+        let first = client.vet_source(Some("resubmit_base"), &base).expect("vet base");
+        assert_eq!(first["verdict"], "ok");
+        let second = client.vet_source(Some("resubmit_edit"), &edited).expect("vet edit");
+        assert_eq!(second["verdict"], "ok");
+        resubmit_jobs = 2;
+
+        // Golden identity: the warm, spliced signature must be
+        // bit-identical to a cold local analysis of the edited source.
+        let cold = addon_sig::analyze_addon(&edited).expect("cold pipeline");
+        let cold_sig = Json::parse(&cold.signature.to_json()).expect("signature json");
+        assert_eq!(
+            second["signature"].to_string(),
+            cold_sig.to_string(),
+            "daemon's spliced signature must match a cold analysis"
+        );
+
+        // The daemon's counters and its summary_lookup record must show
+        // the second job splicing: all workers but the edited one hit.
+        let after = server.stats();
+        let counter = |snap: &Json, name: &str| {
+            snap["metrics"]["counters"][name].as_f64().unwrap_or(0.0)
+        };
+        let hits_delta = counter(&after, "summary_hits") - counter(&before, "summary_hits");
+        assert!(
+            hits_delta >= (WORKERS - 1) as f64,
+            "resubmit must hit the summary store for untouched workers \
+             (summary_hits delta {hits_delta})"
+        );
+        let log_ref = log.as_ref().expect("check mode attaches a log");
+        log_ref.flush();
+        let last_lookup = log_ref
+            .tail_lines()
+            .iter()
+            .rev()
+            .filter_map(|l| Json::parse(l).ok())
+            .find(|r| r["event"] == "summary_lookup")
+            .expect("warm job must emit a summary_lookup record");
+        let field = |name: &str| last_lookup[name].as_f64().unwrap_or(-1.0);
+        assert_eq!(field("hits"), (WORKERS - 1) as f64, "spliced workers");
+        assert!(
+            field("reanalyzed") < field("total"),
+            "one-line patch must not re-analyze the whole addon \
+             ({} of {} functions re-analyzed)",
+            field("reanalyzed"),
+            field("total")
+        );
+        assert_eq!(field("abandoned"), 0.0, "warm run must not abandon");
+        println!(
+            "resubmit-after-edit: {} of {} functions re-analyzed, {} spliced",
+            field("reanalyzed"),
+            field("total"),
+            field("hits")
+        );
+    }
+
     let mut shut = Client::connect(addr).expect("connect");
     let ack = shut.shutdown().expect("shutdown");
     assert_eq!(ack["kind"], "shutdown_ack");
@@ -325,8 +434,9 @@ fn main() {
         let suppressed = *replay.suppressed.get("job_rejected").unwrap_or(&0) as usize;
         assert_eq!(
             computed,
-            addons.len() + accepted_burst,
-            "each addon computed exactly once, plus every accepted burst job"
+            addons.len() + accepted_burst + resubmit_jobs,
+            "each addon computed exactly once, plus every accepted burst \
+             job and both resubmit-phase jobs"
         );
         assert!(hits > 0, "replay must see cache-hit lifecycles");
         assert_eq!(

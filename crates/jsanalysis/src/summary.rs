@@ -1,0 +1,1196 @@
+//! Per-function analysis summaries for incremental re-vetting.
+//!
+//! A summary captures one *activation subtree* of the phase-1 fixpoint —
+//! a function called at one context, together with every activation it
+//! (transitively) spawned — in a form that survives re-parsing an edited
+//! addon:
+//!
+//! - statements are named positionally (`(function position, offset)`),
+//!   where a function position is the path of lexical lambda ordinals
+//!   from the top level (`"T"`, `"T.0"`, `"T.0.2"`, ...). Positional
+//!   names stay stable when *other* functions are edited, which is what
+//!   lets a warm run resolve a summary recorded against the previous
+//!   version of the program;
+//! - contexts and allocation sites are rendered recursively over the
+//!   same positional names;
+//! - content hashes (from [`jsir::hash`]) appear only in the store key
+//!   and the invalidation refs: a summary is usable iff the root's own
+//!   hash *and* every member function's hash still match.
+//!
+//! The store itself is a content-addressed sibling of the signature
+//! cache: one JSON document per `(root function hash, canonical config,
+//! analyzer version)` key, with atomic writes and mtime-LRU eviction.
+//! Corrupt or truncated documents are treated as a miss — the caller
+//! re-analyzes and overwrites.
+
+use crate::config::{AnalysisConfig, SinkKind};
+use crate::context::{CtxId, CtxTable};
+use crate::rwsets::Strength;
+use crate::store::{slots, SiteKey, SiteTable, State};
+use jsdomains::{
+    AObject, AValue, AllocSite, BoolDom, FuncIndex, Lattice, NativeId, NumDom, ObjKind, Pre, Sym,
+};
+use jsir::hash::FuncManifest;
+use jsir::{IrFuncId, IrStmtKind, Lowered, StmtId};
+use minijson::Json;
+use std::collections::{BTreeSet, HashMap, VecDeque};
+use std::path::PathBuf;
+use std::sync::{Mutex, OnceLock};
+
+/// Bumped whenever the base analysis changes meaning: stored summaries
+/// from other analyzer versions must never be stitched in.
+pub const ANALYZER_VERSION: u32 = 1;
+
+/// Schema version of the summary document itself.
+pub const SUMMARY_SCHEMA: u32 = 1;
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// The summary-store key for one root function under one configuration:
+/// FNV-1a over `(own content hash, canonical config, analyzer version)`,
+/// with `0xff` separators (the same keying idiom as the signature cache).
+pub fn store_key(own_hash: u64, config: &AnalysisConfig) -> u64 {
+    let mut h = FNV_OFFSET;
+    let mut eat = |bytes: &[u8]| {
+        for &b in bytes {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(FNV_PRIME);
+        }
+    };
+    eat(&own_hash.to_le_bytes());
+    eat(&[0xff]);
+    eat(config.canonical_string().as_bytes());
+    eat(&[0xff]);
+    eat(&ANALYZER_VERSION.to_le_bytes());
+    h
+}
+
+/// Renders a hash the way documents store it.
+pub fn hash_hex(h: u64) -> String {
+    format!("{h:016x}")
+}
+
+/// Parses a stored hash.
+pub fn parse_hash_hex(s: &str) -> Option<u64> {
+    u64::from_str_radix(s, 16).ok()
+}
+
+// ---------------------------------------------------------------------------
+// Stores
+// ---------------------------------------------------------------------------
+
+/// Where summary documents live. Implementations are shared across
+/// threads (`Arc<dyn SummaryStore>`), so they use interior mutability.
+pub trait SummaryStore: Send + Sync {
+    /// Fetches the document stored under `key`, if any.
+    fn load(&self, key: u64) -> Option<String>;
+    /// Stores (or replaces) the document under `key`. Best-effort: a
+    /// store that fails to persist simply causes future misses.
+    fn save(&self, key: u64, doc: &str);
+}
+
+/// An in-memory LRU summary store (daemon default when no `--summary-dir`
+/// is given, and the workhorse of the test suite).
+pub struct MemorySummaryStore {
+    cap: usize,
+    inner: Mutex<(HashMap<u64, String>, VecDeque<u64>)>,
+}
+
+impl MemorySummaryStore {
+    /// A store holding at most `cap` documents.
+    pub fn new(cap: usize) -> MemorySummaryStore {
+        MemorySummaryStore {
+            cap: cap.max(1),
+            inner: Mutex::new((HashMap::new(), VecDeque::new())),
+        }
+    }
+
+    /// Number of documents currently held.
+    pub fn len(&self) -> usize {
+        self.inner.lock().expect("summary store lock").0.len()
+    }
+
+    /// True when the store holds nothing.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl SummaryStore for MemorySummaryStore {
+    fn load(&self, key: u64) -> Option<String> {
+        let mut g = self.inner.lock().expect("summary store lock");
+        let (map, order) = &mut *g;
+        let doc = map.get(&key).cloned()?;
+        order.retain(|k| *k != key);
+        order.push_back(key);
+        Some(doc)
+    }
+
+    fn save(&self, key: u64, doc: &str) {
+        let mut g = self.inner.lock().expect("summary store lock");
+        let (map, order) = &mut *g;
+        if map.insert(key, doc.to_owned()).is_some() {
+            order.retain(|k| *k != key);
+        }
+        order.push_back(key);
+        while map.len() > self.cap {
+            match order.pop_front() {
+                Some(old) => {
+                    map.remove(&old);
+                }
+                None => break,
+            }
+        }
+    }
+}
+
+/// An on-disk summary store: one `<key>.json` file per document in a
+/// dedicated directory, written atomically (temp file + rename) and
+/// bounded by mtime-LRU eviction. Loads bump the file's mtime so hot
+/// summaries survive; all I/O errors degrade to a miss.
+pub struct DiskSummaryStore {
+    dir: PathBuf,
+    cap: usize,
+}
+
+impl DiskSummaryStore {
+    /// Opens (creating if needed) a store in `dir` holding at most `cap`
+    /// documents.
+    pub fn new(dir: impl Into<PathBuf>, cap: usize) -> std::io::Result<DiskSummaryStore> {
+        let dir = dir.into();
+        std::fs::create_dir_all(&dir)?;
+        Ok(DiskSummaryStore { dir, cap: cap.max(1) })
+    }
+
+    fn path(&self, key: u64) -> PathBuf {
+        self.dir.join(format!("{key:016x}.json"))
+    }
+
+    fn evict(&self) {
+        let Ok(entries) = std::fs::read_dir(&self.dir) else {
+            return;
+        };
+        let mut files: Vec<(std::time::SystemTime, PathBuf)> = entries
+            .flatten()
+            .filter_map(|e| {
+                let p = e.path();
+                if p.extension().is_some_and(|x| x == "json") {
+                    let mtime = e.metadata().and_then(|m| m.modified()).ok()?;
+                    Some((mtime, p))
+                } else {
+                    None
+                }
+            })
+            .collect();
+        if files.len() <= self.cap {
+            return;
+        }
+        files.sort();
+        for (_, p) in files.iter().take(files.len() - self.cap) {
+            let _ = std::fs::remove_file(p);
+        }
+    }
+}
+
+impl SummaryStore for DiskSummaryStore {
+    fn load(&self, key: u64) -> Option<String> {
+        let p = self.path(key);
+        let doc = std::fs::read_to_string(&p).ok()?;
+        // Touch for LRU recency; failure only weakens eviction order.
+        let times = std::fs::FileTimes::new().set_modified(std::time::SystemTime::now());
+        if let Ok(f) = std::fs::File::options().append(true).open(&p) {
+            let _ = f.set_times(times);
+        }
+        Some(doc)
+    }
+
+    fn save(&self, key: u64, doc: &str) {
+        let tmp = self.dir.join(format!(
+            ".{key:016x}.tmp.{}",
+            std::process::id()
+        ));
+        if std::fs::write(&tmp, doc).is_ok() {
+            let _ = std::fs::rename(&tmp, self.path(key));
+        } else {
+            let _ = std::fs::remove_file(&tmp);
+        }
+        self.evict();
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Positional function naming
+// ---------------------------------------------------------------------------
+
+/// Positional names for every function: the top level is `"T"`, and a
+/// function introduced by the n-th distinct lambda statement of its
+/// parent is `"<parent>.<n>"`. Unlike content hashes these names are
+/// stable when *other* functions are edited, so they are what contexts,
+/// sites and object kinds are serialized against.
+#[derive(Debug)]
+pub struct FuncPositions {
+    pos: Vec<String>,
+    by_pos: HashMap<String, IrFuncId>,
+}
+
+impl FuncPositions {
+    /// The position string of a function.
+    pub fn pos_of(&self, f: IrFuncId) -> &str {
+        &self.pos[f.0 as usize]
+    }
+
+    /// Resolves a position back to this program's function, if present.
+    pub fn func_at(&self, pos: &str) -> Option<IrFuncId> {
+        self.by_pos.get(pos).copied()
+    }
+}
+
+/// Lexical lambda ordinal of `child` inside `parent` (first-appearance
+/// order among the parent's distinct `Lambda` statements).
+fn lambda_ordinal(lowered: &Lowered, parent: IrFuncId, child: IrFuncId) -> Option<u32> {
+    let pf = &lowered.program.funcs[parent.0 as usize];
+    let mut seen: HashMap<IrFuncId, u32> = HashMap::new();
+    for s in &pf.stmts {
+        if let IrStmtKind::Lambda { func: c, .. } = &lowered.program.stmt(*s).kind {
+            let next = seen.len() as u32;
+            let ord = *seen.entry(*c).or_insert(next);
+            if *c == child {
+                return Some(ord);
+            }
+        }
+    }
+    None
+}
+
+/// Computes positional names for every function of a lowered program.
+pub fn func_positions(lowered: &Lowered) -> FuncPositions {
+    let funcs = &lowered.program.funcs;
+    let top = lowered.program.top_level().id;
+    let mut pos: Vec<Option<String>> = vec![None; funcs.len()];
+    pos[top.0 as usize] = Some("T".to_owned());
+    // Parents always precede children in id order (lowering emits outer
+    // functions first), but resolve defensively with a fixpoint sweep.
+    let mut progressed = true;
+    while progressed {
+        progressed = false;
+        for f in funcs {
+            if pos[f.id.0 as usize].is_some() {
+                continue;
+            }
+            let Some(parent) = f.parent else {
+                pos[f.id.0 as usize] = Some(format!("?{}", f.id.0));
+                progressed = true;
+                continue;
+            };
+            let Some(ppos) = pos[parent.0 as usize].clone() else {
+                continue;
+            };
+            let name = match lambda_ordinal(lowered, parent, f.id) {
+                Some(ord) => format!("{ppos}.{ord}"),
+                None => format!("?{}", f.id.0),
+            };
+            pos[f.id.0 as usize] = Some(name);
+            progressed = true;
+        }
+    }
+    let pos: Vec<String> = pos
+        .into_iter()
+        .enumerate()
+        .map(|(i, p)| p.unwrap_or_else(|| format!("?{i}")))
+        .collect();
+    let by_pos = pos
+        .iter()
+        .enumerate()
+        .map(|(i, p)| (p.clone(), IrFuncId(i as u32)))
+        .collect();
+    FuncPositions { pos, by_pos }
+}
+
+// ---------------------------------------------------------------------------
+// &'static str re-interning (for deserialized SiteKey / ObjKind tags)
+// ---------------------------------------------------------------------------
+
+/// Well-known static names that deserialization should map back to the
+/// canonical `&'static str` without leaking.
+const KNOWN_STATICS: &[&str] = &[
+    slots::CHAIN,
+    slots::SCOPE,
+    slots::THIS,
+    slots::RET,
+    slots::EXC,
+    slots::URL,
+    slots::HANDLERS,
+    slots::TIMERS,
+    "frame",
+    "new",
+    "split",
+    "xhr",
+];
+
+/// Returns a `&'static str` equal to `s`, preferring the well-known
+/// table and a process-wide pool over leaking a fresh allocation. The
+/// pool is bounded in practice: only native allocation tags, host names
+/// and internal slot names pass through here.
+pub fn static_str(s: &str) -> &'static str {
+    if let Some(k) = KNOWN_STATICS.iter().find(|k| **k == s) {
+        return k;
+    }
+    static POOL: OnceLock<Mutex<Vec<&'static str>>> = OnceLock::new();
+    let pool = POOL.get_or_init(|| Mutex::new(Vec::new()));
+    let mut g = pool.lock().expect("static-str pool lock");
+    if let Some(k) = g.iter().find(|k| **k == s) {
+        return k;
+    }
+    let leaked: &'static str = Box::leak(s.to_owned().into_boxed_str());
+    g.push(leaked);
+    leaked
+}
+
+// ---------------------------------------------------------------------------
+// Normalization (live ids -> positional JSON)
+// ---------------------------------------------------------------------------
+
+/// Borrowed view of everything needed to render live analysis ids into
+/// their positional serialized form.
+pub struct NormCx<'a> {
+    /// The lowered program.
+    pub lowered: &'a Lowered,
+    /// Per-function content hashes and statement translations.
+    pub manifest: &'a FuncManifest,
+    /// Positional function names.
+    pub positions: &'a FuncPositions,
+    /// The run's allocation-site interner.
+    pub sites: &'a SiteTable,
+    /// The run's context interner.
+    pub ctxs: &'a CtxTable,
+}
+
+impl NormCx<'_> {
+    /// `StmtId` -> `[func position, offset]`.
+    pub fn nstmt(&self, s: StmtId) -> Json {
+        let r = self.manifest.stmt_ref(s);
+        if r.offset == u32::MAX {
+            // Not in any function's statement list; should not happen for
+            // reachable statements, but keep serialization total.
+            return Json::Arr(vec![Json::from("!"), Json::from(s.0)]);
+        }
+        Json::Arr(vec![
+            Json::from(self.positions.pos_of(r.func)),
+            Json::from(r.offset),
+        ])
+    }
+
+    /// `CtxId` -> array of normalized call-site statements.
+    pub fn nctx(&self, c: CtxId) -> Json {
+        Json::Arr(
+            self.ctxs
+                .get(c)
+                .sites()
+                .iter()
+                .map(|s| self.nstmt(*s))
+                .collect(),
+        )
+    }
+
+    /// `AllocSite` -> a tagged array over its interning key.
+    pub fn nsite(&self, site: AllocSite) -> Json {
+        match self.sites.origin(site) {
+            SiteKey::Global => Json::Arr(vec![Json::from("g")]),
+            SiteKey::Frame(f, c) => Json::Arr(vec![
+                Json::from("f"),
+                Json::from(self.positions.pos_of(*f)),
+                self.nctx(*c),
+            ]),
+            SiteKey::Stmt(s, c) => {
+                Json::Arr(vec![Json::from("s"), self.nstmt(*s), self.nctx(*c)])
+            }
+            SiteKey::Host(name) => Json::Arr(vec![Json::from("h"), Json::from(*name)]),
+            SiteKey::NativeAlloc(s, c, tag) => Json::Arr(vec![
+                Json::from("n"),
+                self.nstmt(*s),
+                self.nctx(*c),
+                Json::from(*tag),
+            ]),
+            SiteKey::Aged(inner) => {
+                Json::Arr(vec![Json::from("a"), self.nsite(AllocSite(*inner))])
+            }
+        }
+    }
+
+    /// A canonical sort key for a site (used to order site lists and
+    /// heap entries deterministically across runs).
+    pub fn site_sort_key(&self, site: AllocSite) -> String {
+        self.nsite(site).to_string_compact()
+    }
+
+    /// Normalizes an abstract value.
+    pub fn nvalue(&self, v: &AValue) -> Json {
+        let mut objs: Vec<(String, Json)> = v
+            .objs
+            .iter()
+            .map(|s| {
+                let j = self.nsite(*s);
+                (j.to_string_compact(), j)
+            })
+            .collect();
+        objs.sort_by(|a, b| a.0.cmp(&b.0));
+        let mut o = Json::obj();
+        o.set("u", Json::Bool(v.undef));
+        o.set("nl", Json::Bool(v.null));
+        o.set(
+            "b",
+            Json::from(match v.bools {
+                BoolDom::Bot => "_",
+                BoolDom::True => "t",
+                BoolDom::False => "f",
+                BoolDom::Top => "T",
+            }),
+        );
+        o.set(
+            "n",
+            match v.nums {
+                NumDom::Bot => Json::Arr(vec![Json::from("_")]),
+                NumDom::Const(x) => Json::Arr(vec![
+                    Json::from("c"),
+                    Json::from(format!("{:016x}", x.to_bits())),
+                ]),
+                NumDom::Top => Json::Arr(vec![Json::from("T")]),
+            },
+        );
+        o.set("s", npre(&v.strs));
+        o.set("o", Json::Arr(objs.into_iter().map(|(_, j)| j).collect()));
+        o
+    }
+
+    /// Normalizes an abstract object.
+    pub fn nobject(&self, obj: &AObject) -> Json {
+        let kind = match &obj.kind {
+            ObjKind::Plain => Json::Arr(vec![Json::from("plain")]),
+            ObjKind::Array => Json::Arr(vec![Json::from("array")]),
+            ObjKind::Function(fi) => Json::Arr(vec![
+                Json::from("fn"),
+                Json::from(self.positions.pos_of(IrFuncId(fi.0))),
+            ]),
+            ObjKind::Native(nid) => Json::Arr(vec![Json::from("nat"), Json::from(nid.0)]),
+            ObjKind::Host(name) => Json::Arr(vec![Json::from("host"), Json::from(*name)]),
+            ObjKind::Regex => Json::Arr(vec![Json::from("regex")]),
+        };
+        let mut o = Json::obj();
+        o.set("k", kind);
+        o.set("sg", Json::Bool(obj.singleton));
+        // BTreeMap<Sym, _> iterates in symbol-text order and
+        // BTreeMap<&'static str, _> in text order: both are canonical.
+        o.set(
+            "p",
+            Json::Arr(
+                obj.props
+                    .iter()
+                    .map(|(k, v)| {
+                        Json::Arr(vec![Json::from(k.as_str()), self.nvalue(v)])
+                    })
+                    .collect(),
+            ),
+        );
+        o.set("up", self.nvalue(&obj.unknown_props));
+        o.set(
+            "i",
+            Json::Arr(
+                obj.internal
+                    .iter()
+                    .map(|(k, v)| Json::Arr(vec![Json::from(*k), self.nvalue(v)]))
+                    .collect(),
+            ),
+        );
+        o
+    }
+
+    /// Normalizes a set of heap entries (site -> object), sorted by the
+    /// canonical site key.
+    pub fn nheap(&self, entries: impl IntoIterator<Item = (AllocSite, AObject)>) -> Json {
+        let mut rows: Vec<(String, Json)> = entries
+            .into_iter()
+            .map(|(site, obj)| {
+                let sj = self.nsite(site);
+                (
+                    sj.to_string_compact(),
+                    Json::Arr(vec![sj, self.nobject(&obj)]),
+                )
+            })
+            .collect();
+        rows.sort_by(|a, b| a.0.cmp(&b.0));
+        Json::Arr(rows.into_iter().map(|(_, j)| j).collect())
+    }
+}
+
+/// Normalizes a prefix-domain element.
+pub fn npre(p: &Pre) -> Json {
+    match p {
+        Pre::Bot => Json::Arr(vec![Json::from("_")]),
+        Pre::Exact(s) => Json::Arr(vec![Json::from("e"), Json::from(s.as_str())]),
+        Pre::Prefix(s) => Json::Arr(vec![Json::from("p"), Json::from(s.as_str())]),
+    }
+}
+
+/// Parses a normalized prefix-domain element.
+pub fn dpre(j: &Json) -> Option<Pre> {
+    match j.as_array()?.first()?.as_str()? {
+        "_" => Some(Pre::Bot),
+        "e" => Some(Pre::Exact(Sym::intern(j[1].as_str()?))),
+        "p" => Some(Pre::Prefix(Sym::intern(j[1].as_str()?))),
+        _ => None,
+    }
+}
+
+/// Normalizes a sink kind (tagged so a `Custom("send")` cannot collide
+/// with the built-in `Send`).
+pub fn nsink(k: &SinkKind) -> Json {
+    match k {
+        SinkKind::Custom(name) => Json::Arr(vec![Json::from("c"), Json::from(name.as_str())]),
+        builtin => Json::Arr(vec![Json::from("b"), Json::from(builtin.to_string())]),
+    }
+}
+
+/// Parses a normalized sink kind.
+pub fn dsink(j: &Json) -> Option<SinkKind> {
+    let arr = j.as_array()?;
+    let text = arr.get(1)?.as_str()?;
+    match arr.first()?.as_str()? {
+        "c" => Some(SinkKind::Custom(text.to_owned())),
+        "b" => match text {
+            "send" => Some(SinkKind::Send),
+            "scriptloader" => Some(SinkKind::ScriptLoader),
+            "eval" => Some(SinkKind::Eval),
+            "prefwrite" => Some(SinkKind::PrefWrite),
+            "filewrite" => Some(SinkKind::FileWrite),
+            _ => None,
+        },
+        _ => None,
+    }
+}
+
+/// Normalizes an access strength.
+pub fn nstrength(s: Strength) -> Json {
+    Json::from(match s {
+        Strength::Strong => "s",
+        Strength::Weak => "w",
+    })
+}
+
+/// Parses a normalized access strength.
+pub fn dstrength(j: &Json) -> Option<Strength> {
+    match j.as_str()? {
+        "s" => Some(Strength::Strong),
+        "w" => Some(Strength::Weak),
+        _ => None,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Denormalization (positional JSON -> live ids of a fresh run)
+// ---------------------------------------------------------------------------
+
+/// Resolves positional serialized forms against a (possibly edited)
+/// program. All methods return `None` when a name no longer resolves —
+/// the caller treats that as a summary miss.
+pub struct Denormer<'a> {
+    /// The lowered program of the *current* run.
+    pub lowered: &'a Lowered,
+    /// Its manifest.
+    pub manifest: &'a FuncManifest,
+    /// Its positional names.
+    pub positions: &'a FuncPositions,
+    /// Context depth (`AnalysisConfig::context_depth`).
+    pub k: usize,
+}
+
+impl Denormer<'_> {
+    /// `[func position, offset]` -> `StmtId`.
+    pub fn stmt(&self, j: &Json) -> Option<StmtId> {
+        let arr = j.as_array()?;
+        let func = self.positions.func_at(arr.first()?.as_str()?)?;
+        let offset = arr.get(1)?.as_f64()? as u32;
+        self.manifest.stmt_at(self.lowered, func, offset)
+    }
+
+    /// Array of normalized call sites -> interned `CtxId`.
+    pub fn ctx(&self, j: &Json, ctxs: &mut CtxTable) -> Option<CtxId> {
+        let mut c = CtxId::ROOT;
+        for sj in j.as_array()? {
+            let s = self.stmt(sj)?;
+            c = ctxs.push(c, s, self.k);
+        }
+        Some(c)
+    }
+
+    /// Tagged site array -> interned `AllocSite`.
+    pub fn site(
+        &self,
+        j: &Json,
+        sites: &mut SiteTable,
+        ctxs: &mut CtxTable,
+    ) -> Option<AllocSite> {
+        let arr = j.as_array()?;
+        let key = match arr.first()?.as_str()? {
+            "g" => SiteKey::Global,
+            "f" => {
+                let func = self.positions.func_at(arr.get(1)?.as_str()?)?;
+                let c = self.ctx(arr.get(2)?, ctxs)?;
+                SiteKey::Frame(func, c)
+            }
+            "s" => {
+                let s = self.stmt(arr.get(1)?)?;
+                let c = self.ctx(arr.get(2)?, ctxs)?;
+                SiteKey::Stmt(s, c)
+            }
+            "h" => SiteKey::Host(static_str(arr.get(1)?.as_str()?)),
+            "n" => {
+                let s = self.stmt(arr.get(1)?)?;
+                let c = self.ctx(arr.get(2)?, ctxs)?;
+                SiteKey::NativeAlloc(s, c, static_str(arr.get(3)?.as_str()?))
+            }
+            "a" => {
+                let inner = self.site(arr.get(1)?, sites, ctxs)?;
+                SiteKey::Aged(inner.0)
+            }
+            _ => return None,
+        };
+        Some(sites.intern(key))
+    }
+
+    /// Normalized value -> `AValue`.
+    pub fn value(
+        &self,
+        j: &Json,
+        sites: &mut SiteTable,
+        ctxs: &mut CtxTable,
+    ) -> Option<AValue> {
+        let mut v = AValue::bottom();
+        v.undef = matches!(j.get("u")?, Json::Bool(true));
+        v.null = matches!(j.get("nl")?, Json::Bool(true));
+        v.bools = match j["b"].as_str()? {
+            "_" => BoolDom::Bot,
+            "t" => BoolDom::True,
+            "f" => BoolDom::False,
+            "T" => BoolDom::Top,
+            _ => return None,
+        };
+        let n = j.get("n")?;
+        v.nums = match n.as_array()?.first()?.as_str()? {
+            "_" => NumDom::Bot,
+            "c" => NumDom::Const(f64::from_bits(u64::from_str_radix(
+                n[1].as_str()?,
+                16,
+            )
+            .ok()?)),
+            "T" => NumDom::Top,
+            _ => return None,
+        };
+        v.strs = dpre(j.get("s")?)?;
+        for sj in j.get("o")?.as_array()? {
+            v.objs.insert(self.site(sj, sites, ctxs)?);
+        }
+        Some(v)
+    }
+
+    /// Normalized object -> `AObject`.
+    pub fn object(
+        &self,
+        j: &Json,
+        sites: &mut SiteTable,
+        ctxs: &mut CtxTable,
+    ) -> Option<AObject> {
+        let karr = j.get("k")?.as_array()?;
+        let kind = match karr.first()?.as_str()? {
+            "plain" => ObjKind::Plain,
+            "array" => ObjKind::Array,
+            "fn" => {
+                let f = self.positions.func_at(karr.get(1)?.as_str()?)?;
+                ObjKind::Function(FuncIndex(f.0))
+            }
+            "nat" => ObjKind::Native(NativeId(karr.get(1)?.as_f64()? as u32)),
+            "host" => ObjKind::Host(static_str(karr.get(1)?.as_str()?)),
+            "regex" => ObjKind::Regex,
+            _ => return None,
+        };
+        let mut obj = AObject::new(kind);
+        obj.singleton = matches!(j.get("sg")?, Json::Bool(true));
+        for row in j.get("p")?.as_array()? {
+            let key = Sym::intern(row[0].as_str()?);
+            let val = self.value(&row[1], sites, ctxs)?;
+            obj.props.insert(key, val);
+        }
+        obj.unknown_props = self.value(j.get("up")?, sites, ctxs)?;
+        for row in j.get("i")?.as_array()? {
+            let key = static_str(row[0].as_str()?);
+            let val = self.value(&row[1], sites, ctxs)?;
+            obj.internal.insert(key, val);
+        }
+        Some(obj)
+    }
+
+    /// Normalized heap entries -> a fresh `State`.
+    pub fn state(
+        &self,
+        j: &Json,
+        sites: &mut SiteTable,
+        ctxs: &mut CtxTable,
+    ) -> Option<State> {
+        let mut st = State::new();
+        for row in j.as_array()? {
+            let site = self.site(&row[0], sites, ctxs)?;
+            let obj = self.object(&row[1], sites, ctxs)?;
+            st.alloc(site, obj.kind.clone());
+            *st.heap.get_mut(site)? = obj;
+        }
+        Some(st)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Heap reachability and ordering helpers
+// ---------------------------------------------------------------------------
+
+fn value_sites(v: &AValue, out: &mut Vec<AllocSite>) {
+    out.extend(v.objs.iter().copied());
+}
+
+/// Allocation sites reachable in `state` from `roots` by following
+/// object-valued properties, unknown-prop summaries and internal slots.
+/// This over-approximates everything a callee could read or write
+/// through its frame/scope/global roots, so it is the summary footprint.
+pub fn reach_sites(
+    state: &State,
+    roots: impl IntoIterator<Item = AllocSite>,
+) -> BTreeSet<AllocSite> {
+    let mut seen: BTreeSet<AllocSite> = BTreeSet::new();
+    let mut work: Vec<AllocSite> = Vec::new();
+    for r in roots {
+        if state.object(r).is_some() && seen.insert(r) {
+            work.push(r);
+        }
+    }
+    let mut next = Vec::new();
+    while let Some(site) = work.pop() {
+        let Some(obj) = state.object(site) else {
+            continue;
+        };
+        next.clear();
+        for v in obj.props.values() {
+            value_sites(v, &mut next);
+        }
+        value_sites(&obj.unknown_props, &mut next);
+        for v in obj.internal.values() {
+            value_sites(v, &mut next);
+        }
+        for s in next.drain(..) {
+            if state.object(s).is_some() && seen.insert(s) {
+                work.push(s);
+            }
+        }
+    }
+    seen
+}
+
+/// `a ⊑ b` on abstract objects, defined through the machine's own join:
+/// `a` is below `b` iff joining `a` into `b` changes nothing.
+pub fn obj_leq(a: &AObject, b: &AObject) -> bool {
+    if a.kind != b.kind {
+        return false;
+    }
+    let mut t = b.clone();
+    t.join_in_place(a);
+    t == *b
+}
+
+// ---------------------------------------------------------------------------
+// Document shell
+// ---------------------------------------------------------------------------
+
+/// Creates an empty summary document for one root function.
+pub fn doc_new(own_hash: u64, config: &AnalysisConfig) -> Json {
+    let mut doc = Json::obj();
+    doc.set("schema", Json::from(SUMMARY_SCHEMA));
+    doc.set("analyzer", Json::from(ANALYZER_VERSION));
+    doc.set("config", Json::from(config.canonical_string()));
+    doc.set("own_hash", Json::from(hash_hex(own_hash)));
+    doc.set("entries", Json::Arr(Vec::new()));
+    doc
+}
+
+/// Parses and validates a stored document. Any corruption — truncated
+/// JSON, wrong schema, analyzer/config/hash mismatch (a key collision) —
+/// yields `None`, which callers treat as a miss to re-analyze through.
+pub fn doc_parse(text: &str, own_hash: u64, config: &AnalysisConfig) -> Option<Json> {
+    let doc = Json::parse(text).ok()?;
+    if doc["schema"].as_f64()? as u32 != SUMMARY_SCHEMA {
+        return None;
+    }
+    if doc["analyzer"].as_f64()? as u32 != ANALYZER_VERSION {
+        return None;
+    }
+    if doc["config"].as_str()? != config.canonical_string() {
+        return None;
+    }
+    if doc["own_hash"].as_str()? != hash_hex(own_hash) {
+        return None;
+    }
+    doc.get("entries")?.as_array()?;
+    Some(doc)
+}
+
+/// Finds the entry for a root activation `(position, normalized ctx)`.
+pub fn doc_find<'d>(doc: &'d Json, root_pos: &str, nctx: &Json) -> Option<&'d Json> {
+    doc.get("entries")?
+        .as_array()?
+        .iter()
+        .find(|e| e["root"] == root_pos && e["nctx"] == *nctx)
+}
+
+/// Inserts or replaces the entry for its root activation, newest first,
+/// truncating to `cap` entries per document.
+pub fn doc_upsert(doc: &mut Json, entry: Json, cap: usize) {
+    let (root, nctx) = (entry["root"].clone(), entry["nctx"].clone());
+    if let Some(Json::Arr(entries)) = match doc {
+        Json::Obj(fields) => fields
+            .iter_mut()
+            .find(|(k, _)| k == "entries")
+            .map(|(_, v)| v),
+        _ => None,
+    } {
+        entries.retain(|e| !(e["root"] == root && e["nctx"] == nctx));
+        entries.insert(0, entry);
+        entries.truncate(cap.max(1));
+    }
+}
+
+/// Per-run incremental statistics, surfaced through the pipeline report,
+/// the daemon's stats endpoint and Prometheus text.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct IncrementalStats {
+    /// Activation summaries stitched in from the store.
+    pub summary_hits: u64,
+    /// Store consultations that found no usable summary.
+    pub summary_misses: u64,
+    /// Functions whose statements the fixpoint actually re-stepped.
+    pub functions_reanalyzed: u64,
+    /// Functions in the program.
+    pub total_functions: u64,
+    /// 1 when the optimistic warm run failed validation and the analysis
+    /// fell back to a cold run.
+    pub abandoned: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jsir::hash::manifest;
+
+    fn lowered(src: &str) -> Lowered {
+        jsir::lower(&jsparser::parse(src).expect("parse"))
+    }
+
+    #[test]
+    fn positions_are_stable_under_unrelated_edits() {
+        let a = lowered(
+            "function f(x) { return x; }\nfunction g() { var h = function () { return 1; }; }\nf(1); g();",
+        );
+        let b = lowered(
+            "function f(x) { return x + 42; }\nfunction g() { var h = function () { return 1; }; }\nf(1); g();",
+        );
+        let pa = func_positions(&a);
+        let pb = func_positions(&b);
+        for f in &a.program.funcs {
+            assert_eq!(pa.pos_of(f.id), pb.pos_of(f.id), "func {}", f.id.0);
+            assert_eq!(pa.func_at(pa.pos_of(f.id)), Some(f.id));
+        }
+        assert_eq!(pa.pos_of(a.program.top_level().id), "T");
+    }
+
+    #[test]
+    fn nested_positions_use_lambda_ordinals() {
+        let l = lowered(
+            "function a() {}\nfunction b() { var inner = function () {}; }\na(); b();",
+        );
+        let p = func_positions(&l);
+        let names: BTreeSet<&str> = l
+            .program
+            .funcs
+            .iter()
+            .map(|f| p.pos_of(f.id))
+            .collect();
+        assert!(names.contains("T"));
+        assert!(names.contains("T.0"));
+        assert!(names.contains("T.1"));
+        assert!(names.contains("T.1.0"), "positions: {names:?}");
+    }
+
+    #[test]
+    fn ctx_and_site_round_trip() {
+        let l = lowered("function f(x) { return x; }\nf(1); f(2);");
+        let m = manifest(&l);
+        let p = func_positions(&l);
+        let config = AnalysisConfig::default();
+        let mut sites = SiteTable::new();
+        let mut ctxs = CtxTable::new();
+        let f = p.func_at("T.0").expect("f exists");
+        let call = *l.program.top_level().stmts.last().expect("top level has stmts");
+        let ctx = ctxs.push(CtxId::ROOT, call, config.context_depth);
+        let site = sites.intern(SiteKey::Frame(f, ctx));
+        let aged = sites.intern(SiteKey::Aged(site.0));
+
+        let norm = NormCx {
+            lowered: &l,
+            manifest: &m,
+            positions: &p,
+            sites: &sites,
+            ctxs: &ctxs,
+        };
+        let nj = norm.nsite(aged);
+
+        // Fresh interners, as a warm run would have.
+        let mut sites2 = SiteTable::new();
+        let mut ctxs2 = CtxTable::new();
+        let de = Denormer {
+            lowered: &l,
+            manifest: &m,
+            positions: &p,
+            k: config.context_depth,
+        };
+        let back = de.site(&nj, &mut sites2, &mut ctxs2).expect("resolves");
+        match sites2.origin(back) {
+            SiteKey::Aged(inner) => match sites2.origin(AllocSite(*inner)) {
+                SiteKey::Frame(rf, rc) => {
+                    assert_eq!(*rf, f);
+                    assert_eq!(ctxs2.get(*rc).sites(), ctxs.get(ctx).sites());
+                }
+                other => panic!("wrong inner origin: {other:?}"),
+            },
+            other => panic!("wrong origin: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn value_and_object_round_trip_bit_identically() {
+        let l = lowered("var x = 1;");
+        let m = manifest(&l);
+        let p = func_positions(&l);
+        let mut sites = SiteTable::new();
+        let ctxs = CtxTable::new();
+        let g = sites.intern(SiteKey::Global);
+        let h = sites.intern(SiteKey::Host("xhr.open"));
+
+        let mut v = AValue::str(Pre::prefix("http://api."));
+        v.undef = true;
+        v.nums = NumDom::Const(-0.0);
+        v.objs.insert(g);
+        v.objs.insert(h);
+
+        let mut obj = AObject::new(ObjKind::Host("xhr"));
+        obj.singleton = true;
+        obj.props.insert(Sym::intern("url"), v.clone());
+        obj.unknown_props = AValue::any();
+        obj.internal.insert(slots::URL, AValue::str(Pre::exact("u")));
+
+        let norm = NormCx {
+            lowered: &l,
+            manifest: &m,
+            positions: &p,
+            sites: &sites,
+            ctxs: &ctxs,
+        };
+        let vj = norm.nvalue(&v);
+        let oj = norm.nobject(&obj);
+
+        // Round-trip through printed text, like the disk store does.
+        let vj = Json::parse(&vj.to_string_compact()).unwrap();
+        let oj = Json::parse(&oj.to_string_compact()).unwrap();
+
+        let mut sites2 = SiteTable::new();
+        let mut ctxs2 = CtxTable::new();
+        let de = Denormer {
+            lowered: &l,
+            manifest: &m,
+            positions: &p,
+            k: 1,
+        };
+        // Pre-intern in a different order to prove ids don't matter.
+        let _ = sites2.intern(SiteKey::Host("xhr.open"));
+        let v2 = de.value(&vj, &mut sites2, &mut ctxs2).expect("value");
+        let o2 = de.object(&oj, &mut sites2, &mut ctxs2).expect("object");
+
+        let norm2 = NormCx {
+            lowered: &l,
+            manifest: &m,
+            positions: &p,
+            sites: &sites2,
+            ctxs: &ctxs2,
+        };
+        assert_eq!(
+            norm.nvalue(&v).to_string_compact(),
+            norm2.nvalue(&v2).to_string_compact()
+        );
+        assert_eq!(
+            norm.nobject(&obj).to_string_compact(),
+            norm2.nobject(&o2).to_string_compact()
+        );
+        // NaN-safe const carrying: -0.0 survived exactly.
+        assert_eq!(v2.nums, NumDom::Const(-0.0));
+        assert!(matches!(sites2.origin(
+            v2.objs.iter().next().copied().unwrap()
+        ), SiteKey::Global | SiteKey::Host(_)));
+    }
+
+    #[test]
+    fn reach_follows_props_unknowns_and_internals() {
+        let mut sites = SiteTable::new();
+        let a = sites.intern(SiteKey::Global);
+        let b = sites.intern(SiteKey::Host("b"));
+        let c = sites.intern(SiteKey::Host("c"));
+        let d = sites.intern(SiteKey::Host("d"));
+        let unreachable = sites.intern(SiteKey::Host("u"));
+        let mut st = State::new();
+        st.alloc(a, ObjKind::Plain);
+        st.alloc(b, ObjKind::Plain);
+        st.alloc(c, ObjKind::Plain);
+        st.alloc(d, ObjKind::Plain);
+        st.alloc(unreachable, ObjKind::Plain);
+        let oa = st.heap.get_mut(a).unwrap();
+        oa.props.insert(Sym::intern("x"), AValue::obj(b));
+        oa.unknown_props = AValue::obj(c);
+        oa.internal.insert(slots::SCOPE, AValue::obj(d));
+        let r = reach_sites(&st, [a]);
+        assert_eq!(r, BTreeSet::from([a, b, c, d]));
+    }
+
+    #[test]
+    fn obj_leq_matches_join_semantics() {
+        let mut small = AObject::new(ObjKind::Plain);
+        small.props.insert(Sym::intern("x"), AValue::num(1.0));
+        let mut big = small.clone();
+        big.props.insert(Sym::intern("y"), AValue::any());
+        big.singleton = false;
+        small.singleton = true;
+        assert!(obj_leq(&small, &big));
+        assert!(!obj_leq(&big, &small));
+        assert!(!obj_leq(&small, &AObject::new(ObjKind::Array)));
+    }
+
+    #[test]
+    fn doc_parse_rejects_corruption() {
+        let config = AnalysisConfig::default();
+        let doc = doc_new(42, &config);
+        let text = doc.to_string_compact();
+        assert!(doc_parse(&text, 42, &config).is_some());
+        // Truncation, garbage, wrong hash, wrong analyzer version.
+        assert!(doc_parse(&text[..text.len() / 2], 42, &config).is_none());
+        assert!(doc_parse("not json at all {", 42, &config).is_none());
+        assert!(doc_parse(&text, 43, &config).is_none());
+        let tampered = text.replace(
+            &format!("\"analyzer\":{ANALYZER_VERSION}"),
+            &format!("\"analyzer\":{}", ANALYZER_VERSION + 1),
+        );
+        assert!(doc_parse(&tampered, 42, &config).is_none());
+        // A different config must also read as a miss.
+        let other = AnalysisConfig::default().with_context_depth(3);
+        assert!(doc_parse(&text, 42, &other).is_none());
+    }
+
+    #[test]
+    fn doc_upsert_replaces_and_caps() {
+        let config = AnalysisConfig::default();
+        let mut doc = doc_new(1, &config);
+        let entry = |root: &str, v: u32| {
+            let mut e = Json::obj();
+            e.set("root", Json::from(root));
+            e.set("nctx", Json::Arr(vec![]));
+            e.set("v", Json::from(v));
+            e
+        };
+        doc_upsert(&mut doc, entry("T.0", 1), 2);
+        doc_upsert(&mut doc, entry("T.1", 2), 2);
+        doc_upsert(&mut doc, entry("T.0", 3), 2);
+        let entries = doc["entries"].as_array().unwrap();
+        assert_eq!(entries.len(), 2);
+        assert_eq!(entries[0]["root"], "T.0");
+        assert_eq!(entries[0]["v"].as_f64(), Some(3.0));
+        doc_upsert(&mut doc, entry("T.2", 4), 2);
+        assert_eq!(doc["entries"].as_array().unwrap().len(), 2);
+        assert_eq!(doc["entries"][0]["root"], "T.2");
+    }
+
+    #[test]
+    fn memory_store_is_lru() {
+        let s = MemorySummaryStore::new(2);
+        s.save(1, "one");
+        s.save(2, "two");
+        assert_eq!(s.load(1).as_deref(), Some("one")); // freshens 1
+        s.save(3, "three"); // evicts 2
+        assert_eq!(s.load(2), None);
+        assert_eq!(s.load(1).as_deref(), Some("one"));
+        assert_eq!(s.load(3).as_deref(), Some("three"));
+    }
+
+    #[test]
+    fn disk_store_round_trips_atomically_and_evicts() {
+        let dir = std::env::temp_dir().join(format!(
+            "sumstore-test-{}-{:x}",
+            std::process::id(),
+            store_key(7, &AnalysisConfig::default())
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let s = DiskSummaryStore::new(&dir, 2).expect("create store dir");
+        assert_eq!(s.load(1), None);
+        s.save(1, "{\"a\":1}");
+        assert_eq!(s.load(1).as_deref(), Some("{\"a\":1}"));
+        s.save(1, "{\"a\":2}");
+        assert_eq!(s.load(1).as_deref(), Some("{\"a\":2}"));
+        // No temp droppings left behind.
+        let leftovers: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .flatten()
+            .filter(|e| e.path().extension().is_none_or(|x| x != "json"))
+            .collect();
+        assert!(leftovers.is_empty(), "stray files: {leftovers:?}");
+        // Evicts down to cap.
+        s.save(2, "two");
+        s.save(3, "three");
+        let json_files = std::fs::read_dir(&dir)
+            .unwrap()
+            .flatten()
+            .filter(|e| e.path().extension().is_some_and(|x| x == "json"))
+            .count();
+        assert_eq!(json_files, 2);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupted_disk_document_reads_as_miss_at_parse() {
+        let config = AnalysisConfig::default();
+        let dir = std::env::temp_dir().join(format!(
+            "sumstore-corrupt-{}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let s = DiskSummaryStore::new(&dir, 8).expect("create store dir");
+        let key = store_key(99, &config);
+        // Simulate a torn write / disk corruption.
+        std::fs::write(dir.join(format!("{key:016x}.json")), "{\"sche").unwrap();
+        let text = s.load(key).expect("file exists");
+        assert!(doc_parse(&text, 99, &config).is_none());
+        // Recovery path: overwrite with a good document.
+        s.save(key, &doc_new(99, &config).to_string_compact());
+        let text = s.load(key).expect("file exists");
+        assert!(doc_parse(&text, 99, &config).is_some());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn store_key_separates_hash_config_and_version() {
+        let c1 = AnalysisConfig::default();
+        let c2 = AnalysisConfig::default().with_context_depth(2);
+        assert_ne!(store_key(1, &c1), store_key(2, &c1));
+        assert_ne!(store_key(1, &c1), store_key(1, &c2));
+        assert_eq!(store_key(1, &c1), store_key(1, &c1));
+    }
+}

@@ -1,0 +1,521 @@
+//! Stable, relocatable per-function hashing over the lowered IR.
+//!
+//! The incremental re-vetting layer keys per-function analysis summaries
+//! by *what a function means*, not *where it sits in the statement pool*:
+//! inserting a function (or editing an unrelated one) renumbers every
+//! later [`StmtId`], so raw ids cannot appear in a content hash. Instead
+//! each function is rendered into a canonical byte stream in which
+//!
+//! - statements are identified by their **offset inside the function**
+//!   (position in [`IrFunc::stmts`]), including CFG successor edges and
+//!   exception-handler links;
+//! - variable references are function-relative: a captured outer variable
+//!   is rendered as `(lexical ancestor depth, slot index)`;
+//! - a [`IrStmtKind::Lambda`] names its child by **lexical ordinal** (the
+//!   n-th lambda statement of this function), *not* by the child's
+//!   content — editing a callee must not change its callers' own hashes
+//!   (the transitive invalidation rule lives in the summary layer);
+//! - source spans are excluded, so pure reformatting keeps hashes stable
+//!   (witness line numbers are re-derived from the fresh parse).
+//!
+//! [`FuncManifest`] pairs every function's hash with an occurrence index
+//! (duplicate function bodies are disambiguated in id order), giving both
+//! directions of the translation the summary layer needs: warm lookups
+//! (`(hash, occ)` → [`IrFuncId`]) and stable serialization
+//! ([`StmtId`] → `(function, offset)`).
+
+use crate::cfg::EdgeKind;
+use crate::ir::{IrFunc, IrFuncId, IrStmtKind, Operand, Place, StmtId, VarId};
+use crate::lower::Lowered;
+use std::collections::HashMap;
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// Incremental FNV-1a writer for the canonical function rendering.
+struct Hasher(u64);
+
+impl Hasher {
+    fn new() -> Hasher {
+        Hasher(FNV_OFFSET)
+    }
+
+    fn bytes(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(FNV_PRIME);
+        }
+    }
+
+    fn str(&mut self, s: &str) {
+        // Length prefix prevents boundary collisions between fields.
+        self.bytes(&(s.len() as u32).to_le_bytes());
+        self.bytes(s.as_bytes());
+    }
+
+    fn u32(&mut self, v: u32) {
+        self.bytes(&v.to_le_bytes());
+    }
+
+    fn tag(&mut self, t: u8) {
+        self.bytes(&[t]);
+    }
+}
+
+/// Where a statement lives: its function and its offset inside that
+/// function's [`IrFunc::stmts`] list.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StmtRef {
+    /// Owning function.
+    pub func: IrFuncId,
+    /// Position within the owning function's statement list.
+    pub offset: u32,
+}
+
+/// Per-program table of function content hashes and the id translations
+/// built on them.
+#[derive(Debug, Clone)]
+pub struct FuncManifest {
+    /// Content hash per function, indexed by [`IrFuncId`].
+    hashes: Vec<u64>,
+    /// Occurrence index per function among same-hash functions, in id
+    /// order (duplicated function bodies get 0, 1, ...).
+    occs: Vec<u32>,
+    /// Reverse lookup `(hash, occurrence)` -> function.
+    by_key: HashMap<(u64, u32), IrFuncId>,
+    /// Statement -> (function, offset), indexed by [`StmtId`].
+    stmt_refs: Vec<StmtRef>,
+}
+
+impl FuncManifest {
+    /// The content hash of a function.
+    pub fn hash_of(&self, f: IrFuncId) -> u64 {
+        self.hashes[f.0 as usize]
+    }
+
+    /// The occurrence index of a function among functions sharing its
+    /// hash.
+    pub fn occ_of(&self, f: IrFuncId) -> u32 {
+        self.occs[f.0 as usize]
+    }
+
+    /// Resolves a `(hash, occurrence)` pair back to a function of *this*
+    /// program, if one matches.
+    pub fn func_by(&self, hash: u64, occ: u32) -> Option<IrFuncId> {
+        self.by_key.get(&(hash, occ)).copied()
+    }
+
+    /// The function-relative position of a statement.
+    pub fn stmt_ref(&self, s: StmtId) -> StmtRef {
+        self.stmt_refs[s.0 as usize]
+    }
+
+    /// The statement at a function-relative position, if in range.
+    pub fn stmt_at(&self, lowered: &Lowered, func: IrFuncId, offset: u32) -> Option<StmtId> {
+        lowered
+            .program
+            .funcs
+            .get(func.0 as usize)
+            .and_then(|f| f.stmts.get(offset as usize))
+            .copied()
+    }
+
+    /// Number of functions covered.
+    pub fn len(&self) -> usize {
+        self.hashes.len()
+    }
+
+    /// True when the program has no functions (cannot happen for real
+    /// lowered programs, which always have a top level).
+    pub fn is_empty(&self) -> bool {
+        self.hashes.is_empty()
+    }
+}
+
+/// Depth of `target` on the lexical parent chain of `from` (0 = itself).
+/// Operand variable references always resolve to an ancestor; a broken
+/// chain falls back to the raw id, which only weakens relocation (never
+/// correctness — hashes are opaque).
+fn ancestor_depth(funcs: &[IrFunc], from: IrFuncId, target: IrFuncId) -> Option<u32> {
+    let mut depth = 0u32;
+    let mut cur = from;
+    loop {
+        if cur == target {
+            return Some(depth);
+        }
+        match funcs[cur.0 as usize].parent {
+            Some(p) => {
+                cur = p;
+                depth += 1;
+            }
+            None => return None,
+        }
+    }
+}
+
+fn hash_place(h: &mut Hasher, funcs: &[IrFunc], own: IrFuncId, p: &Place) {
+    match p {
+        Place::Var(VarId { func, index }) => {
+            h.tag(1);
+            match ancestor_depth(funcs, own, *func) {
+                Some(d) => h.u32(d),
+                None => {
+                    // Non-lexical reference (should not occur); keep it
+                    // deterministic rather than panic.
+                    h.u32(u32::MAX);
+                    h.u32(func.0);
+                }
+            }
+            h.u32(*index);
+        }
+        Place::Global(name) => {
+            h.tag(2);
+            h.str(name);
+        }
+    }
+}
+
+fn hash_operand(h: &mut Hasher, funcs: &[IrFunc], own: IrFuncId, op: &Operand) {
+    match op {
+        Operand::Place(p) => {
+            h.tag(10);
+            hash_place(h, funcs, own, p);
+        }
+        Operand::Num(n) => {
+            h.tag(11);
+            // Canonicalize NaN so all NaN literals hash alike.
+            let bits = if n.is_nan() {
+                f64::NAN.to_bits()
+            } else {
+                n.to_bits()
+            };
+            h.bytes(&bits.to_le_bytes());
+        }
+        Operand::Str(s) => {
+            h.tag(12);
+            h.str(s);
+        }
+        Operand::Bool(b) => {
+            h.tag(13);
+            h.bytes(&[u8::from(*b)]);
+        }
+        Operand::Null => h.tag(14),
+        Operand::Undefined => h.tag(15),
+        Operand::This => h.tag(16),
+    }
+}
+
+fn edge_kind_tag(k: EdgeKind) -> u8 {
+    // Explicit numbering so reordering variants upstream can't silently
+    // shift tags.
+    match k {
+        EdgeKind::Seq => 0,
+        EdgeKind::BranchTrue => 1,
+        EdgeKind::BranchFalse => 2,
+        EdgeKind::Jump => 3,
+        EdgeKind::Return => 4,
+        EdgeKind::ThrowExplicit => 5,
+        EdgeKind::ThrowImplicit => 6,
+        EdgeKind::Uncaught => 7,
+        EdgeKind::Virtual => 8,
+    }
+}
+
+/// Hashes one function into its canonical content hash.
+fn hash_func(lowered: &Lowered, func: &IrFunc) -> u64 {
+    let funcs = &lowered.program.funcs;
+    let mut h = Hasher::new();
+    h.u32(func.param_count);
+    h.u32(func.vars.len() as u32);
+    for v in &func.vars {
+        match &v.name {
+            Some(n) => h.str(n),
+            None => h.tag(0),
+        }
+        h.bytes(&[u8::from(v.is_param)]);
+    }
+    // Offsets within this function, and lexical ordinals for lambdas.
+    let mut offset_of: HashMap<StmtId, u32> = HashMap::new();
+    for (i, s) in func.stmts.iter().enumerate() {
+        offset_of.insert(*s, i as u32);
+    }
+    let mut lambda_ordinal: HashMap<IrFuncId, u32> = HashMap::new();
+    for s in &func.stmts {
+        if let IrStmtKind::Lambda { func: child, .. } = &lowered.program.stmt(*s).kind {
+            let next = lambda_ordinal.len() as u32;
+            lambda_ordinal.entry(*child).or_insert(next);
+        }
+    }
+    let rel = |id: StmtId| offset_of.get(&id).copied().unwrap_or(u32::MAX);
+
+    for (i, sid) in func.stmts.iter().enumerate() {
+        let stmt = lowered.program.stmt(*sid);
+        h.u32(i as u32);
+        match stmt.handler {
+            Some(hs) => h.u32(rel(hs)),
+            None => h.tag(0xfe),
+        }
+        use IrStmtKind::*;
+        match &stmt.kind {
+            Copy { dst, src } => {
+                h.tag(20);
+                hash_place(&mut h, funcs, func.id, dst);
+                hash_operand(&mut h, funcs, func.id, src);
+            }
+            UnOp { dst, op, src } => {
+                h.tag(21);
+                hash_place(&mut h, funcs, func.id, dst);
+                h.str(&format!("{op:?}"));
+                hash_operand(&mut h, funcs, func.id, src);
+            }
+            BinOp {
+                dst,
+                op,
+                left,
+                right,
+            } => {
+                h.tag(22);
+                hash_place(&mut h, funcs, func.id, dst);
+                h.str(&format!("{op:?}"));
+                hash_operand(&mut h, funcs, func.id, left);
+                hash_operand(&mut h, funcs, func.id, right);
+            }
+            Typeof { dst, src } => {
+                h.tag(23);
+                hash_place(&mut h, funcs, func.id, dst);
+                hash_operand(&mut h, funcs, func.id, src);
+            }
+            NewObject { dst } => {
+                h.tag(24);
+                hash_place(&mut h, funcs, func.id, dst);
+            }
+            NewArray { dst } => {
+                h.tag(25);
+                hash_place(&mut h, funcs, func.id, dst);
+            }
+            NewRegex { dst, pattern } => {
+                h.tag(26);
+                hash_place(&mut h, funcs, func.id, dst);
+                h.str(pattern);
+            }
+            Lambda { dst, func: child } => {
+                h.tag(27);
+                hash_place(&mut h, funcs, func.id, dst);
+                h.u32(lambda_ordinal.get(child).copied().unwrap_or(u32::MAX));
+            }
+            LoadProp { dst, obj, prop } => {
+                h.tag(28);
+                hash_place(&mut h, funcs, func.id, dst);
+                hash_operand(&mut h, funcs, func.id, obj);
+                hash_operand(&mut h, funcs, func.id, prop);
+            }
+            StoreProp { obj, prop, value } => {
+                h.tag(29);
+                hash_operand(&mut h, funcs, func.id, obj);
+                hash_operand(&mut h, funcs, func.id, prop);
+                hash_operand(&mut h, funcs, func.id, value);
+            }
+            DeleteProp { obj, prop } => {
+                h.tag(30);
+                hash_operand(&mut h, funcs, func.id, obj);
+                hash_operand(&mut h, funcs, func.id, prop);
+            }
+            Call {
+                dst,
+                callee,
+                this,
+                args,
+                is_new,
+            } => {
+                h.tag(31);
+                hash_place(&mut h, funcs, func.id, dst);
+                hash_operand(&mut h, funcs, func.id, callee);
+                match this {
+                    Some(t) => hash_operand(&mut h, funcs, func.id, t),
+                    None => h.tag(0xfd),
+                }
+                h.u32(args.len() as u32);
+                for a in args {
+                    hash_operand(&mut h, funcs, func.id, a);
+                }
+                h.bytes(&[u8::from(*is_new)]);
+            }
+            CallResult { dst } => {
+                h.tag(32);
+                hash_place(&mut h, funcs, func.id, dst);
+            }
+            Branch { cond } => {
+                h.tag(33);
+                hash_operand(&mut h, funcs, func.id, cond);
+            }
+            Havoc { dst } => {
+                h.tag(34);
+                hash_place(&mut h, funcs, func.id, dst);
+            }
+            Return { value } => {
+                h.tag(35);
+                hash_operand(&mut h, funcs, func.id, value);
+            }
+            Throw { value } => {
+                h.tag(36);
+                hash_operand(&mut h, funcs, func.id, value);
+            }
+            CatchBind { dst } => {
+                h.tag(37);
+                hash_place(&mut h, funcs, func.id, dst);
+            }
+            ForInNext { dst, obj } => {
+                h.tag(38);
+                hash_place(&mut h, funcs, func.id, dst);
+                hash_operand(&mut h, funcs, func.id, obj);
+            }
+            Enter => h.tag(39),
+            Exit => h.tag(40),
+            Nop(label) => {
+                h.tag(41);
+                h.str(label);
+            }
+            EventDispatch => h.tag(42),
+        }
+        // Control flow: successor offsets and edge kinds. Edges leaving
+        // the function (none exist today) would render as u32::MAX.
+        for (target, kind) in lowered.cfg.succs(*sid) {
+            h.tag(0xee);
+            h.u32(rel(*target));
+            h.bytes(&[edge_kind_tag(*kind)]);
+        }
+    }
+    h.0
+}
+
+/// Builds the manifest for a lowered program: all function hashes,
+/// occurrence indices, and statement translations.
+pub fn manifest(lowered: &Lowered) -> FuncManifest {
+    let funcs = &lowered.program.funcs;
+    let mut hashes = Vec::with_capacity(funcs.len());
+    for f in funcs {
+        hashes.push(hash_func(lowered, f));
+    }
+    let mut seen: HashMap<u64, u32> = HashMap::new();
+    let mut occs = Vec::with_capacity(funcs.len());
+    let mut by_key = HashMap::new();
+    for (i, &h) in hashes.iter().enumerate() {
+        let occ = seen.entry(h).or_insert(0);
+        occs.push(*occ);
+        by_key.insert((h, *occ), IrFuncId(i as u32));
+        *occ += 1;
+    }
+    let mut stmt_refs = vec![
+        StmtRef {
+            func: IrFuncId::TOP_LEVEL,
+            offset: u32::MAX,
+        };
+        lowered.program.stmts.len()
+    ];
+    for f in funcs {
+        for (i, s) in f.stmts.iter().enumerate() {
+            stmt_refs[s.0 as usize] = StmtRef {
+                func: f.id,
+                offset: i as u32,
+            };
+        }
+    }
+    FuncManifest {
+        hashes,
+        occs,
+        by_key,
+        stmt_refs,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lower;
+    use jsparser::parse;
+
+    fn lowered(src: &str) -> Lowered {
+        lower(&parse(src).expect("parse"))
+    }
+
+    /// Hashes of every non-top-level function, keyed by name.
+    fn func_hashes(l: &Lowered) -> HashMap<String, u64> {
+        let m = manifest(l);
+        l.program
+            .funcs
+            .iter()
+            .skip(1)
+            .map(|f| (f.name.clone(), m.hash_of(f.id)))
+            .collect()
+    }
+
+    #[test]
+    fn hash_is_deterministic() {
+        let src = "function a(x) { return x + 1; } a(2);";
+        assert_eq!(func_hashes(&lowered(src)), func_hashes(&lowered(src)));
+    }
+
+    #[test]
+    fn unrelated_edit_keeps_other_hashes() {
+        let before = "function a(x) { return x + 1; }\nfunction b(y) { return y * 2; }\na(1); b(2);";
+        let after = "function a(x) { return x + 99; }\nfunction b(y) { return y * 2; }\na(1); b(2);";
+        let hb = func_hashes(&lowered(before));
+        let ha = func_hashes(&lowered(after));
+        assert_ne!(hb["a"], ha["a"], "edited function must re-hash");
+        assert_eq!(hb["b"], ha["b"], "unedited function must keep its hash");
+    }
+
+    #[test]
+    fn inserting_a_function_is_relocation_stable() {
+        let before = "function b(y) { return y * 2; }\nb(2);";
+        let after = "function zzz() { return 0; }\nfunction b(y) { return y * 2; }\nzzz(); b(2);";
+        let hb = func_hashes(&lowered(before));
+        let ha = func_hashes(&lowered(after));
+        assert_eq!(
+            hb["b"], ha["b"],
+            "statement renumbering must not change a function's hash"
+        );
+    }
+
+    #[test]
+    fn editing_a_child_keeps_the_parent_hash() {
+        let before = "function outer() { var f = function inner() { return 1; }; return f; }";
+        let after = "function outer() { var f = function inner() { return 2; }; return f; }";
+        let hb = func_hashes(&lowered(before));
+        let ha = func_hashes(&lowered(after));
+        assert_ne!(hb["inner"], ha["inner"]);
+        assert_eq!(
+            hb["outer"], ha["outer"],
+            "a child body edit must not dirty the parent's own hash"
+        );
+    }
+
+    #[test]
+    fn duplicate_functions_get_occurrences() {
+        let src = "var a = function (x) { return x; };\nvar b = function (x) { return x; };";
+        let l = lowered(src);
+        let m = manifest(&l);
+        let f1 = IrFuncId(1);
+        let f2 = IrFuncId(2);
+        assert_eq!(m.hash_of(f1), m.hash_of(f2));
+        assert_eq!(m.occ_of(f1), 0);
+        assert_eq!(m.occ_of(f2), 1);
+        assert_eq!(m.func_by(m.hash_of(f1), 0), Some(f1));
+        assert_eq!(m.func_by(m.hash_of(f1), 1), Some(f2));
+        assert_eq!(m.func_by(m.hash_of(f1), 2), None);
+    }
+
+    #[test]
+    fn stmt_refs_round_trip() {
+        let l = lowered("function a(x) { return x; } a(1);");
+        let m = manifest(&l);
+        for f in &l.program.funcs {
+            for (i, s) in f.stmts.iter().enumerate() {
+                let r = m.stmt_ref(*s);
+                assert_eq!(r.func, f.id);
+                assert_eq!(r.offset, i as u32);
+                assert_eq!(m.stmt_at(&l, r.func, r.offset), Some(*s));
+            }
+        }
+    }
+}

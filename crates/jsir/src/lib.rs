@@ -23,6 +23,7 @@
 #![warn(missing_docs)]
 
 pub mod cfg;
+pub mod hash;
 pub mod ir;
 mod lower;
 pub mod pretty;

@@ -92,8 +92,13 @@ pub struct SamplePolicy {
     pub events: Vec<String>,
     /// Occurrences per window logged in full before sampling kicks in.
     pub threshold: u64,
-    /// Past the threshold, keep one record in this many (min 1).
+    /// Past the threshold, keep one record in this many (min 1). The
+    /// default rate; [`SamplePolicy::rates`] overrides it per event.
     pub keep_one_in: u64,
+    /// Per-event keep rates, parallel to [`SamplePolicy::events`]. A
+    /// missing or zero entry falls back to [`SamplePolicy::keep_one_in`],
+    /// so a policy built without per-event rates behaves as before.
+    pub rates: Vec<u64>,
     /// The rate window. Elapsing it resets the per-window count and
     /// flushes any pending `suppressed` tally.
     pub window: Duration,
@@ -106,8 +111,43 @@ impl Default for SamplePolicy {
             events: vec!["job_rejected".to_owned()],
             threshold: 100,
             keep_one_in: 100,
+            rates: Vec::new(),
             window: Duration::from_secs(1),
         }
+    }
+}
+
+impl SamplePolicy {
+    /// Adds (or, for an already-listed event, retunes) a per-event
+    /// sampling rule: past the threshold keep 1-in-`keep_one_in`
+    /// records of `event`. This is what the repeatable
+    /// `--log-sample EVENT=N` flag builds on.
+    pub fn with_rule(mut self, event: &str, keep_one_in: u64) -> SamplePolicy {
+        let keep = keep_one_in.max(1);
+        match self.events.iter().position(|e| e == event) {
+            Some(idx) => {
+                if self.rates.len() <= idx {
+                    self.rates.resize(self.events.len(), 0);
+                }
+                self.rates[idx] = keep;
+            }
+            None => {
+                self.rates.resize(self.events.len(), 0);
+                self.events.push(event.to_owned());
+                self.rates.push(keep);
+            }
+        }
+        self
+    }
+
+    /// The effective keep rate for policy event `idx`.
+    pub fn rate_of(&self, idx: usize) -> u64 {
+        self.rates
+            .get(idx)
+            .copied()
+            .filter(|r| *r > 0)
+            .unwrap_or(self.keep_one_in)
+            .max(1)
     }
 }
 
@@ -293,9 +333,13 @@ impl EventLog {
         }
     }
 
-    /// Declares `count` drops of `event` with a `suppressed` record.
-    fn write_suppressed(&self, inner: &mut Inner, ts_us: u64, event: &str, count: u64) {
-        let keep = self.sample.as_ref().map_or(1, |p| p.keep_one_in);
+    /// Declares `count` drops of policy event `idx` with a `suppressed`
+    /// record carrying that event's own keep rate.
+    fn write_suppressed(&self, inner: &mut Inner, ts_us: u64, idx: usize, count: u64) {
+        let (event, keep) = self
+            .sample
+            .as_ref()
+            .map_or(("", 1), |p| (p.events[idx].as_str(), p.rate_of(idx)));
         self.write_record(
             inner,
             ts_us,
@@ -322,7 +366,7 @@ impl EventLog {
             inner.samplers[idx].window_start_us = ts_us;
             inner.samplers[idx].seen_in_window = 0;
             if pending > 0 {
-                self.write_suppressed(inner, ts_us, &policy.events[idx], pending);
+                self.write_suppressed(inner, ts_us, idx, pending);
             }
         }
         inner.samplers[idx].seen_in_window += 1;
@@ -331,7 +375,7 @@ impl EventLog {
             return Admit::Full;
         }
         let past = seen - policy.threshold;
-        if (past - 1) % policy.keep_one_in != 0 {
+        if (past - 1) % policy.rate_of(idx) != 0 {
             inner.samplers[idx].pending_suppressed += 1;
             inner.samplers[idx].total_suppressed += 1;
             return Admit::Suppressed;
@@ -340,7 +384,7 @@ impl EventLog {
         // ending at a kept record already carries its full budget.
         let pending = std::mem::take(&mut inner.samplers[idx].pending_suppressed);
         if pending > 0 {
-            self.write_suppressed(inner, ts_us, &policy.events[idx], pending);
+            self.write_suppressed(inner, ts_us, idx, pending);
         }
         Admit::Sampled
     }
@@ -419,11 +463,11 @@ impl EventLog {
     pub fn flush(&self) {
         let ts_us = self.now_ts_us();
         let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
-        if let Some(policy) = &self.sample {
+        if self.sample.is_some() {
             for idx in 0..inner.samplers.len() {
                 let pending = std::mem::take(&mut inner.samplers[idx].pending_suppressed);
                 if pending > 0 {
-                    self.write_suppressed(&mut inner, ts_us, &policy.events[idx], pending);
+                    self.write_suppressed(&mut inner, ts_us, idx, pending);
                 }
             }
         }
@@ -608,6 +652,7 @@ mod tests {
             events: vec!["job_rejected".to_owned()],
             threshold: 2,
             keep_one_in: 3,
+            rates: vec![],
             window: Duration::from_secs(3600), // never rolls mid-test
         });
         for i in 0..12 {
@@ -650,6 +695,7 @@ mod tests {
             events: vec!["job_rejected".to_owned()],
             threshold: 1,
             keep_one_in: 100,
+            rates: vec![],
             window: Duration::from_millis(40),
         });
         log.warn("job_rejected", &[]); // full (1st in window)
@@ -668,11 +714,53 @@ mod tests {
     }
 
     #[test]
+    fn per_event_rates_sample_each_stream_at_its_own_rate() {
+        // job_rejected at the default 1-in-3, span retuned to 1-in-5:
+        // past the shared threshold each stream keeps and declares at
+        // its own rate, and `suppressed` records advertise that rate.
+        let policy = SamplePolicy {
+            events: vec!["job_rejected".to_owned()],
+            threshold: 1,
+            keep_one_in: 3,
+            rates: vec![],
+            window: Duration::from_secs(3600),
+        }
+        .with_rule("span", 5);
+        assert_eq!(policy.rate_of(0), 3, "default rate covers job_rejected");
+        assert_eq!(policy.rate_of(1), 5, "explicit span rule wins");
+        let log = EventLog::in_memory(Level::Debug).with_sampling(policy);
+        for _ in 0..16 {
+            log.warn("job_rejected", &[]);
+            log.log(Level::Debug, "span", &[]);
+        }
+        log.flush();
+        // 16 each: 1 full, then 15 past threshold -> ceil(15/3)=5 kept
+        // rejections (10 suppressed), ceil(15/5)=3 kept spans (12
+        // suppressed).
+        assert_eq!(log.suppressed_total("job_rejected"), 10);
+        assert_eq!(log.suppressed_total("span"), 12);
+        let declared_rates: Vec<(String, f64)> = log
+            .tail()
+            .iter()
+            .filter(|r| r["event"].as_str() == Some("suppressed"))
+            .map(|r| {
+                (
+                    r["suppressed_event"].as_str().unwrap().to_owned(),
+                    r["sample_every"].as_f64().unwrap(),
+                )
+            })
+            .collect();
+        assert!(declared_rates.contains(&("job_rejected".to_owned(), 3.0)));
+        assert!(declared_rates.contains(&("span".to_owned(), 5.0)));
+    }
+
+    #[test]
     fn sampling_leaves_unlisted_events_alone() {
         let log = EventLog::in_memory(Level::Info).with_sampling(SamplePolicy {
             events: vec!["job_rejected".to_owned()],
             threshold: 0,
             keep_one_in: 1000,
+            rates: vec![],
             window: Duration::from_secs(3600),
         });
         for _ in 0..50 {

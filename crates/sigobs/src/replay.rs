@@ -228,6 +228,17 @@ pub struct Replay {
     pub presumed_rejected: u64,
 }
 
+impl Replay {
+    /// The log's declared suppression budget for `event`: the total
+    /// drops its counted `suppressed` records declared. Budgets are
+    /// tracked independently per event (each sampled stream declares
+    /// its own drops at its own rate), so one stream's budget never
+    /// excuses another stream's missing records.
+    pub fn budget(&self, event: &str) -> u64 {
+        self.suppressed.get(event).copied().unwrap_or(0)
+    }
+}
+
 /// Parses a JSONL log body, reconstructs every job timeline, and
 /// validates each one — reconciling sampled logs against their declared
 /// `suppressed` budgets (see the module docs). Also checks that `seq`
@@ -263,6 +274,9 @@ pub fn replay_log(text: &str) -> Result<Replay, String> {
         }
     }
     let timelines = job_timelines(&records);
+    // Orphan coverage draws on job_rejected's own budget only; other
+    // events' declared drops are accounted separately (see
+    // [`Replay::budget`]).
     let rejected_budget = suppressed.get("job_rejected").copied().unwrap_or(0);
     let mut presumed_rejected = 0u64;
     for t in timelines.values() {
@@ -441,6 +455,43 @@ mod tests {
         ]
         .join("\n");
         assert!(replay_log(&log).is_err(), "span budget must not excuse a lost rejection");
+    }
+
+    #[test]
+    fn daemon_narration_events_ride_along() {
+        // summary_lookup (incremental re-vetting statistics) and
+        // alert_fired / alert_cleared (in-daemon alerting) narrate the
+        // daemon, not a job: replay accepts them interleaved with job
+        // lifecycles and leaves the timelines untouched.
+        let log = [
+            line(0, "job_enqueued", &[("job", Json::from("j-0"))]),
+            line(1, "summary_lookup", &[("hits", Json::from(3.0)), ("misses", Json::from(1.0)), ("reanalyzed", Json::from(2.0))]),
+            line(2, "job_dequeued", &[("job", Json::from("j-0"))]),
+            line(3, "job_computed", &[("job", Json::from("j-0")), ("verdict", Json::from("pass"))]),
+            line(4, "alert_fired", &[("rule", Json::from("cache-hit-ratio")), ("value", Json::from(0.1)), ("bound", Json::from(0.5))]),
+            line(5, "job_done", &[("job", Json::from("j-0"))]),
+            line(6, "alert_cleared", &[("rule", Json::from("cache-hit-ratio"))]),
+        ]
+        .join("
+");
+        let replay = replay_log(&log).expect("narration events are accepted");
+        assert_eq!(replay.timelines.len(), 1);
+        assert_eq!(replay.timelines["j-0"].validate(), Ok(Outcome::Computed));
+    }
+
+    #[test]
+    fn per_event_suppression_budgets_are_tracked_independently() {
+        let log = [
+            line(0, "suppressed", &[("suppressed_event", Json::from("span")), ("count", Json::from(8.0)), ("sample_every", Json::from(4.0))]),
+            line(1, "suppressed", &[("suppressed_event", Json::from("job_rejected")), ("count", Json::from(2.0)), ("sample_every", Json::from(100.0))]),
+            line(2, "suppressed", &[("suppressed_event", Json::from("span")), ("count", Json::from(8.0)), ("sample_every", Json::from(4.0))]),
+        ]
+        .join("
+");
+        let replay = replay_log(&log).expect("declared-only log is valid");
+        assert_eq!(replay.budget("span"), 16);
+        assert_eq!(replay.budget("job_rejected"), 2);
+        assert_eq!(replay.budget("summary_lookup"), 0);
     }
 
     #[test]

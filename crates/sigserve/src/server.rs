@@ -75,6 +75,12 @@ pub struct ServeConfig {
     pub metrics_interval: Duration,
     /// On-disk history ring capacity in snapshots (default 256).
     pub metrics_history_cap: u64,
+    /// In-daemon alert rules (`vet serve --alert-rules FILE`): the
+    /// `metrics-report --gate` rule language, evaluated by the history
+    /// thread against every appended snapshot. Threshold crossings emit
+    /// `alert_fired` / `alert_cleared` log events. Needs
+    /// [`ServeConfig::metrics_dir`]; default `None`.
+    pub alert_rules: Option<sigobs::alerts::AlertRules>,
 }
 
 impl Default for ServeConfig {
@@ -90,6 +96,7 @@ impl Default for ServeConfig {
             metrics_dir: None,
             metrics_interval: Duration::from_secs(5),
             metrics_history_cap: 256,
+            alert_rules: None,
         }
     }
 }
@@ -125,6 +132,7 @@ struct Shared {
     metrics_dir: Option<PathBuf>,
     metrics_interval: Duration,
     metrics_history_cap: u64,
+    alert_rules: Option<sigobs::alerts::AlertRules>,
     /// Bound address in TCP mode; used to poke the blocked acceptor on
     /// shutdown. `None` in stdio mode.
     addr: Option<SocketAddr>,
@@ -148,6 +156,7 @@ impl Shared {
             metrics_dir: cfg.metrics_dir,
             metrics_interval: cfg.metrics_interval,
             metrics_history_cap: cfg.metrics_history_cap,
+            alert_rules: cfg.alert_rules,
             addr,
         }
     }
@@ -676,10 +685,59 @@ fn log_started(shared: &Shared) {
     );
 }
 
+/// The in-daemon alerting state: which rule names are currently firing.
+/// After each snapshot lands in the history ring, the history thread
+/// re-evaluates the configured rules over the on-disk window and emits
+/// one `alert_fired` (warn) per newly violated rule and one
+/// `alert_cleared` (info) per rule that stopped violating -- edges, not
+/// levels, so a long-running breach is one log record, not one per
+/// snapshot.
+fn evaluate_alerts(
+    shared: &Shared,
+    dir: &std::path::Path,
+    rules: &sigobs::alerts::AlertRules,
+    firing: &mut std::collections::BTreeSet<String>,
+) {
+    let records = match sigobs::MetricsHistory::load(dir) {
+        Ok(r) => r,
+        Err(e) => {
+            shared.log_event(
+                Level::Warn,
+                "metrics_history_error",
+                &[("error", Json::from(format!("{e}")))],
+            );
+            return;
+        }
+    };
+    let report = sigobs::alerts::evaluate(rules, &records);
+    for outcome in &report.outcomes {
+        let name = outcome.rule.name.as_str();
+        if outcome.violated && !firing.contains(name) {
+            firing.insert(name.to_owned());
+            let value = outcome.value.map_or(Json::Null, Json::from);
+            let bound = match (outcome.rule.min, outcome.rule.max) {
+                (Some(lo), _) if outcome.value.is_some_and(|v| v < lo) => Json::from(lo),
+                (_, Some(hi)) => Json::from(hi),
+                (Some(lo), None) => Json::from(lo),
+                (None, None) => Json::Null,
+            };
+            shared.log_event(
+                Level::Warn,
+                "alert_fired",
+                &[("rule", Json::from(name)), ("value", value), ("bound", bound)],
+            );
+        } else if !outcome.violated && firing.remove(name) {
+            shared.log_event(Level::Info, "alert_cleared", &[("rule", Json::from(name))]);
+        }
+    }
+}
+
 /// Spawns the metrics-history thread when `--metrics-dir` is configured:
 /// it appends a merged snapshot to the on-disk ring every
 /// `metrics_interval`, plus one final snapshot at shutdown, and polls
-/// the shutdown flag often enough that daemon teardown is prompt.
+/// the shutdown flag often enough that daemon teardown is prompt. With
+/// alert rules configured, each appended snapshot is followed by an
+/// alerting pass over the recorded window.
 fn spawn_history(shared: &Arc<Shared>) -> Option<JoinHandle<()>> {
     let dir = shared.metrics_dir.clone()?;
     let shared = Arc::clone(shared);
@@ -698,12 +756,16 @@ fn spawn_history(shared: &Arc<Shared>) -> Option<JoinHandle<()>> {
                     return;
                 }
             };
+            let mut firing = std::collections::BTreeSet::new();
             let poll = Duration::from_millis(25);
             loop {
                 let interval_start = Instant::now();
                 while interval_start.elapsed() < shared.metrics_interval {
                     if shared.shutting_down.load(Ordering::SeqCst) {
                         let _ = history.append(&shared.merged_snapshot());
+                        if let Some(rules) = &shared.alert_rules {
+                            evaluate_alerts(&shared, &dir, rules, &mut firing);
+                        }
                         return;
                     }
                     std::thread::sleep(poll.min(shared.metrics_interval));
@@ -714,6 +776,8 @@ fn spawn_history(shared: &Arc<Shared>) -> Option<JoinHandle<()>> {
                         "metrics_history_error",
                         &[("error", Json::from(format!("{e}")))],
                     );
+                } else if let Some(rules) = &shared.alert_rules {
+                    evaluate_alerts(&shared, &dir, rules, &mut firing);
                 }
             }
         })

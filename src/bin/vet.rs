@@ -2,17 +2,18 @@
 //!
 //! ```text
 //! vet <addon.js> [--json] [--dot] [--explain] [--trace FILE]
-//!     [--k <depth>] [--constant-strings]
+//!     [--k <depth>] [--constant-strings] [--summary-dir DIR]
 //! vet --corpus [--json] [--sequential]
 //! vet serve [--addr HOST:PORT | --stdio] [--workers N] [--cache-cap N]
 //!           [--queue-cap N] [--step-budget N] [--deadline-ms N]
-//!           [--k <depth>] [--constant-strings]
+//!           [--k <depth>] [--constant-strings] [--summary-dir DIR]
 //!           [--log FILE] [--log-level LEVEL]
-//!           [--log-sample N] [--log-sample-threshold R]
+//!           [--log-sample [EVENT=]N] [--log-sample-threshold R]
+//!           [--alert-rules FILE]
 //!           [--metrics-dir DIR] [--metrics-interval-ms N]
 //! vet --client HOST:PORT [<addon.js>... | --stats | --metrics | --shutdown]
 //! vet metrics-report DIR [--gate RULES]
-//! vet corpus-snapshot [--out FILE] [--k <depth>] [--constant-strings]
+//! vet corpus-snapshot [--out FILE] [--k <depth>] [--constant-strings] [--summary-dir DIR]
 //!                     [--step-budget N]
 //! vet corpus-diff OLD NEW
 //! ```
@@ -22,7 +23,11 @@
 //! reported flow, the PDG provenance path that justifies its flow type
 //! as an annotated-source excerpt. `--trace FILE` writes a
 //! `chrome://tracing` / Perfetto `trace_event` JSON profile of the run
-//! (single-file mode only). `--corpus` runs the built-in benchmark
+//! (single-file mode only). `--summary-dir DIR` keeps a per-function
+//! summary store in DIR across invocations: re-vetting an edited addon
+//! re-analyzes only the changed functions, splices stored summaries for
+//! the rest, and reports the hit/miss/re-analyzed statistics alongside
+//! the timings. `--corpus` runs the built-in benchmark
 //! suite instead of a file, vetting the addons on parallel threads
 //! (each addon's analysis is independent); output is buffered per addon
 //! and printed in corpus order, so the report is byte-identical to a
@@ -37,10 +42,22 @@
 //! JSONL event log (every job lifecycle, keyed by request ID;
 //! `--log-level debug` adds per-phase pipeline spans); `--log-level`
 //! alone keeps an in-memory log whose tail rides along in `stats`
-//! responses; `--log-sample N` keeps the log overload-safe by degrading
-//! the `job_rejected` stream to 1-in-N past `--log-sample-threshold R`
+//! responses; `--log-sample [EVENT=]N` keeps the log overload-safe by
+//! degrading the named event stream (bare `N` tunes the default rate
+//! and covers `job_rejected`) to 1-in-N past `--log-sample-threshold R`
 //! occurrences per second (drops are declared in counted `suppressed`
-//! records the replay validator reconciles against). `--metrics-dir DIR`
+//! records the replay validator reconciles against); the flag repeats,
+//! one rule per event, and a debug-level log under sampling also
+//! rate-limits the high-volume `span` stream at the default rate unless
+//! `span=N` tunes it explicitly. `--summary-dir DIR` attaches the
+//! per-function summary store, so resubmitted edits re-analyze only
+//! changed functions (`summary_hits`/`summary_misses`/
+//! `functions_reanalyzed` counters in `stats` and the Prometheus
+//! exposition, plus per-job `summary_lookup` log events).
+//! `--alert-rules FILE` evaluates the `metrics-report --gate` rule
+//! language inside the daemon against every metrics-history snapshot,
+//! emitting `alert_fired`/`alert_cleared` log events on threshold
+//! crossings (requires `--metrics-dir`). `--metrics-dir DIR`
 //! snapshots the metrics registry into a bounded on-disk ring every
 //! `--metrics-interval-ms` (default 5000), surviving restarts. `--client` speaks the daemon's NDJSON protocol:
 //! each named file is vetted (source is read locally and sent inline)
@@ -61,7 +78,7 @@
 //! and exits nonzero on signature-level drift (verdict flips, flow
 //! additions/removals, flow-type transitions).
 
-use jsanalysis::{AnalysisConfig, StringDomain};
+use jsanalysis::{AnalysisConfig, StringDomain, SummaryStore};
 use sigserve::{Client, ServeConfig};
 use sigtrace::ChromeTraceWriter;
 use std::fmt::Write as _;
@@ -71,17 +88,18 @@ use std::time::Duration;
 const USAGE: &str = "\
 usage:
   vet <addon.js> [--json] [--dot] [--explain] [--trace FILE] [--k <depth>]
-      [--constant-strings]
+      [--constant-strings] [--summary-dir DIR]
   vet --corpus [--json] [--sequential]
   vet serve [--addr HOST:PORT | --stdio] [--workers N] [--cache-cap N]
             [--queue-cap N] [--step-budget N] [--deadline-ms N]
-            [--k <depth>] [--constant-strings] [--log FILE]
-            [--log-level error|warn|info|debug]
-            [--log-sample N] [--log-sample-threshold R]
+            [--k <depth>] [--constant-strings] [--summary-dir DIR]
+            [--log FILE] [--log-level error|warn|info|debug]
+            [--log-sample [EVENT=]N] [--log-sample-threshold R]
+            [--alert-rules FILE]
             [--metrics-dir DIR] [--metrics-interval-ms N]
   vet --client HOST:PORT [<addon.js>... | --stats | --metrics | --shutdown]
   vet metrics-report DIR [--gate RULES]
-  vet corpus-snapshot [--out FILE] [--k <depth>] [--constant-strings]
+  vet corpus-snapshot [--out FILE] [--k <depth>] [--constant-strings] [--summary-dir DIR]
                       [--step-budget N]
   vet corpus-diff OLD NEW";
 
@@ -95,6 +113,9 @@ struct Options {
     string_domain: StringDomain,
     /// `--trace FILE`: write a Chrome `trace_event` profile of the run.
     trace: Option<String>,
+    /// `--summary-dir DIR`: per-function summary store for incremental
+    /// re-vetting across invocations.
+    summary_dir: Option<String>,
     file: Option<String>,
 }
 
@@ -108,12 +129,20 @@ struct ServeOptions {
     log_file: Option<String>,
     /// `--log-level`: `Some` turns logging on even without `--log`.
     log_level: Option<sigobs::Level>,
-    /// `--log-sample N`: past the per-window threshold, keep 1-in-N
-    /// `job_rejected` records (suppressed drops are counted).
-    log_sample: Option<u64>,
+    /// `--log-sample [EVENT=]N`, repeatable: past the per-window
+    /// threshold, keep 1-in-N records of EVENT (suppressed drops are
+    /// counted). A bare `N` (`None` event) tunes the default rate,
+    /// which covers `job_rejected`.
+    log_sample: Vec<(Option<String>, u64)>,
     /// `--log-sample-threshold R`: full records per window before
     /// sampling kicks in (default 100).
     log_sample_threshold: Option<u64>,
+    /// `--summary-dir DIR`: per-function summary store; resubmitted
+    /// edits re-analyze only changed functions.
+    summary_dir: Option<String>,
+    /// `--alert-rules FILE`: in-daemon alerting over the metrics
+    /// history (`alert_fired`/`alert_cleared` log events).
+    alert_rules: Option<sigobs::alerts::AlertRules>,
 }
 
 /// What `vet --client` should ask the daemon.
@@ -146,6 +175,7 @@ enum Mode {
     CorpusSnapshot {
         out: Option<String>,
         config: AnalysisConfig,
+        summary_dir: Option<String>,
     },
     /// `vet corpus-diff OLD NEW`: classify drift between snapshots.
     CorpusDiff { old: String, new: String },
@@ -163,8 +193,10 @@ fn parse_serve_args(mut args: impl Iterator<Item = String>) -> Result<Mode, Stri
     let mut queue_cap: Option<usize> = None;
     let mut log_file: Option<String> = None;
     let mut log_level: Option<sigobs::Level> = None;
-    let mut log_sample: Option<u64> = None;
+    let mut log_sample: Vec<(Option<String>, u64)> = Vec::new();
     let mut log_sample_threshold: Option<u64> = None;
+    let mut summary_dir: Option<String> = None;
+    let mut alert_rules: Option<sigobs::alerts::AlertRules> = None;
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--addr" => addr = Some(args.next().ok_or("--addr needs HOST:PORT")?),
@@ -188,7 +220,17 @@ fn parse_serve_args(mut args: impl Iterator<Item = String>) -> Result<Mode, Stri
                     Some(sigobs::Level::parse(&v).ok_or_else(|| format!("bad log level: {v}"))?)
             }
             "--log-sample" => {
-                log_sample = Some(parse_usize(&mut args, "--log-sample")?.max(1) as u64)
+                // `N` (legacy: the default rate, covering job_rejected)
+                // or `EVENT=N` (a per-event rule); the flag repeats.
+                let v = args.next().ok_or("--log-sample needs [EVENT=]N")?;
+                let (event, n) = match v.split_once('=') {
+                    Some((event, n)) if !event.is_empty() => (Some(event.to_owned()), n),
+                    Some(_) => return Err(format!("bad --log-sample value: {v}")),
+                    None => (None, v.as_str()),
+                };
+                let n: u64 =
+                    n.parse().map_err(|_| format!("bad --log-sample value: {v}"))?;
+                log_sample.push((event, n.max(1)));
             }
             "--log-sample-threshold" => {
                 log_sample_threshold =
@@ -203,6 +245,16 @@ fn parse_serve_args(mut args: impl Iterator<Item = String>) -> Result<Mode, Stri
                     parse_usize(&mut args, "--metrics-interval-ms")?.max(1) as u64,
                 )
             }
+            "--summary-dir" => {
+                summary_dir = Some(args.next().ok_or("--summary-dir needs a DIR")?)
+            }
+            "--alert-rules" => {
+                let path = args.next().ok_or("--alert-rules needs a FILE")?;
+                let text =
+                    std::fs::read_to_string(&path).map_err(|e| format!("{path}: {e}"))?;
+                alert_rules =
+                    Some(sigobs::alerts::parse_rules(&text).map_err(|e| format!("{path}: {e}"))?);
+            }
             "--help" | "-h" => return Ok(Mode::Help),
             other => return Err(format!("unknown serve flag: {other}")),
         }
@@ -210,11 +262,14 @@ fn parse_serve_args(mut args: impl Iterator<Item = String>) -> Result<Mode, Stri
     if stdio && addr.is_some() {
         return Err("--addr and --stdio are mutually exclusive".to_owned());
     }
-    if (log_sample.is_some() || log_sample_threshold.is_some())
+    if (!log_sample.is_empty() || log_sample_threshold.is_some())
         && log_file.is_none()
         && log_level.is_none()
     {
         return Err("--log-sample requires --log or --log-level".to_owned());
+    }
+    if alert_rules.is_some() && config.metrics_dir.is_none() {
+        return Err("--alert-rules requires --metrics-dir".to_owned());
     }
     // Default queue bound scales with the pool, like ServeConfig::default.
     config.queue_cap = queue_cap.unwrap_or(config.workers * 8);
@@ -230,6 +285,8 @@ fn parse_serve_args(mut args: impl Iterator<Item = String>) -> Result<Mode, Stri
         log_level,
         log_sample,
         log_sample_threshold,
+        summary_dir,
+        alert_rules,
     }))
 }
 
@@ -237,6 +294,7 @@ fn parse_serve_args(mut args: impl Iterator<Item = String>) -> Result<Mode, Stri
 fn parse_corpus_snapshot_args(mut args: impl Iterator<Item = String>) -> Result<Mode, String> {
     let mut out: Option<String> = None;
     let mut config = AnalysisConfig::default();
+    let mut summary_dir: Option<String> = None;
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--out" => out = Some(args.next().ok_or("--out needs a FILE")?),
@@ -245,11 +303,14 @@ fn parse_corpus_snapshot_args(mut args: impl Iterator<Item = String>) -> Result<
             "--step-budget" => {
                 config.step_budget = Some(parse_usize(&mut args, "--step-budget")?)
             }
+            "--summary-dir" => {
+                summary_dir = Some(args.next().ok_or("--summary-dir needs a DIR")?)
+            }
             "--help" | "-h" => return Ok(Mode::Help),
             other => return Err(format!("unknown corpus-snapshot flag: {other}")),
         }
     }
-    Ok(Mode::CorpusSnapshot { out, config })
+    Ok(Mode::CorpusSnapshot { out, config, summary_dir })
 }
 
 fn parse_client_args(mut args: impl Iterator<Item = String>) -> Result<Mode, String> {
@@ -289,6 +350,7 @@ fn parse_args() -> Result<Mode, String> {
         context_depth: 1,
         string_domain: StringDomain::Prefix,
         trace: None,
+        summary_dir: None,
         file: None,
     };
     let mut args = std::env::args().skip(1).peekable();
@@ -340,6 +402,9 @@ fn parse_args() -> Result<Mode, String> {
                 opts.context_depth = v.parse().map_err(|_| format!("bad depth: {v}"))?;
             }
             "--trace" => opts.trace = Some(args.next().ok_or("--trace needs a FILE")?),
+            "--summary-dir" => {
+                opts.summary_dir = Some(args.next().ok_or("--summary-dir needs a DIR")?)
+            }
             "--help" | "-h" => return Ok(Mode::Help),
             other if !other.starts_with('-') => opts.file = Some(other.to_owned()),
             other => return Err(format!("unknown flag: {other}")),
@@ -362,11 +427,20 @@ struct VetOutcome {
     warnings: String,
 }
 
+/// On-disk summary stores opened by the CLI keep this many entries
+/// (an addon market's working set of recently resubmitted addons).
+const SUMMARY_STORE_CAP: usize = 4096;
+
 fn vet_source(name: &str, source: &str, opts: &Options) -> Result<VetOutcome, String> {
     let config = AnalysisConfig::default()
         .with_context_depth(opts.context_depth)
         .with_string_domain(opts.string_domain);
-    let pipeline = addon_sig::Pipeline::new().config(config);
+    let mut pipeline = addon_sig::Pipeline::new().config(config);
+    if let Some(dir) = &opts.summary_dir {
+        let store = jsanalysis::DiskSummaryStore::new(dir, SUMMARY_STORE_CAP)
+            .map_err(|e| format!("{dir}: {e}"))?;
+        pipeline = pipeline.summary_store(std::sync::Arc::new(store));
+    }
     // `--trace` attaches a Chrome trace_event writer to the pipeline
     // (single-file mode only, enforced at argument parsing).
     let mut writer = opts.trace.as_ref().map(|_| ChromeTraceWriter::new());
@@ -399,6 +473,18 @@ fn vet_source(name: &str, source: &str, opts: &Options) -> Result<VetOutcome, St
             report.pdg.edge_count()
         )
         .unwrap();
+        if let Some(stats) = &report.incremental {
+            writeln!(
+                out,
+                "  [summary store: {} hits, {} misses, {}/{} functions re-analyzed{}]",
+                stats.summary_hits,
+                stats.summary_misses,
+                stats.functions_reanalyzed,
+                stats.total_functions,
+                if stats.abandoned > 0 { "; warm run abandoned" } else { "" }
+            )
+            .unwrap();
+        }
         if opts.explain {
             explain_flows(&report, &mut out);
         }
@@ -491,28 +577,73 @@ fn run_serve(mut opts: ServeOptions) -> Result<(), String> {
         None if opts.log_level.is_some() => Some(sigobs::EventLog::in_memory(level)),
         None => None,
     };
-    // `--log-sample N`: under overload, degrade the job_rejected stream
-    // to 1-in-N with counted `suppressed` records instead of amplifying
-    // the overload with one log write per shed job.
-    let log = log.map(|l| match (opts.log_sample, opts.log_sample_threshold) {
-        (None, None) => l,
-        (sample, threshold) => l.with_sampling(sigobs::SamplePolicy {
-            keep_one_in: sample.unwrap_or(100),
-            threshold: threshold.unwrap_or(100),
+    // `--log-sample [EVENT=]N`: under overload, degrade the named event
+    // streams to 1-in-N with counted `suppressed` records instead of
+    // amplifying the overload with one log write per shed job.
+    let sampling = !opts.log_sample.is_empty() || opts.log_sample_threshold.is_some();
+    let log = log.map(|l| {
+        if !sampling {
+            return l;
+        }
+        let mut policy = sigobs::SamplePolicy {
+            threshold: opts.log_sample_threshold.unwrap_or(100),
             ..sigobs::SamplePolicy::default()
-        }),
+        };
+        for (event, n) in &opts.log_sample {
+            match event {
+                // Bare N: the default rate (covers job_rejected).
+                None => policy.keep_one_in = *n,
+                Some(e) => policy = policy.with_rule(e, *n),
+            }
+        }
+        // Default debug-span policy: a debug-level log under sampling
+        // also rate-limits the high-volume per-phase span stream,
+        // unless an explicit `span=N` rule already tuned it.
+        if level == sigobs::Level::Debug && !policy.events.iter().any(|e| e == "span") {
+            let rate = policy.keep_one_in;
+            policy = policy.with_rule("span", rate);
+        }
+        l.with_sampling(policy)
     });
-    opts.config.log = log.map(std::sync::Arc::new);
-    match opts.addr {
-        Some(addr) => {
-            let server =
-                sigserve::Server::bind_traced(&addr, opts.config, addon_sig::service_engine_traced)
-                    .map_err(|e| format!("bind {addr}: {e}"))?;
+    let log = log.map(std::sync::Arc::new);
+    opts.config.log = log.clone();
+    opts.config.alert_rules = opts.alert_rules.take();
+    // `--summary-dir`: swap in the incremental engine over a shared
+    // on-disk summary store, so resubmitted edits splice stored
+    // per-function summaries instead of re-running the full fixpoint.
+    let store: Option<std::sync::Arc<dyn SummaryStore>> = match &opts.summary_dir {
+        Some(dir) => Some(std::sync::Arc::new(
+            jsanalysis::DiskSummaryStore::new(dir, SUMMARY_STORE_CAP)
+                .map_err(|e| format!("{dir}: {e}"))?,
+        )),
+        None => None,
+    };
+    match (opts.addr, store) {
+        (Some(addr), store) => {
+            let server = match store {
+                Some(store) => sigserve::Server::bind_traced(
+                    &addr,
+                    opts.config,
+                    move |s, c, m, t| {
+                        addon_sig::service_engine_incremental(s, c, m, &store, log.as_deref(), t)
+                    },
+                ),
+                None => sigserve::Server::bind_traced(
+                    &addr,
+                    opts.config,
+                    addon_sig::service_engine_traced,
+                ),
+            }
+            .map_err(|e| format!("bind {addr}: {e}"))?;
             eprintln!("sigserve listening on {}", server.local_addr());
             server.join(); // returns after a shutdown request
             Ok(())
         }
-        None => sigserve::serve_stdio_traced(opts.config, addon_sig::service_engine_traced)
+        (None, Some(store)) => sigserve::serve_stdio_traced(opts.config, move |s, c, m, t| {
+            addon_sig::service_engine_incremental(s, c, m, &store, log.as_deref(), t)
+        })
+        .map_err(|e| format!("stdio serve: {e}")),
+        (None, None) => sigserve::serve_stdio_traced(opts.config, addon_sig::service_engine_traced)
             .map_err(|e| format!("stdio serve: {e}")),
     }
 }
@@ -626,9 +757,22 @@ fn run_metrics_report(dir: &str, gate: Option<&str>) -> Result<bool, String> {
 }
 
 /// Analyzes the corpus and writes the drift-observatory snapshot to
-/// `--out FILE` (or stdout).
-fn run_corpus_snapshot(out: Option<&str>, config: &AnalysisConfig) -> Result<(), String> {
-    let snap = addon_sig::drift::snapshot_corpus(config);
+/// `--out FILE` (or stdout). With `--summary-dir`, the corpus runs
+/// through the per-function summary store — the incremental oracle: a
+/// through-store snapshot must be byte-identical to a cold one.
+fn run_corpus_snapshot(
+    out: Option<&str>,
+    config: &AnalysisConfig,
+    summary_dir: Option<&str>,
+) -> Result<(), String> {
+    let store: Option<std::sync::Arc<dyn SummaryStore>> = match summary_dir {
+        Some(dir) => Some(std::sync::Arc::new(
+            jsanalysis::DiskSummaryStore::new(dir, SUMMARY_STORE_CAP)
+                .map_err(|e| format!("{dir}: {e}"))?,
+        )),
+        None => None,
+    };
+    let snap = addon_sig::drift::snapshot_corpus_with_store(config, store.as_ref());
     let doc = snap.to_string_pretty();
     match out {
         Some(path) => std::fs::write(path, doc + "\n").map_err(|e| format!("{path}: {e}")),
@@ -697,8 +841,8 @@ fn main() -> ExitCode {
                 }
             }
         }
-        Mode::CorpusSnapshot { out, config } => {
-            return match run_corpus_snapshot(out.as_deref(), &config) {
+        Mode::CorpusSnapshot { out, config, summary_dir } => {
+            return match run_corpus_snapshot(out.as_deref(), &config, summary_dir.as_deref()) {
                 Ok(()) => ExitCode::SUCCESS,
                 Err(msg) => {
                     eprintln!("{msg}");

@@ -77,12 +77,13 @@ pub use sigobs;
 pub use sigserve;
 pub use sigtrace;
 
-use jsanalysis::{AnalysisConfig, AnalysisResult, BudgetKind};
+use jsanalysis::{AnalysisConfig, AnalysisResult, BudgetKind, IncrementalStats, SummaryStore};
 use jsir::Lowered;
 use jspdg::Pdg;
 use jssig::{FlowLattice, Signature};
 use sigtrace::{Counter, Counters, MetricsRegistry, PhaseTimings, Trace, Tracer};
 use std::fmt;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// Errors surfaced by the pipeline.
@@ -159,6 +160,10 @@ pub struct Report {
     /// Pipeline work counters, collected whether or not a tracer was
     /// attached. Deterministic for a fixed source and configuration.
     pub counters: Counters,
+    /// Summary-store statistics when the pipeline ran incrementally
+    /// (a store was attached with [`Pipeline::summary_store`]); `None`
+    /// for plain cold runs.
+    pub incremental: Option<IncrementalStats>,
 }
 
 /// The pipeline, assembled one knob at a time:
@@ -174,6 +179,7 @@ pub struct Pipeline<'t> {
     config: AnalysisConfig,
     lattice: FlowLattice,
     trace: Trace<'t>,
+    summary_store: Option<Arc<dyn SummaryStore>>,
 }
 
 impl Pipeline<'static> {
@@ -184,6 +190,7 @@ impl Pipeline<'static> {
             config: AnalysisConfig::default(),
             lattice: FlowLattice::paper(),
             trace: Trace::Off,
+            summary_store: None,
         }
     }
 }
@@ -214,7 +221,18 @@ impl<'t> Pipeline<'t> {
             config: self.config,
             lattice: self.lattice,
             trace: Trace::On(tracer),
+            summary_store: self.summary_store,
         }
+    }
+
+    /// Attaches a per-function summary store: the base analysis runs
+    /// incrementally, splicing in stored summaries for unchanged
+    /// functions and re-extracting summaries for whatever ran live.
+    /// Results are bit-identical to a cold run; the hit/miss statistics
+    /// land in [`Report::incremental`].
+    pub fn summary_store(mut self, store: Arc<dyn SummaryStore>) -> Pipeline<'t> {
+        self.summary_store = Some(store);
+        self
     }
 
     /// Runs the full pipeline.
@@ -229,6 +247,7 @@ impl<'t> Pipeline<'t> {
             config,
             lattice,
             trace,
+            summary_store,
         } = self;
         // The user's tracer (if any) sits behind a tap that also keeps
         // the counters for the Report. The tap is only touched at phase
@@ -255,7 +274,17 @@ impl<'t> Pipeline<'t> {
 
         trace.span_start("phase1");
         let start = Instant::now();
-        let analysis = jsanalysis::analyze_traced(&lowered, &config, &mut trace);
+        let (analysis, incremental) = match &summary_store {
+            Some(store) => {
+                let (a, stats) =
+                    jsanalysis::analyze_incremental(&lowered, &config, store.as_ref(), &mut trace);
+                (a, Some(stats))
+            }
+            None => (
+                jsanalysis::analyze_traced(&lowered, &config, &mut trace),
+                None,
+            ),
+        };
         let p1 = start.elapsed();
         trace.span_end("phase1");
         if let Some(b) = &analysis.budget_exhausted {
@@ -294,6 +323,7 @@ impl<'t> Pipeline<'t> {
             signature,
             timings: PhaseTimings::new(p1, p2, p3),
             counters: tap.counters,
+            incremental,
         })
     }
 }
@@ -399,6 +429,57 @@ pub fn service_engine_traced(
         Trace::On(tracer) => pipeline.tracer(tracer).run(source),
         Trace::Off => pipeline.run(source),
     };
+    finish_service(result, metrics)
+}
+
+/// [`service_engine_traced`] with a per-function summary store attached:
+/// resubmitting an edited addon re-analyzes only the changed functions
+/// and splices stored summaries for the rest. Per-job statistics land in
+/// the daemon's metrics registry as the `summary_hits`,
+/// `summary_misses` and `functions_reanalyzed` counters (plus
+/// `summary_abandoned` for warm runs that had to fall back to a cold
+/// re-run), so they show up in `stats` responses and the Prometheus
+/// exposition. With an event log attached, each completed job also
+/// emits a `summary_lookup` record carrying the same statistics. This
+/// is what `vet serve --summary-dir DIR` installs.
+pub fn service_engine_incremental(
+    source: &str,
+    config: &AnalysisConfig,
+    metrics: &MetricsRegistry,
+    store: &Arc<dyn SummaryStore>,
+    log: Option<&sigserve::EventLog>,
+    trace: Trace<'_>,
+) -> sigserve::VetOutcome {
+    let pipeline = Pipeline::new()
+        .config(config.clone())
+        .summary_store(Arc::clone(store));
+    let result = match trace {
+        Trace::On(tracer) => pipeline.tracer(tracer).run(source),
+        Trace::Off => pipeline.run(source),
+    };
+    if let (Ok(report), Some(log)) = (&result, log) {
+        if let Some(stats) = &report.incremental {
+            let n = |v: u64| minijson::Json::from(v as f64);
+            log.log(
+                sigserve::Level::Info,
+                "summary_lookup",
+                &[
+                    ("hits", n(stats.summary_hits)),
+                    ("misses", n(stats.summary_misses)),
+                    ("reanalyzed", n(stats.functions_reanalyzed)),
+                    ("total", n(stats.total_functions)),
+                    ("abandoned", n(stats.abandoned)),
+                ],
+            );
+        }
+    }
+    finish_service(result, metrics)
+}
+
+/// Maps a pipeline result onto a [`sigserve::VetOutcome`] and folds its
+/// counters, phase latencies and (for incremental runs) summary-store
+/// statistics into the daemon's metrics registry.
+fn finish_service(result: Result<Report, Error>, metrics: &MetricsRegistry) -> sigserve::VetOutcome {
     match result {
         Ok(report) => {
             metrics.merge_counters(&report.counters);
@@ -406,6 +487,12 @@ pub fn service_engine_traced(
             metrics.record("pipeline_p1_us", us(report.timings.p1));
             metrics.record("pipeline_p2_us", us(report.timings.p2));
             metrics.record("pipeline_p3_us", us(report.timings.p3));
+            if let Some(stats) = &report.incremental {
+                metrics.add("summary_hits", stats.summary_hits);
+                metrics.add("summary_misses", stats.summary_misses);
+                metrics.add("functions_reanalyzed", stats.functions_reanalyzed);
+                metrics.add("summary_abandoned", stats.abandoned);
+            }
             sigserve::VetOutcome::report(report.signature.to_json(), report.timings)
         }
         Err(Error::Budget {

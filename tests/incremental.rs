@@ -1,0 +1,239 @@
+//! Golden-identity tests for incremental re-vetting: a pipeline run
+//! through a per-function summary store — warm, evicted, or corrupted —
+//! must produce bit-identical signatures to a cold run of the same
+//! source. The store is a pure accelerator; it is never allowed to
+//! change an answer.
+
+use addon_sig::Pipeline;
+use jsanalysis::{DiskSummaryStore, MemorySummaryStore, SummaryStore};
+use std::path::PathBuf;
+use std::sync::Arc;
+
+fn temp_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "addon_sig_incr_{}_{name}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn cold(source: &str) -> addon_sig::Report {
+    Pipeline::new().run(source).expect("cold pipeline")
+}
+
+fn warm(source: &str, store: &Arc<dyn SummaryStore>) -> addon_sig::Report {
+    Pipeline::new()
+        .summary_store(Arc::clone(store))
+        .run(source)
+        .expect("warm pipeline")
+}
+
+/// The edit sequence each corpus addon is replayed through: identical
+/// resubmission, a top-level one-liner (conservatively invalidates
+/// everything whose entry state sees the top-level frame), and a new
+/// trailing function.
+fn edits(source: &str) -> Vec<(&'static str, String)> {
+    vec![
+        ("resubmit", source.to_owned()),
+        (
+            "toplevel_edit",
+            format!("{source}\nvar __incrTestEdit = 1;\n"),
+        ),
+        (
+            "new_function",
+            format!("{source}\nfunction __incrTestProbe(x) {{ return x + 1; }}\n"),
+        ),
+    ]
+}
+
+/// Asserts that vetting `source` through `store` (already populated or
+/// not) gives exactly the cold answer, and returns the warm stats.
+fn assert_identical(
+    name: &str,
+    label: &str,
+    source: &str,
+    store: &Arc<dyn SummaryStore>,
+) -> jsanalysis::IncrementalStats {
+    let cold_report = cold(source);
+    let warm_report = warm(source, store);
+    assert_eq!(
+        warm_report.signature.to_json(),
+        cold_report.signature.to_json(),
+        "{name}/{label}: warm signature must be bit-identical to cold"
+    );
+    let stats = warm_report
+        .incremental
+        .expect("store-attached run reports incremental stats");
+    assert!(
+        stats.functions_reanalyzed <= stats.total_functions,
+        "{name}/{label}: reanalyzed {} of {} functions",
+        stats.functions_reanalyzed,
+        stats.total_functions
+    );
+    stats
+}
+
+#[test]
+fn corpus_cold_vs_memory_store_identical_across_edit_sequences() {
+    for addon in corpus::addons() {
+        let store: Arc<dyn SummaryStore> = Arc::new(MemorySummaryStore::new(4096));
+        // Populate, then replay the whole edit sequence through the
+        // same store — each warm answer must match its own cold run.
+        let populate = warm(addon.source, &store);
+        assert!(populate.incremental.is_some());
+        for (label, edited) in edits(addon.source) {
+            let stats = assert_identical(addon.name, label, &edited, &store);
+            if label == "resubmit" && stats.total_functions > 1 {
+                assert!(
+                    stats.functions_reanalyzed < stats.total_functions,
+                    "{}: resubmission must splice at least one function \
+                     ({} of {} re-analyzed)",
+                    addon.name,
+                    stats.functions_reanalyzed,
+                    stats.total_functions
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn corpus_cold_vs_disk_store_identical() {
+    let dir = temp_dir("disk_golden");
+    let store: Arc<dyn SummaryStore> =
+        Arc::new(DiskSummaryStore::new(&dir, 4096).expect("disk store"));
+    for addon in corpus::addons() {
+        let _ = warm(addon.source, &store);
+        let stats = assert_identical(addon.name, "disk_resubmit", addon.source, &store);
+        if stats.total_functions > 1 {
+            assert!(stats.summary_hits > 0, "{}: disk store must hit", addon.name);
+        }
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn single_function_edit_splices_through_disk_store() {
+    // The headline scenario: a one-line patch of a dead literal in one
+    // function of a many-function addon re-analyzes only that function
+    // (plus the top level, which never splices).
+    let mut base = String::new();
+    for i in 0..6 {
+        base.push_str(&format!(
+            "function worker{i}(seed) {{\n  var probe = 'probe-{i}';\n  \
+             var tag = 'worker-{i}';\n  var body = tag + ':' + seed;\n  \
+             return body + '#' + tag;\n}}\n"
+        ));
+    }
+    for i in 0..6 {
+        base.push_str(&format!("worker{i}({});\n", i % 2));
+    }
+    let edited = base.replace("'probe-2'", "'probe-2-patched'");
+    assert_ne!(base, edited);
+
+    let dir = temp_dir("one_line_patch");
+    let store: Arc<dyn SummaryStore> =
+        Arc::new(DiskSummaryStore::new(&dir, 4096).expect("disk store"));
+    let _ = warm(&base, &store);
+    let stats = assert_identical("synthetic", "dead_literal_patch", &edited, &store);
+    assert_eq!(stats.summary_hits, 5, "five untouched workers splice");
+    assert_eq!(
+        stats.functions_reanalyzed, 2,
+        "only the patched worker and the top level re-analyze"
+    );
+    assert_eq!(stats.abandoned, 0);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn eviction_only_costs_speed_never_identity() {
+    // A store whose capacity is far below the corpus' function count
+    // keeps evicting; warm runs mostly miss but answers never change.
+    let dir = temp_dir("eviction");
+    let store: Arc<dyn SummaryStore> =
+        Arc::new(DiskSummaryStore::new(&dir, 2).expect("disk store"));
+    for addon in corpus::addons().iter().take(4) {
+        let _ = warm(addon.source, &store);
+        let _ = assert_identical(addon.name, "evicted", addon.source, &store);
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn corrupted_store_files_read_as_misses_never_wrong_signatures() {
+    let dir = temp_dir("corruption");
+    let addon = &corpus::addons()[0];
+    {
+        let store: Arc<dyn SummaryStore> =
+            Arc::new(DiskSummaryStore::new(&dir, 4096).expect("disk store"));
+        let _ = warm(addon.source, &store);
+    }
+    // Vandalize every persisted entry three ways: truncate to zero,
+    // truncate mid-record, and overwrite with garbage; also drop a
+    // non-summary file into the directory.
+    let mut victims: Vec<PathBuf> = std::fs::read_dir(&dir)
+        .expect("store dir")
+        .map(|e| e.expect("entry").path())
+        .filter(|p| p.is_file())
+        .collect();
+    victims.sort();
+    assert!(!victims.is_empty(), "populate must persist summaries");
+    for (i, path) in victims.iter().enumerate() {
+        match i % 3 {
+            0 => std::fs::write(path, b"").expect("truncate"),
+            1 => {
+                let bytes = std::fs::read(path).expect("read entry");
+                std::fs::write(path, &bytes[..bytes.len() / 2]).expect("truncate half");
+            }
+            _ => std::fs::write(path, b"{not json at all").expect("garbage"),
+        }
+    }
+    std::fs::write(dir.join("stray.txt"), b"not a summary").expect("stray file");
+
+    // Reopen over the vandalized directory: every lookup must degrade to
+    // a miss (or an unusable entry), and the signature must still be the
+    // cold one. No panics, no wrong answers.
+    let store: Arc<dyn SummaryStore> =
+        Arc::new(DiskSummaryStore::new(&dir, 4096).expect("reopen store"));
+    let stats = assert_identical(addon.name, "corrupted", addon.source, &store);
+    assert_eq!(
+        stats.summary_hits, 0,
+        "corrupted entries must never be spliced"
+    );
+
+    // And the store must recover: the corrupted-run repopulation makes
+    // the next resubmission splice again.
+    let stats = assert_identical(addon.name, "recovered", addon.source, &store);
+    if stats.total_functions > 1 {
+        assert!(stats.summary_hits > 0, "store must recover after corruption");
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn corpus_snapshot_through_store_is_byte_identical_and_drift_free() {
+    // The ISSUE's stated oracle: the drift observatory. A corpus
+    // snapshot taken through the summary store — populating on the
+    // first pass, splicing on the second — must be byte-identical to a
+    // cold snapshot (the order-independent counter subset is derived
+    // from the final analysis result, which splicing preserves) and
+    // `corpus-diff` must classify zero drift.
+    let config = jsanalysis::AnalysisConfig::default();
+    let cold_snap = addon_sig::drift::snapshot_corpus(&config);
+    let store: Arc<dyn SummaryStore> = Arc::new(MemorySummaryStore::new(4096));
+    let populate = addon_sig::drift::snapshot_corpus_with_store(&config, Some(&store));
+    let warm = addon_sig::drift::snapshot_corpus_with_store(&config, Some(&store));
+    assert_eq!(
+        cold_snap.to_string_pretty(),
+        populate.to_string_pretty(),
+        "populating pass must not change the snapshot"
+    );
+    assert_eq!(
+        cold_snap.to_string_pretty(),
+        warm.to_string_pretty(),
+        "spliced pass must be byte-identical to cold"
+    );
+    let report = addon_sig::drift::diff_snapshots(&cold_snap, &warm).expect("diff");
+    assert!(!report.has_signature_drift(), "store must cause zero drift");
+}

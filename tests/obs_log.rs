@@ -165,6 +165,7 @@ fn overloaded_daemon_keeps_a_sampled_but_exact_log() {
                 events: vec!["job_rejected".to_owned()],
                 threshold: THRESHOLD,
                 keep_one_in: KEEP_ONE_IN,
+                rates: vec![],
                 window: std::time::Duration::from_secs(3600),
             }),
     );
