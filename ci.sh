@@ -35,7 +35,18 @@
 #      re-vet — the store must splice every untouched function
 #      (re-analyzing strictly fewer than all of them) and the warm
 #      `--json` signature must be byte-identical to a cold run of the
-#      edited source.
+#      edited source,
+#  10. the fleet gate: `serve_load --fleet 2 --check` boots a sigfleet
+#      coordinator plus two worker nodes over loopback and asserts the
+#      fleet invariants in-process (a worker killed mid-job is reaped
+#      and its job requeued with the correct verdict, concurrent
+#      identical submissions dedup fleet-wide, every response is
+#      byte-identical to a cold analysis, and the merged per-node event
+#      logs replay as valid lifecycles); the written BENCH_fleet
+#      snapshot must show >=1.7x 2-node-over-1-node throughput; the
+#      coordinator's metrics history must pass metrics-gate-fleet.json;
+#      and the `coordinate`/`--join` CLI surfaces keep the help/exit
+#      code contract (--help on stdout exit 0, errors exit nonzero).
 set -eu
 cd "$(dirname "$0")"
 
@@ -151,5 +162,33 @@ sed "s/'probe-2'/'probe-2-patched'/" target/ci_incr_base.js > target/ci_incr_edi
 ./target/release/vet --json --summary-dir target/ci_summaries target/ci_incr_edit.js \
     > target/ci_incr_warm.json
 cmp target/ci_incr_cold.json target/ci_incr_warm.json
+
+echo "==> fleet gate (coordinator + 2 workers: kill/requeue, dedup, scaling, merged replay)"
+rm -rf target/ci_fleet_metrics
+./target/release/serve_load --fleet 2 --check \
+    --out target/BENCH_fleet.ci.json --metrics-dir target/ci_fleet_metrics
+# Near-linear scale-out: 2 nodes must clear 1.7x 1-node throughput.
+awk '/"ratio_2v1"/ { gsub(/[,"]/, ""); if ($2 + 0 >= 1.7) ok = 1 }
+     END { exit ok ? 0 : 1 }' target/BENCH_fleet.ci.json
+# The coordinator's recorded metrics history passes the fleet rules.
+./target/release/vet metrics-report target/ci_fleet_metrics --gate ci/metrics-gate-fleet.json
+# CLI contract for the fleet surfaces: --help on stdout exit 0; bad
+# flags and conflicting modes exit nonzero.
+# (plain grep reads the whole help text; -q would close the pipe early
+# and the writer would see EPIPE)
+./target/release/vet coordinate --help | grep 'vet coordinate' > /dev/null
+./target/release/vet serve --help | grep -- '--join' > /dev/null
+if ./target/release/vet coordinate --bogus-flag 2> /dev/null; then
+    echo "ci.sh: vet coordinate must reject unknown flags" >&2
+    exit 1
+fi
+if ./target/release/vet serve --join 127.0.0.1:7171 --stdio 2> /dev/null; then
+    echo "ci.sh: --join plus --stdio must exit nonzero" >&2
+    exit 1
+fi
+if ./target/release/vet coordinate --heartbeat-ms 500 --reap-ms 500 2> /dev/null; then
+    echo "ci.sh: reap window within one heartbeat must exit nonzero" >&2
+    exit 1
+fi
 
 echo "==> ci.sh: all gates passed"

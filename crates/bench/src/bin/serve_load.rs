@@ -37,6 +37,17 @@
 //!                   spliced rather than re-analyzed.
 //! - `--out PATH`    where to write the JSON (default
 //!                   `<repo root>/BENCH_serve.json`)
+//! - `--fleet N`     benchmark the `sigfleet` coordinator + N worker
+//!                   nodes over loopback instead of a single daemon:
+//!                   a worker-kill/requeue test, deterministic
+//!                   fleet-wide dedup, whole-corpus byte-identity
+//!                   against a cold local analysis, a 1..N-node scaling
+//!                   sweep on fixed-service-time stub engines, and a
+//!                   causal merge of the per-node event logs that must
+//!                   replay as one valid lifecycle per job. Writes
+//!                   `BENCH_fleet.json` (default at the repo root).
+//! - `--metrics-dir DIR`  (fleet mode) coordinator metrics-history
+//!                   ring, for `vet metrics-report --gate`
 
 use minijson::Json;
 use sigserve::{Client, ServeConfig, Server};
@@ -98,6 +109,8 @@ fn main() {
     let mut workers = 4usize;
     let mut check = false;
     let mut out: Option<String> = None;
+    let mut fleet: Option<usize> = None;
+    let mut metrics_dir: Option<String> = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -118,12 +131,27 @@ fn main() {
                 i += 1;
                 out = Some(args[i].clone());
             }
+            "--fleet" => {
+                i += 1;
+                fleet = Some(args[i].parse().expect("--fleet N"));
+            }
+            "--metrics-dir" => {
+                i += 1;
+                metrics_dir = Some(args[i].clone());
+            }
             other => {
                 eprintln!("unknown flag {other}");
                 std::process::exit(2);
             }
         }
         i += 1;
+    }
+    if let Some(nodes) = fleet {
+        let out = out.unwrap_or_else(|| {
+            format!("{}/../../BENCH_fleet.json", env!("CARGO_MANIFEST_DIR"))
+        });
+        run_fleet(nodes.max(1), &out, metrics_dir);
+        return;
     }
     if check {
         // The ci.sh sanity target: smallest run that still exercises
@@ -500,5 +528,327 @@ fn main() {
     doc.set("cache", cache_json);
 
     std::fs::write(&out, doc.to_string_pretty() + "\n").expect("write snapshot");
+    println!("wrote {out}");
+}
+
+/// Fixed-service-time engine for the scaling sweep: the real analyzer
+/// is CPU-bound, so on a small benchmark host extra nodes just contend
+/// for cores and the sweep would measure the machine, not the fleet.
+/// A 15ms sleep per job models a network of single-threaded nodes with
+/// identical service time; near-linear claim/complete scaling is then a
+/// property of the coordinator alone.
+fn sleep_stub(
+    source: &str,
+    _config: &jsanalysis::AnalysisConfig,
+    _metrics: &sigtrace::MetricsRegistry,
+    _trace: sigtrace::Trace<'_>,
+) -> sigserve::VetOutcome {
+    std::thread::sleep(std::time::Duration::from_millis(15));
+    sigserve::VetOutcome::report(
+        format!("{{\n  \"len\": {}\n}}", source.len()),
+        sigserve::PhaseTimings::new(
+            std::time::Duration::from_micros(30),
+            std::time::Duration::from_micros(20),
+            std::time::Duration::from_micros(10),
+        ),
+    )
+}
+
+/// Fleet-mode benchmark: coordinator + `nodes` in-process worker nodes
+/// over loopback TCP (the full wire protocol, just without separate
+/// OS processes). Asserts the fleet's correctness invariants — zero
+/// lost jobs across a worker kill, deterministic dedup, byte-identical
+/// signatures, and a merged per-node log that replays — then writes the
+/// scaling snapshot to `out`.
+fn run_fleet(nodes: usize, out: &str, metrics_dir: Option<String>) {
+    use sigfleet::{Coordinator, FleetConfig, Worker, WorkerConfig};
+    use std::time::Duration;
+
+    let addons = corpus::addons();
+    let coord_log = Arc::new(
+        sigobs::EventLog::in_memory(sigobs::Level::Info).with_tail_cap(16_384),
+    );
+    // Heartbeat/reap tuned down so the kill test runs in bench time.
+    let cfg = FleetConfig {
+        heartbeat: Duration::from_millis(100),
+        reap_after: Duration::from_millis(400),
+        log: Some(coord_log.clone()),
+        metrics_dir: metrics_dir.map(Into::into),
+        metrics_interval: Duration::from_millis(100),
+        ..FleetConfig::default()
+    };
+    let coord = Coordinator::bind("127.0.0.1:0", cfg).expect("bind coordinator");
+    let addr = coord.local_addr().to_string();
+    println!(
+        "serve_load --fleet: coordinator on {addr}, {nodes} worker node(s), {} corpus addons",
+        addons.len()
+    );
+    let fleet_stat = |name: &str| coord.stats()["fleet"][name].as_f64().unwrap_or(-1.0);
+
+    // Phase 1: worker kill. A client submits a job; a protocol-level
+    // "doomed" worker joins, claims it, and dies without completing or
+    // heartbeating. The reaper must requeue the claimed job, and the
+    // client must still get the correct verdict — from a real worker
+    // that joins later — with zero lost jobs.
+    const VICTIM_SOURCE: &str = "var victim = 'held hostage';";
+    let victim_addr = addr.clone();
+    let victim = std::thread::spawn(move || {
+        let mut c = Client::connect(victim_addr.as_str()).expect("connect victim");
+        c.vet_source(Some("victim.js"), VICTIM_SOURCE).expect("vet victim")
+    });
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while fleet_stat("pending") < 1.0 {
+        assert!(Instant::now() < deadline, "victim job never enqueued");
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    {
+        let mut doomed = Client::connect(addr.as_str()).expect("connect doomed");
+        let ack = doomed
+            .request(&sigfleet::protocol::join_request("doomed"))
+            .expect("join doomed");
+        assert_eq!(ack["kind"], "join_ack");
+        let wid = ack["worker"].as_str().expect("worker id").to_owned();
+        let job = doomed
+            .request(&sigfleet::protocol::claim_request(&wid, 2_000))
+            .expect("claim doomed");
+        assert_eq!(job["kind"], "job", "doomed worker must claim the victim");
+    } // connection dropped mid-job: no complete, no further heartbeats
+    while fleet_stat("jobs_requeued") < 1.0 {
+        assert!(
+            Instant::now() < deadline,
+            "reaper never requeued the dead worker's job"
+        );
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    println!("kill test: doomed worker reaped, victim job requeued");
+
+    // Phase 2: fleet-wide dedup, made deterministic by timing: no live
+    // worker exists yet, so concurrent identical submissions *must*
+    // coalesce onto the one enqueued job rather than racing completion.
+    const DEDUP_CLIENTS: usize = 8;
+    const DEDUP_SOURCE: &str = "var dedup = 'x'; var y = dedup + dedup;";
+    let barrier = Arc::new(std::sync::Barrier::new(DEDUP_CLIENTS));
+    let dedup_clients: Vec<_> = (0..DEDUP_CLIENTS)
+        .map(|_| {
+            let addr = addr.clone();
+            let barrier = Arc::clone(&barrier);
+            std::thread::spawn(move || {
+                let mut c = Client::connect(addr.as_str()).expect("connect dedup");
+                barrier.wait();
+                c.vet_source(Some("dedup.js"), DEDUP_SOURCE).expect("vet dedup")
+            })
+        })
+        .collect();
+    while fleet_stat("dedup_hits") < (DEDUP_CLIENTS - 1) as f64 {
+        assert!(Instant::now() < deadline, "dedup submissions never coalesced");
+        std::thread::sleep(Duration::from_millis(5));
+    }
+
+    // Phase 3: real worker nodes join (in-process, real pipeline, own
+    // event logs) and drain the requeued victim plus the dedup job.
+    let mut worker_logs = Vec::new();
+    let workers: Vec<Worker> = (0..nodes)
+        .map(|i| {
+            let log = Arc::new(
+                sigobs::EventLog::in_memory(sigobs::Level::Info).with_tail_cap(16_384),
+            );
+            worker_logs.push(log.clone());
+            let mut wc = WorkerConfig::new(addr.clone());
+            wc.node = format!("bench-{i}");
+            wc.threads = 2;
+            wc.claim_wait_ms = 100;
+            wc.log = Some(log);
+            Worker::join_fleet(wc, addon_sig::service_engine_traced).expect("join worker")
+        })
+        .collect();
+    let victim_resp = victim.join().expect("victim thread");
+    assert_eq!(victim_resp["verdict"], "ok", "requeued job must still vet");
+    let victim_cold = addon_sig::analyze_addon(VICTIM_SOURCE).expect("cold victim");
+    assert_eq!(
+        victim_resp["signature"].to_string(),
+        Json::parse(&victim_cold.signature.to_json()).unwrap().to_string(),
+        "rescued job must produce the exact cold signature"
+    );
+    let dedup_resps: Vec<Json> = dedup_clients
+        .into_iter()
+        .map(|t| t.join().expect("dedup client"))
+        .collect();
+    for resp in &dedup_resps {
+        assert_eq!(resp["verdict"], "ok");
+        assert_eq!(
+            resp["signature"].to_string(),
+            dedup_resps[0]["signature"].to_string(),
+            "all coalesced submissions share one result"
+        );
+    }
+    println!(
+        "dedup: {} concurrent identical submissions -> 1 analysis",
+        DEDUP_CLIENTS
+    );
+
+    // Phase 4: whole-corpus byte-identity. Every fleet response must
+    // carry the exact signature a cold local analysis produces (the
+    // single-node `vet --json` bytes); a second pass must be all
+    // shared-store hits.
+    let mut client = Client::connect(addr.as_str()).expect("connect corpus");
+    for a in &addons {
+        let resp = client.vet_source(Some(a.name), a.source).expect("vet corpus");
+        assert_eq!(resp["verdict"], "ok", "{} must vet cleanly", a.name);
+        let cold = addon_sig::analyze_addon(a.source).expect("cold corpus");
+        assert_eq!(
+            resp["signature"].to_string(),
+            Json::parse(&cold.signature.to_json()).unwrap().to_string(),
+            "{}: fleet signature must be byte-identical to a cold analysis",
+            a.name
+        );
+    }
+    for a in &addons {
+        let resp = client.vet_source(Some(a.name), a.source).expect("re-vet corpus");
+        assert_eq!(resp["cached"], Json::Bool(true), "{}: second pass must hit", a.name);
+    }
+    println!("corpus: {} addons byte-identical, second pass all store hits", addons.len());
+
+    // Phase 5: scaling sweep on fixed-service-time stubs, one fresh
+    // coordinator per fleet size so no shared store warms the next run.
+    const SCALE_JOBS: usize = 60;
+    let mut throughputs: Vec<f64> = Vec::new();
+    let mut sizes_json = Vec::new();
+    for size in 1..=nodes {
+        let c = Coordinator::bind("127.0.0.1:0", FleetConfig::default()).expect("bind scale");
+        let caddr = c.local_addr().to_string();
+        let ws: Vec<Worker> = (0..size)
+            .map(|i| {
+                let mut wc = WorkerConfig::new(caddr.clone());
+                wc.node = format!("scale-{i}");
+                wc.threads = 1; // one claim thread: service time is the 15ms stub
+                wc.claim_wait_ms = 100;
+                Worker::join_fleet(wc, sleep_stub).expect("join scale")
+            })
+            .collect();
+        let mut cl = Client::connect(caddr.as_str()).expect("connect scale");
+        let mut req = Json::obj();
+        req.set("kind", Json::from("vet_batch"));
+        req.set(
+            "items",
+            Json::Arr(
+                (0..SCALE_JOBS)
+                    .map(|i| {
+                        let mut o = Json::obj();
+                        o.set("name", Json::from(format!("scale{size}_{i}")));
+                        o.set("source", Json::from(format!("var scale{size}_{i} = {i};")));
+                        o
+                    })
+                    .collect(),
+            ),
+        );
+        let t0 = Instant::now();
+        let resp = cl.request(&req).expect("scale batch");
+        let wall = t0.elapsed();
+        assert_eq!(resp["kind"], "vet_batch_result");
+        for r in resp["results"].as_array().expect("results") {
+            assert_eq!(r["verdict"], "ok");
+        }
+        let ack = cl.shutdown().expect("scale shutdown");
+        assert_eq!(ack["kind"], "shutdown_ack");
+        c.join();
+        for w in ws {
+            w.join();
+        }
+        let tput = SCALE_JOBS as f64 / wall.as_secs_f64().max(1e-9);
+        println!(
+            "scale: {size} node(s): {SCALE_JOBS} jobs in {:.2}s ({tput:.0} jobs/s)",
+            wall.as_secs_f64()
+        );
+        let mut o = Json::obj();
+        o.set("nodes", Json::from(size as f64));
+        o.set("wall_s", Json::from((wall.as_secs_f64() * 1e6).round() / 1e6));
+        o.set("throughput_rps", Json::from((tput * 10.0).round() / 10.0));
+        sizes_json.push(o);
+        throughputs.push(tput);
+    }
+    let ratio = |n: usize| (throughputs[n - 1] / throughputs[0] * 100.0).round() / 100.0;
+    if nodes >= 2 {
+        assert!(
+            ratio(2) >= 1.7,
+            "2-node fleet must be >=1.7x 1-node throughput (got {:.2}x)",
+            ratio(2)
+        );
+    }
+
+    // Phase 6: shutdown, then merge the per-node logs causally and
+    // replay the result — every job must resolve to one valid
+    // lifecycle even though its events are spread across processes.
+    let final_stats = coord.stats();
+    let mut shut = Client::connect(addr.as_str()).expect("connect shutdown");
+    let ack = shut.shutdown().expect("shutdown");
+    assert_eq!(ack["kind"], "shutdown_ack");
+    coord.join();
+    for w in workers {
+        w.join();
+    }
+    coord_log.flush();
+    let coord_text = coord_log.tail_lines().join("\n");
+    let worker_texts: Vec<(String, String)> = worker_logs
+        .iter()
+        .enumerate()
+        .map(|(i, l)| {
+            l.flush();
+            (format!("bench-{i}"), l.tail_lines().join("\n"))
+        })
+        .collect();
+    let mut merge_input: Vec<(&str, &str)> = vec![("coord", coord_text.as_str())];
+    for (name, text) in &worker_texts {
+        merge_input.push((name.as_str(), text.as_str()));
+    }
+    let merged = sigobs::merge_fleet_logs(&merge_input).expect("fleet logs must merge");
+    let replay = sigobs::replay::replay_log(&merged).expect("merged log must replay");
+    let outcome_count = |want: sigobs::replay::Outcome| {
+        replay
+            .timelines
+            .values()
+            .filter(|t| t.validate() == Ok(want))
+            .count()
+    };
+    let computed = outcome_count(sigobs::replay::Outcome::Computed);
+    let coalesced = outcome_count(sigobs::replay::Outcome::Coalesced);
+    let store_hits = outcome_count(sigobs::replay::Outcome::CacheHit);
+    assert_eq!(
+        computed,
+        addons.len() + 2,
+        "each corpus addon, the victim, and the dedup job computed exactly once"
+    );
+    assert_eq!(coalesced, DEDUP_CLIENTS - 1, "the other dedup submissions coalesced");
+    assert!(
+        store_hits >= addons.len(),
+        "second corpus pass must replay as store hits (got {store_hits})"
+    );
+    assert_eq!(
+        replay.presumed_rejected, 0,
+        "a clean fleet session has no enqueued-only orphans"
+    );
+    println!(
+        "merged replay: {} jobs ({computed} computed, {store_hits} store hits, \
+         {coalesced} coalesced), 0 lost",
+        replay.timelines.len()
+    );
+
+    let mut doc = Json::obj();
+    doc.set("schema", Json::from(1u32));
+    doc.set("nodes", Json::from(nodes as f64));
+    doc.set("corpus_addons", Json::from(addons.len() as f64));
+    doc.set("scale_jobs", Json::from(SCALE_JOBS as f64));
+    doc.set("sizes", Json::Arr(sizes_json));
+    if nodes >= 2 {
+        doc.set("ratio_2v1", Json::from(ratio(2)));
+    }
+    if nodes >= 3 {
+        doc.set("ratio_3v1", Json::from(ratio(3)));
+    }
+    let mut fleet_json = Json::obj();
+    for key in ["jobs_accepted", "jobs_completed", "jobs_requeued", "dedup_hits", "workers_reaped"] {
+        fleet_json.set(key, Json::from(final_stats["fleet"][key].as_f64().unwrap_or(-1.0)));
+    }
+    doc.set("fleet", fleet_json);
+    std::fs::write(out, doc.to_string_pretty() + "\n").expect("write fleet snapshot");
     println!("wrote {out}");
 }

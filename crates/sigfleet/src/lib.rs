@@ -1,0 +1,26 @@
+//! sigfleet — a coordinator + worker fleet that turns N vetting
+//! daemons into one horizontally scaled service.
+//!
+//! A [`Coordinator`] owns the fleet job queue, the shared
+//! content-addressed result store, and the worker registry, and answers
+//! the *unchanged* sigserve client protocol — a fleet is byte-compatible
+//! with a single daemon from a client's point of view. [`Worker`]s join
+//! over four new NDJSON verbs (`join` / `claim` / `complete` /
+//! `heartbeat`), run the analysis engine locally, and own one shard of
+//! the fleet signature cache (`key % slots == slot`). A background
+//! reaper re-queues jobs claimed by workers that stop heartbeating, so
+//! a worker crash delays its jobs but never loses them.
+//!
+//! Like sigserve, the crate is std-only: plain TCP, a mutex-guarded
+//! state machine, and condvar-woken claim long-polls.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod coordinator;
+pub mod protocol;
+pub mod worker;
+
+pub use coordinator::{Coordinator, FleetConfig};
+pub use protocol::{parse_fleet_request, FleetRequest, WorkerRequest};
+pub use worker::{Worker, WorkerConfig};

@@ -1,0 +1,311 @@
+//! The fleet extension of the sigserve NDJSON protocol.
+//!
+//! The coordinator speaks two dialects on the same port. Clients use the
+//! unchanged sigserve verbs (`vet`, `vet_batch`, `stats`, `metrics`,
+//! `shutdown`) and get byte-compatible responses, so a fleet is a drop-in
+//! replacement for a single daemon. Workers use four new verbs:
+//!
+//! ```text
+//! {"kind":"join","node":"worker-a"}
+//!   -> {"kind":"join_ack","worker":"w-0","slot":0,"slots":8,
+//!       "heartbeat_ms":2000,"reap_ms":6000}
+//! {"kind":"claim","worker":"w-0","wait_ms":500}
+//!   -> {"kind":"job","job":"j-3","key":"1234...","name":"a.js","source":"..."}
+//!    | {"kind":"no_job"}
+//!    | {"kind":"fleet_shutdown"}
+//! {"kind":"complete","worker":"w-0","job":"j-3","cacheable":true,
+//!  "core":{"verdict":"ok",...}}
+//!   -> {"kind":"complete_ack","stale":false}
+//! {"kind":"heartbeat","worker":"w-0"}
+//!   -> {"kind":"heartbeat_ack"}
+//! ```
+//!
+//! Cache keys are 64-bit FNV-1a hashes. They cross the wire as *decimal
+//! strings*, never JSON numbers: the wire format carries numbers as f64,
+//! which silently loses bits above 2^53 and would alias distinct keys.
+
+use minijson::Json;
+use sigserve::{parse_request, Request};
+
+/// A parsed worker-side verb.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WorkerRequest {
+    /// Register with the coordinator; answered by `join_ack`.
+    Join {
+        /// The worker's self-reported node name (for stats and logs).
+        node: String,
+    },
+    /// Ask for a job, long-polling up to `wait_ms`.
+    Claim {
+        /// The coordinator-assigned worker ID from `join_ack`.
+        worker: String,
+        /// How long the coordinator may hold the claim open (bounded).
+        wait_ms: u64,
+    },
+    /// Post a finished job's core result.
+    Complete {
+        /// The completing worker's ID.
+        worker: String,
+        /// The job ID from the `job` message.
+        job: String,
+        /// Whether the result may enter the shared result store
+        /// (deadline timeouts are not deterministic, so workers say).
+        cacheable: bool,
+        /// The core result object (fields start at `"verdict"`).
+        core: Json,
+    },
+    /// Liveness ping; missing these gets the worker reaped.
+    Heartbeat {
+        /// The pinging worker's ID.
+        worker: String,
+    },
+}
+
+/// Any request a fleet coordinator accepts: a worker verb or an
+/// unchanged sigserve client verb.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FleetRequest {
+    /// One of the four worker verbs.
+    Worker(WorkerRequest),
+    /// A client verb, delegated to [`sigserve::parse_request`].
+    Client(Request),
+}
+
+/// Claims may not hold a connection open longer than this.
+pub const MAX_CLAIM_WAIT_MS: u64 = 30_000;
+
+fn req_str(v: &Json, field: &str, kind: &str) -> Result<String, String> {
+    v.get(field)
+        .and_then(Json::as_str)
+        .map(str::to_owned)
+        .ok_or_else(|| format!("{kind} needs a string {field}"))
+}
+
+/// Renders a cache key for the wire (a decimal string).
+pub fn key_to_json(key: u64) -> Json {
+    Json::Str(key.to_string())
+}
+
+/// Reads a cache key off the wire (a decimal string).
+pub fn key_from_json(v: &Json, field: &str) -> Result<u64, String> {
+    v.get(field)
+        .and_then(Json::as_str)
+        .ok_or_else(|| format!("message needs a string {field}"))?
+        .parse::<u64>()
+        .map_err(|e| format!("bad {field}: {e}"))
+}
+
+/// Parses one request line from either dialect.
+pub fn parse_fleet_request(line: &str) -> Result<FleetRequest, String> {
+    let v = Json::parse(line.trim()).map_err(|e| e.to_string())?;
+    let req = match v.get("kind").and_then(Json::as_str) {
+        Some("join") => WorkerRequest::Join {
+            node: req_str(&v, "node", "join")?,
+        },
+        Some("claim") => WorkerRequest::Claim {
+            worker: req_str(&v, "worker", "claim")?,
+            wait_ms: v
+                .get("wait_ms")
+                .and_then(Json::as_f64)
+                .map_or(0, |w| w.max(0.0) as u64)
+                .min(MAX_CLAIM_WAIT_MS),
+        },
+        Some("complete") => WorkerRequest::Complete {
+            worker: req_str(&v, "worker", "complete")?,
+            job: req_str(&v, "job", "complete")?,
+            cacheable: matches!(v.get("cacheable"), Some(Json::Bool(true))),
+            core: v
+                .get("core")
+                .cloned()
+                .ok_or_else(|| "complete needs a core object".to_owned())?,
+        },
+        Some("heartbeat") => WorkerRequest::Heartbeat {
+            worker: req_str(&v, "worker", "heartbeat")?,
+        },
+        _ => return parse_request(line).map(FleetRequest::Client),
+    };
+    Ok(FleetRequest::Worker(req))
+}
+
+/// Builds a `join` request.
+pub fn join_request(node: &str) -> Json {
+    let mut o = Json::obj();
+    o.set("kind", Json::from("join"));
+    o.set("node", Json::from(node));
+    o
+}
+
+/// Builds the `join_ack` response: the assigned worker identity plus the
+/// coordinator-governed timings the worker must obey.
+pub fn join_ack(worker: &str, slot: usize, slots: usize, heartbeat_ms: u64, reap_ms: u64) -> Json {
+    let mut o = Json::obj();
+    o.set("kind", Json::from("join_ack"));
+    o.set("worker", Json::from(worker));
+    o.set("slot", Json::from(slot as f64));
+    o.set("slots", Json::from(slots as f64));
+    o.set("heartbeat_ms", Json::from(heartbeat_ms as f64));
+    o.set("reap_ms", Json::from(reap_ms as f64));
+    o
+}
+
+/// Builds a `claim` request.
+pub fn claim_request(worker: &str, wait_ms: u64) -> Json {
+    let mut o = Json::obj();
+    o.set("kind", Json::from("claim"));
+    o.set("worker", Json::from(worker));
+    o.set("wait_ms", Json::from(wait_ms as f64));
+    o
+}
+
+/// Builds the `job` message answering a claim.
+pub fn job_message(job: &str, key: u64, name: Option<&str>, source: &str) -> Json {
+    let mut o = Json::obj();
+    o.set("kind", Json::from("job"));
+    o.set("job", Json::from(job));
+    o.set("key", key_to_json(key));
+    if let Some(n) = name {
+        o.set("name", Json::from(n));
+    }
+    o.set("source", Json::from(source));
+    o
+}
+
+/// Builds the empty-handed claim response.
+pub fn no_job() -> Json {
+    let mut o = Json::obj();
+    o.set("kind", Json::from("no_job"));
+    o
+}
+
+/// Builds the claim response that tells workers to exit.
+pub fn fleet_shutdown() -> Json {
+    let mut o = Json::obj();
+    o.set("kind", Json::from("fleet_shutdown"));
+    o
+}
+
+/// Builds a `complete` request.
+pub fn complete_request(worker: &str, job: &str, cacheable: bool, core: &Json) -> Json {
+    let mut o = Json::obj();
+    o.set("kind", Json::from("complete"));
+    o.set("worker", Json::from(worker));
+    o.set("job", Json::from(job));
+    o.set("cacheable", Json::Bool(cacheable));
+    o.set("core", core.clone());
+    o
+}
+
+/// Builds the `complete_ack` response. `stale` means the coordinator no
+/// longer credits the sender with the job (it was reaped and reassigned,
+/// or already finished); the worker just moves on.
+pub fn complete_ack(stale: bool) -> Json {
+    let mut o = Json::obj();
+    o.set("kind", Json::from("complete_ack"));
+    o.set("stale", Json::Bool(stale));
+    o
+}
+
+/// Builds a `heartbeat` request.
+pub fn heartbeat_request(worker: &str) -> Json {
+    let mut o = Json::obj();
+    o.set("kind", Json::from("heartbeat"));
+    o.set("worker", Json::from(worker));
+    o
+}
+
+/// Builds the `heartbeat_ack` response.
+pub fn heartbeat_ack() -> Json {
+    let mut o = Json::obj();
+    o.set("kind", Json::from("heartbeat_ack"));
+    o
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn worker_verbs_roundtrip_through_parser() {
+        let r = parse_fleet_request(&join_request("node-a").to_string_compact()).unwrap();
+        assert_eq!(
+            r,
+            FleetRequest::Worker(WorkerRequest::Join {
+                node: "node-a".to_owned()
+            })
+        );
+        let r = parse_fleet_request(&claim_request("w-1", 250).to_string_compact()).unwrap();
+        assert_eq!(
+            r,
+            FleetRequest::Worker(WorkerRequest::Claim {
+                worker: "w-1".to_owned(),
+                wait_ms: 250,
+            })
+        );
+        let mut core = Json::obj();
+        core.set("verdict", Json::from("ok"));
+        let r = parse_fleet_request(&complete_request("w-1", "j-9", true, &core).to_string_compact())
+            .unwrap();
+        match r {
+            FleetRequest::Worker(WorkerRequest::Complete {
+                worker,
+                job,
+                cacheable,
+                core,
+            }) => {
+                assert_eq!(worker, "w-1");
+                assert_eq!(job, "j-9");
+                assert!(cacheable);
+                assert_eq!(core["verdict"], "ok");
+            }
+            other => panic!("expected complete, got {other:?}"),
+        }
+        let r = parse_fleet_request(&heartbeat_request("w-2").to_string_compact()).unwrap();
+        assert_eq!(
+            r,
+            FleetRequest::Worker(WorkerRequest::Heartbeat {
+                worker: "w-2".to_owned()
+            })
+        );
+    }
+
+    #[test]
+    fn client_verbs_fall_through_to_sigserve() {
+        let r = parse_fleet_request(r#"{"kind":"vet","source":"var x;"}"#).unwrap();
+        assert!(matches!(r, FleetRequest::Client(Request::Vet(_))));
+        let r = parse_fleet_request(r#"{"kind":"stats"}"#).unwrap();
+        assert!(matches!(r, FleetRequest::Client(Request::Stats)));
+        assert!(parse_fleet_request(r#"{"kind":"warp_core"}"#).is_err());
+        assert!(parse_fleet_request("not json").is_err());
+    }
+
+    #[test]
+    fn keys_survive_the_wire_above_f64_precision() {
+        // 2^53 + 1 is exactly the first u64 an f64 cannot represent.
+        let key = (1u64 << 53) + 1;
+        let msg = job_message("j-1", key, None, "src");
+        assert_eq!(key_from_json(&msg, "key").unwrap(), key);
+        assert_eq!(key_from_json(&msg, "key").unwrap() % 8, key % 8);
+        let max = u64::MAX;
+        let msg = job_message("j-2", max, Some("n"), "src");
+        assert_eq!(key_from_json(&msg, "key").unwrap(), max);
+    }
+
+    #[test]
+    fn claim_wait_is_clamped() {
+        let line = r#"{"kind":"claim","worker":"w-0","wait_ms":999999999}"#;
+        match parse_fleet_request(line).unwrap() {
+            FleetRequest::Worker(WorkerRequest::Claim { wait_ms, .. }) => {
+                assert_eq!(wait_ms, MAX_CLAIM_WAIT_MS);
+            }
+            other => panic!("expected claim, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn malformed_worker_verbs_are_rejected() {
+        assert!(parse_fleet_request(r#"{"kind":"join"}"#).is_err());
+        assert!(parse_fleet_request(r#"{"kind":"claim"}"#).is_err());
+        assert!(parse_fleet_request(r#"{"kind":"complete","worker":"w","job":"j"}"#).is_err());
+        assert!(parse_fleet_request(r#"{"kind":"heartbeat"}"#).is_err());
+    }
+}

@@ -1,0 +1,370 @@
+//! Fleet end-to-end tests with stub engines: join/claim/complete over
+//! real loopback TCP, fleet-wide dedup, shard hits, and the reaper.
+
+use std::thread;
+use std::time::{Duration, Instant};
+
+use jsanalysis::AnalysisConfig;
+use minijson::Json;
+use sigfleet::protocol::{claim_request, join_request};
+use sigfleet::{Coordinator, FleetConfig, Worker, WorkerConfig};
+use sigserve::{Client, PhaseTimings, VetOutcome};
+use sigtrace::{MetricsRegistry, Trace};
+
+fn stub(source: &str, _c: &AnalysisConfig, m: &MetricsRegistry, _t: Trace<'_>) -> VetOutcome {
+    m.add("stub_calls", 1);
+    VetOutcome::report(
+        format!("{{\n  \"len\": {}\n}}", source.len()),
+        PhaseTimings::new(
+            Duration::from_micros(30),
+            Duration::from_micros(20),
+            Duration::from_micros(10),
+        ),
+    )
+}
+
+fn fast_cfg() -> FleetConfig {
+    FleetConfig {
+        heartbeat: Duration::from_millis(50),
+        reap_after: Duration::from_millis(250),
+        ..FleetConfig::default()
+    }
+}
+
+fn counter(stats: &Json, name: &str) -> f64 {
+    stats["fleet"][name].as_f64().unwrap_or(-1.0)
+}
+
+#[test]
+fn fleet_vets_and_store_answers_resubmission() {
+    let coord = Coordinator::bind("127.0.0.1:0", fast_cfg()).expect("bind");
+    let addr = coord.local_addr().to_string();
+    let workers: Vec<Worker> = (0..2)
+        .map(|i| {
+            let mut wc = WorkerConfig::new(addr.clone());
+            wc.node = format!("node-{i}");
+            wc.threads = 1;
+            wc.claim_wait_ms = 100;
+            Worker::join_fleet(wc, stub).expect("join")
+        })
+        .collect();
+
+    let mut client = Client::connect(addr.as_str()).expect("connect");
+    let first = client.vet_source(Some("a.js"), "var alpha;").expect("vet");
+    assert_eq!(first["verdict"], "ok");
+    assert_eq!(first["cached"], Json::Bool(false));
+    assert_eq!(first["signature"]["len"].as_f64(), Some(10.0));
+
+    // Resubmission: the shared result store answers without a worker.
+    let second = client.vet_source(Some("a.js"), "var alpha;").expect("vet");
+    assert_eq!(second["cached"], Json::Bool(true));
+    assert_eq!(
+        second["signature"].to_string(),
+        first["signature"].to_string()
+    );
+
+    let stats = coord.stats();
+    assert_eq!(counter(&stats, "workers_alive"), 2.0);
+    assert_eq!(counter(&stats, "jobs_completed"), 1.0);
+    assert_eq!(stats["cache"]["hits"].as_f64(), Some(1.0));
+
+    client.shutdown().expect("shutdown");
+    for w in workers {
+        w.join();
+    }
+    coord.join();
+}
+
+#[test]
+fn identical_concurrent_submissions_resolve_to_one_analysis() {
+    // The slow stub holds the first submission in flight long enough
+    // that the other clients coalesce onto it fleet-wide.
+    let slow = |s: &str, c: &AnalysisConfig, m: &MetricsRegistry, t: Trace<'_>| {
+        thread::sleep(Duration::from_millis(200));
+        stub(s, c, m, t)
+    };
+    let coord = Coordinator::bind("127.0.0.1:0", fast_cfg()).expect("bind");
+    let addr = coord.local_addr().to_string();
+    let worker = {
+        let mut wc = WorkerConfig::new(addr.clone());
+        wc.threads = 2;
+        wc.claim_wait_ms = 100;
+        Worker::join_fleet(wc, slow).expect("join")
+    };
+
+    let clients = 4;
+    let responses: Vec<Json> = thread::scope(|scope| {
+        let handles: Vec<_> = (0..clients)
+            .map(|_| {
+                let addr = addr.clone();
+                scope.spawn(move || {
+                    let mut c = Client::connect(addr.as_str()).expect("connect");
+                    c.vet_source(Some("dup.js"), "var duplicated_content;")
+                        .expect("vet")
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("client")).collect()
+    });
+    for r in &responses {
+        assert_eq!(r["verdict"], "ok");
+        assert_eq!(
+            r["signature"].to_string(),
+            responses[0]["signature"].to_string()
+        );
+    }
+    let stats = coord.stats();
+    let dedup = counter(&stats, "dedup_hits");
+    let store_hits = stats["cache"]["hits"].as_f64().unwrap();
+    // One client computed; every other one either coalesced onto the
+    // in-flight job or (arriving after completion) hit the store.
+    assert_eq!(dedup + store_hits, (clients - 1) as f64, "stats: {stats}");
+    assert_eq!(counter(&stats, "jobs_completed"), 1.0);
+
+    let mut client = Client::connect(addr.as_str()).expect("connect");
+    client.shutdown().expect("shutdown");
+    worker.join();
+    coord.join();
+}
+
+#[test]
+fn worker_shard_answers_when_store_is_disabled() {
+    // result_cap 0 disables the coordinator store, so a resubmission
+    // travels to the worker — whose shard (slots=1: it owns every key)
+    // answers without recomputing.
+    let cfg = FleetConfig {
+        result_cap: 0,
+        slots: 1,
+        ..fast_cfg()
+    };
+    let coord = Coordinator::bind("127.0.0.1:0", cfg).expect("bind");
+    let addr = coord.local_addr().to_string();
+    let worker = {
+        let mut wc = WorkerConfig::new(addr.clone());
+        wc.threads = 1;
+        wc.claim_wait_ms = 100;
+        Worker::join_fleet(wc, stub).expect("join")
+    };
+    assert_eq!(worker.slots(), 1);
+
+    let mut client = Client::connect(addr.as_str()).expect("connect");
+    let first = client.vet_source(None, "var shard;").expect("vet");
+    let second = client.vet_source(None, "var shard;").expect("vet");
+    assert_eq!(first["verdict"], "ok");
+    // Both went through workers (no store), but only one computed.
+    assert_eq!(second["cached"], Json::Bool(false));
+    assert_eq!(
+        second["signature"].to_string(),
+        first["signature"].to_string()
+    );
+    let snap = worker.metrics_snapshot();
+    let shard_hits = snap
+        .counters
+        .iter()
+        .find(|(n, _)| n == "worker_shard_hits")
+        .map_or(0, |(_, v)| *v);
+    let computes = snap
+        .counters
+        .iter()
+        .find(|(n, _)| n == "stub_calls")
+        .map_or(0, |(_, v)| *v);
+    assert_eq!(shard_hits, 1);
+    assert_eq!(computes, 1);
+
+    client.shutdown().expect("shutdown");
+    worker.join();
+    coord.join();
+}
+
+#[test]
+fn reaper_requeues_jobs_from_dead_workers() {
+    let cfg = FleetConfig {
+        heartbeat: Duration::from_millis(40),
+        reap_after: Duration::from_millis(150),
+        ..FleetConfig::default()
+    };
+    let coord = Coordinator::bind("127.0.0.1:0", cfg).expect("bind");
+    let addr = coord.local_addr().to_string();
+
+    // A doomed worker, spoken by hand: join, claim until a job arrives,
+    // then vanish without completing or heartbeating.
+    let mut doomed = Client::connect(addr.as_str()).expect("connect");
+    let ack = doomed.request(&join_request("doomed")).expect("join");
+    let doomed_id = ack["worker"].as_str().expect("worker id").to_owned();
+
+    // Submit from a background thread; it blocks until a live worker
+    // eventually answers.
+    let submit_addr = addr.clone();
+    let submitter = thread::spawn(move || {
+        let mut c = Client::connect(submit_addr.as_str()).expect("connect");
+        c.vet_source(Some("victim.js"), "var victim;").expect("vet")
+    });
+
+    // The doomed worker grabs the job and dies.
+    let job = loop {
+        let resp = doomed.request(&claim_request(&doomed_id, 500)).expect("claim");
+        if resp["kind"] == "job" {
+            break resp;
+        }
+    };
+    assert_eq!(job["kind"], "job");
+    drop(doomed);
+
+    // Wait for the reaper to notice the silence and requeue.
+    let t0 = Instant::now();
+    loop {
+        let stats = coord.stats();
+        if counter(&stats, "jobs_requeued") >= 1.0 {
+            break;
+        }
+        assert!(
+            t0.elapsed() < Duration::from_secs(5),
+            "reaper never requeued: {stats}"
+        );
+        thread::sleep(Duration::from_millis(20));
+    }
+
+    // A live worker joins and rescues the requeued job.
+    let worker = {
+        let mut wc = WorkerConfig::new(addr.clone());
+        wc.threads = 1;
+        wc.claim_wait_ms = 100;
+        Worker::join_fleet(wc, stub).expect("join")
+    };
+    let resp = submitter.join().expect("submitter");
+    assert_eq!(resp["verdict"], "ok", "rescued job must answer: {resp}");
+    assert_eq!(resp["signature"]["len"].as_f64(), Some(11.0));
+
+    let stats = coord.stats();
+    assert_eq!(counter(&stats, "workers_alive"), 1.0, "doomed reaped, live joined");
+    assert!(counter(&stats, "workers_reaped") >= 1.0);
+    assert_eq!(counter(&stats, "jobs_completed"), 1.0);
+
+    let mut client = Client::connect(addr.as_str()).expect("connect");
+    client.shutdown().expect("shutdown");
+    worker.join();
+    coord.join();
+}
+
+#[test]
+fn heartbeats_keep_an_idle_worker_alive() {
+    let cfg = FleetConfig {
+        heartbeat: Duration::from_millis(30),
+        reap_after: Duration::from_millis(120),
+        ..FleetConfig::default()
+    };
+    let coord = Coordinator::bind("127.0.0.1:0", cfg).expect("bind");
+    let addr = coord.local_addr().to_string();
+    let worker = {
+        let mut wc = WorkerConfig::new(addr.clone());
+        wc.threads = 1;
+        // Claim returns fast and the loop mostly sleeps on the
+        // long-poll; liveness must come from the heartbeat thread too.
+        wc.claim_wait_ms = 20;
+        Worker::join_fleet(wc, stub).expect("join")
+    };
+    thread::sleep(Duration::from_millis(500));
+    let stats = coord.stats();
+    assert_eq!(counter(&stats, "workers_alive"), 1.0, "idle worker reaped: {stats}");
+    let mut client = Client::connect(addr.as_str()).expect("connect");
+    let resp = client.vet_source(None, "var still_alive;").expect("vet");
+    assert_eq!(resp["verdict"], "ok");
+    client.shutdown().expect("shutdown");
+    worker.join();
+    coord.join();
+}
+
+#[test]
+fn overload_sheds_with_typed_backpressure() {
+    let cfg = FleetConfig {
+        queue_cap: 1,
+        ..fast_cfg()
+    };
+    // No workers at all: everything pends, the second submission of a
+    // *different* content must shed.
+    let coord = Coordinator::bind("127.0.0.1:0", cfg).expect("bind");
+    let addr = coord.local_addr().to_string();
+    let submit_addr = addr.clone();
+    let blocked = thread::spawn(move || {
+        let mut c = Client::connect(submit_addr.as_str()).expect("connect");
+        c.vet_source(None, "var first;").expect("vet")
+    });
+    // Wait until the first submission is pending.
+    let t0 = Instant::now();
+    while counter(&coord.stats(), "pending") < 1.0 {
+        assert!(t0.elapsed() < Duration::from_secs(5));
+        thread::sleep(Duration::from_millis(10));
+    }
+    let mut c2 = Client::connect(addr.as_str()).expect("connect");
+    let resp = c2.vet_source(None, "var second;").expect("vet");
+    assert_eq!(resp["kind"], "overloaded", "expected shed: {resp}");
+
+    // A worker arrives; the pending job completes; shutdown drains.
+    let worker = {
+        let mut wc = WorkerConfig::new(addr.clone());
+        wc.threads = 1;
+        wc.claim_wait_ms = 50;
+        Worker::join_fleet(wc, stub).expect("join")
+    };
+    let resp = blocked.join().expect("blocked client");
+    assert_eq!(resp["verdict"], "ok");
+    c2.shutdown().expect("shutdown");
+    worker.join();
+    coord.join();
+}
+
+#[test]
+fn shutdown_sheds_pending_and_stops_workers() {
+    // No workers: a pending job must be shed with an error verdict at
+    // shutdown rather than hanging its client forever.
+    let coord = Coordinator::bind("127.0.0.1:0", fast_cfg()).expect("bind");
+    let addr = coord.local_addr().to_string();
+    let submit_addr = addr.clone();
+    let blocked = thread::spawn(move || {
+        let mut c = Client::connect(submit_addr.as_str()).expect("connect");
+        c.vet_source(None, "var doomed_job;").expect("vet")
+    });
+    let t0 = Instant::now();
+    while counter(&coord.stats(), "pending") < 1.0 {
+        assert!(t0.elapsed() < Duration::from_secs(5));
+        thread::sleep(Duration::from_millis(10));
+    }
+    let mut client = Client::connect(addr.as_str()).expect("connect");
+    client.shutdown().expect("shutdown");
+    let resp = blocked.join().expect("blocked client");
+    assert_eq!(resp["kind"], "error", "shed at shutdown: {resp}");
+    coord.join();
+}
+
+#[test]
+fn fleet_metrics_expose_prometheus_text() {
+    let coord = Coordinator::bind("127.0.0.1:0", fast_cfg()).expect("bind");
+    let addr = coord.local_addr().to_string();
+    let worker = Worker::join_fleet(
+        {
+            let mut wc = WorkerConfig::new(addr.clone());
+            wc.threads = 1;
+            wc.claim_wait_ms = 50;
+            wc
+        },
+        stub,
+    )
+    .expect("join");
+    let mut client = Client::connect(addr.as_str()).expect("connect");
+    client.vet_source(None, "var metered;").expect("vet");
+    client.vet_source(None, "var metered;").expect("vet");
+    let resp = client.metrics().expect("metrics");
+    let text = resp["prometheus"].as_str().expect("prometheus text");
+    assert!(sigobs::validate_prometheus_text(text).is_ok());
+    for name in [
+        "fleet_workers_alive",
+        "fleet_jobs_completed",
+        "fleet_claim_wait_us",
+        "fleet_store_hits",
+    ] {
+        assert!(text.contains(name), "missing {name} in:\n{text}");
+    }
+    client.shutdown().expect("shutdown");
+    worker.join();
+    coord.join();
+}

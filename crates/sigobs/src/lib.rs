@@ -25,6 +25,9 @@
 //! * [`alerts`] — declarative health gates over the history ring:
 //!   counter-rate / gauge / cache-hit-ratio / histogram-percentile rules
 //!   evaluated into a pass/fail verdict (`vet metrics-report --gate`).
+//! * [`merge`] — causal merge of per-node fleet logs (coordinator +
+//!   workers) into one globally sequenced log that [`replay`] accepts,
+//!   via a topological sort over node chains and job-lifecycle edges.
 //! * [`SamplePolicy`] — overload-safe log sampling: past a per-window
 //!   threshold, matching events degrade to 1-in-N with counted
 //!   `suppressed` records, and [`replay`] reconciles lifecycles against
@@ -37,8 +40,10 @@ pub mod alerts;
 mod expo;
 mod history;
 mod log;
+pub mod merge;
 pub mod replay;
 
 pub use expo::{prometheus_text, validate_prometheus_text};
+pub use merge::merge_fleet_logs;
 pub use history::{HistoryRecord, MetricsHistory, HISTORY_SCHEMA};
 pub use log::{EventLog, Level, LogTracer, SamplePolicy};

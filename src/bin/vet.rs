@@ -11,6 +11,15 @@
 //!           [--log-sample [EVENT=]N] [--log-sample-threshold R]
 //!           [--alert-rules FILE]
 //!           [--metrics-dir DIR] [--metrics-interval-ms N]
+//! vet serve --join HOST:PORT [--node NAME] [--workers N] [--cache-cap N]
+//!           [--step-budget N] [--deadline-ms N] [--k <depth>]
+//!           [--constant-strings] [--summary-dir DIR]
+//!           [--log FILE] [--log-level LEVEL]
+//! vet coordinate [--addr HOST:PORT] [--queue-cap N] [--cache-cap N]
+//!                [--slots N] [--heartbeat-ms N] [--reap-ms N]
+//!                [--step-budget N] [--deadline-ms N] [--k <depth>]
+//!                [--constant-strings] [--log FILE] [--log-level LEVEL]
+//!                [--metrics-dir DIR] [--metrics-interval-ms N]
 //! vet --client HOST:PORT [<addon.js>... | --stats | --metrics | --shutdown]
 //! vet metrics-report DIR [--gate RULES]
 //! vet corpus-snapshot [--out FILE] [--k <depth>] [--constant-strings] [--summary-dir DIR]
@@ -59,7 +68,22 @@
 //! emitting `alert_fired`/`alert_cleared` log events on threshold
 //! crossings (requires `--metrics-dir`). `--metrics-dir DIR`
 //! snapshots the metrics registry into a bounded on-disk ring every
-//! `--metrics-interval-ms` (default 5000), surviving restarts. `--client` speaks the daemon's NDJSON protocol:
+//! `--metrics-interval-ms` (default 5000), surviving restarts.
+//!
+//! `coordinate` runs the fleet coordinator (`sigfleet`): it owns the
+//! fleet-wide job queue and the shared content-addressed result store,
+//! speaks the same client NDJSON protocol as `serve` (responses are
+//! byte-identical), and hands vet jobs to workers that joined with
+//! `serve --join ADDR`. A worker daemon claims jobs over the wire,
+//! analyzes them locally (same engine, budgets, and `--summary-dir`
+//! incremental store as a standalone daemon), owns the signature-cache
+//! shard for `key % slots == slot`, and posts completions back; missed
+//! heartbeats get a worker reaped and its claimed jobs re-queued, so a
+//! worker killed mid-job costs latency, never a lost job. Per-node
+//! `--log` files merge into one valid lifecycle replay
+//! (`sigobs::merge_fleet_logs`).
+//!
+//! `--client` speaks the daemon's NDJSON protocol:
 //! each named file is vetted (source is read locally and sent inline)
 //! and the response printed one JSON object per line; `--metrics`
 //! prints the daemon's Prometheus text exposition.
@@ -97,6 +121,15 @@ usage:
             [--log-sample [EVENT=]N] [--log-sample-threshold R]
             [--alert-rules FILE]
             [--metrics-dir DIR] [--metrics-interval-ms N]
+  vet serve --join HOST:PORT [--node NAME] [--workers N] [--cache-cap N]
+            [--step-budget N] [--deadline-ms N] [--k <depth>]
+            [--constant-strings] [--summary-dir DIR]
+            [--log FILE] [--log-level error|warn|info|debug]
+  vet coordinate [--addr HOST:PORT] [--queue-cap N] [--cache-cap N] [--slots N]
+                 [--heartbeat-ms N] [--reap-ms N] [--step-budget N]
+                 [--deadline-ms N] [--k <depth>] [--constant-strings]
+                 [--log FILE] [--log-level error|warn|info|debug]
+                 [--metrics-dir DIR] [--metrics-interval-ms N]
   vet --client HOST:PORT [<addon.js>... | --stats | --metrics | --shutdown]
   vet metrics-report DIR [--gate RULES]
   vet corpus-snapshot [--out FILE] [--k <depth>] [--constant-strings] [--summary-dir DIR]
@@ -143,6 +176,21 @@ struct ServeOptions {
     /// `--alert-rules FILE`: in-daemon alerting over the metrics
     /// history (`alert_fired`/`alert_cleared` log events).
     alert_rules: Option<sigobs::alerts::AlertRules>,
+    /// `--join ADDR`: worker mode — claim vet jobs from the fleet
+    /// coordinator at ADDR instead of serving clients directly.
+    join: Option<String>,
+    /// `--node NAME`: worker identity in fleet logs (worker mode only;
+    /// defaults to `worker-<pid>`).
+    node: Option<String>,
+}
+
+/// `vet coordinate` flags.
+struct CoordinateOptions {
+    addr: String,
+    config: sigfleet::FleetConfig,
+    /// `--log FILE` / `--log-level`, same semantics as `serve`.
+    log_file: Option<String>,
+    log_level: Option<sigobs::Level>,
 }
 
 /// What `vet --client` should ask the daemon.
@@ -163,6 +211,9 @@ enum Mode {
     Help,
     Run(Options),
     Serve(ServeOptions),
+    /// `vet coordinate`: fleet coordinator (queue + shared result
+    /// store + worker-join protocol).
+    Coordinate(CoordinateOptions),
     Client(ClientOptions),
     /// `vet metrics-report DIR [--gate RULES]`: render a metrics-history
     /// ring; with `--gate`, also evaluate alert rules (nonzero exit on a
@@ -197,10 +248,14 @@ fn parse_serve_args(mut args: impl Iterator<Item = String>) -> Result<Mode, Stri
     let mut log_sample_threshold: Option<u64> = None;
     let mut summary_dir: Option<String> = None;
     let mut alert_rules: Option<sigobs::alerts::AlertRules> = None;
+    let mut join: Option<String> = None;
+    let mut node: Option<String> = None;
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--addr" => addr = Some(args.next().ok_or("--addr needs HOST:PORT")?),
             "--stdio" => stdio = true,
+            "--join" => join = Some(args.next().ok_or("--join needs HOST:PORT")?),
+            "--node" => node = Some(args.next().ok_or("--node needs a NAME")?),
             "--workers" => config.workers = parse_usize(&mut args, "--workers")?.max(1),
             "--cache-cap" => config.cache_cap = parse_usize(&mut args, "--cache-cap")?,
             "--queue-cap" => queue_cap = Some(parse_usize(&mut args, "--queue-cap")?.max(1)),
@@ -262,6 +317,29 @@ fn parse_serve_args(mut args: impl Iterator<Item = String>) -> Result<Mode, Stri
     if stdio && addr.is_some() {
         return Err("--addr and --stdio are mutually exclusive".to_owned());
     }
+    if join.is_some() {
+        // Worker mode: the coordinator owns the client-facing socket,
+        // the queue, and the metrics surface; flags that configure
+        // those belong on `vet coordinate`, not here.
+        if addr.is_some() || stdio {
+            return Err("--join is mutually exclusive with --addr/--stdio".to_owned());
+        }
+        for (set, flag) in [
+            (queue_cap.is_some(), "--queue-cap"),
+            (alert_rules.is_some(), "--alert-rules"),
+            (config.metrics_dir.is_some(), "--metrics-dir"),
+            (
+                !log_sample.is_empty() || log_sample_threshold.is_some(),
+                "--log-sample",
+            ),
+        ] {
+            if set {
+                return Err(format!("{flag} is not available in --join worker mode"));
+            }
+        }
+    } else if node.is_some() {
+        return Err("--node requires --join".to_owned());
+    }
     if (!log_sample.is_empty() || log_sample_threshold.is_some())
         && log_file.is_none()
         && log_level.is_none()
@@ -287,6 +365,69 @@ fn parse_serve_args(mut args: impl Iterator<Item = String>) -> Result<Mode, Stri
         log_sample_threshold,
         summary_dir,
         alert_rules,
+        join,
+        node,
+    }))
+}
+
+/// `vet coordinate` arguments.
+fn parse_coordinate_args(mut args: impl Iterator<Item = String>) -> Result<Mode, String> {
+    let mut addr = "127.0.0.1:7171".to_owned();
+    let mut config = sigfleet::FleetConfig::default();
+    let mut log_file: Option<String> = None;
+    let mut log_level: Option<sigobs::Level> = None;
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--addr" => addr = args.next().ok_or("--addr needs HOST:PORT")?,
+            "--queue-cap" => config.queue_cap = parse_usize(&mut args, "--queue-cap")?.max(1),
+            "--cache-cap" => config.result_cap = parse_usize(&mut args, "--cache-cap")?,
+            "--slots" => config.slots = parse_usize(&mut args, "--slots")?.max(1),
+            "--heartbeat-ms" => {
+                config.heartbeat =
+                    Duration::from_millis(parse_usize(&mut args, "--heartbeat-ms")?.max(1) as u64)
+            }
+            "--reap-ms" => {
+                config.reap_after =
+                    Duration::from_millis(parse_usize(&mut args, "--reap-ms")?.max(1) as u64)
+            }
+            "--step-budget" => {
+                config.analysis.step_budget = Some(parse_usize(&mut args, "--step-budget")?)
+            }
+            "--deadline-ms" => {
+                config.analysis.deadline =
+                    Some(Duration::from_millis(parse_usize(&mut args, "--deadline-ms")? as u64))
+            }
+            "--k" => config.analysis.context_depth = parse_usize(&mut args, "--k")?,
+            "--constant-strings" => config.analysis.string_domain = StringDomain::ConstantOnly,
+            "--log" => log_file = Some(args.next().ok_or("--log needs a FILE")?),
+            "--log-level" => {
+                let v = args.next().ok_or("--log-level needs a level")?;
+                log_level =
+                    Some(sigobs::Level::parse(&v).ok_or_else(|| format!("bad log level: {v}"))?)
+            }
+            "--metrics-dir" => {
+                config.metrics_dir =
+                    Some(args.next().ok_or("--metrics-dir needs a DIR")?.into())
+            }
+            "--metrics-interval-ms" => {
+                config.metrics_interval = Duration::from_millis(
+                    parse_usize(&mut args, "--metrics-interval-ms")?.max(1) as u64,
+                )
+            }
+            "--help" | "-h" => return Ok(Mode::Help),
+            other => return Err(format!("unknown coordinate flag: {other}")),
+        }
+    }
+    // A reap window at or below the heartbeat interval reaps every
+    // healthy worker between two beats.
+    if config.reap_after <= config.heartbeat {
+        return Err("--reap-ms must exceed --heartbeat-ms".to_owned());
+    }
+    Ok(Mode::Coordinate(CoordinateOptions {
+        addr,
+        config,
+        log_file,
+        log_level,
     }))
 }
 
@@ -359,6 +500,10 @@ fn parse_args() -> Result<Mode, String> {
         Some("serve") => {
             args.next();
             return parse_serve_args(args);
+        }
+        Some("coordinate") => {
+            args.next();
+            return parse_coordinate_args(args);
         }
         Some("--client") => {
             args.next();
@@ -565,6 +710,11 @@ fn vet_corpus(opts: &Options) -> bool {
 /// Runs the vetting daemon until a `shutdown` request (TCP) or stdin EOF
 /// (`--stdio`).
 fn run_serve(mut opts: ServeOptions) -> Result<(), String> {
+    // `--join ADDR`: the daemon becomes a fleet worker instead of
+    // serving clients itself.
+    if let Some(coordinator) = opts.join.take() {
+        return run_worker(opts, coordinator);
+    }
     // An operator-facing daemon dumps its metrics registry on shutdown;
     // embedded servers (tests, benches) keep the default quiet exit.
     opts.config.dump_metrics_on_shutdown = true;
@@ -646,6 +796,74 @@ fn run_serve(mut opts: ServeOptions) -> Result<(), String> {
         (None, None) => sigserve::serve_stdio_traced(opts.config, addon_sig::service_engine_traced)
             .map_err(|e| format!("stdio serve: {e}")),
     }
+}
+
+/// Joins the fleet at `coordinator` as a worker: claims vet jobs over
+/// the NDJSON protocol, analyzes them locally (same engine and budgets
+/// as a standalone daemon, including the `--summary-dir` incremental
+/// store), and posts completions back. Runs until the coordinator
+/// shuts the fleet down or the connection drops.
+fn run_worker(opts: ServeOptions, coordinator: String) -> Result<(), String> {
+    let level = opts.log_level.unwrap_or(sigobs::Level::Info);
+    let log = match &opts.log_file {
+        Some(path) => {
+            Some(sigobs::EventLog::to_file(path, level).map_err(|e| format!("{path}: {e}"))?)
+        }
+        None if opts.log_level.is_some() => Some(sigobs::EventLog::in_memory(level)),
+        None => None,
+    };
+    let log = log.map(std::sync::Arc::new);
+    let mut cfg = sigfleet::WorkerConfig::new(coordinator.clone());
+    cfg.node = opts
+        .node
+        .unwrap_or_else(|| format!("worker-{}", std::process::id()));
+    cfg.threads = opts.config.workers;
+    cfg.cache_cap = opts.config.cache_cap;
+    cfg.analysis = opts.config.analysis.clone();
+    cfg.log = log.clone();
+    let store: Option<std::sync::Arc<dyn SummaryStore>> = match &opts.summary_dir {
+        Some(dir) => Some(std::sync::Arc::new(
+            jsanalysis::DiskSummaryStore::new(dir, SUMMARY_STORE_CAP)
+                .map_err(|e| format!("{dir}: {e}"))?,
+        )),
+        None => None,
+    };
+    let worker = match store {
+        Some(store) => sigfleet::Worker::join_fleet(cfg, move |s, c, m, t| {
+            addon_sig::service_engine_incremental(s, c, m, &store, log.as_deref(), t)
+        }),
+        None => sigfleet::Worker::join_fleet(cfg, addon_sig::service_engine_traced),
+    }
+    .map_err(|e| format!("join {coordinator}: {e}"))?;
+    eprintln!(
+        "sigserve worker {} (cache slot {}/{}) joined fleet at {coordinator}",
+        worker.id(),
+        worker.slot(),
+        worker.slots()
+    );
+    worker.join(); // returns at fleet shutdown or a dropped coordinator
+    Ok(())
+}
+
+/// Runs the fleet coordinator until a client `shutdown` request.
+fn run_coordinate(mut opts: CoordinateOptions) -> Result<(), String> {
+    let level = opts.log_level.unwrap_or(sigobs::Level::Info);
+    let log = match &opts.log_file {
+        Some(path) => {
+            Some(sigobs::EventLog::to_file(path, level).map_err(|e| format!("{path}: {e}"))?)
+        }
+        None if opts.log_level.is_some() => Some(sigobs::EventLog::in_memory(level)),
+        None => None,
+    };
+    opts.config.log = log.map(std::sync::Arc::new);
+    let coordinator = sigfleet::Coordinator::bind(&opts.addr, opts.config)
+        .map_err(|e| format!("bind {}: {e}", opts.addr))?;
+    eprintln!(
+        "sigfleet coordinator listening on {}",
+        coordinator.local_addr()
+    );
+    coordinator.join(); // returns after a shutdown request
+    Ok(())
 }
 
 /// Speaks the NDJSON protocol to a running daemon; prints one compact
@@ -819,6 +1037,15 @@ fn main() -> ExitCode {
                 }
             }
         }
+        Mode::Coordinate(coordinate_opts) => {
+            return match run_coordinate(coordinate_opts) {
+                Ok(()) => ExitCode::SUCCESS,
+                Err(msg) => {
+                    eprintln!("{msg}");
+                    ExitCode::FAILURE
+                }
+            }
+        }
         Mode::Client(client_opts) => {
             return match run_client(client_opts) {
                 Ok(true) => ExitCode::SUCCESS,
@@ -890,5 +1117,95 @@ fn main() -> ExitCode {
         ExitCode::SUCCESS
     } else {
         ExitCode::FAILURE
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(args: &[&str]) -> impl Iterator<Item = String> {
+        args.iter()
+            .map(|s| (*s).to_owned())
+            .collect::<Vec<_>>()
+            .into_iter()
+    }
+
+    #[test]
+    fn serve_join_parses_worker_mode() {
+        let mode = parse_serve_args(argv(&[
+            "--join",
+            "127.0.0.1:7171",
+            "--node",
+            "rack-3",
+            "--workers",
+            "4",
+        ]))
+        .expect("worker mode parses");
+        let Mode::Serve(opts) = mode else {
+            panic!("expected serve mode")
+        };
+        assert_eq!(opts.join.as_deref(), Some("127.0.0.1:7171"));
+        assert_eq!(opts.node.as_deref(), Some("rack-3"));
+        assert_eq!(opts.config.workers, 4);
+    }
+
+    #[test]
+    fn join_conflicts_are_rejected() {
+        for args in [
+            &["--join", "a:1", "--stdio"][..],
+            &["--join", "a:1", "--addr", "b:2"],
+            &["--join", "a:1", "--queue-cap", "4"],
+            &["--join", "a:1", "--metrics-dir", "/tmp/x"],
+            &["--node", "n"], // --node without --join
+        ] {
+            assert!(parse_serve_args(argv(args)).is_err(), "{args:?} should fail");
+        }
+    }
+
+    #[test]
+    fn coordinate_defaults_and_flags_parse() {
+        let Mode::Coordinate(opts) = parse_coordinate_args(argv(&[])).expect("defaults") else {
+            panic!("expected coordinate mode")
+        };
+        assert_eq!(opts.addr, "127.0.0.1:7171");
+        let Mode::Coordinate(opts) = parse_coordinate_args(argv(&[
+            "--addr",
+            "0.0.0.0:9000",
+            "--slots",
+            "16",
+            "--heartbeat-ms",
+            "100",
+            "--reap-ms",
+            "400",
+            "--cache-cap",
+            "64",
+        ]))
+        .expect("flags parse") else {
+            panic!("expected coordinate mode")
+        };
+        assert_eq!(opts.addr, "0.0.0.0:9000");
+        assert_eq!(opts.config.slots, 16);
+        assert_eq!(opts.config.result_cap, 64);
+        assert_eq!(opts.config.heartbeat, Duration::from_millis(100));
+        assert_eq!(opts.config.reap_after, Duration::from_millis(400));
+    }
+
+    #[test]
+    fn coordinate_rejects_reap_within_heartbeat() {
+        match parse_coordinate_args(argv(&["--heartbeat-ms", "500", "--reap-ms", "500"])) {
+            Err(err) => assert!(err.contains("--reap-ms"), "{err}"),
+            Ok(_) => panic!("reap <= heartbeat should be rejected"),
+        }
+    }
+
+    #[test]
+    fn help_goes_to_help_mode_for_fleet_subcommands() {
+        assert!(matches!(parse_coordinate_args(argv(&["--help"])), Ok(Mode::Help)));
+        assert!(matches!(
+            parse_serve_args(argv(&["--join", "a:1", "--help"])),
+            Ok(Mode::Help)
+        ));
+        assert!(parse_coordinate_args(argv(&["--bogus"])).is_err());
     }
 }

@@ -1,0 +1,171 @@
+//! Fleet integration tests on the real pipeline: a worker killed
+//! mid-job must cost latency, not correctness — and the per-node event
+//! logs, including the dead worker's truncated one, must merge into a
+//! single log that replays as valid job lifecycles.
+
+use addon_sig::sigfleet::{protocol, Coordinator, FleetConfig, Worker, WorkerConfig};
+use addon_sig::sigobs::{self, replay::Outcome};
+use addon_sig::sigserve::Client;
+use minijson::Json;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+fn fast_cfg(log: Arc<sigobs::EventLog>) -> FleetConfig {
+    FleetConfig {
+        heartbeat: Duration::from_millis(50),
+        reap_after: Duration::from_millis(250),
+        log: Some(log),
+        ..FleetConfig::default()
+    }
+}
+
+fn mem_log() -> Arc<sigobs::EventLog> {
+    Arc::new(sigobs::EventLog::in_memory(sigobs::Level::Info).with_tail_cap(4096))
+}
+
+fn fleet_stat(coord: &Coordinator, name: &str) -> f64 {
+    coord.stats()["fleet"][name].as_f64().unwrap_or(-1.0)
+}
+
+/// Kill a worker mid-job. The client must still get the correct
+/// verdict (via reap + requeue + a healthy worker), and the merged
+/// per-node logs — coordinator, the dead worker's *truncated* log, and
+/// the rescuer's — must replay as one valid lifecycle per job.
+#[test]
+fn worker_kill_loses_no_jobs_and_merged_log_replays() {
+    const SOURCE: &str = "var held = 'hostage'; var out = held + '!';";
+    let coord_log = mem_log();
+    let coord = Coordinator::bind("127.0.0.1:0", fast_cfg(coord_log.clone())).expect("bind");
+    let addr = coord.local_addr().to_string();
+
+    // Client submits; no worker exists yet, so the job waits in queue.
+    let submit_addr = addr.clone();
+    let submitter = std::thread::spawn(move || {
+        let mut c = Client::connect(submit_addr.as_str()).expect("connect");
+        c.vet_source(Some("held.js"), SOURCE).expect("vet")
+    });
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while fleet_stat(&coord, "pending") < 1.0 {
+        assert!(Instant::now() < deadline, "job never enqueued");
+        std::thread::sleep(Duration::from_millis(5));
+    }
+
+    // A protocol-level worker claims the job and dies mid-analysis: it
+    // logged the dequeue, was SIGKILLed mid-write of the next record,
+    // and never completed or heartbeat again.
+    let doomed_log = {
+        let mut doomed = Client::connect(addr.as_str()).expect("connect doomed");
+        let ack = doomed.request(&protocol::join_request("doomed")).expect("join");
+        assert_eq!(ack["kind"], "join_ack");
+        let wid = ack["worker"].as_str().expect("worker id").to_owned();
+        let job = doomed
+            .request(&protocol::claim_request(&wid, 2_000))
+            .expect("claim");
+        assert_eq!(job["kind"], "job", "doomed worker must claim the job");
+        let job_id = job["job"].as_str().expect("job id").to_owned();
+        format!(
+            "{{\"seq\":0,\"ts_us\":10,\"level\":\"info\",\"event\":\"job_dequeued\",\
+             \"job\":\"{job_id}\"}}\n{{\"seq\":1,\"ts_us\":20,\"event\":\"job_compu"
+        )
+    }; // connection dropped: claimed but never completed
+
+    // The reaper notices the missed heartbeats and requeues.
+    while fleet_stat(&coord, "jobs_requeued") < 1.0 {
+        assert!(Instant::now() < deadline, "reaper never requeued");
+        std::thread::sleep(Duration::from_millis(10));
+    }
+
+    // A healthy worker (real pipeline) joins and rescues the job.
+    let worker_log = mem_log();
+    let mut wc = WorkerConfig::new(addr.clone());
+    wc.node = "rescue".to_owned();
+    wc.threads = 1;
+    wc.claim_wait_ms = 100;
+    wc.log = Some(worker_log.clone());
+    let worker = Worker::join_fleet(wc, addon_sig::service_engine_traced).expect("join");
+
+    let resp = submitter.join().expect("submitter");
+    assert_eq!(resp["verdict"], "ok", "requeued job must still vet");
+    let cold = addon_sig::analyze_addon(SOURCE).expect("cold analysis");
+    assert_eq!(
+        resp["signature"].to_string(),
+        Json::parse(&cold.signature.to_json()).unwrap().to_string(),
+        "rescued job must carry the exact cold signature"
+    );
+    assert_eq!(fleet_stat(&coord, "workers_reaped"), 1.0);
+
+    let mut shut = Client::connect(addr.as_str()).expect("connect");
+    assert_eq!(shut.shutdown().expect("shutdown")["kind"], "shutdown_ack");
+    coord.join();
+    worker.join();
+
+    // Merge all three logs — the doomed one ends in a half-written
+    // line, which the merge must tolerate — and replay the result.
+    coord_log.flush();
+    worker_log.flush();
+    let coord_text = coord_log.tail_lines().join("\n");
+    let worker_text = worker_log.tail_lines().join("\n");
+    let merged = sigobs::merge_fleet_logs(&[
+        ("coord", coord_text.as_str()),
+        ("doomed", doomed_log.as_str()),
+        ("rescue", worker_text.as_str()),
+    ])
+    .expect("merge tolerates the truncated log");
+    let replay = sigobs::replay::replay_log(&merged).expect("merged log replays");
+    let computed = replay
+        .timelines
+        .values()
+        .filter(|t| t.validate() == Ok(Outcome::Computed))
+        .count();
+    assert_eq!(computed, 1, "exactly one computed lifecycle");
+    assert_eq!(replay.presumed_rejected, 0, "no orphaned enqueues");
+    // Both dequeue records (dead claimant + rescuer) survive the merge.
+    let dequeues = merged
+        .lines()
+        .filter(|l| l.contains("\"job_dequeued\""))
+        .count();
+    assert_eq!(dequeues, 2, "both claimants' dequeues are in the merged log");
+}
+
+/// Multi-node fleet responses carry byte-identical signatures to a
+/// cold local analysis — sharding and the shared store never change
+/// the bytes a client sees.
+#[test]
+fn fleet_signatures_match_cold_analysis() {
+    let coord = Coordinator::bind(
+        "127.0.0.1:0",
+        FleetConfig {
+            slots: 4,
+            ..FleetConfig::default()
+        },
+    )
+    .expect("bind");
+    let addr = coord.local_addr().to_string();
+    let workers: Vec<Worker> = (0..2)
+        .map(|i| {
+            let mut wc = WorkerConfig::new(addr.clone());
+            wc.node = format!("node-{i}");
+            wc.threads = 1;
+            wc.claim_wait_ms = 100;
+            Worker::join_fleet(wc, addon_sig::service_engine_traced).expect("join")
+        })
+        .collect();
+    let mut client = Client::connect(addr.as_str()).expect("connect");
+    for addon in corpus::addons().iter().take(3) {
+        let resp = client.vet_source(Some(addon.name), addon.source).expect("vet");
+        assert_eq!(resp["verdict"], "ok", "{}", addon.name);
+        let cold = addon_sig::analyze_addon(addon.source).expect("cold");
+        assert_eq!(
+            resp["signature"].to_string(),
+            Json::parse(&cold.signature.to_json()).unwrap().to_string(),
+            "{}: fleet bytes must match the cold analysis",
+            addon.name
+        );
+    }
+    let mut shut = Client::connect(addr.as_str()).expect("connect");
+    assert_eq!(shut.shutdown().expect("shutdown")["kind"], "shutdown_ack");
+    coord.join();
+    for w in workers {
+        w.join();
+    }
+}
