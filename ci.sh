@@ -46,7 +46,15 @@
 #      snapshot must show >=1.7x 2-node-over-1-node throughput; the
 #      coordinator's metrics history must pass metrics-gate-fleet.json;
 #      and the `coordinate`/`--join` CLI surfaces keep the help/exit
-#      code contract (--help on stdout exit 0, errors exit nonzero).
+#      code contract (--help on stdout exit 0, errors exit nonzero),
+#  11. the many-connection gate: the hostile-client suite (slow-loris,
+#      never-reading flood, mid-request disconnects) must pass, and
+#      `serve_load --connections 10000` must hold 10k mostly-idle
+#      connections (in holder subprocesses, under this container's
+#      20k-fd cap) with an active cache-hit stream whose p99 stays
+#      under 50ms; the daemon's metrics history must pass
+#      metrics-gate-conn.json (>=10k accepts, zero backpressure sheds,
+#      zero deadline misses).
 set -eu
 cd "$(dirname "$0")"
 
@@ -190,5 +198,15 @@ if ./target/release/vet coordinate --heartbeat-ms 500 --reap-ms 500 2> /dev/null
     echo "ci.sh: reap window within one heartbeat must exit nonzero" >&2
     exit 1
 fi
+
+echo "==> many-connection gate (hostile clients + 10k held connections)"
+cargo test --offline -q --test hostile_clients
+rm -rf target/ci_conn_metrics
+./target/release/serve_load --connections 10000 \
+    --out target/BENCH_serve_conn.ci.json --metrics-dir target/ci_conn_metrics
+# The active stream's p99 through 10k parked connections stays sub-50ms.
+awk '/"p99_us"/ { gsub(/[,"]/, ""); if ($2 + 0 < 50000) ok = 1 }
+     END { exit ok ? 0 : 1 }' target/BENCH_serve_conn.ci.json
+./target/release/vet metrics-report target/ci_conn_metrics --gate ci/metrics-gate-conn.json
 
 echo "==> ci.sh: all gates passed"

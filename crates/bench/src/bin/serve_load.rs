@@ -46,7 +46,15 @@
 //!                   causal merge of the per-node event logs that must
 //!                   replay as one valid lifecycle per job. Writes
 //!                   `BENCH_fleet.json` (default at the repo root).
-//! - `--metrics-dir DIR`  (fleet mode) coordinator metrics-history
+//! - `--connections N`  many-connection benchmark for the event-driven
+//!                   server core: hold N mostly-idle connections open
+//!                   (in re-exec'd holder subprocesses, since this
+//!                   container caps any one process at 20k fds) with a
+//!                   slow connect/close churn, then measure an active
+//!                   cache-hit request stream through the crowd. Writes
+//!                   `BENCH_serve_conn.json` (default at the repo root);
+//!                   ci.sh gates its active p99.
+//! - `--metrics-dir DIR`  (fleet + connections modes) metrics-history
 //!                   ring, for `vet metrics-report --gate`
 
 use minijson::Json;
@@ -104,12 +112,22 @@ fn corpus_round(client: &mut Client, addons: &[corpus::Addon]) -> Vec<u128> {
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    // Hidden holder mode (re-exec'd by --connections): not part of the
+    // flag grammar below because it is an internal protocol, not a UI.
+    if args.first().map(String::as_str) == Some("--hold") {
+        let addr = args.get(1).expect("--hold ADDR N CHURN_MS");
+        let n: usize = args.get(2).and_then(|s| s.parse().ok()).expect("--hold N");
+        let churn_ms: u64 = args.get(3).and_then(|s| s.parse().ok()).expect("--hold CHURN_MS");
+        run_hold(addr, n, churn_ms);
+        return;
+    }
     let mut clients = 4usize;
     let mut rounds = 3usize;
     let mut workers = 4usize;
     let mut check = false;
     let mut out: Option<String> = None;
     let mut fleet: Option<usize> = None;
+    let mut connections: Option<usize> = None;
     let mut metrics_dir: Option<String> = None;
     let mut i = 0;
     while i < args.len() {
@@ -135,6 +153,10 @@ fn main() {
                 i += 1;
                 fleet = Some(args[i].parse().expect("--fleet N"));
             }
+            "--connections" => {
+                i += 1;
+                connections = Some(args[i].parse().expect("--connections N"));
+            }
             "--metrics-dir" => {
                 i += 1;
                 metrics_dir = Some(args[i].clone());
@@ -151,6 +173,13 @@ fn main() {
             format!("{}/../../BENCH_fleet.json", env!("CARGO_MANIFEST_DIR"))
         });
         run_fleet(nodes.max(1), &out, metrics_dir);
+        return;
+    }
+    if let Some(total) = connections {
+        let out = out.unwrap_or_else(|| {
+            format!("{}/../../BENCH_serve_conn.json", env!("CARGO_MANIFEST_DIR"))
+        });
+        run_connections(total.max(1), workers, &out, metrics_dir);
         return;
     }
     if check {
@@ -199,10 +228,11 @@ fn main() {
     // end-to-end; the measured modes keep the plain engine so the
     // trajectory numbers in BENCH_serve.json stay comparable.
     let summary_store = check.then(|| Arc::new(jsanalysis::MemorySummaryStore::new(1024)));
+    let builder = Server::builder().config(cfg).addr("127.0.0.1:0");
     let server = if let Some(store) = &summary_store {
         let store: Arc<dyn jsanalysis::SummaryStore> = Arc::clone(store) as _;
         let engine_log = log.clone();
-        Server::bind_traced("127.0.0.1:0", cfg, move |src, config, metrics, trace| {
+        builder.analyze_traced(move |src, config, metrics, trace| {
             addon_sig::service_engine_incremental(
                 src,
                 config,
@@ -213,8 +243,9 @@ fn main() {
             )
         })
     } else {
-        Server::bind_traced("127.0.0.1:0", cfg, addon_sig::service_engine_traced)
+        builder.analyze_traced(addon_sig::service_engine_traced)
     }
+    .start()
     .expect("bind daemon");
     let addr = server.local_addr();
     println!(
@@ -528,6 +559,198 @@ fn main() {
     doc.set("cache", cache_json);
 
     std::fs::write(&out, doc.to_string_pretty() + "\n").expect("write snapshot");
+    println!("wrote {out}");
+}
+
+/// Holder subprocess for `--connections`: opens `n` connections to the
+/// daemon at `addr`, reports `ready` on stdout, then slowly churns them
+/// (close one, open one, every `churn_ms`) until stdin says `quit` or
+/// closes. Holding the client fds in subprocesses keeps the parent —
+/// which IS the daemon process — under the container's 20k-fd cap while
+/// still presenting the server with the full connection count.
+fn run_hold(addr: &str, n: usize, churn_ms: u64) {
+    use std::io::{BufRead, Write};
+    use std::net::TcpStream;
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::time::Duration;
+
+    // The listener's accept backlog is finite; a connect that loses the
+    // race just backs off and retries instead of aborting the bench.
+    fn connect(addr: &str) -> TcpStream {
+        let mut delay = 1u64;
+        loop {
+            match TcpStream::connect(addr) {
+                Ok(s) => return s,
+                Err(_) => {
+                    std::thread::sleep(Duration::from_millis(delay));
+                    delay = (delay * 2).min(100);
+                }
+            }
+        }
+    }
+
+    let mut held: Vec<TcpStream> = (0..n).map(|_| connect(addr)).collect();
+    println!("ready {n}");
+    std::io::stdout().flush().expect("flush ready");
+
+    let quit = Arc::new(AtomicBool::new(false));
+    {
+        let quit = Arc::clone(&quit);
+        std::thread::spawn(move || {
+            let mut line = String::new();
+            let _ = std::io::stdin().lock().read_line(&mut line); // quit or EOF
+            quit.store(true, Ordering::SeqCst);
+        });
+    }
+    let mut i = 0usize;
+    while !quit.load(Ordering::SeqCst) {
+        std::thread::sleep(Duration::from_millis(churn_ms));
+        if held.is_empty() {
+            continue;
+        }
+        // Replace one held connection: the daemon sees a close and a
+        // fresh accept while the other n-1 stay parked.
+        let slot = i % held.len();
+        held[slot] = connect(addr);
+        i += 1;
+    }
+}
+
+/// `--connections N`: the many-connection benchmark for the event-driven
+/// server core. Parks N mostly-idle connections (held by re-exec'd
+/// subprocesses, `run_hold`), keeps a slow accept/close churn going, and
+/// measures an active cache-hit request stream threading through the
+/// crowd. Asserts nothing was shed and writes `BENCH_serve_conn.json`.
+fn run_connections(total: usize, workers: usize, out: &str, metrics_dir: Option<String>) {
+    use std::io::{BufRead, Write};
+    use std::time::Duration;
+
+    const HOLDERS: usize = 4;
+    const CHURN_MS: u64 = 25;
+    const ACTIVE_REQUESTS: usize = 2000;
+
+    let cfg = ServeConfig {
+        workers,
+        metrics_dir: metrics_dir.map(Into::into),
+        metrics_interval: Duration::from_millis(100),
+        ..ServeConfig::default()
+    };
+    let server = Server::builder()
+        .config(cfg)
+        .addr("127.0.0.1:0")
+        .analyze_traced(addon_sig::service_engine_traced)
+        .start()
+        .expect("bind daemon");
+    let addr = server.local_addr().to_string();
+    println!("serve_load --connections: daemon on {addr}, target {total} held connections");
+
+    let exe = std::env::current_exe().expect("current_exe");
+    let mut children = Vec::new();
+    let mut remaining = total;
+    for h in 0..HOLDERS {
+        let share = remaining / (HOLDERS - h);
+        remaining -= share;
+        let child = std::process::Command::new(&exe)
+            .args(["--hold", &addr, &share.to_string(), &CHURN_MS.to_string()])
+            .stdin(std::process::Stdio::piped())
+            .stdout(std::process::Stdio::piped())
+            .spawn()
+            .expect("spawn holder");
+        children.push(child);
+    }
+    // Each holder prints `ready` only once all its connections are
+    // established; reading the lines is the startup barrier.
+    for child in &mut children {
+        let stdout = child.stdout.take().expect("holder stdout");
+        let mut line = String::new();
+        std::io::BufReader::new(stdout)
+            .read_line(&mut line)
+            .expect("holder ready line");
+        assert!(line.starts_with("ready"), "holder said {line:?}");
+    }
+
+    let mut probe = Client::connect(addr.as_str()).expect("connect probe");
+    let deadline = Instant::now() + Duration::from_secs(30);
+    let open_with_load = loop {
+        let open = probe.stats().expect("stats")["conns"]["open"]
+            .as_f64()
+            .expect("conns.open");
+        // Churn briefly dips below `total`; +1 is the probe itself.
+        if open >= total as f64 {
+            break open;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "daemon never reported {total} open connections (saw {open})"
+        );
+        std::thread::sleep(Duration::from_millis(50));
+    };
+    println!("held: {open_with_load} connections open (target {total})");
+
+    // Active stream through the crowd: one cold vet to warm the cache,
+    // then pure cache-hit round trips — the latency an addon market's
+    // live submitter sees while thousands of idle consoles stay parked.
+    const ACTIVE_SOURCE: &str = "var active = content.location.href;";
+    let warm = probe.vet_source(Some("active"), ACTIVE_SOURCE).expect("warm vet");
+    assert_eq!(warm["verdict"], "ok");
+    let micros: Vec<u128> = (0..ACTIVE_REQUESTS)
+        .map(|_| {
+            let t0 = Instant::now();
+            let resp = probe.vet_source(Some("active"), ACTIVE_SOURCE).expect("active vet");
+            let micros = t0.elapsed().as_micros();
+            assert_eq!(resp["verdict"], "ok");
+            micros
+        })
+        .collect();
+    let active = latency_stats(micros);
+    println!(
+        "active stream: {ACTIVE_REQUESTS} cache-hit requests, p50 {:.0}µs p99 {:.0}µs",
+        active.p50, active.p99
+    );
+
+    let stats = probe.stats().expect("final stats");
+    let conn_stat = |name: &str| stats["conns"][name].as_f64().unwrap_or(-1.0);
+    assert!(
+        conn_stat("accepted") >= total as f64,
+        "daemon must have accepted at least {total} connections"
+    );
+    assert!(conn_stat("closed") >= 1.0, "churn must close connections");
+    assert_eq!(
+        conn_stat("backpressure_sheds"),
+        0.0,
+        "idle holders read nothing but owe nothing; no sheds expected"
+    );
+
+    // Tear down: holders first (so the daemon drains their closes), then
+    // the daemon itself.
+    for child in &mut children {
+        let mut stdin = child.stdin.take().expect("holder stdin");
+        let _ = stdin.write_all(b"quit\n");
+    }
+    for mut child in children {
+        let status = child.wait().expect("holder wait");
+        assert!(status.success(), "holder exited {status}");
+    }
+    let ack = probe.shutdown().expect("shutdown");
+    assert_eq!(ack["kind"], "shutdown_ack");
+    server.join();
+
+    let mut doc = Json::obj();
+    doc.set("schema", Json::from(1u32));
+    doc.set("connections", Json::from(total as f64));
+    doc.set("holders", Json::from(HOLDERS as f64));
+    doc.set("churn_ms", Json::from(CHURN_MS as f64));
+    doc.set("workers", Json::from(workers as f64));
+    doc.set("active_requests", Json::from(ACTIVE_REQUESTS as f64));
+    doc.set("active", stats_json(&active));
+    let mut conns = Json::obj();
+    conns.set("open_with_load", Json::from(open_with_load));
+    conns.set("accepted", Json::from(conn_stat("accepted")));
+    conns.set("closed", Json::from(conn_stat("closed")));
+    conns.set("backpressure_sheds", Json::from(conn_stat("backpressure_sheds")));
+    conns.set("deadline_misses", Json::from(conn_stat("deadline_misses")));
+    doc.set("conns", conns);
+    std::fs::write(out, doc.to_string_pretty() + "\n").expect("write conn snapshot");
     println!("wrote {out}");
 }
 

@@ -726,11 +726,39 @@ fn serve_lines(shared: &Shared, reader: impl BufRead, mut writer: impl Write) ->
 }
 
 fn handle_conn(shared: &Shared, stream: TcpStream) {
+    // Same `conn_accepted`/`conn_closed` lifecycle events the sigserve
+    // event loop emits, so fleet logs replay under the one validator.
+    static CONN_SEQ: AtomicU64 = AtomicU64::new(0);
+    let cid = format!("fc-{}", CONN_SEQ.fetch_add(1, Ordering::Relaxed));
+    let peer = stream
+        .peer_addr()
+        .map(|a| a.to_string())
+        .unwrap_or_else(|_| "?".to_owned());
+    shared.log_event(
+        Level::Debug,
+        "conn_accepted",
+        &[
+            ("conn", Json::from(cid.as_str())),
+            ("peer", Json::from(peer.as_str())),
+        ],
+    );
     let _ = stream.set_nodelay(true);
-    let Ok(reader) = stream.try_clone() else {
-        return;
+    let reason = match stream.try_clone() {
+        Ok(reader) => match serve_lines(shared, BufReader::new(reader), stream) {
+            Ok(true) => "shutdown",
+            Ok(false) => "eof",
+            Err(_) => "io_error",
+        },
+        Err(_) => "io_error",
     };
-    let _ = serve_lines(shared, BufReader::new(reader), stream);
+    shared.log_event(
+        Level::Debug,
+        "conn_closed",
+        &[
+            ("conn", Json::from(cid.as_str())),
+            ("reason", Json::from(reason)),
+        ],
+    );
 }
 
 /// Spawns the reaper: workers whose `last_seen` is older than

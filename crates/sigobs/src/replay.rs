@@ -495,6 +495,30 @@ mod tests {
     }
 
     #[test]
+    fn connection_lifecycle_events_ride_along() {
+        // The event-driven server narrates connections too:
+        // conn_accepted / conn_closed / write_backpressure / job_deadline
+        // carry a `conn` (or `job`) field but are not part of any job's
+        // enqueue→done chain. Replay must accept them interleaved — and
+        // a deadline-fired job still validates because the worker's late
+        // completion posts the terminal job_done.
+        let log = [
+            line(0, "conn_accepted", &[("conn", Json::from("c-0")), ("peer", Json::from("127.0.0.1:9"))]),
+            line(1, "job_enqueued", &[("job", Json::from("j-0"))]),
+            line(2, "job_dequeued", &[("job", Json::from("j-0"))]),
+            line(3, "write_backpressure", &[("conn", Json::from("c-0")), ("queued_bytes", Json::from(70000.0)), ("capacity_bytes", Json::from(65536.0))]),
+            line(4, "job_deadline", &[("job", Json::from("j-0")), ("deadline_ms", Json::from(50.0))]),
+            line(5, "conn_closed", &[("conn", Json::from("c-0")), ("reason", Json::from("eof"))]),
+            line(6, "job_computed", &[("job", Json::from("j-0")), ("verdict", Json::from("pass"))]),
+            line(7, "job_done", &[("job", Json::from("j-0"))]),
+        ]
+        .join("\n");
+        let replay = replay_log(&log).expect("connection events are accepted");
+        assert_eq!(replay.timelines.len(), 1);
+        assert_eq!(replay.timelines["j-0"].validate(), Ok(Outcome::Computed));
+    }
+
+    #[test]
     fn coalesced_jobs_share_a_producer() {
         let log = [
             line(0, "job_enqueued", &[("job", Json::from("j-0"))]),

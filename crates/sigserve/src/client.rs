@@ -1,17 +1,26 @@
 //! A minimal blocking client for the NDJSON protocol.
 //!
 //! One request line out, one response line back, strictly in order; used
-//! by `vet --client`, the integration tests, and the `serve_load` bench.
+//! by `vet --client`, the sigfleet worker's coordinator link, the
+//! integration tests, and the `serve_load` bench. Inbound framing goes
+//! through the same [`crate::conn::LineBuf`] the event-driven server
+//! uses, so every path in the repo reassembles NDJSON lines with one
+//! piece of code.
 
+use crate::conn::LineBuf;
 use crate::protocol::vet_request;
 use minijson::Json;
-use std::io::{self, BufRead, BufReader, Write};
+use std::io::{self, Read, Write};
 use std::net::{TcpStream, ToSocketAddrs};
+
+/// Response lines can carry whole signatures plus a log tail; cap a
+/// single line at something generous rather than unbounded.
+const MAX_RESPONSE_LINE: usize = 64 * 1024 * 1024;
 
 /// A connected protocol client.
 pub struct Client {
-    writer: TcpStream,
-    reader: BufReader<TcpStream>,
+    stream: TcpStream,
+    rbuf: LineBuf,
 }
 
 fn bad_data(msg: String) -> io::Error {
@@ -21,12 +30,14 @@ fn bad_data(msg: String) -> io::Error {
 impl Client {
     /// Connects to a running daemon.
     pub fn connect(addr: impl ToSocketAddrs) -> io::Result<Client> {
-        let writer = TcpStream::connect(addr)?;
+        let stream = TcpStream::connect(addr)?;
         // Request/response lines are tiny; leaving Nagle on costs a
         // delayed-ACK round trip (~40ms) per message.
-        writer.set_nodelay(true)?;
-        let reader = BufReader::new(writer.try_clone()?);
-        Ok(Client { writer, reader })
+        stream.set_nodelay(true)?;
+        Ok(Client {
+            stream,
+            rbuf: LineBuf::new(MAX_RESPONSE_LINE),
+        })
     }
 
     /// Sends one raw line and parses the one-line response. The protocol
@@ -38,16 +49,37 @@ impl Client {
         let mut framed = String::with_capacity(line.len() + 1);
         framed.push_str(line);
         framed.push('\n');
-        self.writer.write_all(framed.as_bytes())?;
-        self.writer.flush()?;
-        let mut resp = String::new();
-        if self.reader.read_line(&mut resp)? == 0 {
-            return Err(io::Error::new(
-                io::ErrorKind::UnexpectedEof,
-                "daemon closed the connection",
-            ));
-        }
+        self.stream.write_all(framed.as_bytes())?;
+        self.stream.flush()?;
+        let resp = self.read_line()?;
         Json::parse(resp.trim_end()).map_err(|e| bad_data(format!("bad response line: {e}")))
+    }
+
+    /// Blocks until one complete response line is buffered.
+    fn read_line(&mut self) -> io::Result<String> {
+        let mut chunk = [0u8; 16 * 1024];
+        loop {
+            match self.rbuf.next_line() {
+                Some(Ok(line)) => return Ok(line),
+                Some(Err(e)) => return Err(bad_data(format!("bad response line: {e}"))),
+                None => {}
+            }
+            match self.stream.read(&mut chunk) {
+                Ok(0) => {
+                    return Err(io::Error::new(
+                        io::ErrorKind::UnexpectedEof,
+                        "daemon closed the connection",
+                    ))
+                }
+                Ok(n) => {
+                    if !self.rbuf.extend(&chunk[..n]) {
+                        return Err(bad_data("response line exceeds maximum length".to_owned()));
+                    }
+                }
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(e),
+            }
+        }
     }
 
     /// Sends one request document and returns the parsed response.

@@ -46,7 +46,11 @@
 //!     )
 //! }
 //!
-//! let server = Server::bind("127.0.0.1:0", ServeConfig::default(), analyze)?;
+//! let server = Server::builder()
+//!     .config(ServeConfig::default())
+//!     .addr("127.0.0.1:0")
+//!     .analyze(analyze)
+//!     .start()?;
 //! let mut client = Client::connect(server.local_addr())?;
 //! let resp = client.vet_source(Some("tiny"), "var x = 1;")?;
 //! assert_eq!(resp["verdict"], "ok");
@@ -60,6 +64,8 @@
 
 pub mod cache;
 pub mod client;
+pub mod conn;
+pub mod poller;
 pub mod protocol;
 pub mod queue;
 pub mod server;
@@ -67,9 +73,12 @@ pub mod stats;
 
 pub use cache::{cache_key, cache_key_for, CacheCounters, SigCache};
 pub use client::Client;
+pub use poller::Backend;
 pub use protocol::{parse_request, Request, Source, VetItem};
 pub use queue::{Bounded, PushError};
-pub use server::{serve_stdio, serve_stdio_traced, ServeConfig, Server};
+#[allow(deprecated)]
+pub use server::{serve_stdio, serve_stdio_traced};
+pub use server::{ServeConfig, Server, ServerBuilder};
 pub use stats::{metrics_json, Stats};
 /// Re-exported from `sigobs`: the structured event log `ServeConfig`
 /// can attach so every job lifecycle lands in a JSONL stream, plus the

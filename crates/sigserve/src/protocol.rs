@@ -138,6 +138,23 @@ pub fn overloaded_response(name: Option<&str>, queued: usize, capacity: usize) -
     o
 }
 
+/// The typed *write* backpressure response: the connection's outbound
+/// buffer is full because the client is not reading its responses, so
+/// new vet work on this connection is shed instead of queued. Distinct
+/// from [`overloaded_response`] (a daemon-wide full job queue) via the
+/// `reason` field and byte-denominated bounds.
+pub fn backpressure_response(name: Option<&str>, queued_bytes: usize, capacity_bytes: usize) -> Json {
+    let mut o = Json::obj();
+    o.set("kind", Json::from("overloaded"));
+    o.set("reason", Json::from("write_backpressure"));
+    if let Some(n) = name {
+        o.set("name", Json::from(n));
+    }
+    o.set("queued_bytes", Json::from(queued_bytes as f64));
+    o.set("capacity_bytes", Json::from(capacity_bytes as f64));
+    o
+}
+
 /// Wraps a cached-or-computed core result (its fields start at
 /// `"verdict"`) with per-request provenance: the display name, the
 /// request ID (when the daemon assigned one), whether the cache

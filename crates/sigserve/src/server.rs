@@ -1,17 +1,31 @@
-//! The daemon itself: shared state, the worker pool, the per-connection
-//! protocol loop, and the TCP / stdio front ends.
+//! The daemon itself: shared state, the worker pool, the event-driven
+//! connection core, and the TCP / stdio front ends.
+//!
+//! TCP connections are served by a single readiness-driven event loop
+//! (`sigserve-loop`) over nonblocking sockets and a [`crate::poller`]
+//! backend (epoll on Linux, `poll(2)` fallback): thousands of idle or
+//! slow connections cost one registered fd each, not one parked thread.
+//! Inbound bytes reassemble into NDJSON lines via [`crate::conn::LineBuf`];
+//! outbound responses queue in a per-connection [`crate::conn::WriteBuf`]
+//! so a client that stops reading exerts *backpressure* instead of
+//! blocking a handler: past a soft cap its new vet items are shed with a
+//! typed `overloaded` (reason `write_backpressure`) response, and past
+//! the hard cap the connection is closed. Workers never touch sockets —
+//! they post finished cores to a completion queue and wake the loop
+//! through a pipe, which also decouples request *deadlines* (answered
+//! `timeout` by the loop) from worker scheduling.
 //!
 //! Data flow for one `vet` request:
 //!
 //! ```text
-//! connection handler ──cache get──> hit ──> respond (cached:true, µs)
-//!        │ miss
-//!        ├─ queue full ──> respond overloaded (typed backpressure)
-//!        └─ try_push(Job{key, source, resp}) ──> worker pool
-//!                                                  │ peek cache (dedupe)
-//!                                                  │ analyze under budget
-//!                                                  │ insert cache
-//!        respond (cached:false) <──mpsc── core result
+//! event loop ──cache get──> hit ──> respond (cached:true, µs)
+//!      │ miss
+//!      ├─ queue full ──> respond overloaded (typed backpressure)
+//!      └─ try_push(Job{key, source, resp}) ──> worker pool
+//!                                                │ peek cache (dedupe)
+//!                                                │ analyze under budget
+//!                                                │ insert cache
+//!      completion queue + waker pipe <──post──── core result
 //! ```
 //!
 //! Workers never die on behalf of a job: a runaway analysis is cut off by
@@ -22,11 +36,17 @@
 //! the worker keeps serving. Shared-state mutexes recover from
 //! poisoning rather than propagate it, so a single panic can never
 //! cascade into every subsequent handler.
+//!
+//! Construction goes through [`Server::builder`]; the legacy
+//! `bind`/`bind_traced`/`serve_stdio`/`serve_stdio_traced` entry points
+//! remain as deprecated shims.
 
 use crate::cache::{cache_key, SigCache};
+use crate::conn::{LineBuf, WriteBuf};
+use crate::poller::{self, Backend, Interest, Poller, WakeRx};
 use crate::protocol::{
-    error_response, metrics_response, overloaded_response, parse_request, vet_response, Request,
-    Source, VetItem,
+    backpressure_response, error_response, metrics_response, overloaded_response, parse_request,
+    vet_response, Request, Source, VetItem,
 };
 use crate::queue::{Bounded, PushError};
 use crate::stats::{metrics_json, Stats};
@@ -35,10 +55,12 @@ use jsanalysis::AnalysisConfig;
 use minijson::Json;
 use sigobs::{EventLog, Level, LogTracer};
 use sigtrace::Trace;
-use std::io::{self, BufRead, BufReader, Write};
+use std::collections::{HashMap, VecDeque};
+use std::io::{self, BufRead, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::path::PathBuf;
+use std::os::fd::AsRawFd;
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{mpsc, Arc, Mutex, PoisonError};
 use std::thread::JoinHandle;
@@ -81,6 +103,28 @@ pub struct ServeConfig {
     /// `alert_fired` / `alert_cleared` log events. Needs
     /// [`ServeConfig::metrics_dir`]; default `None`.
     pub alert_rules: Option<sigobs::alerts::AlertRules>,
+    /// Close a TCP connection that has been completely quiet — no
+    /// buffered input, no pending jobs, nothing left to write — for this
+    /// long (`vet serve --idle-timeout-ms`). Default `None`: never.
+    pub idle_timeout: Option<Duration>,
+    /// Answer an in-flight vet request with a typed `timeout` (reason
+    /// `deadline`) if its worker has not finished within this budget
+    /// (`vet serve --request-deadline-ms`); the worker keeps running and
+    /// its eventual result still lands in the cache. Default `None`.
+    pub request_deadline: Option<Duration>,
+    /// Soft cap on a connection's queued outbound bytes (default
+    /// 256 KiB). Past it, new vet items on that connection are shed with
+    /// a typed `write_backpressure` response; past **4×** this cap the
+    /// connection is closed outright.
+    pub outbuf_cap: usize,
+    /// Longest accepted request line in bytes (default 64 MiB). An
+    /// unterminated line beyond it gets an error response and the
+    /// connection is drained and closed.
+    pub max_line_bytes: usize,
+    /// Readiness backend for the event loop (default: epoll on Linux,
+    /// `poll(2)` elsewhere). Tests pin [`Backend::Poll`] to keep the
+    /// fallback honest.
+    pub poller_backend: Backend,
 }
 
 impl Default for ServeConfig {
@@ -97,7 +141,70 @@ impl Default for ServeConfig {
             metrics_interval: Duration::from_secs(5),
             metrics_history_cap: 256,
             alert_rules: None,
+            idle_timeout: None,
+            request_deadline: None,
+            outbuf_cap: 256 * 1024,
+            max_line_bytes: 64 * 1024 * 1024,
+            poller_backend: Backend::default(),
         }
+    }
+}
+
+/// Where a finished job's core result goes: a blocking channel (stdio
+/// front end, unit tests) or the event loop's completion queue.
+enum Completion {
+    /// The submitter blocks on the paired receiver (`await_vet`).
+    Channel(mpsc::Sender<Json>),
+    /// The submitter is the event loop: post under the job token and
+    /// wake it.
+    Posted {
+        token: u64,
+        queue: Arc<CompletionQueue>,
+    },
+}
+
+impl Completion {
+    fn deliver(self, core: Json) {
+        match self {
+            // A disconnected submitter is fine; the result is cached
+            // anyway.
+            Completion::Channel(tx) => {
+                let _ = tx.send(core);
+            }
+            Completion::Posted { token, queue } => queue.post(token, core),
+        }
+    }
+}
+
+/// Finished cores posted by workers for the event loop, plus the waker
+/// that interrupts its parked [`Poller::wait`].
+struct CompletionQueue {
+    done: Mutex<Vec<(u64, Json)>>,
+    waker: poller::Waker,
+}
+
+impl CompletionQueue {
+    fn new(waker: poller::Waker) -> CompletionQueue {
+        CompletionQueue {
+            done: Mutex::new(Vec::new()),
+            waker,
+        }
+    }
+
+    fn post(&self, token: u64, core: Json) {
+        self.done
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .push((token, core));
+        self.waker.wake();
+    }
+
+    fn drain(&self) -> Vec<(u64, Json)> {
+        std::mem::take(&mut *self.done.lock().unwrap_or_else(PoisonError::into_inner))
+    }
+
+    fn wake(&self) {
+        self.waker.wake();
     }
 }
 
@@ -108,10 +215,10 @@ struct Job {
     id: String,
     key: u64,
     source: String,
-    resp: mpsc::Sender<Json>,
+    resp: Completion,
 }
 
-/// State shared by the acceptor, connection handlers, and workers.
+/// State shared by the event loop, stdio front end, and workers.
 struct Shared {
     analysis: AnalysisConfig,
     /// `analysis.canonical_string()`, computed once: the config half of
@@ -133,13 +240,21 @@ struct Shared {
     metrics_interval: Duration,
     metrics_history_cap: u64,
     alert_rules: Option<sigobs::alerts::AlertRules>,
-    /// Bound address in TCP mode; used to poke the blocked acceptor on
-    /// shutdown. `None` in stdio mode.
-    addr: Option<SocketAddr>,
+    idle_timeout: Option<Duration>,
+    request_deadline: Option<Duration>,
+    outbuf_cap: usize,
+    max_line_bytes: usize,
+    /// The event loop's completion queue in TCP mode; `None` in stdio
+    /// mode and unit tests. Shutdown wakes the loop through its waker.
+    completions: Option<Arc<CompletionQueue>>,
 }
 
 impl Shared {
-    fn new(cfg: ServeConfig, analyze: Box<AnalyzeJobFn>, addr: Option<SocketAddr>) -> Shared {
+    fn new(
+        cfg: ServeConfig,
+        analyze: Box<AnalyzeJobFn>,
+        completions: Option<Arc<CompletionQueue>>,
+    ) -> Shared {
         Shared {
             config_canon: cfg.analysis.canonical_string(),
             workers: cfg.workers.max(1),
@@ -157,7 +272,11 @@ impl Shared {
             metrics_interval: cfg.metrics_interval,
             metrics_history_cap: cfg.metrics_history_cap,
             alert_rules: cfg.alert_rules,
-            addr,
+            idle_timeout: cfg.idle_timeout,
+            request_deadline: cfg.request_deadline,
+            outbuf_cap: cfg.outbuf_cap.max(1024),
+            max_line_bytes: cfg.max_line_bytes.max(1024),
+            completions,
         }
     }
 
@@ -193,6 +312,14 @@ impl Shared {
             ("serve_protocol_errors", read(&self.stats.protocol_errors)),
             ("serve_cache_entries", cache.entries),
             ("serve_cache_evictions", cache.evictions),
+            ("serve_conns_open", read(&self.stats.conns_open)),
+            ("serve_conn_accepted", read(&self.stats.conn_accepted)),
+            ("serve_conn_closed", read(&self.stats.conn_closed)),
+            (
+                "serve_conn_backpressure_sheds",
+                read(&self.stats.conn_backpressure_sheds),
+            ),
+            ("serve_deadline_misses", read(&self.stats.deadline_misses)),
         ];
         for (name, v) in extra {
             snap.counters.push((name.to_owned(), v));
@@ -378,8 +505,7 @@ fn worker_loop(shared: &Shared) {
             }
         };
         Stats::incr(&shared.stats.jobs_completed);
-        // A disconnected submitter is fine; the result is cached anyway.
-        let _ = job.resp.send(core);
+        job.resp.deliver(core);
     }
 }
 
@@ -398,7 +524,29 @@ enum PendingVet {
     },
 }
 
-fn submit_vet(shared: &Shared, item: VetItem) -> PendingVet {
+/// What `submit_vet_with` did with an item: answered it immediately, or
+/// enqueued it (the caller's `make_resp` closure was invoked exactly
+/// once to wire up the completion path).
+enum Submitted {
+    /// Answered without a worker; terminal log events already written.
+    Ready(Json),
+    /// Admitted to the worker queue under `id`.
+    Enqueued {
+        id: String,
+        name: Option<String>,
+        t0: Instant,
+    },
+}
+
+/// The submission path shared by the blocking front end and the event
+/// loop: cache probe, shed-on-overload, enqueue. `make_resp` is called
+/// exactly once, at the moment a job is actually pushed, so each caller
+/// chooses how the finished core comes back (channel vs. posted).
+fn submit_vet_with(
+    shared: &Shared,
+    item: VetItem,
+    make_resp: &mut dyn FnMut() -> Completion,
+) -> Submitted {
     let t0 = Instant::now();
     let (name, source) = match item.source {
         Source::Inline(s) => (item.name, s),
@@ -419,7 +567,7 @@ fn submit_vet(shared: &Shared, item: VetItem) -> PendingVet {
                 let mut core = Json::obj();
                 core.set("verdict", Json::from("error"));
                 core.set("message", Json::from(format!("{p}: {e}")));
-                return PendingVet::Ready(vet_response(
+                return Submitted::Ready(vet_response(
                     &core,
                     item.name.as_deref().or(Some(&p)),
                     None,
@@ -453,7 +601,7 @@ fn submit_vet(shared: &Shared, item: VetItem) -> PendingVet {
                 ("cached", Json::Bool(true)),
             ],
         );
-        return PendingVet::Ready(resp);
+        return Submitted::Ready(resp);
     }
     shared.metrics.add("serve_cache_misses", 1);
     // Shed *before* logging the lifecycle: under sustained overload the
@@ -472,7 +620,7 @@ fn submit_vet(shared: &Shared, item: VetItem) -> PendingVet {
                 ("reason", Json::from("overloaded")),
             ],
         );
-        return PendingVet::Ready(overloaded_response(
+        return Submitted::Ready(overloaded_response(
             name.as_deref(),
             shared.queue.len(),
             shared.queue.capacity(),
@@ -490,19 +638,19 @@ fn submit_vet(shared: &Shared, item: VetItem) -> PendingVet {
             ("queue_depth", Json::from(shared.queue.len() as f64)),
         ],
     );
-    let (tx, rx) = mpsc::channel();
+    let resp = make_resp();
     match shared.queue.try_push(Job {
         id: id.clone(),
         key,
         source,
-        resp: tx,
+        resp,
     }) {
         Ok(_) => {
             Stats::incr(&shared.stats.jobs_accepted);
             shared
                 .metrics
                 .record("serve_queue_depth", shared.queue.len() as u64);
-            PendingVet::Waiting { id, name, rx, t0 }
+            Submitted::Enqueued { id, name, t0 }
         }
         Err(PushError::Full(_)) => {
             Stats::incr(&shared.stats.jobs_rejected);
@@ -514,7 +662,7 @@ fn submit_vet(shared: &Shared, item: VetItem) -> PendingVet {
                     ("reason", Json::from("overloaded")),
                 ],
             );
-            PendingVet::Ready(overloaded_response(
+            Submitted::Ready(overloaded_response(
                 name.as_deref(),
                 shared.queue.len(),
                 shared.queue.capacity(),
@@ -530,29 +678,57 @@ fn submit_vet(shared: &Shared, item: VetItem) -> PendingVet {
                     ("reason", Json::from("shutting_down")),
                 ],
             );
-            PendingVet::Ready(error_response("daemon is shutting down"))
+            Submitted::Ready(error_response("daemon is shutting down"))
         }
     }
+}
+
+/// The blocking submission wrapper (stdio front end, unit tests): the
+/// completion path is an mpsc channel the caller receives on.
+fn submit_vet(shared: &Shared, item: VetItem) -> PendingVet {
+    let mut rx_slot: Option<mpsc::Receiver<Json>> = None;
+    let submitted = {
+        let mut make = || {
+            let (tx, rx) = mpsc::channel();
+            rx_slot = Some(rx);
+            Completion::Channel(tx)
+        };
+        submit_vet_with(shared, item, &mut make)
+    };
+    match submitted {
+        Submitted::Ready(resp) => PendingVet::Ready(resp),
+        Submitted::Enqueued { id, name, t0 } => PendingVet::Waiting {
+            id,
+            name,
+            rx: rx_slot.expect("completion channel created at enqueue"),
+            t0,
+        },
+    }
+}
+
+/// Wraps a finished core into the `vet_result` response and writes the
+/// terminal `job_done` lifecycle record. Shared by the blocking await
+/// path and the event loop's completion handler.
+fn finish_vet(shared: &Shared, id: &str, name: Option<&str>, t0: Instant, core: &Json) -> Json {
+    let micros = t0.elapsed().as_micros();
+    let resp = vet_response(core, name, Some(id), false, micros);
+    shared.log_event(
+        Level::Info,
+        "job_done",
+        &[
+            ("job", Json::from(id)),
+            ("micros", Json::from(micros as f64)),
+            ("cached", Json::Bool(false)),
+        ],
+    );
+    resp
 }
 
 fn await_vet(shared: &Shared, pending: PendingVet) -> Json {
     match pending {
         PendingVet::Ready(resp) => resp,
         PendingVet::Waiting { id, name, rx, t0 } => match rx.recv() {
-            Ok(core) => {
-                let micros = t0.elapsed().as_micros();
-                let resp = vet_response(&core, name.as_deref(), Some(&id), false, micros);
-                shared.log_event(
-                    Level::Info,
-                    "job_done",
-                    &[
-                        ("job", Json::from(id.as_str())),
-                        ("micros", Json::from(micros as f64)),
-                        ("cached", Json::Bool(false)),
-                    ],
-                );
-                resp
-            }
+            Ok(core) => finish_vet(shared, &id, name.as_deref(), t0, &core),
             Err(_) => error_response("worker pool shut down before the job finished"),
         },
     }
@@ -616,21 +792,20 @@ fn respond(shared: &Shared, req: Result<Request, String>) -> (Json, bool) {
 }
 
 /// Flips the daemon into shutdown: no new jobs, workers drain and exit,
-/// and the TCP acceptor (if any) is poked awake so it can stop.
+/// and the event loop (if any) is woken so it can drain connections.
 fn initiate_shutdown(shared: &Shared) {
     if shared.shutting_down.swap(true, Ordering::SeqCst) {
         return; // someone else already did
     }
     shared.queue.shutdown();
-    if let Some(addr) = shared.addr {
-        // Unblock the acceptor's blocking accept() with a throwaway
-        // connection; it re-checks the flag after every accept.
-        let _ = TcpStream::connect(addr);
+    if let Some(completions) = &shared.completions {
+        completions.wake();
     }
 }
 
-/// The protocol loop: read request lines, write response lines. Returns
-/// `true` if the peer requested shutdown (vs. just disconnecting).
+/// The blocking protocol loop (stdio front end): read request lines,
+/// write response lines. Returns `true` if the peer requested shutdown
+/// (vs. just disconnecting).
 fn serve_lines(
     shared: &Shared,
     reader: impl BufRead,
@@ -785,34 +960,761 @@ fn spawn_history(shared: &Arc<Shared>) -> Option<JoinHandle<()>> {
     Some(handle)
 }
 
+// ---------------------------------------------------------------------
+// The event loop
+// ---------------------------------------------------------------------
+
+/// Poller token for the TCP listener.
+const LISTENER_TOKEN: u64 = 0;
+/// Poller token for the completion-queue waker pipe.
+const WAKER_TOKEN: u64 = 1;
+/// First token handed to an accepted connection.
+const FIRST_CONN_TOKEN: u64 = 2;
+
+/// How long a draining shutdown waits for connections to flush before
+/// force-closing them.
+const DRAIN_GRACE: Duration = Duration::from_secs(5);
+
+/// An in-flight vet item on a connection: the slot in the response
+/// pipeline a posted completion (or a fired deadline) will fill.
+struct VetWait {
+    /// Completion-queue token (distinct from the `j-<n>` request ID).
+    token: u64,
+    id: String,
+    name: Option<String>,
+    t0: Instant,
+    deadline: Option<Instant>,
+}
+
+/// One position in a connection's ordered response pipeline.
+enum Part {
+    /// Serialized compact response line (no trailing newline).
+    Done(String),
+    /// Still in the worker pool.
+    Wait(VetWait),
+}
+
+/// One request's worth of response: a single line, or a batch whose
+/// items flush together as one `vet_batch_result` line.
+enum Slot {
+    One(Part),
+    Batch(Vec<Part>),
+}
+
+impl Slot {
+    fn parts(&self) -> &[Part] {
+        match self {
+            Slot::One(p) => std::slice::from_ref(p),
+            Slot::Batch(v) => v.as_slice(),
+        }
+    }
+
+    fn parts_mut(&mut self) -> &mut [Part] {
+        match self {
+            Slot::One(p) => std::slice::from_mut(p),
+            Slot::Batch(v) => v.as_mut_slice(),
+        }
+    }
+
+    fn ready(&self) -> bool {
+        self.parts().iter().all(|p| matches!(p, Part::Done(_)))
+    }
+}
+
+/// Per-connection state owned by the event loop.
+struct Conn {
+    stream: TcpStream,
+    /// Connection ID (`c-<n>`) for log correlation.
+    cid: String,
+    rbuf: LineBuf,
+    wbuf: WriteBuf,
+    /// Responses in request order; the head flushes once fully `Done`.
+    pending: VecDeque<Slot>,
+    /// Bytes of `Done` parts not yet folded into `wbuf` (backpressure
+    /// accounting: `wbuf.queued() + pending_bytes` is what this client
+    /// owes us to read).
+    pending_bytes: usize,
+    last_activity: Instant,
+    /// Interest currently registered with the poller.
+    interest: Interest,
+    /// Peer sent EOF (half-close): stop reading, flush what's owed.
+    peer_eof: bool,
+    /// Set when the connection should close after draining its output
+    /// (shutdown ack written, protocol violation answered, ...).
+    closing: Option<&'static str>,
+    /// Set when the connection must close *now*, unflushed.
+    kill: Option<&'static str>,
+    /// Edge flag so a backpressure episode logs once, not per item.
+    backpressured: bool,
+}
+
+impl Conn {
+    fn new(stream: TcpStream, cid: String, max_line: usize) -> Conn {
+        Conn {
+            stream,
+            cid,
+            rbuf: LineBuf::new(max_line),
+            wbuf: WriteBuf::new(),
+            pending: VecDeque::new(),
+            pending_bytes: 0,
+            last_activity: Instant::now(),
+            interest: Interest::READ,
+            peer_eof: false,
+            closing: None,
+            kill: None,
+            backpressured: false,
+        }
+    }
+}
+
+fn push_done(conn: &mut Conn, resp: &Json) {
+    let s = resp.to_string_compact();
+    conn.pending_bytes += s.len() + 1;
+    conn.pending.push_back(Slot::One(Part::Done(s)));
+}
+
+/// The readiness-driven connection core: one thread, one poller, all
+/// TCP connections.
+struct EventLoop {
+    shared: Arc<Shared>,
+    poller: Poller,
+    listener: TcpListener,
+    wake_rx: WakeRx,
+    completions: Arc<CompletionQueue>,
+    conns: HashMap<u64, Conn>,
+    /// Completion token → owning connection token.
+    jobs: HashMap<u64, u64>,
+    /// Jobs whose connection is gone or whose deadline already answered:
+    /// the eventual completion still writes the terminal `job_done`.
+    late: HashMap<u64, (String, Instant)>,
+    next_conn_token: u64,
+    conn_seq: u64,
+    next_job_token: u64,
+    drain_deadline: Option<Instant>,
+}
+
+impl EventLoop {
+    fn new(
+        shared: Arc<Shared>,
+        poller: Poller,
+        listener: TcpListener,
+        wake_rx: WakeRx,
+        completions: Arc<CompletionQueue>,
+    ) -> EventLoop {
+        EventLoop {
+            shared,
+            poller,
+            listener,
+            wake_rx,
+            completions,
+            conns: HashMap::new(),
+            jobs: HashMap::new(),
+            late: HashMap::new(),
+            next_conn_token: FIRST_CONN_TOKEN,
+            conn_seq: 0,
+            next_job_token: 0,
+            drain_deadline: None,
+        }
+    }
+
+    fn run(&mut self) -> io::Result<()> {
+        self.poller
+            .register(self.listener.as_raw_fd(), LISTENER_TOKEN, Interest::READ)?;
+        self.poller
+            .register(self.wake_rx.fd(), WAKER_TOKEN, Interest::READ)?;
+        let mut events: Vec<poller::Event> = Vec::new();
+        loop {
+            let timeout = self.wait_timeout();
+            self.poller.wait(&mut events, timeout)?;
+            let batch: Vec<poller::Event> = events.drain(..).collect();
+            for ev in batch {
+                match ev.token {
+                    LISTENER_TOKEN => self.accept_ready(),
+                    WAKER_TOKEN => self.wake_rx.drain(),
+                    token => self.conn_event(token, ev),
+                }
+            }
+            self.apply_completions();
+            self.apply_timers();
+            if self.shared.shutting_down.load(Ordering::SeqCst) {
+                self.begin_drain();
+                let hard = self.drain_deadline.is_some_and(|d| Instant::now() >= d);
+                if self.conns.is_empty() && (self.late.is_empty() || hard) {
+                    return Ok(());
+                }
+            }
+        }
+    }
+
+    /// The park duration: indefinite unless some timer needs servicing.
+    /// Timers tick at a quarter of their bound (clamped) rather than
+    /// tracking exact next-expiry — cheap, and precise enough for
+    /// second-scale idle timeouts and millisecond-scale deadlines.
+    fn wait_timeout(&self) -> Option<Duration> {
+        fn tick(bound: Duration) -> Duration {
+            (bound / 4).clamp(Duration::from_millis(1), Duration::from_millis(250))
+        }
+        let mut timeout: Option<Duration> = None;
+        let mut merge = |d: Duration| {
+            timeout = Some(timeout.map_or(d, |t: Duration| t.min(d)));
+        };
+        if self.drain_deadline.is_some() {
+            merge(Duration::from_millis(25));
+        }
+        if let Some(idle) = self.shared.idle_timeout {
+            if !self.conns.is_empty() {
+                merge(tick(idle));
+            }
+        }
+        if let Some(deadline) = self.shared.request_deadline {
+            if !self.jobs.is_empty() {
+                merge(tick(deadline));
+            }
+        }
+        timeout
+    }
+
+    fn accept_ready(&mut self) {
+        loop {
+            match self.listener.accept() {
+                Ok((stream, peer)) => {
+                    if self.shared.shutting_down.load(Ordering::SeqCst) {
+                        // Draining: refuse by immediate close.
+                        drop(stream);
+                        continue;
+                    }
+                    if stream.set_nodelay(true).is_err() || stream.set_nonblocking(true).is_err()
+                    {
+                        continue;
+                    }
+                    let token = self.next_conn_token;
+                    self.next_conn_token += 1;
+                    let cid = format!("c-{}", self.conn_seq);
+                    self.conn_seq += 1;
+                    if self
+                        .poller
+                        .register(stream.as_raw_fd(), token, Interest::READ)
+                        .is_err()
+                    {
+                        continue;
+                    }
+                    Stats::incr(&self.shared.stats.conn_accepted);
+                    self.shared.stats.conns_open.fetch_add(1, Ordering::Relaxed);
+                    self.shared.log_event(
+                        Level::Debug,
+                        "conn_accepted",
+                        &[
+                            ("conn", Json::from(cid.as_str())),
+                            ("peer", Json::from(peer.to_string())),
+                        ],
+                    );
+                    self.conns
+                        .insert(token, Conn::new(stream, cid, self.shared.max_line_bytes));
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                // Transient accept errors (EMFILE, aborted handshake):
+                // stop for this readiness round; the listener reports
+                // again when another connection is pending.
+                Err(_) => break,
+            }
+        }
+    }
+
+    fn conn_event(&mut self, token: u64, ev: poller::Event) {
+        let Some(mut conn) = self.conns.remove(&token) else {
+            return;
+        };
+        if ev.readable || ev.closed {
+            self.read_ready(&mut conn);
+            self.process_lines(token, &mut conn);
+            // Guard against a pure-error readiness state (e.g. EPOLLERR
+            // with nothing readable) spinning the loop: treat it as a
+            // peer hangup once buffered input is consumed.
+            if ev.closed && !conn.peer_eof && conn.kill.is_none() {
+                conn.peer_eof = true;
+            }
+        }
+        self.settle(token, conn);
+    }
+
+    fn read_ready(&mut self, conn: &mut Conn) {
+        let mut chunk = [0u8; 16 * 1024];
+        loop {
+            match conn.stream.read(&mut chunk) {
+                Ok(0) => {
+                    conn.peer_eof = true;
+                    break;
+                }
+                Ok(n) => {
+                    conn.last_activity = Instant::now();
+                    if !conn.rbuf.extend(&chunk[..n]) {
+                        Stats::incr(&self.shared.stats.protocol_errors);
+                        self.shared.log_event(
+                            Level::Warn,
+                            "protocol_error",
+                            &[("error", Json::from("request line exceeds maximum length"))],
+                        );
+                        push_done(conn, &error_response("request line exceeds maximum length"));
+                        conn.closing.get_or_insert("protocol");
+                        break;
+                    }
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(_) => {
+                    conn.kill = Some("io_error");
+                    break;
+                }
+            }
+        }
+    }
+
+    fn process_lines(&mut self, token: u64, conn: &mut Conn) {
+        while conn.closing.is_none() && conn.kill.is_none() {
+            match conn.rbuf.next_line() {
+                None => break,
+                Some(Err(_)) => {
+                    // Non-UTF-8 bytes ended the blocking server's
+                    // connection without a response; match that.
+                    conn.kill = Some("protocol");
+                    break;
+                }
+                Some(Ok(line)) => {
+                    if line.trim().is_empty() {
+                        continue;
+                    }
+                    conn.last_activity = Instant::now();
+                    self.handle_line(token, conn, &line);
+                }
+            }
+        }
+    }
+
+    fn handle_line(&mut self, token: u64, conn: &mut Conn, line: &str) {
+        let shared = Arc::clone(&self.shared);
+        // Hard cap: a client this far behind on reading is not exerting
+        // backpressure anymore, it is a memory leak. Close it.
+        let owed = conn.wbuf.queued() + conn.pending_bytes;
+        if owed > shared.outbuf_cap.saturating_mul(4) {
+            shared.log_event(
+                Level::Warn,
+                "write_backpressure",
+                &[
+                    ("conn", Json::from(conn.cid.as_str())),
+                    ("queued_bytes", Json::from(owed as f64)),
+                    ("action", Json::from("close")),
+                ],
+            );
+            conn.kill = Some("write_backpressure");
+            return;
+        }
+        match parse_request(line) {
+            Err(msg) => {
+                Stats::incr(&shared.stats.protocol_errors);
+                shared.log_event(
+                    Level::Warn,
+                    "protocol_error",
+                    &[("error", Json::from(msg.as_str()))],
+                );
+                push_done(conn, &error_response(&msg));
+            }
+            Ok(Request::Vet(item)) => {
+                let part = self.vet_part(token, conn, item);
+                conn.pending.push_back(Slot::One(part));
+            }
+            Ok(Request::VetBatch(items)) => {
+                // Submit everything first so the batch saturates the
+                // worker pool; items beyond the queue bound come back
+                // `overloaded`.
+                let parts: Vec<Part> = items
+                    .into_iter()
+                    .map(|i| self.vet_part(token, conn, i))
+                    .collect();
+                conn.pending.push_back(Slot::Batch(parts));
+            }
+            Ok(Request::Stats) => push_done(conn, &with_kind("stats", shared.stats_body())),
+            Ok(Request::Metrics) => {
+                let text = sigobs::prometheus_text(&shared.merged_snapshot());
+                let samples = sigobs::validate_prometheus_text(&text).unwrap_or(0);
+                push_done(conn, &metrics_response(&text, samples));
+            }
+            Ok(Request::Shutdown) => {
+                shared.log_event(Level::Info, "serve_shutdown", &[]);
+                let mut o = Json::obj();
+                o.set("kind", Json::from("shutdown_ack"));
+                o.set("stats", shared.stats_body());
+                push_done(conn, &o);
+                conn.closing.get_or_insert("shutdown");
+                initiate_shutdown(&shared);
+            }
+        }
+    }
+
+    /// Submits one vet item from a connection: shed under write
+    /// backpressure, answer immediately when possible, otherwise park a
+    /// [`VetWait`] the completion (or deadline) will fill.
+    fn vet_part(&mut self, conn_token: u64, conn: &mut Conn, item: VetItem) -> Part {
+        let shared = Arc::clone(&self.shared);
+        let owed = conn.wbuf.queued() + conn.pending_bytes;
+        if owed >= shared.outbuf_cap {
+            // Soft cap: the client owes us reads before it may submit
+            // more work. Typed response, one log line per episode.
+            Stats::incr(&shared.stats.conn_backpressure_sheds);
+            if !conn.backpressured {
+                conn.backpressured = true;
+                shared.log_event(
+                    Level::Warn,
+                    "write_backpressure",
+                    &[
+                        ("conn", Json::from(conn.cid.as_str())),
+                        ("queued_bytes", Json::from(owed as f64)),
+                        ("capacity_bytes", Json::from(shared.outbuf_cap as f64)),
+                    ],
+                );
+            }
+            let resp = backpressure_response(item.name.as_deref(), owed, shared.outbuf_cap);
+            let s = resp.to_string_compact();
+            conn.pending_bytes += s.len() + 1;
+            return Part::Done(s);
+        }
+        let job_token = self.next_job_token;
+        self.next_job_token += 1;
+        let completions = Arc::clone(&self.completions);
+        let submitted = {
+            let mut make = || Completion::Posted {
+                token: job_token,
+                queue: Arc::clone(&completions),
+            };
+            submit_vet_with(&shared, item, &mut make)
+        };
+        match submitted {
+            Submitted::Ready(resp) => {
+                let s = resp.to_string_compact();
+                conn.pending_bytes += s.len() + 1;
+                Part::Done(s)
+            }
+            Submitted::Enqueued { id, name, t0 } => {
+                self.jobs.insert(job_token, conn_token);
+                Part::Wait(VetWait {
+                    token: job_token,
+                    id,
+                    name,
+                    t0,
+                    deadline: shared.request_deadline.map(|d| t0 + d),
+                })
+            }
+        }
+    }
+
+    /// Routes drained completions to their waiting connection slots (or
+    /// to the terminal-log-only `late` path) and flushes touched conns.
+    fn apply_completions(&mut self) {
+        let batch = self.completions.drain();
+        if batch.is_empty() {
+            return;
+        }
+        let shared = Arc::clone(&self.shared);
+        let mut touched: Vec<u64> = Vec::new();
+        for (token, core) in batch {
+            if let Some((id, t0)) = self.late.remove(&token) {
+                // Connection gone or deadline already answered: the
+                // response bytes have nowhere to go, but the lifecycle
+                // still terminates for replay.
+                let _ = finish_vet(&shared, &id, None, t0, &core);
+                continue;
+            }
+            let Some(conn_token) = self.jobs.remove(&token) else {
+                continue;
+            };
+            let Some(conn) = self.conns.get_mut(&conn_token) else {
+                continue;
+            };
+            'fill: for slot in conn.pending.iter_mut() {
+                for part in slot.parts_mut() {
+                    if let Part::Wait(w) = part {
+                        if w.token == token {
+                            let resp =
+                                finish_vet(&shared, &w.id, w.name.as_deref(), w.t0, &core);
+                            let s = resp.to_string_compact();
+                            conn.pending_bytes += s.len() + 1;
+                            *part = Part::Done(s);
+                            break 'fill;
+                        }
+                    }
+                }
+            }
+            if !touched.contains(&conn_token) {
+                touched.push(conn_token);
+            }
+        }
+        for t in touched {
+            if let Some(c) = self.conns.remove(&t) {
+                self.settle(t, c);
+            }
+        }
+    }
+
+    /// Fires request deadlines, closes idle connections, and force-closes
+    /// everything once the drain grace period lapses.
+    fn apply_timers(&mut self) {
+        let now = Instant::now();
+        let shared = Arc::clone(&self.shared);
+        if shared.request_deadline.is_some() && !self.jobs.is_empty() {
+            let deadline_ms =
+                shared.request_deadline.map_or(0.0, |d| d.as_millis() as f64);
+            let mut touched: Vec<u64> = Vec::new();
+            for (&token, conn) in self.conns.iter_mut() {
+                let mut fired = false;
+                for slot in conn.pending.iter_mut() {
+                    for part in slot.parts_mut() {
+                        let Part::Wait(w) = part else { continue };
+                        if !w.deadline.is_some_and(|d| now >= d) {
+                            continue;
+                        }
+                        // The client gets a typed timeout *now*; the
+                        // worker keeps running and its completion takes
+                        // the `late` path (terminal log, result cached).
+                        Stats::incr(&shared.stats.deadline_misses);
+                        shared.log_event(
+                            Level::Warn,
+                            "job_deadline",
+                            &[
+                                ("job", Json::from(w.id.as_str())),
+                                ("deadline_ms", Json::from(deadline_ms)),
+                            ],
+                        );
+                        let mut core = Json::obj();
+                        core.set("verdict", Json::from("timeout"));
+                        core.set("reason", Json::from("deadline"));
+                        core.set("deadline_ms", Json::from(deadline_ms));
+                        let resp = vet_response(
+                            &core,
+                            w.name.as_deref(),
+                            Some(&w.id),
+                            false,
+                            w.t0.elapsed().as_micros(),
+                        );
+                        self.jobs.remove(&w.token);
+                        self.late.insert(w.token, (w.id.clone(), w.t0));
+                        let s = resp.to_string_compact();
+                        conn.pending_bytes += s.len() + 1;
+                        *part = Part::Done(s);
+                        fired = true;
+                    }
+                }
+                if fired {
+                    touched.push(token);
+                }
+            }
+            for t in touched {
+                if let Some(c) = self.conns.remove(&t) {
+                    self.settle(t, c);
+                }
+            }
+        }
+        if let Some(idle) = shared.idle_timeout {
+            let stale: Vec<u64> = self
+                .conns
+                .iter()
+                .filter(|(_, c)| {
+                    c.pending.is_empty()
+                        && c.wbuf.is_empty()
+                        && now.duration_since(c.last_activity) >= idle
+                })
+                .map(|(&t, _)| t)
+                .collect();
+            for t in stale {
+                if let Some(c) = self.conns.remove(&t) {
+                    self.close_conn(c, "idle");
+                }
+            }
+        }
+        if self.drain_deadline.is_some_and(|d| now >= d) {
+            let all: Vec<u64> = self.conns.keys().copied().collect();
+            for t in all {
+                if let Some(c) = self.conns.remove(&t) {
+                    self.close_conn(c, "drain_timeout");
+                }
+            }
+        }
+    }
+
+    /// Starts the draining shutdown exactly once: every connection stops
+    /// reading and closes as soon as its owed output flushes.
+    fn begin_drain(&mut self) {
+        if self.drain_deadline.is_some() {
+            return;
+        }
+        self.drain_deadline = Some(Instant::now() + DRAIN_GRACE);
+        let tokens: Vec<u64> = self.conns.keys().copied().collect();
+        for t in tokens {
+            if let Some(mut c) = self.conns.remove(&t) {
+                c.closing.get_or_insert("shutdown");
+                self.settle(t, c);
+            }
+        }
+    }
+
+    /// Folds completed head slots into the write buffer and flushes as
+    /// far as the socket accepts right now.
+    fn flush_ready(&mut self, conn: &mut Conn) {
+        while conn.pending.front().map_or(false, Slot::ready) {
+            let slot = conn.pending.pop_front().expect("checked front");
+            match slot {
+                Slot::One(Part::Done(s)) => {
+                    conn.pending_bytes = conn.pending_bytes.saturating_sub(s.len() + 1);
+                    conn.wbuf.push(s.as_bytes());
+                    conn.wbuf.push(b"\n");
+                }
+                Slot::One(Part::Wait(_)) => unreachable!("ready() said all parts are Done"),
+                Slot::Batch(parts) => {
+                    // Byte-identical to the blocking server's
+                    // `vet_batch_result` object (minijson compact form).
+                    let mut line = String::from("{\"kind\":\"vet_batch_result\",\"results\":[");
+                    for (i, part) in parts.iter().enumerate() {
+                        let Part::Done(s) = part else {
+                            unreachable!("ready() said all parts are Done")
+                        };
+                        if i > 0 {
+                            line.push(',');
+                        }
+                        line.push_str(s);
+                        conn.pending_bytes = conn.pending_bytes.saturating_sub(s.len() + 1);
+                    }
+                    line.push_str("]}\n");
+                    conn.wbuf.push(line.as_bytes());
+                }
+            }
+        }
+        if conn.wbuf.is_empty() {
+            return;
+        }
+        match conn.wbuf.write_to(&mut conn.stream) {
+            Ok(()) => conn.last_activity = Instant::now(),
+            Err(_) => {
+                conn.kill = Some("io_error");
+                return;
+            }
+        }
+        if conn.backpressured
+            && conn.wbuf.queued() + conn.pending_bytes <= self.shared.outbuf_cap / 2
+        {
+            conn.backpressured = false;
+        }
+    }
+
+    /// The single exit point for a connection's event handling: flush,
+    /// close if terminal, otherwise update poller interest and re-park.
+    fn settle(&mut self, token: u64, mut conn: Conn) {
+        if conn.kill.is_none() {
+            self.flush_ready(&mut conn);
+        }
+        if let Some(reason) = conn.kill {
+            self.close_conn(conn, reason);
+            return;
+        }
+        let drained = conn.pending.is_empty() && conn.wbuf.is_empty();
+        if drained && (conn.closing.is_some() || conn.peer_eof) {
+            let reason = conn.closing.unwrap_or("eof");
+            self.close_conn(conn, reason);
+            return;
+        }
+        let want = Interest {
+            read: conn.closing.is_none() && !conn.peer_eof,
+            write: !conn.wbuf.is_empty(),
+        };
+        if want != conn.interest {
+            if self
+                .poller
+                .reregister(conn.stream.as_raw_fd(), token, want)
+                .is_err()
+            {
+                self.close_conn(conn, "io_error");
+                return;
+            }
+            conn.interest = want;
+        }
+        self.conns.insert(token, conn);
+    }
+
+    fn close_conn(&mut self, conn: Conn, reason: &'static str) {
+        let _ = self.poller.deregister(conn.stream.as_raw_fd());
+        // Orphan the in-flight jobs: their completions still terminate
+        // the log lifecycle through the `late` path.
+        for slot in &conn.pending {
+            for part in slot.parts() {
+                if let Part::Wait(w) = part {
+                    self.jobs.remove(&w.token);
+                    self.late.insert(w.token, (w.id.clone(), w.t0));
+                }
+            }
+        }
+        Stats::incr(&self.shared.stats.conn_closed);
+        self.shared.stats.conns_open.fetch_sub(1, Ordering::Relaxed);
+        self.shared.log_event(
+            Level::Debug,
+            "conn_closed",
+            &[
+                ("conn", Json::from(conn.cid.as_str())),
+                ("reason", Json::from(reason)),
+            ],
+        );
+    }
+}
+
+// ---------------------------------------------------------------------
+// Front ends
+// ---------------------------------------------------------------------
+
 /// A running TCP daemon. Dropping the handle does *not* stop it; send a
 /// `shutdown` request (or call [`Server::stop`]) and then [`Server::join`].
 pub struct Server {
     shared: Arc<Shared>,
     addr: SocketAddr,
-    acceptor: JoinHandle<()>,
+    event_loop: JoinHandle<()>,
     workers: Vec<JoinHandle<()>>,
     history: Option<JoinHandle<()>>,
 }
 
 impl Server {
-    /// Binds `addr` (e.g. `127.0.0.1:0` for an ephemeral port), spawns
-    /// the worker pool and the acceptor, and returns immediately.
+    /// Starts configuring a daemon. The one construction path for every
+    /// front-end combination:
     ///
-    /// The engine here is the classic 3-argument form; phase spans never
-    /// reach the event log. Use [`Server::bind_traced`] when the engine
-    /// can attach a [`sigtrace::Trace`] to the pipeline.
+    /// ```text
+    /// Server::builder().addr("127.0.0.1:0").analyze(f).start()?   // TCP
+    /// Server::builder().stdio().analyze(f).run()?                 // stdio
+    /// ```
+    pub fn builder() -> ServerBuilder {
+        ServerBuilder {
+            cfg: ServeConfig::default(),
+            addr: None,
+            stdio: false,
+            analyze: None,
+        }
+    }
+
+    /// Binds `addr` and starts the daemon.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use Server::builder().config(cfg).addr(addr).analyze(f).start()"
+    )]
     pub fn bind<F>(addr: &str, cfg: ServeConfig, analyze: F) -> io::Result<Server>
     where
         F: Fn(&str, &AnalysisConfig, &MetricsRegistry) -> VetOutcome + Send + Sync + 'static,
     {
-        Server::bind_traced(addr, cfg, move |s, c, m, _trace| analyze(s, c, m))
+        Server::builder()
+            .config(cfg)
+            .addr(addr)
+            .analyze(analyze)
+            .start()
     }
 
-    /// Like [`Server::bind`], but the engine also receives a
-    /// [`sigtrace::Trace`] carrying the owning job's request ID into the
-    /// pipeline (a [`LogTracer`] when the event log is at debug level,
-    /// [`Trace::Off`] otherwise).
+    /// Binds `addr` and starts the daemon with a trace-aware engine.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use Server::builder().config(cfg).addr(addr).analyze_traced(f).start()"
+    )]
     pub fn bind_traced<F>(addr: &str, cfg: ServeConfig, analyze: F) -> io::Result<Server>
     where
         F: for<'a> Fn(&str, &AnalysisConfig, &MetricsRegistry, Trace<'a>) -> VetOutcome
@@ -820,44 +1722,11 @@ impl Server {
             + Sync
             + 'static,
     {
-        let listener = TcpListener::bind(addr)?;
-        let local = listener.local_addr()?;
-        let shared = Arc::new(Shared::new(cfg, Box::new(analyze), Some(local)));
-        log_started(&shared);
-        let workers = spawn_workers(&shared);
-        let history = spawn_history(&shared);
-        let acceptor = {
-            let shared = Arc::clone(&shared);
-            std::thread::Builder::new()
-                .name("sigserve-acceptor".to_owned())
-                .spawn(move || loop {
-                    match listener.accept() {
-                        Ok((stream, _)) => {
-                            if shared.shutting_down.load(Ordering::SeqCst) {
-                                break;
-                            }
-                            let shared = Arc::clone(&shared);
-                            // Handlers are detached: they die with their
-                            // connection, and join() only waits for the
-                            // acceptor + workers.
-                            std::thread::spawn(move || handle_conn(&shared, stream));
-                        }
-                        Err(_) => {
-                            if shared.shutting_down.load(Ordering::SeqCst) {
-                                break;
-                            }
-                        }
-                    }
-                })
-                .expect("spawn acceptor thread")
-        };
-        Ok(Server {
-            shared,
-            addr: local,
-            acceptor,
-            workers,
-            history,
-        })
+        Server::builder()
+            .config(cfg)
+            .addr(addr)
+            .analyze_traced(analyze)
+            .start()
     }
 
     /// The bound address (resolves `:0` to the real ephemeral port).
@@ -877,11 +1746,11 @@ impl Server {
         initiate_shutdown(&self.shared);
     }
 
-    /// Waits for the acceptor and workers to finish. Call after a
+    /// Waits for the event loop and workers to finish. Call after a
     /// `shutdown` request or [`Server::stop`]; joining a running server
     /// blocks until one of those happens.
     pub fn join(self) {
-        let _ = self.acceptor.join();
+        let _ = self.event_loop.join();
         for w in self.workers {
             let _ = w.join();
         }
@@ -901,41 +1770,168 @@ impl Server {
     }
 }
 
-fn handle_conn(shared: &Shared, stream: TcpStream) {
-    let _ = stream.set_nodelay(true);
-    let Ok(reader) = stream.try_clone() else {
-        return;
+/// Builds a daemon: pick a front end ([`ServerBuilder::addr`] or
+/// [`ServerBuilder::stdio`]), inject the engine
+/// ([`ServerBuilder::analyze`] / [`ServerBuilder::analyze_traced`]),
+/// optionally attach observability ([`ServerBuilder::log`],
+/// [`ServerBuilder::metrics`]), then [`ServerBuilder::start`] (TCP) or
+/// [`ServerBuilder::run`] (either front end, blocking).
+pub struct ServerBuilder {
+    cfg: ServeConfig,
+    addr: Option<String>,
+    stdio: bool,
+    analyze: Option<Box<AnalyzeJobFn>>,
+}
+
+impl ServerBuilder {
+    /// Replaces the whole configuration, including any `log` /
+    /// `metrics_dir` it carries — call this *before* the individual
+    /// setters so they aren't clobbered.
+    pub fn config(mut self, cfg: ServeConfig) -> ServerBuilder {
+        self.cfg = cfg;
+        self
+    }
+
+    /// Serve TCP on `addr` (e.g. `127.0.0.1:0` for an ephemeral port).
+    pub fn addr(mut self, addr: impl Into<String>) -> ServerBuilder {
+        self.addr = Some(addr.into());
+        self.stdio = false;
+        self
+    }
+
+    /// Serve the protocol over stdin/stdout instead of TCP (only
+    /// reachable through [`ServerBuilder::run`]).
+    pub fn stdio(mut self) -> ServerBuilder {
+        self.stdio = true;
+        self.addr = None;
+        self
+    }
+
+    /// The analysis engine, classic 3-argument form; phase spans never
+    /// reach the event log.
+    pub fn analyze<F>(self, analyze: F) -> ServerBuilder
+    where
+        F: Fn(&str, &AnalysisConfig, &MetricsRegistry) -> VetOutcome + Send + Sync + 'static,
+    {
+        self.analyze_traced(move |s, c, m, _trace| analyze(s, c, m))
+    }
+
+    /// The analysis engine, trace-aware form: also receives a
+    /// [`sigtrace::Trace`] carrying the owning job's request ID into the
+    /// pipeline (a [`LogTracer`] when the event log is at debug level,
+    /// [`Trace::Off`] otherwise).
+    ///
+    /// [`Trace::Off`]: sigtrace::Trace::Off
+    pub fn analyze_traced<F>(mut self, analyze: F) -> ServerBuilder
+    where
+        F: for<'a> Fn(&str, &AnalysisConfig, &MetricsRegistry, Trace<'a>) -> VetOutcome
+            + Send
+            + Sync
+            + 'static,
+    {
+        self.analyze = Some(Box::new(analyze));
+        self
+    }
+
+    /// Attaches the structured event log (shorthand for setting
+    /// [`ServeConfig::log`]).
+    pub fn log(mut self, log: Arc<EventLog>) -> ServerBuilder {
+        self.cfg.log = Some(log);
+        self
+    }
+
+    /// Enables the on-disk metrics history in `dir` (shorthand for
+    /// setting [`ServeConfig::metrics_dir`]).
+    pub fn metrics(mut self, dir: impl Into<PathBuf>) -> ServerBuilder {
+        self.cfg.metrics_dir = Some(dir.into());
+        self
+    }
+
+    /// Starts a TCP daemon and returns its handle immediately. Errors
+    /// with `InvalidInput` when no address was configured (the stdio
+    /// front end has no handle — use [`ServerBuilder::run`]).
+    pub fn start(self) -> io::Result<Server> {
+        let analyze = self
+            .analyze
+            .ok_or_else(|| invalid_input("ServerBuilder needs an analyze engine"))?;
+        if self.stdio {
+            return Err(invalid_input(
+                "stdio servers have no handle; use ServerBuilder::run",
+            ));
+        }
+        let Some(addr) = self.addr else {
+            return Err(invalid_input("ServerBuilder needs addr(..) or stdio()"));
+        };
+        start_tcp(&addr, self.cfg, analyze)
+    }
+
+    /// Runs the daemon to completion on the calling thread: the stdio
+    /// protocol loop, or a TCP daemon joined until a `shutdown` request
+    /// lands.
+    pub fn run(self) -> io::Result<()> {
+        if self.stdio {
+            let analyze = self
+                .analyze
+                .ok_or_else(|| invalid_input("ServerBuilder needs an analyze engine"))?;
+            return run_stdio(self.cfg, analyze);
+        }
+        let server = self.start()?;
+        server.join();
+        Ok(())
+    }
+}
+
+fn invalid_input(msg: &str) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidInput, msg)
+}
+
+fn start_tcp(addr: &str, cfg: ServeConfig, analyze: Box<AnalyzeJobFn>) -> io::Result<Server> {
+    let listener = TcpListener::bind(addr)?;
+    listener.set_nonblocking(true)?;
+    let local = listener.local_addr()?;
+    let (waker, wake_rx) = poller::wake_pair()?;
+    let completions = Arc::new(CompletionQueue::new(waker));
+    let poller = Poller::with_backend(cfg.poller_backend)?;
+    let shared = Arc::new(Shared::new(cfg, analyze, Some(Arc::clone(&completions))));
+    log_started(&shared);
+    let workers = spawn_workers(&shared);
+    let history = spawn_history(&shared);
+    let event_loop = {
+        let shared = Arc::clone(&shared);
+        std::thread::Builder::new()
+            .name("sigserve-loop".to_owned())
+            .spawn(move || {
+                let mut el = EventLoop::new(
+                    Arc::clone(&shared),
+                    poller,
+                    listener,
+                    wake_rx,
+                    completions,
+                );
+                if let Err(e) = el.run() {
+                    // A dead event loop must not leave workers parked
+                    // forever: log and tear the daemon down.
+                    shared.log_event(
+                        Level::Error,
+                        "event_loop_error",
+                        &[("error", Json::from(format!("{e}")))],
+                    );
+                    initiate_shutdown(&shared);
+                }
+            })
+            .expect("spawn event loop thread")
     };
-    // Any I/O error (peer vanished mid-request) just ends the connection.
-    let _ = serve_lines(shared, BufReader::new(reader), stream);
+    Ok(Server {
+        shared,
+        addr: local,
+        event_loop,
+        workers,
+        history,
+    })
 }
 
-/// Runs the daemon over stdin/stdout: the protocol loop on the calling
-/// thread, analyses on the worker pool. Returns after a `shutdown`
-/// request or stdin EOF, with all accepted jobs completed.
-///
-/// The engine here is the classic 3-argument form; use
-/// [`serve_stdio_traced`] when the engine can attach a
-/// [`sigtrace::Trace`] to the pipeline.
-pub fn serve_stdio<F>(cfg: ServeConfig, analyze: F) -> io::Result<()>
-where
-    F: Fn(&str, &AnalysisConfig, &MetricsRegistry) -> VetOutcome + Send + Sync + 'static,
-{
-    serve_stdio_traced(cfg, move |s, c, m, _trace| analyze(s, c, m))
-}
-
-/// Like [`serve_stdio`], but the engine also receives a
-/// [`sigtrace::Trace`] carrying the owning job's request ID into the
-/// pipeline (a [`LogTracer`] when the event log is at debug level,
-/// [`Trace::Off`] otherwise).
-pub fn serve_stdio_traced<F>(cfg: ServeConfig, analyze: F) -> io::Result<()>
-where
-    F: for<'a> Fn(&str, &AnalysisConfig, &MetricsRegistry, Trace<'a>) -> VetOutcome
-        + Send
-        + Sync
-        + 'static,
-{
-    let shared = Arc::new(Shared::new(cfg, Box::new(analyze), None));
+fn run_stdio(cfg: ServeConfig, analyze: Box<AnalyzeJobFn>) -> io::Result<()> {
+    let shared = Arc::new(Shared::new(cfg, analyze, None));
     log_started(&shared);
     let workers = spawn_workers(&shared);
     let history = spawn_history(&shared);
@@ -954,9 +1950,41 @@ where
     result.map(|_| ())
 }
 
+/// Runs the daemon over stdin/stdout with a classic 3-argument engine.
+#[deprecated(
+    since = "0.2.0",
+    note = "use Server::builder().config(cfg).stdio().analyze(f).run()"
+)]
+pub fn serve_stdio<F>(cfg: ServeConfig, analyze: F) -> io::Result<()>
+where
+    F: Fn(&str, &AnalysisConfig, &MetricsRegistry) -> VetOutcome + Send + Sync + 'static,
+{
+    Server::builder().config(cfg).stdio().analyze(analyze).run()
+}
+
+/// Runs the daemon over stdin/stdout with a trace-aware engine.
+#[deprecated(
+    since = "0.2.0",
+    note = "use Server::builder().config(cfg).stdio().analyze_traced(f).run()"
+)]
+pub fn serve_stdio_traced<F>(cfg: ServeConfig, analyze: F) -> io::Result<()>
+where
+    F: for<'a> Fn(&str, &AnalysisConfig, &MetricsRegistry, Trace<'a>) -> VetOutcome
+        + Send
+        + Sync
+        + 'static,
+{
+    Server::builder()
+        .config(cfg)
+        .stdio()
+        .analyze_traced(analyze)
+        .run()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::io::BufReader;
     use std::time::Duration;
 
     /// A fast stub engine: "ok" for anything, "timeout" for sources
@@ -979,6 +2007,15 @@ mod tests {
         }
     }
 
+    fn stub_server(cfg: ServeConfig) -> Server {
+        Server::builder()
+            .config(cfg)
+            .addr("127.0.0.1:0")
+            .analyze(stub)
+            .start()
+            .expect("start")
+    }
+
     fn shared_with(cfg: ServeConfig) -> Shared {
         Shared::new(
             cfg,
@@ -992,7 +2029,7 @@ mod tests {
     #[test]
     fn respond_vet_computes_then_caches() {
         let shared = shared_with(ServeConfig::default());
-        let workers = {
+        {
             // No worker pool in this unit test: drive the queue inline.
             let item = VetItem {
                 name: Some("a".to_owned()),
@@ -1001,14 +2038,12 @@ mod tests {
             let pending = submit_vet(&shared, item);
             let job = shared.queue.pop().expect("job queued");
             let core = compute(&shared, job.key, &job.source, &job.id);
-            job.resp.send(core).unwrap();
+            job.resp.deliver(core);
             let resp = await_vet(&shared, pending);
             assert_eq!(resp["verdict"], "ok");
             assert_eq!(resp["cached"], Json::Bool(false));
             assert_eq!(resp["signature"]["len"].as_f64(), Some(10.0));
-            resp
-        };
-        let _ = workers;
+        }
         // Second submission of identical content: answered from cache
         // without touching the queue.
         let item = VetItem {
@@ -1097,8 +2132,7 @@ mod tests {
 
     #[test]
     fn end_to_end_over_tcp_with_stub_engine() {
-        let server =
-            Server::bind("127.0.0.1:0", ServeConfig::default(), stub).expect("bind");
+        let server = stub_server(ServeConfig::default());
         let mut client = crate::Client::connect(server.local_addr()).expect("connect");
         let r1 = client.vet_source(Some("a"), "var a;").unwrap();
         assert_eq!(r1["verdict"], "ok");
@@ -1108,6 +2142,8 @@ mod tests {
         let stats = client.stats().unwrap();
         assert_eq!(stats["cache"]["hits"].as_f64(), Some(1.0));
         assert_eq!(stats["jobs"]["completed"].as_f64(), Some(1.0));
+        assert_eq!(stats["conns"]["open"].as_f64(), Some(1.0));
+        assert_eq!(stats["conns"]["accepted"].as_f64(), Some(1.0));
         // The metrics registry rides along in every stats response: the
         // daemon's own counters plus whatever the engine recorded.
         let metrics = &stats["metrics"];
@@ -1125,9 +2161,23 @@ mod tests {
     }
 
     #[test]
+    fn poll_backend_serves_end_to_end() {
+        let cfg = ServeConfig {
+            poller_backend: Backend::Poll,
+            ..ServeConfig::default()
+        };
+        let server = stub_server(cfg);
+        let mut client = crate::Client::connect(server.local_addr()).expect("connect");
+        let r = client.vet_source(Some("p"), "var p;").unwrap();
+        assert_eq!(r["verdict"], "ok");
+        let ack = client.shutdown().unwrap();
+        assert_eq!(ack["kind"], "shutdown_ack");
+        server.join();
+    }
+
+    #[test]
     fn batch_pipelines_and_preserves_order() {
-        let server =
-            Server::bind("127.0.0.1:0", ServeConfig::default(), stub).expect("bind");
+        let server = stub_server(ServeConfig::default());
         let mut client = crate::Client::connect(server.local_addr()).expect("connect");
         let mut req = Json::obj();
         req.set("kind", Json::from("vet_batch"));
@@ -1157,6 +2207,89 @@ mod tests {
     }
 
     #[test]
+    fn pipelined_requests_answer_in_order() {
+        let server = stub_server(ServeConfig::default());
+        let mut stream = TcpStream::connect(server.local_addr()).expect("connect");
+        stream.set_nodelay(true).unwrap();
+        // Three requests in one write, no reads in between: the loop
+        // must answer them in request order even though the workers
+        // finish in whatever order they like.
+        let burst = (0..3)
+            .map(|i| format!("{{\"kind\":\"vet\",\"name\":\"q{i}\",\"source\":\"var q{i};\"}}\n"))
+            .collect::<String>();
+        stream.write_all(burst.as_bytes()).unwrap();
+        let mut reader = BufReader::new(stream.try_clone().unwrap());
+        for i in 0..3 {
+            let mut line = String::new();
+            reader.read_line(&mut line).unwrap();
+            let resp = Json::parse(line.trim()).unwrap();
+            assert_eq!(resp["name"].as_str(), Some(format!("q{i}").as_str()), "{resp}");
+            assert_eq!(resp["verdict"], "ok");
+        }
+        drop(reader);
+        drop(stream);
+        let mut client = crate::Client::connect(server.local_addr()).expect("connect");
+        client.shutdown().unwrap();
+        server.join();
+    }
+
+    #[test]
+    fn request_deadline_answers_timeout_while_worker_runs() {
+        fn slow(source: &str, c: &AnalysisConfig, m: &MetricsRegistry) -> VetOutcome {
+            if source.contains("@slow") {
+                std::thread::sleep(Duration::from_millis(400));
+            }
+            stub(source, c, m)
+        }
+        let cfg = ServeConfig {
+            workers: 1,
+            request_deadline: Some(Duration::from_millis(50)),
+            ..ServeConfig::default()
+        };
+        let server = Server::builder()
+            .config(cfg)
+            .addr("127.0.0.1:0")
+            .analyze(slow)
+            .start()
+            .expect("start");
+        let mut client = crate::Client::connect(server.local_addr()).expect("connect");
+        let t0 = Instant::now();
+        let resp = client.vet_source(Some("s"), "@slow").unwrap();
+        assert_eq!(resp["verdict"], "timeout", "{resp}");
+        assert_eq!(resp["reason"], "deadline");
+        assert!(
+            t0.elapsed() < Duration::from_millis(350),
+            "deadline must answer before the worker finishes"
+        );
+        let stats = client.stats().unwrap();
+        assert_eq!(stats["conns"]["deadline_misses"].as_f64(), Some(1.0));
+        client.shutdown().unwrap();
+        server.join();
+    }
+
+    #[test]
+    fn idle_connections_are_reaped() {
+        let cfg = ServeConfig {
+            idle_timeout: Some(Duration::from_millis(80)),
+            ..ServeConfig::default()
+        };
+        let server = stub_server(cfg);
+        let mut idle = crate::Client::connect(server.local_addr()).expect("connect");
+        let r = idle.vet_source(Some("i"), "var i;").unwrap();
+        assert_eq!(r["verdict"], "ok");
+        std::thread::sleep(Duration::from_millis(300));
+        // The daemon closed the quiet connection; the next round-trip
+        // fails (EOF on read, or a send error once the close lands).
+        assert!(idle.vet_source(Some("i2"), "var j;").is_err());
+        // New connections still work.
+        let mut fresh = crate::Client::connect(server.local_addr()).expect("connect");
+        let r = fresh.vet_source(Some("f"), "var f;").unwrap();
+        assert_eq!(r["verdict"], "ok");
+        fresh.shutdown().unwrap();
+        server.join();
+    }
+
+    #[test]
     fn panicking_worker_does_not_kill_the_daemon() {
         // Regression: a panicking AnalyzeJobFn used to poison the cache
         // mutex (compute holds it around insert) and crash the worker;
@@ -1172,7 +2305,12 @@ mod tests {
             workers: 1, // one worker: if the panic killed it, nothing answers
             ..ServeConfig::default()
         };
-        let server = Server::bind("127.0.0.1:0", cfg, panicky).expect("bind");
+        let server = Server::builder()
+            .config(cfg)
+            .addr("127.0.0.1:0")
+            .analyze(panicky)
+            .start()
+            .expect("start");
         let mut client = crate::Client::connect(server.local_addr()).expect("connect");
         let boom = client.vet_source(Some("bad"), "@panic").unwrap();
         assert_eq!(boom["verdict"], "error");
@@ -1196,8 +2334,7 @@ mod tests {
 
     #[test]
     fn malformed_lines_get_error_responses_and_daemon_survives() {
-        let server =
-            Server::bind("127.0.0.1:0", ServeConfig::default(), stub).expect("bind");
+        let server = stub_server(ServeConfig::default());
         let mut client = crate::Client::connect(server.local_addr()).expect("connect");
         let resp = client.raw_line("this is not json").unwrap();
         assert_eq!(resp["kind"], "error");
@@ -1209,5 +2346,12 @@ mod tests {
         assert_eq!(stats["jobs"]["protocol_errors"].as_f64(), Some(2.0));
         client.shutdown().unwrap();
         server.join();
+    }
+
+    #[test]
+    fn builder_refuses_half_configured_daemons() {
+        assert!(Server::builder().addr("127.0.0.1:0").start().is_err());
+        assert!(Server::builder().analyze(stub).start().is_err());
+        assert!(Server::builder().stdio().analyze(stub).start().is_err());
     }
 }

@@ -76,6 +76,18 @@ pub struct Stats {
     pub p3_us: AtomicU64,
     /// Total µs of end-to-end worker compute (includes parse + lowering).
     pub vet_us: AtomicU64,
+    /// Connections currently open (a gauge: accepted − closed).
+    pub conns_open: AtomicU64,
+    /// Connections accepted over the daemon's lifetime.
+    pub conn_accepted: AtomicU64,
+    /// Connections closed (any reason: EOF, error, idle, backpressure).
+    pub conn_closed: AtomicU64,
+    /// Vet items shed because a connection's outbound buffer was full
+    /// (the client stopped reading its responses).
+    pub conn_backpressure_sheds: AtomicU64,
+    /// In-flight requests answered `timeout` by the request deadline
+    /// before their worker finished.
+    pub deadline_misses: AtomicU64,
 }
 
 fn as_u64_us(d: Duration) -> u64 {
@@ -135,9 +147,17 @@ impl Stats {
         phases.set("p3", read(&self.p3_us));
         phases.set("vet_total", read(&self.vet_us));
 
+        let mut conns = Json::obj();
+        conns.set("open", read(&self.conns_open));
+        conns.set("accepted", read(&self.conn_accepted));
+        conns.set("closed", read(&self.conn_closed));
+        conns.set("backpressure_sheds", read(&self.conn_backpressure_sheds));
+        conns.set("deadline_misses", read(&self.deadline_misses));
+
         let mut body = Json::obj();
         body.set("workers", Json::from(workers as f64));
         body.set("queue", queue);
+        body.set("conns", conns);
         body.set("jobs", jobs);
         body.set("cache", cache_json);
         body.set("phase_totals_us", phases);
@@ -201,5 +221,21 @@ mod tests {
         assert_eq!(snap["phase_totals_us"]["p1"].as_f64(), Some(200.0));
         assert_eq!(snap["phase_totals_us"]["p3"].as_f64(), Some(6.0));
         assert_eq!(snap["workers"].as_f64(), Some(4.0));
+    }
+
+    #[test]
+    fn snapshot_carries_connection_gauges() {
+        let s = Stats::default();
+        s.conns_open.fetch_add(3, Ordering::Relaxed);
+        s.conns_open.fetch_sub(1, Ordering::Relaxed);
+        Stats::incr(&s.conn_accepted);
+        Stats::incr(&s.conn_closed);
+        Stats::incr(&s.conn_backpressure_sheds);
+        let snap = s.snapshot(CacheCounters::default(), 1, 0, 8);
+        assert_eq!(snap["conns"]["open"].as_f64(), Some(2.0));
+        assert_eq!(snap["conns"]["accepted"].as_f64(), Some(1.0));
+        assert_eq!(snap["conns"]["closed"].as_f64(), Some(1.0));
+        assert_eq!(snap["conns"]["backpressure_sheds"].as_f64(), Some(1.0));
+        assert_eq!(snap["conns"]["deadline_misses"].as_f64(), Some(0.0));
     }
 }

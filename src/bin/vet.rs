@@ -116,6 +116,7 @@ usage:
   vet --corpus [--json] [--sequential]
   vet serve [--addr HOST:PORT | --stdio] [--workers N] [--cache-cap N]
             [--queue-cap N] [--step-budget N] [--deadline-ms N]
+            [--idle-timeout-ms N] [--request-deadline-ms N]
             [--k <depth>] [--constant-strings] [--summary-dir DIR]
             [--log FILE] [--log-level error|warn|info|debug]
             [--log-sample [EVENT=]N] [--log-sample-threshold R]
@@ -265,6 +266,16 @@ fn parse_serve_args(mut args: impl Iterator<Item = String>) -> Result<Mode, Stri
             "--deadline-ms" => {
                 config.analysis.deadline =
                     Some(Duration::from_millis(parse_usize(&mut args, "--deadline-ms")? as u64))
+            }
+            "--idle-timeout-ms" => {
+                config.idle_timeout = Some(Duration::from_millis(
+                    parse_usize(&mut args, "--idle-timeout-ms")?.max(1) as u64,
+                ))
+            }
+            "--request-deadline-ms" => {
+                config.request_deadline = Some(Duration::from_millis(
+                    parse_usize(&mut args, "--request-deadline-ms")?.max(1) as u64,
+                ))
             }
             "--k" => config.analysis.context_depth = parse_usize(&mut args, "--k")?,
             "--constant-strings" => config.analysis.string_domain = StringDomain::ConstantOnly,
@@ -768,32 +779,26 @@ fn run_serve(mut opts: ServeOptions) -> Result<(), String> {
         )),
         None => None,
     };
-    match (opts.addr, store) {
-        (Some(addr), store) => {
-            let server = match store {
-                Some(store) => sigserve::Server::bind_traced(
-                    &addr,
-                    opts.config,
-                    move |s, c, m, t| {
-                        addon_sig::service_engine_incremental(s, c, m, &store, log.as_deref(), t)
-                    },
-                ),
-                None => sigserve::Server::bind_traced(
-                    &addr,
-                    opts.config,
-                    addon_sig::service_engine_traced,
-                ),
-            }
-            .map_err(|e| format!("bind {addr}: {e}"))?;
+    let builder = sigserve::Server::builder().config(opts.config);
+    let builder = match store {
+        Some(store) => builder.analyze_traced(move |s, c, m, t| {
+            addon_sig::service_engine_incremental(s, c, m, &store, log.as_deref(), t)
+        }),
+        None => builder.analyze_traced(addon_sig::service_engine_traced),
+    };
+    match opts.addr {
+        Some(addr) => {
+            let server = builder
+                .addr(&addr)
+                .start()
+                .map_err(|e| format!("bind {addr}: {e}"))?;
             eprintln!("sigserve listening on {}", server.local_addr());
             server.join(); // returns after a shutdown request
             Ok(())
         }
-        (None, Some(store)) => sigserve::serve_stdio_traced(opts.config, move |s, c, m, t| {
-            addon_sig::service_engine_incremental(s, c, m, &store, log.as_deref(), t)
-        })
-        .map_err(|e| format!("stdio serve: {e}")),
-        (None, None) => sigserve::serve_stdio_traced(opts.config, addon_sig::service_engine_traced)
+        None => builder
+            .stdio()
+            .run()
             .map_err(|e| format!("stdio serve: {e}")),
     }
 }

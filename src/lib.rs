@@ -418,7 +418,7 @@ pub fn service_engine(
 /// pipeline phase span lands in the log tagged with the owning job's
 /// request ID. `Trace::Off` makes this exactly [`service_engine`].
 /// This is the engine `vet serve` installs via
-/// [`sigserve::Server::bind_traced`] / [`sigserve::serve_stdio_traced`].
+/// [`sigserve::ServerBuilder::analyze_traced`].
 pub fn service_engine_traced(
     source: &str,
     config: &AnalysisConfig,

@@ -16,7 +16,12 @@ fn temp_path(name: &str) -> PathBuf {
 }
 
 fn bind_with_log(cfg: ServeConfig) -> Server {
-    Server::bind_traced("127.0.0.1:0", cfg, addon_sig::service_engine_traced).expect("bind")
+    Server::builder()
+        .config(cfg)
+        .addr("127.0.0.1:0")
+        .analyze_traced(addon_sig::service_engine_traced)
+        .start()
+        .expect("bind")
 }
 
 #[test]

@@ -6,6 +6,16 @@ use addon_sig::sigserve::{Client, ServeConfig, Server};
 use addon_sig::{service_engine, Pipeline};
 use minijson::Json;
 
+/// Binds an ephemeral daemon on the real pipeline.
+fn bind(cfg: ServeConfig) -> Server {
+    Server::builder()
+        .config(cfg)
+        .addr("127.0.0.1:0")
+        .analyze(service_engine)
+        .start()
+        .expect("bind")
+}
+
 /// Fetches the (hits, misses) cache counters.
 fn cache_counts(client: &mut Client) -> (f64, f64) {
     let stats = client.stats().expect("stats");
@@ -60,8 +70,7 @@ fn concurrent_clients_match_cli_and_resubmissions_hit_the_cache() {
         })
         .collect();
 
-    let server =
-        Server::bind("127.0.0.1:0", ServeConfig::default(), service_engine).expect("bind");
+    let server = bind(ServeConfig::default());
     let addr = server.local_addr();
     let mut probe = Client::connect(addr).expect("connect");
 
@@ -122,7 +131,7 @@ fn step_budget_yields_timeout_verdict_and_daemon_survives() {
     // needs ~1000 steps) but comfortably above trivial programs.
     let mut cfg = ServeConfig::default();
     cfg.analysis.step_budget = Some(25);
-    let server = Server::bind("127.0.0.1:0", cfg, service_engine).expect("bind");
+    let server = bind(cfg);
     let mut client = Client::connect(server.local_addr()).expect("connect");
 
     let resp = client
@@ -166,7 +175,7 @@ fn overload_response_when_queue_is_saturated() {
         queue_cap: 1,
         ..ServeConfig::default()
     };
-    let server = Server::bind("127.0.0.1:0", cfg, service_engine).expect("bind");
+    let server = bind(cfg);
     let addr = server.local_addr();
     let slow = source_of("LivePagerank");
     let overloads: usize = std::thread::scope(|scope| {
