@@ -8,12 +8,15 @@
 #      step-count regressions),
 #   3. a perf snapshot over the corpus, so the committed
 #      BENCH_pipeline.json can be refreshed from the CI artifact — the
-#      snapshot itself enforces the <5% no-op tracer overhead gate —
+#      snapshot itself enforces the <5% no-op tracer and <5%
+#      cost-attribution overhead gates —
 #      plus the incremental bench, whose run fails unless every warm
 #      signature is bit-identical to cold and a single-function edit
 #      on the synthetic addon re-steps <20% of the cold fixpoint,
 #   4. a `vet --trace` smoke test: the emitted chrome://tracing JSON
-#      must parse and keep strict span nesting (trace_check),
+#      must parse and keep strict span nesting (trace_check), plus a
+#      `vet profile` smoke: two runs of the hotspot table must be
+#      byte-identical,
 #   5. a vetting-daemon smoke test over --stdio (no network needed) plus
 #      the serve_load --check invariants (cache actually hits, cached
 #      vets are >=10x faster than cold, the structured event log —
@@ -28,8 +31,9 @@
 #      zero drift (exit 0) — the cross-run observability contract,
 #   8. the health gate: a sampled --stdio session records a metrics
 #      history, then `vet metrics-report --gate` must pass the
-#      known-good rules (exit 0) and fail the known-violating rules
-#      (exit nonzero) — the alerting contract,
+#      known-good rules (exit 0), pass the cost-attribution rules
+#      (queue-wait and analyze p99 bounds), and fail the
+#      known-violating rules (exit nonzero) — the alerting contract,
 #   9. the incremental re-vetting gate: a cold `vet --summary-dir` on a
 #      many-function addon, a scripted one-line edit, then a warm
 #      re-vet — the store must splice every untouched function
@@ -67,10 +71,11 @@ cargo test --offline -q
 echo "==> workspace tests (incl. worklist golden + step budgets)"
 cargo test --offline --workspace -q
 
-echo "==> perf snapshot (sequential, 3 runs; incl. tracer-overhead gate)"
+echo "==> perf snapshot (sequential, 3 runs; incl. tracer + attribution overhead gates)"
 cargo build --release --offline --workspace
 ./target/release/perf_snapshot --runs 3 --sequential --out target/BENCH_pipeline.ci.json
 grep -q '"trace_overhead_pct"' target/BENCH_pipeline.ci.json
+grep -q '"attr_overhead_pct"' target/BENCH_pipeline.ci.json
 
 echo "==> incremental bench (golden identity + <20% single-function-edit gate)"
 ./target/release/incr_bench --out target/BENCH_incremental.ci.json
@@ -79,6 +84,12 @@ grep -q '"step_ratio_pct"' target/BENCH_incremental.ci.json
 echo "==> vet --trace smoke test (Perfetto JSON parses, spans nest)"
 ./target/release/vet --trace target/ci_trace.json crates/corpus/addons/pinpoints.js > /dev/null
 ./target/release/trace_check target/ci_trace.json
+
+echo "==> vet profile smoke test (hotspot table is deterministic)"
+./target/release/vet profile crates/corpus/addons/pinpoints.js --top 5 > target/ci_profile_a.txt
+./target/release/vet profile crates/corpus/addons/pinpoints.js --top 5 > target/ci_profile_b.txt
+cmp target/ci_profile_a.txt target/ci_profile_b.txt
+grep -q 'total worklist steps:' target/ci_profile_a.txt
 
 echo "==> sigserve smoke test (stdio daemon: vet, stats, shutdown)"
 serve_out=$(printf '%s\n' \
@@ -134,6 +145,9 @@ printf '%s\n' \
         --metrics-dir target/ci_metrics --metrics-interval-ms 60000 \
         --log-level warn --log-sample 8 > /dev/null
 ./target/release/vet metrics-report target/ci_metrics --gate ci/metrics-gate-good.json
+# The cost-attribution rules: the smoke run's queue-wait and analyze
+# histograms must exist and keep sane p99s.
+./target/release/vet metrics-report target/ci_metrics --gate ci/metrics-gate-profile.json
 if ./target/release/vet metrics-report target/ci_metrics --gate ci/metrics-gate-bad.json > /dev/null; then
     echo "ci.sh: violating rules file must exit nonzero" >&2
     exit 1

@@ -8,9 +8,11 @@
 //!
 //! The snapshot also measures the cost of the sigtrace hooks: a corpus
 //! sweep with a no-op `Tracer` attached versus the plain pipeline, as
-//! `trace_overhead_pct`. The observability layer's contract is that an
-//! attached-but-idle tracer costs under 5%; blowing that gate fails the
-//! run (and CI).
+//! `trace_overhead_pct`, and a sweep with cost attribution enabled
+//! (`Pipeline::profile(true)`) as `attr_overhead_pct`. The
+//! observability layer's contract is that an attached-but-idle tracer
+//! and a live attribution sink each cost under 5%; blowing either gate
+//! fails the run (and CI).
 //!
 //! Flags:
 //! - `--runs N`       measured passes after warm-up (default 10)
@@ -68,48 +70,62 @@ fn median(mut xs: Vec<Duration>) -> Duration {
     xs[xs.len() / 2]
 }
 
-/// One sequential corpus sweep, optionally with a no-op tracer attached,
-/// returning total wall-clock. Sequential keeps the comparison free of
-/// scheduler noise.
-fn sweep(addons: &[corpus::Addon], traced: bool) -> Duration {
+/// Which observability hook an overhead sweep pays for.
+#[derive(Clone, Copy, PartialEq)]
+enum Arm {
+    /// Bare pipeline — the baseline both gates compare against.
+    Plain,
+    /// A no-op [`sigtrace::Tracer`] attached.
+    Traced,
+    /// Cost attribution enabled (`Pipeline::profile(true)`): the
+    /// worklist tallies per-(function, context, phase) steps and time.
+    Attributed,
+}
+
+/// One sequential corpus sweep under the given arm, returning total
+/// wall-clock. Sequential keeps the comparison free of scheduler noise.
+fn sweep(addons: &[corpus::Addon], arm: Arm) -> Duration {
     let start = Instant::now();
     for addon in addons {
         let pipeline = addon_sig::Pipeline::new();
-        let report = if traced {
-            let mut noop = sigtrace::NoopTracer;
-            pipeline.tracer(&mut noop).run(addon.source)
-        } else {
-            pipeline.run(addon.source)
+        let report = match arm {
+            Arm::Plain => pipeline.run(addon.source),
+            Arm::Traced => {
+                let mut noop = sigtrace::NoopTracer;
+                pipeline.tracer(&mut noop).run(addon.source)
+            }
+            Arm::Attributed => pipeline.profile(true).run(addon.source),
         };
         std::hint::black_box(report.expect("pipeline"));
     }
     start.elapsed()
 }
 
-/// Measures the relative cost of running the corpus with a no-op tracer
-/// attached: interleaved plain/traced sweeps (so thermal or frequency
-/// drift hits both arms equally), then min-of-medians compared. Each
-/// arm takes the minimum over three interleaved batches — a no-op
-/// tracer cannot make the pipeline *faster*, so a traced minimum below
-/// the plain one is pure scheduling noise, and the result is clamped at
-/// zero rather than reporting a negative overhead.
-fn trace_overhead_pct(addons: &[corpus::Addon], runs: usize) -> f64 {
-    let _ = sweep(addons, false); // warm-up, discarded
-    let _ = sweep(addons, true);
-    let batch = |traced: bool| -> Duration {
+/// Measures the relative cost of running the corpus with an
+/// observability hook attached: interleaved plain/hooked sweeps (so
+/// thermal or frequency drift hits both arms equally), then
+/// min-of-medians compared. Each arm takes the minimum over three
+/// interleaved batches — the hook cannot make the pipeline *faster*, so
+/// a hooked minimum below the plain one is pure scheduling noise, and
+/// the result is clamped at zero rather than reporting a negative
+/// overhead.
+fn overhead_pct(addons: &[corpus::Addon], runs: usize, arm: Arm) -> f64 {
+    let _ = sweep(addons, Arm::Plain); // warm-up, discarded
+    let _ = sweep(addons, arm);
+    let batch = |arm: Arm| -> Duration {
         let mut times: Vec<Duration> = Vec::with_capacity(runs);
         for _ in 0..runs {
-            times.push(sweep(addons, traced));
+            times.push(sweep(addons, arm));
         }
         median(times)
     };
     let mut plain = Duration::MAX;
-    let mut traced = Duration::MAX;
+    let mut hooked = Duration::MAX;
     for _ in 0..3 {
-        plain = plain.min(batch(false));
-        traced = traced.min(batch(true));
+        plain = plain.min(batch(Arm::Plain));
+        hooked = hooked.min(batch(arm));
     }
-    let pct = (traced.as_secs_f64() - plain.as_secs_f64()) / plain.as_secs_f64() * 100.0;
+    let pct = (hooked.as_secs_f64() - plain.as_secs_f64()) / plain.as_secs_f64() * 100.0;
     pct.max(0.0)
 }
 
@@ -218,14 +234,21 @@ fn main() {
         sum_total.as_secs_f64()
     );
 
-    // Observability overhead gate: a no-op tracer attached to the
-    // pipeline must cost < 5% on a corpus sweep.
-    let overhead = trace_overhead_pct(&addons, runs.max(5));
+    // Observability overhead gates: a no-op tracer attached to the
+    // pipeline must cost < 5% on a corpus sweep, and so must full cost
+    // attribution (the worklist's dense per-bucket tally).
+    let overhead = overhead_pct(&addons, runs.max(5), Arm::Traced);
     doc.set(
         "trace_overhead_pct",
         Json::from((overhead * 100.0).round() / 100.0),
     );
     println!("no-op tracer overhead: {overhead:+.2}%");
+    let attr_overhead = overhead_pct(&addons, runs.max(5), Arm::Attributed);
+    doc.set(
+        "attr_overhead_pct",
+        Json::from((attr_overhead * 100.0).round() / 100.0),
+    );
+    println!("cost-attribution overhead: {attr_overhead:+.2}%");
 
     std::fs::write(&out, doc.to_string_pretty() + "\n").expect("write snapshot");
     println!("wrote {out}");
@@ -235,6 +258,14 @@ fn main() {
             "FAIL: no-op tracer overhead {overhead:.2}% breaches the 5% gate; \
              a hot loop is calling the tracer per step instead of \
              accumulating and flushing per phase"
+        );
+        std::process::exit(1);
+    }
+    if attr_overhead >= 5.0 {
+        eprintln!(
+            "FAIL: cost-attribution overhead {attr_overhead:.2}% breaches the \
+             5% gate; the worklist must tally into dense per-function \
+             buckets and flush once at finish, not call the sink per step"
         );
         std::process::exit(1);
     }

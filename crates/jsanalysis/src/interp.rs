@@ -37,7 +37,7 @@ use jsir::{
     EdgeKind, IrFuncId, IrStmtKind, Lowered, Operand, Place, StmtId,
 };
 use jsparser::ast::{BinaryOp, UnaryOp};
-use sigtrace::{Counter, Counters, Trace};
+use sigtrace::{Attribution, Counter, Counters, Trace, CTX_CLASSES};
 use std::cmp::Reverse;
 use std::collections::{BTreeMap, BTreeSet, BinaryHeap, HashMap, HashSet, VecDeque};
 
@@ -159,15 +159,33 @@ pub fn analyze_traced(
     config: &AnalysisConfig,
     trace: &mut Trace<'_>,
 ) -> AnalysisResult {
+    analyze_attributed(lowered, config, trace, &mut Attribution::Off)
+}
+
+/// Runs the base analysis with tracing *and* cost attribution: when
+/// `attr` is enabled, every worklist step's owning function and clamped
+/// context depth are tallied (steps + wall time) into dense per-machine
+/// buckets, flushed once into the sink when the run ends. With
+/// [`Attribution::Off`] this is exactly [`analyze_traced`] — the loop
+/// pays one branch per step and no clock reads.
+pub fn analyze_attributed(
+    lowered: &Lowered,
+    config: &AnalysisConfig,
+    trace: &mut Trace<'_>,
+    attr: &mut Attribution<'_>,
+) -> AnalysisResult {
     let cow_before = jsdomains::cow_clone_count();
     let mut m = build_machine(lowered, config, None);
+    if attr.is_enabled() {
+        m.attr = Some(AttrTally::new(lowered.program.funcs.len()));
+    }
     trace.span_start("seed");
     m.seed();
     trace.span_end("seed");
     trace.span_start("fixpoint");
     let status = m.run();
     trace.span_end("fixpoint");
-    finish(m, status, cow_before, trace)
+    finish(m, status, cow_before, trace, attr)
 }
 
 /// Constructs a machine over a lowered program; `incr` attaches the
@@ -209,6 +227,30 @@ fn build_machine<'a>(
         current: None,
         transitions: BTreeSet::new(),
         incr,
+        attr: None,
+    }
+}
+
+/// Dense per-run attribution tally: `[steps, time_ns]` per
+/// `(function, clamped context depth)` bucket. Indexed arithmetic — no
+/// hashing — so the enabled fixpoint loop pays two clock reads and two
+/// adds per step, nothing else. Flushed once by [`finish`].
+struct AttrTally {
+    buckets: Vec<[u64; 2]>,
+}
+
+impl AttrTally {
+    fn new(funcs: usize) -> AttrTally {
+        AttrTally {
+            buckets: vec![[0, 0]; funcs * CTX_CLASSES],
+        }
+    }
+
+    #[inline]
+    fn add(&mut self, func: IrFuncId, ctx_class: usize, time_ns: u64) {
+        let b = &mut self.buckets[func.0 as usize * CTX_CLASSES + ctx_class];
+        b[0] += 1;
+        b[1] += time_ns;
     }
 }
 
@@ -219,6 +261,7 @@ fn finish(
     status: RunStatus,
     cow_before: u64,
     trace: &mut Trace<'_>,
+    attr: &mut Attribution<'_>,
 ) -> AnalysisResult {
     let config = m.config;
     let native_names = m.env.natives.iter().map(|n| n.name).collect();
@@ -232,6 +275,16 @@ fn finish(
         counters.add(Counter::StateJoins, m.joins as u64);
         counters.add(Counter::HeapCowClones, heap_cow_clones);
         trace.add_counters(&counters);
+    }
+    if let Some(tally) = &m.attr {
+        for (fi, func) in m.lowered.program.funcs.iter().enumerate() {
+            for class in 0..CTX_CLASSES {
+                let [steps, ns] = tally.buckets[fi * CTX_CLASSES + class];
+                if steps > 0 {
+                    attr.record(&func.name, class as u8, "fixpoint", steps, ns / 1_000);
+                }
+            }
+        }
     }
     AnalysisResult {
         rw: m.rw,
@@ -407,6 +460,9 @@ struct Machine<'a> {
     /// Incremental-summary layer (recording, store consultation and
     /// splicing). `None` for plain cold runs, which skip every hook.
     incr: Option<Box<IncrState<'a>>>,
+    /// Cost-attribution tally (`None` unless the caller enabled
+    /// attribution; the fixpoint loop then skips the clock reads).
+    attr: Option<AttrTally>,
 }
 
 impl<'a> Machine<'a> {
@@ -460,7 +516,18 @@ impl<'a> Machine<'a> {
                 }
             }
             self.current = Some((stmt, ctx));
-            self.step(stmt, ctx);
+            if self.attr.is_some() {
+                // Attribution enabled: two clock reads bracket the
+                // transfer; the tally is indexed arithmetic, no hashing.
+                let func = self.lowered.program.stmt(stmt).func;
+                let class = self.ctxs.get(ctx).depth().min(CTX_CLASSES - 1);
+                let t0 = std::time::Instant::now();
+                self.step(stmt, ctx);
+                let ns = t0.elapsed().as_nanos() as u64;
+                self.attr.as_mut().expect("checked above").add(func, class, ns);
+            } else {
+                self.step(stmt, ctx);
+            }
             self.current = None;
         }
         RunStatus::Completed
@@ -2933,11 +3000,25 @@ pub fn analyze_incremental(
     store: &dyn SummaryStore,
     trace: &mut Trace<'_>,
 ) -> (AnalysisResult, IncrementalStats) {
-    match run_incremental(lowered, config, store, IncrMode::Splice, trace) {
+    analyze_incremental_attributed(lowered, config, store, trace, &mut Attribution::Off)
+}
+
+/// [`analyze_incremental`] with cost attribution: tallies only the
+/// steps the warm run actually re-executed (spliced functions cost
+/// nothing, which is the point), and an abandoned warm attempt flushes
+/// nothing — the cold re-run's tally is the one reported.
+pub fn analyze_incremental_attributed(
+    lowered: &Lowered,
+    config: &AnalysisConfig,
+    store: &dyn SummaryStore,
+    trace: &mut Trace<'_>,
+    attr: &mut Attribution<'_>,
+) -> (AnalysisResult, IncrementalStats) {
+    match run_incremental(lowered, config, store, IncrMode::Splice, trace, attr) {
         Ok(pair) => pair,
         Err(warm) => {
             let (result, mut stats) =
-                run_incremental(lowered, config, store, IncrMode::ExtractOnly, trace)
+                run_incremental(lowered, config, store, IncrMode::ExtractOnly, trace, attr)
                     .expect("extract-only runs never splice, so never abandon");
             stats.summary_hits = 0;
             stats.summary_misses = warm.summary_hits + warm.summary_misses;
@@ -2953,9 +3034,13 @@ fn run_incremental(
     store: &dyn SummaryStore,
     mode: IncrMode,
     trace: &mut Trace<'_>,
+    attr: &mut Attribution<'_>,
 ) -> Result<(AnalysisResult, IncrementalStats), IncrementalStats> {
     let cow_before = jsdomains::cow_clone_count();
     let mut m = build_machine(lowered, config, Some(IncrState::new(store, mode, lowered)));
+    if attr.is_enabled() {
+        m.attr = Some(AttrTally::new(lowered.program.funcs.len()));
+    }
     trace.span_start("seed");
     m.seed();
     trace.span_end("seed");
@@ -2978,7 +3063,7 @@ fn run_incremental(
         m.incr_extract_and_save();
     }
     let stats = m.incr.as_ref().expect("restored").stats();
-    Ok((finish(m, status, cow_before, trace), stats))
+    Ok((finish(m, status, cow_before, trace, attr), stats))
 }
 
 #[cfg(test)]

@@ -208,6 +208,13 @@ fn run_job(shared: &WorkerShared, msg: &Json) -> Result<Json, String> {
         }
         _ => {}
     }
+    // Same postmortem contract as the single-node daemon: the cost
+    // profile rides right after `job_computed`, so a merged fleet log
+    // replays with every timeout explainable (and `vet trace-job` can
+    // attach hotspots to the cross-node timeline).
+    if let Some(log) = &shared.log {
+        sigserve::log_job_profile(log, &job, &outcome);
+    }
     let core = outcome.core_json();
     let cacheable = outcome.cacheable(&shared.analysis);
     if cacheable && shared.owns(key) {

@@ -28,6 +28,9 @@
 //! * [`merge`] — causal merge of per-node fleet logs (coordinator +
 //!   workers) into one globally sequenced log that [`replay`] accepts,
 //!   via a topological sort over node chains and job-lifecycle edges.
+//! * [`timeline`] — one job's cross-node lifecycle (enqueue → queue
+//!   wait → claim → phases → respond) rendered as a Chrome trace, with
+//!   its `job_profile` hotspot postmortem attached (`vet trace-job`).
 //! * [`SamplePolicy`] — overload-safe log sampling: past a per-window
 //!   threshold, matching events degrade to 1-in-N with counted
 //!   `suppressed` records, and [`replay`] reconciles lifecycles against
@@ -42,8 +45,10 @@ mod history;
 mod log;
 pub mod merge;
 pub mod replay;
+pub mod timeline;
 
 pub use expo::{prometheus_text, validate_prometheus_text};
 pub use merge::merge_fleet_logs;
+pub use timeline::{chrome_trace, job_chrome_trace, job_intervals, JobIntervals};
 pub use history::{HistoryRecord, MetricsHistory, HISTORY_SCHEMA};
 pub use log::{EventLog, Level, LogTracer, SamplePolicy};

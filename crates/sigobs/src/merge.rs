@@ -50,13 +50,18 @@ fn get_u64(record: &Json, key: &str) -> Option<u64> {
     record[key].as_f64().map(|n| n as u64)
 }
 
-/// The lifecycle layer an event belongs to, if any.
+/// The lifecycle layer an event belongs to, if any. `job_profile` (the
+/// cost postmortem a worker logs right after `job_computed`) gets its
+/// own layer so a cross-node merge can never float a coordinator's
+/// `job_done` ahead of it — the replay validator demands
+/// computed < profile < done.
 fn layer(event: &str) -> Option<usize> {
     match event {
         "job_enqueued" => Some(0),
         "job_dequeued" => Some(1),
         "job_computed" | "cache_hit" | "job_coalesced" => Some(2),
-        "job_done" => Some(3),
+        "job_profile" => Some(3),
+        "job_done" => Some(4),
         _ => None,
     }
 }
@@ -121,7 +126,7 @@ pub fn merge_fleet_logs(nodes: &[(&str, &str)]) -> Result<String, String> {
         }
     }
     // 2. Layers: collect each job's records per lifecycle layer.
-    let mut jobs: HashMap<String, [Vec<usize>; 4]> = HashMap::new();
+    let mut jobs: HashMap<String, [Vec<usize>; 5]> = HashMap::new();
     for (i, r) in recs.iter().enumerate() {
         let (Some(job), Some(event)) = (r.json["job"].as_str(), r.json["event"].as_str()) else {
             continue;

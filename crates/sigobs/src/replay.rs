@@ -17,6 +17,15 @@
 //! dequeued, or hit the cache with no producer — is a validation error,
 //! and the replay test treats it as a logging bug.
 //!
+//! **Postmortems.** A computed job may carry a `job_profile` record —
+//! the per-job cost-attribution postmortem — which must sit between
+//! `job_computed` and `job_done`, agree with the verdict on whether the
+//! job timed out, and name well-formed hotspots whose steps never
+//! exceed the declared total. Timeout verdicts *must* carry one (the
+//! daemon's engines always attribute), so a timeout with no postmortem
+//! fails replay unless a declared `job_profile` suppression budget
+//! covers the drop.
+//!
 //! **Sampled logs.** Under overload the logger may drop listed events
 //! (see [`SamplePolicy`](crate::SamplePolicy)), declaring every drop in
 //! `suppressed` records. [`replay_log`] accepts such logs: a job whose
@@ -71,6 +80,18 @@ pub struct JobTimeline {
     pub done: Option<u64>,
     /// Wall micros from `job_done`.
     pub micros: Option<u64>,
+    /// `seq` of `job_profile` (the cost-attribution postmortem).
+    pub profile: Option<u64>,
+    /// Verdict echoed by `job_profile` (`ok`/`timeout`).
+    pub profile_verdict: Option<String>,
+    /// `total_steps` from `job_profile`.
+    pub profile_steps: Option<u64>,
+    /// Hotspot buckets from `job_profile`: `(func, steps)`, hottest
+    /// first as the daemon emitted them.
+    pub hotspots: Vec<(String, u64)>,
+    /// First well-formedness complaint about the `job_profile` record,
+    /// if any — surfaced by [`JobTimeline::validate`].
+    pub profile_malformed: Option<String>,
     /// Pipeline spans attributed to this job: `(span name, dur_us)`.
     pub spans: Vec<(String, u64)>,
     /// Every event seen for this job, in log order: `(seq, event)`.
@@ -128,6 +149,39 @@ pub fn job_timelines(records: &[Json]) -> BTreeMap<String, JobTimeline> {
                 t.done = Some(seq);
                 t.micros = get_u64(record, "micros");
             }
+            "job_profile" => {
+                t.profile = Some(seq);
+                t.profile_verdict = record["verdict"].as_str().map(str::to_owned);
+                t.profile_steps = get_u64(record, "total_steps");
+                if t.profile_verdict.is_none() {
+                    t.profile_malformed = Some("job_profile without a verdict".to_owned());
+                } else if t.profile_steps.is_none() {
+                    t.profile_malformed = Some("job_profile without total_steps".to_owned());
+                }
+                match &record["hotspots"] {
+                    Json::Arr(entries) => {
+                        for h in entries {
+                            let well_formed = h["ctx"].as_str().is_some()
+                                && h["phase"].as_str().is_some();
+                            match (h["func"].as_str(), get_u64(h, "steps")) {
+                                (Some(f), Some(s)) if well_formed => {
+                                    t.hotspots.push((f.to_owned(), s));
+                                }
+                                _ => {
+                                    t.profile_malformed = Some(
+                                        "job_profile hotspot missing func/ctx/phase/steps"
+                                            .to_owned(),
+                                    );
+                                }
+                            }
+                        }
+                    }
+                    _ => {
+                        t.profile_malformed =
+                            Some("job_profile without a hotspots array".to_owned());
+                    }
+                }
+            }
             "span" => {
                 if let (Some(name), Some(dur)) =
                     (record["span"].as_str(), get_u64(record, "dur_us"))
@@ -155,9 +209,17 @@ impl JobTimeline {
             && self.done.is_none()
     }
 
-    /// Classifies the lifecycle and checks its internal ordering.
+    /// Classifies the lifecycle and checks its internal ordering —
+    /// including the `job_profile` postmortem when one is attached: it
+    /// must be well-formed, follow `job_computed`, precede `job_done`,
+    /// and agree with the computed verdict on whether the job timed out.
     pub fn validate(&self) -> Result<Outcome, String> {
         let job = &self.job;
+        if self.profile.is_some() && self.computed.is_none() {
+            return Err(format!(
+                "{job}: job_profile on a lifecycle that never computed"
+            ));
+        }
         if let Some(r) = self.rejected {
             if let Some(seq) = self.dequeued.or(self.computed).or(self.done) {
                 return Err(format!(
@@ -210,6 +272,33 @@ impl JobTimeline {
         if self.verdict.is_none() {
             return Err(format!("{job}: job_computed without a verdict"));
         }
+        if let Some(p) = self.profile {
+            if let Some(complaint) = &self.profile_malformed {
+                return Err(format!("{job}: {complaint}"));
+            }
+            if !(comp < p && p < done) {
+                return Err(format!(
+                    "{job}: job_profile at {p} not between computed at {comp} and done at {done}"
+                ));
+            }
+            let timed_out = self.verdict.as_deref() == Some("timeout");
+            let profile_timed_out = self.profile_verdict.as_deref() == Some("timeout");
+            if timed_out != profile_timed_out {
+                return Err(format!(
+                    "{job}: job_profile verdict {:?} disagrees with computed verdict {:?}",
+                    self.profile_verdict, self.verdict
+                ));
+            }
+            // The top-K hotspots are a subset of the attribution
+            // buckets, so their steps can never exceed the total.
+            let hotspot_steps: u64 = self.hotspots.iter().map(|(_, s)| s).sum();
+            let total = self.profile_steps.unwrap_or(0);
+            if hotspot_steps > total {
+                return Err(format!(
+                    "{job}: hotspot steps {hotspot_steps} exceed total_steps {total}"
+                ));
+            }
+        }
         Ok(Outcome::Computed)
     }
 }
@@ -226,6 +315,9 @@ pub struct Replay {
     /// Enqueued-only orphans accepted against the `job_rejected`
     /// suppression budget (the enqueue-then-shed race under sampling).
     pub presumed_rejected: u64,
+    /// Timeout-verdict jobs whose missing `job_profile` postmortem was
+    /// accepted against the declared `job_profile` suppression budget.
+    pub presumed_profile_sampled: u64,
 }
 
 impl Replay {
@@ -278,26 +370,50 @@ pub fn replay_log(text: &str) -> Result<Replay, String> {
     // events' declared drops are accounted separately (see
     // [`Replay::budget`]).
     let rejected_budget = suppressed.get("job_rejected").copied().unwrap_or(0);
+    let profile_budget = suppressed.get("job_profile").copied().unwrap_or(0);
     let mut presumed_rejected = 0u64;
+    let mut presumed_profile_sampled = 0u64;
     for t in timelines.values() {
-        if let Err(e) = t.validate() {
-            if t.enqueued_only() && presumed_rejected < rejected_budget {
-                presumed_rejected += 1;
-                continue;
+        match t.validate() {
+            Err(e) => {
+                if t.enqueued_only() && presumed_rejected < rejected_budget {
+                    presumed_rejected += 1;
+                    continue;
+                }
+                if t.enqueued_only() {
+                    return Err(format!(
+                        "{e} (enqueued-only orphan exceeds the declared job_rejected \
+                         suppression budget of {rejected_budget})"
+                    ));
+                }
+                return Err(e);
             }
-            if t.enqueued_only() {
-                return Err(format!(
-                    "{e} (enqueued-only orphan exceeds the declared job_rejected \
-                     suppression budget of {rejected_budget})"
-                ));
+            Ok(Outcome::Computed) => {
+                // The daemon contract: every timeout verdict carries its
+                // hotspot postmortem, so "why did this addon time out"
+                // is answerable from the log alone. A missing postmortem
+                // is only legal when sampling declared the drop.
+                if t.verdict.as_deref() == Some("timeout") && t.profile.is_none() {
+                    if presumed_profile_sampled < profile_budget {
+                        presumed_profile_sampled += 1;
+                    } else {
+                        return Err(format!(
+                            "{}: timeout verdict without a job_profile postmortem \
+                             (beyond the declared job_profile suppression budget \
+                             of {profile_budget})",
+                            t.job
+                        ));
+                    }
+                }
             }
-            return Err(e);
+            Ok(_) => {}
         }
     }
     Ok(Replay {
         timelines,
         suppressed,
         presumed_rejected,
+        presumed_profile_sampled,
     })
 }
 
@@ -516,6 +632,123 @@ mod tests {
         let replay = replay_log(&log).expect("connection events are accepted");
         assert_eq!(replay.timelines.len(), 1);
         assert_eq!(replay.timelines["j-0"].validate(), Ok(Outcome::Computed));
+    }
+
+    fn hotspot(func: &str, steps: f64) -> Json {
+        let mut h = Json::obj();
+        h.set("func", Json::from(func));
+        h.set("ctx", Json::from("0"));
+        h.set("phase", Json::from("fixpoint"));
+        h.set("steps", Json::from(steps));
+        h.set("time_us", Json::from(steps));
+        h
+    }
+
+    fn profile_fields(job: &str, verdict: &str, total: f64, hotspots: Vec<Json>) -> Vec<(&'static str, Json)> {
+        vec![
+            ("job", Json::from(job)),
+            ("verdict", Json::from(verdict)),
+            ("total_steps", Json::from(total)),
+            ("hotspots", Json::Arr(hotspots)),
+        ]
+    }
+
+    #[test]
+    fn timeout_with_postmortem_validates_and_exposes_hotspots() {
+        let pf = profile_fields("j-0", "timeout", 100.0, vec![hotspot("hot", 60.0), hotspot("warm", 30.0)]);
+        let log = [
+            line(0, "job_enqueued", &[("job", Json::from("j-0"))]),
+            line(1, "job_dequeued", &[("job", Json::from("j-0"))]),
+            line(2, "job_computed", &[("job", Json::from("j-0")), ("verdict", Json::from("timeout"))]),
+            line(3, "job_profile", &pf),
+            line(4, "job_done", &[("job", Json::from("j-0"))]),
+        ]
+        .join("\n");
+        let replay = replay_log(&log).expect("postmortem-bearing timeout replays");
+        let t = &replay.timelines["j-0"];
+        assert_eq!(t.validate(), Ok(Outcome::Computed));
+        assert_eq!(t.profile_steps, Some(100));
+        assert_eq!(t.hotspots, [("hot".to_owned(), 60), ("warm".to_owned(), 30)]);
+        assert_eq!(replay.presumed_profile_sampled, 0);
+    }
+
+    #[test]
+    fn timeout_without_postmortem_fails_unless_suppression_covers_it() {
+        let bare = [
+            line(0, "job_enqueued", &[("job", Json::from("j-0"))]),
+            line(1, "job_dequeued", &[("job", Json::from("j-0"))]),
+            line(2, "job_computed", &[("job", Json::from("j-0")), ("verdict", Json::from("timeout"))]),
+            line(3, "job_done", &[("job", Json::from("j-0"))]),
+        ]
+        .join("\n");
+        let err = replay_log(&bare).unwrap_err();
+        assert!(err.contains("job_profile"), "{err}");
+
+        let declared = [
+            bare.clone(),
+            line(4, "suppressed", &[("suppressed_event", Json::from("job_profile")), ("count", Json::from(1.0)), ("sample_every", Json::from(4.0))]),
+        ]
+        .join("\n");
+        let replay = replay_log(&declared).expect("declared drop reconciles");
+        assert_eq!(replay.presumed_profile_sampled, 1);
+
+        // Non-timeout verdicts never require a postmortem.
+        let ok_verdict = [
+            line(0, "job_enqueued", &[("job", Json::from("j-1"))]),
+            line(1, "job_dequeued", &[("job", Json::from("j-1"))]),
+            line(2, "job_computed", &[("job", Json::from("j-1")), ("verdict", Json::from("pass"))]),
+            line(3, "job_done", &[("job", Json::from("j-1"))]),
+        ]
+        .join("\n");
+        assert!(replay_log(&ok_verdict).is_ok());
+    }
+
+    #[test]
+    fn malformed_or_misplaced_postmortems_fail() {
+        // Hotspots claiming more steps than the declared total.
+        let over = profile_fields("j-0", "timeout", 10.0, vec![hotspot("hot", 60.0)]);
+        let log = [
+            line(0, "job_enqueued", &[("job", Json::from("j-0"))]),
+            line(1, "job_dequeued", &[("job", Json::from("j-0"))]),
+            line(2, "job_computed", &[("job", Json::from("j-0")), ("verdict", Json::from("timeout"))]),
+            line(3, "job_profile", &over),
+            line(4, "job_done", &[("job", Json::from("j-0"))]),
+        ]
+        .join("\n");
+        assert!(replay_log(&log).unwrap_err().contains("exceed"), "steps cap");
+
+        // A hotspot entry missing its fields.
+        let lame = vec![("job", Json::from("j-0")), ("verdict", Json::from("timeout")), ("total_steps", Json::from(10.0)), ("hotspots", Json::Arr(vec![Json::obj()]))];
+        let log = [
+            line(0, "job_enqueued", &[("job", Json::from("j-0"))]),
+            line(1, "job_dequeued", &[("job", Json::from("j-0"))]),
+            line(2, "job_computed", &[("job", Json::from("j-0")), ("verdict", Json::from("timeout"))]),
+            line(3, "job_profile", &lame),
+            line(4, "job_done", &[("job", Json::from("j-0"))]),
+        ]
+        .join("\n");
+        assert!(replay_log(&log).unwrap_err().contains("hotspot"), "well-formedness");
+
+        // Postmortem on a job that never computed.
+        let floating = [
+            line(0, "cache_hit", &[("job", Json::from("j-2")), ("producer", Json::from("j-0"))]),
+            line(1, "job_profile", &profile_fields("j-2", "ok", 5.0, vec![])),
+            line(2, "job_done", &[("job", Json::from("j-2"))]),
+        ]
+        .join("\n");
+        assert!(replay_log(&floating).unwrap_err().contains("never computed"));
+
+        // Verdict disagreement: profile says ok, compute said timeout.
+        let liar = profile_fields("j-3", "ok", 10.0, vec![]);
+        let log = [
+            line(0, "job_enqueued", &[("job", Json::from("j-3"))]),
+            line(1, "job_dequeued", &[("job", Json::from("j-3"))]),
+            line(2, "job_computed", &[("job", Json::from("j-3")), ("verdict", Json::from("timeout"))]),
+            line(3, "job_profile", &liar),
+            line(4, "job_done", &[("job", Json::from("j-3"))]),
+        ]
+        .join("\n");
+        assert!(replay_log(&log).unwrap_err().contains("disagrees"));
     }
 
     #[test]

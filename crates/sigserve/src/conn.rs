@@ -89,6 +89,8 @@ impl LineBuf {
 pub struct WriteBuf {
     buf: Vec<u8>,
     start: usize,
+    /// Lifetime bytes the sink accepted (monotone; survives compaction).
+    written: u64,
 }
 
 impl WriteBuf {
@@ -100,6 +102,13 @@ impl WriteBuf {
     /// Bytes queued and not yet accepted by the socket.
     pub fn queued(&self) -> usize {
         self.buf.len() - self.start
+    }
+
+    /// Lifetime bytes the sink has accepted from this buffer — what a
+    /// `conn_closed` record reports as `bytes_written`, so timeline
+    /// reconstruction can cross-check framing totals per connection.
+    pub fn written(&self) -> u64 {
+        self.written
     }
 
     /// True when everything queued has been written out.
@@ -125,7 +134,10 @@ impl WriteBuf {
                         "connection sink accepted zero bytes",
                     ))
                 }
-                Ok(n) => self.start += n,
+                Ok(n) => {
+                    self.start += n;
+                    self.written += n as u64;
+                }
                 Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
                 Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
                 Err(e) => return Err(e),
@@ -221,6 +233,11 @@ mod tests {
         wb.write_to(&mut sink).expect("drain");
         assert!(wb.is_empty());
         assert_eq!(sink.took, b"{\"kind\":\"vet_result\"}\n{\"kind\":\"stats\"}\n");
+        assert_eq!(
+            wb.written(),
+            total as u64,
+            "lifetime written counter matches what the sink accepted"
+        );
     }
 
     #[test]

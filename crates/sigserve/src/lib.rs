@@ -76,17 +76,16 @@ pub use client::Client;
 pub use poller::Backend;
 pub use protocol::{parse_request, Request, Source, VetItem};
 pub use queue::{Bounded, PushError};
-#[allow(deprecated)]
-pub use server::{serve_stdio, serve_stdio_traced};
 pub use server::{ServeConfig, Server, ServerBuilder};
 pub use stats::{metrics_json, Stats};
 /// Re-exported from `sigobs`: the structured event log `ServeConfig`
 /// can attach so every job lifecycle lands in a JSONL stream, plus the
 /// overload sampling policy it can run under.
 pub use sigobs::{EventLog, Level, SamplePolicy};
-/// Re-exported from `sigtrace`: the metrics registry every worker feeds
-/// and the phase-timing triple `VetOutcome::Report` carries.
-pub use sigtrace::{MetricsRegistry, MetricsSnapshot, PhaseTimings};
+/// Re-exported from `sigtrace`: the metrics registry every worker feeds,
+/// the phase-timing triple `VetOutcome::Report` carries, and the per-job
+/// cost profile outcomes can attach.
+pub use sigtrace::{JobProfile, MetricsRegistry, MetricsSnapshot, PhaseTimings};
 
 use minijson::Json;
 use std::time::Duration;
@@ -109,6 +108,11 @@ pub enum VetOutcome {
         signature_json: String,
         /// Per-phase wall times (the paper's Table 2 columns).
         timings: PhaseTimings,
+        /// Per-job cost attribution, when the engine ran with it
+        /// enabled. Never part of [`VetOutcome::core_json`] — the wire
+        /// format and cache identity are profile-free; the daemon
+        /// surfaces it through the `job_profile` log event instead.
+        profile: Option<JobProfile>,
     },
     /// The analysis budget (step or wall-clock) was exhausted; the
     /// daemon reports `verdict:"timeout"` and keeps the worker.
@@ -118,6 +122,11 @@ pub enum VetOutcome {
         steps: usize,
         /// Wall time spent in the fixpoint loop.
         elapsed: Duration,
+        /// The hotspot postmortem: where the exhausted budget went.
+        /// Present whenever the engine ran with attribution enabled
+        /// (the daemon's engines always do), so every timeout verdict
+        /// is explainable from the log alone.
+        profile: Option<JobProfile>,
     },
     /// The pipeline failed (parse error, step-limit safety valve, ...).
     #[non_exhaustive]
@@ -133,12 +142,49 @@ impl VetOutcome {
         VetOutcome::Report {
             signature_json,
             timings,
+            profile: None,
+        }
+    }
+
+    /// [`VetOutcome::report`] carrying a per-job cost profile.
+    pub fn report_profiled(
+        signature_json: String,
+        timings: PhaseTimings,
+        profile: JobProfile,
+    ) -> VetOutcome {
+        VetOutcome::Report {
+            signature_json,
+            timings,
+            profile: Some(profile),
         }
     }
 
     /// A budget-exhausted (degraded) vetting.
     pub fn timeout(steps: usize, elapsed: Duration) -> VetOutcome {
-        VetOutcome::Timeout { steps, elapsed }
+        VetOutcome::Timeout {
+            steps,
+            elapsed,
+            profile: None,
+        }
+    }
+
+    /// [`VetOutcome::timeout`] carrying the hotspot postmortem.
+    pub fn timeout_profiled(steps: usize, elapsed: Duration, profile: JobProfile) -> VetOutcome {
+        VetOutcome::Timeout {
+            steps,
+            elapsed,
+            profile: Some(profile),
+        }
+    }
+
+    /// The attached cost profile, if the engine recorded one.
+    pub fn profile(&self) -> Option<&JobProfile> {
+        match self {
+            VetOutcome::Report { profile, .. } | VetOutcome::Timeout { profile, .. } => {
+                profile.as_ref()
+            }
+            VetOutcome::Error { .. } => None,
+        }
     }
 
     /// A failed vetting.
@@ -158,6 +204,7 @@ impl VetOutcome {
             VetOutcome::Report {
                 signature_json,
                 timings,
+                ..
             } => {
                 core.set("verdict", Json::from("ok"));
                 core.set("p1_us", Json::from(timings.p1.as_micros() as f64));
@@ -167,7 +214,7 @@ impl VetOutcome {
                     .unwrap_or_else(|_| Json::Str(signature_json.clone()));
                 core.set("signature", sig);
             }
-            VetOutcome::Timeout { steps, elapsed } => {
+            VetOutcome::Timeout { steps, elapsed, .. } => {
                 core.set("verdict", Json::from("timeout"));
                 core.set("steps", Json::from(*steps as f64));
                 core.set("elapsed_us", Json::from(elapsed.as_micros() as f64));
@@ -194,6 +241,78 @@ impl VetOutcome {
             }
         }
     }
+}
+
+/// Renders a [`JobProfile`] as JSON: `total_steps`, the per-phase wall
+/// times, and the `top` hottest attribution buckets. This is the one
+/// encoding shared by the daemon's `job_profile` log event and
+/// `vet profile --json`, so postmortems read identically everywhere.
+/// (It lives here rather than in `sigtrace` because `sigtrace` is
+/// deliberately dependency-free and `minijson` is a dependency.)
+pub fn profile_json(profile: &JobProfile, top: usize) -> Json {
+    let mut doc = Json::obj();
+    doc.set("total_steps", Json::from(profile.total_steps as f64));
+    let phases = profile
+        .phases
+        .iter()
+        .map(|(phase, us)| {
+            let mut p = Json::obj();
+            p.set("phase", Json::from(phase.as_str()));
+            p.set("us", Json::from(*us as f64));
+            p
+        })
+        .collect();
+    doc.set("phases", Json::Arr(phases));
+    let hotspots = profile
+        .top(top)
+        .iter()
+        .map(|cost| {
+            let mut h = Json::obj();
+            h.set("func", Json::from(cost.func.as_str()));
+            h.set("ctx", Json::from(sigtrace::ctx_class_name(cost.ctx_class)));
+            h.set("phase", Json::from(cost.phase.as_str()));
+            h.set("steps", Json::from(cost.steps as f64));
+            h.set("time_us", Json::from(cost.time_us as f64));
+            h
+        })
+        .collect();
+    doc.set("hotspots", Json::Arr(hotspots));
+    doc
+}
+
+/// How many hotspot buckets a `job_profile` log event carries. Top-5
+/// answers "where did the budget go" without bloating the JSONL stream
+/// on large addons; `vet profile` renders the full table on demand.
+pub const POSTMORTEM_TOP_K: usize = 5;
+
+/// Logs `outcome`'s cost postmortem as a `job_profile` event, meant to
+/// ride right after the job's `job_computed` record. Timeouts emit at
+/// warn — a budget-exhausted verdict must be explainable from the JSONL
+/// stream alone, under the default level — completed jobs at debug
+/// (opt-in profiling of healthy traffic). No-op when the outcome
+/// carries no profile. Shared by the daemon's workers and the fleet's,
+/// so single-node and fleet logs replay under the same contract.
+pub fn log_job_profile(log: &sigobs::EventLog, job: &str, outcome: &VetOutcome) {
+    let Some(profile) = outcome.profile() else {
+        return;
+    };
+    let (level, verdict) = match outcome {
+        VetOutcome::Timeout { .. } => (sigobs::Level::Warn, "timeout"),
+        _ => (sigobs::Level::Debug, "ok"),
+    };
+    let doc = profile_json(profile, POSTMORTEM_TOP_K);
+    let field = |key: &str| doc.get(key).cloned().unwrap_or(Json::Null);
+    log.log(
+        level,
+        "job_profile",
+        &[
+            ("job", Json::from(job)),
+            ("verdict", Json::from(verdict)),
+            ("total_steps", field("total_steps")),
+            ("phases", field("phases")),
+            ("hotspots", field("hotspots")),
+        ],
+    );
 }
 
 /// The injected analysis pipeline: full vetting of one source under one

@@ -216,6 +216,10 @@ struct Job {
     key: u64,
     source: String,
     resp: Completion,
+    /// When the job entered the queue; the dequeuing worker turns it
+    /// into the `serve_queue_wait_us` histogram and the `queue_wait_us`
+    /// field on `job_dequeued`.
+    enq: Instant,
 }
 
 /// State shared by the event loop, stdio front end, and workers.
@@ -397,7 +401,7 @@ fn compute(shared: &Shared, key: u64, source: &str, job: &str) -> Json {
                 ],
             );
         }
-        VetOutcome::Timeout { steps, elapsed } => {
+        VetOutcome::Timeout { steps, elapsed, .. } => {
             Stats::incr(&shared.stats.budget_aborts);
             shared.metrics.add("serve_budget_aborts", 1);
             shared.log_event(
@@ -425,6 +429,11 @@ fn compute(shared: &Shared, key: u64, source: &str, job: &str) -> Json {
             );
         }
     }
+    // The cost postmortem rides the log right after `job_computed`.
+    // Not part of the wire response or the cache entry.
+    if let Some(log) = &shared.log {
+        crate::log_job_profile(log, job, &outcome);
+    }
     let core = outcome.core_json();
     if outcome.cacheable(&shared.analysis) {
         shared.lock_cache().insert(key, core.clone(), job);
@@ -446,10 +455,15 @@ fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
 
 fn worker_loop(shared: &Shared) {
     while let Some(job) = shared.queue.pop() {
+        let wait_us = job.enq.elapsed().as_micros().min(u128::from(u64::MAX)) as u64;
+        shared.metrics.record("serve_queue_wait_us", wait_us);
         shared.log_event(
             Level::Info,
             "job_dequeued",
-            &[("job", Json::from(job.id.as_str()))],
+            &[
+                ("job", Json::from(job.id.as_str())),
+                ("queue_wait_us", Json::from(wait_us as f64)),
+            ],
         );
         // Dedupe racing submissions of the same content: another worker
         // may have finished this key while the job sat in the queue.
@@ -644,6 +658,7 @@ fn submit_vet_with(
         key,
         source,
         resp,
+        enq: Instant::now(),
     }) {
         Ok(_) => {
             Stats::incr(&shared.stats.jobs_accepted);
@@ -1046,6 +1061,12 @@ struct Conn {
     kill: Option<&'static str>,
     /// Edge flag so a backpressure episode logs once, not per item.
     backpressured: bool,
+    /// Lifetime bytes read off this socket (reported on `conn_closed`
+    /// so timeline reconstruction can cross-check framing totals; the
+    /// write side lives in [`WriteBuf::written`]).
+    bytes_read: u64,
+    /// Requests this connection submitted (parsed non-empty lines).
+    requests: u64,
 }
 
 impl Conn {
@@ -1063,6 +1084,8 @@ impl Conn {
             closing: None,
             kill: None,
             backpressured: false,
+            bytes_read: 0,
+            requests: 0,
         }
     }
 }
@@ -1248,6 +1271,7 @@ impl EventLoop {
                 }
                 Ok(n) => {
                     conn.last_activity = Instant::now();
+                    conn.bytes_read += n as u64;
                     if !conn.rbuf.extend(&chunk[..n]) {
                         Stats::incr(&self.shared.stats.protocol_errors);
                         self.shared.log_event(
@@ -1293,6 +1317,7 @@ impl EventLoop {
 
     fn handle_line(&mut self, token: u64, conn: &mut Conn, line: &str) {
         let shared = Arc::clone(&self.shared);
+        conn.requests += 1;
         // Hard cap: a client this far behind on reading is not exerting
         // backpressure anymore, it is a memory leak. Close it.
         let owed = conn.wbuf.queued() + conn.pending_bytes;
@@ -1658,6 +1683,9 @@ impl EventLoop {
             &[
                 ("conn", Json::from(conn.cid.as_str())),
                 ("reason", Json::from(reason)),
+                ("bytes_read", Json::from(conn.bytes_read as f64)),
+                ("bytes_written", Json::from(conn.wbuf.written() as f64)),
+                ("requests", Json::from(conn.requests as f64)),
             ],
         );
     }
@@ -1692,41 +1720,6 @@ impl Server {
             stdio: false,
             analyze: None,
         }
-    }
-
-    /// Binds `addr` and starts the daemon.
-    #[deprecated(
-        since = "0.2.0",
-        note = "use Server::builder().config(cfg).addr(addr).analyze(f).start()"
-    )]
-    pub fn bind<F>(addr: &str, cfg: ServeConfig, analyze: F) -> io::Result<Server>
-    where
-        F: Fn(&str, &AnalysisConfig, &MetricsRegistry) -> VetOutcome + Send + Sync + 'static,
-    {
-        Server::builder()
-            .config(cfg)
-            .addr(addr)
-            .analyze(analyze)
-            .start()
-    }
-
-    /// Binds `addr` and starts the daemon with a trace-aware engine.
-    #[deprecated(
-        since = "0.2.0",
-        note = "use Server::builder().config(cfg).addr(addr).analyze_traced(f).start()"
-    )]
-    pub fn bind_traced<F>(addr: &str, cfg: ServeConfig, analyze: F) -> io::Result<Server>
-    where
-        F: for<'a> Fn(&str, &AnalysisConfig, &MetricsRegistry, Trace<'a>) -> VetOutcome
-            + Send
-            + Sync
-            + 'static,
-    {
-        Server::builder()
-            .config(cfg)
-            .addr(addr)
-            .analyze_traced(analyze)
-            .start()
     }
 
     /// The bound address (resolves `:0` to the real ephemeral port).
@@ -1948,37 +1941,6 @@ fn run_stdio(cfg: ServeConfig, analyze: Box<AnalyzeJobFn>) -> io::Result<()> {
     }
     shared.maybe_dump_metrics();
     result.map(|_| ())
-}
-
-/// Runs the daemon over stdin/stdout with a classic 3-argument engine.
-#[deprecated(
-    since = "0.2.0",
-    note = "use Server::builder().config(cfg).stdio().analyze(f).run()"
-)]
-pub fn serve_stdio<F>(cfg: ServeConfig, analyze: F) -> io::Result<()>
-where
-    F: Fn(&str, &AnalysisConfig, &MetricsRegistry) -> VetOutcome + Send + Sync + 'static,
-{
-    Server::builder().config(cfg).stdio().analyze(analyze).run()
-}
-
-/// Runs the daemon over stdin/stdout with a trace-aware engine.
-#[deprecated(
-    since = "0.2.0",
-    note = "use Server::builder().config(cfg).stdio().analyze_traced(f).run()"
-)]
-pub fn serve_stdio_traced<F>(cfg: ServeConfig, analyze: F) -> io::Result<()>
-where
-    F: for<'a> Fn(&str, &AnalysisConfig, &MetricsRegistry, Trace<'a>) -> VetOutcome
-        + Send
-        + Sync
-        + 'static,
-{
-    Server::builder()
-        .config(cfg)
-        .stdio()
-        .analyze_traced(analyze)
-        .run()
 }
 
 #[cfg(test)]

@@ -24,6 +24,10 @@
 //! * [`MetricsRegistry`] — named monotonic counters and fixed
 //!   log₂-bucket [`Histogram`]s for the daemon: shared via atomics, so
 //!   worker threads feed one registry without locking on the hot path.
+//! * [`Attribution`] / [`AttributionSink`] / [`JobProfile`] — per-job
+//!   cost attribution: which `(function, context class, phase)` buckets
+//!   ate the worklist budget. Same discriminant-branch shape as
+//!   [`Trace`]; the data behind timeout postmortems and `vet profile`.
 //!
 //! Determinism contract: every counter is deterministic for a fixed
 //! source and configuration, including across sequential/parallel
@@ -40,11 +44,13 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+mod attr;
 mod chrome;
 mod counter;
 mod metrics;
 mod span;
 
+pub use attr::{ctx_class_name, Attribution, AttributionSink, FuncCost, JobProfile, CTX_CLASSES};
 pub use chrome::ChromeTraceWriter;
 pub use counter::{Counter, Counters};
 pub use metrics::{HistogramSnapshot, MetricsRegistry, MetricsSnapshot, HISTOGRAM_BUCKETS};

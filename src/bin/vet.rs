@@ -21,6 +21,9 @@
 //!                [--constant-strings] [--log FILE] [--log-level LEVEL]
 //!                [--metrics-dir DIR] [--metrics-interval-ms N]
 //! vet --client HOST:PORT [<addon.js>... | --stats | --metrics | --shutdown]
+//! vet profile <addon.js> [--top N] [--json] [--k <depth>] [--constant-strings]
+//!             [--step-budget N]
+//! vet trace-job <job-id> --log FILE... [--out FILE]
 //! vet metrics-report DIR [--gate RULES]
 //! vet corpus-snapshot [--out FILE] [--k <depth>] [--constant-strings] [--summary-dir DIR]
 //!                     [--step-budget N]
@@ -88,6 +91,23 @@
 //! and the response printed one JSON object per line; `--metrics`
 //! prints the daemon's Prometheus text exposition.
 //!
+//! `profile <addon.js>` runs the pipeline with per-function cost
+//! attribution enabled and prints the top-N hotspot table: which
+//! `(function, context-class)` buckets the worklist spent its steps on.
+//! The worklist order is pinned (RPO) so the table is deterministic —
+//! byte-identical across FIFO/RPO configurations and thread counts —
+//! and a budget-exhausted run prints the same table as a postmortem
+//! instead of failing. `--json` prints the same document the daemon
+//! logs as its `job_profile` event.
+//!
+//! `trace-job <job-id>` reconstructs one job's cross-node timeline
+//! (enqueue → queue wait → claim → pipeline phases → respond) from the
+//! structured JSONL logs the daemon and fleet nodes wrote (`--log FILE`
+//! repeats, one per node; node names come from the file stems) and
+//! writes a Chrome `trace_event` document (`chrome://tracing`,
+//! Perfetto) with the job's hotspot postmortem attached to the analyze
+//! slice.
+//!
 //! `metrics-report DIR` renders a metrics-history directory as counter
 //! rates and latency percentiles over the recorded window (percentiles
 //! are inclusive upper bounds of the log2 histogram buckets). With
@@ -132,6 +152,9 @@ usage:
                  [--log FILE] [--log-level error|warn|info|debug]
                  [--metrics-dir DIR] [--metrics-interval-ms N]
   vet --client HOST:PORT [<addon.js>... | --stats | --metrics | --shutdown]
+  vet profile <addon.js> [--top N] [--json] [--k <depth>] [--constant-strings]
+              [--step-budget N]
+  vet trace-job <job-id> --log FILE... [--out FILE]
   vet metrics-report DIR [--gate RULES]
   vet corpus-snapshot [--out FILE] [--k <depth>] [--constant-strings] [--summary-dir DIR]
                       [--step-budget N]
@@ -216,6 +239,21 @@ enum Mode {
     /// store + worker-join protocol).
     Coordinate(CoordinateOptions),
     Client(ClientOptions),
+    /// `vet profile <file>`: deterministic per-function cost-attribution
+    /// hotspot table (or the daemon's `job_profile` JSON with `--json`).
+    Profile {
+        file: String,
+        top: usize,
+        json: bool,
+        config: AnalysisConfig,
+    },
+    /// `vet trace-job <job-id> --log FILE...`: one job's cross-node
+    /// Chrome-trace timeline from per-node JSONL logs.
+    TraceJob {
+        job: String,
+        logs: Vec<String>,
+        out: Option<String>,
+    },
     /// `vet metrics-report DIR [--gate RULES]`: render a metrics-history
     /// ring; with `--gate`, also evaluate alert rules (nonzero exit on a
     /// violated threshold).
@@ -465,6 +503,56 @@ fn parse_corpus_snapshot_args(mut args: impl Iterator<Item = String>) -> Result<
     Ok(Mode::CorpusSnapshot { out, config, summary_dir })
 }
 
+/// `vet profile` arguments.
+fn parse_profile_args(mut args: impl Iterator<Item = String>) -> Result<Mode, String> {
+    let mut file: Option<String> = None;
+    let mut top = 10usize;
+    let mut json = false;
+    let mut config = AnalysisConfig::default();
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--top" => top = parse_usize(&mut args, "--top")?.max(1),
+            "--json" => json = true,
+            "--k" => config.context_depth = parse_usize(&mut args, "--k")?,
+            "--constant-strings" => config.string_domain = StringDomain::ConstantOnly,
+            "--step-budget" => {
+                config.step_budget = Some(parse_usize(&mut args, "--step-budget")?)
+            }
+            "--help" | "-h" => return Ok(Mode::Help),
+            other if !other.starts_with('-') && file.is_none() => file = Some(other.to_owned()),
+            other => return Err(format!("unknown profile flag: {other}")),
+        }
+    }
+    let file = file.ok_or("profile needs an <addon.js> file")?;
+    Ok(Mode::Profile {
+        file,
+        top,
+        json,
+        config,
+    })
+}
+
+/// `vet trace-job` arguments.
+fn parse_trace_job_args(mut args: impl Iterator<Item = String>) -> Result<Mode, String> {
+    let mut job: Option<String> = None;
+    let mut logs: Vec<String> = Vec::new();
+    let mut out: Option<String> = None;
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--log" => logs.push(args.next().ok_or("--log needs a FILE")?),
+            "--out" => out = Some(args.next().ok_or("--out needs a FILE")?),
+            "--help" | "-h" => return Ok(Mode::Help),
+            other if !other.starts_with('-') && job.is_none() => job = Some(other.to_owned()),
+            other => return Err(format!("unknown trace-job flag: {other}")),
+        }
+    }
+    let job = job.ok_or("trace-job needs a <job-id>")?;
+    if logs.is_empty() {
+        return Err("trace-job needs at least one --log FILE".to_owned());
+    }
+    Ok(Mode::TraceJob { job, logs, out })
+}
+
 fn parse_client_args(mut args: impl Iterator<Item = String>) -> Result<Mode, String> {
     let addr = args.next().ok_or("--client needs HOST:PORT")?;
     let mut files = Vec::new();
@@ -519,6 +607,14 @@ fn parse_args() -> Result<Mode, String> {
         Some("--client") => {
             args.next();
             return parse_client_args(args);
+        }
+        Some("profile") => {
+            args.next();
+            return parse_profile_args(args);
+        }
+        Some("trace-job") => {
+            args.next();
+            return parse_trace_job_args(args);
         }
         Some("metrics-report") => {
             args.next();
@@ -911,6 +1007,58 @@ fn run_client(opts: ClientOptions) -> Result<bool, String> {
     Ok(ok)
 }
 
+/// `vet profile <file>`: runs the pipeline with cost attribution on
+/// (worklist order pinned to RPO — see [`addon_sig::profile_addon`])
+/// and prints the deterministic hotspot table, or the daemon's
+/// `job_profile` JSON document with `--json`. A budget-exhausted run is
+/// not a failure here: the table *is* the postmortem.
+fn run_profile(file: &str, top: usize, json: bool, config: &AnalysisConfig) -> Result<(), String> {
+    let source = std::fs::read_to_string(file).map_err(|e| format!("{file}: {e}"))?;
+    let profile = addon_sig::profile_addon(&source, config).map_err(|e| format!("{file}: {e}"))?;
+    if json {
+        println!(
+            "{}",
+            sigserve::profile_json(&profile, top).to_string_pretty()
+        );
+    } else {
+        print!("{}", profile.render_table(top));
+    }
+    Ok(())
+}
+
+/// `vet trace-job <job-id>`: merges the per-node JSONL logs (node name
+/// = file stem) causally, reconstructs the job's lifecycle intervals,
+/// and writes the Chrome trace document to `--out` (or stdout).
+fn run_trace_job(job: &str, logs: &[String], out: Option<&str>) -> Result<(), String> {
+    let mut bodies: Vec<(String, String)> = Vec::new();
+    for path in logs {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+        let node = std::path::Path::new(path)
+            .file_stem()
+            .and_then(|s| s.to_str())
+            .unwrap_or(path.as_str())
+            .to_owned();
+        bodies.push((node, text));
+    }
+    let pairs: Vec<(&str, &str)> = bodies
+        .iter()
+        .map(|(n, t)| (n.as_str(), t.as_str()))
+        .collect();
+    let merged = sigobs::merge_fleet_logs(&pairs)?;
+    let trace = sigobs::job_chrome_trace(&merged, job)?;
+    match out {
+        Some(path) => {
+            std::fs::write(path, trace.as_bytes()).map_err(|e| format!("{path}: {e}"))?;
+            eprintln!("wrote {path} (load it at chrome://tracing or in Perfetto)");
+            Ok(())
+        }
+        None => {
+            println!("{trace}");
+            Ok(())
+        }
+    }
+}
+
 /// Renders a metrics-history directory (`vet serve --metrics-dir`) as
 /// counter rates over the recorded window plus latency percentiles from
 /// the newest snapshot. With a `--gate RULES` file, also evaluates the
@@ -963,6 +1111,49 @@ fn run_metrics_report(dir: &str, gate: Option<&str>) -> Result<bool, String> {
             mean,
             pct(0.50),
             pct(0.90),
+            pct(0.99)
+        );
+    }
+    // Window view: newest snapshot minus oldest, so the percentiles
+    // describe what happened *during* the recorded window rather than
+    // since daemon start. Reading `serve_queue_wait_us` against
+    // `serve_vet_us` here answers whether latency came from queueing or
+    // from analysis.
+    let first_hists: std::collections::BTreeMap<&str, &sigtrace::HistogramSnapshot> = first
+        .snapshot
+        .histograms
+        .iter()
+        .map(|h| (h.name.as_str(), h))
+        .collect();
+    println!("\nhistograms (window delta: newest minus oldest snapshot):");
+    if records.len() < 2 {
+        println!("  (single snapshot: no window yet)");
+    }
+    for h in &last.snapshot.histograms {
+        let mut delta = h.clone();
+        if let Some(start) = first_hists.get(h.name.as_str()) {
+            delta.count = h.count.saturating_sub(start.count);
+            delta.sum = h.sum.saturating_sub(start.sum);
+            for (d, s) in delta.buckets.iter_mut().zip(start.buckets.iter()) {
+                *d = d.saturating_sub(*s);
+            }
+        }
+        if delta.count == 0 {
+            continue;
+        }
+        let mean = delta.sum / delta.count;
+        let pct = |q: f64| {
+            delta
+                .percentile(q)
+                .map(|v| v.to_string())
+                .unwrap_or_else(|| "-".to_owned())
+        };
+        println!(
+            "  {:<32} count={} mean={} p50<={} p99<={}",
+            delta.name,
+            delta.count,
+            mean,
+            pct(0.50),
             pct(0.99)
         );
     }
@@ -1055,6 +1246,29 @@ fn main() -> ExitCode {
             return match run_client(client_opts) {
                 Ok(true) => ExitCode::SUCCESS,
                 Ok(false) => ExitCode::FAILURE,
+                Err(msg) => {
+                    eprintln!("{msg}");
+                    ExitCode::FAILURE
+                }
+            }
+        }
+        Mode::Profile {
+            file,
+            top,
+            json,
+            config,
+        } => {
+            return match run_profile(&file, top, json, &config) {
+                Ok(()) => ExitCode::SUCCESS,
+                Err(msg) => {
+                    eprintln!("{msg}");
+                    ExitCode::FAILURE
+                }
+            }
+        }
+        Mode::TraceJob { job, logs, out } => {
+            return match run_trace_job(&job, &logs, out.as_deref()) {
+                Ok(()) => ExitCode::SUCCESS,
                 Err(msg) => {
                     eprintln!("{msg}");
                     ExitCode::FAILURE
@@ -1202,6 +1416,45 @@ mod tests {
             Err(err) => assert!(err.contains("--reap-ms"), "{err}"),
             Ok(_) => panic!("reap <= heartbeat should be rejected"),
         }
+    }
+
+    #[test]
+    fn profile_args_parse() {
+        let Mode::Profile {
+            file,
+            top,
+            json,
+            config,
+        } = parse_profile_args(argv(&["a.js", "--top", "3", "--json", "--step-budget", "500"]))
+            .expect("profile parses")
+        else {
+            panic!("expected profile mode")
+        };
+        assert_eq!(file, "a.js");
+        assert_eq!(top, 3);
+        assert!(json);
+        assert_eq!(config.step_budget, Some(500));
+        assert!(parse_profile_args(argv(&[])).is_err(), "file is required");
+        assert!(parse_profile_args(argv(&["a.js", "--bogus"])).is_err());
+    }
+
+    #[test]
+    fn trace_job_args_parse() {
+        let Mode::TraceJob { job, logs, out } = parse_trace_job_args(argv(&[
+            "j-42", "--log", "coord.jsonl", "--log", "w0.jsonl", "--out", "t.json",
+        ]))
+        .expect("trace-job parses")
+        else {
+            panic!("expected trace-job mode")
+        };
+        assert_eq!(job, "j-42");
+        assert_eq!(logs, ["coord.jsonl", "w0.jsonl"]);
+        assert_eq!(out.as_deref(), Some("t.json"));
+        assert!(
+            parse_trace_job_args(argv(&["j-1"])).is_err(),
+            "at least one --log required"
+        );
+        assert!(parse_trace_job_args(argv(&["--log", "x"])).is_err(), "job id required");
     }
 
     #[test]
