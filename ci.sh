@@ -5,7 +5,9 @@
 #   1. tier-1: release build + tests of the root package,
 #   2. the full workspace test suite (includes tests/worklist_golden.rs,
 #      whose step-budget table fails the build on base-analysis
-#      step-count regressions),
+#      step-count regressions), plus the bounded deterministic fuzz
+#      suite (tests/fuzz_pipeline.rs behind `--features fuzz`: seeded
+#      generator, fixed case counts, so CI time stays bounded),
 #   3. a perf snapshot over the corpus, so the committed
 #      BENCH_pipeline.json can be refreshed from the CI artifact — the
 #      snapshot itself enforces the <5% no-op tracer and <5%
@@ -58,7 +60,17 @@
 #      20k-fd cap) with an active cache-hit stream whose p99 stays
 #      under 50ms; the daemon's metrics history must pass
 #      metrics-gate-conn.json (>=10k accepts, zero backpressure sheds,
-#      zero deadline misses).
+#      zero deadline misses),
+#  12. the ladder gate: `serve_load --ladder` runs a benign-heavy cold
+#      workload through a full-sensitivity daemon and a tiered-ladder
+#      daemon; every ladder signature must be byte-identical to the
+#      single-tier one, the event log must replay exactly the escalated
+#      lifecycles the counters claim, the written BENCH_ladder snapshot
+#      must show >=1.3x ladder-over-single throughput, and the ladder
+#      daemon's metrics history must pass metrics-gate-ladder.json
+#      (tier0 resolves, escalations happen, escalation rate bounded);
+#      the `--ladder` CLI surfaces keep their contract (advertised in
+#      help, conflicting flags exit nonzero).
 set -eu
 cd "$(dirname "$0")"
 
@@ -70,6 +82,9 @@ cargo test --offline -q
 
 echo "==> workspace tests (incl. worklist golden + step budgets)"
 cargo test --offline --workspace -q
+
+echo "==> bounded fuzz suite (seeded generator, fixed case counts)"
+cargo test --offline -q --features fuzz --test fuzz_pipeline
 
 echo "==> perf snapshot (sequential, 3 runs; incl. tracer + attribution overhead gates)"
 cargo build --release --offline --workspace
@@ -222,5 +237,23 @@ rm -rf target/ci_conn_metrics
 awk '/"p99_us"/ { gsub(/[,"]/, ""); if ($2 + 0 < 50000) ok = 1 }
      END { exit ok ? 0 : 1 }' target/BENCH_serve_conn.ci.json
 ./target/release/vet metrics-report target/ci_conn_metrics --gate ci/metrics-gate-conn.json
+
+echo "==> ladder gate (tiered vetting: byte-identity, escalation replay, >=1.3x)"
+rm -rf target/ci_ladder_metrics
+./target/release/serve_load --ladder \
+    --out target/BENCH_ladder.ci.json --metrics-dir target/ci_ladder_metrics
+# Triage at tier 0 must buy real throughput on a benign-heavy queue.
+awk '/"ratio_ladder_over_single"/ { gsub(/[,"]/, ""); if ($2 + 0 >= 1.3) ok = 1 }
+     END { exit ok ? 0 : 1 }' target/BENCH_ladder.ci.json
+# The ladder daemon's recorded metrics history passes the ladder rules
+# (tier0 resolves, escalations happen, escalation rate stays bounded).
+./target/release/vet metrics-report target/ci_ladder_metrics --gate ci/metrics-gate-ladder.json
+# CLI contract: --ladder is advertised, and conflicts exit nonzero.
+./target/release/vet serve --help | grep -- '--ladder' > /dev/null
+if ./target/release/vet --ladder --trace target/ci_ladder_trace.json \
+    crates/corpus/addons/pinpoints.js 2> /dev/null; then
+    echo "ci.sh: --ladder plus --trace must exit nonzero" >&2
+    exit 1
+fi
 
 echo "==> ci.sh: all gates passed"

@@ -102,28 +102,23 @@ fn sweep(addons: &[corpus::Addon], arm: Arm) -> Duration {
 }
 
 /// Measures the relative cost of running the corpus with an
-/// observability hook attached: interleaved plain/hooked sweeps (so
-/// thermal or frequency drift hits both arms equally), then
-/// min-of-medians compared. Each arm takes the minimum over three
-/// interleaved batches — the hook cannot make the pipeline *faster*, so
-/// a hooked minimum below the plain one is pure scheduling noise, and
-/// the result is clamped at zero rather than reporting a negative
-/// overhead.
+/// observability hook attached: plain and hooked sweeps alternate
+/// sweep-by-sweep (so thermal or frequency drift hits both arms
+/// equally), and each arm's estimate is the minimum over all of its
+/// sweeps. The hook cannot make the pipeline *faster*, so each arm's
+/// minimum is its noise floor; medians were tried here first and flaked
+/// on one-core boxes, where a scheduling burst during one arm's batch
+/// survives into the median and reads as phantom overhead. A hooked
+/// minimum below the plain one is pure scheduling noise, and the result
+/// is clamped at zero rather than reporting a negative overhead.
 fn overhead_pct(addons: &[corpus::Addon], runs: usize, arm: Arm) -> f64 {
     let _ = sweep(addons, Arm::Plain); // warm-up, discarded
     let _ = sweep(addons, arm);
-    let batch = |arm: Arm| -> Duration {
-        let mut times: Vec<Duration> = Vec::with_capacity(runs);
-        for _ in 0..runs {
-            times.push(sweep(addons, arm));
-        }
-        median(times)
-    };
     let mut plain = Duration::MAX;
     let mut hooked = Duration::MAX;
-    for _ in 0..3 {
-        plain = plain.min(batch(Arm::Plain));
-        hooked = hooked.min(batch(arm));
+    for _ in 0..3 * runs {
+        plain = plain.min(sweep(addons, Arm::Plain));
+        hooked = hooked.min(sweep(addons, arm));
     }
     let pct = (hooked.as_secs_f64() - plain.as_secs_f64()) / plain.as_secs_f64() * 100.0;
     pct.max(0.0)

@@ -40,8 +40,9 @@ pub mod store;
 pub mod summary;
 
 pub use config::{
-    AnalysisConfig, BudgetExhausted, BudgetKind, SecurityConfig, SinkKind, SourceKind,
-    StringDomain, WorklistOrder, DEADLINE_CHECK_INTERVAL,
+    AnalysisConfig, BudgetExhausted, BudgetKind, LadderRung, LadderSpec, SecurityConfig,
+    SinkKind, SourceKind, StringDomain, WorklistOrder, DEADLINE_CHECK_INTERVAL,
+    TIER0_STEP_BUDGET,
 };
 pub use context::{Context, CtxId, CtxTable};
 pub use interp::{

@@ -1193,4 +1193,21 @@ mod tests {
         assert_ne!(store_key(1, &c1), store_key(1, &c2));
         assert_eq!(store_key(1, &c1), store_key(1, &c1));
     }
+
+    #[test]
+    fn store_key_separates_ladder_tiers() {
+        // Tier identity: a summary recorded by the triage rung must
+        // never be spliced into a full-sensitivity run (or vice versa),
+        // even for configurations that agree on every other knob. The
+        // `triage` knob rides the canonical string, so the keys differ.
+        let tier0 = AnalysisConfig::tier0();
+        let full = AnalysisConfig::tier_full();
+        assert_ne!(store_key(1, &tier0), store_key(1, &full));
+        let k0 = AnalysisConfig::tier0().with_triage(false);
+        assert_ne!(
+            store_key(1, &tier0),
+            store_key(1, &k0),
+            "triage alone must discriminate"
+        );
+    }
 }

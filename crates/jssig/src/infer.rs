@@ -10,6 +10,29 @@ use jspdg::Pdg;
 use sigtrace::{Counter, Counters, Trace};
 use std::collections::{BTreeMap, BTreeSet};
 
+/// Whether phase 1 alone proves the signature can contain no flow
+/// entries. A [`FlowEntry`] requires both a *reachable* statement reading
+/// an interesting source (to seed propagation) and a *reachable*
+/// interesting sink (to read a flow type off) — both facts the base
+/// analysis already computed. When either set is empty, phases 2–3 can
+/// only produce the flows-free signature, so a triage-tier pipeline may
+/// skip PDG construction entirely and run inference against an empty
+/// PDG: the result is byte-identical to the full run by construction
+/// (sinks and API entries are phase-1-derived; see [`infer_signature`]).
+pub fn flows_impossible(analysis: &AnalysisResult) -> bool {
+    let has_source = analysis.source_stmts().iter().any(|(stmt, kinds)| {
+        analysis.reachable.contains(stmt)
+            && kinds.iter().any(|k| analysis.interesting_sources.contains(k))
+    });
+    if !has_source {
+        return true;
+    }
+    !analysis
+        .sinks
+        .iter()
+        .any(|s| analysis.reachable.contains(&s.stmt))
+}
+
 /// Infers the security signature of an analyzed addon.
 ///
 /// For each interesting source kind: collect the statements reading that

@@ -54,6 +54,13 @@ pub struct FleetConfig {
     /// The analysis configuration whose canonical string keys the store.
     /// Workers are expected to run the same one.
     pub analysis: AnalysisConfig,
+    /// When set, the fleet runs the tiered vetting ladder: the store is
+    /// keyed by the *ladder's* canonical string (so single-tier results
+    /// can never be served to ladder requests or vice versa), and
+    /// workers are expected to run the same ladder. Escalation happens
+    /// inside the worker's claim — one job id, one `complete` — so
+    /// dedup, coalescing, and the reaper are untouched.
+    pub ladder: Option<jsanalysis::LadderSpec>,
     /// How often workers must heartbeat (sent to them in `join_ack`).
     pub heartbeat: Duration,
     /// Reap a worker whose `last_seen` is older than this.
@@ -75,6 +82,7 @@ impl Default for FleetConfig {
             result_cap: 4096,
             slots: 8,
             analysis: AnalysisConfig::default(),
+            ladder: None,
             heartbeat: Duration::from_millis(2000),
             reap_after: Duration::from_millis(6000),
             log: None,
@@ -143,7 +151,10 @@ impl Shared {
             slots: cfg.slots.max(1),
             heartbeat: cfg.heartbeat,
             reap_after: cfg.reap_after,
-            config_canon: cfg.analysis.canonical_string(),
+            config_canon: match &cfg.ladder {
+                Some(ladder) => ladder.canonical_string(),
+                None => cfg.analysis.canonical_string(),
+            },
             state: Mutex::new(FleetState::default()),
             jobs_cv: Condvar::new(),
             store: Mutex::new(SigCache::new(cfg.result_cap)),

